@@ -1,0 +1,18 @@
+# Benchmark binaries. Included from the top-level CMakeLists (instead of
+# add_subdirectory) so that build/bench/ contains ONLY the bench
+# executables and `for b in build/bench/*; do $b; done` runs them cleanly.
+
+function(df_add_bench name)
+  add_executable(${name} ${ARGN})
+  target_link_libraries(${name} PRIVATE droidfuzz)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+df_add_bench(bench_table2_bugs ${CMAKE_SOURCE_DIR}/bench/bench_table2_bugs.cc)
+df_add_bench(bench_fig4_coverage ${CMAKE_SOURCE_DIR}/bench/bench_fig4_coverage.cc)
+df_add_bench(bench_fig5_difuze ${CMAKE_SOURCE_DIR}/bench/bench_fig5_difuze.cc)
+df_add_bench(bench_table3_ablation ${CMAKE_SOURCE_DIR}/bench/bench_table3_ablation.cc)
+df_add_bench(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cc)
+target_link_libraries(bench_micro PRIVATE benchmark::benchmark)

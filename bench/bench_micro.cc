@@ -1,0 +1,185 @@
+// Component microbenchmarks (google-benchmark): throughput of the pieces
+// that dominate a fuzzing campaign — generation, execution, feedback
+// merging, probing, and the relation-graph update rule.
+#include <benchmark/benchmark.h>
+
+#include "baseline/syzkaller.h"
+#include "core/descriptions.h"
+#include "core/exec/broker.h"
+#include "core/fuzz/engine.h"
+#include "core/gen/generator.h"
+#include "core/probe/hal_probe.h"
+#include "device/catalog.h"
+#include "dsl/fmt.h"
+#include "dsl/parse.h"
+#include "hal/parcel.h"
+
+namespace {
+
+using namespace df;
+
+void BM_RngNext(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ParcelRoundTrip(benchmark::State& state) {
+  for (auto _ : state) {
+    hal::Parcel p;
+    p.write_u32(1);
+    p.write_u64(2);
+    p.write_string("android.hardware.test");
+    p.write_blob(std::vector<uint8_t>(32, 7));
+    p.rewind();
+    benchmark::DoNotOptimize(p.read_u32());
+    benchmark::DoNotOptimize(p.read_u64());
+    benchmark::DoNotOptimize(p.read_string());
+    benchmark::DoNotOptimize(p.read_blob());
+  }
+}
+BENCHMARK(BM_ParcelRoundTrip);
+
+void BM_RelationObserve(benchmark::State& state) {
+  dsl::CallTable table;
+  std::vector<const dsl::CallDesc*> descs;
+  for (int i = 0; i < 128; ++i) {
+    dsl::CallDesc d;
+    d.name = "c" + std::to_string(i);
+    descs.push_back(table.add(std::move(d)));
+  }
+  core::RelationGraph g;
+  for (const auto* d : descs) g.add_vertex(d, 1.0);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    g.observe_relation(descs[rng.below(descs.size())],
+                       descs[rng.below(descs.size())]);
+  }
+}
+BENCHMARK(BM_RelationObserve);
+
+// One fully assembled device + call table shared across iterations.
+struct Fixture {
+  Fixture() {
+    dev = device::make_device("A1", 1);
+    core::add_syscall_descriptions(table, *dev);
+    for (const auto& svc : dev->services()) {
+      std::vector<std::pair<uint32_t, double>> w;
+      for (const auto& uw : svc->app_usage_profile()) {
+        w.emplace_back(uw.code, uw.weight);
+      }
+      core::add_hal_interface(table, svc->descriptor(), svc->interface(), w);
+    }
+    spec = core::make_spec_table(table);
+    for (const auto* d : table.all()) rel.add_vertex(d, d->weight);
+  }
+  std::unique_ptr<device::Device> dev;
+  dsl::CallTable table;
+  trace::SpecTable spec;
+  core::RelationGraph rel;
+  core::Corpus corpus;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_GenerateFresh(benchmark::State& state) {
+  auto& f = fixture();
+  util::Rng rng(2);
+  core::Generator gen(f.table, f.rel, f.corpus, rng, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate_fresh());
+  }
+}
+BENCHMARK(BM_GenerateFresh);
+
+void BM_FormatParseRoundTrip(benchmark::State& state) {
+  auto& f = fixture();
+  util::Rng rng(3);
+  core::Generator gen(f.table, f.rel, f.corpus, rng, {});
+  const dsl::Program prog = gen.generate_fresh();
+  for (auto _ : state) {
+    const std::string text = dsl::format_program(prog);
+    benchmark::DoNotOptimize(dsl::parse_program(text, f.table));
+  }
+}
+BENCHMARK(BM_FormatParseRoundTrip);
+
+void BM_BrokerExecute(benchmark::State& state) {
+  auto& f = fixture();
+  core::Broker broker(*f.dev, f.spec);
+  util::Rng rng(4);
+  core::Generator gen(f.table, f.rel, f.corpus, rng, {});
+  std::vector<dsl::Program> progs;
+  for (int i = 0; i < 64; ++i) progs.push_back(gen.generate_fresh());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(broker.execute(progs[i++ % progs.size()]));
+  }
+}
+BENCHMARK(BM_BrokerExecute);
+
+void BM_HalProbing(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto dev = device::make_device("A1", 1);
+    state.ResumeTiming();
+    core::HalProber prober(*dev, 1);
+    benchmark::DoNotOptimize(prober.probe(100));
+  }
+}
+BENCHMARK(BM_HalProbing)->Unit(benchmark::kMillisecond);
+
+void BM_EngineStep(benchmark::State& state) {
+  auto dev = device::make_device("A2", 1);
+  core::EngineConfig cfg;
+  cfg.seed = 1;
+  core::Engine eng(*dev, cfg);
+  eng.setup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.step());
+  }
+}
+BENCHMARK(BM_EngineStep);
+
+void BM_SyzkallerStep(benchmark::State& state) {
+  auto dev = device::make_device("A2", 1);
+  baseline::SyzkallerFuzzer syz(*dev, 1);
+  syz.setup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(syz.step());
+  }
+}
+BENCHMARK(BM_SyzkallerStep);
+
+void BM_DeviceReboot(benchmark::State& state) {
+  auto dev = device::make_device("A1", 1);
+  for (auto _ : state) {
+    dev->reboot();
+  }
+}
+BENCHMARK(BM_DeviceReboot);
+
+// Ablation microbench for the decay design choice (DESIGN.md SS4): cost of
+// a full decay sweep at a realistic learned-edge count.
+void BM_RelationDecay(benchmark::State& state) {
+  auto& f = fixture();
+  core::RelationGraph g;
+  const auto& all = f.table.all();
+  for (const auto* d : all) g.add_vertex(d, 1.0);
+  util::Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    g.observe_relation(all[rng.below(all.size())],
+                       all[rng.below(all.size())]);
+  }
+  for (auto _ : state) {
+    g.decay(0.999);  // factor ~1: edges never pruned, stable workload
+  }
+}
+BENCHMARK(BM_RelationDecay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Shared helpers for the reproduction benches.
+//
+// Simulated-time calibration: the paper fuzzes physical devices over ADB for
+// wall-clock hours; our substrate executes programs in microseconds. We map
+// EXECS_PER_HOUR generated programs to one simulated hour (see
+// EXPERIMENTS.md for the calibration rationale). All benches honour two
+// environment variables:
+//   DF_REPS  - repetitions per configuration (paper: 10; default: 3)
+//   DF_SEED  - base campaign seed (default: 1)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/fuzz/engine.h"
+#include "device/catalog.h"
+#include "util/stats.h"
+
+namespace df::bench {
+
+inline constexpr uint64_t kExecsPerHour = 625;
+inline constexpr uint64_t k48h = 48 * kExecsPerHour;    // 30000
+inline constexpr uint64_t k144h = 144 * kExecsPerHour;  // 90000
+
+inline size_t reps_from_env(size_t fallback = 3) {
+  const char* env = std::getenv("DF_REPS");
+  if (env == nullptr) return fallback;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<size_t>(v) : fallback;
+}
+
+inline uint64_t seed_from_env(uint64_t fallback = 1) {
+  const char* env = std::getenv("DF_SEED");
+  if (env == nullptr) return fallback;
+  return std::strtoull(env, nullptr, 10);
+}
+
+// Seed for the independent Syzkaller campaign in the bug-table bench (the
+// paper's Syzkaller numbers come from separate runs). Overridable via
+// DF_SYZ_SEED; falls back to DF_SEED, then to the default.
+inline uint64_t syz_seed_from_env(uint64_t fallback = 1) {
+  if (const char* env = std::getenv("DF_SYZ_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return seed_from_env(fallback);
+}
+
+// A coverage-over-time series sampled every `step` executions.
+struct Series {
+  std::vector<uint64_t> hours;
+  std::vector<size_t> coverage;
+};
+
+// Runs `eng` for `total` executions, sampling cumulative kernel coverage
+// every `step` executions.
+inline Series run_sampled(core::Engine& eng, uint64_t total, uint64_t step) {
+  Series s;
+  eng.setup();
+  for (uint64_t done = 0; done < total; done += step) {
+    eng.run(std::min(step, total - done));
+    s.hours.push_back((done + step) / kExecsPerHour);
+    s.coverage.push_back(eng.kernel_coverage());
+  }
+  return s;
+}
+
+inline void print_series(const std::string& label, const Series& s) {
+  std::printf("%s:", label.c_str());
+  for (size_t i = 0; i < s.coverage.size(); ++i) {
+    std::printf(" %zu", s.coverage[i]);
+  }
+  std::printf("\n");
+}
+
+inline std::string significance_tag(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  if (a.size() < 3 || b.size() < 3) return "n/a (reps < 3)";
+  const auto mw = util::mann_whitney_u(a, b);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "p=%.4f%s", mw.p_two_sided,
+                mw.significant_at_05 ? "" : " (not significant)");
+  return buf;
+}
+
+}  // namespace df::bench

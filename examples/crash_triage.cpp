@@ -1,0 +1,61 @@
+// Crash triage workflow: fuzz a device until the first few unique bugs
+// appear, then minimize each reproducer against its crash title and print
+// the before/after DSL programs — the "minimized, deduplicated, and
+// reproduced" pipeline from the paper's §V-B.
+//
+//   ./examples/crash_triage [device-id] [max-execs] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/fuzz/engine.h"
+#include "device/catalog.h"
+#include "dsl/fmt.h"
+
+int main(int argc, char** argv) {
+  const std::string device_id = argc > 1 ? argv[1] : "A1";
+  const uint64_t max_execs =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 30000;
+  const uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
+
+  auto dev = df::device::make_device(device_id, seed);
+  if (dev == nullptr) {
+    std::fprintf(stderr, "unknown device '%s'\n", device_id.c_str());
+    return 1;
+  }
+  df::core::EngineConfig cfg;
+  cfg.seed = seed;
+  df::core::Engine engine(*dev, cfg);
+  engine.setup();
+
+  std::printf("== crash triage on %s (budget %llu execs) ==\n",
+              device_id.c_str(),
+              static_cast<unsigned long long>(max_execs));
+  uint64_t done = 0;
+  while (done < max_execs) {
+    engine.run(1000);
+    done += 1000;
+    if (engine.crashes().unique_bugs() >= 3) break;
+  }
+  std::printf("campaign: %llu execs, %zu unique bugs, coverage %zu\n\n",
+              static_cast<unsigned long long>(engine.executions()),
+              engine.crashes().unique_bugs(), engine.kernel_coverage());
+
+  for (const auto& bug : engine.crashes().bugs()) {
+    std::printf("--- %s [%s/%s], hit %llu times, first at exec %llu\n",
+                bug.title.c_str(), bug.component.c_str(),
+                bug.bug_class.c_str(),
+                static_cast<unsigned long long>(bug.dup_count),
+                static_cast<unsigned long long>(bug.first_exec));
+    std::printf("original reproducer (%zu calls):\n%s", bug.repro.size(),
+                bug.repro_text.c_str());
+    const df::dsl::Program minimized = engine.minimize_crash(bug, 96);
+    std::printf("minimized reproducer (%zu calls):\n%s\n", minimized.size(),
+                df::dsl::format_program(minimized).c_str());
+  }
+  if (engine.crashes().bugs().empty()) {
+    std::printf("no bugs found within the budget — try a longer run or "
+                "another seed\n");
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// HAL probing demo: runs only the pre-testing probing pass (paper §IV-B)
+// against a device and prints what the Poke app + probe utility recovered —
+// services, interfaces, argument types, trial syscall counts, and the
+// normalized-occurrence weights that later rank base invocations.
+//
+//   ./examples/hal_probe_demo [device-id] [workload-rounds]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/probe/hal_probe.h"
+#include "device/catalog.h"
+
+namespace {
+
+const char* kind_name(df::hal::ArgKind kind) {
+  using df::hal::ArgKind;
+  switch (kind) {
+    case ArgKind::kU32: return "u32";
+    case ArgKind::kU64: return "u64";
+    case ArgKind::kEnum: return "enum";
+    case ArgKind::kFlags: return "flags";
+    case ArgKind::kBool: return "bool";
+    case ArgKind::kString: return "string";
+    case ArgKind::kBlob: return "blob";
+    case ArgKind::kHandle: return "handle";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string device_id = argc > 1 ? argv[1] : "A1";
+  const size_t rounds = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000;
+
+  auto dev = df::device::make_device(device_id, 1);
+  if (dev == nullptr) {
+    std::fprintf(stderr, "unknown device '%s'\n", device_id.c_str());
+    return 1;
+  }
+  std::printf("== HAL probing on %s (%s %s) ==\n", device_id.c_str(),
+              dev->spec().vendor.c_str(), dev->spec().device.c_str());
+
+  df::core::HalProber prober(*dev, 1);
+  const df::core::ProbeResult result = prober.probe(rounds);
+
+  std::printf("lshal: %zu running HAL services\n", result.services.size());
+  std::printf("binder transactions observed: %llu (workload: %llu "
+              "invocations)\n\n",
+              static_cast<unsigned long long>(
+                  result.binder_transactions_observed),
+              static_cast<unsigned long long>(result.workload_invocations));
+
+  for (const auto& service : result.services) {
+    std::printf("%s\n", service.c_str());
+    // Sort this service's methods by probed weight, highest first.
+    std::vector<const df::core::ProbedMethod*> methods;
+    for (const auto& m : result.methods) {
+      if (m.service == service) methods.push_back(&m);
+    }
+    std::sort(methods.begin(), methods.end(),
+              [](const auto* a, const auto* b) { return a->weight > b->weight; });
+    for (const auto* m : methods) {
+      std::string sig;
+      for (size_t i = 0; i < m->desc.args.size(); ++i) {
+        if (i > 0) sig += ", ";
+        sig += std::string(kind_name(m->desc.args[i].kind)) + " " +
+               m->desc.args[i].name;
+      }
+      std::printf("  [w=%.3f] %s(%s)%s%s  trial-syscalls=%llu\n", m->weight,
+                  m->desc.name.c_str(), sig.c_str(),
+                  m->desc.returns_handle.empty() ? "" : " -> ",
+                  m->desc.returns_handle.c_str(),
+                  static_cast<unsigned long long>(m->trial_syscalls));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "baseline/difuze.h"
+
+#include "core/descriptions.h"
+#include "kernel/syscall.h"
+
+namespace df::baseline {
+
+DifuzeFuzzer::DifuzeFuzzer(device::Device& dev, uint64_t seed)
+    : dev_(dev), rng_(seed) {}
+
+size_t DifuzeFuzzer::setup() {
+  if (broker_ != nullptr) return ioctls_.size();
+  core::add_syscall_descriptions(table_, dev_);
+  spec_ = core::make_spec_table(table_);
+  broker_ = std::make_unique<core::Broker>(dev_, spec_);
+
+  // "Static analysis": group ioctl descriptions under their fd producer.
+  std::map<std::string, Iface> by_type;
+  for (const dsl::CallDesc* d : table_.all()) {
+    if (static_cast<kernel::Sys>(d->sys_nr) == kernel::Sys::kOpenAt &&
+        !d->produces.empty()) {
+      by_type[d->produces].open = d;
+    }
+  }
+  for (const dsl::CallDesc* d : table_.all()) {
+    if (static_cast<kernel::Sys>(d->sys_nr) != kernel::Sys::kIoctl) continue;
+    if (d->params.empty() || d->params[0].kind != dsl::ArgKind::kHandle) {
+      continue;
+    }
+    auto it = by_type.find(d->params[0].handle_type);
+    if (it == by_type.end() || it->second.open == nullptr) continue;
+    it->second.ioctls.push_back(d);
+    ioctls_.push_back(d);
+  }
+  for (auto& [type, iface] : by_type) {
+    if (iface.open != nullptr && !iface.ioctls.empty()) {
+      nodes_.push_back(iface);
+    }
+  }
+  return ioctls_.size();
+}
+
+dsl::Program DifuzeFuzzer::generate() {
+  dsl::Program prog;
+  if (nodes_.empty()) return prog;
+  const Iface& iface = nodes_[rng_.below(nodes_.size())];
+
+  // open(node); then a burst of spec-conformant random ioctls on that fd.
+  dsl::Call open_call;
+  open_call.desc = iface.open;
+  for (const auto& p : iface.open->params) {
+    open_call.args.push_back(dsl::random_value(p, rng_));
+  }
+  prog.calls.push_back(std::move(open_call));
+
+  const size_t burst = 1 + rng_.below(8);
+  for (size_t i = 0; i < burst; ++i) {
+    const dsl::CallDesc* d = iface.ioctls[rng_.below(iface.ioctls.size())];
+    dsl::Call c;
+    c.desc = d;
+    for (const auto& p : d->params) {
+      dsl::Value v = dsl::random_value(p, rng_);
+      if (p.kind == dsl::ArgKind::kHandle) {
+        // Difuze knows the fd dependency from extraction; other kernel-id
+        // arguments it guesses numerically (no runtime tracking).
+        if (p.slot == dsl::Slot::kFd) {
+          v.ref = 0;  // the open call
+        } else {
+          v.ref = dsl::Value::kNoRef;
+          v.scalar = rng_.below(4);
+        }
+      }
+      c.args.push_back(std::move(v));
+    }
+    prog.calls.push_back(std::move(c));
+  }
+  return prog;
+}
+
+void DifuzeFuzzer::step() {
+  if (broker_ == nullptr) setup();
+  const dsl::Program prog = generate();
+  if (prog.empty()) return;
+  ++exec_count_;
+  core::ExecOptions opt;
+  opt.collect_cov = true;     // measurement only; never guides generation
+  opt.hal_directional = false;
+  opt.reboot_on_bug = true;
+  const core::ExecResult res = broker_->execute(prog, opt);
+  for (uint64_t f : res.features) {
+    if (!trace::is_hal_feature(f)) kernel_features_.insert(f);
+  }
+  for (const auto& rep : res.kernel_reports) {
+    crash_log_.record_kernel(rep, prog, exec_count_);
+  }
+}
+
+void DifuzeFuzzer::run(uint64_t executions) {
+  for (uint64_t i = 0; i < executions; ++i) step();
+}
+
+}  // namespace df::baseline

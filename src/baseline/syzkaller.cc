@@ -1,0 +1,23 @@
+#include "baseline/syzkaller.h"
+
+namespace df::baseline {
+
+core::EngineConfig SyzkallerFuzzer::config(uint64_t seed) {
+  core::EngineConfig cfg;
+  cfg.seed = seed;
+  cfg.probe_hal = false;       // no HAL interface model at all
+  cfg.hal_feedback = false;    // kcov only
+  cfg.learn_relations = false; // no relation table; static choice weights
+  cfg.gen.use_relations = false;
+  cfg.gen.use_hal = false;
+  // Syzkaller's generation is slightly longer-programs-happy than
+  // DroidFuzz's walk; keep the same caps for a fair budget comparison.
+  cfg.gen.random_continue = 0.55;
+  cfg.minimize_new_seeds = true;  // syzkaller also minimizes corpus entries
+  return cfg;
+}
+
+SyzkallerFuzzer::SyzkallerFuzzer(device::Device& dev, uint64_t seed)
+    : engine_(std::make_unique<core::Engine>(dev, config(seed))) {}
+
+}  // namespace df::baseline

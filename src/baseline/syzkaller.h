@@ -1,0 +1,37 @@
+// Syzkaller baseline (paper §V, commit fb88827 on real hardware).
+//
+// A coverage-guided, description-based *syscall-only* fuzzer: same authored
+// syscall descriptions and kcov feedback as DroidFuzz, but no HAL probing,
+// no HAL invocations, no directional HAL coverage, and no relation
+// learning — the capability gap the paper's comparison isolates.
+// Implemented as a fixed configuration of the core engine so both fuzzers
+// share executors and measurement plumbing.
+#pragma once
+
+#include <memory>
+
+#include "core/fuzz/engine.h"
+
+namespace df::baseline {
+
+class SyzkallerFuzzer {
+ public:
+  SyzkallerFuzzer(device::Device& dev, uint64_t seed);
+
+  void setup() { engine_->setup(); }
+  void run(uint64_t executions) { engine_->run(executions); }
+  core::StepStats step() { return engine_->step(); }
+
+  uint64_t executions() const { return engine_->executions(); }
+  size_t kernel_coverage() const { return engine_->kernel_coverage(); }
+  const core::CrashLog& crashes() const { return engine_->crashes(); }
+  core::Engine& engine() { return *engine_; }
+
+  // The exact config this baseline runs with (exposed for tests/ablations).
+  static core::EngineConfig config(uint64_t seed);
+
+ private:
+  std::unique_ptr<core::Engine> engine_;
+};
+
+}  // namespace df::baseline

@@ -1,0 +1,597 @@
+#include "core/descriptions.h"
+
+#include "kernel/drivers/audio_pcm.h"
+#include "kernel/drivers/bt_hci.h"
+#include "kernel/drivers/drm_gpu.h"
+#include "kernel/drivers/gpu_mali.h"
+#include "kernel/drivers/ion_alloc.h"
+#include "kernel/drivers/l2cap.h"
+#include "kernel/drivers/rt1711_i2c.h"
+#include "kernel/drivers/sensor_hub.h"
+#include "kernel/drivers/tcpc_core.h"
+#include "kernel/drivers/v4l2_cam.h"
+#include "kernel/drivers/wifi_rate.h"
+#include "kernel/kernel.h"
+
+namespace df::core {
+
+namespace drv = kernel::drivers;
+using dsl::ArgKind;
+using dsl::CallClass;
+using dsl::CallDesc;
+using dsl::CallTable;
+using dsl::ParamDesc;
+using dsl::ProduceFrom;
+using dsl::Slot;
+using kernel::Sys;
+
+namespace {
+
+// --- ParamDesc shorthand ----------------------------------------------------
+
+ParamDesc fd_param(std::string type) {
+  ParamDesc p;
+  p.kind = ArgKind::kHandle;
+  p.name = "fd";
+  p.handle_type = std::move(type);
+  p.slot = Slot::kFd;
+  return p;
+}
+
+ParamDesc handle_u32(std::string name, std::string type) {
+  ParamDesc p;
+  p.kind = ArgKind::kHandle;
+  p.name = std::move(name);
+  p.handle_type = std::move(type);
+  return p;
+}
+
+ParamDesc u8p(std::string name, uint64_t min, uint64_t max) {
+  ParamDesc p;
+  p.kind = ArgKind::kU8;
+  p.name = std::move(name);
+  p.min = min;
+  p.max = max;
+  return p;
+}
+
+ParamDesc u32p(std::string name, uint64_t min, uint64_t max) {
+  ParamDesc p;
+  p.kind = ArgKind::kU32;
+  p.name = std::move(name);
+  p.min = min;
+  p.max = max;
+  return p;
+}
+
+ParamDesc u64p(std::string name, uint64_t min, uint64_t max) {
+  ParamDesc p;
+  p.kind = ArgKind::kU64;
+  p.name = std::move(name);
+  p.min = min;
+  p.max = max;
+  return p;
+}
+
+ParamDesc cst(std::string name, uint64_t v) { return u32p(std::move(name), v, v); }
+
+ParamDesc enum_p(std::string name, std::vector<uint64_t> choices) {
+  ParamDesc p;
+  p.kind = ArgKind::kEnum;
+  p.name = std::move(name);
+  p.choices = std::move(choices);
+  return p;
+}
+
+ParamDesc flags_p(std::string name, std::vector<uint64_t> choices) {
+  ParamDesc p;
+  p.kind = ArgKind::kFlags;
+  p.name = std::move(name);
+  p.choices = std::move(choices);
+  return p;
+}
+
+ParamDesc blob_p(std::string name, size_t max_len) {
+  ParamDesc p;
+  p.kind = ArgKind::kBlob;
+  p.name = std::move(name);
+  p.max_len = max_len;
+  return p;
+}
+
+ParamDesc size_p(uint64_t min, uint64_t max) {
+  ParamDesc p;
+  p.kind = ArgKind::kU64;
+  p.name = "size";
+  p.min = min;
+  p.max = max;
+  p.slot = Slot::kSize;
+  return p;
+}
+
+// --- CallDesc builders --------------------------------------------------------
+
+CallDesc open_call(std::string name, std::string path, std::string res) {
+  CallDesc d;
+  d.name = std::move(name);
+  d.cls = CallClass::kSyscall;
+  d.sys_nr = static_cast<uint32_t>(Sys::kOpenAt);
+  d.path = std::move(path);
+  d.produces = std::move(res);
+  d.produce_from = ProduceFrom::kRet;
+  d.weight = 1.5;
+  return d;
+}
+
+CallDesc close_call(std::string name, std::string res) {
+  CallDesc d;
+  d.name = std::move(name);
+  d.cls = CallClass::kSyscall;
+  d.sys_nr = static_cast<uint32_t>(Sys::kClose);
+  d.params = {fd_param(std::move(res))};
+  d.weight = 0.3;
+  return d;
+}
+
+CallDesc ioctl_call(std::string name, std::string res, uint64_t req,
+                    std::vector<ParamDesc> payload,
+                    std::string produces = "",
+                    ProduceFrom from = ProduceFrom::kNone) {
+  CallDesc d;
+  d.name = std::move(name);
+  d.cls = CallClass::kSyscall;
+  d.sys_nr = static_cast<uint32_t>(Sys::kIoctl);
+  d.fixed_arg = req;
+  d.params = {fd_param(std::move(res))};
+  for (auto& p : payload) d.params.push_back(std::move(p));
+  d.produces = std::move(produces);
+  d.produce_from = from;
+  return d;
+}
+
+CallDesc simple_fd_call(std::string name, Sys nr, std::string res,
+                        std::vector<ParamDesc> extra) {
+  CallDesc d;
+  d.name = std::move(name);
+  d.cls = CallClass::kSyscall;
+  d.sys_nr = static_cast<uint32_t>(nr);
+  d.params = {fd_param(std::move(res))};
+  for (auto& p : extra) d.params.push_back(std::move(p));
+  d.weight = 0.8;
+  return d;
+}
+
+CallDesc socket_call(std::string name, uint64_t family, uint64_t type,
+                     uint64_t proto, std::string res) {
+  CallDesc d;
+  d.name = std::move(name);
+  d.cls = CallClass::kSyscall;
+  d.sys_nr = static_cast<uint32_t>(Sys::kSocket);
+  d.fixed_arg = family;
+  d.fixed_arg2 = type;
+  d.fixed_arg3 = proto;
+  d.produces = std::move(res);
+  d.produce_from = ProduceFrom::kRet;
+  d.weight = 1.5;
+  return d;
+}
+
+// HCI command header as one const u32: [0x01][op lo][op hi][plen].
+uint64_t hci_hdr(uint16_t opcode, uint8_t plen) {
+  return 0x01ull | (static_cast<uint64_t>(opcode & 0xff) << 8) |
+         (static_cast<uint64_t>(opcode >> 8) << 16) |
+         (static_cast<uint64_t>(plen) << 24);
+}
+
+// --- per-driver description sets ---------------------------------------------
+
+void describe_rt1711(CallTable& t) {
+  const std::string fd = "fd_rt1711";
+  t.add(open_call("openat$rt1711", "/dev/rt1711", fd));
+  t.add(ioctl_call("ioctl$RT1711_ATTACH", fd, drv::Rt1711Driver::kIocAttach,
+                   {enum_p("mode", {0, 1, 2, 3})}));
+  t.add(ioctl_call("ioctl$RT1711_DETACH", fd, drv::Rt1711Driver::kIocDetach,
+                   {}));
+  t.add(ioctl_call("ioctl$RT1711_RESET", fd, drv::Rt1711Driver::kIocReset,
+                   {}));
+  t.add(ioctl_call("ioctl$RT1711_GET_STATUS", fd,
+                   drv::Rt1711Driver::kIocGetStatus, {}));
+  t.add(ioctl_call("ioctl$RT1711_SET_CC", fd, drv::Rt1711Driver::kIocSetCc,
+                   {u32p("cc1", 0, 15), u32p("cc2", 0, 15)}));
+  t.add(ioctl_call("ioctl$RT1711_VBUS", fd, drv::Rt1711Driver::kIocVbus,
+                   {u32p("mv", 0, 1 << 20)}));
+  t.add(ioctl_call("ioctl$RT1711_ALERT", fd, drv::Rt1711Driver::kIocAlert,
+                   {flags_p("mask", {1, 2, 4, 8, 16, 32, 64, 128})}));
+  t.add(simple_fd_call("read$rt1711", Sys::kRead, fd, {size_p(0, 64)}));
+  t.add(close_call("close$rt1711", fd));
+}
+
+void describe_tcpc(CallTable& t) {
+  const std::string fd = "fd_tcpc";
+  t.add(open_call("openat$tcpc", "/dev/tcpc", fd));
+  t.add(ioctl_call("ioctl$TCPC_INIT", fd, drv::TcpcDriver::kIocInit, {}));
+  t.add(ioctl_call("ioctl$TCPC_SET_MODE", fd, drv::TcpcDriver::kIocSetMode,
+                   {enum_p("mode", {0, 1, 2})}));
+  t.add(ioctl_call("ioctl$TCPC_CONNECT", fd, drv::TcpcDriver::kIocConnect,
+                   {enum_p("partner", {0, 1, 2, 3})}));
+  t.add(ioctl_call("ioctl$TCPC_PD_NEGOTIATE", fd,
+                   drv::TcpcDriver::kIocPdNegotiate,
+                   {enum_p("mv", {5000, 9000, 15000, 20000}),
+                    u32p("ma", 0, 65535)}));
+  t.add(ioctl_call("ioctl$TCPC_ROLE_SWAP", fd, drv::TcpcDriver::kIocRoleSwap,
+                   {enum_p("role", {0, 1})}));
+  t.add(ioctl_call("ioctl$TCPC_DISCONNECT", fd,
+                   drv::TcpcDriver::kIocDisconnect, {}));
+  t.add(ioctl_call("ioctl$TCPC_GET_STATE", fd, drv::TcpcDriver::kIocGetState,
+                   {}));
+  t.add(ioctl_call("ioctl$TCPC_SET_ALERT", fd, drv::TcpcDriver::kIocSetAlert,
+                   {flags_p("mask", {1, 2, 4, 8, 16, 32})}));
+  t.add(close_call("close$tcpc", fd));
+}
+
+void describe_mali(CallTable& t) {
+  const std::string fd = "fd_mali";
+  t.add(open_call("openat$mali", "/dev/mali0", fd));
+  t.add(ioctl_call("ioctl$MALI_CTX_CREATE", fd, drv::MaliDriver::kIocCtxCreate,
+                   {}, "mali_ctx", ProduceFrom::kOutU32));
+  t.add(ioctl_call("ioctl$MALI_CTX_DESTROY", fd,
+                   drv::MaliDriver::kIocCtxDestroy,
+                   {handle_u32("ctx", "mali_ctx")}));
+  t.add(ioctl_call("ioctl$MALI_MEM_POOL", fd, drv::MaliDriver::kIocMemPool,
+                   {handle_u32("ctx", "mali_ctx"), u32p("pages", 0, 1 << 20)}));
+  t.add(ioctl_call("ioctl$MALI_JOB_SUBMIT", fd, drv::MaliDriver::kIocJobSubmit,
+                   {handle_u32("ctx", "mali_ctx"), u32p("njobs", 1, 32),
+                    blob_p("jobs", 64)}));
+  t.add(ioctl_call("ioctl$MALI_JOB_WAIT", fd, drv::MaliDriver::kIocJobWait,
+                   {handle_u32("ctx", "mali_ctx")}));
+  t.add(ioctl_call("ioctl$MALI_GET_VERSION", fd,
+                   drv::MaliDriver::kIocGetVersion, {}));
+  t.add(ioctl_call("ioctl$MALI_FLUSH", fd, drv::MaliDriver::kIocFlush,
+                   {handle_u32("ctx", "mali_ctx")}));
+  t.add(close_call("close$mali", fd));
+}
+
+void describe_sensor_hub(CallTable& t) {
+  const std::string fd = "fd_hub";
+  t.add(open_call("openat$sensor_hub", "/dev/sensor_hub", fd));
+  t.add(ioctl_call("ioctl$SENS_LIST", fd, drv::SensorHubDriver::kIocList, {}));
+  t.add(ioctl_call("ioctl$SENS_ENABLE", fd, drv::SensorHubDriver::kIocEnable,
+                   {u32p("id", 0, 255)}));
+  t.add(ioctl_call("ioctl$SENS_DISABLE", fd, drv::SensorHubDriver::kIocDisable,
+                   {u32p("id", 0, 255)}));
+  t.add(ioctl_call("ioctl$SENS_SET_RATE", fd,
+                   drv::SensorHubDriver::kIocSetRate,
+                   {u32p("id", 0, 255), u32p("hz", 0, 10000)}));
+  t.add(ioctl_call("ioctl$SENS_BATCH", fd, drv::SensorHubDriver::kIocBatch,
+                   {u32p("id", 0, 255), u32p("depth", 0, 4096),
+                    u32p("nesting", 0, 255)}));
+  t.add(ioctl_call("ioctl$SENS_SELFTEST", fd,
+                   drv::SensorHubDriver::kIocSelfTest, {u32p("id", 0, 255)}));
+  t.add(simple_fd_call("read$sensor_hub", Sys::kRead, fd, {size_p(0, 256)}));
+  t.add(close_call("close$sensor_hub", fd));
+}
+
+void describe_wifi(CallTable& t) {
+  const std::string fd = "fd_wifi";
+  t.add(open_call("openat$wifi", "/dev/wifi0", fd));
+  t.add(ioctl_call("ioctl$WIFI_SCAN", fd, drv::WifiRateDriver::kIocScan, {}));
+  t.add(ioctl_call("ioctl$WIFI_SET_RATES", fd,
+                   drv::WifiRateDriver::kIocSetRates,
+                   {u32p("count", 0, 64), blob_p("rates", 32)}));
+  t.add(ioctl_call("ioctl$WIFI_ASSOC", fd, drv::WifiRateDriver::kIocAssoc,
+                   {u32p("bss", 0, 63)}));
+  t.add(ioctl_call("ioctl$WIFI_DISASSOC", fd,
+                   drv::WifiRateDriver::kIocDisassoc, {}));
+  t.add(ioctl_call("ioctl$WIFI_SET_POWER", fd,
+                   drv::WifiRateDriver::kIocSetPower, {u32p("mode", 0, 3)}));
+  t.add(ioctl_call("ioctl$WIFI_GET_LINK", fd, drv::WifiRateDriver::kIocGetLink,
+                   {}));
+  t.add(close_call("close$wifi", fd));
+}
+
+void describe_v4l2(CallTable& t) {
+  const std::string fd = "fd_video";
+  t.add(open_call("openat$video", "/dev/video0", fd));
+  t.add(ioctl_call("ioctl$VIDIOC_QUERYCAP", fd,
+                   drv::V4l2CamDriver::kIocQuerycap, {}));
+  t.add(ioctl_call("ioctl$VIDIOC_ENUM_FMT", fd, drv::V4l2CamDriver::kIocEnumFmt,
+                   {u32p("index", 0, 4)}));
+  t.add(ioctl_call(
+      "ioctl$VIDIOC_S_FMT", fd, drv::V4l2CamDriver::kIocSetFmt,
+      {enum_p("fourcc",
+              {drv::V4l2CamDriver::kFmtYuyv, drv::V4l2CamDriver::kFmtNv12,
+               drv::V4l2CamDriver::kFmtMjpg, drv::V4l2CamDriver::kFmtVraw}),
+       u32p("width", 0, 65535), u32p("height", 0, 65535)}));
+  t.add(ioctl_call("ioctl$VIDIOC_REQBUFS", fd, drv::V4l2CamDriver::kIocReqbufs,
+                   {u32p("count", 0, 255)}));
+  t.add(ioctl_call("ioctl$VIDIOC_QBUF", fd, drv::V4l2CamDriver::kIocQbuf,
+                   {u32p("index", 0, 255)}));
+  t.add(ioctl_call("ioctl$VIDIOC_DQBUF", fd, drv::V4l2CamDriver::kIocDqbuf,
+                   {}));
+  t.add(ioctl_call("ioctl$VIDIOC_STREAMON", fd,
+                   drv::V4l2CamDriver::kIocStreamOn, {}));
+  t.add(ioctl_call("ioctl$VIDIOC_STREAMOFF", fd,
+                   drv::V4l2CamDriver::kIocStreamOff, {}));
+  t.add(simple_fd_call("read$video", Sys::kRead, fd, {size_p(0, 4096)}));
+  t.add(simple_fd_call("mmap$video", Sys::kMmap, fd, {size_p(0, 1 << 20)}));
+  t.add(close_call("close$video", fd));
+}
+
+void describe_audio(CallTable& t) {
+  const std::string fd = "fd_pcm";
+  t.add(open_call("openat$pcm", "/dev/snd_pcm", fd));
+  t.add(ioctl_call("ioctl$PCM_HW_PARAMS", fd, drv::AudioPcmDriver::kIocHwParams,
+                   {enum_p("rate", {8000, 16000, 44100, 48000, 96000}),
+                    u32p("channels", 0, 255), u32p("format", 0, 15)}));
+  t.add(ioctl_call("ioctl$PCM_PREPARE", fd, drv::AudioPcmDriver::kIocPrepare,
+                   {}));
+  t.add(ioctl_call("ioctl$PCM_START", fd, drv::AudioPcmDriver::kIocStart, {}));
+  t.add(ioctl_call("ioctl$PCM_DRAIN", fd, drv::AudioPcmDriver::kIocDrain, {}));
+  t.add(ioctl_call("ioctl$PCM_PAUSE", fd, drv::AudioPcmDriver::kIocPause,
+                   {u32p("on", 0, 1)}));
+  t.add(ioctl_call("ioctl$PCM_STATUS", fd, drv::AudioPcmDriver::kIocStatus,
+                   {}));
+  t.add(simple_fd_call("write$pcm", Sys::kWrite, fd, {blob_p("frames", 1024)}));
+  t.add(simple_fd_call("mmap$pcm", Sys::kMmap, fd, {size_p(0, 1 << 18)}));
+  t.add(close_call("close$pcm", fd));
+}
+
+void describe_drm(CallTable& t) {
+  const std::string fd = "fd_dri";
+  t.add(open_call("openat$dri", "/dev/dri_card0", fd));
+  t.add(ioctl_call("ioctl$DRM_GET_CAP", fd, drv::DrmGpuDriver::kIocGetCap,
+                   {u32p("cap", 0, 13)}));
+  t.add(ioctl_call("ioctl$DRM_CREATE_BO", fd, drv::DrmGpuDriver::kIocCreateBo,
+                   {u32p("pages", 0, 16384)}, "drm_bo", ProduceFrom::kOutU32));
+  t.add(ioctl_call("ioctl$DRM_MAP_BO", fd, drv::DrmGpuDriver::kIocMapBo,
+                   {handle_u32("bo", "drm_bo")}));
+  t.add(ioctl_call("ioctl$DRM_DESTROY_BO", fd,
+                   drv::DrmGpuDriver::kIocDestroyBo,
+                   {handle_u32("bo", "drm_bo")}));
+  t.add(ioctl_call("ioctl$DRM_SUBMIT", fd, drv::DrmGpuDriver::kIocSubmit,
+                   {u32p("pipe", 0, 2), cst("n", 1),
+                    handle_u32("bo", "drm_bo")}));
+  t.add(ioctl_call("ioctl$DRM_WAIT", fd, drv::DrmGpuDriver::kIocWait,
+                   {u32p("fence", 0, 64)}));
+  t.add(simple_fd_call("mmap$dri", Sys::kMmap, fd, {size_p(0, 1 << 20)}));
+  t.add(close_call("close$dri", fd));
+}
+
+void describe_ion(CallTable& t) {
+  const std::string fd = "fd_ion";
+  t.add(open_call("openat$ion", "/dev/ion", fd));
+  t.add(ioctl_call("ioctl$ION_ALLOC", fd, drv::IonDriver::kIocAlloc,
+                   {u32p("len", 0, 0xffffffff), flags_p("heap", {1, 2, 4, 8})},
+                   "ion_buf", ProduceFrom::kOutU32));
+  t.add(ioctl_call("ioctl$ION_FREE", fd, drv::IonDriver::kIocFree,
+                   {handle_u32("buf", "ion_buf")}));
+  t.add(ioctl_call("ioctl$ION_SHARE", fd, drv::IonDriver::kIocShare,
+                   {handle_u32("buf", "ion_buf")}));
+  t.add(ioctl_call("ioctl$ION_QUERY", fd, drv::IonDriver::kIocQuery, {}));
+  t.add(close_call("close$ion", fd));
+}
+
+void describe_bt_hci(CallTable& t) {
+  const std::string fd = "sock_hci";
+  t.add(socket_call("socket$hci", kernel::kAfBluetooth, kernel::kSockRaw,
+                    kernel::kBtProtoHci, fd));
+  t.add(simple_fd_call("bind$hci", Sys::kBind, fd, {u8p("dev", 0, 1)}));
+  t.add(ioctl_call("ioctl$HCIDEVUP", fd, drv::BtHciDriver::kIocDevUp, {}));
+  t.add(ioctl_call("ioctl$HCIDEVDOWN", fd, drv::BtHciDriver::kIocDevDown, {}));
+  t.add(ioctl_call("ioctl$HCIDEVRESET", fd, drv::BtHciDriver::kIocDevReset,
+                   {}));
+  t.add(ioctl_call("ioctl$HCIGETDEVINFO", fd, drv::BtHciDriver::kIocDevInfo,
+                   {}));
+  t.add(simple_fd_call(
+      "sendmsg$HCI_RESET", Sys::kSendmsg, fd,
+      {cst("hdr", hci_hdr(drv::BtHciDriver::kOpReset, 0))}));
+  t.add(simple_fd_call(
+      "sendmsg$HCI_SET_EVENT_MASK", Sys::kSendmsg, fd,
+      {cst("hdr", hci_hdr(drv::BtHciDriver::kOpSetEventMask, 8)),
+       u64p("mask", 0, 0xffffffffffffffffull)}));
+  t.add(simple_fd_call(
+      "sendmsg$HCI_READ_LOCAL_VERSION", Sys::kSendmsg, fd,
+      {cst("hdr", hci_hdr(drv::BtHciDriver::kOpReadLocalVersion, 0))}));
+  t.add(simple_fd_call(
+      "sendmsg$HCI_READ_BD_ADDR", Sys::kSendmsg, fd,
+      {cst("hdr", hci_hdr(drv::BtHciDriver::kOpReadBdAddr, 0))}));
+  t.add(simple_fd_call(
+      "sendmsg$HCI_INQUIRY", Sys::kSendmsg, fd,
+      {cst("hdr", hci_hdr(drv::BtHciDriver::kOpInquiry, 5)),
+       blob_p("lap", 8)}));
+  t.add(simple_fd_call(
+      "sendmsg$HCI_VS_SET_CODEC_TABLE", Sys::kSendmsg, fd,
+      {cst("hdr", hci_hdr(drv::BtHciDriver::kOpVsSetCodecTable, 1)),
+       u8p("count", 0, 255)}));
+  t.add(simple_fd_call(
+      "sendmsg$HCI_VS_SET_BAUDRATE", Sys::kSendmsg, fd,
+      {cst("hdr", hci_hdr(drv::BtHciDriver::kOpVsSetBaudrate, 4)),
+       u32p("baud", 0, 4000000)}));
+  t.add(simple_fd_call(
+      "sendmsg$HCI_READ_CODECS", Sys::kSendmsg, fd,
+      {cst("hdr", hci_hdr(drv::BtHciDriver::kOpReadCodecs, 0))}));
+  t.add(simple_fd_call("sendmsg$hci_raw", Sys::kSendmsg, fd,
+                       {blob_p("pkt", 64)}));
+  t.add(simple_fd_call("recvmsg$hci", Sys::kRecvmsg, fd, {size_p(0, 128)}));
+  t.add(close_call("close$hci", fd));
+}
+
+void describe_l2cap(CallTable& t) {
+  const std::string fd = "sock_l2cap";
+  t.add(socket_call("socket$l2cap", kernel::kAfBluetooth,
+                    kernel::kSockSeqpacket, kernel::kBtProtoL2cap, fd));
+  {
+    // Well-known PSM constants, as a syzlang description would list them.
+    ParamDesc psm = enum_p("psm", {1, 3, 5, 15, 17, 19, 23, 25, 4097});
+    t.add(simple_fd_call("bind$l2cap", Sys::kBind, fd, {psm}));
+    t.add(simple_fd_call("connect$l2cap", Sys::kConnect, fd, {psm}));
+  }
+  {
+    CallDesc d;
+    d.name = "listen$l2cap";
+    d.cls = CallClass::kSyscall;
+    d.sys_nr = static_cast<uint32_t>(Sys::kListen);
+    d.params = {fd_param(fd)};
+    ParamDesc backlog = u32p("backlog", 0, 8);
+    backlog.slot = Slot::kArg;
+    d.params.push_back(backlog);
+    t.add(std::move(d));
+  }
+  {
+    CallDesc d;
+    d.name = "accept$l2cap";
+    d.cls = CallClass::kSyscall;
+    d.sys_nr = static_cast<uint32_t>(Sys::kAccept);
+    d.params = {fd_param(fd)};
+    d.produces = fd;  // accepted child is another l2cap socket
+    d.produce_from = ProduceFrom::kRet;
+    t.add(std::move(d));
+  }
+  {
+    CallDesc d;
+    d.name = "setsockopt$l2cap_mtu";
+    d.cls = CallClass::kSyscall;
+    d.sys_nr = static_cast<uint32_t>(Sys::kSetsockopt);
+    d.fixed_arg = 6;   // SOL_L2CAP
+    d.fixed_arg2 = 1;  // L2CAP_OPTIONS (mtu)
+    d.params = {fd_param(fd), u32p("mtu", 0, 70000)};
+    t.add(std::move(d));
+  }
+  {
+    CallDesc d;
+    d.name = "setsockopt$l2cap_mode";
+    d.cls = CallClass::kSyscall;
+    d.sys_nr = static_cast<uint32_t>(Sys::kSetsockopt);
+    d.fixed_arg = 6;
+    d.fixed_arg2 = 2;
+    d.params = {fd_param(fd), u32p("mode", 0, 4)};
+    t.add(std::move(d));
+  }
+  t.add(simple_fd_call("sendmsg$l2cap_config", Sys::kSendmsg, fd,
+                       {u8p("op", drv::L2capDriver::kCtlConfigReq,
+                            drv::L2capDriver::kCtlConfigReq),
+                        u32p("mtu", 0, 70000)}));
+  t.add(simple_fd_call("sendmsg$l2cap_disconn", Sys::kSendmsg, fd,
+                       {u8p("op", drv::L2capDriver::kCtlDisconnReq,
+                            drv::L2capDriver::kCtlDisconnReq)}));
+  t.add(simple_fd_call("sendmsg$l2cap_echo", Sys::kSendmsg, fd,
+                       {u8p("op", drv::L2capDriver::kCtlEchoReq,
+                            drv::L2capDriver::kCtlEchoReq),
+                        blob_p("payload", 32)}));
+  t.add(simple_fd_call("sendmsg$l2cap_data", Sys::kSendmsg, fd,
+                       {u8p("tag", 0x10, 0x10), blob_p("data", 128)}));
+  t.add(simple_fd_call("recvmsg$l2cap", Sys::kRecvmsg, fd, {size_p(0, 128)}));
+  t.add(close_call("close$l2cap", fd));
+}
+
+}  // namespace
+
+void add_syscall_descriptions(dsl::CallTable& table, device::Device& dev) {
+  for (const auto& drv_ptr : dev.kernel().drivers()) {
+    const std::string_view name = drv_ptr->name();
+    if (name == "rt1711_i2c") describe_rt1711(table);
+    else if (name == "tcpc_core") describe_tcpc(table);
+    else if (name == "gpu_mali") describe_mali(table);
+    else if (name == "sensor_hub") describe_sensor_hub(table);
+    else if (name == "wifi_rate") describe_wifi(table);
+    else if (name == "v4l2_cam") describe_v4l2(table);
+    else if (name == "audio_pcm") describe_audio(table);
+    else if (name == "drm_gpu") describe_drm(table);
+    else if (name == "ion_alloc") describe_ion(table);
+    else if (name == "bt_hci") describe_bt_hci(table);
+    else if (name == "l2cap") describe_l2cap(table);
+  }
+}
+
+std::string service_alias(std::string_view service_name) {
+  // "android.hardware.graphics.composer@sim" -> "graphics"
+  constexpr std::string_view kPrefix = "android.hardware.";
+  std::string_view s = service_name;
+  if (s.substr(0, kPrefix.size()) == kPrefix) s.remove_prefix(kPrefix.size());
+  const size_t dot = s.find_first_of(".@");
+  if (dot != std::string_view::npos) s = s.substr(0, dot);
+  return std::string(s);
+}
+
+void add_hal_interface(dsl::CallTable& table, std::string_view service_name,
+                       const hal::InterfaceDesc& iface,
+                       const std::vector<std::pair<uint32_t, double>>&
+                           method_weights) {
+  const std::string alias = service_alias(service_name);
+  // Normalized occurrences are per-service probabilities (sum ~1). Rescale
+  // them onto the syscall vertex-weight scale (~1.0 per call) so HAL
+  // interfaces compete fairly as base invocations while keeping the probed
+  // ranking *within* each service.
+  auto weight_of = [&](uint32_t code) {
+    for (const auto& [c, w] : method_weights) {
+      if (c == code) return 0.3 + 3.0 * w;
+    }
+    return 0.3;  // probed but never seen in the app workload
+  };
+  for (const auto& m : iface.methods) {
+    CallDesc d;
+    d.name = "hal$" + alias + "." + m.name;
+    d.cls = CallClass::kHal;
+    d.service = std::string(service_name);
+    d.method_code = m.code;
+    d.weight = weight_of(m.code);
+    if (!m.returns_handle.empty()) {
+      d.produces = "hal_" + alias + "_" + m.returns_handle;
+      d.produce_from = ProduceFrom::kReplyU32;
+    }
+    for (const auto& a : m.args) {
+      ParamDesc p;
+      p.name = a.name;
+      p.min = a.min;
+      p.max = a.max;
+      p.choices = a.choices;
+      p.max_len = a.max_len;
+      switch (a.kind) {
+        case hal::ArgKind::kU32: p.kind = ArgKind::kU32; break;
+        case hal::ArgKind::kU64: p.kind = ArgKind::kU64; break;
+        case hal::ArgKind::kEnum: p.kind = ArgKind::kEnum; break;
+        case hal::ArgKind::kFlags: p.kind = ArgKind::kFlags; break;
+        case hal::ArgKind::kBool: p.kind = ArgKind::kBool; break;
+        case hal::ArgKind::kString: p.kind = ArgKind::kString; break;
+        case hal::ArgKind::kBlob: p.kind = ArgKind::kBlob; break;
+        case hal::ArgKind::kHandle:
+          p.kind = ArgKind::kHandle;
+          p.handle_type = "hal_" + alias + "_" + a.handle_type;
+          break;
+      }
+      d.params.push_back(std::move(p));
+    }
+    table.add(std::move(d));
+  }
+}
+
+trace::SpecTable make_spec_table(const dsl::CallTable& table) {
+  trace::SpecTable spec;
+  for (const CallDesc* d : table.all()) {
+    if (d->is_hal()) continue;
+    const auto nr = static_cast<Sys>(d->sys_nr);
+    switch (nr) {
+      case Sys::kIoctl:
+        spec.add(nr, d->fixed_arg);
+        break;
+      case Sys::kSetsockopt:
+      case Sys::kGetsockopt:
+        spec.add(nr, (d->fixed_arg << 32) | (d->fixed_arg2 & 0xffffffffull));
+        break;
+      case Sys::kSocket:
+        spec.add(nr, (d->fixed_arg << 32) | (d->fixed_arg3 & 0xffffffffull));
+        break;
+      default:
+        spec.add_plain(nr);
+        break;
+    }
+  }
+  // Plain forms for every syscall so unknown specializations degrade
+  // gracefully instead of overflowing.
+  for (uint32_t i = 0; i < static_cast<uint32_t>(Sys::kCount); ++i) {
+    spec.add_plain(static_cast<Sys>(i));
+  }
+  return spec;
+}
+
+}  // namespace df::core

@@ -1,0 +1,36 @@
+// Call-description construction.
+//
+// Syscall descriptions are authored here per driver, the way the paper
+// borrows syzkaller's Syzlang descriptions for the kernel surface. HAL
+// descriptions are NOT authored — they are discovered by the probing pass
+// (core/probe) and converted to DSL form by add_hal_descriptions().
+#pragma once
+
+#include "device/device.h"
+#include "dsl/descr.h"
+#include "hal/binder.h"
+#include "trace/syscall_trace.h"
+
+namespace df::core {
+
+// Adds descriptions for every syscall surface of the drivers present on the
+// device (resource-producing opens, per-command ioctls, socket ops, ...).
+void add_syscall_descriptions(dsl::CallTable& table, device::Device& dev);
+
+// Converts one probed HAL interface into DSL calls named
+// "hal$<short>.<method>". `weight` scales all of the interface's vertex
+// weights (per-method weights come from the probe's occurrence counts).
+void add_hal_interface(dsl::CallTable& table, std::string_view service_name,
+                       const hal::InterfaceDesc& iface,
+                       const std::vector<std::pair<uint32_t, double>>&
+                           method_weights);
+
+// Compiles the specialized-syscall lookup table (paper §IV-D) from all
+// registered descriptions.
+trace::SpecTable make_spec_table(const dsl::CallTable& table);
+
+// Short service alias used in DSL names:
+// "android.hardware.graphics.composer@sim" -> "graphics".
+std::string service_alias(std::string_view service_name);
+
+}  // namespace df::core

@@ -1,0 +1,220 @@
+#include "core/exec/broker.h"
+
+#include "hal/parcel.h"
+#include "kernel/driver.h"
+
+namespace df::core {
+
+using dsl::ArgKind;
+using dsl::CallClass;
+using dsl::ProduceFrom;
+using dsl::Slot;
+using kernel::Sys;
+
+Broker::Broker(device::Device& dev, const trace::SpecTable& spec)
+    : dev_(dev), tracer_(dev.kernel(), spec) {
+  native_task_ =
+      dev_.kernel().create_task(kernel::TaskOrigin::kNative, "df_executor");
+}
+
+Broker::~Broker() { dev_.kernel().exit_task(native_task_); }
+
+uint64_t Broker::resolve(const std::vector<uint64_t>& results,
+                         const dsl::Value& v) {
+  if (v.ref == dsl::Value::kNoRef) return 0;
+  const auto idx = static_cast<size_t>(v.ref);
+  return idx < results.size() ? results[idx] : 0;
+}
+
+int64_t Broker::run_syscall(const dsl::Call& call,
+                            const std::vector<uint64_t>& results,
+                            uint64_t& produced) {
+  const dsl::CallDesc& d = *call.desc;
+  kernel::SyscallReq req;
+  req.nr = static_cast<Sys>(d.sys_nr);
+  req.arg = d.fixed_arg;
+  req.arg2 = d.fixed_arg2;
+  req.arg3 = d.fixed_arg3;
+  req.path = d.path;
+  req.fd = -1;
+
+  for (size_t i = 0; i < call.args.size() && i < d.params.size(); ++i) {
+    const dsl::ParamDesc& p = d.params[i];
+    const dsl::Value& v = call.args[i];
+    switch (p.slot) {
+      case Slot::kFd: {
+        const uint64_t fd = resolve(results, v);
+        req.fd = v.ref == dsl::Value::kNoRef ? -1
+                                             : static_cast<int32_t>(fd);
+        break;
+      }
+      case Slot::kSize:
+        req.size = static_cast<size_t>(v.scalar);
+        break;
+      case Slot::kArg:
+        req.arg = v.scalar;
+        break;
+      case Slot::kPayload:
+        switch (p.kind) {
+          case ArgKind::kU8:
+            req.data.push_back(static_cast<uint8_t>(v.scalar));
+            break;
+          case ArgKind::kU16:
+            kernel::put_u16(req.data, static_cast<uint16_t>(v.scalar));
+            break;
+          case ArgKind::kU32:
+          case ArgKind::kEnum:
+          case ArgKind::kFlags:
+          case ArgKind::kBool:
+            kernel::put_u32(req.data, static_cast<uint32_t>(v.scalar));
+            break;
+          case ArgKind::kU64:
+            kernel::put_u64(req.data, v.scalar);
+            break;
+          case ArgKind::kString:
+          case ArgKind::kBlob:
+            req.data.insert(req.data.end(), v.bytes.begin(), v.bytes.end());
+            break;
+          case ArgKind::kHandle:
+            kernel::put_u32(req.data,
+                            static_cast<uint32_t>(resolve(results, v)));
+            break;
+        }
+        break;
+    }
+  }
+
+  const kernel::SyscallRes res = dev_.kernel().syscall(native_task_, req);
+  switch (d.produce_from) {
+    case ProduceFrom::kRet:
+      produced = res.ret >= 0 ? static_cast<uint64_t>(res.ret) : 0;
+      break;
+    case ProduceFrom::kOutU32:
+      produced = res.out.size() >= 4 ? kernel::le_u32(res.out, 0) : 0;
+      break;
+    default:
+      break;
+  }
+  return res.ret;
+}
+
+int64_t Broker::run_hal(const dsl::Call& call,
+                        const std::vector<uint64_t>& results,
+                        uint64_t& produced) {
+  const dsl::CallDesc& d = *call.desc;
+  hal::Parcel parcel;
+  for (size_t i = 0; i < call.args.size() && i < d.params.size(); ++i) {
+    const dsl::ParamDesc& p = d.params[i];
+    const dsl::Value& v = call.args[i];
+    switch (p.kind) {
+      case ArgKind::kU8:
+      case ArgKind::kU16:
+      case ArgKind::kU32:
+      case ArgKind::kEnum:
+      case ArgKind::kFlags:
+      case ArgKind::kBool:
+        parcel.write_u32(static_cast<uint32_t>(v.scalar));
+        break;
+      case ArgKind::kU64:
+        parcel.write_u64(v.scalar);
+        break;
+      case ArgKind::kString:
+        parcel.write_string(std::string_view(
+            reinterpret_cast<const char*>(v.bytes.data()), v.bytes.size()));
+        break;
+      case ArgKind::kBlob:
+        parcel.write_blob(v.bytes);
+        break;
+      case ArgKind::kHandle:
+        parcel.write_u32(static_cast<uint32_t>(resolve(results, v)));
+        break;
+    }
+  }
+  hal::TxResult res =
+      dev_.service_manager().call(d.service, d.method_code, parcel);
+  if (res.status == hal::kStatusOk &&
+      d.produce_from == ProduceFrom::kReplyU32) {
+    res.reply.rewind();
+    const uint32_t h = res.reply.read_u32();
+    if (res.reply.ok()) produced = h;
+  }
+  return res.status;
+}
+
+ExecResult Broker::execute(const dsl::Program& prog, const ExecOptions& opt) {
+  ExecResult out;
+  ++executions_;
+  auto& k = dev_.kernel();
+
+  // Arm feedback collection.
+  tracer_.begin_execution();
+  if (opt.collect_cov) {
+    k.kcov_enable(native_task_);
+    for (const auto& svc : dev_.services()) k.kcov_enable(svc->task());
+  }
+  const uint64_t dmesg_from = k.dmesg().next_seq();
+  for (const auto& svc : dev_.services()) {
+    crash_marks_[svc.get()] = svc->crashes().size();
+  }
+
+  // Run the sequence. Runtime resource values are indexed by call position.
+  std::vector<uint64_t> results(prog.calls.size(), 0);
+  for (size_t i = 0; i < prog.calls.size(); ++i) {
+    const dsl::Call& call = prog.calls[i];
+    if (call.desc == nullptr) continue;
+    uint64_t produced = 0;
+    const int64_t ret = call.desc->is_hal()
+                            ? run_hal(call, results, produced)
+                            : run_syscall(call, results, produced);
+    results[i] = produced;
+    out.rets.push_back(ret);
+    ++out.calls_executed;
+    CallStat& cs = call_stats_[call.desc->name];
+    ++cs.count;
+    if (ret >= 0) ++cs.ok;
+    if (k.panicked()) break;  // device is wedged; stop the program
+  }
+
+  // Collect bonded feedback.
+  if (opt.collect_cov) {
+    out.features = k.kcov_collect(native_task_);
+    for (const auto& svc : dev_.services()) {
+      auto halcov = k.kcov_collect(svc->task());
+      out.features.insert(out.features.end(), halcov.begin(), halcov.end());
+      k.kcov_disable(svc->task());
+    }
+    k.kcov_disable(native_task_);
+  }
+  if (opt.hal_directional) {
+    auto dir = tracer_.take_features();
+    out.features.insert(out.features.end(), dir.begin(), dir.end());
+  } else {
+    tracer_.begin_execution();  // discard
+  }
+
+  out.kernel_reports = k.dmesg().since(dmesg_from);
+  out.kernel_bug = !out.kernel_reports.empty();
+  for (const auto& svc : dev_.services()) {
+    const auto& cs = svc->crashes();
+    for (size_t i = crash_marks_[svc.get()]; i < cs.size(); ++i) {
+      out.hal_crashes.push_back(cs[i]);
+      out.hal_crash = true;
+    }
+  }
+
+  if (opt.reboot_on_bug && out.any_bug()) {
+    dev_.reboot();
+    out.rebooted = true;
+  } else if (out.hal_crash || k.panicked()) {
+    // At minimum restore a usable state.
+    if (k.panicked()) {
+      dev_.reboot();
+      out.rebooted = true;
+    } else {
+      dev_.restart_dead_services();
+    }
+  }
+  return out;
+}
+
+}  // namespace df::core

@@ -1,0 +1,80 @@
+// Execution Broker (paper §IV-A): reliably executes DSL programs on a
+// device, dispatching each element of the sequence to the Native executor
+// (syscalls) or the HAL executor (Binder transactions), then bonds kernel
+// kcov, HAL directional coverage, dmesg reports and HAL crash records into
+// one uniform feedback statistic for the fuzzing engine.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "device/device.h"
+#include "dsl/prog.h"
+#include "kernel/dmesg.h"
+#include "trace/syscall_trace.h"
+
+namespace df::core {
+
+struct ExecOptions {
+  bool collect_cov = true;
+  // Collect HAL directional syscall coverage (off for DF-NoHCov).
+  bool hal_directional = true;
+  // Reboot the device on any bug (kernel report or HAL crash) — the
+  // paper's harness configuration.
+  bool reboot_on_bug = true;
+};
+
+struct ExecResult {
+  std::vector<uint64_t> features;  // uniform kernel + HAL feature ids
+  std::vector<kernel::Report> kernel_reports;
+  std::vector<hal::CrashRecord> hal_crashes;
+  std::vector<int64_t> rets;  // per executed call (syscall ret / binder status)
+  size_t calls_executed = 0;
+  bool kernel_bug = false;  // any dmesg report during this execution
+  bool hal_crash = false;
+  bool rebooted = false;
+
+  bool any_bug() const { return kernel_bug || hal_crash; }
+};
+
+class Broker {
+ public:
+  Broker(device::Device& dev, const trace::SpecTable& spec);
+  ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  ExecResult execute(const dsl::Program& prog, const ExecOptions& opt = {});
+
+  device::Device& device() { return dev_; }
+  uint64_t executions() const { return executions_; }
+
+  // Per-description execution statistics: (times executed, times ret >= 0).
+  struct CallStat {
+    uint64_t count = 0;
+    uint64_t ok = 0;
+  };
+  const std::map<std::string, CallStat>& call_stats() const {
+    return call_stats_;
+  }
+
+ private:
+  // Resolves a handle arg to its runtime value (0 when unresolved).
+  static uint64_t resolve(const std::vector<uint64_t>& results,
+                          const dsl::Value& v);
+  int64_t run_syscall(const dsl::Call& call,
+                      const std::vector<uint64_t>& results,
+                      uint64_t& produced);
+  int64_t run_hal(const dsl::Call& call, const std::vector<uint64_t>& results,
+                  uint64_t& produced);
+
+  device::Device& dev_;
+  trace::DirectionalTracer tracer_;
+  kernel::TaskId native_task_ = 0;
+  std::map<const hal::HalService*, size_t> crash_marks_;
+  std::map<std::string, CallStat> call_stats_;
+  uint64_t executions_ = 0;
+};
+
+}  // namespace df::core

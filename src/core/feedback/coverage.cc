@@ -1,0 +1,43 @@
+#include "core/feedback/coverage.h"
+
+#include <cmath>
+
+namespace df::core {
+
+std::vector<uint64_t> FeatureSet::add_new(
+    const std::vector<uint64_t>& features) {
+  std::vector<uint64_t> fresh;
+  for (uint64_t f : features) {
+    if (set_.insert(f).second) {
+      fresh.push_back(f);
+      if (!trace::is_hal_feature(f)) ++kernel_count_;
+    }
+  }
+  return fresh;
+}
+
+bool Corpus::add(Seed seed) {
+  const uint64_t h = dsl::program_hash(seed.prog);
+  if (!hashes_.insert(h).second) return false;
+  seeds_.push_back(std::move(seed));
+  return true;
+}
+
+double Corpus::energy(const Seed& s) const {
+  // Richer seeds carry more energy; repeated picking cools them down.
+  const double richness = std::log2(2.0 + static_cast<double>(s.new_features));
+  const double fatigue = 1.0 + 0.1 * static_cast<double>(s.hits);
+  return richness / fatigue;
+}
+
+const Seed& Corpus::pick(util::Rng& rng) {
+  ++picks_;
+  std::vector<double> w;
+  w.reserve(seeds_.size());
+  for (const Seed& s : seeds_) w.push_back(energy(s));
+  Seed& chosen = seeds_[rng.weighted(w)];
+  ++chosen.hits;
+  return chosen;
+}
+
+}  // namespace df::core

@@ -1,0 +1,68 @@
+// Cross-boundary execution state feedback (paper §IV-D).
+//
+// One uniform 64-bit feature space holds both kinds of signal:
+//  * kcov kernel edges — (driver_id << 48) | block,
+//  * HAL directional syscall coverage — pseudo-driver 0xffff features from
+//    trace::DirectionalTracer.
+// The FeatureSet and Corpus below therefore never distinguish the two: the
+// paper's "analysis logic for both types of coverage remains the same".
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "dsl/prog.h"
+#include "trace/syscall_trace.h"
+#include "util/rng.h"
+
+namespace df::core {
+
+class FeatureSet {
+ public:
+  // Inserts all features; returns the ones that were new.
+  std::vector<uint64_t> add_new(const std::vector<uint64_t>& features);
+  bool contains(uint64_t f) const { return set_.count(f) != 0; }
+
+  size_t size() const { return set_.size(); }
+  // Kernel-only count (excludes HAL directional features) — the paper's
+  // "kernel coverage" metric for Figs. 4/5 and Table III.
+  size_t kernel_size() const { return kernel_count_; }
+  size_t hal_size() const { return set_.size() - kernel_count_; }
+
+ private:
+  std::unordered_set<uint64_t> set_;
+  size_t kernel_count_ = 0;
+};
+
+struct Seed {
+  dsl::Program prog;
+  size_t new_features = 0;   // features this seed contributed when added
+  uint64_t exec_index = 0;   // when it was found (for recency weighting)
+  uint64_t hits = 0;         // times picked for mutation
+};
+
+// Seed corpus with energy-weighted selection: fresh, feature-rich seeds are
+// mutated more; stale, over-fuzzed seeds fade.
+class Corpus {
+ public:
+  // Adds a seed if its program hash is unseen. Returns true when added.
+  bool add(Seed seed);
+  bool empty() const { return seeds_.empty(); }
+  size_t size() const { return seeds_.size(); }
+
+  // Energy-weighted pick; increments the seed's hit counter.
+  const Seed& pick(util::Rng& rng);
+  const Seed& at(size_t i) const { return seeds_[i]; }
+
+  uint64_t total_picks() const { return picks_; }
+
+ private:
+  double energy(const Seed& s) const;
+
+  std::vector<Seed> seeds_;
+  std::unordered_set<uint64_t> hashes_;
+  uint64_t picks_ = 0;
+};
+
+}  // namespace df::core

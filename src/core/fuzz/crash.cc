@@ -1,0 +1,99 @@
+#include "core/fuzz/crash.h"
+
+#include <cctype>
+
+#include "core/descriptions.h"
+
+namespace df::core {
+
+std::string normalize_title(std::string_view raw) {
+  // Drop everything after a ": <number>" tail or a " (" parenthetical —
+  // those carry instance data (subclass ids, lock names, addresses).
+  std::string out(raw);
+  if (const size_t paren = out.find(" ("); paren != std::string::npos) {
+    out.resize(paren);
+  }
+  // Trim a trailing ": 123" style suffix.
+  size_t colon = out.rfind(": ");
+  if (colon != std::string::npos && colon + 2 < out.size()) {
+    bool all_digits = true;
+    for (size_t i = colon + 2; i < out.size(); ++i) {
+      if (std::isdigit(static_cast<unsigned char>(out[i])) == 0) {
+        all_digits = false;
+        break;
+      }
+    }
+    if (all_digits) out.resize(colon);
+  }
+  return out;
+}
+
+std::string hal_crash_title(std::string_view service_descriptor) {
+  std::string alias = service_alias(service_descriptor);
+  if (!alias.empty()) {
+    alias[0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(alias[0])));
+  }
+  return "Native crash in " + alias + " HAL";
+}
+
+BugRecord* CrashLog::upsert(std::string title, const dsl::Program& repro,
+                            uint64_t exec_index, bool& fresh) {
+  ++total_;
+  if (BugRecord* existing = find_mutable(title)) {
+    ++existing->dup_count;
+    fresh = false;
+    return existing;
+  }
+  BugRecord rec;
+  rec.title = std::move(title);
+  rec.first_exec = exec_index;
+  rec.dup_count = 1;
+  rec.repro = repro;
+  rec.repro_text = dsl::format_program(repro);
+  bugs_.push_back(std::move(rec));
+  fresh = true;
+  return &bugs_.back();
+}
+
+bool CrashLog::record_kernel(const kernel::Report& report,
+                             const dsl::Program& repro, uint64_t exec_index) {
+  bool fresh = false;
+  BugRecord* rec = upsert(normalize_title(report.title), repro, exec_index,
+                          fresh);
+  if (fresh) {
+    rec->component = "Kernel";
+    rec->origin = report.driver;
+    rec->bug_class = kernel::report_kind_name(report.kind);
+  }
+  return fresh;
+}
+
+bool CrashLog::record_hal(const hal::CrashRecord& crash,
+                          const dsl::Program& repro, uint64_t exec_index) {
+  bool fresh = false;
+  BugRecord* rec =
+      upsert(hal_crash_title(crash.service), repro, exec_index, fresh);
+  if (fresh) {
+    rec->component = "HAL";
+    rec->origin = crash.service;
+    rec->bug_class = crash.signal;
+  }
+  return fresh;
+}
+
+const BugRecord* CrashLog::find(std::string_view title) const {
+  for (const auto& b : bugs_) {
+    if (b.title == title) return &b;
+  }
+  return nullptr;
+}
+
+BugRecord* CrashLog::find_mutable(std::string_view title) {
+  for (auto& b : bugs_) {
+    if (b.title == title) return &b;
+  }
+  return nullptr;
+}
+
+}  // namespace df::core

@@ -1,0 +1,59 @@
+// Crash triage: dedup, normalization, and reproducer bookkeeping for kernel
+// reports and HAL native crashes (the post-processing §V-B describes:
+// "initially minimized, deduplicated, and reproduced").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsl/fmt.h"
+#include "dsl/prog.h"
+#include "hal/hal_service.h"
+#include "kernel/dmesg.h"
+
+namespace df::core {
+
+struct BugRecord {
+  std::string title;      // normalized dedup title
+  std::string component;  // "Kernel" or "HAL"
+  std::string origin;     // driver/subsystem name or HAL service
+  std::string bug_class;  // WARNING / BUG / KASAN / HANG / SIGSEGV / ...
+  uint64_t first_exec = 0;
+  uint64_t dup_count = 0;
+  dsl::Program repro;       // first (optionally minimized) reproducer
+  std::string repro_text;   // DSL text of the reproducer
+};
+
+// Strips instance-specific suffixes so equivalent reports dedup together
+// (e.g. "BUG: looking up invalid subclass: 12 (lock ...)" ->
+//  "BUG: looking up invalid subclass").
+std::string normalize_title(std::string_view raw);
+
+// Table-II-style display title for a HAL crash:
+// "android.hardware.graphics.composer@sim" -> "Native crash in Graphics HAL".
+std::string hal_crash_title(std::string_view service_descriptor);
+
+class CrashLog {
+ public:
+  // Returns true when the report is new (first occurrence).
+  bool record_kernel(const kernel::Report& report, const dsl::Program& repro,
+                     uint64_t exec_index);
+  bool record_hal(const hal::CrashRecord& crash, const dsl::Program& repro,
+                  uint64_t exec_index);
+
+  const std::vector<BugRecord>& bugs() const { return bugs_; }
+  const BugRecord* find(std::string_view title) const;
+  BugRecord* find_mutable(std::string_view title);
+  size_t unique_bugs() const { return bugs_.size(); }
+  uint64_t total_reports() const { return total_; }
+
+ private:
+  BugRecord* upsert(std::string title, const dsl::Program& repro,
+                    uint64_t exec_index, bool& fresh);
+
+  std::vector<BugRecord> bugs_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace df::core

@@ -1,0 +1,119 @@
+#include "core/fuzz/daemon.h"
+
+#include "dsl/fmt.h"
+#include "dsl/parse.h"
+#include "util/log.h"
+
+namespace df::core {
+
+Daemon::Daemon(DaemonConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+
+bool Daemon::add_device(std::string_view id) {
+  auto dev = device::make_device(id, rng_.next());
+  if (dev == nullptr) return false;
+  Slot slot;
+  slot.id = std::string(id);
+  slot.dev = std::move(dev);
+  EngineConfig ec = cfg_.engine;
+  ec.seed = rng_.next();
+  slot.eng = std::make_unique<Engine>(*slot.dev, ec);
+  engines_.push_back(std::move(slot));
+  return true;
+}
+
+void Daemon::run(uint64_t executions_per_device, uint64_t slice) {
+  if (slice == 0) slice = 1;
+  for (auto& s : engines_) s.eng->setup();
+  uint64_t done = 0;
+  while (done < executions_per_device) {
+    const uint64_t step = std::min(slice, executions_per_device - done);
+    for (auto& s : engines_) s.eng->run(step);
+    done += step;
+  }
+}
+
+Engine* Daemon::engine(std::string_view device_id) {
+  for (auto& s : engines_) {
+    if (s.id == device_id) return s.eng.get();
+  }
+  return nullptr;
+}
+
+std::vector<CampaignBug> Daemon::all_bugs() const {
+  std::vector<CampaignBug> out;
+  for (const auto& s : engines_) {
+    for (const auto& b : s.eng->crashes().bugs()) {
+      out.push_back({s.id, b});
+    }
+  }
+  return out;
+}
+
+size_t Daemon::total_kernel_coverage() const {
+  size_t total = 0;
+  for (const auto& s : engines_) total += s.eng->kernel_coverage();
+  return total;
+}
+
+uint64_t Daemon::total_executions() const {
+  uint64_t total = 0;
+  for (const auto& s : engines_) total += s.eng->executions();
+  return total;
+}
+
+std::string Daemon::save_corpus() const {
+  std::string out;
+  for (const auto& s : engines_) {
+    const Corpus& corpus = s.eng->corpus();
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      out += "# device " + s.id + "\n";
+      out += dsl::format_program(corpus.at(i).prog);
+      out += "# end\n";
+    }
+  }
+  return out;
+}
+
+size_t Daemon::load_corpus(const std::string& text) {
+  size_t loaded = 0;
+  std::string cur_device;
+  std::string cur_prog;
+  size_t begin = 0;
+  auto flush = [&]() {
+    if (cur_device.empty() || cur_prog.empty()) return;
+    Engine* eng = engine(cur_device);
+    if (eng != nullptr) {
+      eng->setup();
+      auto prog = dsl::parse_program(cur_prog, eng->calls());
+      if (prog.has_value()) {
+        // Replay through the engine's broker so features and corpus update.
+        Seed seed;
+        seed.prog = std::move(*prog);
+        seed.new_features = 1;
+        if (eng->corpus_mutable().add(std::move(seed))) ++loaded;
+      }
+    }
+    cur_prog.clear();
+  };
+  while (begin <= text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.rfind("# device ", 0) == 0) {
+      flush();
+      cur_device = line.substr(9);
+    } else if (line == "# end") {
+      flush();
+    } else if (!line.empty()) {
+      cur_prog += line;
+      cur_prog += '\n';
+    }
+    if (begin > text.size()) break;
+  }
+  flush();
+  DF_LOG(kInfo) << "daemon: loaded " << loaded << " corpus programs";
+  return loaded;
+}
+
+}  // namespace df::core

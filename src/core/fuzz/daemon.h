@@ -1,0 +1,62 @@
+// The DroidFuzz Daemon (paper §IV-A): the root process. Spawns one Fuzzing
+// Engine per target device, coordinates their progress round-robin (the
+// simulated analogue of per-device host processes), and maintains the
+// persistent data: seed corpus snapshots, overall coverage statistics, and
+// the relation table.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fuzz/engine.h"
+#include "device/catalog.h"
+
+namespace df::core {
+
+struct DaemonConfig {
+  uint64_t seed = 1;
+  EngineConfig engine;  // template applied to every device engine
+};
+
+struct CampaignBug {
+  std::string device_id;
+  BugRecord bug;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonConfig cfg);
+
+  // Builds the device and its engine. Returns false for unknown ids.
+  bool add_device(std::string_view id);
+
+  // Runs every engine for `executions_per_device`, interleaving in
+  // `slice`-sized rounds (the daemon's synchronization granularity).
+  void run(uint64_t executions_per_device, uint64_t slice = 256);
+
+  // --- aggregated observability ----------------------------------------------
+  size_t device_count() const { return engines_.size(); }
+  Engine* engine(std::string_view device_id);
+  std::vector<CampaignBug> all_bugs() const;
+  size_t total_kernel_coverage() const;
+  uint64_t total_executions() const;
+
+  // Persistent corpus: serialize every engine's corpus as DSL text
+  // ("# device <id>" sections), and reload it into fresh engines.
+  std::string save_corpus() const;
+  size_t load_corpus(const std::string& text);
+
+ private:
+  struct Slot {
+    std::string id;
+    std::unique_ptr<device::Device> dev;
+    std::unique_ptr<Engine> eng;
+  };
+
+  DaemonConfig cfg_;
+  util::Rng rng_;
+  std::vector<Slot> engines_;
+};
+
+}  // namespace df::core

@@ -1,0 +1,142 @@
+#include "core/fuzz/engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/descriptions.h"
+#include "core/gen/minimize.h"
+#include "util/log.h"
+
+namespace df::core {
+
+Engine::Engine(device::Device& dev, EngineConfig cfg)
+    : dev_(dev), cfg_(cfg), rng_(cfg.seed) {}
+
+ExecOptions Engine::exec_options() const {
+  ExecOptions opt;
+  opt.collect_cov = true;
+  opt.hal_directional = cfg_.hal_feedback;
+  opt.reboot_on_bug = cfg_.reboot_on_bug;
+  return opt;
+}
+
+void Engine::setup() {
+  if (ready()) return;
+
+  // Kernel surface: authored syscall descriptions (syzkaller-style).
+  add_syscall_descriptions(table_, dev_);
+
+  // HAL surface: pre-testing probing (§IV-B) discovers interfaces, argument
+  // types, and normalized-occurrence weights.
+  if (cfg_.probe_hal) {
+    HalProber prober(dev_, rng_.next());
+    probed_ = prober.probe();
+    std::unordered_set<std::string> done;
+    for (const auto& pm : probed_->methods) {
+      if (!pm.responsive) continue;
+      if (!done.insert(pm.service).second) continue;
+      const hal::InterfaceDesc* iface =
+          dev_.service_manager().get_interface(pm.service);
+      if (iface != nullptr) {
+        add_hal_interface(table_, pm.service, *iface,
+                          probed_->method_weights_for(pm.service));
+      }
+    }
+  }
+
+  // Specialized-syscall lookup table (§IV-D), compiled at initialization.
+  spec_ = make_spec_table(table_);
+
+  // Relation graph (§IV-C): vertices carry description/probe weights,
+  // E starts empty.
+  for (const dsl::CallDesc* d : table_.all()) rel_.add_vertex(d, d->weight);
+
+  broker_ = std::make_unique<Broker>(dev_, spec_);
+  gen_ = std::make_unique<Generator>(table_, rel_, corpus_, rng_,
+                                     cfg_.gen);
+  DF_LOG(kInfo) << "engine[" << dev_.spec().id << "]: " << table_.size()
+                << " calls, " << spec_.size() << " specialized ids";
+}
+
+void Engine::learn_from(const dsl::Program& prog) {
+  for (size_t i = 0; i + 1 < prog.calls.size(); ++i) {
+    rel_.observe_relation(prog.calls[i].desc, prog.calls[i + 1].desc);
+  }
+}
+
+void Engine::analyze(const dsl::Program& prog, const ExecResult& res,
+                     StepStats& stats) {
+  // Crashes first: every report is triaged against this program.
+  for (const auto& rep : res.kernel_reports) {
+    if (crash_log_.record_kernel(rep, prog, exec_count_)) ++stats.new_bugs;
+    stats.kernel_bug = true;
+  }
+  for (const auto& crash : res.hal_crashes) {
+    if (crash_log_.record_hal(crash, prog, exec_count_)) ++stats.new_bugs;
+    stats.hal_crash = true;
+  }
+
+  const std::vector<uint64_t> fresh = features_.add_new(res.features);
+  stats.new_features = fresh.size();
+  if (fresh.empty()) return;
+
+  // Minimize to the essential calls (§IV-C), then learn relations from the
+  // minimized program's adjacencies and keep it as a seed.
+  dsl::Program seed_prog = prog;
+  if (cfg_.minimize_new_seeds && prog.calls.size() > 1) {
+    std::unordered_set<uint64_t> wanted(fresh.begin(), fresh.end());
+    auto oracle = [&](const dsl::Program& cand) {
+      const ExecResult r = broker_->execute(cand, exec_options());
+      for (uint64_t f : r.features) {
+        if (wanted.count(f) != 0) return true;
+      }
+      return false;
+    };
+    seed_prog = minimize(prog, oracle, cfg_.minimize_budget);
+  }
+  if (cfg_.learn_relations) learn_from(seed_prog);
+
+  Seed seed;
+  seed.prog = std::move(seed_prog);
+  seed.new_features = fresh.size();
+  seed.exec_index = exec_count_;
+  stats.added_to_corpus = corpus_.add(std::move(seed));
+}
+
+StepStats Engine::step() {
+  if (!ready()) setup();
+  StepStats stats;
+  const dsl::Program prog = gen_->next();
+  if (prog.empty()) return stats;
+  ++exec_count_;
+  const ExecResult res = broker_->execute(prog, exec_options());
+  analyze(prog, res, stats);
+
+  if (cfg_.decay_every != 0 && exec_count_ % cfg_.decay_every == 0) {
+    rel_.decay(cfg_.decay_factor);
+  }
+  return stats;
+}
+
+void Engine::run(uint64_t executions) {
+  if (!ready()) setup();
+  for (uint64_t i = 0; i < executions; ++i) step();
+}
+
+dsl::Program Engine::minimize_crash(const BugRecord& bug, size_t budget) {
+  if (!ready()) setup();
+  const std::string title = bug.title;
+  auto oracle = [&](const dsl::Program& cand) {
+    const ExecResult r = broker_->execute(cand, exec_options());
+    for (const auto& rep : r.kernel_reports) {
+      if (normalize_title(rep.title) == title) return true;
+    }
+    for (const auto& crash : r.hal_crashes) {
+      if (hal_crash_title(crash.service) == title) return true;
+    }
+    return false;
+  };
+  return minimize(bug.repro, oracle, budget);
+}
+
+}  // namespace df::core

@@ -1,0 +1,101 @@
+// The Fuzzing Engine (paper §IV-A): one per device. Drives the full loop —
+// pre-testing HAL probing, relational generation, brokered execution,
+// cross-boundary feedback analysis, relation learning with minimization,
+// and periodic relation decay.
+//
+// The ablation variants and the DROIDFUZZ-D comparison configuration are
+// all expressible through EngineConfig:
+//   DF-NoRel   : gen.use_relations = false, learn_relations = false
+//   DF-NoHCov  : hal_feedback = false
+//   DROIDFUZZ-D: gen.ioctl_only = true
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/exec/broker.h"
+#include "core/feedback/coverage.h"
+#include "core/fuzz/crash.h"
+#include "core/gen/generator.h"
+#include "core/probe/hal_probe.h"
+#include "core/relation/graph.h"
+#include "device/device.h"
+#include "dsl/descr.h"
+
+namespace df::core {
+
+struct EngineConfig {
+  uint64_t seed = 1;
+  GenConfig gen;
+  bool probe_hal = true;       // run §IV-B probing and fuzz HAL interfaces
+  bool hal_feedback = true;    // §IV-D directional coverage (off: DF-NoHCov)
+  bool learn_relations = true; // §IV-C edge learning (off: DF-NoRel)
+  double decay_factor = 0.95;  // periodic edge-weight reduction
+  uint64_t decay_every = 512;  // executions between decays
+  bool minimize_new_seeds = true;
+  size_t minimize_budget = 24;  // oracle executions per minimization
+  bool reboot_on_bug = true;
+};
+
+struct StepStats {
+  size_t new_features = 0;
+  bool added_to_corpus = false;
+  bool kernel_bug = false;
+  bool hal_crash = false;
+  size_t new_bugs = 0;
+};
+
+class Engine {
+ public:
+  Engine(device::Device& dev, EngineConfig cfg);
+
+  // Builds the call table (syscall descriptions + probed HAL interfaces),
+  // the spec table, the relation graph, and the broker. Must be called
+  // before step()/run(); run() calls it lazily.
+  void setup();
+  bool ready() const { return broker_ != nullptr; }
+
+  StepStats step();
+  void run(uint64_t executions);
+
+  // --- observability ---------------------------------------------------------
+  uint64_t executions() const { return exec_count_; }
+  // The paper's coverage proxy: cumulative *kernel* features.
+  size_t kernel_coverage() const { return features_.kernel_size(); }
+  size_t total_coverage() const { return features_.size(); }
+  const CrashLog& crashes() const { return crash_log_; }
+  const Corpus& corpus() const { return corpus_; }
+  Corpus& corpus_mutable() { return corpus_; }
+  const RelationGraph& relations() const { return rel_; }
+  const dsl::CallTable& calls() const { return table_; }
+  const std::optional<ProbeResult>& probe_result() const { return probed_; }
+  device::Device& device() { return dev_; }
+  Broker& broker() { return *broker_; }
+  const EngineConfig& config() const { return cfg_; }
+
+  // Minimizes a crash reproducer against its normalized title (extra
+  // utility used by triage tooling and tests).
+  dsl::Program minimize_crash(const BugRecord& bug, size_t budget = 48);
+
+ private:
+  void analyze(const dsl::Program& prog, const ExecResult& res,
+               StepStats& stats);
+  void learn_from(const dsl::Program& prog);
+  ExecOptions exec_options() const;
+
+  device::Device& dev_;
+  EngineConfig cfg_;
+  util::Rng rng_;
+  dsl::CallTable table_;
+  trace::SpecTable spec_;
+  RelationGraph rel_;
+  FeatureSet features_;
+  Corpus corpus_;
+  CrashLog crash_log_;
+  std::optional<ProbeResult> probed_;
+  std::unique_ptr<Broker> broker_;
+  std::unique_ptr<Generator> gen_;
+  uint64_t exec_count_ = 0;
+};
+
+}  // namespace df::core

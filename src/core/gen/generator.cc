@@ -1,0 +1,312 @@
+#include "core/gen/generator.h"
+
+#include "kernel/syscall.h"
+
+namespace df::core {
+
+using dsl::ArgKind;
+using dsl::Call;
+using dsl::CallDesc;
+using dsl::Program;
+using dsl::Value;
+
+Generator::Generator(const dsl::CallTable& table, RelationGraph& rel,
+                     Corpus& corpus, util::Rng& rng, GenConfig cfg)
+    : table_(table), rel_(rel), corpus_(corpus), rng_(rng), cfg_(cfg) {}
+
+bool Generator::allowed(const CallDesc* d) const {
+  if (d == nullptr) return false;
+  if (d->is_hal()) return cfg_.use_hal;
+  if (!cfg_.ioctl_only) return true;
+  // DROIDFUZZ-D: kernel requests other than ioctl are blocked; opens and
+  // closes stay allowed as pure resource plumbing.
+  const auto nr = static_cast<kernel::Sys>(d->sys_nr);
+  return nr == kernel::Sys::kIoctl || nr == kernel::Sys::kOpenAt ||
+         nr == kernel::Sys::kClose;
+}
+
+const CallDesc* Generator::random_allowed_call() {
+  if (allowed_cache_.size() != table_.size()) {
+    allowed_cache_.clear();
+    for (const CallDesc* d : table_.all()) {
+      if (allowed(d)) allowed_cache_.push_back(d);
+    }
+  }
+  if (allowed_cache_.empty()) return nullptr;
+  // Weighted by vertex weight (interface ranking).
+  std::vector<double> w;
+  w.reserve(allowed_cache_.size());
+  for (const CallDesc* d : allowed_cache_) {
+    const double vw = rel_.vertex_weight(d);
+    w.push_back(vw > 0 ? vw : d->weight);
+  }
+  return allowed_cache_[rng_.weighted(w)];
+}
+
+const CallDesc* Generator::pick_related_or_random(const dsl::Program& prog) {
+  if (!prog.calls.empty() && rng_.prob(cfg_.related_bias)) {
+    // Resource types live in this program.
+    std::vector<std::string_view> types;
+    for (const dsl::Call& c : prog.calls) {
+      if (c.desc != nullptr && !c.desc->produces.empty()) {
+        types.push_back(c.desc->produces);
+      }
+    }
+    if (!types.empty()) {
+      std::vector<const CallDesc*> related;
+      std::vector<double> w;
+      for (const CallDesc* d : table_.all()) {
+        if (!allowed(d)) continue;
+        for (std::string_view t : types) {
+          if (d->consumes(t)) {
+            related.push_back(d);
+            const double vw = rel_.vertex_weight(d);
+            w.push_back(vw > 0 ? vw : d->weight);
+            break;
+          }
+        }
+      }
+      if (!related.empty()) return related[rng_.weighted(w)];
+    }
+  }
+  return random_allowed_call();
+}
+
+const CallDesc* Generator::choose_producer(std::string_view type) {
+  auto producers = table_.producers_of(type);
+  std::vector<const CallDesc*> ok;
+  std::vector<double> w;
+  for (const CallDesc* d : producers) {
+    if (!allowed(d)) continue;
+    ok.push_back(d);
+    w.push_back(d->weight);
+  }
+  if (ok.empty()) return nullptr;
+  return ok[rng_.weighted(w)];
+}
+
+Call Generator::instantiate(const CallDesc* d) {
+  Call c;
+  c.desc = d;
+  c.args.reserve(d->params.size());
+  for (const auto& p : d->params) c.args.push_back(dsl::random_value(p, rng_));
+  return c;
+}
+
+Program Generator::generate_fresh() {
+  Program prog;
+  const CallDesc* base = nullptr;
+  for (int tries = 0; tries < 32 && base == nullptr; ++tries) {
+    const CallDesc* cand =
+        cfg_.use_relations ? rel_.pick_base(rng_) : random_allowed_call();
+    if (allowed(cand)) base = cand;
+  }
+  if (base == nullptr) return prog;
+  prog.calls.push_back(instantiate(base));
+
+  const CallDesc* cur = base;
+  while (prog.calls.size() < cfg_.max_calls) {
+    const CallDesc* next = nullptr;
+    if (cfg_.use_relations) {
+      next = rel_.pick_next(cur, rng_);
+      if (next != nullptr && !allowed(next)) next = nullptr;
+    }
+    if (next == nullptr) {
+      // No learned edge fired (or NoRel mode): random continuation keeps
+      // sequences from collapsing to singletons, biased toward calls that
+      // consume resources this program already produces.
+      if (!rng_.prob(cfg_.random_continue)) break;
+      next = pick_related_or_random(prog);
+      if (next == nullptr) break;
+    }
+    prog.calls.push_back(instantiate(next));
+    cur = next;
+  }
+  resolve_producers(prog);
+  return prog;
+}
+
+void Generator::resolve_producers(Program& prog) {
+  size_t inserted = 0;
+  for (size_t i = 0; i < prog.calls.size(); ++i) {
+    // Index-based access: the vector may reallocate on insertion.
+    for (size_t a = 0; a < prog.calls[i].args.size(); ++a) {
+      const CallDesc* desc = prog.calls[i].desc;
+      if (desc == nullptr || a >= desc->params.size()) break;
+      const dsl::ParamDesc& p = desc->params[a];
+      if (p.kind != ArgKind::kHandle) continue;
+
+      Value& v = prog.calls[i].args[a];
+      const bool already_ok =
+          v.ref != Value::kNoRef && v.ref >= 0 &&
+          static_cast<size_t>(v.ref) < i &&
+          prog.calls[static_cast<size_t>(v.ref)].desc != nullptr &&
+          prog.calls[static_cast<size_t>(v.ref)].desc->produces ==
+              p.handle_type;
+      if (already_ok) continue;
+
+      // Prefer reusing an earlier producer — chosen uniformly among all of
+      // them, not just the nearest: protocols like listen/connect/accept
+      // need refs that skip over same-typed intermediate results.
+      std::vector<int32_t> candidates;
+      for (size_t j = 0; j < i; ++j) {
+        if (prog.calls[j].desc != nullptr &&
+            prog.calls[j].desc->produces == p.handle_type) {
+          candidates.push_back(static_cast<int32_t>(j));
+        }
+      }
+      if (!candidates.empty()) {
+        v.ref = candidates[rng_.below(candidates.size())];
+        continue;
+      }
+
+      // Insert a fresh producer as a prefix of the current call.
+      if (inserted >= cfg_.producer_depth ||
+          prog.calls.size() >= cfg_.max_total_calls) {
+        v.ref = Value::kNoRef;
+        continue;
+      }
+      const CallDesc* prod = choose_producer(p.handle_type);
+      if (prod == nullptr) {
+        v.ref = Value::kNoRef;
+        continue;
+      }
+      Call pc = instantiate(prod);
+      prog.calls.insert(prog.calls.begin() + static_cast<long>(i),
+                        std::move(pc));
+      ++inserted;
+      // Shift every ref that pointed at index >= i.
+      for (size_t j = 0; j < prog.calls.size(); ++j) {
+        if (j == i) continue;  // the fresh producer has no resolved refs yet
+        for (Value& val : prog.calls[j].args) {
+          if (val.ref != Value::kNoRef &&
+              static_cast<size_t>(val.ref) >= i) {
+            ++val.ref;
+          }
+        }
+      }
+      // The current call moved to i + 1; bind its arg to the new producer.
+      prog.calls[i + 1].args[a].ref = static_cast<int32_t>(i);
+      // Reprocess from the inserted producer so *its* handles get resolved.
+      --i;
+      break;
+    }
+  }
+}
+
+void Generator::mutate_once(Program& prog) {
+  enum { kArgMutate, kInsert, kRemove, kDuplicate, kSplice, kRewire };
+  const int op = static_cast<int>(rng_.below(6));
+  switch (op) {
+    case kArgMutate: {
+      if (prog.calls.empty()) break;
+      Call& c = prog.calls[rng_.below(prog.calls.size())];
+      if (c.desc == nullptr || c.desc->params.empty()) break;
+      const size_t a = rng_.below(c.desc->params.size());
+      if (a < c.args.size()) {
+        dsl::mutate_value(c.desc->params[a], c.args[a], rng_);
+      }
+      break;
+    }
+    case kInsert: {
+      if (prog.calls.size() >= cfg_.max_total_calls) break;
+      const size_t pos = rng_.below(prog.calls.size() + 1);
+      const CallDesc* d = nullptr;
+      if (cfg_.use_relations && pos > 0 &&
+          prog.calls[pos - 1].desc != nullptr) {
+        d = rel_.pick_next(prog.calls[pos - 1].desc, rng_);
+        if (d != nullptr && !allowed(d)) d = nullptr;
+      }
+      if (d == nullptr) d = pick_related_or_random(prog);
+      if (d == nullptr) break;
+      prog.calls.insert(prog.calls.begin() + static_cast<long>(pos),
+                        instantiate(d));
+      for (size_t j = 0; j < prog.calls.size(); ++j) {
+        if (j == pos) continue;
+        for (Value& v : prog.calls[j].args) {
+          if (v.ref != Value::kNoRef && static_cast<size_t>(v.ref) >= pos) {
+            ++v.ref;
+          }
+        }
+      }
+      break;
+    }
+    case kRemove:
+      if (prog.calls.size() > 1) prog.remove_call(rng_.below(prog.calls.size()));
+      break;
+    case kDuplicate: {
+      if (prog.calls.empty() || prog.calls.size() >= cfg_.max_total_calls) {
+        break;
+      }
+      // Appending a copy keeps all of its refs pointing earlier: legal.
+      prog.calls.push_back(prog.calls[rng_.below(prog.calls.size())]);
+      break;
+    }
+    case kSplice: {
+      if (corpus_.empty()) break;
+      const Program& other = corpus_.pick(rng_).prog;
+      const size_t offset = prog.calls.size();
+      for (const Call& c : other.calls) {
+        if (prog.calls.size() >= cfg_.max_total_calls) break;
+        if (!allowed(c.desc)) continue;
+        Call copy = c;
+        for (Value& v : copy.args) {
+          if (v.ref != Value::kNoRef) {
+            v.ref += static_cast<int32_t>(offset);
+            if (static_cast<size_t>(v.ref) >= prog.calls.size()) {
+              v.ref = Value::kNoRef;
+            }
+          }
+        }
+        prog.calls.push_back(std::move(copy));
+      }
+      prog.repair_refs();
+      break;
+    }
+    case kRewire: {
+      // Rebind one handle argument to a different earlier producer of the
+      // same type (explores which resource instance a call operates on).
+      if (prog.calls.size() < 2) break;
+      const size_t i = 1 + rng_.below(prog.calls.size() - 1);
+      dsl::Call& c = prog.calls[i];
+      if (c.desc == nullptr) break;
+      for (size_t a = 0; a < c.args.size() && a < c.desc->params.size();
+           ++a) {
+        const dsl::ParamDesc& p = c.desc->params[a];
+        if (p.kind != ArgKind::kHandle) continue;
+        std::vector<int32_t> candidates;
+        for (size_t j = 0; j < i; ++j) {
+          if (prog.calls[j].desc != nullptr &&
+              prog.calls[j].desc->produces == p.handle_type) {
+            candidates.push_back(static_cast<int32_t>(j));
+          }
+        }
+        if (!candidates.empty()) {
+          c.args[a].ref = candidates[rng_.below(candidates.size())];
+        }
+        break;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+Program Generator::mutate(const Program& seed) {
+  Program prog = dsl::clone(seed);
+  const size_t rounds = 1 + rng_.below(3);
+  for (size_t r = 0; r < rounds; ++r) mutate_once(prog);
+  prog.repair_refs();
+  resolve_producers(prog);
+  return prog;
+}
+
+Program Generator::next() {
+  if (!corpus_.empty() && rng_.chance(cfg_.mutate_percent, 100)) {
+    return mutate(corpus_.pick(rng_).prog);
+  }
+  return generate_fresh();
+}
+
+}  // namespace df::core

@@ -1,0 +1,70 @@
+// Kernel-user relational payload generation (paper §IV-C).
+//
+// Programs are built by (1) picking a *base invocation* weighted by vertex
+// weight, (2) walking the relation graph edge-probabilistically to extend
+// the sequence, (3) inserting *producer calls* as prefixes for unresolved
+// resource arguments (fds, HAL handles, kernel ids), and (4) instantiating
+// arguments by syntax-driven randomization or historical payload mutation.
+//
+// Ablations map onto the config: use_relations=false gives DF-NoRel's
+// random dependency generation; ioctl_only=true gives DROIDFUZZ-D.
+#pragma once
+
+#include "core/feedback/coverage.h"
+#include "core/relation/graph.h"
+#include "dsl/descr.h"
+#include "dsl/prog.h"
+#include "util/rng.h"
+
+namespace df::core {
+
+struct GenConfig {
+  size_t max_calls = 12;          // walk length cap (before producer insertion)
+  size_t max_total_calls = 24;    // hard cap after producer insertion
+  size_t producer_depth = 6;      // recursion budget for producer chains
+  bool use_relations = true;      // false => DF-NoRel
+  bool use_hal = true;            // false => kernel-syscall-only generation
+  bool ioctl_only = false;        // true  => DROIDFUZZ-D (Fig. 5)
+  unsigned mutate_percent = 60;   // corpus mutation vs fresh generation
+  double random_continue = 0.45;  // continuation prob. when no edge fires
+  double related_bias = 0.5;      // resource-aware call-choice probability
+};
+
+class Generator {
+ public:
+  Generator(const dsl::CallTable& table, RelationGraph& rel, Corpus& corpus,
+            util::Rng& rng, GenConfig cfg);
+
+  // One input payload: historical mutation or fresh relational generation.
+  dsl::Program next();
+
+  dsl::Program generate_fresh();
+  dsl::Program mutate(const dsl::Program& seed);
+
+  // Inserts producer calls for unresolved handle args (public: the
+  // minimizer and tests reuse it).
+  void resolve_producers(dsl::Program& prog);
+
+  const GenConfig& config() const { return cfg_; }
+
+ private:
+  bool allowed(const dsl::CallDesc* d) const;
+  const dsl::CallDesc* random_allowed_call();
+  // Resource-aware choice (syzkaller-style): with probability
+  // `related_bias`, prefer calls that consume a resource type some call of
+  // `prog` produces — this is what lets multi-call protocols on one handle
+  // (configure -> start -> transcode) assemble incrementally.
+  const dsl::CallDesc* pick_related_or_random(const dsl::Program& prog);
+  const dsl::CallDesc* choose_producer(std::string_view type);
+  dsl::Call instantiate(const dsl::CallDesc* d);
+  void mutate_once(dsl::Program& prog);
+
+  const dsl::CallTable& table_;
+  RelationGraph& rel_;
+  Corpus& corpus_;
+  util::Rng& rng_;
+  GenConfig cfg_;
+  std::vector<const dsl::CallDesc*> allowed_cache_;
+};
+
+}  // namespace df::core

@@ -1,0 +1,33 @@
+// Test-case minimization (paper §IV-C: "we *minimize* the call to the bare
+// bones API and system calls, ensuring that only the most essential
+// invocations that trigger the same execution behavior are exercised").
+//
+// Used both for relation learning (minimized programs expose true adjacent
+// dependencies) and for crash reproducer reduction.
+#pragma once
+
+#include <functional>
+
+#include "dsl/prog.h"
+
+namespace df::core {
+
+// Re-execution oracle: returns true if the candidate still exhibits the
+// behaviour of interest (same new coverage, same crash title, ...). The
+// oracle runs the program — minimization cost is oracle invocations.
+using StillInteresting = std::function<bool(const dsl::Program&)>;
+
+struct MinimizeStats {
+  size_t oracle_calls = 0;
+  size_t calls_removed = 0;
+  size_t args_simplified = 0;
+};
+
+// Greedy reduction: (1) drop calls back-to-front, (2) simplify arguments
+// (zero scalars, empty blobs) — each step kept only if the oracle still
+// fires. `budget` caps oracle invocations.
+dsl::Program minimize(const dsl::Program& prog,
+                      const StillInteresting& oracle, size_t budget,
+                      MinimizeStats* stats = nullptr);
+
+}  // namespace df::core

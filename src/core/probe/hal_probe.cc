@@ -1,0 +1,209 @@
+#include "core/probe/hal_probe.h"
+
+#include <algorithm>
+
+#include "trace/ebpf.h"
+#include "util/log.h"
+
+namespace df::core {
+
+namespace {
+
+// Marshals a "safe default" trial value for one argument (the Poke app's
+// behaviour: minimal, well-formed parameters).
+void marshal_default(const hal::ArgDesc& a, hal::Parcel& p) {
+  switch (a.kind) {
+    case hal::ArgKind::kU32:
+      p.write_u32(static_cast<uint32_t>(a.min));
+      break;
+    case hal::ArgKind::kU64:
+      p.write_u64(a.min);
+      break;
+    case hal::ArgKind::kEnum:
+    case hal::ArgKind::kFlags:
+      p.write_u32(a.choices.empty() ? 0
+                                    : static_cast<uint32_t>(a.choices[0]));
+      break;
+    case hal::ArgKind::kBool:
+      p.write_u32(0);
+      break;
+    case hal::ArgKind::kString:
+      p.write_string("");
+      break;
+    case hal::ArgKind::kBlob:
+      p.write_blob({});
+      break;
+    case hal::ArgKind::kHandle:
+      p.write_u32(0);
+      break;
+  }
+}
+
+// Marshals a *plausible* framework-style value (used during the workload
+// replay): valid enums, small in-range scalars, short payloads.
+void marshal_plausible(const hal::ArgDesc& a, hal::Parcel& p,
+                       util::Rng& rng,
+                       std::map<std::string, uint32_t>& live_handles) {
+  switch (a.kind) {
+    case hal::ArgKind::kU32: {
+      const uint64_t span = a.max - a.min;
+      p.write_u32(static_cast<uint32_t>(
+          a.min + rng.below(span > 256 ? 256 : span + 1)));
+      break;
+    }
+    case hal::ArgKind::kU64:
+      p.write_u64(a.min + rng.below(16));
+      break;
+    case hal::ArgKind::kEnum:
+      p.write_u32(a.choices.empty()
+                      ? 0
+                      : static_cast<uint32_t>(
+                            a.choices[rng.below(a.choices.size())]));
+      break;
+    case hal::ArgKind::kFlags: {
+      uint64_t v = 0;
+      for (uint64_t c : a.choices) {
+        if (rng.chance(1, 2)) v |= c;
+      }
+      p.write_u32(static_cast<uint32_t>(v));
+      break;
+    }
+    case hal::ArgKind::kBool:
+      p.write_u32(rng.below(2) != 0 ? 1 : 0);
+      break;
+    case hal::ArgKind::kString:
+      p.write_string("probe");
+      break;
+    case hal::ArgKind::kBlob: {
+      std::vector<uint8_t> b(rng.below(17));
+      for (auto& c : b) c = static_cast<uint8_t>(rng.next());
+      p.write_blob(b);
+      break;
+    }
+    case hal::ArgKind::kHandle: {
+      auto it = live_handles.find(a.handle_type);
+      p.write_u32(it == live_handles.end() ? 1 : it->second);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<uint32_t, double>> ProbeResult::method_weights_for(
+    std::string_view service) const {
+  std::vector<std::pair<uint32_t, double>> out;
+  for (const auto& m : methods) {
+    if (m.service == service) out.emplace_back(m.desc.code, m.weight);
+  }
+  return out;
+}
+
+HalProber::HalProber(device::Device& dev, uint64_t seed)
+    : dev_(dev), rng_(seed) {}
+
+ProbeResult HalProber::probe(size_t workload_rounds) {
+  ProbeResult out;
+  // Step 1: enumerate running HAL services (the probe utility's lshal pass).
+  out.services = dev_.service_manager().list_services();
+
+  // Step 2: Poke each service's exposed interface under eBPF observation.
+  for (const auto& name : out.services) poke_service(name, out);
+
+  // Step 3: replay a high-level app workload to estimate interface weights
+  // as normalized occurrence counts (paper §IV-B, last paragraph).
+  run_app_workload(out, workload_rounds);
+
+  DF_LOG(kInfo) << "probe: " << out.services.size() << " services, "
+                << out.methods.size() << " interfaces, "
+                << out.binder_transactions_observed << " binder txs";
+  return out;
+}
+
+void HalProber::poke_service(const std::string& name, ProbeResult& out) {
+  auto& sm = dev_.service_manager();
+  const hal::InterfaceDesc* iface = sm.get_interface(name);
+  if (iface == nullptr) return;
+
+  for (const auto& m : iface->methods) {
+    ProbedMethod pm;
+    pm.service = name;
+    pm.desc = m;
+
+    uint64_t syscalls = 0;
+    {
+      trace::EbpfProbe hook(dev_.kernel(), kernel::TaskOrigin::kHal,
+                            [&](const trace::SyscallEvent&) { ++syscalls; });
+      hal::Parcel args;
+      for (const auto& a : m.args) marshal_default(a, args);
+      const hal::TxResult res = sm.call(name, m.code, args);
+      ++out.binder_transactions_observed;
+      pm.responsive = res.status != hal::kStatusUnknownTransaction;
+    }
+    pm.trial_syscalls = syscalls;
+    out.methods.push_back(std::move(pm));
+
+    // A trial poke may have taken the HAL process down; the supervisor
+    // restarts it before the next poke.
+    dev_.restart_dead_services();
+    if (dev_.kernel().panicked()) dev_.reboot();
+  }
+}
+
+void HalProber::run_app_workload(ProbeResult& out, size_t rounds) {
+  auto& sm = dev_.service_manager();
+  const auto& services = dev_.services();
+  if (services.empty() || rounds == 0) return;
+
+  // Occurrence counts per (service, method code).
+  std::map<std::pair<std::string, uint32_t>, uint64_t> counts;
+  std::map<std::string, uint64_t> totals;
+  // Handles produced during the workload, so consuming methods get live ids.
+  std::map<std::string, uint32_t> live_handles;
+
+  for (size_t r = 0; r < rounds; ++r) {
+    auto& svc = services[rng_.below(services.size())];
+    const auto profile = svc->app_usage_profile();
+    if (profile.empty()) continue;
+    std::vector<double> w;
+    w.reserve(profile.size());
+    for (const auto& uw : profile) w.push_back(uw.weight);
+    const uint32_t code = profile[rng_.weighted(w)].code;
+
+    const hal::InterfaceDesc* iface = sm.get_interface(svc->descriptor());
+    const hal::MethodDesc* m =
+        iface != nullptr ? iface->find_method(code) : nullptr;
+    if (m == nullptr) continue;
+
+    hal::Parcel args;
+    for (const auto& a : m->args) {
+      marshal_plausible(a, args, rng_, live_handles);
+    }
+    hal::TxResult res = sm.call(std::string(svc->descriptor()), code, args);
+    ++out.workload_invocations;
+    ++out.binder_transactions_observed;
+    ++counts[{std::string(svc->descriptor()), code}];
+    ++totals[std::string(svc->descriptor())];
+    if (res.status == hal::kStatusOk && !m->returns_handle.empty()) {
+      res.reply.rewind();
+      const uint32_t h = res.reply.read_u32();
+      if (res.reply.ok()) live_handles[m->returns_handle] = h;
+    }
+    dev_.restart_dead_services();
+    if (dev_.kernel().panicked()) dev_.reboot();
+  }
+
+  // Normalize occurrences into per-service weights.
+  for (auto& pm : out.methods) {
+    const auto it = counts.find({pm.service, pm.desc.code});
+    const auto tot = totals.find(pm.service);
+    if (it != counts.end() && tot != totals.end() && tot->second > 0) {
+      pm.weight = static_cast<double>(it->second) /
+                  static_cast<double>(tot->second);
+    } else {
+      pm.weight = 0.02;  // probed-but-unseen floor
+    }
+  }
+}
+
+}  // namespace df::core

@@ -1,0 +1,62 @@
+// Pre-testing HAL driver probing (paper §IV-B).
+//
+// Mirrors the paper's two-component design:
+//  * the *probe utility* enumerates running HAL services (lshal-style via
+//    ServiceManager) and attaches eBPF hooks that observe Binder traffic and
+//    HAL-originated syscalls;
+//  * the *Poke app* requests each service's interface through ServiceManager
+//    reflection and trial-invokes every exposed method with marshalled
+//    default parameters, letting the hooks record which interfaces are live
+//    and what they do.
+//
+// Interface *weights* come from normalized occurrence counts while replaying
+// a high-level Android app workload (each HAL's framework usage profile),
+// exactly the ranking signal §IV-B describes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "device/device.h"
+#include "hal/binder.h"
+#include "util/rng.h"
+
+namespace df::core {
+
+struct ProbedMethod {
+  std::string service;
+  hal::MethodDesc desc;
+  double weight = 0;          // normalized occurrence (0..1 per service)
+  uint64_t trial_syscalls = 0;  // HAL syscalls observed during the trial poke
+  bool responsive = false;      // answered something other than UNKNOWN_TX
+};
+
+struct ProbeResult {
+  std::vector<std::string> services;  // lshal output
+  std::vector<ProbedMethod> methods;
+  uint64_t workload_invocations = 0;
+  uint64_t binder_transactions_observed = 0;
+
+  // Per-service view, keyed by method code.
+  std::vector<std::pair<uint32_t, double>> method_weights_for(
+      std::string_view service) const;
+};
+
+class HalProber {
+ public:
+  HalProber(device::Device& dev, uint64_t seed);
+
+  // Runs the full probing pass: enumerate -> poke every interface ->
+  // replay `workload_rounds` framework-level invocations for weighting.
+  ProbeResult probe(size_t workload_rounds = 400);
+
+ private:
+  void poke_service(const std::string& name, ProbeResult& out);
+  void run_app_workload(ProbeResult& out, size_t rounds);
+
+  device::Device& dev_;
+  util::Rng rng_;
+};
+
+}  // namespace df::core

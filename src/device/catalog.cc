@@ -1,0 +1,215 @@
+#include "device/catalog.h"
+
+#include "hal/services/audio_hal.h"
+#include "hal/services/bt_hal.h"
+#include "hal/services/camera_hal.h"
+#include "hal/services/graphics_hal.h"
+#include "hal/services/light_hal.h"
+#include "hal/services/media_hal.h"
+#include "hal/services/power_hal.h"
+#include "hal/services/sensors_hal.h"
+#include "hal/services/wifi_hal.h"
+#include "kernel/drivers/audio_pcm.h"
+#include "kernel/drivers/bt_hci.h"
+#include "kernel/drivers/drm_gpu.h"
+#include "kernel/drivers/gpu_mali.h"
+#include "kernel/drivers/ion_alloc.h"
+#include "kernel/drivers/l2cap.h"
+#include "kernel/drivers/rt1711_i2c.h"
+#include "kernel/drivers/sensor_hub.h"
+#include "kernel/drivers/tcpc_core.h"
+#include "kernel/drivers/v4l2_cam.h"
+#include "kernel/drivers/wifi_rate.h"
+
+namespace df::device {
+
+namespace drv = kernel::drivers;
+namespace svc = hal::services;
+
+const std::vector<DeviceSpec>& device_table() {
+  static const std::vector<DeviceSpec> kTable = {
+      {"A1", "Phone Dev Board", "Xiaomi", "aarch64", "15", "6.6"},
+      {"A2", "Tablet Dev Board", "Xiaomi", "aarch64", "15", "6.6"},
+      {"B", "Pi 5", "Raspberry Pi", "aarch64", "15", "6.6"},
+      {"C1", "Commercial Tablet", "Sunmi", "aarch64", "13", "5.15"},
+      {"C2", "Cashier Kiosk", "Sunmi", "aarch64", "13", "5.15"},
+      {"D", "LubanCat 5", "EmbedFire", "aarch64", "13", "5.10"},
+      {"E", "UP Core Plus", "AAEON", "amd64", "13", "5.10"},
+  };
+  return kTable;
+}
+
+const std::vector<PlantedBug>& planted_bugs() {
+  static const std::vector<PlantedBug> kBugs = {
+      {"A1", "WARNING in rt1711_i2c_probe", "Logic Error", "Kernel Driver"},
+      {"A1", "Native crash in Graphics HAL", "Memory Related Bug", "HAL"},
+      {"A1", "BUG: looking up invalid subclass", "Logic Error",
+       "Kernel Subsystem"},
+      {"A1", "WARNING in tcpc_role_swap", "Logic Error", "Kernel Driver"},
+      {"A2", "Infinite Loop in gpu_mali_job_loop", "Logic Error",
+       "Kernel Driver"},
+      {"A2", "Native crash in Media HAL", "Memory Related Bug", "HAL"},
+      {"A2", "KASAN: invalid-access in hci_read_supported_codecs",
+       "Memory Related Bug", "Kernel Driver"},
+      {"B", "WARNING in l2cap_send_disconn_req", "Logic Error",
+       "Kernel Subsystem"},
+      {"C1", "Native crash in Camera HAL", "Memory Related Bug", "HAL"},
+      {"C2", "WARNING in rate_control_rate_init", "Logic Error",
+       "Kernel Driver"},
+      {"D", "KASAN: slab-use-after-free Read in bt_accept_unlink",
+       "Memory Related Bug", "Kernel Driver"},
+      {"E", "WARNING in v4l_querycap", "Logic Error", "Kernel Driver"},
+  };
+  return kBugs;
+}
+
+namespace {
+
+std::unique_ptr<Device> build_a1(uint64_t seed) {
+  auto dev = std::make_unique<Device>(device_table()[0], seed);
+  auto& k = dev->kernel();
+  k.register_driver(
+      std::make_unique<drv::Rt1711Driver>(drv::Rt1711Bugs{.probe_warn = true}));
+  k.register_driver(std::make_unique<drv::TcpcDriver>(
+      drv::TcpcBugs{.role_swap_warn = true}));
+  k.register_driver(std::make_unique<drv::SensorHubDriver>(
+      drv::SensorHubBugs{.lockdep_subclass = true}));
+  k.register_driver(std::make_unique<drv::MaliDriver>());
+  k.register_driver(std::make_unique<drv::DrmGpuDriver>());
+  k.register_driver(std::make_unique<drv::AudioPcmDriver>());
+  k.register_driver(std::make_unique<drv::BtHciDriver>());
+  k.register_driver(std::make_unique<drv::L2capDriver>());
+  k.register_driver(std::make_unique<drv::IonDriver>());
+  dev->boot();
+  dev->add_service(std::make_shared<svc::GraphicsHal>(
+      k, svc::GraphicsHalBugs{.composite_overflow = true}));
+  dev->add_service(std::make_shared<svc::AudioHal>(k));
+  dev->add_service(std::make_shared<svc::SensorsHal>(k));
+  dev->add_service(std::make_shared<svc::BtHal>(k));
+  dev->add_service(std::make_shared<svc::PowerHal>(k));
+  dev->add_service(std::make_shared<svc::LightHal>(k));
+  return dev;
+}
+
+std::unique_ptr<Device> build_a2(uint64_t seed) {
+  auto dev = std::make_unique<Device>(device_table()[1], seed);
+  auto& k = dev->kernel();
+  k.register_driver(
+      std::make_unique<drv::MaliDriver>(drv::MaliBugs{.job_loop = true}));
+  k.register_driver(
+      std::make_unique<drv::BtHciDriver>(drv::BtHciBugs{.codec_oob = true}));
+  k.register_driver(std::make_unique<drv::DrmGpuDriver>());
+  k.register_driver(std::make_unique<drv::AudioPcmDriver>());
+  k.register_driver(std::make_unique<drv::SensorHubDriver>());
+  k.register_driver(std::make_unique<drv::L2capDriver>());
+  k.register_driver(std::make_unique<drv::IonDriver>());
+  dev->boot();
+  dev->add_service(std::make_shared<svc::MediaHal>(
+      k, svc::MediaHalBugs{.hevc_size_overflow = true}));
+  dev->add_service(std::make_shared<svc::GraphicsHal>(k));
+  dev->add_service(std::make_shared<svc::AudioHal>(k));
+  dev->add_service(std::make_shared<svc::BtHal>(k));
+  dev->add_service(std::make_shared<svc::SensorsHal>(k));
+  return dev;
+}
+
+std::unique_ptr<Device> build_b(uint64_t seed) {
+  auto dev = std::make_unique<Device>(device_table()[2], seed);
+  auto& k = dev->kernel();
+  k.register_driver(
+      std::make_unique<drv::L2capDriver>(drv::L2capBugs{.disconn_warn = true}));
+  k.register_driver(std::make_unique<drv::BtHciDriver>());
+  k.register_driver(std::make_unique<drv::V4l2CamDriver>());
+  k.register_driver(std::make_unique<drv::DrmGpuDriver>());
+  k.register_driver(std::make_unique<drv::AudioPcmDriver>());
+  k.register_driver(std::make_unique<drv::IonDriver>());
+  dev->boot();
+  dev->add_service(std::make_shared<svc::GraphicsHal>(k));
+  dev->add_service(std::make_shared<svc::CameraHal>(k));
+  dev->add_service(std::make_shared<svc::BtHal>(k));
+  dev->add_service(std::make_shared<svc::AudioHal>(k));
+  return dev;
+}
+
+std::unique_ptr<Device> build_c1(uint64_t seed) {
+  auto dev = std::make_unique<Device>(device_table()[3], seed);
+  auto& k = dev->kernel();
+  k.register_driver(std::make_unique<drv::V4l2CamDriver>());
+  k.register_driver(std::make_unique<drv::AudioPcmDriver>());
+  k.register_driver(std::make_unique<drv::WifiRateDriver>());
+  k.register_driver(std::make_unique<drv::DrmGpuDriver>());
+  k.register_driver(std::make_unique<drv::SensorHubDriver>());
+  k.register_driver(std::make_unique<drv::IonDriver>());
+  dev->boot();
+  dev->add_service(std::make_shared<svc::CameraHal>(
+      k, svc::CameraHalBugs{.zsl_null_config = true}));
+  dev->add_service(std::make_shared<svc::AudioHal>(k));
+  dev->add_service(std::make_shared<svc::GraphicsHal>(k));
+  dev->add_service(std::make_shared<svc::LightHal>(k));
+  dev->add_service(std::make_shared<svc::WifiHal>(k));
+  return dev;
+}
+
+std::unique_ptr<Device> build_c2(uint64_t seed) {
+  auto dev = std::make_unique<Device>(device_table()[4], seed);
+  auto& k = dev->kernel();
+  k.register_driver(std::make_unique<drv::WifiRateDriver>(
+      drv::WifiRateBugs{.empty_rates_warn = true}));
+  k.register_driver(std::make_unique<drv::AudioPcmDriver>());
+  k.register_driver(std::make_unique<drv::SensorHubDriver>());
+  k.register_driver(std::make_unique<drv::DrmGpuDriver>());
+  k.register_driver(std::make_unique<drv::IonDriver>());
+  dev->boot();
+  dev->add_service(std::make_shared<svc::AudioHal>(k));
+  dev->add_service(std::make_shared<svc::GraphicsHal>(k));
+  dev->add_service(std::make_shared<svc::LightHal>(k));
+  dev->add_service(std::make_shared<svc::SensorsHal>(k));
+  dev->add_service(std::make_shared<svc::WifiHal>(k));
+  return dev;
+}
+
+std::unique_ptr<Device> build_d(uint64_t seed) {
+  auto dev = std::make_unique<Device>(device_table()[5], seed);
+  auto& k = dev->kernel();
+  k.register_driver(std::make_unique<drv::L2capDriver>(
+      drv::L2capBugs{.accept_unlink_uaf = true}));
+  k.register_driver(std::make_unique<drv::BtHciDriver>());
+  k.register_driver(std::make_unique<drv::DrmGpuDriver>());
+  k.register_driver(std::make_unique<drv::SensorHubDriver>());
+  k.register_driver(std::make_unique<drv::IonDriver>());
+  dev->boot();
+  dev->add_service(std::make_shared<svc::BtHal>(k));
+  dev->add_service(std::make_shared<svc::GraphicsHal>(k));
+  dev->add_service(std::make_shared<svc::LightHal>(k));
+  return dev;
+}
+
+std::unique_ptr<Device> build_e(uint64_t seed) {
+  auto dev = std::make_unique<Device>(device_table()[6], seed);
+  auto& k = dev->kernel();
+  k.register_driver(std::make_unique<drv::V4l2CamDriver>(
+      drv::V4l2Bugs{.querycap_warn = true}));
+  k.register_driver(std::make_unique<drv::AudioPcmDriver>());
+  k.register_driver(std::make_unique<drv::DrmGpuDriver>());
+  k.register_driver(std::make_unique<drv::IonDriver>());
+  dev->boot();
+  dev->add_service(std::make_shared<svc::CameraHal>(k));
+  dev->add_service(std::make_shared<svc::AudioHal>(k));
+  dev->add_service(std::make_shared<svc::GraphicsHal>(k));
+  return dev;
+}
+
+}  // namespace
+
+std::unique_ptr<Device> make_device(std::string_view id, uint64_t seed) {
+  if (id == "A1") return build_a1(seed);
+  if (id == "A2") return build_a2(seed);
+  if (id == "B") return build_b(seed);
+  if (id == "C1") return build_c1(seed);
+  if (id == "C2") return build_c2(seed);
+  if (id == "D") return build_d(seed);
+  if (id == "E") return build_e(seed);
+  return nullptr;
+}
+
+}  // namespace df::device

@@ -1,0 +1,32 @@
+// The device catalog: the seven embedded Android devices from Table I, each
+// assembled with its vendor driver set, HAL processes, and firmware-specific
+// planted bugs (Table II). `make_device("A1", seed)` returns a fully booted
+// simulated board.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "device/device.h"
+
+namespace df::device {
+
+// Table I rows.
+const std::vector<DeviceSpec>& device_table();
+
+// Expected Table II bug titles per device (ground truth for the evaluation
+// harness; the fuzzer itself never sees this).
+struct PlantedBug {
+  std::string device_id;
+  std::string title;      // dedup title, e.g. "WARNING in rt1711_i2c_probe"
+  std::string bug_type;   // "Logic Error" / "Memory Related Bug"
+  std::string component;  // "Kernel Driver" / "Kernel Subsystem" / "HAL"
+};
+const std::vector<PlantedBug>& planted_bugs();
+
+// Builds and boots the given Table I device. Returns nullptr for unknown
+// ids. `seed` drives all device-internal randomness.
+std::unique_ptr<Device> make_device(std::string_view id, uint64_t seed);
+
+}  // namespace df::device

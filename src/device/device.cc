@@ -1,0 +1,49 @@
+#include "device/device.h"
+
+namespace df::device {
+
+Device::Device(DeviceSpec spec, uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {
+  kernel::KernelConfig cfg;
+  cfg.version = spec_.kernel;
+  cfg.seed = seed;
+  kernel_ = std::make_unique<kernel::Kernel>(cfg);
+}
+
+hal::HalService* Device::find_service(std::string_view name) const {
+  for (const auto& svc : services_) {
+    if (svc->descriptor() == name) return svc.get();
+  }
+  return nullptr;
+}
+
+void Device::add_service(std::shared_ptr<hal::HalService> svc) {
+  sm_.add_service(std::string(svc->descriptor()), svc, svc->interface());
+  services_.push_back(std::move(svc));
+}
+
+void Device::boot() {
+  if (!kernel_->booted()) kernel_->boot();
+}
+
+void Device::reboot() {
+  kernel_->reboot();
+  for (auto& svc : services_) svc->restart();
+}
+
+void Device::restart_dead_services() {
+  for (auto& svc : services_) {
+    if (svc->dead()) svc->restart();
+  }
+}
+
+std::vector<hal::CrashRecord> Device::hal_crashes() const {
+  std::vector<hal::CrashRecord> out;
+  for (const auto& svc : services_) {
+    const auto& cs = svc->crashes();
+    out.insert(out.end(), cs.begin(), cs.end());
+  }
+  return out;
+}
+
+}  // namespace df::device

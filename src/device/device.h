@@ -1,0 +1,67 @@
+// A Device is one complete simulated embedded Android system: a booted
+// kernel with its vendor driver set, the vendor HAL processes registered
+// with a ServiceManager, and reboot plumbing. It is the unit the fuzzing
+// harness connects to (the stand-in for a physical board behind ADB).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hal/binder.h"
+#include "hal/hal_service.h"
+#include "kernel/kernel.h"
+
+namespace df::device {
+
+struct DeviceSpec {
+  std::string id;       // "A1" ... "E" (Table I)
+  std::string device;   // "Phone Dev Board"
+  std::string vendor;   // "Xiaomi"
+  std::string arch;     // "aarch64" / "amd64"
+  std::string aosp;     // "15" / "13"
+  std::string kernel;   // "6.6" / "5.15" / "5.10"
+};
+
+class Device {
+ public:
+  Device(DeviceSpec spec, uint64_t seed);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceSpec& spec() const { return spec_; }
+  kernel::Kernel& kernel() { return *kernel_; }
+  hal::ServiceManager& service_manager() { return sm_; }
+
+  // Registered HAL services (order = registration order).
+  const std::vector<std::shared_ptr<hal::HalService>>& services() const {
+    return services_;
+  }
+  hal::HalService* find_service(std::string_view name) const;
+
+  // Called by catalog builders during assembly.
+  void add_service(std::shared_ptr<hal::HalService> svc);
+  void boot();
+
+  // Reboots the kernel and restarts every HAL process (the paper's harness
+  // reboots the device upon any bug).
+  void reboot();
+  // Restart only dead HAL processes (hwservicemanager behaviour after a
+  // native crash that did not take the kernel down).
+  void restart_dead_services();
+
+  // All HAL crash records across services, in chronological-ish order.
+  std::vector<hal::CrashRecord> hal_crashes() const;
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  DeviceSpec spec_;
+  uint64_t seed_;
+  std::unique_ptr<kernel::Kernel> kernel_;
+  hal::ServiceManager sm_;
+  std::vector<std::shared_ptr<hal::HalService>> services_;
+};
+
+}  // namespace df::device

@@ -1,0 +1,37 @@
+#include "dsl/descr.h"
+
+namespace df::dsl {
+
+bool CallDesc::consumes(std::string_view t) const {
+  for (const auto& p : params) {
+    if (p.kind == ArgKind::kHandle && p.handle_type == t) return true;
+  }
+  return false;
+}
+
+const CallDesc* CallTable::add(CallDesc desc) {
+  auto owned = std::make_unique<CallDesc>(std::move(desc));
+  const CallDesc* ptr = owned.get();
+  auto [it, inserted] = by_name_.emplace(ptr->name, std::move(owned));
+  if (!inserted) return it->second.get();  // duplicate name: keep the first
+  order_.push_back(ptr);
+  if (!ptr->produces.empty()) {
+    by_produces_.emplace(ptr->produces, ptr);
+  }
+  return ptr;
+}
+
+const CallDesc* CallTable::find(std::string_view name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const CallDesc*> CallTable::producers_of(
+    std::string_view type) const {
+  std::vector<const CallDesc*> out;
+  auto [lo, hi] = by_produces_.equal_range(type);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+}  // namespace df::dsl

@@ -1,0 +1,78 @@
+// Call descriptions: the DSL's catalogue of invocable operations.
+//
+// A CallDesc describes either a (specialized) kernel syscall — e.g.
+// `ioctl$RT1711_ATTACH` with its fixed request code and payload layout — or
+// a HAL interface method — e.g. `hal$graphics.createLayer`. Descriptions for
+// syscalls are authored like syzlang descriptions (core/descriptions.cc);
+// descriptions for HAL methods are *discovered at runtime* by the probing
+// pass (core/probe). The CallTable owns all descriptions and provides the
+// producer index used for resource resolution.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dsl/type.h"
+
+namespace df::dsl {
+
+enum class CallClass { kSyscall, kHal };
+
+// Where the produced resource value comes from after execution.
+enum class ProduceFrom {
+  kNone,
+  kRet,       // syscall return value (fds)
+  kOutU32,    // first u32 of the syscall output buffer (kernel ids)
+  kReplyU32,  // first u32 of the HAL reply parcel (HAL handles)
+};
+
+struct CallDesc {
+  std::string name;  // "ioctl$RT1711_ATTACH", "hal$graphics.createLayer"
+  CallClass cls = CallClass::kSyscall;
+
+  // --- syscall form ---------------------------------------------------------
+  uint32_t sys_nr = 0;       // kernel::Sys as integer (dsl does not link kernel)
+  uint64_t fixed_arg = 0;    // ioctl request / sockopt level / open flags
+  uint64_t fixed_arg2 = 0;   // sockopt optname / socket type
+  uint64_t fixed_arg3 = 0;   // socket protocol
+  std::string path;          // openat target
+
+  // --- HAL form -------------------------------------------------------------
+  std::string service;       // ServiceManager name
+  uint32_t method_code = 0;
+
+  // --- shared ----------------------------------------------------------------
+  std::vector<ParamDesc> params;
+  std::string produces;      // resource type created ("" = none)
+  ProduceFrom produce_from = ProduceFrom::kNone;
+  double weight = 1.0;       // vertex weight (interface ranking, §IV-C)
+
+  bool is_hal() const { return cls == CallClass::kHal; }
+  // True if any parameter consumes a resource of type `t`.
+  bool consumes(std::string_view t) const;
+};
+
+class CallTable {
+ public:
+  // Adds a description; names must be unique. Returns the stable pointer.
+  const CallDesc* add(CallDesc desc);
+
+  const CallDesc* find(std::string_view name) const;
+  const std::vector<const CallDesc*>& all() const { return order_; }
+
+  // Calls producing a given resource type.
+  std::vector<const CallDesc*> producers_of(std::string_view type) const;
+
+  size_t size() const { return order_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<CallDesc>, std::less<>> by_name_;
+  std::vector<const CallDesc*> order_;
+  std::multimap<std::string, const CallDesc*, std::less<>> by_produces_;
+};
+
+}  // namespace df::dsl

@@ -1,0 +1,75 @@
+#include "dsl/fmt.h"
+
+#include <cstdio>
+
+namespace df::dsl {
+
+namespace {
+
+void append_hex(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_bytes(std::string& out, const std::vector<uint8_t>& bytes) {
+  out += "blob\"";
+  char buf[4];
+  for (uint8_t b : bytes) {
+    std::snprintf(buf, sizeof buf, "%02x", b);
+    out += buf;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string format_call(const Program& p, size_t idx) {
+  std::string out;
+  if (idx >= p.calls.size()) return out;
+  const Call& c = p.calls[idx];
+  if (c.desc == nullptr) return "<null>";
+  if (!c.desc->produces.empty()) {
+    out += 'r';
+    out += std::to_string(idx);
+    out += " = ";
+  }
+  out += c.desc->name;
+  out += '(';
+  for (size_t a = 0; a < c.args.size(); ++a) {
+    if (a > 0) out += ", ";
+    const ParamDesc& pd = a < c.desc->params.size() ? c.desc->params[a]
+                                                    : ParamDesc{};
+    const Value& v = c.args[a];
+    switch (pd.kind) {
+      case ArgKind::kHandle:
+        if (v.ref == Value::kNoRef) {
+          out += "nil";
+        } else {
+          out += 'r';
+          out += std::to_string(v.ref);
+        }
+        break;
+      case ArgKind::kString:
+      case ArgKind::kBlob:
+        append_bytes(out, v.bytes);
+        break;
+      default:
+        append_hex(out, v.scalar);
+        break;
+    }
+  }
+  out += ')';
+  return out;
+}
+
+std::string format_program(const Program& p) {
+  std::string out;
+  for (size_t i = 0; i < p.calls.size(); ++i) {
+    out += format_call(p, i);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace df::dsl

@@ -1,0 +1,22 @@
+// Textual form of DSL programs (one call per line, syzlang-flavoured):
+//
+//   r0 = openat$rt1711()
+//   ioctl$RT1711_ATTACH(r0, 0x2)
+//   r2 = hal$graphics.createLayer(0x40, 0x40, 0x1)
+//   hal$audio.write(nil, blob"00ff12")
+//
+// Producing calls are prefixed `r<index> =`; handle args reference them as
+// `r<index>`, or `nil` when unresolved. Scalars print as hex; blobs/strings
+// as hex byte runs. parse.h reads this format back.
+#pragma once
+
+#include <string>
+
+#include "dsl/prog.h"
+
+namespace df::dsl {
+
+std::string format_call(const Program& p, size_t idx);
+std::string format_program(const Program& p);
+
+}  // namespace df::dsl

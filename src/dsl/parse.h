@@ -1,0 +1,19 @@
+// Parser for the textual program form produced by fmt.h. Used by the
+// daemon's persistent corpus, crash reproducers, and tests.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dsl/prog.h"
+
+namespace df::dsl {
+
+// Parses one program. Unknown call names, malformed values, arity
+// mismatches and bad refs fail with a message in `err` (if non-null).
+std::optional<Program> parse_program(std::string_view text,
+                                     const CallTable& table,
+                                     std::string* err = nullptr);
+
+}  // namespace df::dsl

@@ -1,0 +1,90 @@
+#include "dsl/prog.h"
+
+#include "util/hash.h"
+
+namespace df::dsl {
+
+bool Program::valid() const {
+  for (size_t i = 0; i < calls.size(); ++i) {
+    const Call& c = calls[i];
+    if (c.desc == nullptr) return false;
+    if (c.args.size() != c.desc->params.size()) return false;
+    for (size_t a = 0; a < c.args.size(); ++a) {
+      const ParamDesc& p = c.desc->params[a];
+      if (p.kind != ArgKind::kHandle) continue;
+      const int32_t ref = c.args[a].ref;
+      if (ref == Value::kNoRef) continue;  // unresolved is structurally legal
+      if (ref < 0 || static_cast<size_t>(ref) >= i) return false;
+      const CallDesc* producer = calls[static_cast<size_t>(ref)].desc;
+      if (producer == nullptr || producer->produces != p.handle_type) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+size_t Program::repair_refs() {
+  size_t changed = 0;
+  for (size_t i = 0; i < calls.size(); ++i) {
+    Call& c = calls[i];
+    if (c.desc == nullptr) continue;
+    for (size_t a = 0; a < c.args.size() && a < c.desc->params.size(); ++a) {
+      const ParamDesc& p = c.desc->params[a];
+      if (p.kind != ArgKind::kHandle) continue;
+      Value& v = c.args[a];
+      const bool ok =
+          v.ref != Value::kNoRef && v.ref >= 0 &&
+          static_cast<size_t>(v.ref) < i &&
+          calls[static_cast<size_t>(v.ref)].desc != nullptr &&
+          calls[static_cast<size_t>(v.ref)].desc->produces == p.handle_type;
+      if (ok) continue;
+      // Rebind to the nearest earlier producer.
+      int32_t found = Value::kNoRef;
+      for (size_t j = i; j-- > 0;) {
+        if (calls[j].desc != nullptr &&
+            calls[j].desc->produces == p.handle_type) {
+          found = static_cast<int32_t>(j);
+          break;
+        }
+      }
+      if (v.ref != found) {
+        v.ref = found;
+        ++changed;
+      }
+    }
+  }
+  return changed;
+}
+
+void Program::remove_call(size_t idx) {
+  if (idx >= calls.size()) return;
+  calls.erase(calls.begin() + static_cast<long>(idx));
+  // Shift refs that pointed past the removed call.
+  for (size_t i = 0; i < calls.size(); ++i) {
+    for (Value& v : calls[i].args) {
+      if (v.ref == Value::kNoRef) continue;
+      if (static_cast<size_t>(v.ref) == idx) {
+        v.ref = Value::kNoRef;
+      } else if (static_cast<size_t>(v.ref) > idx) {
+        --v.ref;
+      }
+    }
+  }
+  repair_refs();
+}
+
+uint64_t program_hash(const Program& p) {
+  uint64_t h = 0x9ae16a3b2f90404full;
+  for (const Call& c : p.calls) {
+    h = util::hash_combine(h, util::fnv1a(c.desc ? c.desc->name : "?"));
+    for (const Value& v : c.args) {
+      h = util::hash_combine(h, v.scalar);
+      h = util::hash_combine(h, static_cast<uint64_t>(v.ref));
+      for (uint8_t b : v.bytes) h = util::hash_combine(h, b);
+    }
+  }
+  return h;
+}
+
+}  // namespace df::dsl

@@ -1,0 +1,44 @@
+// Programs: the unit of fuzzing — an ordered sequence of DSL calls with
+// bound argument values and intra-program resource references.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dsl/descr.h"
+
+namespace df::dsl {
+
+struct Call {
+  const CallDesc* desc = nullptr;
+  std::vector<Value> args;  // one per desc->params entry
+};
+
+struct Program {
+  std::vector<Call> calls;
+
+  size_t size() const { return calls.size(); }
+  bool empty() const { return calls.empty(); }
+
+  // Structural validity: arg counts match descriptions; every handle ref
+  // points to an *earlier* call that produces the required resource type.
+  bool valid() const;
+
+  // Fixes dangling/forward refs after call removal or reordering: each
+  // handle ref is rebound to the nearest earlier producer of its type, or
+  // cleared to kNoRef if none exists. Returns the number of refs changed.
+  size_t repair_refs();
+
+  // Removes call `idx`, repairing refs. Safe for out-of-range (no-op).
+  void remove_call(size_t idx);
+};
+
+// Deep-copy helper (Programs are cheap value types, but an explicit name at
+// call sites documents intent in generator code).
+inline Program clone(const Program& p) { return p; }
+
+// Stable 64-bit structural hash (descriptions by name, args by content) —
+// used for corpus dedup.
+uint64_t program_hash(const Program& p);
+
+}  // namespace df::dsl

@@ -1,0 +1,176 @@
+#include "dsl/type.h"
+
+#include <algorithm>
+
+namespace df::dsl {
+
+namespace {
+
+uint64_t flags_combo(const std::vector<uint64_t>& choices, util::Rng& rng) {
+  uint64_t v = 0;
+  for (uint64_t c : choices) {
+    if (rng.chance(1, 2)) v |= c;
+  }
+  return v;
+}
+
+std::vector<uint8_t> random_bytes(size_t max_len, util::Rng& rng) {
+  // Bias toward short payloads with an occasional max-length one.
+  size_t len;
+  if (rng.chance(1, 8)) {
+    len = max_len;
+  } else {
+    len = static_cast<size_t>(rng.below(max_len > 64 ? 64 : max_len + 1));
+  }
+  std::vector<uint8_t> b(len);
+  for (auto& c : b) c = static_cast<uint8_t>(rng.next());
+  return b;
+}
+
+}  // namespace
+
+uint64_t boundary_scalar(uint64_t min, uint64_t max, util::Rng& rng) {
+  switch (rng.below(6)) {
+    case 0: return min;
+    case 1: return max;
+    case 2: return min + (max - min) / 2;
+    case 3: {
+      // A power of two inside the range, if any.
+      for (int shift = 63; shift >= 0; --shift) {
+        const uint64_t p = 1ull << shift;
+        if (p >= min && p <= max) {
+          if (rng.chance(1, 2)) return p;
+        }
+      }
+      return max;
+    }
+    case 4: return max > min ? max - 1 : max;
+    default: return min + rng.below(max - min + 1);
+  }
+}
+
+Value random_value(const ParamDesc& p, util::Rng& rng) {
+  Value v;
+  switch (p.kind) {
+    case ArgKind::kU8:
+    case ArgKind::kU16:
+    case ArgKind::kU32:
+    case ArgKind::kU64:
+      v.scalar = rng.chance(1, 4) ? boundary_scalar(p.min, p.max, rng)
+                                  : p.min + rng.below(p.max - p.min + 1);
+      break;
+    case ArgKind::kEnum:
+      v.scalar = p.choices.empty()
+                     ? 0
+                     : p.choices[rng.below(p.choices.size())];
+      break;
+    case ArgKind::kFlags:
+      v.scalar = flags_combo(p.choices, rng);
+      break;
+    case ArgKind::kBool:
+      v.scalar = rng.below(2);
+      break;
+    case ArgKind::kString:
+    case ArgKind::kBlob:
+      v.bytes = random_bytes(p.max_len, rng);
+      break;
+    case ArgKind::kHandle:
+      v.ref = Value::kNoRef;
+      break;
+  }
+  return v;
+}
+
+void mutate_value(const ParamDesc& p, Value& v, util::Rng& rng) {
+  switch (p.kind) {
+    case ArgKind::kU8:
+    case ArgKind::kU16:
+    case ArgKind::kU32:
+    case ArgKind::kU64:
+      switch (rng.below(4)) {
+        case 0:
+          v.scalar = boundary_scalar(p.min, p.max, rng);
+          break;
+        case 1:  // small delta walk
+          v.scalar += rng.range(-4, 4);
+          break;
+        case 2:  // bit flip
+          v.scalar ^= 1ull << rng.below(64);
+          break;
+        default:
+          v.scalar = p.min + rng.below(p.max - p.min + 1);
+          break;
+      }
+      sanitize_value(p, v, rng);
+      break;
+    case ArgKind::kEnum:
+      if (!p.choices.empty()) v.scalar = p.choices[rng.below(p.choices.size())];
+      break;
+    case ArgKind::kFlags:
+      if (!p.choices.empty() && rng.chance(1, 2)) {
+        v.scalar ^= p.choices[rng.below(p.choices.size())];
+      } else {
+        v.scalar = flags_combo(p.choices, rng);
+      }
+      break;
+    case ArgKind::kBool:
+      v.scalar ^= 1;
+      break;
+    case ArgKind::kString:
+    case ArgKind::kBlob:
+      if (v.bytes.empty() || rng.chance(1, 4)) {
+        v.bytes = random_bytes(p.max_len, rng);
+      } else {
+        switch (rng.below(3)) {
+          case 0:  // flip a byte
+            v.bytes[rng.below(v.bytes.size())] ^=
+                static_cast<uint8_t>(1 + rng.below(255));
+            break;
+          case 1:  // grow
+            if (v.bytes.size() < p.max_len) {
+              v.bytes.push_back(static_cast<uint8_t>(rng.next()));
+            }
+            break;
+          default:  // shrink
+            v.bytes.pop_back();
+            break;
+        }
+      }
+      break;
+    case ArgKind::kHandle:
+      break;  // refs are rewired by the generator, not mutated here
+  }
+}
+
+void sanitize_value(const ParamDesc& p, Value& v, util::Rng& rng) {
+  switch (p.kind) {
+    case ArgKind::kU8:
+    case ArgKind::kU16:
+    case ArgKind::kU32:
+    case ArgKind::kU64:
+      if (v.scalar < p.min || v.scalar > p.max) {
+        // Out-of-range scalars are occasionally *kept* — invalid inputs are
+        // part of fuzzing — but mostly clamped back.
+        if (rng.chance(7, 8)) {
+          v.scalar = p.min + v.scalar % (p.max - p.min + 1);
+        }
+      }
+      break;
+    case ArgKind::kEnum:
+      if (!p.choices.empty() &&
+          std::find(p.choices.begin(), p.choices.end(), v.scalar) ==
+              p.choices.end() &&
+          rng.chance(7, 8)) {
+        v.scalar = p.choices[rng.below(p.choices.size())];
+      }
+      break;
+    case ArgKind::kString:
+    case ArgKind::kBlob:
+      if (v.bytes.size() > p.max_len) v.bytes.resize(p.max_len);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace df::dsl

@@ -1,0 +1,81 @@
+// DSL argument type system (syzlang-lite).
+//
+// One parameter model covers both kernel syscalls and HAL interface methods,
+// so the generator, mutator, minimizer and executors treat the two call
+// classes uniformly — the property the paper's kernel-user relational
+// generation depends on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace df::dsl {
+
+enum class ArgKind {
+  kU8,      // scalar in [min, max], packed as 1 byte
+  kU16,     // scalar in [min, max], packed as 2 bytes
+  kU32,     // scalar in [min, max]
+  kU64,     // scalar in [min, max]
+  kEnum,    // one of `choices`
+  kFlags,   // OR-combination of `choices`
+  kBool,    // 0 / 1
+  kString,  // bounded-length text
+  kBlob,    // bounded-length bytes
+  kHandle,  // resource reference (fd, HAL object, kernel id)
+};
+
+// Where a syscall parameter lands in the SyscallReq (HAL params always go
+// into the parcel in order).
+enum class Slot {
+  kPayload,  // packed into req.data (u32/u64/blob/string) or the parcel
+  kFd,       // becomes req.fd
+  kSize,     // becomes req.size
+  kArg,      // becomes req.arg (scalar syscall argument, e.g. listen backlog)
+};
+
+struct ParamDesc {
+  ArgKind kind = ArgKind::kU32;
+  std::string name;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> choices;  // kEnum / kFlags
+  size_t max_len = 0;             // kString / kBlob
+  std::string handle_type;        // kHandle: resource type name
+  Slot slot = Slot::kPayload;
+};
+
+// A concrete argument value. Exactly one of the representations is active,
+// chosen by the ParamDesc it instantiates:
+//   scalar  — kU32/kU64/kEnum/kFlags/kBool
+//   bytes   — kBlob/kString (strings stored as raw bytes)
+//   ref     — kHandle: index of the producing call within the program,
+//             or kNoRef when unresolved (executor substitutes 0/-1).
+struct Value {
+  static constexpr int32_t kNoRef = -1;
+
+  uint64_t scalar = 0;
+  std::vector<uint8_t> bytes;
+  int32_t ref = kNoRef;
+};
+
+// --- random instantiation & mutation (shared by DroidFuzz and baselines) ---
+
+// Draws a fresh value for `p`. Handles are left unresolved (ref = kNoRef);
+// resolving them is the generator's producer-insertion job.
+Value random_value(const ParamDesc& p, util::Rng& rng);
+
+// Mutates `v` in place according to `p` (bit flips, boundary values, length
+// changes). Handle refs are not touched here.
+void mutate_value(const ParamDesc& p, Value& v, util::Rng& rng);
+
+// Clamp-or-resample so that `v` satisfies `p` (used after crossover).
+void sanitize_value(const ParamDesc& p, Value& v, util::Rng& rng);
+
+// Interesting boundary scalars biased into generation (0, 1, max, powers
+// of two near the range edges).
+uint64_t boundary_scalar(uint64_t min, uint64_t max, util::Rng& rng);
+
+}  // namespace df::dsl

@@ -1,0 +1,67 @@
+#include "hal/binder.h"
+
+namespace df::hal {
+
+const MethodDesc* InterfaceDesc::find_method(uint32_t code) const {
+  for (const auto& m : methods) {
+    if (m.code == code) return &m;
+  }
+  return nullptr;
+}
+
+const MethodDesc* InterfaceDesc::find_method(std::string_view name) const {
+  for (const auto& m : methods) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+void ServiceManager::add_service(std::string name,
+                                 std::shared_ptr<IBinder> binder,
+                                 InterfaceDesc desc) {
+  services_[std::move(name)] = Entry{std::move(binder), std::move(desc)};
+}
+
+void ServiceManager::remove_service(std::string_view name) {
+  auto it = services_.find(name);
+  if (it != services_.end()) services_.erase(it);
+}
+
+std::vector<std::string> ServiceManager::list_services() const {
+  std::vector<std::string> out;
+  out.reserve(services_.size());
+  for (const auto& [name, e] : services_) out.push_back(name);
+  return out;
+}
+
+std::shared_ptr<IBinder> ServiceManager::get_service(
+    std::string_view name) const {
+  auto it = services_.find(name);
+  return it == services_.end() ? nullptr : it->second.binder;
+}
+
+const InterfaceDesc* ServiceManager::get_interface(
+    std::string_view name) const {
+  auto it = services_.find(name);
+  return it == services_.end() ? nullptr : &it->second.desc;
+}
+
+TxResult ServiceManager::call(std::string_view name, uint32_t code,
+                              Parcel& data) {
+  auto it = services_.find(name);
+  if (it == services_.end()) return {kStatusDeadObject, {}};
+  TxResult res = it->second.binder->transact(code, data);
+  const TxRecord rec{std::string(name), code, data.size(), res.status};
+  for (auto& [id, obs] : observers_) obs(rec);
+  return res;
+}
+
+int ServiceManager::attach_observer(Observer obs) {
+  const int id = next_obs_++;
+  observers_.emplace(id, std::move(obs));
+  return id;
+}
+
+void ServiceManager::detach_observer(int id) { observers_.erase(id); }
+
+}  // namespace df::hal

@@ -1,0 +1,118 @@
+// Binder IPC substrate: transactions, interface metadata, ServiceManager.
+//
+// HAL interface *metadata* (method codes, argument descriptors) is what
+// Android exposes through ServiceManager/lshal reflection; the prober uses
+// it to marshal trial invocations, exactly like the paper's Poke app. The
+// BinderBus additionally lets observers record raw transactions — the
+// host-visible analogue of the paper's eBPF Binder hooks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hal/parcel.h"
+
+namespace df::hal {
+
+// Argument metadata for one HAL method parameter.
+enum class ArgKind {
+  kU32,      // scalar with [min, max]
+  kU64,      // scalar with [min, max]
+  kEnum,     // one of `choices`
+  kFlags,    // OR-combination of `choices`
+  kBool,
+  kString,   // bounded length
+  kBlob,     // bounded length
+  kHandle,   // resource produced by another method (see handle_type)
+};
+
+struct ArgDesc {
+  ArgKind kind = ArgKind::kU32;
+  std::string name;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  std::vector<uint64_t> choices;  // kEnum / kFlags
+  size_t max_len = 0;             // kString / kBlob
+  std::string handle_type;        // kHandle
+};
+
+struct MethodDesc {
+  uint32_t code = 0;
+  std::string name;
+  std::vector<ArgDesc> args;
+  // Non-empty if the method returns a resource handle of this type in the
+  // reply parcel (u32), consumable by kHandle args of the same type.
+  std::string returns_handle;
+};
+
+struct InterfaceDesc {
+  std::string service;  // e.g. "android.hardware.graphics.composer@sim"
+  std::vector<MethodDesc> methods;
+
+  const MethodDesc* find_method(uint32_t code) const;
+  const MethodDesc* find_method(std::string_view name) const;
+};
+
+// Transaction status codes (subset of binder's).
+inline constexpr int32_t kStatusOk = 0;
+inline constexpr int32_t kStatusBadValue = -22;
+inline constexpr int32_t kStatusInvalidOperation = -38;
+inline constexpr int32_t kStatusDeadObject = -32;
+inline constexpr int32_t kStatusUnknownTransaction = -74;
+
+struct TxResult {
+  int32_t status = kStatusOk;
+  Parcel reply;
+};
+
+// Remote-object interface (HAL services implement this).
+class IBinder {
+ public:
+  virtual ~IBinder() = default;
+  virtual TxResult transact(uint32_t code, Parcel& data) = 0;
+  virtual std::string_view descriptor() const = 0;
+};
+
+// Observed transaction record (for the prober / eBPF-style hooks).
+struct TxRecord {
+  std::string service;
+  uint32_t code = 0;
+  size_t data_size = 0;
+  int32_t status = 0;
+};
+
+// Service registry + transaction routing, with observer taps.
+class ServiceManager {
+ public:
+  void add_service(std::string name, std::shared_ptr<IBinder> binder,
+                   InterfaceDesc desc);
+  void remove_service(std::string_view name);
+
+  // `lshal`-style enumeration.
+  std::vector<std::string> list_services() const;
+  std::shared_ptr<IBinder> get_service(std::string_view name) const;
+  const InterfaceDesc* get_interface(std::string_view name) const;
+
+  // Routes a transaction to a named service, notifying observers.
+  TxResult call(std::string_view name, uint32_t code, Parcel& data);
+
+  using Observer = std::function<void(const TxRecord&)>;
+  int attach_observer(Observer obs);
+  void detach_observer(int id);
+
+ private:
+  struct Entry {
+    std::shared_ptr<IBinder> binder;
+    InterfaceDesc desc;
+  };
+  std::map<std::string, Entry, std::less<>> services_;
+  std::map<int, Observer> observers_;
+  int next_obs_ = 1;
+};
+
+}  // namespace df::hal

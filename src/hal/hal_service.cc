@@ -1,0 +1,180 @@
+#include "hal/hal_service.h"
+
+#include "util/log.h"
+
+namespace df::hal {
+
+using kernel::Sys;
+using kernel::SyscallReq;
+using kernel::SyscallRes;
+
+HalService::HalService(kernel::Kernel& kernel, std::string process_name)
+    : kernel_(kernel), process_name_(std::move(process_name)) {
+  task_ = kernel_.create_task(kernel::TaskOrigin::kHal, process_name_);
+}
+
+HalService::~HalService() {
+  if (task_ != 0) kernel_.exit_task(task_);
+}
+
+TxResult HalService::transact(uint32_t code, Parcel& data) {
+  if (dead_) return {kStatusDeadObject, {}};
+  data.rewind();
+  try {
+    return on_transact(code, data);
+  } catch (const HalCrash& crash) {
+    crashes_.push_back(
+        {crash.service, crash.signal, crash.site, crash_seq_++});
+    dead_ = true;
+    DF_LOG(kInfo) << "HAL crash: " << crash.service << " " << crash.signal
+                  << " in " << crash.site;
+    return {kStatusDeadObject, {}};
+  }
+}
+
+void HalService::restart() {
+  // The supervisor kills and re-execs the HAL process: fresh task, fds gone,
+  // native state reinitialized. Crash history is kept (it is host-side).
+  kernel_.exit_task(task_);
+  task_ = kernel_.create_task(kernel::TaskOrigin::kHal, process_name_);
+  reset_native();
+  dead_ = false;
+}
+
+int64_t HalService::sys_open(std::string_view path, uint64_t flags) {
+  SyscallReq req;
+  req.nr = Sys::kOpenAt;
+  req.path = std::string(path);
+  req.arg = flags;
+  return kernel_.syscall(task_, req).ret;
+}
+
+int64_t HalService::sys_close(int32_t fd) {
+  SyscallReq req;
+  req.nr = Sys::kClose;
+  req.fd = fd;
+  return kernel_.syscall(task_, req).ret;
+}
+
+int64_t HalService::sys_ioctl(int32_t fd, uint64_t ioc,
+                              std::span<const uint8_t> in,
+                              std::vector<uint8_t>* out) {
+  SyscallReq req;
+  req.nr = Sys::kIoctl;
+  req.fd = fd;
+  req.arg = ioc;
+  req.data.assign(in.begin(), in.end());
+  SyscallRes res = kernel_.syscall(task_, req);
+  if (out != nullptr) *out = std::move(res.out);
+  return res.ret;
+}
+
+int64_t HalService::sys_read(int32_t fd, size_t n, std::vector<uint8_t>* out) {
+  SyscallReq req;
+  req.nr = Sys::kRead;
+  req.fd = fd;
+  req.size = n;
+  SyscallRes res = kernel_.syscall(task_, req);
+  if (out != nullptr) *out = std::move(res.out);
+  return res.ret;
+}
+
+int64_t HalService::sys_write(int32_t fd, std::span<const uint8_t> data) {
+  SyscallReq req;
+  req.nr = Sys::kWrite;
+  req.fd = fd;
+  req.data.assign(data.begin(), data.end());
+  return kernel_.syscall(task_, req).ret;
+}
+
+int64_t HalService::sys_mmap(int32_t fd, size_t len, uint64_t prot) {
+  SyscallReq req;
+  req.nr = Sys::kMmap;
+  req.fd = fd;
+  req.size = len;
+  req.arg = prot;
+  return kernel_.syscall(task_, req).ret;
+}
+
+int64_t HalService::sys_socket(uint64_t family, uint64_t type, uint64_t proto) {
+  SyscallReq req;
+  req.nr = Sys::kSocket;
+  req.arg = family;
+  req.arg2 = type;
+  req.arg3 = proto;
+  return kernel_.syscall(task_, req).ret;
+}
+
+int64_t HalService::sys_bind(int32_t fd, std::span<const uint8_t> addr) {
+  SyscallReq req;
+  req.nr = Sys::kBind;
+  req.fd = fd;
+  req.data.assign(addr.begin(), addr.end());
+  return kernel_.syscall(task_, req).ret;
+}
+
+int64_t HalService::sys_connect(int32_t fd, std::span<const uint8_t> addr) {
+  SyscallReq req;
+  req.nr = Sys::kConnect;
+  req.fd = fd;
+  req.data.assign(addr.begin(), addr.end());
+  return kernel_.syscall(task_, req).ret;
+}
+
+int64_t HalService::sys_listen(int32_t fd, uint64_t backlog) {
+  SyscallReq req;
+  req.nr = Sys::kListen;
+  req.fd = fd;
+  req.arg = backlog;
+  return kernel_.syscall(task_, req).ret;
+}
+
+int64_t HalService::sys_accept(int32_t fd) {
+  SyscallReq req;
+  req.nr = Sys::kAccept;
+  req.fd = fd;
+  return kernel_.syscall(task_, req).ret;
+}
+
+int64_t HalService::sys_setsockopt(int32_t fd, uint64_t level, uint64_t opt,
+                                   std::span<const uint8_t> data) {
+  SyscallReq req;
+  req.nr = Sys::kSetsockopt;
+  req.fd = fd;
+  req.arg = level;
+  req.arg2 = opt;
+  req.data.assign(data.begin(), data.end());
+  return kernel_.syscall(task_, req).ret;
+}
+
+int64_t HalService::sys_sendmsg(int32_t fd, std::span<const uint8_t> data) {
+  SyscallReq req;
+  req.nr = Sys::kSendmsg;
+  req.fd = fd;
+  req.data.assign(data.begin(), data.end());
+  return kernel_.syscall(task_, req).ret;
+}
+
+int64_t HalService::sys_recvmsg(int32_t fd, size_t n,
+                                std::vector<uint8_t>* out) {
+  SyscallReq req;
+  req.nr = Sys::kRecvmsg;
+  req.fd = fd;
+  req.size = n;
+  SyscallRes res = kernel_.syscall(task_, req);
+  if (out != nullptr) *out = std::move(res.out);
+  return res.ret;
+}
+
+void HalService::crash_native(std::string_view signal, std::string_view site) {
+  throw HalCrash{process_name_, std::string(signal), std::string(site)};
+}
+
+std::vector<uint8_t> pack_u32(std::initializer_list<uint32_t> vals) {
+  std::vector<uint8_t> out;
+  out.reserve(vals.size() * 4);
+  for (uint32_t v : vals) kernel::put_u32(out, v);
+  return out;
+}
+
+}  // namespace df::hal

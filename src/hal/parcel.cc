@@ -1,0 +1,67 @@
+#include "hal/parcel.h"
+
+namespace df::hal {
+
+void Parcel::write_u32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Parcel::write_u64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Parcel::write_string(std::string_view s) {
+  write_u32(static_cast<uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Parcel::write_blob(std::span<const uint8_t> b) {
+  write_u32(static_cast<uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+bool Parcel::have(size_t n) {
+  // Once a read has failed the parcel is poisoned until rewind(), so a
+  // malformed transaction cannot be "partially" interpreted.
+  if (!ok_ || pos_ + n > buf_.size()) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint32_t Parcel::read_u32() {
+  if (!have(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(buf_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t Parcel::read_u64() {
+  if (!have(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(buf_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+std::string Parcel::read_string() {
+  const uint32_t n = read_u32();
+  if (!ok_ || !have(n)) return {};
+  std::string s(buf_.begin() + static_cast<long>(pos_),
+                buf_.begin() + static_cast<long>(pos_ + n));
+  pos_ += n;
+  return s;
+}
+
+std::vector<uint8_t> Parcel::read_blob() {
+  const uint32_t n = read_u32();
+  if (!ok_ || !have(n)) return {};
+  std::vector<uint8_t> b(buf_.begin() + static_cast<long>(pos_),
+                         buf_.begin() + static_cast<long>(pos_ + n));
+  pos_ += n;
+  return b;
+}
+
+}  // namespace df::hal

@@ -1,0 +1,55 @@
+// Binder Parcel: the marshalling container for HAL transactions.
+//
+// Byte-compatible-in-spirit with Android's Parcel: little-endian scalars,
+// length-prefixed strings/blobs, sequential read cursor. The prober observes
+// raw parcel bytes exactly as the paper's eBPF hooks observe Binder IPC.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace df::hal {
+
+class Parcel {
+ public:
+  Parcel() = default;
+  explicit Parcel(std::vector<uint8_t> bytes) : buf_(std::move(bytes)) {}
+
+  // --- writers -------------------------------------------------------------
+  void write_i32(int32_t v) { write_u32(static_cast<uint32_t>(v)); }
+  void write_u32(uint32_t v);
+  void write_i64(int64_t v) { write_u64(static_cast<uint64_t>(v)); }
+  void write_u64(uint64_t v);
+  void write_bool(bool v) { write_u32(v ? 1 : 0); }
+  void write_string(std::string_view s);
+  void write_blob(std::span<const uint8_t> b);
+
+  // --- readers (sequential; failures latch `ok() == false`) ----------------
+  int32_t read_i32() { return static_cast<int32_t>(read_u32()); }
+  uint32_t read_u32();
+  int64_t read_i64() { return static_cast<int64_t>(read_u64()); }
+  uint64_t read_u64();
+  bool read_bool() { return read_u32() != 0; }
+  std::string read_string();
+  std::vector<uint8_t> read_blob();
+
+  bool ok() const { return ok_; }
+  void rewind() {
+    pos_ = 0;
+    ok_ = true;
+  }
+  size_t size() const { return buf_.size(); }
+  size_t remaining() const { return buf_.size() - pos_; }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+
+ private:
+  bool have(size_t n);
+
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace df::hal

@@ -1,0 +1,167 @@
+#include "hal/services/audio_hal.h"
+
+#include "kernel/drivers/audio_pcm.h"
+
+namespace df::hal::services {
+
+using kernel::drivers::AudioPcmDriver;
+
+InterfaceDesc AudioHal::interface() const {
+  InterfaceDesc d;
+  d.service = std::string(descriptor());
+  d.methods = {
+      {kOpenOutput,
+       "openOutput",
+       {{ArgKind::kEnum, "rate", 0, 0, {8000, 16000, 44100, 48000, 96000}, 0,
+         ""},
+        {ArgKind::kU32, "channels", 1, 8, {}, 0, ""},
+        {ArgKind::kEnum, "format", 0, 0, {0, 1, 2, 3}, 0, ""}},
+       "stream"},
+      {kWrite,
+       "write",
+       {{ArgKind::kHandle, "stream", 0, 0, {}, 0, "stream"},
+        {ArgKind::kBlob, "frames", 0, 0, {}, 4096, ""}},
+       ""},
+      {kSetVolume,
+       "setVolume",
+       {{ArgKind::kU32, "volume", 0, 100, {}, 0, ""}},
+       ""},
+      {kStandby,
+       "standby",
+       {{ArgKind::kHandle, "stream", 0, 0, {}, 0, "stream"}},
+       ""},
+      {kCloseOutput,
+       "closeOutput",
+       {{ArgKind::kHandle, "stream", 0, 0, {}, 0, "stream"}},
+       ""},
+      {kGetLatency,
+       "getLatency",
+       {{ArgKind::kHandle, "stream", 0, 0, {}, 0, "stream"}},
+       ""},
+  };
+  return d;
+}
+
+std::vector<UsageWeight> AudioHal::app_usage_profile() const {
+  return {{kOpenOutput, 1.0}, {kWrite, 15.0},      {kSetVolume, 2.0},
+          {kStandby, 1.0},    {kCloseOutput, 1.0}, {kGetLatency, 1.5}};
+}
+
+void AudioHal::reset_native() {
+  streams_.clear();
+  next_stream_ = 1;
+  volume_ = 50;
+}
+
+TxResult AudioHal::on_transact(uint32_t code, Parcel& data) {
+  TxResult res;
+  auto stream_of = [&](uint32_t id) -> Stream* {
+    auto it = streams_.find(id);
+    return it == streams_.end() ? nullptr : &it->second;
+  };
+
+  switch (code) {
+    case kOpenOutput: {
+      const uint32_t rate = data.read_u32();
+      const uint32_t ch = data.read_u32();
+      const uint32_t fmt = data.read_u32();
+      if (!data.ok() || ch == 0 || ch > 8 || fmt > 3) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      Stream s;
+      s.fd = static_cast<int32_t>(sys_open("/dev/snd_pcm"));
+      if (s.fd < 0) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      if (sys_ioctl(s.fd, AudioPcmDriver::kIocHwParams,
+                    pack_u32({rate, ch, fmt})) != 0) {
+        sys_close(s.fd);
+        res.status = kStatusBadValue;
+        return res;
+      }
+      sys_ioctl(s.fd, AudioPcmDriver::kIocPrepare, {});
+      s.rate = rate;
+      s.channels = ch;
+      s.fmt = fmt;
+      const uint32_t id = next_stream_++;
+      streams_.emplace(id, s);
+      res.reply.write_u32(id);
+      return res;
+    }
+    case kWrite: {
+      const uint32_t id = data.read_u32();
+      const std::vector<uint8_t> frames = data.read_blob();
+      Stream* s = stream_of(id);
+      if (!data.ok() || s == nullptr) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (!s->running) {
+        sys_ioctl(s->fd, AudioPcmDriver::kIocStart, {});
+        s->running = true;
+      }
+      const int64_t n = sys_write(s->fd, frames);
+      if (n < 0) {
+        // Underrun: recover like a real HAL (prepare + start).
+        sys_ioctl(s->fd, AudioPcmDriver::kIocPrepare, {});
+        sys_ioctl(s->fd, AudioPcmDriver::kIocStart, {});
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      res.reply.write_u64(static_cast<uint64_t>(n));
+      return res;
+    }
+    case kSetVolume: {
+      const uint32_t vol = data.read_u32();
+      if (!data.ok() || vol > 100) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      volume_ = vol;
+      return res;
+    }
+    case kStandby: {
+      const uint32_t id = data.read_u32();
+      Stream* s = stream_of(id);
+      if (!data.ok() || s == nullptr) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (s->running) {
+        sys_ioctl(s->fd, AudioPcmDriver::kIocDrain, {});
+        s->running = false;
+      }
+      return res;
+    }
+    case kCloseOutput: {
+      const uint32_t id = data.read_u32();
+      Stream* s = stream_of(id);
+      if (!data.ok() || s == nullptr) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      sys_close(s->fd);
+      streams_.erase(id);
+      return res;
+    }
+    case kGetLatency: {
+      const uint32_t id = data.read_u32();
+      Stream* s = stream_of(id);
+      if (!data.ok() || s == nullptr) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      std::vector<uint8_t> out;
+      sys_ioctl(s->fd, AudioPcmDriver::kIocStatus, {}, &out);
+      res.reply.write_u32(s->rate ? 480000 / s->rate : 0);
+      return res;
+    }
+    default:
+      res.status = kStatusUnknownTransaction;
+      return res;
+  }
+}
+
+}  // namespace df::hal::services

@@ -1,0 +1,46 @@
+// Audio HAL (simulated vendor audio flinger backend).
+//
+// Output streams over the audio_pcm kernel driver with the full ALSA-style
+// hw_params/prepare/start/write/drain protocol. No planted bug: this HAL
+// demonstrates how correct HAL sequencing reaches deep PCM driver states
+// that random syscalls rarely do.
+#pragma once
+
+#include <map>
+
+#include "hal/hal_service.h"
+
+namespace df::hal::services {
+
+class AudioHal final : public HalService {
+ public:
+  static constexpr uint32_t kOpenOutput = 1;
+  static constexpr uint32_t kWrite = 2;
+  static constexpr uint32_t kSetVolume = 3;
+  static constexpr uint32_t kStandby = 4;
+  static constexpr uint32_t kCloseOutput = 5;
+  static constexpr uint32_t kGetLatency = 6;
+
+  explicit AudioHal(kernel::Kernel& kernel)
+      : HalService(kernel, "android.hardware.audio@sim") {}
+
+  InterfaceDesc interface() const override;
+  std::vector<UsageWeight> app_usage_profile() const override;
+
+ protected:
+  TxResult on_transact(uint32_t code, Parcel& data) override;
+  void reset_native() override;
+
+ private:
+  struct Stream {
+    int32_t fd = -1;
+    uint32_t rate = 0, channels = 0, fmt = 0;
+    bool running = false;
+  };
+
+  uint32_t next_stream_ = 1;
+  uint32_t volume_ = 50;
+  std::map<uint32_t, Stream> streams_;
+};
+
+}  // namespace df::hal::services

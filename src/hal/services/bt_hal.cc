@@ -1,0 +1,341 @@
+#include "hal/services/bt_hal.h"
+
+#include "kernel/drivers/bt_hci.h"
+#include "kernel/drivers/l2cap.h"
+
+namespace df::hal::services {
+
+using kernel::drivers::BtHciDriver;
+using kernel::drivers::L2capDriver;
+
+InterfaceDesc BtHal::interface() const {
+  InterfaceDesc d;
+  d.service = std::string(descriptor());
+  d.methods = {
+      {kEnable, "enable", {}, ""},
+      {kDisable, "disable", {}, ""},
+      {kSetScanMode,
+       "setScanMode",
+       {{ArgKind::kEnum, "mode", 0, 0, {0, 1, 2}, 0, ""}},
+       ""},
+      {kSetCodecs,
+       "setCodecs",
+       {{ArgKind::kU32, "count", 1, 255, {}, 0, ""},
+        {ArgKind::kBlob, "table", 0, 0, {}, 64, ""}},
+       ""},
+      {kReadCodecs, "readCodecs", {}, ""},
+      // Profiles live on the well-known PSMs (SDP, RFCOMM, TCS, BNEP,
+      // HID-C, HID-I, AVCTP, AVDTP) — the set a real stack advertises.
+      {kListenProfile,
+       "listenProfile",
+       {{ArgKind::kEnum, "psm", 0, 0, {1, 3, 5, 15, 17, 19, 23, 25}, 0, ""}},
+       "profile"},
+      {kConnectProfile,
+       "connectProfile",
+       {{ArgKind::kEnum, "psm", 0, 0, {1, 3, 5, 15, 17, 19, 23, 25}, 0, ""}},
+       "profile"},
+      {kAcceptProfile,
+       "acceptProfile",
+       {{ArgKind::kHandle, "listener", 0, 0, {}, 0, "profile"}},
+       "profile"},
+      {kSendData,
+       "sendData",
+       {{ArgKind::kHandle, "profile", 0, 0, {}, 0, "profile"},
+        {ArgKind::kBlob, "data", 0, 0, {}, 512, ""}},
+       ""},
+      {kDisconnectProfile,
+       "disconnectProfile",
+       {{ArgKind::kHandle, "profile", 0, 0, {}, 0, "profile"}},
+       ""},
+      {kCloseProfile,
+       "closeProfile",
+       {{ArgKind::kHandle, "profile", 0, 0, {}, 0, "profile"}},
+       ""},
+      {kCleanup, "cleanup", {}, ""},
+  };
+  return d;
+}
+
+std::vector<UsageWeight> BtHal::app_usage_profile() const {
+  return {{kEnable, 1.0},         {kDisable, 0.5},
+          {kSetScanMode, 2.0},    {kSetCodecs, 0.5},
+          {kReadCodecs, 0.5},     {kListenProfile, 1.5},
+          {kConnectProfile, 2.0}, {kAcceptProfile, 2.0},
+          {kSendData, 10.0},      {kDisconnectProfile, 1.0},
+          {kCloseProfile, 1.5},   {kCleanup, 1.5}};
+}
+
+void BtHal::reset_native() {
+  hci_fd_ = -1;
+  enabled_ = false;
+  profiles_.clear();
+  next_profile_ = 1;
+}
+
+int64_t BtHal::hci_cmd(uint16_t opcode, std::span<const uint8_t> params) {
+  std::vector<uint8_t> pkt{0x01, static_cast<uint8_t>(opcode & 0xff),
+                           static_cast<uint8_t>(opcode >> 8),
+                           static_cast<uint8_t>(params.size())};
+  pkt.insert(pkt.end(), params.begin(), params.end());
+  const int64_t rc = sys_sendmsg(hci_fd_, pkt);
+  if (rc == 0) {
+    std::vector<uint8_t> ev;
+    sys_recvmsg(hci_fd_, 64, &ev);  // drain the command-complete event
+  }
+  return rc;
+}
+
+TxResult BtHal::on_transact(uint32_t code, Parcel& data) {
+  TxResult res;
+  auto profile_of = [&](uint32_t id) -> Profile* {
+    auto it = profiles_.find(id);
+    return it == profiles_.end() ? nullptr : &it->second;
+  };
+  // L2CAP address bytes for a PSM (forced odd, as the kernel requires).
+  auto psm_addr = [](uint16_t psm) {
+    const uint16_t odd = static_cast<uint16_t>(psm | 1);
+    return std::vector<uint8_t>{static_cast<uint8_t>(odd & 0xff),
+                                static_cast<uint8_t>(odd >> 8)};
+  };
+
+  switch (code) {
+    case kEnable: {
+      if (enabled_) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      hci_fd_ = static_cast<int32_t>(sys_socket(
+          kernel::kAfBluetooth, kernel::kSockRaw, kernel::kBtProtoHci));
+      if (hci_fd_ < 0) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      const uint8_t dev0[1] = {0};
+      sys_bind(hci_fd_, dev0);
+      if (sys_ioctl(hci_fd_, BtHciDriver::kIocDevUp, {}) != 0) {
+        sys_close(hci_fd_);
+        hci_fd_ = -1;
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      // Standard vendor bring-up: reset, baudrate (which unlocks vendor
+      // commands on this firmware), event mask, local version.
+      hci_cmd(BtHciDriver::kOpReset, {});
+      const uint8_t baud[4] = {0x00, 0x10, 0x0e, 0x00};  // 921600
+      hci_cmd(BtHciDriver::kOpVsSetBaudrate, baud);
+      const uint8_t mask[8] = {0xff, 0xff, 0xfb, 0xff, 0x07, 0xf8, 0xbf, 0x3d};
+      hci_cmd(BtHciDriver::kOpSetEventMask, mask);
+      hci_cmd(BtHciDriver::kOpReadLocalVersion, {});
+      hci_cmd(BtHciDriver::kOpReadBdAddr, {});
+      enabled_ = true;
+      return res;
+    }
+    case kDisable: {
+      if (!enabled_) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      sys_ioctl(hci_fd_, BtHciDriver::kIocDevDown, {});
+      sys_close(hci_fd_);
+      hci_fd_ = -1;
+      enabled_ = false;
+      return res;
+    }
+    case kSetScanMode: {
+      const uint32_t mode = data.read_u32();
+      if (!data.ok() || mode > 2) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (!enabled_) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      const uint8_t inq[5] = {0x33, 0x8b, 0x9e,
+                              static_cast<uint8_t>(mode + 1), 0x00};
+      hci_cmd(BtHciDriver::kOpInquiry, inq);
+      return res;
+    }
+    case kSetCodecs: {
+      const uint32_t count = data.read_u32();
+      const std::vector<uint8_t> table = data.read_blob();
+      if (!data.ok() || count == 0 || count > 255) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (!enabled_) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      std::vector<uint8_t> params{static_cast<uint8_t>(count)};
+      params.insert(params.end(), table.begin(), table.end());
+      if (params.size() > 255) params.resize(255);
+      hci_cmd(BtHciDriver::kOpVsSetCodecTable, params);
+      return res;
+    }
+    case kReadCodecs: {
+      if (!enabled_) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      hci_cmd(BtHciDriver::kOpReadCodecs, {});
+      return res;
+    }
+    case kListenProfile: {
+      const uint32_t psm = data.read_u32();
+      if (!data.ok() || psm == 0 || psm > 2047) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      // Re-registering a profile rebinds it: the stack tears the old
+      // listener down first (profiles are singletons per PSM).
+      const uint16_t odd_psm = static_cast<uint16_t>(psm | 1);
+      for (auto it = profiles_.begin(); it != profiles_.end();) {
+        if (it->second.listener && it->second.psm == odd_psm) {
+          sys_close(it->second.fd);
+          it = profiles_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      Profile p;
+      p.fd = static_cast<int32_t>(
+          sys_socket(kernel::kAfBluetooth, kernel::kSockSeqpacket,
+                     kernel::kBtProtoL2cap));
+      if (p.fd < 0) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      const auto addr = psm_addr(static_cast<uint16_t>(psm));
+      if (sys_bind(p.fd, addr) != 0 || sys_listen(p.fd, 4) != 0) {
+        sys_close(p.fd);
+        res.status = kStatusBadValue;
+        return res;
+      }
+      p.listener = true;
+      p.psm = static_cast<uint16_t>(psm | 1);
+      const uint32_t id = next_profile_++;
+      profiles_.emplace(id, p);
+      res.reply.write_u32(id);
+      return res;
+    }
+    case kConnectProfile: {
+      const uint32_t psm = data.read_u32();
+      if (!data.ok() || psm == 0 || psm > 2047) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      Profile p;
+      p.fd = static_cast<int32_t>(
+          sys_socket(kernel::kAfBluetooth, kernel::kSockSeqpacket,
+                     kernel::kBtProtoL2cap));
+      if (p.fd < 0) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      const auto addr = psm_addr(static_cast<uint16_t>(psm));
+      if (sys_connect(p.fd, addr) != 0) {
+        sys_close(p.fd);
+        res.status = kStatusBadValue;
+        return res;
+      }
+      // Finish channel configuration (no-op if still CONNECTING).
+      const uint8_t cfg[5] = {L2capDriver::kCtlConfigReq, 0xa0, 0x02, 0, 0};
+      if (sys_sendmsg(p.fd, cfg) == 0) p.configured = true;
+      p.psm = static_cast<uint16_t>(psm | 1);
+      const uint32_t id = next_profile_++;
+      profiles_.emplace(id, p);
+      res.reply.write_u32(id);
+      return res;
+    }
+    case kAcceptProfile: {
+      const uint32_t lid = data.read_u32();
+      Profile* lp = profile_of(lid);
+      if (!data.ok() || lp == nullptr || !lp->listener) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      const int64_t cfd = sys_accept(lp->fd);
+      if (cfd < 0) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      Profile child;
+      child.fd = static_cast<int32_t>(cfd);
+      child.configured = true;
+      child.psm = lp->psm;
+      const uint32_t id = next_profile_++;
+      profiles_.emplace(id, child);
+      res.reply.write_u32(id);
+      return res;
+    }
+    case kSendData: {
+      const uint32_t id = data.read_u32();
+      const std::vector<uint8_t> payload = data.read_blob();
+      Profile* p = profile_of(id);
+      if (!data.ok() || p == nullptr || p->listener) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      // Frame as data (first byte >= 0x10).
+      std::vector<uint8_t> frame{0x10};
+      frame.insert(frame.end(), payload.begin(), payload.end());
+      const int64_t rc = sys_sendmsg(p->fd, frame);
+      res.status = rc >= 0 ? kStatusOk : kStatusInvalidOperation;
+      return res;
+    }
+    case kDisconnectProfile: {
+      const uint32_t id = data.read_u32();
+      Profile* p = profile_of(id);
+      if (!data.ok() || p == nullptr || p->listener) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      const uint8_t disc[1] = {L2capDriver::kCtlDisconnReq};
+      sys_sendmsg(p->fd, disc);
+      return res;
+    }
+    case kCloseProfile: {
+      const uint32_t id = data.read_u32();
+      Profile* p = profile_of(id);
+      if (!data.ok() || p == nullptr) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      sys_close(p->fd);
+      profiles_.erase(id);
+      return res;
+    }
+    case kCleanup: {
+      // Full profile teardown (IBluetooth::cleanup): the vendor stack tears
+      // down *server* sockets first, then live connections — the ordering
+      // that matters for the kernel's accept-queue lifetime.
+      if (profiles_.empty()) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      uint32_t closed = 0;
+      for (auto it = profiles_.begin(); it != profiles_.end();) {
+        if (it->second.listener) {
+          sys_close(it->second.fd);
+          it = profiles_.erase(it);
+          ++closed;
+        } else {
+          ++it;
+        }
+      }
+      for (auto& [id, p] : profiles_) {
+        sys_close(p.fd);
+        ++closed;
+      }
+      profiles_.clear();
+      res.reply.write_u32(closed);
+      return res;
+    }
+    default:
+      res.status = kStatusUnknownTransaction;
+      return res;
+  }
+}
+
+}  // namespace df::hal::services

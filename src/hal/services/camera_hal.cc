@@ -1,0 +1,267 @@
+#include "hal/services/camera_hal.h"
+
+#include "kernel/drivers/ion_alloc.h"
+#include "kernel/drivers/v4l2_cam.h"
+
+namespace df::hal::services {
+
+using kernel::drivers::IonDriver;
+using kernel::drivers::V4l2CamDriver;
+
+namespace {
+constexpr uint32_t kFourccs[] = {
+    V4l2CamDriver::kFmtYuyv, V4l2CamDriver::kFmtNv12,
+    V4l2CamDriver::kFmtMjpg, V4l2CamDriver::kFmtVraw};
+}
+
+InterfaceDesc CameraHal::interface() const {
+  InterfaceDesc d;
+  d.service = std::string(descriptor());
+  d.methods = {
+      {kOpenCamera,
+       "openCamera",
+       {{ArgKind::kEnum, "id", 0, 0, {0, 1}, 0, ""}},
+       "camera"},
+      {kConfigureStreams,
+       "configureStreams",
+       {{ArgKind::kHandle, "camera", 0, 0, {}, 0, "camera"},
+        {ArgKind::kU32, "numStreams", 0, 4, {}, 0, ""},
+        {ArgKind::kU32, "width", 1, 4096, {}, 0, ""},
+        {ArgKind::kU32, "height", 1, 4096, {}, 0, ""}},
+       ""},
+      {kSetParam,
+       "setParam",
+       {{ArgKind::kHandle, "camera", 0, 0, {}, 0, "camera"},
+        {ArgKind::kEnum, "key", 0, 0, {0, 1, 2, 3}, 0, ""},
+        {ArgKind::kU32, "value", 0, 16, {}, 0, ""}},
+       ""},
+      {kCapture,
+       "capture",
+       {{ArgKind::kHandle, "camera", 0, 0, {}, 0, "camera"},
+        {ArgKind::kU32, "count", 1, 8, {}, 0, ""}},
+       ""},
+      {kSetVendorFormat,
+       "setVendorFormat",
+       {{ArgKind::kHandle, "camera", 0, 0, {}, 0, "camera"},
+        {ArgKind::kEnum, "format", 0, 0, {0, 1, 2, 3}, 0, ""}},
+       ""},
+      {kGetCapabilities,
+       "getCapabilities",
+       {{ArgKind::kHandle, "camera", 0, 0, {}, 0, "camera"}},
+       ""},
+      {kCloseCamera,
+       "closeCamera",
+       {{ArgKind::kHandle, "camera", 0, 0, {}, 0, "camera"}},
+       ""},
+      {kStopStreams,
+       "stopStreams",
+       {{ArgKind::kHandle, "camera", 0, 0, {}, 0, "camera"}},
+       ""},
+  };
+  return d;
+}
+
+std::vector<UsageWeight> CameraHal::app_usage_profile() const {
+  return {{kOpenCamera, 1.0},      {kConfigureStreams, 1.5}, {kSetParam, 3.0},
+          {kCapture, 10.0},        {kSetVendorFormat, 0.3},
+          {kGetCapabilities, 1.0}, {kCloseCamera, 1.0},
+          {kStopStreams, 1.2}};
+}
+
+int32_t CameraHal::video_fd() {
+  if (video_fd_ < 0) video_fd_ = static_cast<int32_t>(sys_open("/dev/video0"));
+  return video_fd_;
+}
+
+int32_t CameraHal::ion_fd() {
+  if (ion_fd_ < 0) ion_fd_ = static_cast<int32_t>(sys_open("/dev/ion"));
+  return ion_fd_;
+}
+
+void CameraHal::reset_native() {
+  video_fd_ = -1;
+  ion_fd_ = -1;
+  cams_.clear();
+  next_cam_ = 1;
+}
+
+TxResult CameraHal::on_transact(uint32_t code, Parcel& data) {
+  TxResult res;
+  auto cam_of = [&](uint32_t id) -> Camera* {
+    auto it = cams_.find(id);
+    return it == cams_.end() ? nullptr : &it->second;
+  };
+
+  switch (code) {
+    case kOpenCamera: {
+      const uint32_t sensor = data.read_u32();
+      if (!data.ok() || sensor > 1) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      // Provider init: querycap + format enumeration.
+      std::vector<uint8_t> out;
+      sys_ioctl(video_fd(), V4l2CamDriver::kIocQuerycap, {}, &out);
+      for (uint32_t i = 0; i < 4; ++i) {
+        sys_ioctl(video_fd(), V4l2CamDriver::kIocEnumFmt, pack_u32({i}));
+      }
+      const uint32_t id = next_cam_++;
+      cams_.emplace(id, Camera{sensor, 0, 0, 0, false, false, 0});
+      res.reply.write_u32(id);
+      return res;
+    }
+    case kConfigureStreams: {
+      const uint32_t id = data.read_u32();
+      const uint32_t n = data.read_u32();
+      const uint32_t w = data.read_u32();
+      const uint32_t h = data.read_u32();
+      Camera* cam = cam_of(id);
+      if (!data.ok() || cam == nullptr || n > 4 || w == 0 || h == 0 ||
+          w > 4096 || h > 4096) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (n == 0 && !(bugs_.zsl_null_config && cam->zsl)) {
+        // Fixed build rejects an empty stream list; the vendor ZSL path
+        // returns early before the check.
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (cam->streaming) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      sys_ioctl(video_fd(), V4l2CamDriver::kIocSetFmt,
+                pack_u32({V4l2CamDriver::kFmtNv12, w, h}));
+      sys_ioctl(video_fd(), V4l2CamDriver::kIocReqbufs, pack_u32({n * 2}));
+      std::vector<uint8_t> out;
+      if (sys_ioctl(ion_fd(), IonDriver::kIocAlloc,
+                    pack_u32({w * h * 2, 0x4}), &out) == 0 &&
+          out.size() >= 4) {
+        cam->ion_id = kernel::le_u32(out, 0);
+      }
+      cam->streams = n;
+      cam->w = w;
+      cam->h = h;
+      return res;
+    }
+    case kSetParam: {
+      const uint32_t id = data.read_u32();
+      const uint32_t key = data.read_u32();
+      const uint32_t value = data.read_u32();
+      Camera* cam = cam_of(id);
+      if (!data.ok() || cam == nullptr || key > 3) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (key == 0) cam->zsl = value != 0;
+      return res;
+    }
+    case kCapture: {
+      const uint32_t id = data.read_u32();
+      const uint32_t count = data.read_u32();
+      Camera* cam = cam_of(id);
+      if (!data.ok() || cam == nullptr || count == 0 || count > 8) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (cam->w == 0) {
+        res.status = kStatusInvalidOperation;  // never configured
+        return res;
+      }
+      if (cam->streams == 0) {
+        // request->streams[0] with an empty stream list.
+        crash_native("SIGSEGV", "camera3_process_capture_request");
+      }
+      if (!cam->streaming) {
+        sys_ioctl(video_fd(), V4l2CamDriver::kIocQbuf, pack_u32({0}));
+        if (sys_ioctl(video_fd(), V4l2CamDriver::kIocStreamOn, {}) == 0) {
+          cam->streaming = true;
+        }
+      }
+      for (uint32_t i = 0; i < count; ++i) {
+        sys_ioctl(video_fd(), V4l2CamDriver::kIocQbuf,
+                  pack_u32({i % (cam->streams * 2)}));
+        std::vector<uint8_t> out;
+        sys_ioctl(video_fd(), V4l2CamDriver::kIocDqbuf, {}, &out);
+      }
+      res.reply.write_u32(count);
+      return res;
+    }
+    case kSetVendorFormat: {
+      const uint32_t id = data.read_u32();
+      const uint32_t fmt = data.read_u32();
+      Camera* cam = cam_of(id);
+      if (!data.ok() || cam == nullptr || fmt > 3) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      // Vendor path: requests the sensor's full-resolution (2x2-binned)
+      // readout for the current stream, firing S_FMT unconditionally (even
+      // while streaming, ignoring EBUSY) — the kernel side of bug #12.
+      const uint32_t base_w = cam->w ? cam->w : 640;
+      const uint32_t base_h = cam->h ? cam->h : 480;
+      sys_ioctl(video_fd(), V4l2CamDriver::kIocSetFmt,
+                pack_u32({kFourccs[fmt], base_w * 2, base_h * 2}));
+      return res;
+    }
+    case kGetCapabilities: {
+      const uint32_t id = data.read_u32();
+      Camera* cam = cam_of(id);
+      if (!data.ok() || cam == nullptr) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      std::vector<uint8_t> out;
+      sys_ioctl(video_fd(), V4l2CamDriver::kIocQuerycap, {}, &out);
+      res.reply.write_u32(out.size() >= 4 ? kernel::le_u32(out, 0) : 0);
+      return res;
+    }
+    case kCloseCamera: {
+      const uint32_t id = data.read_u32();
+      Camera* cam = cam_of(id);
+      if (!data.ok() || cam == nullptr) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (cam->streaming) {
+        sys_ioctl(video_fd(), V4l2CamDriver::kIocStreamOff, {});
+      }
+      if (cam->ion_id != 0) {
+        sys_ioctl(ion_fd(), IonDriver::kIocFree, pack_u32({cam->ion_id}));
+      }
+      cams_.erase(id);
+      return res;
+    }
+    case kStopStreams: {
+      const uint32_t id = data.read_u32();
+      Camera* cam = cam_of(id);
+      if (!data.ok() || cam == nullptr) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (cam->w == 0) {
+        res.status = kStatusInvalidOperation;  // nothing configured
+        return res;
+      }
+      if (cam->streaming) {
+        sys_ioctl(video_fd(), V4l2CamDriver::kIocStreamOff, {});
+        cam->streaming = false;
+      }
+      sys_ioctl(video_fd(), V4l2CamDriver::kIocReqbufs, pack_u32({0}));
+      cam->streams = 0;
+      if (!bugs_.zsl_null_config) {
+        // Fixed build also clears the session so capture re-validates.
+        cam->w = cam->h = 0;
+      }
+      // Vendor bug: the session stays "configured" with an empty stream
+      // list; the next capture dereferences streams[0].
+      return res;
+    }
+    default:
+      res.status = kStatusUnknownTransaction;
+      return res;
+  }
+}
+
+}  // namespace df::hal::services

@@ -1,0 +1,212 @@
+#include "hal/services/graphics_hal.h"
+
+#include "kernel/drivers/drm_gpu.h"
+#include "kernel/drivers/ion_alloc.h"
+
+namespace df::hal::services {
+
+using kernel::drivers::DrmGpuDriver;
+using kernel::drivers::IonDriver;
+
+InterfaceDesc GraphicsHal::interface() const {
+  InterfaceDesc d;
+  d.service = std::string(descriptor());
+  d.methods = {
+      {kCreateLayer,
+       "createLayer",
+       {{ArgKind::kU32, "width", 1, 4096, {}, 0, ""},
+        {ArgKind::kU32, "height", 1, 4096, {}, 0, ""},
+        {ArgKind::kEnum, "format", 0, 0, {0, 1, 2, 3}, 0, ""}},
+       "layer"},
+      {kSetLayerBuffer,
+       "setLayerBuffer",
+       {{ArgKind::kHandle, "layer", 0, 0, {}, 0, "layer"},
+        {ArgKind::kU32, "stride", 1, 0xffffffff, {}, 0, ""},
+        {ArgKind::kFlags, "usage", 0, 0, {1, 2, 4, 8}, 0, ""}},
+       ""},
+      {kComposite, "composite", {}, ""},
+      {kDestroyLayer,
+       "destroyLayer",
+       {{ArgKind::kHandle, "layer", 0, 0, {}, 0, "layer"}},
+       ""},
+      {kSetColorMode,
+       "setColorMode",
+       {{ArgKind::kEnum, "mode", 0, 0, {0, 1, 2, 3, 4, 5}, 0, ""}},
+       ""},
+      {kGetDisplayInfo, "getDisplayInfo", {}, ""},
+      {kSetVsync, "setVsync", {{ArgKind::kBool, "on", 0, 1, {}, 0, ""}}, ""},
+  };
+  return d;
+}
+
+std::vector<UsageWeight> GraphicsHal::app_usage_profile() const {
+  // Composition dominates; layer churn is common; mode changes are rare.
+  return {{kCreateLayer, 3.0},    {kSetLayerBuffer, 3.0}, {kComposite, 10.0},
+          {kDestroyLayer, 2.0},   {kSetColorMode, 0.5},   {kGetDisplayInfo, 1.0},
+          {kSetVsync, 2.0}};
+}
+
+int32_t GraphicsHal::drm_fd() {
+  if (drm_fd_ < 0) {
+    drm_fd_ = static_cast<int32_t>(sys_open("/dev/dri_card0"));
+  }
+  return drm_fd_;
+}
+
+int32_t GraphicsHal::ion_fd() {
+  if (ion_fd_ < 0) ion_fd_ = static_cast<int32_t>(sys_open("/dev/ion"));
+  return ion_fd_;
+}
+
+void GraphicsHal::reset_native() {
+  drm_fd_ = -1;
+  ion_fd_ = -1;
+  layers_.clear();
+  next_layer_ = 1;
+  color_mode_ = 0;
+  vsync_on_ = false;
+}
+
+TxResult GraphicsHal::on_transact(uint32_t code, Parcel& data) {
+  TxResult res;
+  switch (code) {
+    case kCreateLayer: {
+      const uint32_t w = data.read_u32();
+      const uint32_t h = data.read_u32();
+      const uint32_t format = data.read_u32();
+      if (!data.ok() || w == 0 || h == 0 || w > 4096 || h > 4096 ||
+          format > 3) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      const uint32_t id = next_layer_++;
+      layers_.emplace(id, Layer{w, h, format, 0, false, 0, 0});
+      res.reply.write_u32(id);
+      return res;
+    }
+    case kSetLayerBuffer: {
+      const uint32_t id = data.read_u32();
+      const uint32_t stride = data.read_u32();
+      const uint32_t usage = data.read_u32();
+      (void)usage;
+      auto it = layers_.find(id);
+      if (!data.ok() || it == layers_.end() || stride == 0) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      Layer& layer = it->second;
+      // Vendor size check happens in 32 bits: stride * h wraps for large
+      // strides and "passes".
+      const uint32_t size32 = stride * layer.h;
+      if (!bugs_.composite_overflow) {
+        // Fixed build validates in 64 bits.
+        const uint64_t size64 = static_cast<uint64_t>(stride) * layer.h;
+        if (size64 > (256u << 20)) {
+          res.status = kStatusBadValue;
+          return res;
+        }
+      } else if (size32 > (256u << 20)) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      // Back the layer with an ION allocation and a DRM BO.
+      std::vector<uint8_t> out;
+      const uint32_t alloc_len = size32 == 0 ? 4096 : size32;
+      if (sys_ioctl(ion_fd(), IonDriver::kIocAlloc,
+                    pack_u32({alloc_len > (32u << 20) ? (32u << 20) : alloc_len,
+                              0x1}),
+                    &out) == 0 &&
+          out.size() >= 4) {
+        layer.ion_id = kernel::le_u32(out, 0);
+      }
+      out.clear();
+      const uint32_t pages = (alloc_len >> 12) ? (alloc_len >> 12) : 1;
+      if (sys_ioctl(drm_fd(), DrmGpuDriver::kIocCreateBo,
+                    pack_u32({pages > 16384 ? 16384 : pages}), &out) == 0 &&
+          out.size() >= 4) {
+        layer.bo_handle = kernel::le_u32(out, 0);
+        sys_ioctl(drm_fd(), DrmGpuDriver::kIocMapBo,
+                  pack_u32({layer.bo_handle}));
+      }
+      layer.stride = stride;
+      layer.buffer_set = true;
+      return res;
+    }
+    case kComposite: {
+      std::vector<uint32_t> handles;
+      for (auto& [id, layer] : layers_) {
+        if (!layer.buffer_set) continue;
+        // The blit copies h rows of `stride` bytes into the 32-bit-sized
+        // buffer; an overflowed size means the copy runs off the end.
+        if (bugs_.composite_overflow &&
+            static_cast<uint64_t>(layer.stride) * layer.h > 0xffffffffull) {
+          crash_native("SIGSEGV", "gralloc_blit");
+        }
+        handles.push_back(layer.bo_handle);
+      }
+      if (handles.empty()) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      std::vector<uint8_t> submit = pack_u32(
+          {0 /*pipe*/, static_cast<uint32_t>(handles.size())});
+      for (uint32_t h : handles) kernel::put_u32(submit, h);
+      std::vector<uint8_t> out;
+      if (sys_ioctl(drm_fd(), DrmGpuDriver::kIocSubmit, submit, &out) == 0 &&
+          out.size() >= 4) {
+        sys_ioctl(drm_fd(), DrmGpuDriver::kIocWait,
+                  pack_u32({kernel::le_u32(out, 0)}));
+      }
+      res.reply.write_u32(static_cast<uint32_t>(handles.size()));
+      return res;
+    }
+    case kDestroyLayer: {
+      const uint32_t id = data.read_u32();
+      auto it = layers_.find(id);
+      if (!data.ok() || it == layers_.end()) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (it->second.bo_handle != 0) {
+        sys_ioctl(drm_fd(), DrmGpuDriver::kIocDestroyBo,
+                  pack_u32({it->second.bo_handle}));
+      }
+      if (it->second.ion_id != 0) {
+        sys_ioctl(ion_fd(), IonDriver::kIocFree, pack_u32({it->second.ion_id}));
+      }
+      layers_.erase(it);
+      return res;
+    }
+    case kSetColorMode: {
+      const uint32_t mode = data.read_u32();
+      if (!data.ok() || mode > 5) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      color_mode_ = mode;
+      return res;
+    }
+    case kGetDisplayInfo: {
+      // Queries a couple of DRM caps like a real composer does at init.
+      std::vector<uint8_t> out;
+      sys_ioctl(drm_fd(), DrmGpuDriver::kIocGetCap, pack_u32({0}), &out);
+      res.reply.write_u32(1920);
+      res.reply.write_u32(1080);
+      res.reply.write_u32(color_mode_);
+      return res;
+    }
+    case kSetVsync: {
+      vsync_on_ = data.read_u32() != 0;
+      if (!data.ok()) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      return res;
+    }
+    default:
+      res.status = kStatusUnknownTransaction;
+      return res;
+  }
+}
+
+}  // namespace df::hal::services

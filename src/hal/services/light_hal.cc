@@ -1,0 +1,66 @@
+#include "hal/services/light_hal.h"
+
+namespace df::hal::services {
+
+InterfaceDesc LightHal::interface() const {
+  InterfaceDesc d;
+  d.service = std::string(descriptor());
+  d.methods = {
+      {kSetLight,
+       "setLight",
+       {{ArgKind::kEnum, "id", 0, 0, {0, 1, 2, 3}, 0, ""},
+        {ArgKind::kU32, "argb", 0, 0xffffffff, {}, 0, ""},
+        {ArgKind::kEnum, "mode", 0, 0, {0, 1, 2}, 0, ""}},
+       ""},
+      {kGetSupported, "getSupported", {}, ""},
+      {kBlink,
+       "blink",
+       {{ArgKind::kEnum, "id", 0, 0, {0, 1, 2, 3}, 0, ""},
+        {ArgKind::kU32, "onMs", 1, 10000, {}, 0, ""},
+        {ArgKind::kU32, "offMs", 1, 10000, {}, 0, ""}},
+       ""},
+  };
+  return d;
+}
+
+std::vector<UsageWeight> LightHal::app_usage_profile() const {
+  return {{kSetLight, 5.0}, {kGetSupported, 1.0}, {kBlink, 1.0}};
+}
+
+void LightHal::reset_native() { lights_.fill(Light{}); }
+
+TxResult LightHal::on_transact(uint32_t code, Parcel& data) {
+  TxResult res;
+  switch (code) {
+    case kSetLight: {
+      const uint32_t id = data.read_u32();
+      const uint32_t argb = data.read_u32();
+      const uint32_t mode = data.read_u32();
+      if (!data.ok() || id > 3 || mode > 2) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      lights_[id] = {argb, mode};
+      return res;
+    }
+    case kGetSupported:
+      res.reply.write_u32(4);
+      return res;
+    case kBlink: {
+      const uint32_t id = data.read_u32();
+      const uint32_t on_ms = data.read_u32();
+      const uint32_t off_ms = data.read_u32();
+      if (!data.ok() || id > 3 || on_ms == 0 || off_ms == 0) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      lights_[id].mode = 2;
+      return res;
+    }
+    default:
+      res.status = kStatusUnknownTransaction;
+      return res;
+  }
+}
+
+}  // namespace df::hal::services

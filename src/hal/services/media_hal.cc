@@ -1,0 +1,279 @@
+#include "hal/services/media_hal.h"
+
+#include "kernel/drivers/gpu_mali.h"
+#include "kernel/drivers/ion_alloc.h"
+
+namespace df::hal::services {
+
+using kernel::drivers::IonDriver;
+using kernel::drivers::MaliDriver;
+
+InterfaceDesc MediaHal::interface() const {
+  InterfaceDesc d;
+  d.service = std::string(descriptor());
+  d.methods = {
+      {kCreateSession,
+       "createSession",
+       {{ArgKind::kEnum, "codec", 0, 0, {0, 1, 2, 3}, 0, ""}},
+       "session"},
+      {kConfigure,
+       "configure",
+       {{ArgKind::kHandle, "session", 0, 0, {}, 0, "session"},
+        {ArgKind::kU32, "width", 1, 65535, {}, 0, ""},
+        {ArgKind::kU32, "height", 1, 65535, {}, 0, ""},
+        {ArgKind::kU32, "bitrate", 1, 100000, {}, 0, ""}},
+       ""},
+      {kQueueInput,
+       "queueInput",
+       {{ArgKind::kHandle, "session", 0, 0, {}, 0, "session"},
+        {ArgKind::kU32, "size", 1, 0xffffffff, {}, 0, ""}},
+       ""},
+      {kStart,
+       "start",
+       {{ArgKind::kHandle, "session", 0, 0, {}, 0, "session"}},
+       ""},
+      {kTranscode,
+       "transcode",
+       {{ArgKind::kHandle, "session", 0, 0, {}, 0, "session"},
+        {ArgKind::kU32, "passes", 1, 8, {}, 0, ""},
+        {ArgKind::kEnum, "pipeline", 0, 0, {0, 1, 2}, 0, ""}},
+       ""},
+      {kFlush,
+       "flush",
+       {{ArgKind::kHandle, "session", 0, 0, {}, 0, "session"}},
+       ""},
+      {kStop,
+       "stop",
+       {{ArgKind::kHandle, "session", 0, 0, {}, 0, "session"}},
+       ""},
+      {kReleaseSession,
+       "releaseSession",
+       {{ArgKind::kHandle, "session", 0, 0, {}, 0, "session"}},
+       ""},
+  };
+  return d;
+}
+
+std::vector<UsageWeight> MediaHal::app_usage_profile() const {
+  return {{kCreateSession, 1.0}, {kConfigure, 1.5}, {kQueueInput, 12.0},
+          {kStart, 1.0},         {kTranscode, 2.0}, {kFlush, 1.0},
+          {kStop, 1.0},          {kReleaseSession, 1.0}};
+}
+
+int32_t MediaHal::mali_fd() {
+  if (mali_fd_ < 0) mali_fd_ = static_cast<int32_t>(sys_open("/dev/mali0"));
+  return mali_fd_;
+}
+
+int32_t MediaHal::ion_fd() {
+  if (ion_fd_ < 0) ion_fd_ = static_cast<int32_t>(sys_open("/dev/ion"));
+  return ion_fd_;
+}
+
+void MediaHal::reset_native() {
+  mali_fd_ = -1;
+  ion_fd_ = -1;
+  sessions_.clear();
+  next_session_ = 1;
+}
+
+TxResult MediaHal::on_transact(uint32_t code, Parcel& data) {
+  TxResult res;
+  auto session_of = [&](uint32_t id) -> Session* {
+    auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : &it->second;
+  };
+
+  switch (code) {
+    case kCreateSession: {
+      const uint32_t codec = data.read_u32();
+      if (!data.ok() || codec > 3) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      Session s;
+      s.codec = codec;
+      // Hardware session: create a GPU context with a memory pool.
+      std::vector<uint8_t> out;
+      if (sys_ioctl(mali_fd(), MaliDriver::kIocCtxCreate, {}, &out) == 0 &&
+          out.size() >= 4) {
+        s.mali_ctx = kernel::le_u32(out, 0);
+        sys_ioctl(mali_fd(), MaliDriver::kIocMemPool,
+                  pack_u32({s.mali_ctx, 256}));
+      }
+      const uint32_t id = next_session_++;
+      sessions_.emplace(id, s);
+      res.reply.write_u32(id);
+      return res;
+    }
+    case kConfigure: {
+      const uint32_t id = data.read_u32();
+      const uint32_t w = data.read_u32();
+      const uint32_t h = data.read_u32();
+      const uint32_t bitrate = data.read_u32();
+      Session* s = session_of(id);
+      if (!data.ok() || s == nullptr || w == 0 || h == 0 || bitrate == 0) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      uint32_t frame_size;
+      if (bugs_.hevc_size_overflow && s->codec == kCodecHevc) {
+        // Vendor HEVC path skips the dimension clamp and computes the
+        // 256-byte-aligned NV12 frame size in 32 bits: (w*256)*h*3/2 wraps
+        // for large-but-valid dimensions.
+        frame_size = (w * 256u) * h * 3u / 2u;
+      } else {
+        if (w > 8192 || h > 8192) {
+          res.status = kStatusBadValue;
+          return res;
+        }
+        const uint64_t fs = static_cast<uint64_t>(w) * h * 3 / 2;
+        if (fs > (64u << 20)) {
+          res.status = kStatusBadValue;
+          return res;
+        }
+        frame_size = static_cast<uint32_t>(fs);
+      }
+      s->w = w;
+      s->h = h;
+      s->bitrate = bitrate;
+      s->frame_size = frame_size;
+      s->configured = true;
+      // Input pool allocation sized from frame_size.
+      std::vector<uint8_t> out;
+      const uint32_t alloc = frame_size == 0 ? 4096 : frame_size;
+      if (sys_ioctl(ion_fd(), IonDriver::kIocAlloc,
+                    pack_u32({alloc > (32u << 20) ? (32u << 20) : alloc, 0x2}),
+                    &out) == 0 &&
+          out.size() >= 4) {
+        s->ion_id = kernel::le_u32(out, 0);
+      }
+      return res;
+    }
+    case kQueueInput: {
+      const uint32_t id = data.read_u32();
+      const uint32_t size = data.read_u32();
+      Session* s = session_of(id);
+      if (!data.ok() || s == nullptr || size == 0) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (!s->configured) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      // memcpy(input_pool, bitstream, size) — pool was sized frame_size.
+      if (size > s->frame_size) {
+        if (bugs_.hevc_size_overflow && s->codec == kCodecHevc &&
+            static_cast<uint64_t>(s->w) * 256u * s->h * 3 / 2 >
+                0xffffffffull) {
+          // Wrapped pool: the copy smashes the heap.
+          crash_native("heap-buffer-overflow", "VdecCopyInputBuffer");
+        }
+        res.status = kStatusBadValue;
+        return res;
+      }
+      return res;
+    }
+    case kStart: {
+      const uint32_t id = data.read_u32();
+      Session* s = session_of(id);
+      if (!data.ok() || s == nullptr) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (!s->configured || s->started) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      // Warm-up: a linear three-job chain (decode -> scale -> encode).
+      std::vector<uint8_t> submit =
+          pack_u32({s->mali_ctx, 3, MaliDriver::kJobCompute, 0,
+                    MaliDriver::kJobVertex, 1, MaliDriver::kJobFragment, 2});
+      sys_ioctl(mali_fd(), MaliDriver::kIocJobSubmit, submit);
+      s->started = true;
+      return res;
+    }
+    case kTranscode: {
+      const uint32_t id = data.read_u32();
+      const uint32_t passes = data.read_u32();
+      const uint32_t pipeline = data.read_u32();
+      Session* s = session_of(id);
+      if (!data.ok() || s == nullptr || passes == 0 || passes > 8 ||
+          pipeline > 2) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (!s->started) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      // Build the per-pass job chain. pipeline: 0 = linear, 1 = fan-out
+      // from pass 1, 2 = "feedback" (vendor low-latency mode) where the
+      // first pass waits on the last — a dependency cycle.
+      std::vector<uint8_t> submit = pack_u32({s->mali_ctx, passes});
+      for (uint32_t i = 0; i < passes; ++i) {
+        const uint32_t type =
+            i + 1 == passes ? MaliDriver::kJobFragment : MaliDriver::kJobVertex;
+        uint32_t dep = 0;
+        if (pipeline == 0) {
+          dep = i;  // depends on previous (0 = none for the first)
+        } else if (pipeline == 1) {
+          dep = i == 0 ? 0 : 1;
+        } else {
+          dep = i == 0 ? passes : i;  // feedback: first waits on last
+        }
+        kernel::put_u32(submit, type);
+        kernel::put_u32(submit, dep);
+      }
+      sys_ioctl(mali_fd(), MaliDriver::kIocJobSubmit, submit);
+      std::vector<uint8_t> out;
+      sys_ioctl(mali_fd(), MaliDriver::kIocJobWait, pack_u32({s->mali_ctx}),
+                &out);
+      res.reply.write_u32(passes);
+      return res;
+    }
+    case kFlush: {
+      const uint32_t id = data.read_u32();
+      Session* s = session_of(id);
+      if (!data.ok() || s == nullptr) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      sys_ioctl(mali_fd(), MaliDriver::kIocFlush, pack_u32({s->mali_ctx}));
+      return res;
+    }
+    case kStop: {
+      const uint32_t id = data.read_u32();
+      Session* s = session_of(id);
+      if (!data.ok() || s == nullptr || !s->started) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      s->started = false;
+      return res;
+    }
+    case kReleaseSession: {
+      const uint32_t id = data.read_u32();
+      Session* s = session_of(id);
+      if (!data.ok() || s == nullptr) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (s->mali_ctx != 0) {
+        sys_ioctl(mali_fd(), MaliDriver::kIocCtxDestroy,
+                  pack_u32({s->mali_ctx}));
+      }
+      if (s->ion_id != 0) {
+        sys_ioctl(ion_fd(), IonDriver::kIocFree, pack_u32({s->ion_id}));
+      }
+      sessions_.erase(id);
+      return res;
+    }
+    default:
+      res.status = kStatusUnknownTransaction;
+      return res;
+  }
+}
+
+}  // namespace df::hal::services

@@ -1,0 +1,171 @@
+#include "hal/services/power_hal.h"
+
+#include "kernel/drivers/rt1711_i2c.h"
+#include "kernel/drivers/tcpc_core.h"
+
+namespace df::hal::services {
+
+using kernel::drivers::Rt1711Driver;
+using kernel::drivers::TcpcDriver;
+
+InterfaceDesc PowerHal::interface() const {
+  InterfaceDesc d;
+  d.service = std::string(descriptor());
+  d.methods = {
+      {kSetBoost,
+       "setBoost",
+       {{ArgKind::kU32, "level", 0, 3, {}, 0, ""}},
+       ""},
+      {kSetMode,
+       "setMode",
+       {{ArgKind::kEnum, "mode", 0, 0, {0, 1, 2, 3, 4}, 0, ""}},
+       ""},
+      {kUsbInit, "usbInit", {}, ""},
+      {kUsbConnect,
+       "usbConnect",
+       {{ArgKind::kEnum, "partner", 0, 0, {0, 1, 2, 3}, 0, ""}},
+       ""},
+      {kFastCharge,
+       "fastCharge",
+       {{ArgKind::kEnum, "mv", 0, 0, {5000, 9000, 15000, 20000}, 0, ""},
+        {ArgKind::kU32, "ma", 500, 5000, {}, 0, ""}},
+       ""},
+      {kUsbRoleSwap,
+       "usbRoleSwap",
+       {{ArgKind::kEnum, "role", 0, 0, {0, 1}, 0, ""}},
+       ""},
+      {kUsbDisconnect, "usbDisconnect", {}, ""},
+      {kTypecReset, "typecReset", {}, ""},
+  };
+  return d;
+}
+
+std::vector<UsageWeight> PowerHal::app_usage_profile() const {
+  return {{kSetBoost, 8.0},   {kSetMode, 4.0},       {kUsbInit, 1.0},
+          {kUsbConnect, 1.0}, {kFastCharge, 1.0},    {kUsbRoleSwap, 0.3},
+          {kUsbDisconnect, 1.0}, {kTypecReset, 0.2}};
+}
+
+int32_t PowerHal::tcpc_fd() {
+  if (tcpc_fd_ < 0) tcpc_fd_ = static_cast<int32_t>(sys_open("/dev/tcpc"));
+  return tcpc_fd_;
+}
+
+int32_t PowerHal::rt_fd() {
+  if (rt_fd_ < 0) rt_fd_ = static_cast<int32_t>(sys_open("/dev/rt1711"));
+  return rt_fd_;
+}
+
+void PowerHal::reset_native() {
+  tcpc_fd_ = -1;
+  rt_fd_ = -1;
+  usb_ready_ = false;
+  boost_ = 0;
+  mode_ = 0;
+}
+
+TxResult PowerHal::on_transact(uint32_t code, Parcel& data) {
+  TxResult res;
+  switch (code) {
+    case kSetBoost: {
+      const uint32_t level = data.read_u32();
+      if (!data.ok() || level > 3) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      boost_ = level;
+      return res;
+    }
+    case kSetMode: {
+      const uint32_t mode = data.read_u32();
+      if (!data.ok() || mode > 4) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      mode_ = mode;
+      return res;
+    }
+    case kUsbInit: {
+      if (usb_ready_) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      if (sys_ioctl(tcpc_fd(), TcpcDriver::kIocInit, {}) != 0) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      sys_ioctl(tcpc_fd(), TcpcDriver::kIocSetMode, pack_u32({2}));  // DRP
+      sys_ioctl(tcpc_fd(), TcpcDriver::kIocSetAlert, pack_u32({0x3f}));
+      // The companion rt1711 port controller is configured alongside.
+      sys_ioctl(rt_fd(), Rt1711Driver::kIocSetCc, pack_u32({1, 2}));
+      usb_ready_ = true;
+      return res;
+    }
+    case kUsbConnect: {
+      const uint32_t partner = data.read_u32();
+      if (!data.ok() || partner > 3) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (!usb_ready_) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      sys_ioctl(tcpc_fd(), TcpcDriver::kIocConnect, pack_u32({partner}));
+      sys_ioctl(rt_fd(), Rt1711Driver::kIocAttach, pack_u32({3}));
+      return res;
+    }
+    case kFastCharge: {
+      const uint32_t mv = data.read_u32();
+      const uint32_t ma = data.read_u32();
+      if (!data.ok()) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (!usb_ready_) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      const int64_t rc = sys_ioctl(tcpc_fd(), TcpcDriver::kIocPdNegotiate,
+                                   pack_u32({mv, ma}));
+      if (rc == 0) {
+        sys_ioctl(rt_fd(), Rt1711Driver::kIocVbus, pack_u32({mv}));
+      }
+      res.status = rc == 0 ? kStatusOk : kStatusBadValue;
+      return res;
+    }
+    case kUsbRoleSwap: {
+      const uint32_t role = data.read_u32();
+      if (!data.ok() || role > 1) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (!usb_ready_) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      const int64_t rc =
+          sys_ioctl(tcpc_fd(), TcpcDriver::kIocRoleSwap, pack_u32({role}));
+      res.status = rc == 0 ? kStatusOk : kStatusBadValue;
+      return res;
+    }
+    case kUsbDisconnect: {
+      if (!usb_ready_) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      sys_ioctl(tcpc_fd(), TcpcDriver::kIocDisconnect, {});
+      sys_ioctl(rt_fd(), Rt1711Driver::kIocDetach, {});
+      return res;
+    }
+    case kTypecReset: {
+      sys_ioctl(rt_fd(), Rt1711Driver::kIocReset, {});
+      return res;
+    }
+    default:
+      res.status = kStatusUnknownTransaction;
+      return res;
+  }
+}
+
+}  // namespace df::hal::services

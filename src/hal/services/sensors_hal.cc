@@ -1,0 +1,137 @@
+#include "hal/services/sensors_hal.h"
+
+#include "kernel/drivers/sensor_hub.h"
+
+namespace df::hal::services {
+
+using kernel::drivers::SensorHubDriver;
+
+InterfaceDesc SensorsHal::interface() const {
+  InterfaceDesc d;
+  d.service = std::string(descriptor());
+  d.methods = {
+      {kGetSensorList, "getSensorList", {}, ""},
+      {kActivate,
+       "activate",
+       {{ArgKind::kU32, "sensor", 0, 15, {}, 0, ""},
+        {ArgKind::kBool, "enable", 0, 1, {}, 0, ""}},
+       ""},
+      {kSetDelay,
+       "setDelay",
+       {{ArgKind::kU32, "sensor", 0, 15, {}, 0, ""},
+        {ArgKind::kU32, "rateHz", 1, 1000, {}, 0, ""}},
+       ""},
+      {kBatch,
+       "batch",
+       {{ArgKind::kU32, "sensor", 0, 15, {}, 0, ""},
+        {ArgKind::kU32, "fifoDepth", 1, 256, {}, 0, ""},
+        {ArgKind::kU32, "fifoLevels", 0, 15, {}, 0, ""}},
+       ""},
+      {kPoll, "poll", {{ArgKind::kU32, "max", 1, 64, {}, 0, ""}}, ""},
+      {kSelfTest,
+       "selfTest",
+       {{ArgKind::kU32, "sensor", 0, 15, {}, 0, ""}},
+       ""},
+  };
+  return d;
+}
+
+std::vector<UsageWeight> SensorsHal::app_usage_profile() const {
+  return {{kGetSensorList, 1.0}, {kActivate, 3.0}, {kSetDelay, 2.0},
+          {kBatch, 1.5},         {kPoll, 12.0},    {kSelfTest, 0.2}};
+}
+
+int32_t SensorsHal::hub_fd() {
+  if (hub_fd_ < 0) hub_fd_ = static_cast<int32_t>(sys_open("/dev/sensor_hub"));
+  return hub_fd_;
+}
+
+void SensorsHal::reset_native() { hub_fd_ = -1; }
+
+TxResult SensorsHal::on_transact(uint32_t code, Parcel& data) {
+  TxResult res;
+  switch (code) {
+    case kGetSensorList: {
+      std::vector<uint8_t> out;
+      if (sys_ioctl(hub_fd(), SensorHubDriver::kIocList, {}, &out) != 0) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      res.reply.write_u32(out.size() >= 4 ? kernel::le_u32(out, 0) : 0);
+      return res;
+    }
+    case kActivate: {
+      const uint32_t sensor = data.read_u32();
+      const bool enable = data.read_u32() != 0;
+      if (!data.ok() || sensor > 15) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      const int64_t rc = sys_ioctl(
+          hub_fd(),
+          enable ? SensorHubDriver::kIocEnable : SensorHubDriver::kIocDisable,
+          pack_u32({sensor}));
+      if (rc == 0 && enable) {
+        // Framework always programs a default rate right after enabling.
+        sys_ioctl(hub_fd(), SensorHubDriver::kIocSetRate,
+                  pack_u32({sensor, 50}));
+      }
+      res.status = rc == 0 ? kStatusOk : kStatusBadValue;
+      return res;
+    }
+    case kSetDelay: {
+      const uint32_t sensor = data.read_u32();
+      const uint32_t hz = data.read_u32();
+      if (!data.ok() || sensor > 15) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      const int64_t rc = sys_ioctl(hub_fd(), SensorHubDriver::kIocSetRate,
+                                   pack_u32({sensor, hz}));
+      res.status = rc == 0 ? kStatusOk : kStatusBadValue;
+      return res;
+    }
+    case kBatch: {
+      const uint32_t sensor = data.read_u32();
+      const uint32_t depth = data.read_u32();
+      const uint32_t levels = data.read_u32();
+      if (!data.ok() || sensor > 15) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      // `levels` goes straight into the kernel's nested-lock subclass.
+      const int64_t rc = sys_ioctl(hub_fd(), SensorHubDriver::kIocBatch,
+                                   pack_u32({sensor, depth, levels}));
+      res.status = rc == 0 ? kStatusOk : kStatusBadValue;
+      return res;
+    }
+    case kPoll: {
+      const uint32_t max = data.read_u32();
+      if (!data.ok() || max == 0 || max > 64) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      std::vector<uint8_t> out;
+      const int64_t n = sys_read(hub_fd(), max * 8, &out);
+      res.reply.write_u32(n >= 0 ? static_cast<uint32_t>(out.size() / 8) : 0);
+      return res;
+    }
+    case kSelfTest: {
+      const uint32_t sensor = data.read_u32();
+      if (!data.ok() || sensor > 15) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      std::vector<uint8_t> out;
+      sys_ioctl(hub_fd(), SensorHubDriver::kIocSelfTest, pack_u32({sensor}),
+                &out);
+      res.reply.write_u32(out.size() >= 4 ? kernel::le_u32(out, 0) : 0);
+      return res;
+    }
+    default:
+      res.status = kStatusUnknownTransaction;
+      return res;
+  }
+}
+
+}  // namespace df::hal::services

@@ -1,0 +1,132 @@
+#include "hal/services/wifi_hal.h"
+
+#include "kernel/drivers/wifi_rate.h"
+
+namespace df::hal::services {
+
+using kernel::drivers::WifiRateDriver;
+
+InterfaceDesc WifiHal::interface() const {
+  InterfaceDesc d;
+  d.service = std::string(descriptor());
+  d.methods = {
+      {kScan, "scan", {}, ""},
+      {kConnect,
+       "connect",
+       {{ArgKind::kU32, "bss", 0, 3, {}, 0, ""}},
+       ""},
+      {kDisconnect, "disconnect", {}, ""},
+      {kSetPowerSave,
+       "setPowerSave",
+       {{ArgKind::kEnum, "mode", 0, 0, {0, 1, 2, 3}, 0, ""}},
+       ""},
+      {kSetRateMask,
+       "setRateMask",
+       {{ArgKind::kU32, "count", 0, 16, {}, 0, ""},
+        {ArgKind::kBlob, "rates", 0, 0, {}, 32, ""}},
+       ""},
+      {kGetLinkInfo, "getLinkInfo", {}, ""},
+  };
+  return d;
+}
+
+std::vector<UsageWeight> WifiHal::app_usage_profile() const {
+  return {{kScan, 3.0},         {kConnect, 2.0},     {kDisconnect, 1.0},
+          {kSetPowerSave, 1.5}, {kSetRateMask, 0.5}, {kGetLinkInfo, 6.0}};
+}
+
+int32_t WifiHal::wifi_fd() {
+  if (wifi_fd_ < 0) wifi_fd_ = static_cast<int32_t>(sys_open("/dev/wifi0"));
+  return wifi_fd_;
+}
+
+void WifiHal::reset_native() {
+  wifi_fd_ = -1;
+  scanned_ = false;
+}
+
+TxResult WifiHal::on_transact(uint32_t code, Parcel& data) {
+  TxResult res;
+  switch (code) {
+    case kScan: {
+      std::vector<uint8_t> out;
+      const int64_t rc =
+          sys_ioctl(wifi_fd(), WifiRateDriver::kIocScan, {}, &out);
+      if (rc != 0) {
+        res.status = kStatusInvalidOperation;
+        return res;
+      }
+      scanned_ = true;
+      res.reply.write_u32(out.size() >= 4 ? kernel::le_u32(out, 0) : 0);
+      return res;
+    }
+    case kConnect: {
+      const uint32_t bss = data.read_u32();
+      if (!data.ok() || bss > 3) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      if (!scanned_) {
+        // The supplicant always scans before associating.
+        std::vector<uint8_t> out;
+        if (sys_ioctl(wifi_fd(), WifiRateDriver::kIocScan, {}, &out) == 0) {
+          scanned_ = true;
+        }
+      }
+      const int64_t rc =
+          sys_ioctl(wifi_fd(), WifiRateDriver::kIocAssoc, pack_u32({bss}));
+      res.status = rc == 0 ? kStatusOk : kStatusBadValue;
+      return res;
+    }
+    case kDisconnect: {
+      const int64_t rc =
+          sys_ioctl(wifi_fd(), WifiRateDriver::kIocDisassoc, {});
+      res.status = rc == 0 ? kStatusOk : kStatusInvalidOperation;
+      return res;
+    }
+    case kSetPowerSave: {
+      const uint32_t mode = data.read_u32();
+      if (!data.ok() || mode > 3) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      sys_ioctl(wifi_fd(), WifiRateDriver::kIocSetPower, pack_u32({mode}));
+      return res;
+    }
+    case kSetRateMask: {
+      const uint32_t count = data.read_u32();
+      const std::vector<uint8_t> rates = data.read_blob();
+      if (!data.ok() || count > 16) {
+        res.status = kStatusBadValue;
+        return res;
+      }
+      // The HAL abstracts rate *indices* into the PHY's supported-rate
+      // table entries (500 kbps units) — userspace never supplies raw
+      // rates, which is why its tables always validate in the kernel.
+      static constexpr uint16_t kSupported[] = {2,  4,  11, 12, 18, 22,
+                                                24, 36, 48, 72, 96, 108};
+      std::vector<uint8_t> payload = pack_u32({count});
+      for (uint32_t i = 0; i < count; ++i) {
+        const uint8_t idx = i < rates.size() ? rates[i] : 0;
+        const uint16_t rate = kSupported[idx % 12];
+        payload.push_back(static_cast<uint8_t>(rate & 0xff));
+        payload.push_back(static_cast<uint8_t>(rate >> 8));
+      }
+      const int64_t rc =
+          sys_ioctl(wifi_fd(), WifiRateDriver::kIocSetRates, payload);
+      res.status = rc == 0 ? kStatusOk : kStatusBadValue;
+      return res;
+    }
+    case kGetLinkInfo: {
+      std::vector<uint8_t> out;
+      sys_ioctl(wifi_fd(), WifiRateDriver::kIocGetLink, {}, &out);
+      res.reply.write_u32(out.size() >= 4 ? kernel::le_u32(out, 0) : 0);
+      return res;
+    }
+    default:
+      res.status = kStatusUnknownTransaction;
+      return res;
+  }
+}
+
+}  // namespace df::hal::services

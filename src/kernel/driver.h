@@ -1,0 +1,200 @@
+// Driver framework for the simulated kernel.
+//
+// A Driver is a file_operations-style object: the kernel routes syscalls on
+// its device nodes (or socket protocols) to the virtual ops below. Drivers
+// are written as *gated state machines*: deep blocks only execute after a
+// realistic multi-call protocol, which is exactly the property that makes
+// proprietary drivers hard for syscall-only fuzzers and reachable through
+// the HAL (the paper's core premise).
+//
+// All driver-visible kernel services (coverage, kmalloc/KASAN, WARN/BUG,
+// watchdog) flow through DriverCtx so that every effect is attributed to a
+// task and a driver.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "kernel/kasan.h"
+#include "kernel/syscall.h"
+#include "util/rng.h"
+
+namespace df::kernel {
+
+class Kernel;
+class Driver;
+struct Task;
+
+// One open file description (regular device node or socket). Shared between
+// fds on dup(). Driver-private per-open state lives in `priv`.
+struct File {
+  Driver* drv = nullptr;
+  std::string path;           // "/dev/..." or "sock:<family>:<proto>"
+  uint64_t flags = 0;         // open flags
+  uint64_t pos = 0;           // lseek position
+  bool is_sock = false;
+  uint64_t sock_type = 0;
+  uint64_t sock_proto = 0;
+  std::shared_ptr<void> priv;
+
+  // Typed accessor for driver-private state.
+  template <typename T>
+  T* state() const {
+    return static_cast<T*>(priv.get());
+  }
+  template <typename T, typename... Args>
+  T* make_state(Args&&... args) {
+    auto p = std::make_shared<T>(std::forward<Args>(args)...);
+    T* raw = p.get();
+    priv = std::move(p);
+    return raw;
+  }
+};
+
+// Kernel services exposed to driver code for the duration of one syscall.
+class DriverCtx {
+ public:
+  DriverCtx(Kernel& kernel, Task& task, Driver& driver);
+
+  // --- coverage -----------------------------------------------------------
+  // Records basic block `block` of the current driver in the task's kcov
+  // buffer and the kernel's cumulative statistics.
+  void cov(uint64_t block);
+  // Parametric block: base + sub encodes per-command / per-state blocks.
+  void covp(uint64_t base, uint64_t sub) { cov(base * 1024 + sub); }
+
+  // --- memory (KASAN-checked) --------------------------------------------
+  HeapPtr kmalloc(size_t size, std::string_view tag);
+  void kfree(HeapPtr p, std::string_view site);
+  bool mem_read(HeapPtr p, size_t off, std::span<uint8_t> dst,
+                std::string_view site);
+  bool mem_write(HeapPtr p, size_t off, std::span<const uint8_t> src,
+                 std::string_view site);
+  bool mem_check(HeapPtr p, size_t off, size_t len, Access kind,
+                 std::string_view site);
+
+  // --- reporting ----------------------------------------------------------
+  void warn(std::string_view site, std::string_view detail = {});
+  void bug(std::string_view message);
+  void kasan_report(std::string_view bug_class, std::string_view site,
+                    std::string_view detail = {});
+
+  // --- watchdog -----------------------------------------------------------
+  // Call inside loops. Returns false once the per-syscall iteration budget
+  // is exhausted; a hung-task report has then been raised for `site` and the
+  // driver must bail out.
+  bool loop_guard(std::string_view site);
+
+  // --- lockdep ------------------------------------------------------------
+  // Validates a lock nesting subclass like the kernel's lockdep facility;
+  // subclass >= 8 raises "BUG: looking up invalid subclass: N".
+  bool lock_acquire_nested(uint32_t subclass, std::string_view lock_name);
+
+  Kernel& kernel() { return kernel_; }
+  Task& task() { return task_; }
+  Driver& driver() { return driver_; }
+  util::Rng& rng();
+
+ private:
+  Kernel& kernel_;
+  Task& task_;
+  Driver& driver_;
+  size_t loop_iters_ = 0;
+  bool hang_reported_ = false;
+};
+
+class Driver {
+ public:
+  struct SockTriple {
+    uint64_t family = 0;
+    uint64_t type = 0;
+    uint64_t proto = 0;
+  };
+
+  virtual ~Driver() = default;
+
+  virtual std::string_view name() const = 0;
+  // Device nodes this driver serves, e.g. {"/dev/rt1711"}.
+  virtual std::vector<std::string> nodes() const { return {}; }
+  // Socket (family, type, protocol) triples this driver serves.
+  virtual std::vector<SockTriple> socket_protos() const { return {}; }
+
+  // Called once at boot (and again after every reboot).
+  virtual void probe(DriverCtx&) {}
+  // Drop all driver state (device reboot). Must restore boot-time state.
+  virtual void reset() {}
+
+  // --- file ops; default implementations return sensible errnos ----------
+  virtual int64_t open(DriverCtx&, File&) { return 0; }
+  virtual void release(DriverCtx&, File&) {}
+  virtual int64_t ioctl(DriverCtx&, File&, uint64_t /*req*/,
+                        std::span<const uint8_t> /*in*/,
+                        std::vector<uint8_t>& /*out*/) {
+    return err::kENOTTY;
+  }
+  virtual int64_t read(DriverCtx&, File&, size_t /*n*/,
+                       std::vector<uint8_t>& /*out*/) {
+    return err::kEINVAL;
+  }
+  virtual int64_t write(DriverCtx&, File&, std::span<const uint8_t>) {
+    return err::kEINVAL;
+  }
+  virtual int64_t mmap(DriverCtx&, File&, size_t /*len*/, uint64_t /*prot*/) {
+    return err::kENODEV;
+  }
+  virtual int64_t poll(DriverCtx&, File&, uint64_t /*events*/) { return 0; }
+
+  // --- socket ops ---------------------------------------------------------
+  virtual int64_t sock_create(DriverCtx&, File&) { return err::kEPROTO; }
+  virtual int64_t bind(DriverCtx&, File&, std::span<const uint8_t>) {
+    return err::kEOPNOTSUPP;
+  }
+  virtual int64_t connect(DriverCtx&, File&, std::span<const uint8_t>) {
+    return err::kEOPNOTSUPP;
+  }
+  virtual int64_t listen(DriverCtx&, File&, uint64_t /*backlog*/) {
+    return err::kEOPNOTSUPP;
+  }
+  // On success the driver fills `child` (a fresh socket File on the same
+  // driver) and returns 0; the kernel then assigns the new fd.
+  virtual int64_t accept(DriverCtx&, File& /*listener*/, File& /*child*/) {
+    return err::kEOPNOTSUPP;
+  }
+  virtual int64_t setsockopt(DriverCtx&, File&, uint64_t /*level*/,
+                             uint64_t /*opt*/, std::span<const uint8_t>) {
+    return err::kEOPNOTSUPP;
+  }
+  virtual int64_t getsockopt(DriverCtx&, File&, uint64_t /*level*/,
+                             uint64_t /*opt*/, std::vector<uint8_t>&) {
+    return err::kEOPNOTSUPP;
+  }
+  virtual int64_t sendmsg(DriverCtx&, File&, std::span<const uint8_t>) {
+    return err::kEOPNOTSUPP;
+  }
+  virtual int64_t recvmsg(DriverCtx&, File&, size_t /*n*/,
+                          std::vector<uint8_t>&) {
+    return err::kEOPNOTSUPP;
+  }
+
+  // Assigned by the kernel at registration; used for coverage attribution.
+  uint16_t driver_id() const { return driver_id_; }
+
+ private:
+  friend class Kernel;
+  uint16_t driver_id_ = 0;
+};
+
+// Helpers for little-endian scalar extraction from syscall payloads —
+// drivers parse user buffers with these.
+uint64_t le_u64(std::span<const uint8_t> b, size_t off);
+uint32_t le_u32(std::span<const uint8_t> b, size_t off);
+uint16_t le_u16(std::span<const uint8_t> b, size_t off);
+void put_u64(std::vector<uint8_t>& b, uint64_t v);
+void put_u32(std::vector<uint8_t>& b, uint32_t v);
+void put_u16(std::vector<uint8_t>& b, uint16_t v);
+
+}  // namespace df::kernel

@@ -1,0 +1,141 @@
+#include "kernel/drivers/audio_pcm.h"
+
+namespace df::kernel::drivers {
+
+// Block map: 1xx params, 2xx prepare/start, 3xx write, 4xx drain/pause.
+
+namespace {
+bool valid_rate(uint32_t r) {
+  return r == 8000 || r == 16000 || r == 44100 || r == 48000 || r == 96000;
+}
+}  // namespace
+
+void AudioPcmDriver::probe(DriverCtx& ctx) {
+  ctx.cov(100);
+}
+
+void AudioPcmDriver::reset() {
+  st_ = St::kOpen;
+  rate_ = channels_ = fmt_ = 0;
+  frames_written_ = 0;
+}
+
+int64_t AudioPcmDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
+                              std::span<const uint8_t> in,
+                              std::vector<uint8_t>& out) {
+  switch (req) {
+    case kIocHwParams: {
+      const uint32_t rate = le_u32(in, 0);
+      const uint32_t ch = le_u32(in, 4);
+      const uint32_t fmt = le_u32(in, 8);
+      ctx.cov(110);
+      if (st_ == St::kRunning || st_ == St::kDraining) {
+        ctx.cov(111);
+        return err::kEBUSY;
+      }
+      if (!valid_rate(rate)) {
+        ctx.cov(112);
+        return err::kEINVAL;
+      }
+      if (ch == 0 || ch > 8) {
+        ctx.cov(113);
+        return err::kEINVAL;
+      }
+      if (fmt > 3) {  // s16le, s24le, s32le, f32
+        ctx.cov(114);
+        return err::kEINVAL;
+      }
+      rate_ = rate;
+      channels_ = ch;
+      fmt_ = fmt;
+      st_ = St::kSetup;
+      // DSP path table: rate x channels x format.
+      ctx.covp(12, (rate / 8000) * 32 + ch * 4 + fmt);
+      return 0;
+    }
+    case kIocPrepare:
+      ctx.cov(200);
+      if (st_ != St::kSetup && st_ != St::kPaused) {
+        ctx.cov(201);
+        return err::kEINVAL;
+      }
+      st_ = St::kPrepared;
+      ctx.cov(202);
+      return 0;
+    case kIocStart:
+      ctx.cov(210);
+      if (st_ != St::kPrepared) {
+        ctx.cov(211);
+        return err::kEINVAL;
+      }
+      st_ = St::kRunning;
+      ctx.cov(212);
+      return 0;
+    case kIocDrain:
+      ctx.cov(400);
+      if (st_ != St::kRunning) {
+        ctx.cov(401);
+        return err::kEINVAL;
+      }
+      st_ = St::kDraining;
+      ctx.covp(41, frames_written_ % 8);
+      st_ = St::kSetup;
+      return 0;
+    case kIocPause: {
+      const uint32_t on = le_u32(in, 0);
+      ctx.cov(410);
+      if (on != 0 && st_ == St::kRunning) {
+        st_ = St::kPaused;
+        ctx.cov(411);
+        return 0;
+      }
+      if (on == 0 && st_ == St::kPaused) {
+        st_ = St::kRunning;
+        ctx.cov(412);
+        return 0;
+      }
+      ctx.cov(413);
+      return err::kEINVAL;
+    }
+    case kIocStatus:
+      ctx.cov(420);
+      put_u32(out, static_cast<uint32_t>(st_));
+      put_u64(out, frames_written_);
+      ctx.covp(43, static_cast<uint64_t>(st_));
+      return 0;
+    default:
+      ctx.cov(1);
+      return err::kENOTTY;
+  }
+}
+
+int64_t AudioPcmDriver::write(DriverCtx& ctx, File&,
+                              std::span<const uint8_t> data) {
+  ctx.cov(300);
+  if (st_ != St::kRunning) {
+    ctx.cov(301);
+    return err::kEPIPE;  // underrun-style error
+  }
+  if (data.empty()) {
+    ctx.cov(302);
+    return 0;
+  }
+  const size_t frame_bytes = channels_ * (fmt_ == 0 ? 2 : 4);
+  const uint64_t frames = data.size() / (frame_bytes ? frame_bytes : 1);
+  frames_written_ += frames;
+  ctx.covp(31, data.size() / 256 % 16);  // period-size paths
+  ctx.covp(32, frames_written_ / 1024 % 8);
+  return static_cast<int64_t>(data.size());
+}
+
+int64_t AudioPcmDriver::mmap(DriverCtx& ctx, File&, size_t len, uint64_t) {
+  ctx.cov(330);
+  if (st_ == St::kOpen || len == 0) {
+    ctx.cov(331);
+    return err::kEINVAL;
+  }
+  ctx.covp(34, len / 4096 % 8);
+  return 0;
+}
+
+}  // namespace df::kernel::drivers

@@ -1,0 +1,127 @@
+#include "kernel/drivers/drm_gpu.h"
+
+namespace df::kernel::drivers {
+
+// Block map: 1xx caps, 2xx bo, 3xx submit, 4xx wait.
+
+void DrmGpuDriver::probe(DriverCtx& ctx) {
+  ctx.cov(100);
+}
+
+void DrmGpuDriver::reset() {
+  bos_.clear();
+  next_handle_ = 1;
+  next_fence_ = 1;
+}
+
+int64_t DrmGpuDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
+                            std::span<const uint8_t> in,
+                            std::vector<uint8_t>& out) {
+  switch (req) {
+    case kIocGetCap: {
+      const uint32_t cap = le_u32(in, 0);
+      ctx.cov(110);
+      if (cap > 12) {
+        ctx.cov(111);
+        return err::kEINVAL;
+      }
+      ctx.covp(11, cap);
+      put_u64(out, cap % 3 ? 1 : 4096);
+      return 0;
+    }
+    case kIocCreateBo: {
+      const uint32_t pages = le_u32(in, 0);
+      ctx.cov(200);
+      if (pages == 0 || pages > 16384) {
+        ctx.cov(201);
+        return err::kEINVAL;
+      }
+      if (bos_.size() >= 64) {
+        ctx.cov(202);
+        return err::kENOSPC;
+      }
+      const uint32_t h = next_handle_++;
+      bos_.emplace(h, Bo{pages, false});
+      uint32_t order = 0;
+      for (uint32_t p = pages; p > 1; p >>= 1) ++order;
+      ctx.covp(21, order);
+      put_u32(out, h);
+      return 0;
+    }
+    case kIocMapBo: {
+      const uint32_t h = le_u32(in, 0);
+      ctx.cov(210);
+      auto it = bos_.find(h);
+      if (it == bos_.end()) {
+        ctx.cov(211);
+        return err::kEINVAL;
+      }
+      it->second.mapped = true;
+      ctx.cov(212);
+      put_u64(out, 0x10000000ull + h * 0x1000);
+      return 0;
+    }
+    case kIocDestroyBo: {
+      const uint32_t h = le_u32(in, 0);
+      ctx.cov(220);
+      if (bos_.erase(h) == 0) {
+        ctx.cov(221);
+        return err::kEINVAL;
+      }
+      ctx.cov(222);
+      return 0;
+    }
+    case kIocSubmit: {
+      // u32 pipe, u32 n, n x u32 handles.
+      const uint32_t pipe = le_u32(in, 0);
+      const uint32_t n = le_u32(in, 4);
+      ctx.cov(300);
+      if (pipe > 2) {
+        ctx.cov(301);
+        return err::kEINVAL;
+      }
+      if (n == 0 || n > 16 || in.size() < 8 + n * 4u) {
+        ctx.cov(302);
+        return err::kEINVAL;
+      }
+      for (uint32_t i = 0; i < n; ++i) {
+        const uint32_t h = le_u32(in, 8 + i * 4);
+        auto it = bos_.find(h);
+        if (it == bos_.end()) {
+          ctx.cov(303);
+          return err::kEINVAL;
+        }
+        if (!it->second.mapped) {
+          ctx.cov(304);
+          return err::kEFAULT;
+        }
+        ctx.covp(31, pipe * 8 + i % 8);
+      }
+      ctx.covp(32, n);
+      put_u32(out, next_fence_++);
+      return 0;
+    }
+    case kIocWait: {
+      const uint32_t fence = le_u32(in, 0);
+      ctx.cov(400);
+      if (fence == 0 || fence >= next_fence_) {
+        ctx.cov(401);
+        return err::kEINVAL;
+      }
+      ctx.covp(41, fence % 8);
+      return 0;
+    }
+    default:
+      ctx.cov(1);
+      return err::kENOTTY;
+  }
+}
+
+int64_t DrmGpuDriver::mmap(DriverCtx& ctx, File&, size_t len, uint64_t) {
+  ctx.cov(230);
+  if (len == 0) return err::kEINVAL;
+  ctx.covp(23, len / 4096 % 8);
+  return 0;
+}
+
+}  // namespace df::kernel::drivers

@@ -1,0 +1,47 @@
+// DRM display/render driver (simulated).
+//
+// Buffer-object lifecycle (create/map/destroy) plus command submission over
+// BO lists — the kernel counterpart of the Graphics HAL's composition path.
+// No planted bug.
+#pragma once
+
+#include <map>
+
+#include "kernel/driver.h"
+
+namespace df::kernel::drivers {
+
+class DrmGpuDriver final : public Driver {
+ public:
+  static constexpr uint64_t kIocGetCap = 0xd001;     // u32 cap id
+  static constexpr uint64_t kIocCreateBo = 0xd002;   // u32 size_pages
+  static constexpr uint64_t kIocMapBo = 0xd003;      // u32 handle
+  static constexpr uint64_t kIocDestroyBo = 0xd004;  // u32 handle
+  static constexpr uint64_t kIocSubmit = 0xd005;     // u32 pipe, u32 n, h[]
+  static constexpr uint64_t kIocWait = 0xd006;       // u32 fence
+
+  std::string_view name() const override { return "drm_gpu"; }
+  std::vector<std::string> nodes() const override {
+    return {"/dev/dri_card0"};
+  }
+
+  void probe(DriverCtx& ctx) override;
+  void reset() override;
+
+  int64_t ioctl(DriverCtx& ctx, File& f, uint64_t req,
+                std::span<const uint8_t> in,
+                std::vector<uint8_t>& out) override;
+  int64_t mmap(DriverCtx& ctx, File& f, size_t len, uint64_t prot) override;
+
+ private:
+  struct Bo {
+    uint32_t pages = 0;
+    bool mapped = false;
+  };
+
+  uint32_t next_handle_ = 1;
+  uint32_t next_fence_ = 1;
+  std::map<uint32_t, Bo> bos_;
+};
+
+}  // namespace df::kernel::drivers

@@ -1,0 +1,179 @@
+#include "kernel/drivers/gpu_mali.h"
+
+#include <vector>
+
+namespace df::kernel::drivers {
+
+// Block map: 1xx ctx, 2xx pool, 3xx submit parse, 4xx scheduler, 5xx wait.
+
+void MaliDriver::probe(DriverCtx& ctx) {
+  ctx.cov(100);
+}
+
+void MaliDriver::reset() {
+  ctxs_.clear();
+  next_ctx_ = 1;
+}
+
+int64_t MaliDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
+                          std::span<const uint8_t> in,
+                          std::vector<uint8_t>& out) {
+  switch (req) {
+    case kIocCtxCreate: {
+      ctx.cov(110);
+      if (ctxs_.size() >= 16) {
+        ctx.cov(111);
+        return err::kENOSPC;
+      }
+      const uint32_t id = next_ctx_++;
+      ctxs_.emplace(id, GpuCtx{});
+      ctx.covp(12, ctxs_.size());
+      put_u32(out, id);
+      return 0;
+    }
+    case kIocCtxDestroy: {
+      const uint32_t id = le_u32(in, 0);
+      ctx.cov(130);
+      if (ctxs_.erase(id) == 0) {
+        ctx.cov(131);
+        return err::kEINVAL;
+      }
+      ctx.cov(132);
+      return 0;
+    }
+    case kIocMemPool: {
+      const uint32_t id = le_u32(in, 0);
+      const uint32_t pages = le_u32(in, 4);
+      ctx.cov(200);
+      auto it = ctxs_.find(id);
+      if (it == ctxs_.end()) {
+        ctx.cov(201);
+        return err::kEINVAL;
+      }
+      if (pages == 0 || pages > 65536) {
+        ctx.cov(202);
+        return err::kEINVAL;
+      }
+      it->second.pool_pages = pages;
+      // Pool grow paths bucketed by order of magnitude.
+      uint32_t order = 0;
+      for (uint32_t p = pages; p > 1; p >>= 1) ++order;
+      ctx.covp(21, order);
+      return 0;
+    }
+    case kIocJobSubmit: {
+      // Payload: u32 ctx_id, u32 njobs, then njobs x {u32 type, u32 dep}.
+      ctx.cov(300);
+      const uint32_t id = le_u32(in, 0);
+      const uint32_t njobs = le_u32(in, 4);
+      auto it = ctxs_.find(id);
+      if (it == ctxs_.end()) {
+        ctx.cov(301);
+        return err::kEINVAL;
+      }
+      GpuCtx& g = it->second;
+      if (g.pool_pages == 0) {
+        ctx.cov(302);
+        return err::kENOMEM;  // no backing memory configured
+      }
+      if (njobs == 0 || njobs > 32 || in.size() < 8 + njobs * 8u) {
+        ctx.cov(303);
+        return err::kEINVAL;
+      }
+      struct Job {
+        uint32_t type;
+        uint32_t dep;
+        bool done = false;
+      };
+      std::vector<Job> jobs;
+      jobs.reserve(njobs);
+      bool has_fragment = false;
+      for (uint32_t i = 0; i < njobs; ++i) {
+        Job j{le_u32(in, 8 + i * 8), le_u32(in, 12 + i * 8), false};
+        if (j.type > kJobCompute) {
+          ctx.cov(304);
+          return err::kEINVAL;
+        }
+        if (j.type == kJobFragment) has_fragment = true;
+        jobs.push_back(j);
+      }
+      ctx.covp(31, njobs);
+
+      // Scheduler: run any job whose dependency is satisfied. dep == 0
+      // means "no dependency"; dep == k depends on job k (1-based).
+      // A hardened driver validates acyclicity up front; the vendor one
+      // only does when the bug is "fixed" (flag off).
+      if (!bugs_.job_loop || !has_fragment) {
+        // Cycle pre-check (the fixed behaviour).
+        for (uint32_t i = 0; i < njobs; ++i) {
+          uint32_t seen = 0, cur = i + 1;
+          while (cur != 0 && seen <= njobs) {
+            cur = jobs[cur - 1].dep > njobs ? 0 : jobs[cur - 1].dep;
+            ++seen;
+          }
+          if (seen > njobs) {
+            ctx.cov(305);
+            return err::kEINVAL;
+          }
+        }
+      }
+      ctx.cov(400);
+      size_t remaining = jobs.size();
+      while (remaining > 0) {
+        if (!ctx.loop_guard("gpu_mali_job_loop")) return err::kEINTR;
+        bool progress = false;
+        for (auto& j : jobs) {
+          if (j.done) continue;
+          const bool dep_ok =
+              j.dep == 0 || (j.dep <= njobs && jobs[j.dep - 1].done);
+          if (!dep_ok) continue;
+          j.done = true;
+          --remaining;
+          progress = true;
+          ++g.jobs_run;
+          ctx.covp(41, j.type);  // per-job-type execution units
+          if (j.type == kJobFragment) ctx.covp(42, g.pool_pages % 16);
+        }
+        if (!progress) {
+          if (bugs_.job_loop && has_fragment) {
+            // Vendor bug: the scheduler retries forever waiting for the
+            // dependency to resolve instead of failing the chain.
+            ctx.cov(410);
+            continue;
+          }
+          ctx.cov(411);
+          return err::kEINVAL;  // unresolvable chain, fail cleanly
+        }
+      }
+      ++g.completed_batches;
+      ctx.covp(43, g.completed_batches % 8);
+      return 0;
+    }
+    case kIocJobWait: {
+      const uint32_t id = le_u32(in, 0);
+      ctx.cov(500);
+      auto it = ctxs_.find(id);
+      if (it == ctxs_.end()) return err::kEINVAL;
+      put_u64(out, it->second.jobs_run);
+      ctx.covp(51, it->second.jobs_run % 8);
+      return 0;
+    }
+    case kIocGetVersion:
+      ctx.cov(510);
+      put_u32(out, 0x0b0a0900);  // r11p0
+      return 0;
+    case kIocFlush: {
+      const uint32_t id = le_u32(in, 0);
+      ctx.cov(520);
+      auto it = ctxs_.find(id);
+      if (it == ctxs_.end()) return err::kEINVAL;
+      ctx.cov(521);
+      return 0;
+    }
+    default:
+      ctx.cov(1);
+      return err::kENOTTY;
+  }
+}
+
+}  // namespace df::kernel::drivers

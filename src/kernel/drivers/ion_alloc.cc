@@ -1,0 +1,81 @@
+#include "kernel/drivers/ion_alloc.h"
+
+namespace df::kernel::drivers {
+
+// Block map: 1xx alloc, 2xx free/share, 3xx query.
+
+void IonDriver::probe(DriverCtx& ctx) {
+  ctx.cov(100);
+}
+
+void IonDriver::reset() {
+  bufs_.clear();
+  next_id_ = 1;
+}
+
+int64_t IonDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
+                         std::span<const uint8_t> in,
+                         std::vector<uint8_t>& out) {
+  switch (req) {
+    case kIocAlloc: {
+      const uint32_t len = le_u32(in, 0);
+      const uint32_t heap_mask = le_u32(in, 4);
+      ctx.cov(110);
+      if (len == 0 || len > (64u << 20)) {
+        ctx.cov(111);
+        return err::kEINVAL;
+      }
+      if ((heap_mask & 0xf) == 0) {
+        ctx.cov(112);
+        return err::kEINVAL;  // no eligible heap
+      }
+      if (bufs_.size() >= 128) {
+        ctx.cov(113);
+        return err::kENOMEM;
+      }
+      const uint32_t id = next_id_++;
+      bufs_.emplace(id, Buf{len, heap_mask & 0xf, false});
+      for (uint32_t bit = 0; bit < 4; ++bit) {
+        if (heap_mask & (1u << bit)) ctx.covp(12, bit);
+      }
+      uint32_t order = 0;
+      for (uint32_t l = len >> 12; l > 1; l >>= 1) ++order;
+      ctx.covp(13, order);
+      put_u32(out, id);
+      return 0;
+    }
+    case kIocFree: {
+      const uint32_t id = le_u32(in, 0);
+      ctx.cov(200);
+      if (bufs_.erase(id) == 0) {
+        ctx.cov(201);
+        return err::kEINVAL;
+      }
+      ctx.cov(202);
+      return 0;
+    }
+    case kIocShare: {
+      const uint32_t id = le_u32(in, 0);
+      ctx.cov(210);
+      auto it = bufs_.find(id);
+      if (it == bufs_.end()) {
+        ctx.cov(211);
+        return err::kEINVAL;
+      }
+      it->second.shared = true;
+      ctx.covp(22, it->second.heap);
+      put_u32(out, id | 0x80000000u);
+      return 0;
+    }
+    case kIocQuery:
+      ctx.cov(300);
+      put_u32(out, static_cast<uint32_t>(bufs_.size()));
+      ctx.covp(31, bufs_.size() % 8);
+      return 0;
+    default:
+      ctx.cov(1);
+      return err::kENOTTY;
+  }
+}
+
+}  // namespace df::kernel::drivers

@@ -1,0 +1,42 @@
+// ION-style DMA buffer allocator (simulated).
+//
+// Heap-masked allocations shared between the media/camera/graphics HALs and
+// their kernel drivers; allocation ids act as cross-driver buffer currency.
+// No planted bug.
+#pragma once
+
+#include <map>
+
+#include "kernel/driver.h"
+
+namespace df::kernel::drivers {
+
+class IonDriver final : public Driver {
+ public:
+  static constexpr uint64_t kIocAlloc = 0xe001;  // u32 len, u32 heap_mask
+  static constexpr uint64_t kIocFree = 0xe002;   // u32 id
+  static constexpr uint64_t kIocShare = 0xe003;  // u32 id
+  static constexpr uint64_t kIocQuery = 0xe004;
+
+  std::string_view name() const override { return "ion_alloc"; }
+  std::vector<std::string> nodes() const override { return {"/dev/ion"}; }
+
+  void probe(DriverCtx& ctx) override;
+  void reset() override;
+
+  int64_t ioctl(DriverCtx& ctx, File& f, uint64_t req,
+                std::span<const uint8_t> in,
+                std::vector<uint8_t>& out) override;
+
+ private:
+  struct Buf {
+    uint32_t len = 0;
+    uint32_t heap = 0;
+    bool shared = false;
+  };
+
+  uint32_t next_id_ = 1;
+  std::map<uint32_t, Buf> bufs_;
+};
+
+}  // namespace df::kernel::drivers

@@ -1,0 +1,139 @@
+#include "kernel/drivers/rt1711_i2c.h"
+
+namespace df::kernel::drivers {
+
+// Block map: 1xx probe, 2xx attach, 3xx cc, 4xx vbus, 5xx alert, 6xx status.
+
+void Rt1711Driver::probe(DriverCtx& ctx) {
+  chip_ = Chip::kIdle;
+  mode_ = cc1_ = cc2_ = vbus_mv_ = alert_mask_ = 0;
+  do_probe(ctx);
+}
+
+void Rt1711Driver::do_probe(DriverCtx& ctx) {
+  ++probe_count_;
+  ctx.cov(100);
+  ctx.cov(101 + probe_count_ % 4);  // vendor init retries differ per boot
+  if (chip_ == Chip::kAttached) {
+    // Re-probe with a partner attached: the vendor driver forgets to tear
+    // down the CC state machine first and trips a WARN_ON in probe.
+    ctx.cov(110);
+    if (bugs_.probe_warn) {
+      ctx.warn("rt1711_i2c_probe", "re-probe with active CC attach");
+    }
+    chip_ = Chip::kIdle;
+  }
+  ctx.cov(120);
+}
+
+void Rt1711Driver::reset() {
+  chip_ = Chip::kIdle;
+  mode_ = cc1_ = cc2_ = vbus_mv_ = alert_mask_ = 0;
+}
+
+int64_t Rt1711Driver::open(DriverCtx& ctx, File&) {
+  ctx.cov(1);
+  return 0;
+}
+
+int64_t Rt1711Driver::ioctl(DriverCtx& ctx, File&, uint64_t req,
+                            std::span<const uint8_t> in,
+                            std::vector<uint8_t>& out) {
+  switch (req) {
+    case kIocAttach: {
+      const uint32_t mode = le_u32(in, 0);
+      ctx.cov(200);
+      if (mode == 0 || mode > 3) {
+        ctx.cov(201);
+        return err::kEINVAL;
+      }
+      ctx.covp(21, mode);  // per-mode attach paths
+      if (chip_ == Chip::kAttached) {
+        ctx.cov(202);
+        return err::kEBUSY;
+      }
+      mode_ = mode;
+      chip_ = Chip::kAttached;
+      ctx.covp(22, mode * 4 + (cc1_ & 3));  // attach outcome depends on CC
+      return 0;
+    }
+    case kIocDetach:
+      ctx.cov(210);
+      if (chip_ != Chip::kAttached) return err::kEINVAL;
+      chip_ = Chip::kIdle;
+      ctx.cov(211);
+      return 0;
+    case kIocReset:
+      ctx.cov(220);
+      // Chip reset path re-enters probe (the planted bug's entry point).
+      do_probe(ctx);
+      return 0;
+    case kIocSetCc: {
+      const uint32_t cc1 = le_u32(in, 0), cc2 = le_u32(in, 4);
+      ctx.cov(300);
+      if (cc1 > 3 || cc2 > 3) {
+        ctx.cov(301);
+        return err::kEINVAL;
+      }
+      cc1_ = cc1;
+      cc2_ = cc2;
+      ctx.covp(31, cc1 * 4 + cc2);  // 16 distinct CC configurations
+      return 0;
+    }
+    case kIocVbus: {
+      const uint32_t mv = le_u32(in, 0);
+      ctx.cov(400);
+      if (chip_ != Chip::kAttached) {
+        ctx.cov(401);
+        return err::kEINVAL;
+      }
+      if (mv > 20000) {
+        ctx.cov(402);
+        return err::kEINVAL;
+      }
+      vbus_mv_ = mv;
+      ctx.covp(41, mv / 1000);  // per-kV regulator paths
+      return 0;
+    }
+    case kIocAlert: {
+      const uint32_t mask = le_u32(in, 0);
+      ctx.cov(500);
+      alert_mask_ = mask & 0xff;
+      for (uint32_t bit = 0; bit < 8; ++bit) {
+        if (alert_mask_ & (1u << bit)) ctx.covp(51, bit);
+      }
+      if (alert_mask_ != 0 && chip_ == Chip::kAttached) {
+        chip_ = Chip::kAlerting;
+        ctx.cov(510);
+      }
+      return 0;
+    }
+    case kIocGetStatus:
+      ctx.cov(600);
+      ctx.covp(61, static_cast<uint64_t>(chip_));
+      put_u32(out, static_cast<uint32_t>(chip_));
+      put_u32(out, mode_);
+      put_u32(out, vbus_mv_);
+      return 0;
+    default:
+      ctx.cov(2);
+      return err::kENOTTY;
+  }
+}
+
+int64_t Rt1711Driver::read(DriverCtx& ctx, File&, size_t n,
+                           std::vector<uint8_t>& out) {
+  ctx.cov(700);
+  if (n == 0) return 0;
+  // Alert FIFO: drains one event per read when alerting.
+  if (chip_ == Chip::kAlerting) {
+    ctx.cov(701);
+    put_u32(out, alert_mask_);
+    chip_ = Chip::kAttached;
+    return static_cast<int64_t>(out.size());
+  }
+  ctx.cov(702);
+  return err::kEAGAIN;
+}
+
+}  // namespace df::kernel::drivers

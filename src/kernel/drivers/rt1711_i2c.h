@@ -1,0 +1,58 @@
+// Richtek RT1711 Type-C port-controller driver (simulated).
+//
+// Models the vendor rt1711h I2C driver found on the Xiaomi dev boards:
+// attach/detach CC logic, VBUS control, alert masking, and a chip-reset path
+// that re-enters the probe routine. Planted bug (Table II #1): resetting the
+// chip while a partner is attached re-probes with stale CC state and trips
+// "WARNING in rt1711_i2c_probe". The trigger is shallow (open + 2 ioctls),
+// which is why Syzkaller also finds this one in the paper.
+#pragma once
+
+#include "kernel/driver.h"
+
+namespace df::kernel::drivers {
+
+struct Rt1711Bugs {
+  bool probe_warn = false;  // Table II #1 (device A1)
+};
+
+class Rt1711Driver final : public Driver {
+ public:
+  static constexpr uint64_t kIocAttach = 0x7401;
+  static constexpr uint64_t kIocDetach = 0x7402;
+  static constexpr uint64_t kIocReset = 0x7403;
+  static constexpr uint64_t kIocGetStatus = 0x7404;
+  static constexpr uint64_t kIocSetCc = 0x7405;
+  static constexpr uint64_t kIocVbus = 0x7406;
+  static constexpr uint64_t kIocAlert = 0x7407;
+
+  explicit Rt1711Driver(Rt1711Bugs bugs = {}) : bugs_(bugs) {}
+
+  std::string_view name() const override { return "rt1711_i2c"; }
+  std::vector<std::string> nodes() const override { return {"/dev/rt1711"}; }
+
+  void probe(DriverCtx& ctx) override;
+  void reset() override;
+
+  int64_t open(DriverCtx& ctx, File& f) override;
+  int64_t ioctl(DriverCtx& ctx, File& f, uint64_t req,
+                std::span<const uint8_t> in,
+                std::vector<uint8_t>& out) override;
+  int64_t read(DriverCtx& ctx, File& f, size_t n,
+               std::vector<uint8_t>& out) override;
+
+ private:
+  enum class Chip { kIdle, kAttached, kAlerting };
+
+  void do_probe(DriverCtx& ctx);
+
+  Rt1711Bugs bugs_;
+  Chip chip_ = Chip::kIdle;
+  uint32_t mode_ = 0;      // 1=sink 2=source 3=drp
+  uint32_t cc1_ = 0, cc2_ = 0;
+  uint32_t vbus_mv_ = 0;
+  uint32_t alert_mask_ = 0;
+  uint32_t probe_count_ = 0;
+};
+
+}  // namespace df::kernel::drivers

@@ -1,0 +1,132 @@
+#include "kernel/drivers/sensor_hub.h"
+
+namespace df::kernel::drivers {
+
+// Block map: 1xx list, 2xx enable, 3xx rate, 4xx batch, 5xx selftest, 6xx read.
+
+void SensorHubDriver::probe(DriverCtx& ctx) {
+  ctx.cov(100);
+}
+
+void SensorHubDriver::reset() { sensors_.fill(Sensor{}); }
+
+int64_t SensorHubDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
+                               std::span<const uint8_t> in,
+                               std::vector<uint8_t>& out) {
+  switch (req) {
+    case kIocList:
+      ctx.cov(110);
+      put_u32(out, kNumSensors);
+      for (uint32_t i = 0; i < kNumSensors; ++i) {
+        put_u32(out, i);
+        put_u32(out, i % 5);  // sensor class: accel/gyro/mag/light/prox
+      }
+      return 0;
+    case kIocEnable: {
+      const uint32_t id = le_u32(in, 0);
+      ctx.cov(200);
+      if (id >= kNumSensors) {
+        ctx.cov(201);
+        return err::kEINVAL;
+      }
+      if (sensors_[id].enabled) {
+        ctx.cov(202);
+        return err::kEBUSY;
+      }
+      sensors_[id].enabled = true;
+      ctx.covp(21, id);  // per-sensor power-up paths
+      return 0;
+    }
+    case kIocDisable: {
+      const uint32_t id = le_u32(in, 0);
+      ctx.cov(210);
+      if (id >= kNumSensors || !sensors_[id].enabled) return err::kEINVAL;
+      sensors_[id] = Sensor{};
+      ctx.covp(22, id);
+      return 0;
+    }
+    case kIocSetRate: {
+      const uint32_t id = le_u32(in, 0);
+      const uint32_t hz = le_u32(in, 4);
+      ctx.cov(300);
+      if (id >= kNumSensors) return err::kEINVAL;
+      if (!sensors_[id].enabled) {
+        ctx.cov(301);
+        return err::kEINVAL;
+      }
+      if (hz == 0 || hz > 1000) {
+        ctx.cov(302);
+        return err::kEINVAL;
+      }
+      sensors_[id].rate_hz = hz;
+      ctx.covp(31, id * 8 + (hz > 200 ? 7 : hz / 30));  // ODR table rows
+      return 0;
+    }
+    case kIocBatch: {
+      const uint32_t id = le_u32(in, 0);
+      const uint32_t depth = le_u32(in, 4);
+      const uint32_t nesting = le_u32(in, 8);
+      ctx.cov(400);
+      if (id >= kNumSensors) return err::kEINVAL;
+      if (!sensors_[id].enabled) {
+        ctx.cov(401);
+        return err::kEINVAL;
+      }
+      if (depth == 0 || depth > 256) {
+        ctx.cov(402);
+        return err::kEINVAL;
+      }
+      // FIFO chaining only engages at high output data rates *while the
+      // sensor is streaming* (samples have been drained at least once); it
+      // takes the hub lock once per chained FIFO level. The fixed driver
+      // clamps the level; the vendor one trusts userspace.
+      const bool chaining =
+          sensors_[id].rate_hz >= 400 && sensors_[id].sample_seq > 0;
+      const uint32_t subclass = (bugs_.lockdep_subclass && chaining)
+                                    ? nesting
+                                    : (nesting & 0x7);
+      if (!ctx.lock_acquire_nested(subclass, "sensor_hub->fifo_lock")) {
+        return err::kEINVAL;
+      }
+      sensors_[id].batch_depth = depth;
+      ctx.covp(41, id * 4 + (nesting & 3));
+      ctx.covp(42, depth / 32);
+      return 0;
+    }
+    case kIocSelfTest: {
+      const uint32_t id = le_u32(in, 0);
+      ctx.cov(500);
+      if (id >= kNumSensors) return err::kEINVAL;
+      ctx.covp(51, id);
+      put_u32(out, sensors_[id].enabled ? 1 : 0);
+      return 0;
+    }
+    default:
+      ctx.cov(1);
+      return err::kENOTTY;
+  }
+}
+
+int64_t SensorHubDriver::read(DriverCtx& ctx, File&, size_t n,
+                              std::vector<uint8_t>& out) {
+  ctx.cov(600);
+  if (n == 0) return 0;
+  // Produce one sample per enabled sensor, round-robin sequence numbers.
+  bool any = false;
+  for (uint32_t i = 0; i < kNumSensors; ++i) {
+    Sensor& s = sensors_[i];
+    if (!s.enabled || s.rate_hz == 0) continue;
+    any = true;
+    put_u32(out, i);
+    put_u32(out, s.sample_seq++);
+    ctx.covp(61, i);
+    if (out.size() >= n) break;
+  }
+  if (!any) {
+    ctx.cov(610);
+    return err::kEAGAIN;
+  }
+  return static_cast<int64_t>(out.size());
+}
+
+}  // namespace df::kernel::drivers

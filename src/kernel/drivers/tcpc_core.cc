@@ -1,0 +1,152 @@
+#include "kernel/drivers/tcpc_core.h"
+
+namespace df::kernel::drivers {
+
+// Block map: 1xx init/mode, 2xx connect, 3xx pd, 4xx swap, 5xx disconnect,
+// 6xx state/alert.
+
+void TcpcDriver::probe(DriverCtx& ctx) {
+  ctx.cov(100);
+  st_ = St::kUninit;
+}
+
+void TcpcDriver::reset() {
+  st_ = St::kUninit;
+  mode_ = role_ = partner_ = contract_mv_ = contract_ma_ = alert_mask_ = 0;
+  swaps_since_connect_ = 0;
+}
+
+int64_t TcpcDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
+                          std::span<const uint8_t> in,
+                          std::vector<uint8_t>& out) {
+  switch (req) {
+    case kIocInit:
+      ctx.cov(110);
+      if (st_ != St::kUninit) {
+        ctx.cov(111);
+        return err::kEBUSY;
+      }
+      st_ = St::kIdle;
+      ctx.cov(112);
+      return 0;
+    case kIocSetMode: {
+      const uint32_t mode = le_u32(in, 0);
+      ctx.cov(120);
+      if (st_ != St::kIdle) return err::kEINVAL;
+      if (mode > 2) {
+        ctx.cov(121);
+        return err::kEINVAL;
+      }
+      mode_ = mode;
+      role_ = mode == 1 ? 1 : 0;
+      ctx.covp(13, mode);
+      return 0;
+    }
+    case kIocConnect: {
+      const uint32_t partner = le_u32(in, 0);
+      ctx.cov(200);
+      if (st_ != St::kIdle) {
+        ctx.cov(201);
+        return err::kEBUSY;
+      }
+      if (partner > 3) {
+        ctx.cov(202);
+        return err::kEINVAL;
+      }
+      partner_ = partner;
+      st_ = St::kConnected;
+      swaps_since_connect_ = 0;
+      // Debounce + orientation paths depend on mode and partner kind.
+      ctx.covp(21, mode_ * 4 + partner);
+      return 0;
+    }
+    case kIocPdNegotiate: {
+      const uint32_t mv = le_u32(in, 0);
+      const uint32_t ma = le_u32(in, 4);
+      ctx.cov(300);
+      if (st_ != St::kConnected) {
+        ctx.cov(301);
+        return err::kEINVAL;
+      }
+      // Only the standard PD tiers are accepted (source caps).
+      if (mv != 5000 && mv != 9000 && mv != 15000 && mv != 20000) {
+        ctx.cov(302);
+        return err::kEINVAL;
+      }
+      if (ma == 0 || ma > 5000) {
+        ctx.cov(303);
+        return err::kEINVAL;
+      }
+      contract_mv_ = mv;
+      contract_ma_ = ma;
+      st_ = St::kContract;
+      ctx.covp(31, (mv / 1000) * 8 + ma / 1000);  // per-tier contract paths
+      return 0;
+    }
+    case kIocRoleSwap: {
+      const uint32_t target = le_u32(in, 0);
+      ctx.cov(400);
+      if (st_ != St::kContract) {
+        ctx.cov(401);
+        return err::kEINVAL;
+      }
+      if (target > 1) {
+        ctx.cov(402);
+        return err::kEINVAL;
+      }
+      if (mode_ != 2) {
+        // Fixed-role ports reject PR_Swap.
+        ctx.cov(403);
+        return err::kEOPNOTSUPP;
+      }
+      ctx.covp(41, role_ * 2 + target);
+      if (target == role_) {
+        // Swap request to the role we already hold. Benign when idle; but
+        // right after a completed PR_Swap the vendor state machine still
+        // holds the old PS_RDY bookkeeping and asserts the roles differ.
+        ctx.cov(410);
+        // The assert lives in the PD alert handler, so it only fires when
+        // PD alerts (bit 4) are unmasked.
+        if (bugs_.role_swap_warn && contract_mv_ > 5000 &&
+            swaps_since_connect_ >= 1 && (alert_mask_ & 0x10) != 0) {
+          ctx.warn("tcpc_role_swap",
+                   "repeat PR_Swap to current role with HV contract live");
+        }
+        return err::kEINVAL;
+      }
+      role_ = target;
+      ++swaps_since_connect_;
+      ctx.cov(411);
+      return 0;
+    }
+    case kIocDisconnect:
+      ctx.cov(500);
+      if (st_ != St::kConnected && st_ != St::kContract) {
+        ctx.cov(501);
+        return err::kEINVAL;
+      }
+      ctx.covp(51, static_cast<uint64_t>(st_));
+      st_ = St::kIdle;
+      contract_mv_ = contract_ma_ = 0;
+      return 0;
+    case kIocGetState:
+      ctx.cov(600);
+      put_u32(out, static_cast<uint32_t>(st_));
+      put_u32(out, role_);
+      put_u32(out, contract_mv_);
+      return 0;
+    case kIocSetAlert: {
+      ctx.cov(610);
+      alert_mask_ = le_u32(in, 0) & 0x3f;
+      for (uint32_t bit = 0; bit < 6; ++bit) {
+        if (alert_mask_ & (1u << bit)) ctx.covp(62, bit);
+      }
+      return 0;
+    }
+    default:
+      ctx.cov(1);
+      return err::kENOTTY;
+  }
+}
+
+}  // namespace df::kernel::drivers

@@ -1,0 +1,63 @@
+// V4L2 camera driver (simulated vendor ISP pipeline).
+//
+// Standard V4L2 shape: querycap, format negotiation, buffer queue, stream
+// on/off. Planted bug (Table II #12): issuing S_FMT with the vendor RAW
+// format while streaming is rejected with EBUSY but still flips the
+// capability flags; the next QUERYCAP sees inconsistent caps and trips
+// "WARNING in v4l_querycap". Requires a full negotiate/reqbufs/streamon
+// prefix, then the vendor format, then querycap.
+#pragma once
+
+#include "kernel/driver.h"
+
+namespace df::kernel::drivers {
+
+struct V4l2Bugs {
+  bool querycap_warn = false;  // Table II #12 (device E)
+};
+
+class V4l2CamDriver final : public Driver {
+ public:
+  static constexpr uint64_t kIocQuerycap = 0xb001;
+  static constexpr uint64_t kIocEnumFmt = 0xb002;   // u32 index
+  static constexpr uint64_t kIocSetFmt = 0xb003;    // u32 fourcc, u32 w, u32 h
+  static constexpr uint64_t kIocReqbufs = 0xb004;   // u32 count
+  static constexpr uint64_t kIocQbuf = 0xb005;      // u32 index
+  static constexpr uint64_t kIocDqbuf = 0xb006;
+  static constexpr uint64_t kIocStreamOn = 0xb007;
+  static constexpr uint64_t kIocStreamOff = 0xb008;
+
+  // Supported fourcc codes; the last one is the vendor RAW format.
+  static constexpr uint32_t kFmtYuyv = 0x56595559;  // 'YUYV'
+  static constexpr uint32_t kFmtNv12 = 0x3231564e;  // 'NV12'
+  static constexpr uint32_t kFmtMjpg = 0x47504a4d;  // 'MJPG'
+  static constexpr uint32_t kFmtVraw = 0x57415256;  // 'VRAW' vendor raw
+
+  explicit V4l2CamDriver(V4l2Bugs bugs = {}) : bugs_(bugs) {}
+
+  std::string_view name() const override { return "v4l2_cam"; }
+  std::vector<std::string> nodes() const override { return {"/dev/video0"}; }
+
+  void probe(DriverCtx& ctx) override;
+  void reset() override;
+
+  int64_t ioctl(DriverCtx& ctx, File& f, uint64_t req,
+                std::span<const uint8_t> in,
+                std::vector<uint8_t>& out) override;
+  int64_t read(DriverCtx& ctx, File& f, size_t n,
+               std::vector<uint8_t>& out) override;
+  int64_t mmap(DriverCtx& ctx, File& f, size_t len, uint64_t prot) override;
+
+ private:
+  uint32_t fourcc_ = 0;
+  uint32_t width_ = 0, height_ = 0;
+  uint32_t nbufs_ = 0;
+  uint32_t queued_ = 0;
+  bool streaming_ = false;
+  bool caps_dirty_ = false;
+  uint32_t frames_ = 0;
+
+  V4l2Bugs bugs_;
+};
+
+}  // namespace df::kernel::drivers

@@ -1,0 +1,133 @@
+#include "kernel/drivers/wifi_rate.h"
+
+namespace df::kernel::drivers {
+
+// Block map: 1xx scan, 2xx rates, 3xx assoc, 4xx power, 5xx link.
+
+void WifiRateDriver::probe(DriverCtx& ctx) {
+  ctx.cov(100);
+}
+
+void WifiRateDriver::reset() {
+  scanned_bss_ = 0;
+  rate_count_ = 0;
+  rates_set_ = false;
+  power_mode_ = 0;
+  associated_ = false;
+}
+
+int64_t WifiRateDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
+                              std::span<const uint8_t> in,
+                              std::vector<uint8_t>& out) {
+  switch (req) {
+    case kIocScan:
+      ctx.cov(110);
+      if (associated_) {
+        ctx.cov(111);
+        return err::kEBUSY;
+      }
+      scanned_bss_ = 4;  // simulated environment has four APs
+      ctx.covp(12, power_mode_);  // scan dwell depends on power mode
+      put_u32(out, scanned_bss_);
+      return 0;
+    case kIocSetRates: {
+      ctx.cov(200);
+      const uint32_t count = le_u32(in, 0);
+      if (count > 16) {
+        ctx.cov(201);
+        return err::kEINVAL;
+      }
+      if (count == 0) {
+        // Mainline rejects an empty table; the vendor 11b-compat path
+        // (power mode 2) forgot the check on the *update* path, which only
+        // runs once a table has been programmed before.
+        if (!(bugs_.empty_rates_warn && power_mode_ == 2 && rates_set_)) {
+          ctx.cov(202);
+          return err::kEINVAL;
+        }
+        ctx.cov(203);
+      }
+      if (in.size() < 4 + count * 2u) {
+        ctx.cov(204);
+        return err::kEINVAL;
+      }
+      for (uint32_t i = 0; i < count; ++i) {
+        const uint16_t rate = le_u16(in, 4 + i * 2);
+        // Rates are in 500 kbps units and must match the PHY's supported
+        // set, as mac80211 validates against the sband rate table.
+        static constexpr uint16_t kSupported[] = {2,  4,  11, 12, 18, 22,
+                                                  24, 36, 48, 72, 96, 108};
+        bool valid = false;
+        for (uint16_t s : kSupported) valid = valid || s == rate;
+        if (!valid) {
+          ctx.cov(205);
+          return err::kEINVAL;
+        }
+        ctx.covp(21, rate % 12);  // per-rate-bucket init
+      }
+      rate_count_ = count;
+      rates_set_ = true;
+      ctx.covp(22, count);
+      return 0;
+    }
+    case kIocAssoc: {
+      ctx.cov(300);
+      const uint32_t idx = le_u32(in, 0);
+      if (scanned_bss_ == 0) {
+        ctx.cov(301);
+        return err::kEINVAL;  // must scan first
+      }
+      if (idx >= scanned_bss_) {
+        ctx.cov(302);
+        return err::kEINVAL;
+      }
+      if (!rates_set_) {
+        ctx.cov(303);
+        return err::kEINVAL;
+      }
+      if (associated_) {
+        ctx.cov(304);
+        return err::kEBUSY;
+      }
+      // rate_control_rate_init: pick the initial tx rate from the table.
+      ctx.cov(310);
+      if (rate_count_ == 0) {
+        ctx.cov(311);
+        ctx.warn("rate_control_rate_init", "empty supported-rates table");
+      } else {
+        ctx.covp(32, rate_count_);
+      }
+      associated_ = true;
+      ctx.covp(33, idx);
+      return 0;
+    }
+    case kIocDisassoc:
+      ctx.cov(320);
+      if (!associated_) return err::kEINVAL;
+      associated_ = false;
+      ctx.cov(321);
+      return 0;
+    case kIocSetPower: {
+      ctx.cov(400);
+      const uint32_t mode = le_u32(in, 0);
+      if (mode > 3) {
+        ctx.cov(401);
+        return err::kEINVAL;
+      }
+      power_mode_ = mode;
+      ctx.covp(41, mode);
+      return 0;
+    }
+    case kIocGetLink:
+      ctx.cov(500);
+      put_u32(out, associated_ ? 1 : 0);
+      put_u32(out, rate_count_);
+      ctx.covp(51, (associated_ ? 4 : 0) + power_mode_);
+      return 0;
+    default:
+      ctx.cov(1);
+      return err::kENOTTY;
+  }
+}
+
+}  // namespace df::kernel::drivers

@@ -1,0 +1,49 @@
+// Vendor Wi-Fi driver with mac80211-style rate control (simulated).
+//
+// Scan -> (optional power/compat tuning) -> supported-rates table -> assoc.
+// Planted bug (Table II #10): with the legacy "11b compat" power mode set,
+// the vendor path accepts an *empty* supported-rates table; association then
+// runs rate_control_rate_init over zero rates and trips
+// "WARNING in rate_control_rate_init".
+#pragma once
+
+#include "kernel/driver.h"
+
+namespace df::kernel::drivers {
+
+struct WifiRateBugs {
+  bool empty_rates_warn = false;  // Table II #10 (device C2)
+};
+
+class WifiRateDriver final : public Driver {
+ public:
+  static constexpr uint64_t kIocScan = 0xa001;
+  static constexpr uint64_t kIocSetRates = 0xa002;  // u32 count, u16 rates[]
+  static constexpr uint64_t kIocAssoc = 0xa003;     // u32 bss index
+  static constexpr uint64_t kIocDisassoc = 0xa004;
+  static constexpr uint64_t kIocSetPower = 0xa005;  // u32 mode 0..3
+  static constexpr uint64_t kIocGetLink = 0xa006;
+
+  explicit WifiRateDriver(WifiRateBugs bugs = {}) : bugs_(bugs) {}
+
+  std::string_view name() const override { return "wifi_rate"; }
+  std::vector<std::string> nodes() const override { return {"/dev/wifi0"}; }
+
+  void probe(DriverCtx& ctx) override;
+  void reset() override;
+
+  int64_t ioctl(DriverCtx& ctx, File& f, uint64_t req,
+                std::span<const uint8_t> in,
+                std::vector<uint8_t>& out) override;
+
+ private:
+  uint32_t scanned_bss_ = 0;   // results of the last scan
+  uint32_t rate_count_ = 0;
+  bool rates_set_ = false;
+  uint32_t power_mode_ = 0;
+  bool associated_ = false;
+
+  WifiRateBugs bugs_;
+};
+
+}  // namespace df::kernel::drivers

@@ -1,0 +1,71 @@
+#include "kernel/kasan.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+namespace df::kernel {
+
+void Kasan::free(HeapPtr p, std::string_view driver, std::string_view site) {
+  if (p == kNullHeapPtr) return;  // kfree(NULL) is a no-op, as in Linux
+  const Heap::Slab* s = heap_.find(p);
+  if (s == nullptr) {
+    ++reports_;
+    dmesg_.kasan(driver, "invalid-free", site, "wild pointer");
+    return;
+  }
+  if (!s->live) {
+    ++reports_;
+    dmesg_.kasan(driver, "double-free", site, "object " + s->tag);
+    return;
+  }
+  heap_.free(p);
+}
+
+bool Kasan::check(HeapPtr p, size_t off, size_t len, Access kind,
+                  std::string_view driver, std::string_view site) {
+  const char* dir = kind == Access::kRead ? "Read" : "Write";
+  if (p == kNullHeapPtr) {
+    ++reports_;
+    dmesg_.kasan(driver, std::string("null-ptr-deref ") + dir, site);
+    return false;
+  }
+  const Heap::Slab* s = heap_.find(p);
+  if (s == nullptr) {
+    ++reports_;
+    dmesg_.kasan(driver, std::string("invalid-access ") + dir, site,
+                 "wild pointer");
+    return false;
+  }
+  if (!s->live) {
+    ++reports_;
+    dmesg_.kasan(driver, std::string("slab-use-after-free ") + dir, site,
+                 "object " + s->tag);
+    return false;
+  }
+  if (off > s->size || len > s->size - off) {
+    ++reports_;
+    dmesg_.kasan(driver, std::string("slab-out-of-bounds ") + dir, site,
+                 "object " + s->tag);
+    return false;
+  }
+  return true;
+}
+
+bool Kasan::read(HeapPtr p, size_t off, std::span<uint8_t> dst,
+                 std::string_view driver, std::string_view site) {
+  if (!check(p, off, dst.size(), Access::kRead, driver, site)) return false;
+  const Heap::Slab* s = heap_.find(p);
+  std::memcpy(dst.data(), s->bytes.data() + off, dst.size());
+  return true;
+}
+
+bool Kasan::write(HeapPtr p, size_t off, std::span<const uint8_t> src,
+                  std::string_view driver, std::string_view site) {
+  if (!check(p, off, src.size(), Access::kWrite, driver, site)) return false;
+  Heap::Slab* s = heap_.find_mutable(p);
+  std::memcpy(s->bytes.data() + off, src.data(), src.size());
+  return true;
+}
+
+}  // namespace df::kernel

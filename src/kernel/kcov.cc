@@ -1,0 +1,4 @@
+#include "kernel/kcov.h"
+
+// Kcov is header-only today; this TU anchors the target and keeps room for
+// an out-of-line comparison mode (full PC traces) later.

@@ -1,0 +1,52 @@
+// Simulated kcov: per-task kernel code-coverage collection.
+//
+// Drivers report basic-block hits via DriverCtx::cov(); each hit becomes a
+// 64-bit coverage feature `(driver_id << 48) | block`, so per-driver
+// attribution (used by the paper's per-driver coverage claim) is a mask away.
+// Like real kcov, collection is per-task and drained by the executor after
+// each program; unlike real kcov we deduplicate at insertion for efficiency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace df::kernel {
+
+// Packs a (driver, block) pair into one coverage feature.
+constexpr uint64_t cov_feature(uint16_t driver_id, uint64_t block) {
+  return (static_cast<uint64_t>(driver_id) << 48) | (block & 0xffffffffffffull);
+}
+constexpr uint16_t cov_driver(uint64_t feature) {
+  return static_cast<uint16_t>(feature >> 48);
+}
+
+class Kcov {
+ public:
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void hit(uint64_t feature) {
+    if (!enabled_) return;
+    if (seen_.insert(feature).second) buf_.push_back(feature);
+  }
+
+  // Drains the per-exec buffer (ordered by first hit).
+  std::vector<uint64_t> collect() {
+    std::vector<uint64_t> out;
+    out.swap(buf_);
+    seen_.clear();
+    return out;
+  }
+
+  size_t pending() const { return buf_.size(); }
+
+ private:
+  bool enabled_ = false;
+  std::unordered_set<uint64_t> seen_;
+  std::vector<uint64_t> buf_;
+};
+
+}  // namespace df::kernel

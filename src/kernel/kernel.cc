@@ -1,0 +1,376 @@
+#include "kernel/kernel.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace df::kernel {
+
+const char* sys_name(Sys nr) {
+  switch (nr) {
+    case Sys::kOpenAt: return "openat";
+    case Sys::kClose: return "close";
+    case Sys::kRead: return "read";
+    case Sys::kWrite: return "write";
+    case Sys::kIoctl: return "ioctl";
+    case Sys::kMmap: return "mmap";
+    case Sys::kMunmap: return "munmap";
+    case Sys::kLseek: return "lseek";
+    case Sys::kFcntl: return "fcntl";
+    case Sys::kDup: return "dup";
+    case Sys::kSocket: return "socket";
+    case Sys::kBind: return "bind";
+    case Sys::kConnect: return "connect";
+    case Sys::kListen: return "listen";
+    case Sys::kAccept: return "accept";
+    case Sys::kSetsockopt: return "setsockopt";
+    case Sys::kGetsockopt: return "getsockopt";
+    case Sys::kSendmsg: return "sendmsg";
+    case Sys::kRecvmsg: return "recvmsg";
+    case Sys::kPoll: return "poll";
+    case Sys::kFsync: return "fsync";
+    case Sys::kCount: break;
+  }
+  return "?";
+}
+
+Kernel::Kernel(KernelConfig cfg)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed), dmesg_(), kasan_(dmesg_) {}
+
+Kernel::~Kernel() = default;
+
+Driver& Kernel::register_driver(std::unique_ptr<Driver> drv) {
+  drv->driver_id_ = static_cast<uint16_t>(drivers_.size() + 1);  // 0 == core
+  drivers_.push_back(std::move(drv));
+  return *drivers_.back();
+}
+
+void Kernel::boot() {
+  registry_.clear();
+  Task boot_task;
+  boot_task.id = 0;
+  boot_task.origin = TaskOrigin::kKernel;
+  boot_task.name = "kworker/boot";
+  for (auto& drv : drivers_) {
+    for (auto& node : drv->nodes()) registry_.add_node(node, drv.get());
+    for (auto& triple : drv->socket_protos())
+      registry_.add_socket(triple, drv.get());
+    DriverCtx ctx(*this, boot_task, *drv);
+    drv->probe(ctx);
+  }
+  booted_ = true;
+}
+
+void Kernel::reboot() {
+  // Close every task's open files without running release hooks against
+  // half-dead driver state; drivers reset wholesale below.
+  for (auto& [tid, task] : tasks_) task->fds.clear();
+  for (auto& drv : drivers_) drv->reset();
+  kasan_.reset();
+  mappings_.clear();
+  dmesg_.clear_panic();
+  ++reboot_count_;
+  boot();
+}
+
+TaskId Kernel::create_task(TaskOrigin origin, std::string name) {
+  auto t = std::make_unique<Task>();
+  t->id = next_task_++;
+  t->origin = origin;
+  t->name = std::move(name);
+  const TaskId id = t->id;
+  tasks_.emplace(id, std::move(t));
+  return id;
+}
+
+void Kernel::exit_task(TaskId tid) {
+  auto it = tasks_.find(tid);
+  if (it == tasks_.end()) return;
+  Task& task = *it->second;
+  for (auto& f : task.fds.clear()) {
+    if (f.use_count() == 1) close_file(task, f);
+  }
+  task.alive = false;
+  tasks_.erase(it);
+}
+
+Task* Kernel::task(TaskId tid) {
+  auto it = tasks_.find(tid);
+  return it == tasks_.end() ? nullptr : it->second.get();
+}
+
+void Kernel::kcov_enable(TaskId tid) {
+  if (Task* t = task(tid)) t->kcov.enable();
+}
+
+void Kernel::kcov_disable(TaskId tid) {
+  if (Task* t = task(tid)) t->kcov.disable();
+}
+
+std::vector<uint64_t> Kernel::kcov_collect(TaskId tid) {
+  Task* t = task(tid);
+  return t ? t->kcov.collect() : std::vector<uint64_t>{};
+}
+
+int Kernel::attach_tracepoint(Tracepoint hook) {
+  const int id = next_tp_++;
+  tracepoints_.emplace(id, std::move(hook));
+  return id;
+}
+
+void Kernel::detach_tracepoint(int id) { tracepoints_.erase(id); }
+
+Driver* Kernel::find_driver(std::string_view name) const {
+  for (const auto& d : drivers_) {
+    if (d->name() == name) return d.get();
+  }
+  return nullptr;
+}
+
+std::unordered_map<uint16_t, size_t> Kernel::per_driver_coverage() const {
+  std::unordered_map<uint16_t, size_t> out;
+  for (uint64_t f : cumulative_cov_) ++out[cov_driver(f)];
+  return out;
+}
+
+void Kernel::record_cov(uint16_t driver_id, uint64_t block, Task& task) {
+  const uint64_t feature = cov_feature(driver_id, block);
+  task.kcov.hit(feature);
+  cumulative_cov_.insert(feature);
+}
+
+void Kernel::close_file(Task& task, const std::shared_ptr<File>& f) {
+  if (f && f->drv) {
+    DriverCtx ctx(*this, task, *f->drv);
+    f->drv->release(ctx, *f);
+  }
+}
+
+namespace {
+// Outcome class for core-kernel path coverage: success and common errno
+// families take distinct syscall-entry blocks.
+uint64_t outcome_class(int64_t ret) {
+  if (ret >= 0) return 0;
+  switch (ret) {
+    case err::kEBADF: return 1;
+    case err::kEINVAL: return 2;
+    case err::kENOTTY: return 3;
+    case err::kENOENT: return 4;
+    case err::kEOPNOTSUPP: return 5;
+    default: return 6;
+  }
+}
+}  // namespace
+
+SyscallRes Kernel::syscall(TaskId tid, const SyscallReq& req) {
+  Task* t = task(tid);
+  if (t == nullptr || !booted_) return {err::kEPERM, {}};
+  ++syscall_count_;
+  SyscallRes res = dispatch(*t, req);
+  // Core-kernel syscall entry/exit path coverage (driver_id 0).
+  record_cov(0, static_cast<uint64_t>(req.nr) * 8 + outcome_class(res.ret),
+             *t);
+  for (auto& [id, hook] : tracepoints_) hook(*t, req, res);
+  return res;
+}
+
+SyscallRes Kernel::dispatch(Task& task, const SyscallReq& req) {
+  SyscallRes res;
+  auto with_file = [&](auto&& fn) {
+    std::shared_ptr<File> f = task.fds.get(req.fd);
+    if (!f) {
+      res.ret = err::kEBADF;
+      return;
+    }
+    DriverCtx ctx(*this, task, *f->drv);
+    res.ret = fn(ctx, *f);
+  };
+
+  switch (req.nr) {
+    case Sys::kOpenAt: {
+      Driver* drv = registry_.resolve(req.path);
+      if (drv == nullptr) {
+        res.ret = err::kENOENT;
+        break;
+      }
+      auto f = std::make_shared<File>();
+      f->drv = drv;
+      f->path = req.path;
+      f->flags = req.arg;
+      DriverCtx ctx(*this, task, *drv);
+      const int64_t rc = drv->open(ctx, *f);
+      if (rc < 0) {
+        res.ret = rc;
+        break;
+      }
+      res.ret = task.fds.install(std::move(f));
+      break;
+    }
+    case Sys::kClose: {
+      std::shared_ptr<File> f = task.fds.remove(req.fd);
+      if (!f) {
+        res.ret = err::kEBADF;
+        break;
+      }
+      if (f.use_count() == 1) close_file(task, f);
+      res.ret = 0;
+      break;
+    }
+    case Sys::kDup: {
+      std::shared_ptr<File> f = task.fds.get(req.fd);
+      if (!f) {
+        res.ret = err::kEBADF;
+        break;
+      }
+      res.ret = task.fds.install(std::move(f));
+      break;
+    }
+    case Sys::kRead:
+      with_file([&](DriverCtx& ctx, File& f) {
+        return f.drv->read(ctx, f, req.size, res.out);
+      });
+      break;
+    case Sys::kWrite:
+      with_file([&](DriverCtx& ctx, File& f) {
+        return f.drv->write(ctx, f, req.data);
+      });
+      break;
+    case Sys::kIoctl:
+      with_file([&](DriverCtx& ctx, File& f) {
+        return f.drv->ioctl(ctx, f, req.arg, req.data, res.out);
+      });
+      break;
+    case Sys::kMmap:
+      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+        const int64_t rc = f.drv->mmap(ctx, f, req.size, req.arg);
+        if (rc < 0) return rc;
+        const uint64_t handle = next_map_;
+        next_map_ += 0x1000;
+        mappings_.emplace(handle, static_cast<uint64_t>(rc));
+        return static_cast<int64_t>(handle);
+      });
+      break;
+    case Sys::kMunmap:
+      res.ret = mappings_.erase(req.arg) ? 0 : err::kEINVAL;
+      break;
+    case Sys::kLseek:
+      with_file([&](DriverCtx&, File& f) -> int64_t {
+        f.pos = req.arg;
+        return static_cast<int64_t>(f.pos);
+      });
+      break;
+    case Sys::kFcntl:
+      with_file([&](DriverCtx&, File& f) -> int64_t {
+        if (req.arg == 1 /*F_GETFL*/) return static_cast<int64_t>(f.flags);
+        if (req.arg == 2 /*F_SETFL*/) {
+          f.flags = req.arg2;
+          return 0;
+        }
+        return err::kEINVAL;
+      });
+      break;
+    case Sys::kFsync:
+      with_file([&](DriverCtx&, File&) -> int64_t { return 0; });
+      break;
+    case Sys::kPoll:
+      with_file([&](DriverCtx& ctx, File& f) {
+        return f.drv->poll(ctx, f, req.arg);
+      });
+      break;
+    case Sys::kSocket: {
+      Driver* drv = registry_.resolve_socket(req.arg, req.arg2, req.arg3);
+      if (drv == nullptr) {
+        res.ret = err::kEINVAL;
+        break;
+      }
+      auto f = std::make_shared<File>();
+      f->drv = drv;
+      f->is_sock = true;
+      f->sock_type = req.arg2;
+      f->sock_proto = req.arg3;
+      f->path = "sock:" + std::to_string(req.arg) + ":" +
+                std::to_string(req.arg3);
+      DriverCtx ctx(*this, task, *drv);
+      const int64_t rc = drv->sock_create(ctx, *f);
+      if (rc < 0) {
+        res.ret = rc;
+        break;
+      }
+      res.ret = task.fds.install(std::move(f));
+      break;
+    }
+    case Sys::kBind:
+      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+        if (!f.is_sock) return err::kEOPNOTSUPP;
+        return f.drv->bind(ctx, f, req.data);
+      });
+      break;
+    case Sys::kConnect:
+      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+        if (!f.is_sock) return err::kEOPNOTSUPP;
+        return f.drv->connect(ctx, f, req.data);
+      });
+      break;
+    case Sys::kListen:
+      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+        if (!f.is_sock) return err::kEOPNOTSUPP;
+        return f.drv->listen(ctx, f, req.arg);
+      });
+      break;
+    case Sys::kAccept: {
+      std::shared_ptr<File> f = task.fds.get(req.fd);
+      if (!f) {
+        res.ret = err::kEBADF;
+        break;
+      }
+      if (!f->is_sock) {
+        res.ret = err::kEOPNOTSUPP;
+        break;
+      }
+      auto child = std::make_shared<File>();
+      child->drv = f->drv;
+      child->is_sock = true;
+      child->sock_type = f->sock_type;
+      child->sock_proto = f->sock_proto;
+      child->path = f->path + ":accepted";
+      DriverCtx ctx(*this, task, *f->drv);
+      const int64_t rc = f->drv->accept(ctx, *f, *child);
+      if (rc < 0) {
+        res.ret = rc;
+        break;
+      }
+      res.ret = task.fds.install(std::move(child));
+      break;
+    }
+    case Sys::kSetsockopt:
+      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+        if (!f.is_sock) return err::kEOPNOTSUPP;
+        return f.drv->setsockopt(ctx, f, req.arg, req.arg2, req.data);
+      });
+      break;
+    case Sys::kGetsockopt:
+      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+        if (!f.is_sock) return err::kEOPNOTSUPP;
+        return f.drv->getsockopt(ctx, f, req.arg, req.arg2, res.out);
+      });
+      break;
+    case Sys::kSendmsg:
+      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+        if (!f.is_sock) return err::kEOPNOTSUPP;
+        return f.drv->sendmsg(ctx, f, req.data);
+      });
+      break;
+    case Sys::kRecvmsg:
+      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+        if (!f.is_sock) return err::kEOPNOTSUPP;
+        return f.drv->recvmsg(ctx, f, req.size, res.out);
+      });
+      break;
+    case Sys::kCount:
+      res.ret = err::kEINVAL;
+      break;
+  }
+  return res;
+}
+
+}  // namespace df::kernel

@@ -1,0 +1,139 @@
+// The simulated Linux kernel: task contexts, syscall dispatch, driver
+// registry, kcov, KASAN, dmesg, and eBPF-style tracepoints.
+//
+// One Kernel instance is one booted device kernel. Everything is
+// single-threaded and deterministic: given the same driver set, seed and
+// syscall sequence, coverage and crash behaviour replay exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kernel/dmesg.h"
+#include "kernel/driver.h"
+#include "kernel/kasan.h"
+#include "kernel/kcov.h"
+#include "kernel/syscall.h"
+#include "kernel/vfs.h"
+#include "util/rng.h"
+
+namespace df::kernel {
+
+using TaskId = uint32_t;
+
+// Who issued a syscall. The eBPF tracer filters on kHal to implement the
+// paper's "system calls originating from the HAL" directional coverage.
+enum class TaskOrigin { kNative, kHal, kApp, kKernel };
+
+struct Task {
+  TaskId id = 0;
+  TaskOrigin origin = TaskOrigin::kNative;
+  std::string name;
+  bool alive = true;
+  FdTable fds;
+  Kcov kcov;
+};
+
+struct KernelConfig {
+  std::string version = "6.6";
+  uint64_t seed = 1;
+  // Loop-watchdog budget per syscall; exceeding it raises a hang report.
+  size_t loop_budget = 4096;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(KernelConfig cfg = {});
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- setup ---------------------------------------------------------------
+  // Register before boot(). Returns a stable reference for configuration.
+  Driver& register_driver(std::unique_ptr<Driver> drv);
+  // Populates the node registry and probes every driver.
+  void boot();
+  // Full reboot: closes all files, resets drivers and heap, clears panic,
+  // and re-probes. Tasks survive (their fds do not). Coverage statistics
+  // and dmesg sequence numbers are campaign-global and survive too.
+  void reboot();
+  bool booted() const { return booted_; }
+
+  // --- tasks ---------------------------------------------------------------
+  TaskId create_task(TaskOrigin origin, std::string name);
+  void exit_task(TaskId tid);  // closes the task's fds
+  Task* task(TaskId tid);
+
+  // --- syscalls --------------------------------------------------------------
+  SyscallRes syscall(TaskId tid, const SyscallReq& req);
+
+  // --- kcov ------------------------------------------------------------------
+  void kcov_enable(TaskId tid);
+  void kcov_disable(TaskId tid);
+  std::vector<uint64_t> kcov_collect(TaskId tid);
+
+  // --- tracepoints (eBPF attach surface) --------------------------------------
+  // Hook invoked after every syscall completes. Returns an id for detach.
+  using Tracepoint =
+      std::function<void(const Task&, const SyscallReq&, const SyscallRes&)>;
+  int attach_tracepoint(Tracepoint hook);
+  void detach_tracepoint(int id);
+
+  // --- observability ----------------------------------------------------------
+  Dmesg& dmesg() { return dmesg_; }
+  const Dmesg& dmesg() const { return dmesg_; }
+  Kasan& kasan() { return kasan_; }
+  bool panicked() const { return dmesg_.panicked(); }
+
+  const std::vector<std::unique_ptr<Driver>>& drivers() const {
+    return drivers_;
+  }
+  Driver* find_driver(std::string_view name) const;
+  const NodeRegistry& registry() const { return registry_; }
+
+  // Cumulative coverage over the whole campaign (unions per-exec kcov).
+  size_t cumulative_coverage() const { return cumulative_cov_.size(); }
+  const std::unordered_set<uint64_t>& cumulative_coverage_set() const {
+    return cumulative_cov_;
+  }
+  // Cumulative per-driver block counts, keyed by driver_id.
+  std::unordered_map<uint16_t, size_t> per_driver_coverage() const;
+
+  uint64_t syscall_count() const { return syscall_count_; }
+  uint64_t reboot_count() const { return reboot_count_; }
+  std::string_view version() const { return cfg_.version; }
+  size_t loop_budget() const { return cfg_.loop_budget; }
+  util::Rng& rng() { return rng_; }
+
+ private:
+  friend class DriverCtx;
+  void record_cov(uint16_t driver_id, uint64_t block, Task& task);
+  void close_file(Task& task, const std::shared_ptr<File>& f);
+  SyscallRes dispatch(Task& task, const SyscallReq& req);
+
+  KernelConfig cfg_;
+  util::Rng rng_;
+  Dmesg dmesg_;
+  Kasan kasan_;
+  NodeRegistry registry_;
+  std::vector<std::unique_ptr<Driver>> drivers_;
+  std::unordered_map<TaskId, std::unique_ptr<Task>> tasks_;
+  std::unordered_map<int, Tracepoint> tracepoints_;
+  std::unordered_set<uint64_t> cumulative_cov_;
+  std::unordered_map<uint64_t, uint64_t> mappings_;  // handle -> dummy
+  TaskId next_task_ = 1;
+  int next_tp_ = 1;
+  uint64_t next_map_ = 0x7f0000000000ull;
+  uint64_t syscall_count_ = 0;
+  uint64_t reboot_count_ = 0;
+  bool booted_ = false;
+};
+
+}  // namespace df::kernel

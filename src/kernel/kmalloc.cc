@@ -1,0 +1,50 @@
+#include "kernel/kmalloc.h"
+
+namespace df::kernel {
+
+HeapPtr Heap::alloc(size_t size, std::string_view tag) {
+  const HeapPtr p = next_++;
+  Slab s;
+  s.size = size;
+  s.tag = std::string(tag);
+  s.live = true;
+  s.bytes.assign(size, 0);
+  slabs_.emplace(p, std::move(s));
+  ++live_count_;
+  live_bytes_ += size;
+  return p;
+}
+
+bool Heap::free(HeapPtr p) {
+  auto it = slabs_.find(p);
+  if (it == slabs_.end() || !it->second.live) return false;
+  it->second.live = false;
+  it->second.bytes.clear();
+  --live_count_;
+  live_bytes_ -= it->second.size;
+  return true;
+}
+
+const Heap::Slab* Heap::find(HeapPtr p) const {
+  auto it = slabs_.find(p);
+  return it == slabs_.end() ? nullptr : &it->second;
+}
+
+Heap::Slab* Heap::find_mutable(HeapPtr p) {
+  auto it = slabs_.find(p);
+  return it == slabs_.end() ? nullptr : &it->second;
+}
+
+bool Heap::is_live(HeapPtr p) const {
+  const Slab* s = find(p);
+  return s != nullptr && s->live;
+}
+
+void Heap::reset() {
+  slabs_.clear();
+  live_count_ = 0;
+  live_bytes_ = 0;
+  // next_ keeps increasing: handles stay unique across reboots.
+}
+
+}  // namespace df::kernel

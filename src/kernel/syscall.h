@@ -1,0 +1,112 @@
+// Simulated Linux syscall ABI.
+//
+// The simulated kernel exposes the subset of the Linux syscall surface that
+// embedded Android HALs actually exercise against driver device nodes:
+// file ops (openat/read/write/ioctl/mmap), and the socket family used by
+// the Bluetooth stack (socket/bind/connect/listen/accept/setsockopt/...).
+//
+// The ABI is value-based rather than pointer-based: user payloads travel in
+// `SyscallReq::data` and kernel output in `SyscallRes::out`. This keeps the
+// simulation memory-safe while preserving everything the fuzzer and the
+// eBPF-style tracer can observe on real hardware (numbers, critical
+// arguments, payload bytes, ordering).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace df::kernel {
+
+enum class Sys : uint32_t {
+  kOpenAt = 0,
+  kClose,
+  kRead,
+  kWrite,
+  kIoctl,
+  kMmap,
+  kMunmap,
+  kLseek,
+  kFcntl,
+  kDup,
+  kSocket,
+  kBind,
+  kConnect,
+  kListen,
+  kAccept,
+  kSetsockopt,
+  kGetsockopt,
+  kSendmsg,
+  kRecvmsg,
+  kPoll,
+  kFsync,
+  kCount,  // number of syscalls; keep last
+};
+
+// Human-readable syscall name ("openat", "ioctl", ...).
+const char* sys_name(Sys nr);
+
+// Simulated errno values (returned negated, Linux-style).
+namespace err {
+inline constexpr int64_t kEPERM = -1;
+inline constexpr int64_t kENOENT = -2;
+inline constexpr int64_t kEBADF = -9;
+inline constexpr int64_t kEAGAIN = -11;
+inline constexpr int64_t kENOMEM = -12;
+inline constexpr int64_t kEFAULT = -14;
+inline constexpr int64_t kEBUSY = -16;
+inline constexpr int64_t kENODEV = -19;
+inline constexpr int64_t kEINVAL = -22;
+inline constexpr int64_t kENOTTY = -25;
+inline constexpr int64_t kENOSPC = -28;
+inline constexpr int64_t kEPIPE = -32;
+inline constexpr int64_t kEPROTO = -71;
+inline constexpr int64_t kEOPNOTSUPP = -95;
+inline constexpr int64_t kEADDRINUSE = -98;
+inline constexpr int64_t kECONNREFUSED = -111;
+inline constexpr int64_t kEINTR = -4;
+}  // namespace err
+
+// Socket address families / protocols used by the simulated drivers.
+inline constexpr uint64_t kAfBluetooth = 31;
+inline constexpr uint64_t kBtProtoL2cap = 0;
+inline constexpr uint64_t kBtProtoHci = 1;
+inline constexpr uint64_t kSockSeqpacket = 5;
+inline constexpr uint64_t kSockRaw = 3;
+
+// A single syscall invocation. Fields are interpreted per syscall:
+//   openat:    path, arg = flags
+//   close/dup/fsync: fd
+//   read:      fd, size = byte count          -> out
+//   write:     fd, data
+//   ioctl:     fd, arg = request, data (in)   -> out (driver-dependent)
+//   mmap:      fd, size = length, arg = prot  -> ret = mapping handle
+//   munmap:    arg = mapping handle
+//   lseek:     fd, arg = offset, arg2 = whence
+//   fcntl:     fd, arg = cmd, arg2 = value
+//   socket:    arg = family, arg2 = type, arg3 = protocol
+//   bind/connect: fd, data = address bytes
+//   listen:    fd, arg = backlog
+//   accept:    fd                              -> ret = new fd
+//   setsockopt: fd, arg = level, arg2 = optname, data
+//   getsockopt: fd, arg = level, arg2 = optname -> out
+//   sendmsg:   fd, data
+//   recvmsg:   fd, size                        -> out
+//   poll:      fd, arg = events
+struct SyscallReq {
+  Sys nr = Sys::kOpenAt;
+  int32_t fd = -1;
+  uint64_t arg = 0;
+  uint64_t arg2 = 0;
+  uint64_t arg3 = 0;
+  size_t size = 0;
+  std::string path;
+  std::vector<uint8_t> data;
+};
+
+struct SyscallRes {
+  int64_t ret = 0;           // >= 0: success value (fd/bytes/handle); < 0: -errno
+  std::vector<uint8_t> out;  // kernel -> user payload
+};
+
+}  // namespace df::kernel

@@ -1,0 +1,70 @@
+#include "kernel/vfs.h"
+
+namespace df::kernel {
+
+void NodeRegistry::add_node(std::string path, Driver* drv) {
+  nodes_[std::move(path)] = drv;
+}
+
+void NodeRegistry::add_socket(Driver::SockTriple t, Driver* drv) {
+  socks_[{t.family, t.type, t.proto}] = drv;
+}
+
+void NodeRegistry::clear() {
+  nodes_.clear();
+  socks_.clear();
+}
+
+Driver* NodeRegistry::resolve(std::string_view path) const {
+  auto it = nodes_.find(path);
+  return it == nodes_.end() ? nullptr : it->second;
+}
+
+Driver* NodeRegistry::resolve_socket(uint64_t family, uint64_t type,
+                                     uint64_t proto) const {
+  auto it = socks_.find({family, type, proto});
+  return it == socks_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> NodeRegistry::paths() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [path, drv] : nodes_) out.push_back(path);
+  return out;
+}
+
+int32_t FdTable::install(std::shared_ptr<File> f) {
+  const int32_t fd = next_fd_++;
+  table_.emplace(fd, std::move(f));
+  return fd;
+}
+
+std::shared_ptr<File> FdTable::get(int32_t fd) const {
+  auto it = table_.find(fd);
+  return it == table_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<File> FdTable::remove(int32_t fd) {
+  auto it = table_.find(fd);
+  if (it == table_.end()) return nullptr;
+  std::shared_ptr<File> f = std::move(it->second);
+  table_.erase(it);
+  return f;
+}
+
+std::vector<int32_t> FdTable::fds() const {
+  std::vector<int32_t> out;
+  out.reserve(table_.size());
+  for (const auto& [fd, f] : table_) out.push_back(fd);
+  return out;
+}
+
+std::vector<std::shared_ptr<File>> FdTable::clear() {
+  std::vector<std::shared_ptr<File>> out;
+  out.reserve(table_.size());
+  for (auto& [fd, f] : table_) out.push_back(std::move(f));
+  table_.clear();
+  return out;
+}
+
+}  // namespace df::kernel

@@ -1,0 +1,51 @@
+// Minimal VFS: device-node registry plus per-task fd tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "kernel/driver.h"
+
+namespace df::kernel {
+
+// Maps device-node paths to their owning drivers. Populated at boot from
+// Driver::nodes(); also resolves socket (family,type,proto) triples.
+class NodeRegistry {
+ public:
+  void add_node(std::string path, Driver* drv);
+  void add_socket(Driver::SockTriple triple, Driver* drv);
+  void clear();
+
+  Driver* resolve(std::string_view path) const;
+  Driver* resolve_socket(uint64_t family, uint64_t type, uint64_t proto) const;
+
+  std::vector<std::string> paths() const;
+
+ private:
+  std::map<std::string, Driver*, std::less<>> nodes_;
+  std::map<std::tuple<uint64_t, uint64_t, uint64_t>, Driver*> socks_;
+};
+
+// Per-task fd table. Fds are shared File descriptions (dup() shares).
+class FdTable {
+ public:
+  int32_t install(std::shared_ptr<File> f);
+  std::shared_ptr<File> get(int32_t fd) const;
+  // Removes the fd; returns the File (possibly still referenced by dups).
+  std::shared_ptr<File> remove(int32_t fd);
+  std::vector<int32_t> fds() const;
+  // Drops every fd, returning files whose last reference just went away.
+  std::vector<std::shared_ptr<File>> clear();
+  size_t size() const { return table_.size(); }
+
+ private:
+  int32_t next_fd_ = 3;  // 0..2 reserved, as on a real system
+  std::map<int32_t, std::shared_ptr<File>> table_;
+};
+
+}  // namespace df::kernel

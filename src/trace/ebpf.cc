@@ -1,0 +1,44 @@
+#include "trace/ebpf.h"
+
+namespace df::trace {
+
+uint64_t critical_arg_of(const kernel::SyscallReq& req) {
+  using kernel::Sys;
+  switch (req.nr) {
+    case Sys::kIoctl:
+      return req.arg;  // request code
+    case Sys::kSetsockopt:
+    case Sys::kGetsockopt:
+      return (req.arg << 32) | (req.arg2 & 0xffffffffull);
+    case Sys::kSocket:
+      return (req.arg << 32) | (req.arg3 & 0xffffffffull);
+    case Sys::kFcntl:
+      return req.arg;  // cmd
+    default:
+      return 0;
+  }
+}
+
+EbpfProbe::EbpfProbe(kernel::Kernel& kernel,
+                     std::optional<kernel::TaskOrigin> origin_filter,
+                     Handler handler)
+    : kernel_(kernel) {
+  tp_id_ = kernel_.attach_tracepoint(
+      [this, origin_filter, handler = std::move(handler)](
+          const kernel::Task& task, const kernel::SyscallReq& req,
+          const kernel::SyscallRes& res) {
+        if (origin_filter.has_value() && task.origin != *origin_filter) return;
+        SyscallEvent ev;
+        ev.origin = task.origin;
+        ev.task_name = task.name;
+        ev.nr = req.nr;
+        ev.critical_arg = critical_arg_of(req);
+        ev.ret = res.ret;
+        ++delivered_;
+        handler(ev);
+      });
+}
+
+EbpfProbe::~EbpfProbe() { kernel_.detach_tracepoint(tp_id_); }
+
+}  // namespace df::trace

@@ -1,0 +1,55 @@
+// eBPF-style syscall probing.
+//
+// The paper's probe utility and HAL executor insert eBPF programs into the
+// kernel to observe (a) Binder traffic during interface probing and (b)
+// syscalls originating from the HAL during fuzzing. This module is the
+// simulated attach surface: an EbpfProbe is a kernel tracepoint with an
+// origin filter, delivering structured syscall events to a host-side
+// handler. Detach is automatic (RAII), as with real bpf links.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "kernel/kernel.h"
+
+namespace df::trace {
+
+struct SyscallEvent {
+  kernel::TaskOrigin origin = kernel::TaskOrigin::kNative;
+  std::string task_name;
+  kernel::Sys nr = kernel::Sys::kOpenAt;
+  // Critical position argument (e.g. `request` for ioctl, level/optname for
+  // sockopts, family/proto for socket).
+  uint64_t critical_arg = 0;
+  int64_t ret = 0;
+};
+
+// Extracts the critical argument for a syscall the way the paper's lookup
+// table does (ioctl -> request, setsockopt -> level<<32|opt, socket ->
+// family<<32|proto, others -> 0).
+uint64_t critical_arg_of(const kernel::SyscallReq& req);
+
+class EbpfProbe {
+ public:
+  using Handler = std::function<void(const SyscallEvent&)>;
+
+  // Attaches to the kernel's syscall tracepoint. If `origin_filter` is set,
+  // only events from tasks with that origin are delivered.
+  EbpfProbe(kernel::Kernel& kernel,
+            std::optional<kernel::TaskOrigin> origin_filter, Handler handler);
+  ~EbpfProbe();
+
+  EbpfProbe(const EbpfProbe&) = delete;
+  EbpfProbe& operator=(const EbpfProbe&) = delete;
+
+  uint64_t events_delivered() const { return delivered_; }
+
+ private:
+  kernel::Kernel& kernel_;
+  int tp_id_ = 0;
+  uint64_t delivered_ = 0;
+};
+
+}  // namespace df::trace

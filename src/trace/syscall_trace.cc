@@ -1,0 +1,52 @@
+#include "trace/syscall_trace.h"
+
+namespace df::trace {
+
+uint32_t SpecTable::add(kernel::Sys nr, uint64_t critical_arg) {
+  const auto key = std::make_pair(static_cast<uint32_t>(nr), critical_arg);
+  auto it = table_.find(key);
+  if (it != table_.end()) return it->second;
+  const uint32_t id = next_++;
+  table_.emplace(key, id);
+  return id;
+}
+
+uint32_t SpecTable::id_of(kernel::Sys nr, uint64_t critical_arg) const {
+  const auto key = std::make_pair(static_cast<uint32_t>(nr), critical_arg);
+  auto it = table_.find(key);
+  if (it != table_.end()) return it->second;
+  // Try the plain form before overflowing.
+  if (critical_arg != 0) {
+    auto plain = table_.find({static_cast<uint32_t>(nr), 0});
+    if (plain != table_.end()) return plain->second;
+  }
+  const uint64_t h = util::hash_combine(static_cast<uint32_t>(nr),
+                                        util::mix64(critical_arg));
+  return kOverflowBase + static_cast<uint32_t>(h & 0xfffff);
+}
+
+DirectionalTracer::DirectionalTracer(kernel::Kernel& kernel,
+                                     const SpecTable& table)
+    : table_(table),
+      probe_(kernel, kernel::TaskOrigin::kHal, [this](const SyscallEvent& ev) {
+        seq_.push_back(table_.id_of(ev.nr, ev.critical_arg));
+      }) {}
+
+void DirectionalTracer::begin_execution() { seq_.clear(); }
+
+std::vector<uint64_t> DirectionalTracer::take_features() {
+  std::vector<uint64_t> out;
+  out.reserve(seq_.size());
+  uint32_t prev = 0;
+  for (uint32_t id : seq_) {
+    // Chained pair hash: order-sensitive, as the paper's directional
+    // coverage requires. Namespaced away from kcov driver features.
+    const uint64_t h = util::hash_combine(prev, id);
+    out.push_back(kernel::cov_feature(kHalCovDriverId, h & 0xffffffffffffull));
+    prev = id;
+  }
+  seq_.clear();
+  return out;
+}
+
+}  // namespace df::trace

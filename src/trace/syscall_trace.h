@@ -1,0 +1,74 @@
+// Directional HAL syscall coverage (paper §IV-D).
+//
+// Kernel code coverage records *which* blocks ran but not their order; the
+// HAL's behaviour is expressed in the *order and arguments* of the syscalls
+// it issues. DroidFuzz therefore compiles a lookup table of specialized
+// syscall IDs (ioctl split by request code, sockopts by level/optname, ...)
+// and, per execution, records the ordered ID sequence of HAL-originated
+// syscalls. The sequence is folded into the same 64-bit feature space as
+// kcov edges (reserved pseudo-driver 0xffff), so downstream corpus logic is
+// identical for both kinds of coverage — the paper's "analysis logic ...
+// remains the same".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "kernel/kcov.h"
+#include "trace/ebpf.h"
+#include "util/hash.h"
+
+namespace df::trace {
+
+// Pseudo driver-id namespace for HAL directional coverage features.
+inline constexpr uint16_t kHalCovDriverId = 0xffff;
+
+inline bool is_hal_feature(uint64_t feature) {
+  return kernel::cov_driver(feature) == kHalCovDriverId;
+}
+
+// Specialized syscall ID table: (syscall nr, critical arg) -> dense ID.
+// Entries are registered at initialization (from the fuzzer's call
+// descriptions); unknown (nr, arg) pairs map deterministically into a
+// hashed overflow bucket so novel requests still produce stable IDs.
+class SpecTable {
+ public:
+  // Registers a specialization; returns its ID. Idempotent.
+  uint32_t add(kernel::Sys nr, uint64_t critical_arg);
+  // Registers the "plain" form of a syscall (critical arg ignored).
+  uint32_t add_plain(kernel::Sys nr) { return add(nr, 0); }
+
+  // Lookup with overflow hashing for unknown pairs.
+  uint32_t id_of(kernel::Sys nr, uint64_t critical_arg) const;
+
+  size_t size() const { return table_.size(); }
+
+ private:
+  static constexpr uint32_t kOverflowBase = 1u << 20;
+  std::map<std::pair<uint32_t, uint64_t>, uint32_t> table_;
+  uint32_t next_ = 1;
+};
+
+// Records the directional syscall-ID sequence of one execution and renders
+// it as coverage features (chained ID pairs, order-sensitive).
+class DirectionalTracer {
+ public:
+  DirectionalTracer(kernel::Kernel& kernel, const SpecTable& table);
+
+  // Clears the per-execution sequence.
+  void begin_execution();
+  // The raw ordered ID sequence observed since begin_execution().
+  const std::vector<uint32_t>& sequence() const { return seq_; }
+  // Folds the sequence into kcov-compatible features and clears it.
+  std::vector<uint64_t> take_features();
+
+  uint64_t total_events() const { return probe_.events_delivered(); }
+
+ private:
+  const SpecTable& table_;
+  std::vector<uint32_t> seq_;
+  EbpfProbe probe_;  // must outlive nothing: keep last for init order
+};
+
+}  // namespace df::trace

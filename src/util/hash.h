@@ -1,0 +1,33 @@
+// Small non-cryptographic hashing helpers shared across the codebase.
+// Feedback features (kcov edges and HAL directional coverage) live in one
+// uniform 64-bit feature space produced by these mixers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace df::util {
+
+// 64-bit FNV-1a over a byte string.
+constexpr uint64_t fnv1a(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// Strong 64-bit integer mixer (splitmix64 finalizer).
+constexpr uint64_t mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Order-dependent combiner: combine(a, b) != combine(b, a).
+constexpr uint64_t hash_combine(uint64_t seed, uint64_t v) {
+  return mix64(seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2)));
+}
+
+}  // namespace df::util

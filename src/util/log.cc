@@ -1,0 +1,38 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace df::util {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+LogSink g_sink;  // empty => default stderr sink
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[df:%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace df::util

@@ -1,0 +1,44 @@
+// Minimal leveled logger. Components log through a process-global sink so
+// examples and benches can silence the simulator while tests can capture it.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace df::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global minimum level; messages below it are dropped before formatting
+// reaches the sink (they are still formatted — keep hot paths log-free).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Replace the sink (default writes to stderr). Passing nullptr restores
+// the default sink.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, out_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+}  // namespace df::util
+
+#define DF_LOG(level) ::df::util::detail::LogLine(::df::util::LogLevel::level)

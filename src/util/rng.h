@@ -1,0 +1,52 @@
+// Deterministic random number generation for DroidFuzz.
+//
+// Every stochastic component (generators, mutators, schedulers, simulated
+// devices) draws from an explicitly seeded Rng so that entire fuzzing
+// campaigns replay bit-for-bit from a single 64-bit seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace df::util {
+
+// xoshiro256** seeded via splitmix64. Small, fast, and good enough
+// statistical quality for fuzzing workloads; not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Uniform 64-bit value.
+  uint64_t next();
+
+  // Uniform integer in [0, bound). bound == 0 returns 0.
+  uint64_t below(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t range(int64_t lo, int64_t hi);
+
+  // True with probability num/den. Requires den > 0.
+  bool chance(uint64_t num, uint64_t den);
+
+  // True with probability p (clamped to [0,1]).
+  bool prob(double p);
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Index into a discrete distribution proportional to `weights`.
+  // All-zero or empty weights fall back to uniform choice (or 0 if empty).
+  size_t weighted(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle of an index permutation [0, n).
+  std::vector<size_t> permutation(size_t n);
+
+  // Derive an independent child stream (e.g. one per device/engine).
+  Rng fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace df::util

@@ -1,0 +1,90 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace df::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const size_t n = xs.size();
+  return n % 2 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0;
+  const double m = mean(xs);
+  double acc = 0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+namespace {
+
+// Standard normal survival function via erfc.
+double normal_sf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+}  // namespace
+
+MannWhitneyResult mann_whitney_u(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  MannWhitneyResult r;
+  const size_t n1 = a.size(), n2 = b.size();
+  if (n1 == 0 || n2 == 0) return r;
+
+  // Pool, rank with midranks for ties.
+  struct Obs {
+    double v;
+    int group;  // 0 = a, 1 = b
+  };
+  std::vector<Obs> pool;
+  pool.reserve(n1 + n2);
+  for (double v : a) pool.push_back({v, 0});
+  for (double v : b) pool.push_back({v, 1});
+  std::sort(pool.begin(), pool.end(),
+            [](const Obs& x, const Obs& y) { return x.v < y.v; });
+
+  double rank_sum_a = 0;
+  double tie_term = 0;  // sum over tie groups of t^3 - t
+  size_t i = 0;
+  while (i < pool.size()) {
+    size_t j = i;
+    while (j < pool.size() && pool[j].v == pool[i].v) ++j;
+    const double t = static_cast<double>(j - i);
+    const double midrank = 0.5 * static_cast<double>(i + 1 + j);  // avg rank
+    for (size_t k = i; k < j; ++k) {
+      if (pool[k].group == 0) rank_sum_a += midrank;
+    }
+    tie_term += t * t * t - t;
+    i = j;
+  }
+
+  const double dn1 = static_cast<double>(n1), dn2 = static_cast<double>(n2);
+  const double u1 = rank_sum_a - dn1 * (dn1 + 1) / 2.0;
+  r.u = u1;
+
+  const double n = dn1 + dn2;
+  const double mu = dn1 * dn2 / 2.0;
+  const double var =
+      dn1 * dn2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)));
+  if (var <= 0) return r;  // all tied
+
+  // Continuity correction.
+  const double diff = u1 - mu;
+  const double cc = diff > 0 ? -0.5 : (diff < 0 ? 0.5 : 0.0);
+  r.z = (diff + cc) / std::sqrt(var);
+  r.p_two_sided = 2.0 * normal_sf(std::fabs(r.z));
+  if (r.p_two_sided > 1.0) r.p_two_sided = 1.0;
+  r.significant_at_05 = r.p_two_sided < 0.05;
+  return r;
+}
+
+}  // namespace df::util

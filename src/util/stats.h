@@ -1,0 +1,28 @@
+// Statistics helpers used by the evaluation harness: summary statistics and
+// the Mann-Whitney U test the paper applies to assess significance (§V-A).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace df::util {
+
+double mean(const std::vector<double>& xs);
+double median(std::vector<double> xs);  // by value: sorts a copy
+double stddev(const std::vector<double>& xs);
+
+struct MannWhitneyResult {
+  double u = 0;        // U statistic for sample a
+  double z = 0;        // normal approximation z-score (tie-corrected)
+  double p_two_sided = 1.0;
+  bool significant_at_05 = false;
+};
+
+// Two-sided Mann-Whitney U test with normal approximation and tie
+// correction. Suitable for the paper's 10-repetition comparisons.
+// Degenerate inputs (either sample empty, or all values tied) return
+// p = 1.0 / not significant.
+MannWhitneyResult mann_whitney_u(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+}  // namespace df::util

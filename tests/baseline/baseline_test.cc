@@ -1,0 +1,124 @@
+// Tests for the Syzkaller and Difuze baselines.
+#include <gtest/gtest.h>
+
+#include "baseline/difuze.h"
+#include "baseline/syzkaller.h"
+#include "device/catalog.h"
+
+namespace df::baseline {
+namespace {
+
+TEST(Syzkaller, ConfigIsSyscallOnlyNoRelations) {
+  const auto cfg = SyzkallerFuzzer::config(1);
+  EXPECT_FALSE(cfg.probe_hal);
+  EXPECT_FALSE(cfg.hal_feedback);
+  EXPECT_FALSE(cfg.learn_relations);
+  EXPECT_FALSE(cfg.gen.use_relations);
+  EXPECT_FALSE(cfg.gen.use_hal);
+}
+
+TEST(Syzkaller, NeverTouchesHalProcesses) {
+  auto dev = device::make_device("A1", 1);
+  uint64_t hal_syscalls = 0;
+  dev->kernel().attach_tracepoint(
+      [&](const kernel::Task& t, const kernel::SyscallReq&,
+          const kernel::SyscallRes&) {
+        if (t.origin == kernel::TaskOrigin::kHal) ++hal_syscalls;
+      });
+  SyzkallerFuzzer syz(*dev, 1);
+  syz.setup();
+  syz.run(500);
+  EXPECT_EQ(hal_syscalls, 0u);
+  EXPECT_GT(syz.kernel_coverage(), 30u);
+}
+
+TEST(Syzkaller, NeverFindsHalOnlyBugs) {
+  // Device C1's only planted bug is a HAL native crash: structurally out
+  // of a syscall fuzzer's reach.
+  auto dev = device::make_device("C1", 2);
+  SyzkallerFuzzer syz(*dev, 2);
+  syz.run(4000);
+  EXPECT_EQ(syz.crashes().unique_bugs(), 0u);
+}
+
+TEST(Syzkaller, FindsShallowKernelBug) {
+  auto dev = device::make_device("B", 1);
+  SyzkallerFuzzer syz(*dev, 1);
+  syz.run(8000);
+  EXPECT_NE(syz.crashes().find("WARNING in l2cap_send_disconn_req"), nullptr);
+}
+
+TEST(Syzkaller, CoverageBelowDroidFuzzAtSameBudget) {
+  const uint64_t budget = 3000;
+  auto d1 = device::make_device("A2", 4);
+  core::Engine df(*d1, [] {
+    core::EngineConfig c;
+    c.seed = 4;
+    return c;
+  }());
+  df.run(budget);
+  auto d2 = device::make_device("A2", 4);
+  SyzkallerFuzzer syz(*d2, 4);
+  syz.run(budget);
+  EXPECT_GT(df.kernel_coverage(), syz.kernel_coverage());
+}
+
+TEST(Difuze, ExtractsIoctlInterfaces) {
+  auto dev = device::make_device("A1", 1);
+  DifuzeFuzzer difuze(*dev, 1);
+  const size_t n = difuze.setup();
+  EXPECT_GT(n, 30u);  // A1 carries nine drivers' worth of ioctls
+  EXPECT_EQ(difuze.extracted_interfaces(), n);
+  // Idempotent.
+  EXPECT_EQ(difuze.setup(), n);
+}
+
+TEST(Difuze, ExtractionScalesWithDriverCount) {
+  auto a1 = device::make_device("A1", 1);
+  auto e = device::make_device("E", 1);
+  DifuzeFuzzer d1(*a1, 1), d2(*e, 1);
+  EXPECT_GT(d1.setup(), d2.setup());  // A1 has more drivers than E
+}
+
+TEST(Difuze, GeneratesIoctlOnlyPrograms) {
+  auto dev = device::make_device("A1", 1);
+  uint64_t non_ioctl_non_open = 0;
+  dev->kernel().attach_tracepoint(
+      [&](const kernel::Task&, const kernel::SyscallReq& req,
+          const kernel::SyscallRes&) {
+        if (req.nr != kernel::Sys::kIoctl && req.nr != kernel::Sys::kOpenAt &&
+            req.nr != kernel::Sys::kClose) {
+          ++non_ioctl_non_open;
+        }
+      });
+  DifuzeFuzzer difuze(*dev, 1);
+  difuze.run(300);
+  EXPECT_EQ(non_ioctl_non_open, 0u);
+  EXPECT_GT(difuze.executions(), 0u);
+  EXPECT_GT(difuze.kernel_coverage(), 20u);
+}
+
+TEST(Difuze, CoverageLagsBehindSyzkaller) {
+  // Generation-based without feedback: strictly weaker than coverage-guided
+  // syscall fuzzing at equal budget.
+  const uint64_t budget = 4000;
+  auto d1 = device::make_device("A1", 9);
+  SyzkallerFuzzer syz(*d1, 9);
+  syz.run(budget);
+  auto d2 = device::make_device("A1", 9);
+  DifuzeFuzzer difuze(*d2, 9);
+  difuze.run(budget);
+  EXPECT_GT(syz.kernel_coverage(), difuze.kernel_coverage());
+}
+
+TEST(Difuze, FindsNoHalBugs) {
+  auto dev = device::make_device("C1", 3);
+  DifuzeFuzzer difuze(*dev, 3);
+  difuze.run(2000);
+  for (const auto& bug : difuze.crashes().bugs()) {
+    EXPECT_EQ(bug.component, "Kernel");
+  }
+}
+
+}  // namespace
+}  // namespace df::baseline

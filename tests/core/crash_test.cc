@@ -1,0 +1,123 @@
+#include "core/fuzz/crash.h"
+
+#include <gtest/gtest.h>
+
+namespace df::core {
+namespace {
+
+kernel::Report warn_report(std::string title) {
+  kernel::Report r;
+  r.kind = kernel::ReportKind::kWarning;
+  r.title = std::move(title);
+  r.driver = "some_driver";
+  return r;
+}
+
+TEST(NormalizeTitle, StripsNumericTails) {
+  EXPECT_EQ(normalize_title("BUG: looking up invalid subclass: 12"),
+            "BUG: looking up invalid subclass");
+  EXPECT_EQ(normalize_title(
+                "BUG: looking up invalid subclass: 9 (lock hub->fifo)"),
+            "BUG: looking up invalid subclass");
+}
+
+TEST(NormalizeTitle, KeepsFunctionNames) {
+  EXPECT_EQ(normalize_title("WARNING in rt1711_i2c_probe"),
+            "WARNING in rt1711_i2c_probe");
+  EXPECT_EQ(
+      normalize_title("KASAN: slab-use-after-free Read in bt_accept_unlink"),
+      "KASAN: slab-use-after-free Read in bt_accept_unlink");
+}
+
+TEST(NormalizeTitle, StripsParentheticals) {
+  EXPECT_EQ(normalize_title("WARNING in tcpc_role_swap (core)"),
+            "WARNING in tcpc_role_swap");
+}
+
+TEST(HalCrashTitle, MatchesTableIIStyle) {
+  EXPECT_EQ(hal_crash_title("android.hardware.graphics.composer@sim"),
+            "Native crash in Graphics HAL");
+  EXPECT_EQ(hal_crash_title("android.hardware.media.codec@sim"),
+            "Native crash in Media HAL");
+  EXPECT_EQ(hal_crash_title("android.hardware.camera.provider@sim"),
+            "Native crash in Camera HAL");
+}
+
+TEST(CrashLog, DedupsByNormalizedTitle) {
+  CrashLog log;
+  dsl::Program repro;
+  EXPECT_TRUE(log.record_kernel(
+      warn_report("BUG: looking up invalid subclass: 8"), repro, 10));
+  EXPECT_FALSE(log.record_kernel(
+      warn_report("BUG: looking up invalid subclass: 15"), repro, 20));
+  EXPECT_EQ(log.unique_bugs(), 1u);
+  EXPECT_EQ(log.total_reports(), 2u);
+  const BugRecord* rec = log.find("BUG: looking up invalid subclass");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->dup_count, 2u);
+  EXPECT_EQ(rec->first_exec, 10u);
+}
+
+TEST(CrashLog, KernelRecordFields) {
+  CrashLog log;
+  dsl::Program repro;
+  kernel::Report r;
+  r.kind = kernel::ReportKind::kKasan;
+  r.title = "KASAN: invalid-access in hci_read_supported_codecs";
+  r.driver = "bt_hci";
+  log.record_kernel(r, repro, 3);
+  const auto& bug = log.bugs()[0];
+  EXPECT_EQ(bug.component, "Kernel");
+  EXPECT_EQ(bug.origin, "bt_hci");
+  EXPECT_EQ(bug.bug_class, "KASAN");
+}
+
+TEST(CrashLog, HalRecordFields) {
+  CrashLog log;
+  dsl::Program repro;
+  hal::CrashRecord c;
+  c.service = "android.hardware.camera.provider@sim";
+  c.signal = "SIGSEGV";
+  c.site = "camera3_process_capture_request";
+  EXPECT_TRUE(log.record_hal(c, repro, 7));
+  EXPECT_FALSE(log.record_hal(c, repro, 9));
+  const auto& bug = log.bugs()[0];
+  EXPECT_EQ(bug.title, "Native crash in Camera HAL");
+  EXPECT_EQ(bug.component, "HAL");
+  EXPECT_EQ(bug.bug_class, "SIGSEGV");
+  EXPECT_EQ(bug.dup_count, 2u);
+}
+
+TEST(CrashLog, KernelAndHalTitlesDistinct) {
+  CrashLog log;
+  dsl::Program repro;
+  log.record_kernel(warn_report("WARNING in v4l_querycap"), repro, 1);
+  hal::CrashRecord c;
+  c.service = "android.hardware.camera.provider@sim";
+  c.signal = "SIGSEGV";
+  log.record_hal(c, repro, 2);
+  EXPECT_EQ(log.unique_bugs(), 2u);
+}
+
+TEST(CrashLog, StoresReproducerText) {
+  CrashLog log;
+  dsl::CallTable table;
+  dsl::CallDesc d;
+  d.name = "openat$video";
+  const dsl::CallDesc* desc = table.add(std::move(d));
+  dsl::Program repro;
+  dsl::Call call;
+  call.desc = desc;
+  repro.calls.push_back(call);
+  log.record_kernel(warn_report("WARNING in v4l_querycap"), repro, 1);
+  EXPECT_EQ(log.bugs()[0].repro_text, "openat$video()\n");
+  EXPECT_EQ(log.bugs()[0].repro.size(), 1u);
+}
+
+TEST(CrashLog, FindMissingReturnsNull) {
+  CrashLog log;
+  EXPECT_EQ(log.find("nothing"), nullptr);
+}
+
+}  // namespace
+}  // namespace df::core

@@ -1,0 +1,83 @@
+#include "core/fuzz/daemon.h"
+
+#include <gtest/gtest.h>
+
+namespace df::core {
+namespace {
+
+TEST(Daemon, AddsKnownDevicesOnly) {
+  Daemon d(DaemonConfig{});
+  EXPECT_TRUE(d.add_device("A1"));
+  EXPECT_TRUE(d.add_device("E"));
+  EXPECT_FALSE(d.add_device("ZZ"));
+  EXPECT_EQ(d.device_count(), 2u);
+  EXPECT_NE(d.engine("A1"), nullptr);
+  EXPECT_EQ(d.engine("B"), nullptr);
+}
+
+TEST(Daemon, RunsAllEnginesInterleaved) {
+  Daemon d(DaemonConfig{});
+  d.add_device("A1");
+  d.add_device("B");
+  d.run(300, 64);
+  EXPECT_EQ(d.engine("A1")->executions(), 300u);
+  EXPECT_EQ(d.engine("B")->executions(), 300u);
+  EXPECT_EQ(d.total_executions(), 600u);
+  EXPECT_GT(d.total_kernel_coverage(), 100u);
+}
+
+TEST(Daemon, AggregatesBugsAcrossDevices) {
+  DaemonConfig cfg;
+  cfg.seed = 3;
+  Daemon d(cfg);
+  d.add_device("A1");
+  d.add_device("B");
+  d.run(5000, 128);
+  const auto bugs = d.all_bugs();
+  EXPECT_FALSE(bugs.empty());
+  for (const auto& b : bugs) {
+    EXPECT_TRUE(b.device_id == "A1" || b.device_id == "B");
+    EXPECT_FALSE(b.bug.title.empty());
+  }
+}
+
+TEST(Daemon, CorpusSaveLoadRoundTrip) {
+  DaemonConfig cfg;
+  cfg.seed = 7;
+  Daemon d(cfg);
+  d.add_device("C2");
+  d.run(500, 64);
+  const std::string saved = d.save_corpus();
+  EXPECT_FALSE(saved.empty());
+  EXPECT_NE(saved.find("# device C2"), std::string::npos);
+
+  // A fresh daemon reloads the corpus.
+  Daemon d2(cfg);
+  d2.add_device("C2");
+  const size_t loaded = d2.load_corpus(saved);
+  EXPECT_GT(loaded, 0u);
+  EXPECT_EQ(d2.engine("C2")->corpus().size(), loaded);
+}
+
+TEST(Daemon, LoadIgnoresUnknownDevicesAndGarbage) {
+  Daemon d(DaemonConfig{});
+  d.add_device("C2");
+  const std::string text =
+      "# device XX\n"
+      "openat$wifi()\n"
+      "# end\n"
+      "# device C2\n"
+      "not a program at all(((\n"
+      "# end\n";
+  EXPECT_EQ(d.load_corpus(text), 0u);
+}
+
+TEST(Daemon, ZeroSliceIsSafe) {
+  Daemon d(DaemonConfig{});
+  d.add_device("E");
+  d.run(10, 0);
+  EXPECT_EQ(d.engine("E")->executions(), 10u);
+}
+
+}  // namespace
+}  // namespace df::core

@@ -1,0 +1,178 @@
+// Sanity checks over the authored syscall description catalogue and the
+// spec-table compilation, across every device model.
+#include "core/descriptions.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "device/catalog.h"
+#include "kernel/kernel.h"
+
+namespace df::core {
+namespace {
+
+dsl::CallTable full_table(device::Device& dev) {
+  dsl::CallTable table;
+  add_syscall_descriptions(table, dev);
+  for (const auto& svc : dev.services()) {
+    // Normalize usage weights into occurrence probabilities, as the
+    // probing pass does before handing them to add_hal_interface.
+    double total = 0;
+    for (const auto& uw : svc->app_usage_profile()) total += uw.weight;
+    std::vector<std::pair<uint32_t, double>> w;
+    for (const auto& uw : svc->app_usage_profile()) {
+      w.emplace_back(uw.code, uw.weight / total);
+    }
+    add_hal_interface(table, svc->descriptor(), svc->interface(), w);
+  }
+  return table;
+}
+
+TEST(Descriptions, EveryDeviceGetsANonTrivialTable) {
+  for (const auto& spec : device::device_table()) {
+    auto dev = device::make_device(spec.id, 1);
+    dsl::CallTable table;
+    add_syscall_descriptions(table, *dev);
+    EXPECT_GT(table.size(), 20u) << spec.id;
+  }
+}
+
+TEST(Descriptions, EveryHandleTypeHasAProducer) {
+  for (const auto& spec : device::device_table()) {
+    auto dev = device::make_device(spec.id, 1);
+    const dsl::CallTable table = full_table(*dev);
+    for (const dsl::CallDesc* d : table.all()) {
+      for (const auto& p : d->params) {
+        if (p.kind != dsl::ArgKind::kHandle) continue;
+        EXPECT_FALSE(table.producers_of(p.handle_type).empty())
+            << spec.id << " " << d->name << " needs " << p.handle_type;
+      }
+    }
+  }
+}
+
+TEST(Descriptions, OpenPathsExistOnTheDevice) {
+  for (const auto& spec : device::device_table()) {
+    auto dev = device::make_device(spec.id, 1);
+    dsl::CallTable table;
+    add_syscall_descriptions(table, *dev);
+    for (const dsl::CallDesc* d : table.all()) {
+      if (static_cast<kernel::Sys>(d->sys_nr) != kernel::Sys::kOpenAt) {
+        continue;
+      }
+      EXPECT_NE(dev->kernel().registry().resolve(d->path), nullptr)
+          << spec.id << " " << d->name << " -> " << d->path;
+    }
+  }
+}
+
+TEST(Descriptions, EveryDeviceNodeIsDescribed) {
+  // The inverse direction: no driver surface is left undescribed.
+  for (const auto& spec : device::device_table()) {
+    auto dev = device::make_device(spec.id, 1);
+    dsl::CallTable table;
+    add_syscall_descriptions(table, *dev);
+    for (const auto& path : dev->kernel().registry().paths()) {
+      bool described = false;
+      for (const dsl::CallDesc* d : table.all()) {
+        described = described || d->path == path;
+      }
+      EXPECT_TRUE(described) << spec.id << " node " << path;
+    }
+  }
+}
+
+TEST(Descriptions, IoctlSpecializationsUniquePerRequest) {
+  auto dev = device::make_device("A1", 1);
+  dsl::CallTable table;
+  add_syscall_descriptions(table, *dev);
+  std::set<uint64_t> requests;
+  for (const dsl::CallDesc* d : table.all()) {
+    if (static_cast<kernel::Sys>(d->sys_nr) != kernel::Sys::kIoctl) continue;
+    EXPECT_TRUE(requests.insert(d->fixed_arg).second)
+        << "duplicate ioctl request 0x" << std::hex << d->fixed_arg;
+  }
+  EXPECT_GT(requests.size(), 30u);
+}
+
+TEST(Descriptions, SpecTableGivesDenseIdsForAllSpecializations) {
+  auto dev = device::make_device("A2", 1);
+  const dsl::CallTable table = full_table(*dev);
+  const trace::SpecTable spec = make_spec_table(table);
+  EXPECT_GT(spec.size(), 30u);
+  // Every plain syscall form resolves.
+  for (uint32_t i = 0; i < static_cast<uint32_t>(kernel::Sys::kCount); ++i) {
+    EXPECT_LT(spec.id_of(static_cast<kernel::Sys>(i), 0), 1u << 20);
+  }
+}
+
+TEST(Descriptions, HalWeightsRescaledOntoSyscallScale) {
+  auto dev = device::make_device("A1", 1);
+  const dsl::CallTable table = full_table(*dev);
+  double hal_min = 1e9, hal_max = 0;
+  for (const dsl::CallDesc* d : table.all()) {
+    if (!d->is_hal()) continue;
+    hal_min = std::min(hal_min, d->weight);
+    hal_max = std::max(hal_max, d->weight);
+  }
+  // Floor keeps rare methods generatable; cap keeps them comparable to
+  // syscall vertex weights (~0.3..1.5).
+  EXPECT_GE(hal_min, 0.29);
+  EXPECT_LE(hal_max, 3.5);
+}
+
+TEST(Descriptions, ParamsAreInternallyConsistent) {
+  auto dev = device::make_device("A1", 1);
+  const dsl::CallTable table = full_table(*dev);
+  for (const dsl::CallDesc* d : table.all()) {
+    for (const auto& p : d->params) {
+      switch (p.kind) {
+        case dsl::ArgKind::kU8:
+          EXPECT_LE(p.max, 0xffu) << d->name;
+          [[fallthrough]];
+        case dsl::ArgKind::kU16:
+        case dsl::ArgKind::kU32:
+        case dsl::ArgKind::kU64:
+          EXPECT_LE(p.min, p.max) << d->name << "." << p.name;
+          break;
+        case dsl::ArgKind::kEnum:
+        case dsl::ArgKind::kFlags:
+          EXPECT_FALSE(p.choices.empty()) << d->name << "." << p.name;
+          break;
+        case dsl::ArgKind::kString:
+        case dsl::ArgKind::kBlob:
+          EXPECT_GT(p.max_len, 0u) << d->name << "." << p.name;
+          break;
+        case dsl::ArgKind::kHandle:
+          EXPECT_FALSE(p.handle_type.empty()) << d->name << "." << p.name;
+          break;
+      }
+    }
+    if (!d->produces.empty()) {
+      EXPECT_NE(d->produce_from, dsl::ProduceFrom::kNone) << d->name;
+    }
+  }
+}
+
+TEST(Descriptions, FdParamsComeFirstAndUseFdSlot) {
+  auto dev = device::make_device("A1", 1);
+  dsl::CallTable table;
+  add_syscall_descriptions(table, *dev);
+  for (const dsl::CallDesc* d : table.all()) {
+    bool saw_fd_slot = false;
+    for (size_t i = 0; i < d->params.size(); ++i) {
+      if (d->params[i].slot == dsl::Slot::kFd) {
+        EXPECT_EQ(i, 0u) << d->name;
+        saw_fd_slot = true;
+      }
+    }
+    const auto nr = static_cast<kernel::Sys>(d->sys_nr);
+    if (nr == kernel::Sys::kIoctl || nr == kernel::Sys::kClose) {
+      EXPECT_TRUE(saw_fd_slot) << d->name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace df::core

@@ -1,0 +1,163 @@
+// Tests for the fuzzing engine: setup, stepping, feedback accounting,
+// relation learning, ablation configs, crash minimization.
+#include "core/fuzz/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "device/catalog.h"
+
+namespace df::core {
+namespace {
+
+TEST(Engine, SetupBuildsCallTableAndProbes) {
+  auto dev = device::make_device("A1", 1);
+  Engine eng(*dev, EngineConfig{});
+  EXPECT_FALSE(eng.ready());
+  eng.setup();
+  EXPECT_TRUE(eng.ready());
+  EXPECT_GT(eng.calls().size(), 50u);
+  ASSERT_TRUE(eng.probe_result().has_value());
+  EXPECT_EQ(eng.probe_result()->services.size(), dev->services().size());
+  // HAL descriptions present.
+  EXPECT_NE(eng.calls().find("hal$graphics.composite"), nullptr);
+  // Relation vertices cover the whole table, E starts empty.
+  EXPECT_EQ(eng.relations().vertex_count(), eng.calls().size());
+  EXPECT_EQ(eng.relations().edge_count(), 0u);
+}
+
+TEST(Engine, NoProbeConfigSkipsHal) {
+  auto dev = device::make_device("A1", 1);
+  EngineConfig cfg;
+  cfg.probe_hal = false;
+  Engine eng(*dev, cfg);
+  eng.setup();
+  EXPECT_FALSE(eng.probe_result().has_value());
+  EXPECT_EQ(eng.calls().find("hal$graphics.composite"), nullptr);
+}
+
+TEST(Engine, SteppingAccumulatesCoverageAndCorpus) {
+  auto dev = device::make_device("A1", 1);
+  EngineConfig cfg;
+  cfg.seed = 3;
+  Engine eng(*dev, cfg);
+  eng.run(400);
+  EXPECT_EQ(eng.executions(), 400u);
+  EXPECT_GT(eng.kernel_coverage(), 50u);
+  EXPECT_GT(eng.total_coverage(), eng.kernel_coverage());
+  EXPECT_GT(eng.corpus().size(), 10u);
+}
+
+TEST(Engine, CoverageMonotone) {
+  auto dev = device::make_device("B", 1);
+  Engine eng(*dev, EngineConfig{});
+  eng.setup();
+  size_t prev = 0;
+  for (int i = 0; i < 10; ++i) {
+    eng.run(50);
+    EXPECT_GE(eng.kernel_coverage(), prev);
+    prev = eng.kernel_coverage();
+  }
+}
+
+TEST(Engine, LearnsRelationsFromCoverage) {
+  auto dev = device::make_device("A1", 1);
+  EngineConfig cfg;
+  cfg.seed = 3;
+  Engine eng(*dev, cfg);
+  eng.run(1500);
+  EXPECT_GT(eng.relations().edge_count(), 5u);
+}
+
+TEST(Engine, NoRelConfigLearnsNothing) {
+  auto dev = device::make_device("A1", 1);
+  EngineConfig cfg;
+  cfg.learn_relations = false;
+  cfg.gen.use_relations = false;
+  Engine eng(*dev, cfg);
+  eng.run(800);
+  EXPECT_EQ(eng.relations().edge_count(), 0u);
+}
+
+TEST(Engine, NoHCovConfigCollectsNoHalFeatures) {
+  auto dev = device::make_device("A1", 1);
+  EngineConfig cfg;
+  cfg.hal_feedback = false;
+  Engine eng(*dev, cfg);
+  eng.run(500);
+  EXPECT_EQ(eng.total_coverage(), eng.kernel_coverage());
+}
+
+TEST(Engine, FindsShallowBugQuickly) {
+  auto dev = device::make_device("A1", 1);
+  EngineConfig cfg;
+  cfg.seed = 3;
+  Engine eng(*dev, cfg);
+  eng.run(4000);
+  EXPECT_NE(eng.crashes().find("WARNING in rt1711_i2c_probe"), nullptr);
+}
+
+TEST(Engine, CrashMinimizationShrinksReproducer) {
+  auto dev = device::make_device("A1", 1);
+  EngineConfig cfg;
+  cfg.seed = 3;
+  Engine eng(*dev, cfg);
+  eng.run(4000);
+  const BugRecord* bug = eng.crashes().find("WARNING in rt1711_i2c_probe");
+  ASSERT_NE(bug, nullptr);
+  const dsl::Program min = eng.minimize_crash(*bug, 64);
+  EXPECT_LE(min.size(), bug->repro.size());
+  EXPECT_GE(min.size(), 1u);
+}
+
+TEST(Engine, DecayAppliedPeriodically) {
+  auto dev = device::make_device("A1", 1);
+  EngineConfig cfg;
+  cfg.seed = 3;
+  cfg.decay_every = 100;
+  cfg.decay_factor = 0.01;  // aggressive: learned edges evaporate
+  Engine eng(*dev, cfg);
+  eng.run(1000);
+  // With near-total decay every 100 execs, few edges survive.
+  EXPECT_LT(eng.relations().edge_count(), 40u);
+}
+
+TEST(Engine, DeterministicCampaigns) {
+  auto d1 = device::make_device("C2", 5);
+  auto d2 = device::make_device("C2", 5);
+  EngineConfig cfg;
+  cfg.seed = 5;
+  Engine e1(*d1, cfg), e2(*d2, cfg);
+  e1.run(600);
+  e2.run(600);
+  EXPECT_EQ(e1.kernel_coverage(), e2.kernel_coverage());
+  EXPECT_EQ(e1.total_coverage(), e2.total_coverage());
+  EXPECT_EQ(e1.corpus().size(), e2.corpus().size());
+  EXPECT_EQ(e1.crashes().unique_bugs(), e2.crashes().unique_bugs());
+}
+
+TEST(Engine, DifferentSeedsDiverge) {
+  auto d1 = device::make_device("C2", 5);
+  auto d2 = device::make_device("C2", 6);
+  EngineConfig c1;
+  c1.seed = 5;
+  EngineConfig c2;
+  c2.seed = 6;
+  Engine e1(*d1, c1), e2(*d2, c2);
+  e1.run(600);
+  e2.run(600);
+  EXPECT_NE(e1.total_coverage(), e2.total_coverage());
+}
+
+TEST(Engine, StepReportsNewFeatures) {
+  auto dev = device::make_device("E", 1);
+  Engine eng(*dev, EngineConfig{});
+  eng.setup();
+  size_t with_new = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (eng.step().new_features > 0) ++with_new;
+  }
+  EXPECT_GT(with_new, 10u);  // early phase: most programs find something
+}
+
+}  // namespace
+}  // namespace df::core

@@ -1,0 +1,217 @@
+// Tests for relational payload generation (§IV-C).
+#include "core/gen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/descriptions.h"
+#include "device/catalog.h"
+
+namespace df::core {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = device::make_device("A1", 1);
+    add_syscall_descriptions(table_, *dev_);
+    for (const auto& svc : dev_->services()) {
+      std::vector<std::pair<uint32_t, double>> w;
+      for (const auto& uw : svc->app_usage_profile()) {
+        w.emplace_back(uw.code, uw.weight);
+      }
+      add_hal_interface(table_, svc->descriptor(), svc->interface(), w);
+    }
+    for (const dsl::CallDesc* d : table_.all()) {
+      rel_.add_vertex(d, d->weight);
+    }
+  }
+
+  Generator make_gen(GenConfig cfg = {}) {
+    return Generator(table_, rel_, corpus_, rng_, cfg);
+  }
+
+  std::unique_ptr<device::Device> dev_;
+  dsl::CallTable table_;
+  RelationGraph rel_;
+  Corpus corpus_;
+  util::Rng rng_{1};
+};
+
+TEST_F(GeneratorTest, FreshProgramsAreValid) {
+  Generator gen = make_gen();
+  for (int i = 0; i < 500; ++i) {
+    const dsl::Program p = gen.generate_fresh();
+    EXPECT_FALSE(p.empty());
+    EXPECT_TRUE(p.valid());
+    EXPECT_LE(p.size(), gen.config().max_total_calls);
+  }
+}
+
+TEST_F(GeneratorTest, ProducersInsertedForHandles) {
+  Generator gen = make_gen();
+  int resolved = 0, handles = 0;
+  for (int i = 0; i < 300; ++i) {
+    const dsl::Program p = gen.generate_fresh();
+    for (const auto& c : p.calls) {
+      for (size_t a = 0; a < c.args.size(); ++a) {
+        if (c.desc->params[a].kind != dsl::ArgKind::kHandle) continue;
+        ++handles;
+        if (c.args[a].ref != dsl::Value::kNoRef) ++resolved;
+      }
+    }
+  }
+  ASSERT_GT(handles, 0);
+  // The vast majority of handle args must be backed by a producer.
+  EXPECT_GT(resolved, handles * 9 / 10);
+}
+
+TEST_F(GeneratorTest, ProducerChainsRecursive) {
+  // MEM_POOL needs a mali_ctx, which needs fd_mali: both must be inserted.
+  auto dev2 = device::make_device("A2", 1);
+  dsl::CallTable t2;
+  add_syscall_descriptions(t2, *dev2);
+  RelationGraph r2;
+  for (const dsl::CallDesc* d : t2.all()) r2.add_vertex(d, d->weight);
+  Corpus c2;
+  Generator gen(t2, r2, c2, rng_, {});
+  bool found_chain = false;
+  for (int i = 0; i < 2000 && !found_chain; ++i) {
+    dsl::Program p = gen.generate_fresh();
+    for (size_t k = 0; k < p.calls.size(); ++k) {
+      if (p.calls[k].desc->name != "ioctl$MALI_MEM_POOL") continue;
+      const auto& args = p.calls[k].args;
+      if (args[0].ref != dsl::Value::kNoRef &&
+          args[1].ref != dsl::Value::kNoRef) {
+        found_chain = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_chain);
+}
+
+TEST_F(GeneratorTest, RelationsShapeGeneration) {
+  // Teach a strong relation and verify generated programs follow it.
+  const dsl::CallDesc* a = table_.find("ioctl$TCPC_INIT");
+  const dsl::CallDesc* b = table_.find("ioctl$TCPC_SET_MODE");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  rel_.add_vertex(a, 5.0);  // well-ranked base invocation
+  rel_.observe_relation(a, b);
+  Generator gen = make_gen();
+  int followed = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const dsl::Program p = gen.generate_fresh();
+    for (size_t k = 0; k + 1 < p.calls.size(); ++k) {
+      if (p.calls[k].desc == a && p.calls[k + 1].desc == b) ++followed;
+    }
+  }
+  EXPECT_GT(followed, 30);
+}
+
+TEST_F(GeneratorTest, NoRelModeIgnoresEdges) {
+  const dsl::CallDesc* a = table_.find("ioctl$TCPC_INIT");
+  const dsl::CallDesc* b = table_.find("ioctl$TCPC_SET_MODE");
+  rel_.observe_relation(a, b);
+  GenConfig cfg;
+  cfg.use_relations = false;
+  Generator gen = make_gen(cfg);
+  // With ~130 calls, random adjacency of this exact pair is rare.
+  int followed = 0;
+  for (int i = 0; i < 1500; ++i) {
+    const dsl::Program p = gen.generate_fresh();
+    for (size_t k = 0; k + 1 < p.calls.size(); ++k) {
+      if (p.calls[k].desc == a && p.calls[k + 1].desc == b) ++followed;
+    }
+  }
+  EXPECT_LT(followed, 8);
+}
+
+TEST_F(GeneratorTest, IoctlOnlyModeBlocksOtherSyscalls) {
+  GenConfig cfg;
+  cfg.ioctl_only = true;
+  Generator gen = make_gen(cfg);
+  for (int i = 0; i < 300; ++i) {
+    const dsl::Program p = gen.generate_fresh();
+    for (const auto& c : p.calls) {
+      if (c.desc->is_hal()) continue;
+      const auto nr = static_cast<kernel::Sys>(c.desc->sys_nr);
+      EXPECT_TRUE(nr == kernel::Sys::kIoctl || nr == kernel::Sys::kOpenAt ||
+                  nr == kernel::Sys::kClose)
+          << c.desc->name;
+    }
+  }
+}
+
+TEST_F(GeneratorTest, NoHalModeBlocksHalCalls) {
+  GenConfig cfg;
+  cfg.use_hal = false;
+  Generator gen = make_gen(cfg);
+  for (int i = 0; i < 300; ++i) {
+    const dsl::Program p = gen.generate_fresh();
+    for (const auto& c : p.calls) EXPECT_FALSE(c.desc->is_hal());
+  }
+}
+
+TEST_F(GeneratorTest, MutationsPreserveValidity) {
+  Generator gen = make_gen();
+  dsl::Program seed = gen.generate_fresh();
+  for (int i = 0; i < 500; ++i) {
+    seed = gen.mutate(seed);
+    EXPECT_TRUE(seed.valid());
+    EXPECT_LE(seed.size(), gen.config().max_total_calls);
+    EXPECT_FALSE(seed.empty());
+  }
+}
+
+TEST_F(GeneratorTest, MutationEventuallyChangesProgram) {
+  Generator gen = make_gen();
+  const dsl::Program seed = gen.generate_fresh();
+  const uint64_t h = dsl::program_hash(seed);
+  bool changed = false;
+  for (int i = 0; i < 20 && !changed; ++i) {
+    changed = dsl::program_hash(gen.mutate(seed)) != h;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST_F(GeneratorTest, NextUsesCorpusWhenAvailable) {
+  Generator gen = make_gen();
+  Seed s;
+  s.prog = gen.generate_fresh();
+  s.new_features = 10;
+  corpus_.add(std::move(s));
+  for (int i = 0; i < 100; ++i) {
+    const dsl::Program p = gen.next();
+    EXPECT_TRUE(p.valid());
+  }
+  EXPECT_GT(corpus_.total_picks(), 20u);  // mutation path exercised
+}
+
+TEST_F(GeneratorTest, WeightedBasePrefersHeavyCalls) {
+  // hal$graphics.composite has a large probed weight; close$* are light.
+  Generator gen = make_gen();
+  std::map<std::string, int> base_counts;
+  for (int i = 0; i < 4000; ++i) {
+    const dsl::Program p = gen.generate_fresh();
+    if (!p.empty()) ++base_counts[p.calls[0].desc->name];
+  }
+  int closes = 0;
+  for (const auto& [name, n] : base_counts) {
+    if (name.rfind("close$", 0) == 0) closes += n;
+  }
+  // 11 close descs with weight 0.3 each vs ~120 others at ~1.0+.
+  EXPECT_LT(closes, 400);
+}
+
+TEST_F(GeneratorTest, DeterministicGivenSameRngState) {
+  util::Rng r1(5), r2(5);
+  Corpus c1, c2;
+  Generator g1(table_, rel_, c1, r1, {});
+  Generator g2(table_, rel_, c2, r2, {});
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(dsl::program_hash(g1.next()), dsl::program_hash(g2.next()));
+  }
+}
+
+}  // namespace
+}  // namespace df::core

@@ -1,0 +1,155 @@
+#include "core/gen/minimize.h"
+
+#include <gtest/gtest.h>
+
+namespace df::core {
+namespace {
+
+class MinimizeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dsl::CallDesc open;
+    open.name = "open";
+    open.produces = "fd";
+    open_ = table_.add(std::move(open));
+
+    dsl::CallDesc use;
+    use.name = "use";
+    dsl::ParamDesc fd;
+    fd.kind = dsl::ArgKind::kHandle;
+    fd.handle_type = "fd";
+    dsl::ParamDesc arg;
+    arg.kind = dsl::ArgKind::kU32;
+    arg.min = 0;
+    arg.max = 100;
+    use.params = {fd, arg};
+    use_ = table_.add(std::move(use));
+
+    dsl::CallDesc nop;
+    nop.name = "nop";
+    dsl::ParamDesc blob;
+    blob.kind = dsl::ArgKind::kBlob;
+    blob.max_len = 16;
+    nop.params = {blob};
+    nop_ = table_.add(std::move(nop));
+  }
+
+  dsl::Call make(const dsl::CallDesc* d, uint64_t scalar = 0,
+                 int32_t ref = dsl::Value::kNoRef) {
+    dsl::Call c;
+    c.desc = d;
+    for (const auto& p : d->params) {
+      dsl::Value v;
+      if (p.kind == dsl::ArgKind::kHandle) {
+        v.ref = ref;
+      } else if (p.kind == dsl::ArgKind::kBlob) {
+        v.bytes = {1, 2, 3, 4};
+      } else {
+        v.scalar = scalar;
+      }
+      c.args.push_back(v);
+    }
+    return c;
+  }
+
+  dsl::CallTable table_;
+  const dsl::CallDesc* open_ = nullptr;
+  const dsl::CallDesc* use_ = nullptr;
+  const dsl::CallDesc* nop_ = nullptr;
+};
+
+TEST_F(MinimizeTest, RemovesIrrelevantCalls) {
+  dsl::Program p;
+  p.calls.push_back(make(nop_));
+  p.calls.push_back(make(open_));
+  p.calls.push_back(make(nop_));
+  p.calls.push_back(make(use_, 42, 1));
+  p.calls.push_back(make(nop_));
+
+  // Interesting iff a `use` call with scalar 42 follows an `open`.
+  auto oracle = [](const dsl::Program& cand) {
+    for (size_t i = 0; i < cand.calls.size(); ++i) {
+      const auto& c = cand.calls[i];
+      if (c.desc->name != "use" || c.args[1].scalar != 42) continue;
+      const int32_t r = c.args[0].ref;
+      if (r != dsl::Value::kNoRef && cand.calls[r].desc->name == "open") {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  MinimizeStats stats;
+  const dsl::Program min = minimize(p, oracle, 100, &stats);
+  EXPECT_EQ(min.size(), 2u);
+  EXPECT_EQ(min.calls[0].desc->name, "open");
+  EXPECT_EQ(min.calls[1].desc->name, "use");
+  EXPECT_EQ(stats.calls_removed, 3u);
+  EXPECT_TRUE(min.valid());
+}
+
+TEST_F(MinimizeTest, SimplifiesArguments) {
+  dsl::Program p;
+  p.calls.push_back(make(open_));
+  p.calls.push_back(make(use_, 87, 0));
+  // Scalar irrelevant to the oracle: must be zeroed to the minimum.
+  auto oracle = [](const dsl::Program& cand) {
+    return cand.size() == 2 && cand.calls[1].desc->name == "use";
+  };
+  MinimizeStats stats;
+  const dsl::Program min = minimize(p, oracle, 100, &stats);
+  EXPECT_EQ(min.calls[1].args[1].scalar, 0u);
+  EXPECT_GT(stats.args_simplified, 0u);
+}
+
+TEST_F(MinimizeTest, KeepsEssentialArgument) {
+  dsl::Program p;
+  p.calls.push_back(make(use_, 87));
+  auto oracle = [](const dsl::Program& cand) {
+    return !cand.empty() && cand.calls[0].args[1].scalar == 87;
+  };
+  const dsl::Program min = minimize(p, oracle, 100);
+  EXPECT_EQ(min.calls[0].args[1].scalar, 87u);
+}
+
+TEST_F(MinimizeTest, EmptiesIrrelevantBlobs) {
+  dsl::Program p;
+  p.calls.push_back(make(nop_));
+  auto oracle = [](const dsl::Program& cand) { return !cand.empty(); };
+  const dsl::Program min = minimize(p, oracle, 100);
+  EXPECT_TRUE(min.calls[0].args[0].bytes.empty());
+}
+
+TEST_F(MinimizeTest, RespectsBudget) {
+  dsl::Program p;
+  for (int i = 0; i < 20; ++i) p.calls.push_back(make(nop_));
+  int oracle_calls = 0;
+  auto oracle = [&](const dsl::Program&) {
+    ++oracle_calls;
+    return false;  // nothing removable
+  };
+  MinimizeStats stats;
+  minimize(p, oracle, 5, &stats);
+  EXPECT_LE(stats.oracle_calls, 5u);
+  EXPECT_EQ(oracle_calls, 5);
+}
+
+TEST_F(MinimizeTest, NeverReturnsFailingProgram) {
+  dsl::Program p;
+  p.calls.push_back(make(open_));
+  p.calls.push_back(make(use_, 1, 0));
+  auto oracle = [](const dsl::Program& cand) { return cand.size() >= 2; };
+  const dsl::Program min = minimize(p, oracle, 100);
+  EXPECT_TRUE(oracle(min));
+}
+
+TEST_F(MinimizeTest, SingleCallProgramUntouchedByPhase1) {
+  dsl::Program p;
+  p.calls.push_back(make(use_, 3));
+  auto oracle = [](const dsl::Program& cand) { return !cand.empty(); };
+  const dsl::Program min = minimize(p, oracle, 100);
+  EXPECT_EQ(min.size(), 1u);
+}
+
+}  // namespace
+}  // namespace df::core

@@ -1,0 +1,146 @@
+// Tests for the pre-testing HAL probing pass (§IV-B).
+#include "core/probe/hal_probe.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/descriptions.h"
+#include "device/catalog.h"
+
+namespace df::core {
+namespace {
+
+class ProbeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dev_ = device::make_device("A1", 1); }
+  std::unique_ptr<device::Device> dev_;
+};
+
+TEST_F(ProbeTest, EnumeratesAllServices) {
+  HalProber prober(*dev_, 1);
+  const ProbeResult r = prober.probe(100);
+  EXPECT_EQ(r.services.size(), dev_->services().size());
+}
+
+TEST_F(ProbeTest, ExtractsEveryExposedInterface) {
+  HalProber prober(*dev_, 1);
+  const ProbeResult r = prober.probe(100);
+  size_t expected = 0;
+  for (const auto& svc : dev_->services()) {
+    expected += svc->interface().methods.size();
+  }
+  EXPECT_EQ(r.methods.size(), expected);
+  for (const auto& m : r.methods) {
+    EXPECT_TRUE(m.responsive) << m.service << "." << m.desc.name;
+  }
+}
+
+TEST_F(ProbeTest, ObservesBinderTraffic) {
+  HalProber prober(*dev_, 1);
+  const ProbeResult r = prober.probe(200);
+  EXPECT_GT(r.binder_transactions_observed, r.methods.size());
+  EXPECT_EQ(r.workload_invocations, 200u);
+}
+
+TEST_F(ProbeTest, TrialPokesObserveHalSyscalls) {
+  HalProber prober(*dev_, 1);
+  const ProbeResult r = prober.probe(0);  // pokes only, no workload
+  uint64_t total_syscalls = 0;
+  for (const auto& m : r.methods) total_syscalls += m.trial_syscalls;
+  EXPECT_GT(total_syscalls, 0u);
+}
+
+TEST_F(ProbeTest, WeightsAreNormalizedOccurrences) {
+  HalProber prober(*dev_, 1);
+  const ProbeResult r = prober.probe(2000);
+  // Per service the weights are probabilities: in (0,1], sum <= ~1.
+  std::map<std::string, double> sums;
+  for (const auto& m : r.methods) {
+    EXPECT_GT(m.weight, 0.0);
+    EXPECT_LE(m.weight, 1.0);
+    sums[m.service] += m.weight;
+  }
+  for (const auto& [svc, sum] : sums) {
+    EXPECT_LE(sum, 1.5) << svc;  // floor terms can push slightly over 1
+    EXPECT_GT(sum, 0.5) << svc;
+  }
+}
+
+TEST_F(ProbeTest, HighUsageMethodsRankHigher) {
+  HalProber prober(*dev_, 1);
+  const ProbeResult r = prober.probe(4000);
+  // Graphics: composite (weight 10) must outrank setColorMode (0.5).
+  double composite = 0, color_mode = 0;
+  for (const auto& m : r.methods) {
+    if (m.service != "android.hardware.graphics.composer@sim") continue;
+    if (m.desc.name == "composite") composite = m.weight;
+    if (m.desc.name == "setColorMode") color_mode = m.weight;
+  }
+  EXPECT_GT(composite, color_mode * 2);
+}
+
+TEST_F(ProbeTest, MethodWeightsForFiltersByService) {
+  HalProber prober(*dev_, 1);
+  const ProbeResult r = prober.probe(500);
+  const auto weights =
+      r.method_weights_for("android.hardware.sensors@sim");
+  EXPECT_EQ(weights.size(),
+            dev_->find_service("android.hardware.sensors@sim")
+                ->interface()
+                .methods.size());
+}
+
+TEST_F(ProbeTest, DeterministicForSameSeed) {
+  auto d1 = device::make_device("A1", 7);
+  auto d2 = device::make_device("A1", 7);
+  HalProber p1(*d1, 3), p2(*d2, 3);
+  const ProbeResult r1 = p1.probe(500);
+  const ProbeResult r2 = p2.probe(500);
+  ASSERT_EQ(r1.methods.size(), r2.methods.size());
+  for (size_t i = 0; i < r1.methods.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.methods[i].weight, r2.methods[i].weight);
+  }
+}
+
+TEST_F(ProbeTest, DeviceSurvivesProbing) {
+  HalProber prober(*dev_, 1);
+  prober.probe(2000);
+  // Probing restarts anything it crashed and reboots on panics.
+  EXPECT_FALSE(dev_->kernel().panicked());
+  for (const auto& svc : dev_->services()) EXPECT_FALSE(svc->dead());
+}
+
+TEST(ProbeDescriptions, HalInterfacesConvertToDsl) {
+  auto dev = device::make_device("A1", 1);
+  HalProber prober(*dev, 1);
+  const ProbeResult r = prober.probe(300);
+  dsl::CallTable table;
+  std::set<std::string> done;
+  for (const auto& m : r.methods) {
+    if (!done.insert(m.service).second) continue;
+    add_hal_interface(table, m.service,
+                      *dev->service_manager().get_interface(m.service),
+                      r.method_weights_for(m.service));
+  }
+  EXPECT_EQ(table.size(), r.methods.size());
+  const dsl::CallDesc* create = table.find("hal$graphics.createLayer");
+  ASSERT_NE(create, nullptr);
+  EXPECT_TRUE(create->is_hal());
+  EXPECT_EQ(create->produces, "hal_graphics_layer");
+  EXPECT_GT(create->weight, 0.0);
+  const dsl::CallDesc* set_buf = table.find("hal$graphics.setLayerBuffer");
+  ASSERT_NE(set_buf, nullptr);
+  EXPECT_TRUE(set_buf->consumes("hal_graphics_layer"));
+}
+
+TEST(ProbeDescriptions, ServiceAlias) {
+  EXPECT_EQ(service_alias("android.hardware.graphics.composer@sim"),
+            "graphics");
+  EXPECT_EQ(service_alias("android.hardware.bluetooth@sim"), "bluetooth");
+  EXPECT_EQ(service_alias("custom.vendor.thing"), "custom");
+}
+
+}  // namespace
+}  // namespace df::core

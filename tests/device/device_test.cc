@@ -1,0 +1,139 @@
+// Tests for the device layer and the Table I catalog.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "device/catalog.h"
+
+namespace df::device {
+namespace {
+
+TEST(Catalog, TableMatchesPaperTableI) {
+  const auto& table = device_table();
+  ASSERT_EQ(table.size(), 7u);
+  EXPECT_EQ(table[0].id, "A1");
+  EXPECT_EQ(table[0].vendor, "Xiaomi");
+  EXPECT_EQ(table[2].vendor, "Raspberry Pi");
+  EXPECT_EQ(table[3].vendor, "Sunmi");
+  EXPECT_EQ(table[5].device, "LubanCat 5");
+  EXPECT_EQ(table[6].arch, "amd64");
+  for (const auto& spec : table) {
+    EXPECT_FALSE(spec.id.empty());
+    EXPECT_TRUE(spec.aosp == "15" || spec.aosp == "13");
+  }
+}
+
+TEST(Catalog, PlantedBugsMatchTableII) {
+  const auto& bugs = planted_bugs();
+  ASSERT_EQ(bugs.size(), 12u);
+  size_t hal = 0, kernel_side = 0;
+  std::set<std::string> devices;
+  for (const auto& b : bugs) {
+    devices.insert(b.device_id);
+    if (b.component == "HAL") {
+      ++hal;
+      EXPECT_EQ(b.bug_type, "Memory Related Bug");
+    } else {
+      ++kernel_side;
+    }
+  }
+  EXPECT_EQ(hal, 3u);          // 3 HAL-layer crashes (paper §V-B)
+  EXPECT_EQ(kernel_side, 9u);  // 9 kernel-side bugs
+  EXPECT_EQ(devices.size(), 7u);
+}
+
+TEST(Catalog, EveryDeviceBuildsAndBoots) {
+  for (const auto& spec : device_table()) {
+    auto dev = make_device(spec.id, 1);
+    ASSERT_NE(dev, nullptr) << spec.id;
+    EXPECT_TRUE(dev->kernel().booted());
+    EXPECT_FALSE(dev->services().empty()) << spec.id;
+    EXPECT_FALSE(dev->kernel().drivers().empty()) << spec.id;
+    // ServiceManager lists every registered HAL.
+    EXPECT_EQ(dev->service_manager().list_services().size(),
+              dev->services().size());
+  }
+}
+
+TEST(Catalog, UnknownDeviceIsNull) {
+  EXPECT_EQ(make_device("Z9", 1), nullptr);
+}
+
+TEST(Catalog, KernelVersionsPropagate) {
+  auto a1 = make_device("A1", 1);
+  EXPECT_EQ(a1->kernel().version(), "6.6");
+  auto e = make_device("E", 1);
+  EXPECT_EQ(e->kernel().version(), "5.10");
+}
+
+TEST(Device, FindServiceByDescriptor) {
+  auto dev = make_device("A1", 1);
+  EXPECT_NE(dev->find_service("android.hardware.graphics.composer@sim"),
+            nullptr);
+  EXPECT_EQ(dev->find_service("android.hardware.nope@sim"), nullptr);
+}
+
+TEST(Device, RebootRestartsEverything) {
+  auto dev = make_device("A1", 1);
+  // Kill a HAL, panic the kernel.
+  dev->kernel().dmesg().bug("test", "synthetic");
+  ASSERT_TRUE(dev->kernel().panicked());
+  dev->reboot();
+  EXPECT_FALSE(dev->kernel().panicked());
+  for (const auto& svc : dev->services()) EXPECT_FALSE(svc->dead());
+  EXPECT_EQ(dev->kernel().reboot_count(), 1u);
+}
+
+TEST(Device, HalCrashAggregation) {
+  auto dev = make_device("A1", 1);
+  EXPECT_TRUE(dev->hal_crashes().empty());
+}
+
+TEST(Device, SeedsProduceIndependentKernels) {
+  auto d1 = make_device("A1", 1);
+  auto d2 = make_device("A1", 2);
+  EXPECT_NE(d1->seed(), d2->seed());
+}
+
+TEST(Device, DriverInventoryPerDevice) {
+  auto a1 = make_device("A1", 1);
+  EXPECT_NE(a1->kernel().find_driver("rt1711_i2c"), nullptr);
+  EXPECT_NE(a1->kernel().find_driver("tcpc_core"), nullptr);
+  EXPECT_EQ(a1->kernel().find_driver("wifi_rate"), nullptr);
+
+  auto c2 = make_device("C2", 1);
+  EXPECT_NE(c2->kernel().find_driver("wifi_rate"), nullptr);
+  EXPECT_EQ(c2->kernel().find_driver("rt1711_i2c"), nullptr);
+
+  auto e = make_device("E", 1);
+  EXPECT_NE(e->kernel().find_driver("v4l2_cam"), nullptr);
+  EXPECT_EQ(e->kernel().find_driver("bt_hci"), nullptr);
+}
+
+TEST(Device, BugsOnlyOnAffectedFirmware) {
+  // The rt1711 probe WARN is an A1-firmware bug: the same driver on other
+  // devices (none ship it) or the same chain on fixed firmware stays quiet.
+  auto a1 = make_device("A1", 1);
+  auto& k = a1->kernel();
+  const auto task = k.create_task(kernel::TaskOrigin::kNative, "t");
+  kernel::SyscallReq open;
+  open.nr = kernel::Sys::kOpenAt;
+  open.path = "/dev/rt1711";
+  const auto fd = static_cast<int32_t>(k.syscall(task, open).ret);
+  kernel::SyscallReq attach;
+  attach.nr = kernel::Sys::kIoctl;
+  attach.fd = fd;
+  attach.arg = 0x7401;
+  kernel::put_u32(attach.data, 2);
+  k.syscall(task, attach);
+  kernel::SyscallReq reset;
+  reset.nr = kernel::Sys::kIoctl;
+  reset.fd = fd;
+  reset.arg = 0x7403;
+  k.syscall(task, reset);
+  ASSERT_FALSE(k.dmesg().ring().empty());
+  EXPECT_EQ(k.dmesg().ring().back().title, "WARNING in rt1711_i2c_probe");
+}
+
+}  // namespace
+}  // namespace df::device

@@ -1,0 +1,185 @@
+#include "dsl/prog.h"
+
+#include <gtest/gtest.h>
+
+namespace df::dsl {
+namespace {
+
+// A tiny table: producer, consumer, and a standalone call.
+class ProgTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CallDesc open;
+    open.name = "open$x";
+    open.produces = "fd_x";
+    open_ = table_.add(std::move(open));
+
+    CallDesc use;
+    use.name = "use$x";
+    ParamDesc fd;
+    fd.kind = ArgKind::kHandle;
+    fd.handle_type = "fd_x";
+    use.params = {fd};
+    use_ = table_.add(std::move(use));
+
+    CallDesc other;
+    other.name = "nop";
+    nop_ = table_.add(std::move(other));
+  }
+
+  Call make(const CallDesc* d, int32_t ref = Value::kNoRef) {
+    Call c;
+    c.desc = d;
+    for (const auto& p : d->params) {
+      Value v;
+      if (p.kind == ArgKind::kHandle) v.ref = ref;
+      c.args.push_back(v);
+    }
+    return c;
+  }
+
+  CallTable table_;
+  const CallDesc* open_ = nullptr;
+  const CallDesc* use_ = nullptr;
+  const CallDesc* nop_ = nullptr;
+};
+
+TEST_F(ProgTest, CallTableLookup) {
+  EXPECT_EQ(table_.find("open$x"), open_);
+  EXPECT_EQ(table_.find("ghost"), nullptr);
+  EXPECT_EQ(table_.size(), 3u);
+  const auto producers = table_.producers_of("fd_x");
+  ASSERT_EQ(producers.size(), 1u);
+  EXPECT_EQ(producers[0], open_);
+  EXPECT_TRUE(table_.producers_of("nothing").empty());
+}
+
+TEST_F(ProgTest, DuplicateNamesKeepFirst) {
+  CallDesc dup;
+  dup.name = "open$x";
+  dup.weight = 99;
+  const CallDesc* got = table_.add(std::move(dup));
+  EXPECT_EQ(got, open_);
+  EXPECT_EQ(table_.size(), 3u);
+}
+
+TEST_F(ProgTest, ConsumesChecksHandleTypes) {
+  EXPECT_TRUE(use_->consumes("fd_x"));
+  EXPECT_FALSE(use_->consumes("fd_y"));
+  EXPECT_FALSE(open_->consumes("fd_x"));
+}
+
+TEST_F(ProgTest, ValidAcceptsResolvedAndUnresolved) {
+  Program p;
+  p.calls.push_back(make(open_));
+  p.calls.push_back(make(use_, 0));
+  EXPECT_TRUE(p.valid());
+  p.calls.push_back(make(use_));  // unresolved handle is legal
+  EXPECT_TRUE(p.valid());
+}
+
+TEST_F(ProgTest, ValidRejectsForwardRef) {
+  Program p;
+  p.calls.push_back(make(use_, 1));
+  p.calls.push_back(make(open_));
+  EXPECT_FALSE(p.valid());
+}
+
+TEST_F(ProgTest, ValidRejectsSelfRef) {
+  Program p;
+  p.calls.push_back(make(use_, 0));
+  EXPECT_FALSE(p.valid());
+}
+
+TEST_F(ProgTest, ValidRejectsWrongProducerType) {
+  Program p;
+  p.calls.push_back(make(nop_));
+  p.calls.push_back(make(use_, 0));  // nop produces nothing
+  EXPECT_FALSE(p.valid());
+}
+
+TEST_F(ProgTest, ValidRejectsArityMismatch) {
+  Program p;
+  Call c;
+  c.desc = use_;  // one param, zero args
+  p.calls.push_back(c);
+  EXPECT_FALSE(p.valid());
+}
+
+TEST_F(ProgTest, RepairRebindsToNearestProducer) {
+  Program p;
+  p.calls.push_back(make(open_));
+  p.calls.push_back(make(open_));
+  p.calls.push_back(make(use_, 5));  // dangling
+  EXPECT_GT(p.repair_refs(), 0u);
+  EXPECT_EQ(p.calls[2].args[0].ref, 1);  // nearest
+  EXPECT_TRUE(p.valid());
+}
+
+TEST_F(ProgTest, RepairClearsWhenNoProducer) {
+  Program p;
+  p.calls.push_back(make(nop_));
+  p.calls.push_back(make(use_, 0));
+  p.repair_refs();
+  EXPECT_EQ(p.calls[1].args[0].ref, Value::kNoRef);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST_F(ProgTest, RemoveCallShiftsRefs) {
+  Program p;
+  p.calls.push_back(make(nop_));   // 0
+  p.calls.push_back(make(open_));  // 1
+  p.calls.push_back(make(use_, 1));
+  p.remove_call(0);
+  ASSERT_EQ(p.calls.size(), 2u);
+  EXPECT_EQ(p.calls[1].args[0].ref, 0);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST_F(ProgTest, RemoveProducerRebinds) {
+  Program p;
+  p.calls.push_back(make(open_));  // 0
+  p.calls.push_back(make(open_));  // 1
+  p.calls.push_back(make(use_, 1));
+  p.remove_call(1);
+  EXPECT_EQ(p.calls[1].args[0].ref, 0);  // rebound to the surviving producer
+  EXPECT_TRUE(p.valid());
+}
+
+TEST_F(ProgTest, RemoveOutOfRangeIsNoop) {
+  Program p;
+  p.calls.push_back(make(nop_));
+  p.remove_call(10);
+  EXPECT_EQ(p.calls.size(), 1u);
+}
+
+TEST_F(ProgTest, HashDistinguishesPrograms) {
+  Program a;
+  a.calls.push_back(make(open_));
+  Program b;
+  b.calls.push_back(make(nop_));
+  EXPECT_NE(program_hash(a), program_hash(b));
+  EXPECT_EQ(program_hash(a), program_hash(clone(a)));
+}
+
+TEST_F(ProgTest, HashSensitiveToArgsAndOrder) {
+  Program a;
+  a.calls.push_back(make(open_));
+  a.calls.push_back(make(nop_));
+  Program b;
+  b.calls.push_back(make(nop_));
+  b.calls.push_back(make(open_));
+  EXPECT_NE(program_hash(a), program_hash(b));
+
+  Program c = clone(a);
+  Call extra = make(use_, 0);
+  extra.args[0].scalar = 42;  // scalar payload differs even for handles
+  Program d = clone(a);
+  Call extra2 = make(use_, 0);
+  c.calls.push_back(extra);
+  d.calls.push_back(extra2);
+  EXPECT_NE(program_hash(c), program_hash(d));
+}
+
+}  // namespace
+}  // namespace df::dsl

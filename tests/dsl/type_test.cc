@@ -1,0 +1,160 @@
+#include "dsl/type.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace df::dsl {
+namespace {
+
+ParamDesc scalar(uint64_t min, uint64_t max) {
+  ParamDesc p;
+  p.kind = ArgKind::kU32;
+  p.min = min;
+  p.max = max;
+  return p;
+}
+
+TEST(RandomValue, ScalarWithinOrNearRange) {
+  util::Rng rng(1);
+  const ParamDesc p = scalar(10, 20);
+  for (int i = 0; i < 1000; ++i) {
+    const Value v = random_value(p, rng);
+    EXPECT_GE(v.scalar, 10u);
+    EXPECT_LE(v.scalar, 20u);
+  }
+}
+
+TEST(RandomValue, EnumPicksFromChoices) {
+  util::Rng rng(2);
+  ParamDesc p;
+  p.kind = ArgKind::kEnum;
+  p.choices = {5, 9, 15};
+  for (int i = 0; i < 200; ++i) {
+    const Value v = random_value(p, rng);
+    EXPECT_TRUE(v.scalar == 5 || v.scalar == 9 || v.scalar == 15);
+  }
+}
+
+TEST(RandomValue, FlagsSubsetOfChoices) {
+  util::Rng rng(3);
+  ParamDesc p;
+  p.kind = ArgKind::kFlags;
+  p.choices = {1, 2, 8};
+  for (int i = 0; i < 200; ++i) {
+    const Value v = random_value(p, rng);
+    EXPECT_EQ(v.scalar & ~0xbull, 0u);
+  }
+}
+
+TEST(RandomValue, BlobRespectsMaxLen) {
+  util::Rng rng(4);
+  ParamDesc p;
+  p.kind = ArgKind::kBlob;
+  p.max_len = 16;
+  bool saw_max = false, saw_short = false;
+  for (int i = 0; i < 500; ++i) {
+    const Value v = random_value(p, rng);
+    EXPECT_LE(v.bytes.size(), 16u);
+    saw_max = saw_max || v.bytes.size() == 16;
+    saw_short = saw_short || v.bytes.size() < 4;
+  }
+  EXPECT_TRUE(saw_max);
+  EXPECT_TRUE(saw_short);
+}
+
+TEST(RandomValue, HandleStartsUnresolved) {
+  util::Rng rng(5);
+  ParamDesc p;
+  p.kind = ArgKind::kHandle;
+  p.handle_type = "fd_x";
+  EXPECT_EQ(random_value(p, rng).ref, Value::kNoRef);
+}
+
+TEST(RandomValue, BoolIsBinary) {
+  util::Rng rng(6);
+  ParamDesc p;
+  p.kind = ArgKind::kBool;
+  for (int i = 0; i < 100; ++i) EXPECT_LE(random_value(p, rng).scalar, 1u);
+}
+
+TEST(MutateValue, ScalarChangesEventually) {
+  util::Rng rng(7);
+  const ParamDesc p = scalar(0, 1000000);
+  Value v = random_value(p, rng);
+  const uint64_t orig = v.scalar;
+  bool changed = false;
+  for (int i = 0; i < 50 && !changed; ++i) {
+    mutate_value(p, v, rng);
+    changed = v.scalar != orig;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(MutateValue, MostlyStaysInRange) {
+  util::Rng rng(8);
+  const ParamDesc p = scalar(100, 200);
+  Value v = random_value(p, rng);
+  int out_of_range = 0;
+  for (int i = 0; i < 1000; ++i) {
+    mutate_value(p, v, rng);
+    if (v.scalar < 100 || v.scalar > 200) ++out_of_range;
+  }
+  // Deliberately allowed to escape occasionally, but rarely.
+  EXPECT_LT(out_of_range, 400);
+}
+
+TEST(MutateValue, BlobGrowShrinkFlip) {
+  util::Rng rng(9);
+  ParamDesc p;
+  p.kind = ArgKind::kBlob;
+  p.max_len = 32;
+  Value v = random_value(p, rng);
+  for (int i = 0; i < 500; ++i) {
+    mutate_value(p, v, rng);
+    EXPECT_LE(v.bytes.size(), 32u);
+  }
+}
+
+TEST(MutateValue, HandleRefUntouched) {
+  util::Rng rng(10);
+  ParamDesc p;
+  p.kind = ArgKind::kHandle;
+  Value v;
+  v.ref = 3;
+  for (int i = 0; i < 50; ++i) mutate_value(p, v, rng);
+  EXPECT_EQ(v.ref, 3);
+}
+
+TEST(SanitizeValue, ClampsBlobLength) {
+  util::Rng rng(11);
+  ParamDesc p;
+  p.kind = ArgKind::kBlob;
+  p.max_len = 4;
+  Value v;
+  v.bytes.assign(100, 7);
+  sanitize_value(p, v, rng);
+  EXPECT_EQ(v.bytes.size(), 4u);
+}
+
+TEST(BoundaryScalar, HitsEdges) {
+  util::Rng rng(12);
+  bool saw_min = false, saw_max = false;
+  for (int i = 0; i < 300; ++i) {
+    const uint64_t b = boundary_scalar(5, 500, rng);
+    EXPECT_GE(b, 5u);
+    EXPECT_LE(b, 500u);
+    saw_min = saw_min || b == 5;
+    saw_max = saw_max || b == 500;
+  }
+  EXPECT_TRUE(saw_min);
+  EXPECT_TRUE(saw_max);
+}
+
+TEST(BoundaryScalar, DegenerateRange) {
+  util::Rng rng(13);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(boundary_scalar(7, 7, rng), 7u);
+}
+
+}  // namespace
+}  // namespace df::dsl

@@ -1,0 +1,114 @@
+#include "hal/binder.h"
+
+#include <gtest/gtest.h>
+
+namespace df::hal {
+namespace {
+
+class FakeBinder final : public IBinder {
+ public:
+  TxResult transact(uint32_t code, Parcel& data) override {
+    ++calls;
+    last_code = code;
+    last_size = data.size();
+    TxResult res;
+    if (code == 99) res.status = kStatusUnknownTransaction;
+    res.reply.write_u32(code * 2);
+    return res;
+  }
+  std::string_view descriptor() const override { return "fake"; }
+
+  int calls = 0;
+  uint32_t last_code = 0;
+  size_t last_size = 0;
+};
+
+InterfaceDesc fake_iface() {
+  InterfaceDesc d;
+  d.service = "fake";
+  d.methods = {
+      {1, "ping", {}, ""},
+      {2, "open", {{ArgKind::kU32, "id", 0, 3, {}, 0, ""}}, "session"},
+  };
+  return d;
+}
+
+TEST(ServiceManager, RegisterAndList) {
+  ServiceManager sm;
+  sm.add_service("b.second", std::make_shared<FakeBinder>(), fake_iface());
+  sm.add_service("a.first", std::make_shared<FakeBinder>(), fake_iface());
+  const auto names = sm.list_services();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a.first");  // lshal-style sorted listing
+  EXPECT_EQ(names[1], "b.second");
+}
+
+TEST(ServiceManager, GetServiceAndInterface) {
+  ServiceManager sm;
+  auto binder = std::make_shared<FakeBinder>();
+  sm.add_service("svc", binder, fake_iface());
+  EXPECT_EQ(sm.get_service("svc"), binder);
+  EXPECT_EQ(sm.get_service("nope"), nullptr);
+  const InterfaceDesc* iface = sm.get_interface("svc");
+  ASSERT_NE(iface, nullptr);
+  EXPECT_EQ(iface->methods.size(), 2u);
+  EXPECT_EQ(sm.get_interface("nope"), nullptr);
+}
+
+TEST(ServiceManager, CallRoutesAndReplies) {
+  ServiceManager sm;
+  auto binder = std::make_shared<FakeBinder>();
+  sm.add_service("svc", binder, fake_iface());
+  Parcel args;
+  args.write_u32(5);
+  TxResult res = sm.call("svc", 2, args);
+  EXPECT_EQ(res.status, kStatusOk);
+  res.reply.rewind();
+  EXPECT_EQ(res.reply.read_u32(), 4u);
+  EXPECT_EQ(binder->calls, 1);
+  EXPECT_EQ(binder->last_code, 2u);
+}
+
+TEST(ServiceManager, CallUnknownServiceIsDeadObject) {
+  ServiceManager sm;
+  Parcel args;
+  EXPECT_EQ(sm.call("ghost", 1, args).status, kStatusDeadObject);
+}
+
+TEST(ServiceManager, ObserversSeeTransactions) {
+  ServiceManager sm;
+  sm.add_service("svc", std::make_shared<FakeBinder>(), fake_iface());
+  std::vector<TxRecord> seen;
+  const int id = sm.attach_observer([&](const TxRecord& r) { seen.push_back(r); });
+  Parcel args;
+  args.write_u32(1);
+  sm.call("svc", 2, args);
+  sm.call("svc", 99, args);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].service, "svc");
+  EXPECT_EQ(seen[0].code, 2u);
+  EXPECT_EQ(seen[0].data_size, 4u);
+  EXPECT_EQ(seen[1].status, kStatusUnknownTransaction);
+  sm.detach_observer(id);
+  sm.call("svc", 1, args);
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(ServiceManager, RemoveService) {
+  ServiceManager sm;
+  sm.add_service("svc", std::make_shared<FakeBinder>(), fake_iface());
+  sm.remove_service("svc");
+  EXPECT_TRUE(sm.list_services().empty());
+}
+
+TEST(InterfaceDesc, FindMethod) {
+  const InterfaceDesc d = fake_iface();
+  EXPECT_NE(d.find_method(1u), nullptr);
+  EXPECT_EQ(d.find_method(7u), nullptr);
+  ASSERT_NE(d.find_method("open"), nullptr);
+  EXPECT_EQ(d.find_method("open")->returns_handle, "session");
+  EXPECT_EQ(d.find_method("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace df::hal

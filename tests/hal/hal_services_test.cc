@@ -1,0 +1,499 @@
+// Behavioural tests for every HAL service, exercised through Binder
+// transactions against fully assembled devices.
+#include <gtest/gtest.h>
+
+#include "device/catalog.h"
+#include "hal/hal_service.h"
+#include "hal/services/audio_hal.h"
+#include "hal/services/bt_hal.h"
+#include "hal/services/camera_hal.h"
+#include "hal/services/graphics_hal.h"
+#include "hal/services/media_hal.h"
+
+namespace df::hal {
+namespace {
+
+namespace svc = services;
+
+class HalServicesTest : public ::testing::Test {
+ protected:
+  void use_device(const char* id) { dev_ = device::make_device(id, 1); }
+
+  TxResult call(std::string_view service, uint32_t code,
+                std::initializer_list<uint32_t> u32s = {}) {
+    Parcel p;
+    for (uint32_t v : u32s) p.write_u32(v);
+    return dev_->service_manager().call(service, code, p);
+  }
+  uint32_t reply_u32(TxResult& r) {
+    r.reply.rewind();
+    return r.reply.read_u32();
+  }
+
+  std::unique_ptr<device::Device> dev_;
+};
+
+// --- interface metadata sanity across every service -------------------------
+
+TEST_F(HalServicesTest, AllInterfacesWellFormed) {
+  for (const auto& spec : device::device_table()) {
+    use_device(spec.id.c_str());
+    for (const auto& s : dev_->services()) {
+      const InterfaceDesc d = s->interface();
+      EXPECT_FALSE(d.methods.empty()) << d.service;
+      std::set<uint32_t> codes;
+      for (const auto& m : d.methods) {
+        EXPECT_TRUE(codes.insert(m.code).second)
+            << d.service << " duplicate code " << m.code;
+        EXPECT_FALSE(m.name.empty());
+        for (const auto& a : m.args) {
+          if (a.kind == ArgKind::kEnum || a.kind == ArgKind::kFlags) {
+            EXPECT_FALSE(a.choices.empty()) << d.service << "." << m.name;
+          }
+          if (a.kind == ArgKind::kHandle) {
+            EXPECT_FALSE(a.handle_type.empty()) << d.service << "." << m.name;
+          }
+        }
+      }
+      // Every consumed handle type has a producer in the same interface.
+      for (const auto& m : d.methods) {
+        for (const auto& a : m.args) {
+          if (a.kind != ArgKind::kHandle) continue;
+          bool produced = false;
+          for (const auto& pm : d.methods) {
+            produced = produced || pm.returns_handle == a.handle_type;
+          }
+          EXPECT_TRUE(produced) << d.service << "." << m.name;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(HalServicesTest, UsageProfilesReferenceRealMethods) {
+  use_device("A1");
+  for (const auto& s : dev_->services()) {
+    const InterfaceDesc d = s->interface();
+    for (const auto& uw : s->app_usage_profile()) {
+      EXPECT_NE(d.find_method(uw.code), nullptr) << d.service;
+      EXPECT_GT(uw.weight, 0.0);
+    }
+  }
+}
+
+TEST_F(HalServicesTest, UnknownTransactionStatus) {
+  use_device("A1");
+  auto res = call("android.hardware.light@sim", 0x7777);
+  EXPECT_EQ(res.status, kStatusUnknownTransaction);
+}
+
+// --- graphics ---------------------------------------------------------------
+
+TEST_F(HalServicesTest, GraphicsLayerLifecycle) {
+  use_device("A1");
+  const char* g = "android.hardware.graphics.composer@sim";
+  auto created = call(g, svc::GraphicsHal::kCreateLayer, {640, 480, 1});
+  ASSERT_EQ(created.status, kStatusOk);
+  const uint32_t layer = reply_u32(created);
+  EXPECT_EQ(call(g, svc::GraphicsHal::kSetLayerBuffer, {layer, 2560, 3}).status,
+            kStatusOk);
+  auto comp = call(g, svc::GraphicsHal::kComposite);
+  EXPECT_EQ(comp.status, kStatusOk);
+  EXPECT_EQ(reply_u32(comp), 1u);
+  EXPECT_EQ(call(g, svc::GraphicsHal::kDestroyLayer, {layer}).status,
+            kStatusOk);
+  EXPECT_EQ(call(g, svc::GraphicsHal::kDestroyLayer, {layer}).status,
+            kStatusBadValue);
+}
+
+TEST_F(HalServicesTest, GraphicsCompositeWithoutBuffersRejected) {
+  use_device("A1");
+  const char* g = "android.hardware.graphics.composer@sim";
+  EXPECT_EQ(call(g, svc::GraphicsHal::kComposite).status,
+            kStatusInvalidOperation);
+}
+
+TEST_F(HalServicesTest, GraphicsOverflowStrideCrashesOnA1) {
+  use_device("A1");
+  const char* g = "android.hardware.graphics.composer@sim";
+  auto created = call(g, svc::GraphicsHal::kCreateLayer, {64, 4096, 1});
+  const uint32_t layer = reply_u32(created);
+  // stride * height wraps 32 bits but lands under the 256 MiB check.
+  EXPECT_EQ(
+      call(g, svc::GraphicsHal::kSetLayerBuffer, {layer, 0x40000000u, 0})
+          .status,
+      kStatusOk);
+  EXPECT_EQ(call(g, svc::GraphicsHal::kComposite).status, kStatusDeadObject);
+  auto* hal = dev_->find_service(g);
+  ASSERT_NE(hal, nullptr);
+  EXPECT_TRUE(hal->dead());
+  ASSERT_EQ(hal->crashes().size(), 1u);
+  EXPECT_EQ(hal->crashes()[0].signal, "SIGSEGV");
+  EXPECT_EQ(hal->crashes()[0].site, "gralloc_blit");
+}
+
+TEST_F(HalServicesTest, GraphicsFixedBuildRejectsOverflowStride) {
+  use_device("B");  // graphics HAL without the planted bug
+  const char* g = "android.hardware.graphics.composer@sim";
+  auto created = call(g, svc::GraphicsHal::kCreateLayer, {64, 4096, 1});
+  const uint32_t layer = reply_u32(created);
+  EXPECT_EQ(
+      call(g, svc::GraphicsHal::kSetLayerBuffer, {layer, 0x40000000u, 0})
+          .status,
+      kStatusBadValue);
+  EXPECT_EQ(call(g, svc::GraphicsHal::kComposite).status,
+            kStatusInvalidOperation);
+}
+
+TEST_F(HalServicesTest, CrashedServiceRejectsUntilRestart) {
+  use_device("A1");
+  const char* g = "android.hardware.graphics.composer@sim";
+  auto created = call(g, svc::GraphicsHal::kCreateLayer, {64, 4096, 1});
+  const uint32_t layer = reply_u32(created);
+  call(g, svc::GraphicsHal::kSetLayerBuffer, {layer, 0x40000000u, 0});
+  call(g, svc::GraphicsHal::kComposite);
+  // Dead process: everything bounces.
+  EXPECT_EQ(call(g, svc::GraphicsHal::kGetDisplayInfo).status,
+            kStatusDeadObject);
+  dev_->restart_dead_services();
+  auto* hal = dev_->find_service(g);
+  EXPECT_FALSE(hal->dead());
+  // Native state was reset: the old layer is gone.
+  EXPECT_EQ(call(g, svc::GraphicsHal::kDestroyLayer, {layer}).status,
+            kStatusBadValue);
+  EXPECT_EQ(call(g, svc::GraphicsHal::kGetDisplayInfo).status, kStatusOk);
+}
+
+// --- media --------------------------------------------------------------------
+
+TEST_F(HalServicesTest, MediaSessionLifecycle) {
+  use_device("A2");
+  const char* m = "android.hardware.media.codec@sim";
+  auto created = call(m, svc::MediaHal::kCreateSession, {svc::MediaHal::kCodecH264});
+  ASSERT_EQ(created.status, kStatusOk);
+  const uint32_t s = reply_u32(created);
+  EXPECT_EQ(call(m, svc::MediaHal::kConfigure, {s, 1920, 1080, 4000}).status,
+            kStatusOk);
+  EXPECT_EQ(call(m, svc::MediaHal::kStart, {s}).status, kStatusOk);
+  EXPECT_EQ(call(m, svc::MediaHal::kStart, {s}).status,
+            kStatusInvalidOperation);
+  EXPECT_EQ(call(m, svc::MediaHal::kStop, {s}).status, kStatusOk);
+  EXPECT_EQ(call(m, svc::MediaHal::kReleaseSession, {s}).status, kStatusOk);
+  EXPECT_EQ(call(m, svc::MediaHal::kStart, {s}).status, kStatusBadValue);
+}
+
+TEST_F(HalServicesTest, MediaHevcOverflowCrashesOnA2) {
+  use_device("A2");
+  const char* m = "android.hardware.media.codec@sim";
+  auto created =
+      call(m, svc::MediaHal::kCreateSession, {svc::MediaHal::kCodecHevc});
+  const uint32_t s = reply_u32(created);
+  // (w*256)*h*3/2 wraps 32 bits for these dims.
+  EXPECT_EQ(call(m, svc::MediaHal::kConfigure, {s, 60000, 60000, 500}).status,
+            kStatusOk);
+  EXPECT_EQ(
+      call(m, svc::MediaHal::kQueueInput, {s, 0x60000000u}).status,
+      kStatusDeadObject);
+  auto* hal = dev_->find_service(m);
+  ASSERT_EQ(hal->crashes().size(), 1u);
+  EXPECT_EQ(hal->crashes()[0].signal, "heap-buffer-overflow");
+}
+
+TEST_F(HalServicesTest, MediaNonHevcValidatesDims) {
+  use_device("A2");
+  const char* m = "android.hardware.media.codec@sim";
+  auto created =
+      call(m, svc::MediaHal::kCreateSession, {svc::MediaHal::kCodecVp9});
+  const uint32_t s = reply_u32(created);
+  EXPECT_EQ(call(m, svc::MediaHal::kConfigure, {s, 60000, 60000, 500}).status,
+            kStatusBadValue);
+}
+
+TEST_F(HalServicesTest, MediaTranscodeFeedbackModeHangsKernelOnA2) {
+  use_device("A2");
+  const char* m = "android.hardware.media.codec@sim";
+  auto created =
+      call(m, svc::MediaHal::kCreateSession, {svc::MediaHal::kCodecH264});
+  const uint32_t s = reply_u32(created);
+  call(m, svc::MediaHal::kConfigure, {s, 640, 480, 500});
+  call(m, svc::MediaHal::kStart, {s});
+  call(m, svc::MediaHal::kTranscode, {s, 3, 2});  // feedback pipeline
+  EXPECT_TRUE(dev_->kernel().panicked());
+  const auto& ring = dev_->kernel().dmesg().ring();
+  ASSERT_FALSE(ring.empty());
+  EXPECT_EQ(ring.back().title, "Infinite Loop in gpu_mali_job_loop");
+}
+
+// --- camera -------------------------------------------------------------------
+
+TEST_F(HalServicesTest, CameraCaptureFlow) {
+  use_device("C1");
+  const char* c = "android.hardware.camera.provider@sim";
+  auto opened = call(c, svc::CameraHal::kOpenCamera, {0});
+  const uint32_t cam = reply_u32(opened);
+  EXPECT_EQ(
+      call(c, svc::CameraHal::kConfigureStreams, {cam, 2, 1280, 720}).status,
+      kStatusOk);
+  auto cap = call(c, svc::CameraHal::kCapture, {cam, 3});
+  EXPECT_EQ(cap.status, kStatusOk);
+  EXPECT_EQ(reply_u32(cap), 3u);
+  EXPECT_EQ(call(c, svc::CameraHal::kCloseCamera, {cam}).status, kStatusOk);
+}
+
+TEST_F(HalServicesTest, CameraCaptureAfterStopStreamsCrashesOnC1) {
+  use_device("C1");
+  const char* c = "android.hardware.camera.provider@sim";
+  auto opened = call(c, svc::CameraHal::kOpenCamera, {0});
+  const uint32_t cam = reply_u32(opened);
+  call(c, svc::CameraHal::kConfigureStreams, {cam, 2, 1280, 720});
+  EXPECT_EQ(call(c, svc::CameraHal::kStopStreams, {cam}).status, kStatusOk);
+  EXPECT_EQ(call(c, svc::CameraHal::kCapture, {cam, 1}).status,
+            kStatusDeadObject);
+  auto* hal = dev_->find_service(c);
+  ASSERT_EQ(hal->crashes().size(), 1u);
+  EXPECT_EQ(hal->crashes()[0].site, "camera3_process_capture_request");
+}
+
+TEST_F(HalServicesTest, CameraFixedBuildSafeAfterStopStreams) {
+  use_device("E");  // camera HAL without the planted bug
+  const char* c = "android.hardware.camera.provider@sim";
+  auto opened = call(c, svc::CameraHal::kOpenCamera, {0});
+  const uint32_t cam = reply_u32(opened);
+  call(c, svc::CameraHal::kConfigureStreams, {cam, 2, 1280, 720});
+  call(c, svc::CameraHal::kStopStreams, {cam});
+  EXPECT_EQ(call(c, svc::CameraHal::kCapture, {cam, 1}).status,
+            kStatusInvalidOperation);
+  EXPECT_TRUE(dev_->find_service(c)->crashes().empty());
+}
+
+TEST_F(HalServicesTest, CameraZslEmptyConfigCrashPathOnC1) {
+  use_device("C1");
+  const char* c = "android.hardware.camera.provider@sim";
+  auto opened = call(c, svc::CameraHal::kOpenCamera, {0});
+  const uint32_t cam = reply_u32(opened);
+  call(c, svc::CameraHal::kSetParam, {cam, 0, 1});  // zsl on
+  EXPECT_EQ(
+      call(c, svc::CameraHal::kConfigureStreams, {cam, 0, 640, 480}).status,
+      kStatusOk);
+  EXPECT_EQ(call(c, svc::CameraHal::kCapture, {cam, 1}).status,
+            kStatusDeadObject);
+}
+
+// --- bluetooth ------------------------------------------------------------------
+
+TEST_F(HalServicesTest, BtEnableDisableCycle) {
+  use_device("D");
+  const char* b = "android.hardware.bluetooth@sim";
+  EXPECT_EQ(call(b, svc::BtHal::kDisable).status, kStatusInvalidOperation);
+  EXPECT_EQ(call(b, svc::BtHal::kEnable).status, kStatusOk);
+  EXPECT_EQ(call(b, svc::BtHal::kEnable).status, kStatusInvalidOperation);
+  EXPECT_EQ(call(b, svc::BtHal::kDisable).status, kStatusOk);
+}
+
+TEST_F(HalServicesTest, BtProfileLoopbackAndCleanupUafOnD) {
+  use_device("D");
+  const char* b = "android.hardware.bluetooth@sim";
+  auto l = call(b, svc::BtHal::kListenProfile, {25});
+  ASSERT_EQ(l.status, kStatusOk);
+  const uint32_t listener = reply_u32(l);
+  auto c = call(b, svc::BtHal::kConnectProfile, {25});
+  ASSERT_EQ(c.status, kStatusOk);
+  auto a = call(b, svc::BtHal::kAcceptProfile, {listener});
+  ASSERT_EQ(a.status, kStatusOk);
+  // cleanup() tears listeners down before children -> kernel UAF on D.
+  EXPECT_EQ(call(b, svc::BtHal::kCleanup).status, kStatusOk);
+  const auto& ring = dev_->kernel().dmesg().ring();
+  ASSERT_FALSE(ring.empty());
+  EXPECT_EQ(ring.back().title,
+            "KASAN: slab-use-after-free Read in bt_accept_unlink");
+}
+
+TEST_F(HalServicesTest, BtCodecReadViaHalTriggersKasanOnA2) {
+  use_device("A2");
+  const char* b = "android.hardware.bluetooth@sim";
+  ASSERT_EQ(call(b, svc::BtHal::kEnable).status, kStatusOk);
+  Parcel p;
+  p.write_u32(40);  // count beyond the 8-entry firmware capability
+  p.write_blob({});
+  EXPECT_EQ(dev_->service_manager().call(b, svc::BtHal::kSetCodecs, p).status,
+            kStatusOk);
+  call(b, svc::BtHal::kReadCodecs);
+  const auto& ring = dev_->kernel().dmesg().ring();
+  ASSERT_FALSE(ring.empty());
+  EXPECT_EQ(ring.back().title,
+            "KASAN: invalid-access in hci_read_supported_codecs");
+}
+
+// --- audio ---------------------------------------------------------------------
+
+TEST_F(HalServicesTest, AudioOutputLifecycle) {
+  use_device("C2");
+  const char* a = "android.hardware.audio@sim";
+  auto opened = call(a, svc::AudioHal::kOpenOutput, {48000, 2, 0});
+  ASSERT_EQ(opened.status, kStatusOk);
+  const uint32_t stream = reply_u32(opened);
+  Parcel w;
+  w.write_u32(stream);
+  w.write_blob(std::vector<uint8_t>(256, 0));
+  EXPECT_EQ(dev_->service_manager().call(a, svc::AudioHal::kWrite, w).status,
+            kStatusOk);
+  EXPECT_EQ(call(a, svc::AudioHal::kStandby, {stream}).status, kStatusOk);
+  EXPECT_EQ(call(a, svc::AudioHal::kCloseOutput, {stream}).status, kStatusOk);
+  EXPECT_EQ(call(a, svc::AudioHal::kStandby, {stream}).status,
+            kStatusBadValue);
+}
+
+TEST_F(HalServicesTest, AudioRejectsBadParams) {
+  use_device("C2");
+  const char* a = "android.hardware.audio@sim";
+  EXPECT_EQ(call(a, svc::AudioHal::kOpenOutput, {12345, 2, 0}).status,
+            kStatusBadValue);  // unsupported rate rejected by the driver
+  EXPECT_EQ(call(a, svc::AudioHal::kOpenOutput, {48000, 0, 0}).status,
+            kStatusBadValue);
+  EXPECT_EQ(call(a, svc::AudioHal::kSetVolume, {101}).status,
+            kStatusBadValue);
+}
+
+// --- wifi ---------------------------------------------------------------------
+
+TEST_F(HalServicesTest, WifiConnectFlowScansImplicitly) {
+  use_device("C2");
+  const char* w = "android.hardware.wifi@sim";
+  // The supplicant needs a programmed rate table before associating.
+  Parcel rm;
+  rm.write_u32(3);
+  rm.write_blob({{0, 1, 2}});
+  EXPECT_EQ(dev_->service_manager()
+                .call(w, /*setRateMask*/ 5, rm)
+                .status,
+            kStatusOk);
+  // connect() without an explicit scan: the HAL scans internally.
+  EXPECT_EQ(call(w, 2, {1}).status, kStatusOk);
+  auto link = call(w, 6);  // getLinkInfo
+  EXPECT_EQ(link.status, kStatusOk);
+  EXPECT_EQ(reply_u32(link), 1u);  // associated
+  EXPECT_EQ(call(w, 3).status, kStatusOk);  // disconnect
+}
+
+TEST_F(HalServicesTest, WifiRateMaskTranslatedToValidPhyRates) {
+  use_device("C2");
+  const char* w = "android.hardware.wifi@sim";
+  // Arbitrary index bytes must still produce a kernel-accepted table.
+  Parcel rm;
+  rm.write_u32(8);
+  rm.write_blob({{0xff, 0x7e, 0x01, 0x33, 0x99, 0x00, 0x55, 0xaa}});
+  EXPECT_EQ(dev_->service_manager().call(w, 5, rm).status, kStatusOk);
+}
+
+TEST_F(HalServicesTest, WifiEmptyRateUpdateWarnsOnC2) {
+  use_device("C2");
+  const char* w = "android.hardware.wifi@sim";
+  call(w, 1);          // scan
+  call(w, 4, {2});     // setPowerSave(11b compat)
+  Parcel rm1;
+  rm1.write_u32(2);
+  rm1.write_blob({{1, 2}});
+  dev_->service_manager().call(w, 5, rm1);
+  Parcel rm0;
+  rm0.write_u32(0);
+  rm0.write_blob({});
+  EXPECT_EQ(dev_->service_manager().call(w, 5, rm0).status, kStatusOk);
+  call(w, 2, {0});  // connect -> rate_control_rate_init over zero rates
+  const auto& ring = dev_->kernel().dmesg().ring();
+  ASSERT_FALSE(ring.empty());
+  EXPECT_EQ(ring.back().title, "WARNING in rate_control_rate_init");
+}
+
+TEST_F(HalServicesTest, WifiEmptyUpdateSafeOnFixedFirmware) {
+  use_device("C1");  // wifi driver without the planted bug
+  const char* w = "android.hardware.wifi@sim";
+  call(w, 1);
+  call(w, 4, {2});
+  Parcel rm1;
+  rm1.write_u32(2);
+  rm1.write_blob({{1, 2}});
+  dev_->service_manager().call(w, 5, rm1);
+  Parcel rm0;
+  rm0.write_u32(0);
+  rm0.write_blob({});
+  EXPECT_EQ(dev_->service_manager().call(w, 5, rm0).status, kStatusBadValue);
+  call(w, 2, {0});
+  EXPECT_TRUE(dev_->kernel().dmesg().ring().empty());
+}
+
+// --- power ---------------------------------------------------------------------
+
+TEST_F(HalServicesTest, PowerUsbBringUpDrivesTcpc) {
+  use_device("A1");
+  const char* p = "android.hardware.power@sim";
+  EXPECT_EQ(call(p, 3).status, kStatusOk);               // usbInit
+  EXPECT_EQ(call(p, 3).status, kStatusInvalidOperation); // double init
+  EXPECT_EQ(call(p, 4, {1}).status, kStatusOk);          // usbConnect
+  EXPECT_EQ(call(p, 5, {9000, 3000}).status, kStatusOk); // fastCharge 9V
+  EXPECT_EQ(call(p, 6, {1}).status, kStatusOk);          // role swap ok
+  // Second swap to the held role: rejected, and on A1 it WARNs.
+  EXPECT_EQ(call(p, 6, {1}).status, kStatusBadValue);
+  const auto& ring = dev_->kernel().dmesg().ring();
+  ASSERT_FALSE(ring.empty());
+  EXPECT_EQ(ring.back().title, "WARNING in tcpc_role_swap");
+}
+
+TEST_F(HalServicesTest, PowerOpsRequireUsbInit) {
+  use_device("A1");
+  const char* p = "android.hardware.power@sim";
+  EXPECT_EQ(call(p, 4, {1}).status, kStatusInvalidOperation);
+  EXPECT_EQ(call(p, 5, {9000, 3000}).status, kStatusInvalidOperation);
+  EXPECT_EQ(call(p, 6, {1}).status, kStatusInvalidOperation);
+  EXPECT_EQ(call(p, 7).status, kStatusInvalidOperation);
+  // Pure-userspace knobs work regardless.
+  EXPECT_EQ(call(p, 1, {2}).status, kStatusOk);  // setBoost
+  EXPECT_EQ(call(p, 2, {3}).status, kStatusOk);  // setMode
+}
+
+TEST_F(HalServicesTest, PowerTypecResetPokesRt1711) {
+  use_device("A1");
+  const char* p = "android.hardware.power@sim";
+  call(p, 3);       // usbInit (also configures rt1711 CC pins)
+  call(p, 4, {1});  // usbConnect attaches the rt1711 port
+  call(p, 8);       // typecReset -> re-probe while attached -> A1 bug
+  const auto& ring = dev_->kernel().dmesg().ring();
+  ASSERT_FALSE(ring.empty());
+  EXPECT_EQ(ring.back().title, "WARNING in rt1711_i2c_probe");
+}
+
+// --- light ---------------------------------------------------------------------
+
+TEST_F(HalServicesTest, LightIsPureUserspace) {
+  use_device("C2");
+  const char* l = "android.hardware.light@sim";
+  uint64_t syscalls = 0;
+  const int tp = dev_->kernel().attach_tracepoint(
+      [&](const kernel::Task&, const kernel::SyscallReq&,
+          const kernel::SyscallRes&) { ++syscalls; });
+  EXPECT_EQ(call(l, 1, {0, 0xff0000, 1}).status, kStatusOk);
+  auto sup = call(l, 2);
+  EXPECT_EQ(reply_u32(sup), 4u);
+  EXPECT_EQ(call(l, 3, {2, 100, 100}).status, kStatusOk);
+  EXPECT_EQ(call(l, 1, {9, 0, 0}).status, kStatusBadValue);
+  EXPECT_EQ(syscalls, 0u);  // invisible to any kernel-side observer
+  dev_->kernel().detach_tracepoint(tp);
+}
+
+// --- HAL process identity ---------------------------------------------------------
+
+TEST_F(HalServicesTest, HalSyscallsRunOnHalTasks) {
+  use_device("A1");
+  int hal_syscalls = 0;
+  const int tp = dev_->kernel().attach_tracepoint(
+      [&](const kernel::Task& t, const kernel::SyscallReq&,
+          const kernel::SyscallRes&) {
+        if (t.origin == kernel::TaskOrigin::kHal) ++hal_syscalls;
+      });
+  call("android.hardware.graphics.composer@sim",
+       svc::GraphicsHal::kGetDisplayInfo);
+  EXPECT_GT(hal_syscalls, 0);
+  dev_->kernel().detach_tracepoint(tp);
+}
+
+}  // namespace
+}  // namespace df::hal

@@ -1,0 +1,104 @@
+#include "hal/parcel.h"
+
+#include <gtest/gtest.h>
+
+namespace df::hal {
+namespace {
+
+TEST(Parcel, ScalarRoundTrip) {
+  Parcel p;
+  p.write_u32(0xdeadbeef);
+  p.write_i32(-42);
+  p.write_u64(0x123456789abcdef0ull);
+  p.write_i64(-7);
+  p.write_bool(true);
+  p.rewind();
+  EXPECT_EQ(p.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(p.read_i32(), -42);
+  EXPECT_EQ(p.read_u64(), 0x123456789abcdef0ull);
+  EXPECT_EQ(p.read_i64(), -7);
+  EXPECT_TRUE(p.read_bool());
+  EXPECT_TRUE(p.ok());
+  EXPECT_EQ(p.remaining(), 0u);
+}
+
+TEST(Parcel, StringRoundTrip) {
+  Parcel p;
+  p.write_string("android.hardware.graphics");
+  p.write_string("");
+  p.rewind();
+  EXPECT_EQ(p.read_string(), "android.hardware.graphics");
+  EXPECT_EQ(p.read_string(), "");
+  EXPECT_TRUE(p.ok());
+}
+
+TEST(Parcel, BlobRoundTrip) {
+  Parcel p;
+  const std::vector<uint8_t> blob = {0x00, 0xff, 0x7f, 0x80};
+  p.write_blob(blob);
+  p.rewind();
+  EXPECT_EQ(p.read_blob(), blob);
+}
+
+TEST(Parcel, UnderflowLatchesNotOk) {
+  Parcel p;
+  p.write_u32(1);
+  p.rewind();
+  p.read_u64();  // 8 bytes from a 4-byte parcel
+  EXPECT_FALSE(p.ok());
+  // Subsequent reads return zero values.
+  EXPECT_EQ(p.read_u32(), 0u);
+}
+
+TEST(Parcel, TruncatedStringFails) {
+  // Length prefix claims 100 bytes, only 2 present.
+  Parcel p;
+  p.write_u32(100);
+  p.write_u32(0);  // 4 bytes of "content"
+  p.rewind();
+  EXPECT_EQ(p.read_string(), "");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(Parcel, RewindRestoresOk) {
+  Parcel p;
+  p.write_u32(7);
+  p.rewind();
+  p.read_u64();
+  EXPECT_FALSE(p.ok());
+  p.rewind();
+  EXPECT_TRUE(p.ok());
+  EXPECT_EQ(p.read_u32(), 7u);
+}
+
+TEST(Parcel, ConstructFromBytes) {
+  Parcel a;
+  a.write_u32(0x01020304);
+  Parcel b(a.bytes());
+  EXPECT_EQ(b.read_u32(), 0x01020304u);
+}
+
+TEST(Parcel, LittleEndianLayout) {
+  Parcel p;
+  p.write_u32(0x01020304);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.bytes()[0], 0x04);
+  EXPECT_EQ(p.bytes()[3], 0x01);
+}
+
+TEST(Parcel, MixedSequence) {
+  Parcel p;
+  p.write_u32(3);
+  p.write_string("cam");
+  p.write_blob({{1, 2}});
+  p.write_u64(9);
+  p.rewind();
+  EXPECT_EQ(p.read_u32(), 3u);
+  EXPECT_EQ(p.read_string(), "cam");
+  EXPECT_EQ(p.read_blob().size(), 2u);
+  EXPECT_EQ(p.read_u64(), 9u);
+  EXPECT_TRUE(p.ok());
+}
+
+}  // namespace
+}  // namespace df::hal

@@ -1,0 +1,164 @@
+// Integration: every Table II bug has a deterministic DSL reproducer that
+// executes through the real broker/executor stack on its device — the same
+// path the fuzzer uses. This pins down the full cross-layer plumbing.
+#include <gtest/gtest.h>
+
+#include "core/descriptions.h"
+#include "core/exec/broker.h"
+#include "core/fuzz/crash.h"
+#include "device/catalog.h"
+#include "dsl/parse.h"
+
+namespace df::core {
+namespace {
+
+struct Repro {
+  const char* device;
+  const char* program;
+  const char* expected_title;  // normalized
+  const char* component;       // "Kernel" or "HAL"
+};
+
+const Repro kRepros[] = {
+    // #1 A1: rt1711 probe WARN (the shallow one Syzkaller also finds).
+    {"A1",
+     "r0 = openat$rt1711()\n"
+     "ioctl$RT1711_ATTACH(r0, 0x2)\n"
+     "ioctl$RT1711_RESET(r0)\n",
+     "WARNING in rt1711_i2c_probe", "Kernel"},
+    // #2 A1: Graphics HAL 32-bit stride overflow.
+    {"A1",
+     "r0 = hal$graphics.createLayer(0x40, 0x1000, 0x1)\n"
+     "hal$graphics.setLayerBuffer(r0, 0x40000000, 0x0)\n"
+     "hal$graphics.composite()\n",
+     "Native crash in Graphics HAL", "HAL"},
+    // #3 A1: lockdep invalid subclass via sensors batching.
+    {"A1",
+     "r0 = hal$sensors.activate(0x2, 0x1)\n"
+     "hal$sensors.setDelay(0x2, 0x1f4)\n"
+     "hal$sensors.poll(0x10)\n"
+     "hal$sensors.batch(0x2, 0x40, 0xc)\n",
+     "BUG: looking up invalid subclass", "Kernel"},
+    // #4 A1: tcpc repeat role-swap with HV contract.
+    {"A1",
+     "hal$power.usbInit()\n"
+     "hal$power.usbConnect(0x1)\n"
+     "hal$power.fastCharge(0x2328, 0xbb8)\n"
+     "hal$power.usbRoleSwap(0x1)\n"
+     "hal$power.usbRoleSwap(0x1)\n",
+     "WARNING in tcpc_role_swap", "Kernel"},
+    // #5 A2: mali job-loop hang via the media feedback pipeline.
+    {"A2",
+     "r0 = hal$media.createSession(0x0)\n"
+     "hal$media.configure(r0, 0x280, 0x1e0, 0x1f4)\n"
+     "hal$media.start(r0)\n"
+     "hal$media.transcode(r0, 0x3, 0x2)\n",
+     "Infinite Loop in gpu_mali_job_loop", "Kernel"},
+    // #6 A2: Media HAL HEVC 32-bit frame-size overflow.
+    {"A2",
+     "r0 = hal$media.createSession(0x1)\n"
+     "hal$media.configure(r0, 0xea60, 0xea60, 0x1f4)\n"
+     "hal$media.queueInput(r0, 0x60000000)\n",
+     "Native crash in Media HAL", "HAL"},
+    // #7 A2: HCI codec table OOB read.
+    {"A2",
+     "hal$bluetooth.enable()\n"
+     "hal$bluetooth.setCodecs(0x28, blob\"\")\n"
+     "hal$bluetooth.readCodecs()\n",
+     "KASAN: invalid-access in hci_read_supported_codecs", "Kernel"},
+    // #8 B: l2cap disconnect while connecting (Syzkaller-findable too).
+    {"B",
+     "r0 = hal$bluetooth.connectProfile(0x19)\n"
+     "hal$bluetooth.disconnectProfile(r0)\n",
+     "WARNING in l2cap_send_disconn_req", "Kernel"},
+    // #9 C1: Camera HAL capture after stream teardown.
+    {"C1",
+     "r0 = hal$camera.openCamera(0x0)\n"
+     "hal$camera.configureStreams(r0, 0x2, 0x500, 0x2d0)\n"
+     "hal$camera.stopStreams(r0)\n"
+     "hal$camera.capture(r0, 0x1)\n",
+     "Native crash in Camera HAL", "HAL"},
+    // #10 C2: empty rate-table update then associate.
+    {"C2",
+     "hal$wifi.scan()\n"
+     "hal$wifi.setPowerSave(0x2)\n"
+     "hal$wifi.setRateMask(0x4, blob\"01020304\")\n"
+     "hal$wifi.setRateMask(0x0, blob\"\")\n"
+     "hal$wifi.connect(0x0)\n",
+     "WARNING in rate_control_rate_init", "Kernel"},
+    // #11 D: accept-queue UAF via cleanup ordering.
+    {"D",
+     "r0 = hal$bluetooth.listenProfile(0x19)\n"
+     "r1 = hal$bluetooth.connectProfile(0x19)\n"
+     "r2 = hal$bluetooth.acceptProfile(r0)\n"
+     "hal$bluetooth.cleanup()\n",
+     "KASAN: slab-use-after-free Read in bt_accept_unlink", "Kernel"},
+    // #12 E: VRAW full-res reconfigure while streaming, then querycap.
+    {"E",
+     "r0 = hal$camera.openCamera(0x0)\n"
+     "hal$camera.configureStreams(r0, 0x2, 0x280, 0x1e0)\n"
+     "hal$camera.capture(r0, 0x1)\n"
+     "hal$camera.setVendorFormat(r0, 0x3)\n"
+     "hal$camera.getCapabilities(r0)\n",
+     "WARNING in v4l_querycap", "Kernel"},
+};
+
+class BugReproTest : public ::testing::TestWithParam<Repro> {};
+
+TEST_P(BugReproTest, ReproducesOnItsDevice) {
+  const Repro& r = GetParam();
+  auto dev = device::make_device(r.device, 1);
+  ASSERT_NE(dev, nullptr);
+  dsl::CallTable table;
+  add_syscall_descriptions(table, *dev);
+  for (const auto& svc : dev->services()) {
+    std::vector<std::pair<uint32_t, double>> w;
+    for (const auto& uw : svc->app_usage_profile()) {
+      w.emplace_back(uw.code, uw.weight);
+    }
+    add_hal_interface(table, svc->descriptor(), svc->interface(), w);
+  }
+  const trace::SpecTable spec = make_spec_table(table);
+  Broker broker(*dev, spec);
+
+  std::string err;
+  auto prog = dsl::parse_program(r.program, table, &err);
+  ASSERT_TRUE(prog.has_value()) << err;
+  const ExecResult res = broker.execute(*prog);
+  ASSERT_TRUE(res.any_bug()) << r.expected_title;
+
+  std::string got;
+  if (!res.kernel_reports.empty()) {
+    got = normalize_title(res.kernel_reports.back().title);
+  }
+  if (!res.hal_crashes.empty()) {
+    got = hal_crash_title(res.hal_crashes.back().service);
+  }
+  EXPECT_EQ(got, r.expected_title);
+  EXPECT_TRUE(res.rebooted);  // harness policy: reboot on any bug
+}
+
+TEST_P(BugReproTest, TitleMatchesPlantedBugList) {
+  const Repro& r = GetParam();
+  bool listed = false;
+  for (const auto& b : device::planted_bugs()) {
+    if (b.device_id == r.device &&
+        normalize_title(r.expected_title).rfind(normalize_title(b.title), 0) ==
+            0) {
+      listed = true;
+      EXPECT_EQ(b.component == "HAL" ? "HAL" : "Kernel", r.component);
+    }
+  }
+  EXPECT_TRUE(listed) << r.expected_title;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTwelve, BugReproTest, ::testing::ValuesIn(kRepros),
+    [](const ::testing::TestParamInfo<Repro>& info) {
+      std::string name = std::string(info.param.device) + "_" +
+                         std::to_string(info.index);
+      return name;
+    });
+
+}  // namespace
+}  // namespace df::core

@@ -1,0 +1,97 @@
+#include "kernel/dmesg.h"
+
+#include <gtest/gtest.h>
+
+namespace df::kernel {
+namespace {
+
+TEST(Dmesg, WarningFormatAndNonFatal) {
+  Dmesg d;
+  d.warn("rt1711_i2c", "rt1711_i2c_probe", "details");
+  ASSERT_EQ(d.ring().size(), 1u);
+  EXPECT_EQ(d.ring()[0].title, "WARNING in rt1711_i2c_probe");
+  EXPECT_FALSE(d.ring()[0].fatal);
+  EXPECT_FALSE(d.panicked());
+}
+
+TEST(Dmesg, BugIsFatal) {
+  Dmesg d;
+  d.bug("lockdep", "looking up invalid subclass: 12");
+  EXPECT_EQ(d.ring()[0].title, "BUG: looking up invalid subclass: 12");
+  EXPECT_TRUE(d.panicked());
+}
+
+TEST(Dmesg, KasanTitleMatchesRealFormat) {
+  Dmesg d;
+  d.kasan("l2cap", "slab-use-after-free Read", "bt_accept_unlink");
+  EXPECT_EQ(d.ring()[0].title,
+            "KASAN: slab-use-after-free Read in bt_accept_unlink");
+  EXPECT_TRUE(d.panicked());
+}
+
+TEST(Dmesg, HangTitle) {
+  Dmesg d;
+  d.hang("gpu_mali", "gpu_mali_job_loop");
+  EXPECT_EQ(d.ring()[0].title, "Infinite Loop in gpu_mali_job_loop");
+  EXPECT_TRUE(d.panicked());
+}
+
+TEST(Dmesg, PanicTitle) {
+  Dmesg d;
+  d.panic("core", "attempted to kill init");
+  EXPECT_EQ(d.ring()[0].title, "Kernel panic: attempted to kill init");
+}
+
+TEST(Dmesg, SequenceNumbersMonotonic) {
+  Dmesg d;
+  d.warn("a", "f1");
+  d.warn("a", "f2");
+  d.warn("a", "f3");
+  EXPECT_EQ(d.ring()[0].seq, 0u);
+  EXPECT_EQ(d.ring()[2].seq, 2u);
+  EXPECT_EQ(d.next_seq(), 3u);
+}
+
+TEST(Dmesg, SinceFiltersBySeq) {
+  Dmesg d;
+  d.warn("a", "f1");
+  const uint64_t cursor = d.next_seq();
+  d.warn("a", "f2");
+  const auto recent = d.since(cursor);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].title, "WARNING in f2");
+}
+
+TEST(Dmesg, RingEvictsOldestButKeepsSeq) {
+  Dmesg d(4);
+  for (int i = 0; i < 10; ++i) d.warn("a", "f" + std::to_string(i));
+  EXPECT_EQ(d.ring().size(), 4u);
+  EXPECT_EQ(d.ring().front().seq, 6u);
+  EXPECT_EQ(d.next_seq(), 10u);
+}
+
+TEST(Dmesg, ClearPanicKeepsRing) {
+  Dmesg d;
+  d.bug("x", "b");
+  d.clear_panic();
+  EXPECT_FALSE(d.panicked());
+  EXPECT_EQ(d.ring().size(), 1u);
+}
+
+TEST(Dmesg, ClearKeepsSeqCounter) {
+  Dmesg d;
+  d.warn("a", "f");
+  d.clear();
+  EXPECT_TRUE(d.ring().empty());
+  d.warn("a", "g");
+  EXPECT_EQ(d.ring()[0].seq, 1u);  // campaign-global numbering
+}
+
+TEST(Dmesg, KindNames) {
+  EXPECT_STREQ(report_kind_name(ReportKind::kWarning), "WARNING");
+  EXPECT_STREQ(report_kind_name(ReportKind::kKasan), "KASAN");
+  EXPECT_STREQ(report_kind_name(ReportKind::kHang), "HANG");
+}
+
+}  // namespace
+}  // namespace df::kernel

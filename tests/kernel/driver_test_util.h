@@ -1,0 +1,141 @@
+// Shared helpers for driver-level tests: a booted kernel + one native task
+// and terse syscall wrappers.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.h"
+
+namespace df::kernel::testutil {
+
+class DriverHarness {
+ public:
+  DriverHarness() = default;
+
+  template <typename D, typename... Args>
+  D* install(Args&&... args) {
+    auto drv = std::make_unique<D>(std::forward<Args>(args)...);
+    D* raw = drv.get();
+    kernel.register_driver(std::move(drv));
+    return raw;
+  }
+
+  void boot() {
+    kernel.boot();
+    task = kernel.create_task(TaskOrigin::kNative, "t");
+  }
+
+  int32_t open(const std::string& path, uint64_t flags = 0) {
+    SyscallReq req;
+    req.nr = Sys::kOpenAt;
+    req.path = path;
+    req.arg = flags;
+    return static_cast<int32_t>(kernel.syscall(task, req).ret);
+  }
+
+  int64_t close(int32_t fd) {
+    SyscallReq req;
+    req.nr = Sys::kClose;
+    req.fd = fd;
+    return kernel.syscall(task, req).ret;
+  }
+
+  SyscallRes ioctl(int32_t fd, uint64_t code,
+                   std::vector<uint8_t> data = {}) {
+    SyscallReq req;
+    req.nr = Sys::kIoctl;
+    req.fd = fd;
+    req.arg = code;
+    req.data = std::move(data);
+    return kernel.syscall(task, req);
+  }
+
+  SyscallRes read(int32_t fd, size_t n) {
+    SyscallReq req;
+    req.nr = Sys::kRead;
+    req.fd = fd;
+    req.size = n;
+    return kernel.syscall(task, req);
+  }
+
+  int64_t write(int32_t fd, std::vector<uint8_t> data) {
+    SyscallReq req;
+    req.nr = Sys::kWrite;
+    req.fd = fd;
+    req.data = std::move(data);
+    return kernel.syscall(task, req).ret;
+  }
+
+  int32_t socket(uint64_t family, uint64_t type, uint64_t proto) {
+    SyscallReq req;
+    req.nr = Sys::kSocket;
+    req.arg = family;
+    req.arg2 = type;
+    req.arg3 = proto;
+    return static_cast<int32_t>(kernel.syscall(task, req).ret);
+  }
+
+  int64_t bind(int32_t fd, std::vector<uint8_t> addr) {
+    SyscallReq req;
+    req.nr = Sys::kBind;
+    req.fd = fd;
+    req.data = std::move(addr);
+    return kernel.syscall(task, req).ret;
+  }
+
+  int64_t connect(int32_t fd, std::vector<uint8_t> addr) {
+    SyscallReq req;
+    req.nr = Sys::kConnect;
+    req.fd = fd;
+    req.data = std::move(addr);
+    return kernel.syscall(task, req).ret;
+  }
+
+  int64_t listen(int32_t fd, uint64_t backlog) {
+    SyscallReq req;
+    req.nr = Sys::kListen;
+    req.fd = fd;
+    req.arg = backlog;
+    return kernel.syscall(task, req).ret;
+  }
+
+  int32_t accept(int32_t fd) {
+    SyscallReq req;
+    req.nr = Sys::kAccept;
+    req.fd = fd;
+    return static_cast<int32_t>(kernel.syscall(task, req).ret);
+  }
+
+  int64_t sendmsg(int32_t fd, std::vector<uint8_t> data) {
+    SyscallReq req;
+    req.nr = Sys::kSendmsg;
+    req.fd = fd;
+    req.data = std::move(data);
+    return kernel.syscall(task, req).ret;
+  }
+
+  SyscallRes recvmsg(int32_t fd, size_t n) {
+    SyscallReq req;
+    req.nr = Sys::kRecvmsg;
+    req.fd = fd;
+    req.size = n;
+    return kernel.syscall(task, req);
+  }
+
+  // Last dmesg title, or "" when the log is empty.
+  std::string last_report() const {
+    const auto& ring = kernel.dmesg().ring();
+    return ring.empty() ? "" : ring.back().title;
+  }
+
+  static std::vector<uint8_t> u32s(std::initializer_list<uint32_t> vals) {
+    std::vector<uint8_t> out;
+    for (uint32_t v : vals) put_u32(out, v);
+    return out;
+  }
+
+  Kernel kernel;
+  TaskId task = 0;
+};
+
+}  // namespace df::kernel::testutil

@@ -1,0 +1,303 @@
+// Tests for the Bluetooth stack: bt_hci (Table II #7 codec OOB) and l2cap
+// (Table II #8 disconnect WARN, #11 accept-queue UAF).
+#include <gtest/gtest.h>
+
+#include "kernel/drivers/bt_hci.h"
+#include "kernel/drivers/l2cap.h"
+#include "tests/kernel/driver_test_util.h"
+
+namespace df::kernel {
+namespace {
+
+using drivers::BtHciBugs;
+using drivers::BtHciDriver;
+using drivers::L2capBugs;
+using drivers::L2capDriver;
+using testutil::DriverHarness;
+
+std::vector<uint8_t> hci_pkt(uint16_t opcode,
+                             std::vector<uint8_t> params = {}) {
+  std::vector<uint8_t> pkt{0x01, static_cast<uint8_t>(opcode & 0xff),
+                           static_cast<uint8_t>(opcode >> 8),
+                           static_cast<uint8_t>(params.size())};
+  pkt.insert(pkt.end(), params.begin(), params.end());
+  return pkt;
+}
+
+class BtHciTest : public ::testing::Test {
+ protected:
+  void init(bool buggy) {
+    h.install<BtHciDriver>(BtHciBugs{.codec_oob = buggy});
+    h.boot();
+    fd = h.socket(kAfBluetooth, kSockRaw, kBtProtoHci);
+    ASSERT_GE(fd, 0);
+  }
+  void bring_up() {
+    ASSERT_EQ(h.bind(fd, {0}), 0);
+    ASSERT_EQ(h.ioctl(fd, BtHciDriver::kIocDevUp).ret, 0);
+    // Unlock vendor commands via a valid transport baudrate.
+    ASSERT_EQ(h.sendmsg(fd, hci_pkt(BtHciDriver::kOpVsSetBaudrate,
+                                    {0x00, 0x10, 0x0e, 0x00})),
+              0);
+  }
+  DriverHarness h;
+  int32_t fd = -1;
+};
+
+TEST_F(BtHciTest, BindValidatesAdapter) {
+  init(true);
+  EXPECT_EQ(h.bind(fd, {5}), err::kENODEV);
+  EXPECT_EQ(h.bind(fd, {0}), 0);
+  EXPECT_EQ(h.bind(fd, {0}), err::kEINVAL);  // double bind
+}
+
+TEST_F(BtHciTest, CommandsRequireAdapterUp) {
+  init(true);
+  h.bind(fd, {0});
+  EXPECT_EQ(h.sendmsg(fd, hci_pkt(BtHciDriver::kOpReset)), err::kENODEV);
+  EXPECT_EQ(h.ioctl(fd, BtHciDriver::kIocDevUp).ret, 0);
+  EXPECT_EQ(h.sendmsg(fd, hci_pkt(BtHciDriver::kOpReset)), 0);
+}
+
+TEST_F(BtHciTest, DevUpIsExclusive) {
+  init(true);
+  h.bind(fd, {0});
+  h.ioctl(fd, BtHciDriver::kIocDevUp);
+  EXPECT_EQ(h.ioctl(fd, BtHciDriver::kIocDevUp).ret, err::kEBUSY);
+}
+
+TEST_F(BtHciTest, FramingValidated) {
+  init(true);
+  bring_up();
+  EXPECT_EQ(h.sendmsg(fd, {0x02, 0x01, 0x0c}), err::kEINVAL);  // wrong type
+  EXPECT_EQ(h.sendmsg(fd, {0x01}), err::kEINVAL);              // truncated
+  // plen beyond payload.
+  EXPECT_EQ(h.sendmsg(fd, {0x01, 0x01, 0x0c, 0x08}), err::kEINVAL);
+}
+
+TEST_F(BtHciTest, CommandCompleteEventDelivered) {
+  init(true);
+  bring_up();
+  h.sendmsg(fd, hci_pkt(BtHciDriver::kOpReadLocalVersion));
+  // Drain the baudrate + read-version events.
+  auto ev = h.recvmsg(fd, 64);
+  EXPECT_GT(ev.ret, 0);
+  EXPECT_EQ(ev.out[0], 0x04);  // event packet
+  EXPECT_EQ(ev.out[1], 0x0e);  // command complete
+}
+
+TEST_F(BtHciTest, RecvWithNoEventsIsEagain) {
+  init(true);
+  h.bind(fd, {0});
+  EXPECT_EQ(h.recvmsg(fd, 64).ret, err::kEAGAIN);
+}
+
+TEST_F(BtHciTest, VendorCommandsLockedWithoutBaudrate) {
+  init(true);
+  h.bind(fd, {0});
+  h.ioctl(fd, BtHciDriver::kIocDevUp);
+  EXPECT_EQ(h.sendmsg(fd, hci_pkt(BtHciDriver::kOpVsSetCodecTable, {12})),
+            err::kEPERM);
+}
+
+TEST_F(BtHciTest, InvalidBaudrateDoesNotUnlock) {
+  init(true);
+  h.bind(fd, {0});
+  h.ioctl(fd, BtHciDriver::kIocDevUp);
+  EXPECT_EQ(h.sendmsg(fd, hci_pkt(BtHciDriver::kOpVsSetBaudrate,
+                                  {0x39, 0x30, 0x00, 0x00})),
+            err::kEINVAL);
+  EXPECT_EQ(h.sendmsg(fd, hci_pkt(BtHciDriver::kOpVsSetCodecTable, {4})),
+            err::kEPERM);
+}
+
+TEST_F(BtHciTest, CodecCountWithinCapacityIsSafe) {
+  init(true);
+  bring_up();
+  EXPECT_EQ(h.sendmsg(fd, hci_pkt(BtHciDriver::kOpVsSetCodecTable, {8})), 0);
+  EXPECT_EQ(h.sendmsg(fd, hci_pkt(BtHciDriver::kOpReadCodecs)), 0);
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(BtHciTest, OversizedCodecCountTriggersKasanWhenBuggy) {
+  init(true);
+  bring_up();
+  EXPECT_EQ(h.sendmsg(fd, hci_pkt(BtHciDriver::kOpVsSetCodecTable, {20})), 0);
+  EXPECT_EQ(h.sendmsg(fd, hci_pkt(BtHciDriver::kOpReadCodecs)), err::kEFAULT);
+  EXPECT_EQ(h.last_report(),
+            "KASAN: invalid-access in hci_read_supported_codecs");
+  EXPECT_TRUE(h.kernel.panicked());
+}
+
+TEST_F(BtHciTest, FixedFirmwareRejectsOversizedCount) {
+  init(false);
+  bring_up();
+  EXPECT_EQ(h.sendmsg(fd, hci_pkt(BtHciDriver::kOpVsSetCodecTable, {20})),
+            err::kEINVAL);
+  h.sendmsg(fd, hci_pkt(BtHciDriver::kOpReadCodecs));
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(BtHciTest, DevDownFreesCodecTableSafely) {
+  init(true);
+  bring_up();
+  h.sendmsg(fd, hci_pkt(BtHciDriver::kOpVsSetCodecTable, {4}));
+  EXPECT_EQ(h.ioctl(fd, BtHciDriver::kIocDevDown).ret, 0);
+  EXPECT_EQ(h.last_report(), "");  // no double-free / leak report
+  EXPECT_EQ(h.kernel.kasan().heap().live_count(), 0u);
+}
+
+class L2capTest : public ::testing::Test {
+ protected:
+  void init(L2capBugs bugs) {
+    h.install<L2capDriver>(bugs);
+    h.boot();
+  }
+  int32_t sock() { return h.socket(kAfBluetooth, kSockSeqpacket, kBtProtoL2cap); }
+  static std::vector<uint8_t> psm_addr(uint16_t psm) {
+    return {static_cast<uint8_t>(psm & 0xff), static_cast<uint8_t>(psm >> 8)};
+  }
+  DriverHarness h;
+};
+
+TEST_F(L2capTest, BindValidatesPsm) {
+  init({});
+  const int32_t s = sock();
+  EXPECT_EQ(h.bind(s, psm_addr(2)), err::kEINVAL);      // even PSM
+  EXPECT_EQ(h.bind(s, psm_addr(0x1001)), err::kEINVAL); // out of range
+  EXPECT_EQ(h.bind(s, psm_addr(25)), 0);
+  const int32_t s2 = sock();
+  EXPECT_EQ(h.bind(s2, psm_addr(25)), err::kEADDRINUSE);
+}
+
+TEST_F(L2capTest, DisconnectWhileConnectingWarnsWhenBuggy) {
+  init({.disconn_warn = true});
+  const int32_t s = sock();
+  // No listener on this PSM: the channel stays CONNECTING.
+  EXPECT_EQ(h.connect(s, psm_addr(25)), 0);
+  EXPECT_EQ(h.sendmsg(s, {L2capDriver::kCtlDisconnReq}), 0);
+  EXPECT_EQ(h.last_report(), "WARNING in l2cap_send_disconn_req");
+}
+
+TEST_F(L2capTest, DisconnectWhileConnectingSilentWhenFixed) {
+  init({});
+  const int32_t s = sock();
+  h.connect(s, psm_addr(25));
+  h.sendmsg(s, {L2capDriver::kCtlDisconnReq});
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(L2capTest, LoopbackConnectionEstablishes) {
+  init({});
+  const int32_t listener = sock();
+  ASSERT_EQ(h.bind(listener, psm_addr(25)), 0);
+  ASSERT_EQ(h.listen(listener, 4), 0);
+  const int32_t client = sock();
+  ASSERT_EQ(h.connect(client, psm_addr(25)), 0);
+  // Client must finish config before data.
+  EXPECT_EQ(h.sendmsg(client, {0x10, 1, 2, 3}), err::kEPIPE);
+  std::vector<uint8_t> cfg{L2capDriver::kCtlConfigReq};
+  put_u32(cfg, 672);
+  EXPECT_EQ(h.sendmsg(client, cfg), 0);
+  EXPECT_EQ(h.sendmsg(client, {0x10, 1, 2, 3}), 4);
+  const int32_t child = h.accept(listener);
+  EXPECT_GE(child, 0);
+}
+
+TEST_F(L2capTest, AcceptWithoutPendingIsEagain) {
+  init({});
+  const int32_t listener = sock();
+  h.bind(listener, psm_addr(25));
+  h.listen(listener, 2);
+  EXPECT_EQ(h.accept(listener), err::kEAGAIN);
+}
+
+TEST_F(L2capTest, BacklogLimitsPending) {
+  init({});
+  const int32_t listener = sock();
+  h.bind(listener, psm_addr(25));
+  h.listen(listener, 1);
+  const int32_t c1 = sock();
+  EXPECT_EQ(h.connect(c1, psm_addr(25)), 0);
+  // Backlog full: the next connect degrades to a remote-style CONNECTING.
+  const int32_t c2 = sock();
+  EXPECT_EQ(h.connect(c2, psm_addr(25)), 0);
+  EXPECT_GE(h.accept(listener), 0);
+  EXPECT_EQ(h.accept(listener), err::kEAGAIN);
+}
+
+TEST_F(L2capTest, AcceptUnlinkUafOnCloseOrderWhenBuggy) {
+  init({.accept_unlink_uaf = true});
+  const int32_t listener = sock();
+  h.bind(listener, psm_addr(25));
+  h.listen(listener, 4);
+  const int32_t client = sock();
+  h.connect(client, psm_addr(25));
+  const int32_t child = h.accept(listener);
+  ASSERT_GE(child, 0);
+  EXPECT_EQ(h.close(listener), 0);  // frees the accept queue
+  EXPECT_EQ(h.close(child), 0);     // bt_accept_unlink touches freed queue
+  EXPECT_EQ(h.last_report(),
+            "KASAN: slab-use-after-free Read in bt_accept_unlink");
+}
+
+TEST_F(L2capTest, ReverseCloseOrderIsSafeEvenWhenBuggy) {
+  init({.accept_unlink_uaf = true});
+  const int32_t listener = sock();
+  h.bind(listener, psm_addr(25));
+  h.listen(listener, 4);
+  const int32_t client = sock();
+  h.connect(client, psm_addr(25));
+  const int32_t child = h.accept(listener);
+  EXPECT_EQ(h.close(child), 0);  // unlink while the queue is live
+  EXPECT_EQ(h.close(listener), 0);
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(L2capTest, FixedKernelUnlinksAtAcceptTime) {
+  init({});
+  const int32_t listener = sock();
+  h.bind(listener, psm_addr(25));
+  h.listen(listener, 4);
+  const int32_t client = sock();
+  h.connect(client, psm_addr(25));
+  const int32_t child = h.accept(listener);
+  h.close(listener);
+  h.close(child);
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(L2capTest, SetsockoptValidation) {
+  init({});
+  const int32_t s = sock();
+  SyscallReq req;
+  req.nr = Sys::kSetsockopt;
+  req.fd = s;
+  req.arg = 6;   // SOL_L2CAP
+  req.arg2 = 1;  // mtu
+  put_u32(req.data, 16);  // below minimum
+  EXPECT_EQ(h.kernel.syscall(h.task, req).ret, err::kEINVAL);
+  req.data.clear();
+  put_u32(req.data, 1024);
+  EXPECT_EQ(h.kernel.syscall(h.task, req).ret, 0);
+  req.arg = 1;  // wrong level
+  EXPECT_EQ(h.kernel.syscall(h.task, req).ret, err::kEOPNOTSUPP);
+}
+
+TEST_F(L2capTest, MtuEnforcedOnData) {
+  init({});
+  const int32_t listener = sock();
+  h.bind(listener, psm_addr(25));
+  h.listen(listener, 4);
+  const int32_t client = sock();
+  h.connect(client, psm_addr(25));
+  // Config with a tiny MTU.
+  std::vector<uint8_t> cfg{L2capDriver::kCtlConfigReq};
+  put_u32(cfg, 48);
+  h.sendmsg(client, cfg);
+  std::vector<uint8_t> big(64, 0x10);
+  EXPECT_EQ(h.sendmsg(client, big), err::kEINVAL);
+}
+
+}  // namespace
+}  // namespace df::kernel

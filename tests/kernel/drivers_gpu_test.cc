@@ -1,0 +1,240 @@
+// Tests for the GPU-side drivers: gpu_mali (Table II #5 infinite loop),
+// drm_gpu and ion_alloc.
+#include <gtest/gtest.h>
+
+#include "kernel/drivers/drm_gpu.h"
+#include "kernel/drivers/gpu_mali.h"
+#include "kernel/drivers/ion_alloc.h"
+#include "tests/kernel/driver_test_util.h"
+
+namespace df::kernel {
+namespace {
+
+using drivers::DrmGpuDriver;
+using drivers::IonDriver;
+using drivers::MaliBugs;
+using drivers::MaliDriver;
+using testutil::DriverHarness;
+
+class MaliTest : public ::testing::Test {
+ protected:
+  void init(bool buggy) {
+    h.install<MaliDriver>(MaliBugs{.job_loop = buggy});
+    h.boot();
+    fd = h.open("/dev/mali0");
+    ASSERT_GE(fd, 0);
+  }
+  uint32_t create_ctx() {
+    const auto res = h.ioctl(fd, MaliDriver::kIocCtxCreate);
+    EXPECT_EQ(res.ret, 0);
+    return le_u32(res.out, 0);
+  }
+  // Builds a submit payload: ctx, njobs, then {type, dep} records.
+  std::vector<uint8_t> submit_payload(
+      uint32_t ctx, std::vector<std::pair<uint32_t, uint32_t>> jobs) {
+    std::vector<uint8_t> p;
+    put_u32(p, ctx);
+    put_u32(p, static_cast<uint32_t>(jobs.size()));
+    for (auto [type, dep] : jobs) {
+      put_u32(p, type);
+      put_u32(p, dep);
+    }
+    return p;
+  }
+  DriverHarness h;
+  int32_t fd = -1;
+};
+
+TEST_F(MaliTest, CtxLifecycle) {
+  init(false);
+  const uint32_t c1 = create_ctx();
+  const uint32_t c2 = create_ctx();
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(h.ioctl(fd, MaliDriver::kIocCtxDestroy, h.u32s({c1})).ret, 0);
+  EXPECT_EQ(h.ioctl(fd, MaliDriver::kIocCtxDestroy, h.u32s({c1})).ret,
+            err::kEINVAL);
+}
+
+TEST_F(MaliTest, CtxLimit) {
+  init(false);
+  for (int i = 0; i < 16; ++i) create_ctx();
+  const auto res = h.ioctl(fd, MaliDriver::kIocCtxCreate);
+  EXPECT_EQ(res.ret, err::kENOSPC);
+}
+
+TEST_F(MaliTest, SubmitRequiresMemPool) {
+  init(false);
+  const uint32_t ctx = create_ctx();
+  const auto payload = submit_payload(ctx, {{MaliDriver::kJobVertex, 0}});
+  EXPECT_EQ(h.ioctl(fd, MaliDriver::kIocJobSubmit, payload).ret,
+            err::kENOMEM);
+}
+
+TEST_F(MaliTest, LinearChainCompletes) {
+  init(false);
+  const uint32_t ctx = create_ctx();
+  h.ioctl(fd, MaliDriver::kIocMemPool, h.u32s({ctx, 64}));
+  const auto payload = submit_payload(ctx, {{MaliDriver::kJobCompute, 0},
+                                            {MaliDriver::kJobVertex, 1},
+                                            {MaliDriver::kJobFragment, 2}});
+  EXPECT_EQ(h.ioctl(fd, MaliDriver::kIocJobSubmit, payload).ret, 0);
+  const auto wait = h.ioctl(fd, MaliDriver::kIocJobWait, h.u32s({ctx}));
+  EXPECT_EQ(le_u64(wait.out, 0), 3u);
+}
+
+TEST_F(MaliTest, CyclicChainHangsWatchdogWhenBuggy) {
+  init(true);
+  const uint32_t ctx = create_ctx();
+  h.ioctl(fd, MaliDriver::kIocMemPool, h.u32s({ctx, 64}));
+  // job1 <- job2, job2 <- job1: cycle including a fragment job.
+  const auto payload = submit_payload(ctx, {{MaliDriver::kJobVertex, 2},
+                                            {MaliDriver::kJobFragment, 1}});
+  EXPECT_EQ(h.ioctl(fd, MaliDriver::kIocJobSubmit, payload).ret, err::kEINTR);
+  EXPECT_EQ(h.last_report(), "Infinite Loop in gpu_mali_job_loop");
+  EXPECT_TRUE(h.kernel.panicked());
+}
+
+TEST_F(MaliTest, SelfDependencyAlsoHangs) {
+  init(true);
+  const uint32_t ctx = create_ctx();
+  h.ioctl(fd, MaliDriver::kIocMemPool, h.u32s({ctx, 64}));
+  const auto payload = submit_payload(ctx, {{MaliDriver::kJobFragment, 1}});
+  EXPECT_EQ(h.ioctl(fd, MaliDriver::kIocJobSubmit, payload).ret, err::kEINTR);
+}
+
+TEST_F(MaliTest, FixedDriverRejectsCycle) {
+  init(false);
+  const uint32_t ctx = create_ctx();
+  h.ioctl(fd, MaliDriver::kIocMemPool, h.u32s({ctx, 64}));
+  const auto payload = submit_payload(ctx, {{MaliDriver::kJobVertex, 2},
+                                            {MaliDriver::kJobFragment, 1}});
+  EXPECT_EQ(h.ioctl(fd, MaliDriver::kIocJobSubmit, payload).ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(MaliTest, BuggyDriverWithoutFragmentStillChecks) {
+  init(true);
+  const uint32_t ctx = create_ctx();
+  h.ioctl(fd, MaliDriver::kIocMemPool, h.u32s({ctx, 64}));
+  // Cycle of vertex jobs only: the vendor fast path is not taken.
+  const auto payload = submit_payload(ctx, {{MaliDriver::kJobVertex, 2},
+                                            {MaliDriver::kJobVertex, 1}});
+  EXPECT_EQ(h.ioctl(fd, MaliDriver::kIocJobSubmit, payload).ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(MaliTest, SubmitValidatesJobType) {
+  init(false);
+  const uint32_t ctx = create_ctx();
+  h.ioctl(fd, MaliDriver::kIocMemPool, h.u32s({ctx, 64}));
+  const auto payload = submit_payload(ctx, {{7, 0}});
+  EXPECT_EQ(h.ioctl(fd, MaliDriver::kIocJobSubmit, payload).ret,
+            err::kEINVAL);
+}
+
+TEST_F(MaliTest, MemPoolValidation) {
+  init(false);
+  const uint32_t ctx = create_ctx();
+  EXPECT_EQ(h.ioctl(fd, MaliDriver::kIocMemPool, h.u32s({ctx, 0})).ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.ioctl(fd, MaliDriver::kIocMemPool, h.u32s({ctx, 70000})).ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.ioctl(fd, MaliDriver::kIocMemPool, h.u32s({9999, 64})).ret,
+            err::kEINVAL);
+}
+
+class DrmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    h.install<DrmGpuDriver>();
+    h.boot();
+    fd = h.open("/dev/dri_card0");
+    ASSERT_GE(fd, 0);
+  }
+  uint32_t create_bo(uint32_t pages) {
+    const auto res = h.ioctl(fd, DrmGpuDriver::kIocCreateBo, h.u32s({pages}));
+    EXPECT_EQ(res.ret, 0);
+    return le_u32(res.out, 0);
+  }
+  DriverHarness h;
+  int32_t fd = -1;
+};
+
+TEST_F(DrmTest, BoLifecycle) {
+  const uint32_t bo = create_bo(16);
+  EXPECT_EQ(h.ioctl(fd, DrmGpuDriver::kIocMapBo, h.u32s({bo})).ret, 0);
+  EXPECT_EQ(h.ioctl(fd, DrmGpuDriver::kIocDestroyBo, h.u32s({bo})).ret, 0);
+  EXPECT_EQ(h.ioctl(fd, DrmGpuDriver::kIocMapBo, h.u32s({bo})).ret,
+            err::kEINVAL);
+}
+
+TEST_F(DrmTest, SubmitRequiresMappedBos) {
+  const uint32_t bo = create_bo(4);
+  std::vector<uint8_t> sub;
+  put_u32(sub, 0);  // pipe
+  put_u32(sub, 1);  // count
+  put_u32(sub, bo);
+  EXPECT_EQ(h.ioctl(fd, DrmGpuDriver::kIocSubmit, sub).ret, err::kEFAULT);
+  h.ioctl(fd, DrmGpuDriver::kIocMapBo, h.u32s({bo}));
+  const auto res = h.ioctl(fd, DrmGpuDriver::kIocSubmit, sub);
+  EXPECT_EQ(res.ret, 0);
+  const uint32_t fence = le_u32(res.out, 0);
+  EXPECT_EQ(h.ioctl(fd, DrmGpuDriver::kIocWait, h.u32s({fence})).ret, 0);
+}
+
+TEST_F(DrmTest, WaitRejectsUnknownFence) {
+  EXPECT_EQ(h.ioctl(fd, DrmGpuDriver::kIocWait, h.u32s({55})).ret,
+            err::kEINVAL);
+}
+
+TEST_F(DrmTest, GetCapBounds) {
+  EXPECT_EQ(h.ioctl(fd, DrmGpuDriver::kIocGetCap, h.u32s({0})).ret, 0);
+  EXPECT_EQ(h.ioctl(fd, DrmGpuDriver::kIocGetCap, h.u32s({13})).ret,
+            err::kEINVAL);
+}
+
+class IonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    h.install<IonDriver>();
+    h.boot();
+    fd = h.open("/dev/ion");
+    ASSERT_GE(fd, 0);
+  }
+  DriverHarness h;
+  int32_t fd = -1;
+};
+
+TEST_F(IonTest, AllocValidations) {
+  EXPECT_EQ(h.ioctl(fd, IonDriver::kIocAlloc, h.u32s({0, 1})).ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.ioctl(fd, IonDriver::kIocAlloc, h.u32s({4096, 0})).ret,
+            err::kEINVAL);  // no heap
+  EXPECT_EQ(h.ioctl(fd, IonDriver::kIocAlloc, h.u32s({(96u << 20), 1})).ret,
+            err::kEINVAL);  // too big
+  const auto res = h.ioctl(fd, IonDriver::kIocAlloc, h.u32s({4096, 0x3}));
+  EXPECT_EQ(res.ret, 0);
+  EXPECT_GT(le_u32(res.out, 0), 0u);
+}
+
+TEST_F(IonTest, FreeAndShare) {
+  const auto a = h.ioctl(fd, IonDriver::kIocAlloc, h.u32s({4096, 1}));
+  const uint32_t id = le_u32(a.out, 0);
+  const auto sh = h.ioctl(fd, IonDriver::kIocShare, h.u32s({id}));
+  EXPECT_EQ(sh.ret, 0);
+  EXPECT_EQ(le_u32(sh.out, 0) & 0x7fffffff, id);
+  EXPECT_EQ(h.ioctl(fd, IonDriver::kIocFree, h.u32s({id})).ret, 0);
+  EXPECT_EQ(h.ioctl(fd, IonDriver::kIocFree, h.u32s({id})).ret, err::kEINVAL);
+}
+
+TEST_F(IonTest, QueryCountsLiveBuffers) {
+  h.ioctl(fd, IonDriver::kIocAlloc, h.u32s({4096, 1}));
+  h.ioctl(fd, IonDriver::kIocAlloc, h.u32s({4096, 2}));
+  const auto q = h.ioctl(fd, IonDriver::kIocQuery);
+  EXPECT_EQ(le_u32(q.out, 0), 2u);
+}
+
+}  // namespace
+}  // namespace df::kernel

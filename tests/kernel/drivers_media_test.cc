@@ -1,0 +1,369 @@
+// Tests for v4l2_cam (Table II #12), audio_pcm, sensor_hub (Table II #3)
+// and wifi_rate (Table II #10).
+#include <gtest/gtest.h>
+
+#include "kernel/drivers/audio_pcm.h"
+#include "kernel/drivers/sensor_hub.h"
+#include "kernel/drivers/v4l2_cam.h"
+#include "kernel/drivers/wifi_rate.h"
+#include "tests/kernel/driver_test_util.h"
+
+namespace df::kernel {
+namespace {
+
+using drivers::AudioPcmDriver;
+using drivers::SensorHubBugs;
+using drivers::SensorHubDriver;
+using drivers::V4l2Bugs;
+using drivers::V4l2CamDriver;
+using drivers::WifiRateBugs;
+using drivers::WifiRateDriver;
+using testutil::DriverHarness;
+
+class V4l2Test : public ::testing::Test {
+ protected:
+  void init(bool buggy) {
+    h.install<V4l2CamDriver>(V4l2Bugs{.querycap_warn = buggy});
+    h.boot();
+    fd = h.open("/dev/video0");
+    ASSERT_GE(fd, 0);
+  }
+  void start_streaming(uint32_t w = 640, uint32_t p = 480) {
+    ASSERT_EQ(h.ioctl(fd, V4l2CamDriver::kIocSetFmt,
+                      h.u32s({V4l2CamDriver::kFmtNv12, w, p}))
+                  .ret,
+              0);
+    ASSERT_EQ(h.ioctl(fd, V4l2CamDriver::kIocReqbufs, h.u32s({4})).ret, 0);
+    ASSERT_EQ(h.ioctl(fd, V4l2CamDriver::kIocQbuf, h.u32s({0})).ret, 0);
+    ASSERT_EQ(h.ioctl(fd, V4l2CamDriver::kIocStreamOn).ret, 0);
+  }
+  DriverHarness h;
+  int32_t fd = -1;
+};
+
+TEST_F(V4l2Test, FormatNegotiation) {
+  init(true);
+  EXPECT_EQ(h.ioctl(fd, V4l2CamDriver::kIocSetFmt,
+                    h.u32s({0x12345678, 640, 480}))
+                .ret,
+            err::kEINVAL);  // unknown fourcc
+  EXPECT_EQ(h.ioctl(fd, V4l2CamDriver::kIocSetFmt,
+                    h.u32s({V4l2CamDriver::kFmtYuyv, 0, 480}))
+                .ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.ioctl(fd, V4l2CamDriver::kIocSetFmt,
+                    h.u32s({V4l2CamDriver::kFmtYuyv, 5000, 480}))
+                .ret,
+            err::kEINVAL);
+}
+
+TEST_F(V4l2Test, EnumFmtListsFour) {
+  init(true);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(h.ioctl(fd, V4l2CamDriver::kIocEnumFmt, h.u32s({i})).ret, 0);
+  }
+  EXPECT_EQ(h.ioctl(fd, V4l2CamDriver::kIocEnumFmt, h.u32s({4})).ret,
+            err::kEINVAL);
+}
+
+TEST_F(V4l2Test, StreamRequiresQueuedBuffers) {
+  init(true);
+  h.ioctl(fd, V4l2CamDriver::kIocSetFmt,
+          h.u32s({V4l2CamDriver::kFmtNv12, 640, 480}));
+  EXPECT_EQ(h.ioctl(fd, V4l2CamDriver::kIocStreamOn).ret, err::kEINVAL);
+  h.ioctl(fd, V4l2CamDriver::kIocReqbufs, h.u32s({2}));
+  EXPECT_EQ(h.ioctl(fd, V4l2CamDriver::kIocStreamOn).ret, err::kEINVAL);
+  h.ioctl(fd, V4l2CamDriver::kIocQbuf, h.u32s({0}));
+  EXPECT_EQ(h.ioctl(fd, V4l2CamDriver::kIocStreamOn).ret, 0);
+  EXPECT_EQ(h.ioctl(fd, V4l2CamDriver::kIocStreamOn).ret, err::kEBUSY);
+}
+
+TEST_F(V4l2Test, CaptureLoop) {
+  init(true);
+  start_streaming();
+  h.ioctl(fd, V4l2CamDriver::kIocQbuf, h.u32s({1}));
+  const auto dq = h.ioctl(fd, V4l2CamDriver::kIocDqbuf);
+  EXPECT_EQ(dq.ret, 0);
+  EXPECT_EQ(h.ioctl(fd, V4l2CamDriver::kIocStreamOff).ret, 0);
+  EXPECT_EQ(h.ioctl(fd, V4l2CamDriver::kIocStreamOff).ret, err::kEINVAL);
+}
+
+TEST_F(V4l2Test, VrawFullResWhileStreamingDirtiesCaps) {
+  init(true);
+  start_streaming(640, 480);
+  // Full-resolution (2x) VRAW request while streaming: EBUSY but dirty.
+  EXPECT_EQ(h.ioctl(fd, V4l2CamDriver::kIocSetFmt,
+                    h.u32s({V4l2CamDriver::kFmtVraw, 1280, 960}))
+                .ret,
+            err::kEBUSY);
+  EXPECT_EQ(h.ioctl(fd, V4l2CamDriver::kIocQuerycap).ret, 0);
+  EXPECT_EQ(h.last_report(), "WARNING in v4l_querycap");
+}
+
+TEST_F(V4l2Test, WrongDimsDoNotDirtyCaps) {
+  init(true);
+  start_streaming(640, 480);
+  h.ioctl(fd, V4l2CamDriver::kIocSetFmt,
+          h.u32s({V4l2CamDriver::kFmtVraw, 640, 480}));  // not 2x
+  h.ioctl(fd, V4l2CamDriver::kIocQuerycap);
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(V4l2Test, FixedFirmwareNeverWarns) {
+  init(false);
+  start_streaming(640, 480);
+  h.ioctl(fd, V4l2CamDriver::kIocSetFmt,
+          h.u32s({V4l2CamDriver::kFmtVraw, 1280, 960}));
+  h.ioctl(fd, V4l2CamDriver::kIocQuerycap);
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(V4l2Test, WarnFiresOnceThenClears) {
+  init(true);
+  start_streaming();
+  h.ioctl(fd, V4l2CamDriver::kIocSetFmt,
+          h.u32s({V4l2CamDriver::kFmtVraw, 1280, 960}));
+  h.ioctl(fd, V4l2CamDriver::kIocQuerycap);
+  const size_t reports = h.kernel.dmesg().ring().size();
+  h.ioctl(fd, V4l2CamDriver::kIocQuerycap);  // dirty flag consumed
+  EXPECT_EQ(h.kernel.dmesg().ring().size(), reports);
+}
+
+class PcmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    h.install<AudioPcmDriver>();
+    h.boot();
+    fd = h.open("/dev/snd_pcm");
+    ASSERT_GE(fd, 0);
+  }
+  void to_running() {
+    ASSERT_EQ(
+        h.ioctl(fd, AudioPcmDriver::kIocHwParams, h.u32s({48000, 2, 0})).ret,
+        0);
+    ASSERT_EQ(h.ioctl(fd, AudioPcmDriver::kIocPrepare).ret, 0);
+    ASSERT_EQ(h.ioctl(fd, AudioPcmDriver::kIocStart).ret, 0);
+  }
+  DriverHarness h;
+  int32_t fd = -1;
+};
+
+TEST_F(PcmTest, HwParamsValidation) {
+  EXPECT_EQ(h.ioctl(fd, AudioPcmDriver::kIocHwParams, h.u32s({44000, 2, 0}))
+                .ret,
+            err::kEINVAL);  // non-standard rate
+  EXPECT_EQ(h.ioctl(fd, AudioPcmDriver::kIocHwParams, h.u32s({48000, 0, 0}))
+                .ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.ioctl(fd, AudioPcmDriver::kIocHwParams, h.u32s({48000, 9, 0}))
+                .ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.ioctl(fd, AudioPcmDriver::kIocHwParams, h.u32s({48000, 2, 7}))
+                .ret,
+            err::kEINVAL);
+}
+
+TEST_F(PcmTest, LifecycleOrderEnforced) {
+  EXPECT_EQ(h.ioctl(fd, AudioPcmDriver::kIocStart).ret, err::kEINVAL);
+  EXPECT_EQ(h.ioctl(fd, AudioPcmDriver::kIocPrepare).ret, err::kEINVAL);
+  to_running();
+  EXPECT_EQ(h.ioctl(fd, AudioPcmDriver::kIocStart).ret, err::kEINVAL);
+}
+
+TEST_F(PcmTest, WriteRequiresRunning) {
+  EXPECT_EQ(h.write(fd, {1, 2, 3, 4}), err::kEPIPE);
+  to_running();
+  EXPECT_EQ(h.write(fd, {1, 2, 3, 4}), 4);
+}
+
+TEST_F(PcmTest, PauseResume) {
+  to_running();
+  EXPECT_EQ(h.ioctl(fd, AudioPcmDriver::kIocPause, h.u32s({1})).ret, 0);
+  EXPECT_EQ(h.write(fd, {1, 2, 3, 4}), err::kEPIPE);
+  EXPECT_EQ(h.ioctl(fd, AudioPcmDriver::kIocPause, h.u32s({0})).ret, 0);
+  EXPECT_EQ(h.write(fd, {1, 2, 3, 4}), 4);
+}
+
+TEST_F(PcmTest, DrainReturnsToSetup) {
+  to_running();
+  h.write(fd, std::vector<uint8_t>(256, 0));
+  EXPECT_EQ(h.ioctl(fd, AudioPcmDriver::kIocDrain).ret, 0);
+  EXPECT_EQ(h.ioctl(fd, AudioPcmDriver::kIocPrepare).ret, 0);  // SETUP again
+}
+
+TEST_F(PcmTest, StatusReportsFrames) {
+  to_running();
+  h.write(fd, std::vector<uint8_t>(400, 0));  // 100 frames at 2ch s16
+  const auto st = h.ioctl(fd, AudioPcmDriver::kIocStatus);
+  EXPECT_EQ(le_u64(st.out, 4), 100u);
+}
+
+class SensorHubTest : public ::testing::Test {
+ protected:
+  void init(bool buggy) {
+    h.install<SensorHubDriver>(SensorHubBugs{.lockdep_subclass = buggy});
+    h.boot();
+    fd = h.open("/dev/sensor_hub");
+    ASSERT_GE(fd, 0);
+  }
+  void stream_sensor(uint32_t id, uint32_t hz) {
+    ASSERT_EQ(h.ioctl(fd, SensorHubDriver::kIocEnable, h.u32s({id})).ret, 0);
+    ASSERT_EQ(h.ioctl(fd, SensorHubDriver::kIocSetRate, h.u32s({id, hz})).ret,
+              0);
+    ASSERT_GT(h.read(fd, 64).ret, 0);  // drain one sample batch
+  }
+  DriverHarness h;
+  int32_t fd = -1;
+};
+
+TEST_F(SensorHubTest, EnableDisableLifecycle) {
+  init(true);
+  EXPECT_EQ(h.ioctl(fd, SensorHubDriver::kIocEnable, h.u32s({16})).ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.ioctl(fd, SensorHubDriver::kIocEnable, h.u32s({3})).ret, 0);
+  EXPECT_EQ(h.ioctl(fd, SensorHubDriver::kIocEnable, h.u32s({3})).ret,
+            err::kEBUSY);
+  EXPECT_EQ(h.ioctl(fd, SensorHubDriver::kIocDisable, h.u32s({3})).ret, 0);
+}
+
+TEST_F(SensorHubTest, RateRequiresEnabled) {
+  init(true);
+  EXPECT_EQ(h.ioctl(fd, SensorHubDriver::kIocSetRate, h.u32s({3, 100})).ret,
+            err::kEINVAL);
+}
+
+TEST_F(SensorHubTest, ReadNeedsStreamingSensor) {
+  init(true);
+  EXPECT_EQ(h.read(fd, 64).ret, err::kEAGAIN);
+  h.ioctl(fd, SensorHubDriver::kIocEnable, h.u32s({0}));
+  h.ioctl(fd, SensorHubDriver::kIocSetRate, h.u32s({0, 50}));
+  EXPECT_GT(h.read(fd, 64).ret, 0);
+}
+
+TEST_F(SensorHubTest, LockdepBugNeedsStreamingHighRate) {
+  init(true);
+  stream_sensor(2, 500);
+  EXPECT_EQ(
+      h.ioctl(fd, SensorHubDriver::kIocBatch, h.u32s({2, 64, 12})).ret,
+      err::kEINVAL);
+  EXPECT_EQ(h.last_report(), "BUG: looking up invalid subclass: 12 (lock sensor_hub->fifo_lock)");
+  EXPECT_TRUE(h.kernel.panicked());
+}
+
+TEST_F(SensorHubTest, LowRateClampsSubclass) {
+  init(true);
+  stream_sensor(2, 100);  // below the chaining threshold
+  EXPECT_EQ(h.ioctl(fd, SensorHubDriver::kIocBatch, h.u32s({2, 64, 12})).ret,
+            0);
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(SensorHubTest, NoReadNoChaining) {
+  init(true);
+  h.ioctl(fd, SensorHubDriver::kIocEnable, h.u32s({2}));
+  h.ioctl(fd, SensorHubDriver::kIocSetRate, h.u32s({2, 500}));
+  EXPECT_EQ(h.ioctl(fd, SensorHubDriver::kIocBatch, h.u32s({2, 64, 12})).ret,
+            0);
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(SensorHubTest, FixedDriverClampsAlways) {
+  init(false);
+  stream_sensor(2, 500);
+  EXPECT_EQ(h.ioctl(fd, SensorHubDriver::kIocBatch, h.u32s({2, 64, 12})).ret,
+            0);
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(SensorHubTest, SmallSubclassAlwaysFine) {
+  init(true);
+  stream_sensor(2, 500);
+  EXPECT_EQ(h.ioctl(fd, SensorHubDriver::kIocBatch, h.u32s({2, 64, 7})).ret,
+            0);
+  EXPECT_EQ(h.last_report(), "");
+}
+
+class WifiTest : public ::testing::Test {
+ protected:
+  void init(bool buggy) {
+    h.install<WifiRateDriver>(WifiRateBugs{.empty_rates_warn = buggy});
+    h.boot();
+    fd = h.open("/dev/wifi0");
+    ASSERT_GE(fd, 0);
+  }
+  std::vector<uint8_t> rates(std::vector<uint16_t> rs) {
+    std::vector<uint8_t> out;
+    put_u32(out, static_cast<uint32_t>(rs.size()));
+    for (uint16_t r : rs) put_u16(out, r);
+    return out;
+  }
+  DriverHarness h;
+  int32_t fd = -1;
+};
+
+TEST_F(WifiTest, AssocNeedsScanAndRates) {
+  init(true);
+  EXPECT_EQ(h.ioctl(fd, WifiRateDriver::kIocAssoc, h.u32s({0})).ret,
+            err::kEINVAL);  // no scan
+  h.ioctl(fd, WifiRateDriver::kIocScan);
+  EXPECT_EQ(h.ioctl(fd, WifiRateDriver::kIocAssoc, h.u32s({0})).ret,
+            err::kEINVAL);  // no rates
+  h.ioctl(fd, WifiRateDriver::kIocSetRates, rates({2, 4, 11}));
+  EXPECT_EQ(h.ioctl(fd, WifiRateDriver::kIocAssoc, h.u32s({9})).ret,
+            err::kEINVAL);  // bss out of range
+  EXPECT_EQ(h.ioctl(fd, WifiRateDriver::kIocAssoc, h.u32s({1})).ret, 0);
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(WifiTest, RateTableValidatedAgainstPhy) {
+  init(true);
+  EXPECT_EQ(h.ioctl(fd, WifiRateDriver::kIocSetRates, rates({3})).ret,
+            err::kEINVAL);  // not a supported rate
+  EXPECT_EQ(h.ioctl(fd, WifiRateDriver::kIocSetRates, rates({2, 108})).ret, 0);
+}
+
+TEST_F(WifiTest, EmptyUpdateWarnsOnAssocWhenBuggy) {
+  init(true);
+  h.ioctl(fd, WifiRateDriver::kIocScan);
+  h.ioctl(fd, WifiRateDriver::kIocSetPower, h.u32s({2}));
+  ASSERT_EQ(h.ioctl(fd, WifiRateDriver::kIocSetRates, rates({2, 4})).ret, 0);
+  // Empty *update* accepted on the buggy 11b-compat path.
+  ASSERT_EQ(h.ioctl(fd, WifiRateDriver::kIocSetRates, rates({})).ret, 0);
+  EXPECT_EQ(h.ioctl(fd, WifiRateDriver::kIocAssoc, h.u32s({0})).ret, 0);
+  EXPECT_EQ(h.last_report(), "WARNING in rate_control_rate_init");
+}
+
+TEST_F(WifiTest, EmptyTableRejectedWithoutPriorSet) {
+  init(true);
+  h.ioctl(fd, WifiRateDriver::kIocSetPower, h.u32s({2}));
+  EXPECT_EQ(h.ioctl(fd, WifiRateDriver::kIocSetRates, rates({})).ret,
+            err::kEINVAL);
+}
+
+TEST_F(WifiTest, EmptyTableRejectedInNormalPowerMode) {
+  init(true);
+  h.ioctl(fd, WifiRateDriver::kIocSetRates, rates({2, 4}));
+  EXPECT_EQ(h.ioctl(fd, WifiRateDriver::kIocSetRates, rates({})).ret,
+            err::kEINVAL);
+}
+
+TEST_F(WifiTest, FixedDriverRejectsEmptyUpdate) {
+  init(false);
+  h.ioctl(fd, WifiRateDriver::kIocSetPower, h.u32s({2}));
+  h.ioctl(fd, WifiRateDriver::kIocSetRates, rates({2, 4}));
+  EXPECT_EQ(h.ioctl(fd, WifiRateDriver::kIocSetRates, rates({})).ret,
+            err::kEINVAL);
+}
+
+TEST_F(WifiTest, DisassocAllowsRescan) {
+  init(true);
+  h.ioctl(fd, WifiRateDriver::kIocScan);
+  h.ioctl(fd, WifiRateDriver::kIocSetRates, rates({2}));
+  h.ioctl(fd, WifiRateDriver::kIocAssoc, h.u32s({0}));
+  EXPECT_EQ(h.ioctl(fd, WifiRateDriver::kIocScan).ret, err::kEBUSY);
+  EXPECT_EQ(h.ioctl(fd, WifiRateDriver::kIocDisassoc).ret, 0);
+  EXPECT_EQ(h.ioctl(fd, WifiRateDriver::kIocScan).ret, 0);
+}
+
+}  // namespace
+}  // namespace df::kernel

@@ -1,0 +1,237 @@
+// Tests for the Type-C drivers: rt1711_i2c (Table II #1) and tcpc_core
+// (Table II #4), with the planted bugs both enabled and disabled.
+#include <gtest/gtest.h>
+
+#include "kernel/drivers/rt1711_i2c.h"
+#include "kernel/drivers/tcpc_core.h"
+#include "tests/kernel/driver_test_util.h"
+
+namespace df::kernel {
+namespace {
+
+using drivers::Rt1711Bugs;
+using drivers::Rt1711Driver;
+using drivers::TcpcBugs;
+using drivers::TcpcDriver;
+using testutil::DriverHarness;
+
+class Rt1711Test : public ::testing::Test {
+ protected:
+  void init(bool buggy) {
+    h.install<Rt1711Driver>(Rt1711Bugs{.probe_warn = buggy});
+    h.boot();
+    fd = h.open("/dev/rt1711");
+    ASSERT_GE(fd, 0);
+  }
+  DriverHarness h;
+  int32_t fd = -1;
+};
+
+TEST_F(Rt1711Test, AttachValidatesMode) {
+  init(true);
+  EXPECT_EQ(h.ioctl(fd, Rt1711Driver::kIocAttach, h.u32s({0})).ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.ioctl(fd, Rt1711Driver::kIocAttach, h.u32s({4})).ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.ioctl(fd, Rt1711Driver::kIocAttach, h.u32s({2})).ret, 0);
+  EXPECT_EQ(h.ioctl(fd, Rt1711Driver::kIocAttach, h.u32s({1})).ret,
+            err::kEBUSY);
+}
+
+TEST_F(Rt1711Test, DetachRequiresAttach) {
+  init(true);
+  EXPECT_EQ(h.ioctl(fd, Rt1711Driver::kIocDetach).ret, err::kEINVAL);
+  h.ioctl(fd, Rt1711Driver::kIocAttach, h.u32s({1}));
+  EXPECT_EQ(h.ioctl(fd, Rt1711Driver::kIocDetach).ret, 0);
+}
+
+TEST_F(Rt1711Test, ResetWhileAttachedWarnsWhenBuggy) {
+  init(true);
+  h.ioctl(fd, Rt1711Driver::kIocAttach, h.u32s({3}));
+  EXPECT_EQ(h.ioctl(fd, Rt1711Driver::kIocReset).ret, 0);
+  EXPECT_EQ(h.last_report(), "WARNING in rt1711_i2c_probe");
+  EXPECT_FALSE(h.kernel.panicked());  // WARN is non-fatal
+}
+
+TEST_F(Rt1711Test, ResetWhileIdleIsClean) {
+  init(true);
+  EXPECT_EQ(h.ioctl(fd, Rt1711Driver::kIocReset).ret, 0);
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(Rt1711Test, FixedFirmwareDoesNotWarn) {
+  init(false);
+  h.ioctl(fd, Rt1711Driver::kIocAttach, h.u32s({3}));
+  h.ioctl(fd, Rt1711Driver::kIocReset);
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(Rt1711Test, VbusRequiresAttachAndRange) {
+  init(true);
+  EXPECT_EQ(h.ioctl(fd, Rt1711Driver::kIocVbus, h.u32s({5000})).ret,
+            err::kEINVAL);
+  h.ioctl(fd, Rt1711Driver::kIocAttach, h.u32s({1}));
+  EXPECT_EQ(h.ioctl(fd, Rt1711Driver::kIocVbus, h.u32s({5000})).ret, 0);
+  EXPECT_EQ(h.ioctl(fd, Rt1711Driver::kIocVbus, h.u32s({25000})).ret,
+            err::kEINVAL);
+}
+
+TEST_F(Rt1711Test, StatusReflectsState) {
+  init(true);
+  h.ioctl(fd, Rt1711Driver::kIocAttach, h.u32s({2}));
+  const auto res = h.ioctl(fd, Rt1711Driver::kIocGetStatus);
+  ASSERT_EQ(res.ret, 0);
+  ASSERT_GE(res.out.size(), 8u);
+  EXPECT_EQ(le_u32(res.out, 0), 1u);  // kAttached
+  EXPECT_EQ(le_u32(res.out, 4), 2u);  // mode
+}
+
+TEST_F(Rt1711Test, AlertFifoDrainsOnRead) {
+  init(true);
+  h.ioctl(fd, Rt1711Driver::kIocAttach, h.u32s({1}));
+  h.ioctl(fd, Rt1711Driver::kIocAlert, h.u32s({0x5}));
+  const auto r1 = h.read(fd, 16);
+  EXPECT_GT(r1.ret, 0);
+  EXPECT_EQ(le_u32(r1.out, 0), 0x5u);
+  // Second read: FIFO empty again.
+  EXPECT_EQ(h.read(fd, 16).ret, err::kEAGAIN);
+}
+
+TEST_F(Rt1711Test, SetCcValidatesPins) {
+  init(true);
+  EXPECT_EQ(h.ioctl(fd, Rt1711Driver::kIocSetCc, h.u32s({4, 0})).ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.ioctl(fd, Rt1711Driver::kIocSetCc, h.u32s({3, 3})).ret, 0);
+}
+
+class TcpcTest : public ::testing::Test {
+ protected:
+  void init(bool buggy) {
+    h.install<TcpcDriver>(TcpcBugs{.role_swap_warn = buggy});
+    h.boot();
+    fd = h.open("/dev/tcpc");
+    ASSERT_GE(fd, 0);
+  }
+  // Runs the full bring-up needed by the planted bug: init, DRP mode,
+  // alerts unmasked, partner connected, HV contract, one successful swap.
+  void bring_up_to_swap() {
+    EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocInit).ret, 0);
+    EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocSetMode, h.u32s({2})).ret, 0);
+    EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocSetAlert, h.u32s({0x3f})).ret, 0);
+    EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocConnect, h.u32s({1})).ret, 0);
+    EXPECT_EQ(
+        h.ioctl(fd, TcpcDriver::kIocPdNegotiate, h.u32s({9000, 3000})).ret,
+        0);
+    EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocRoleSwap, h.u32s({1})).ret, 0);
+  }
+  DriverHarness h;
+  int32_t fd = -1;
+};
+
+TEST_F(TcpcTest, StateMachineOrderEnforced) {
+  init(true);
+  EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocSetMode, h.u32s({2})).ret,
+            err::kEINVAL);  // before INIT
+  EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocInit).ret, 0);
+  EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocInit).ret, err::kEBUSY);
+  EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocPdNegotiate, h.u32s({9000, 1000})).ret,
+            err::kEINVAL);  // before CONNECT
+}
+
+TEST_F(TcpcTest, PdTiersValidated) {
+  init(true);
+  h.ioctl(fd, TcpcDriver::kIocInit);
+  h.ioctl(fd, TcpcDriver::kIocSetMode, h.u32s({2}));
+  h.ioctl(fd, TcpcDriver::kIocConnect, h.u32s({0}));
+  EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocPdNegotiate, h.u32s({7000, 1000})).ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocPdNegotiate, h.u32s({9000, 0})).ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocPdNegotiate, h.u32s({9000, 5001})).ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocPdNegotiate, h.u32s({20000, 5000})).ret,
+            0);
+}
+
+TEST_F(TcpcTest, RepeatSwapToHeldRoleWarnsWhenBuggy) {
+  init(true);
+  bring_up_to_swap();
+  // Second swap to the now-held role trips the assert.
+  EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocRoleSwap, h.u32s({1})).ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.last_report(), "WARNING in tcpc_role_swap");
+}
+
+TEST_F(TcpcTest, NoWarnWithoutPriorSwap) {
+  init(true);
+  h.ioctl(fd, TcpcDriver::kIocInit);
+  h.ioctl(fd, TcpcDriver::kIocSetMode, h.u32s({2}));
+  h.ioctl(fd, TcpcDriver::kIocSetAlert, h.u32s({0x3f}));
+  h.ioctl(fd, TcpcDriver::kIocConnect, h.u32s({1}));
+  h.ioctl(fd, TcpcDriver::kIocPdNegotiate, h.u32s({9000, 3000}));
+  // Swap to the role already held (0 = sink after DRP init), no prior swap.
+  EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocRoleSwap, h.u32s({0})).ret,
+            err::kEINVAL);
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(TcpcTest, NoWarnWithAlertsMasked) {
+  init(true);
+  h.ioctl(fd, TcpcDriver::kIocInit);
+  h.ioctl(fd, TcpcDriver::kIocSetMode, h.u32s({2}));
+  h.ioctl(fd, TcpcDriver::kIocConnect, h.u32s({1}));
+  h.ioctl(fd, TcpcDriver::kIocPdNegotiate, h.u32s({9000, 3000}));
+  h.ioctl(fd, TcpcDriver::kIocRoleSwap, h.u32s({1}));
+  h.ioctl(fd, TcpcDriver::kIocRoleSwap, h.u32s({1}));
+  EXPECT_EQ(h.last_report(), "");  // PD alert bit not unmasked
+}
+
+TEST_F(TcpcTest, NoWarnOnFiveVoltContract) {
+  init(true);
+  h.ioctl(fd, TcpcDriver::kIocInit);
+  h.ioctl(fd, TcpcDriver::kIocSetMode, h.u32s({2}));
+  h.ioctl(fd, TcpcDriver::kIocSetAlert, h.u32s({0x3f}));
+  h.ioctl(fd, TcpcDriver::kIocConnect, h.u32s({1}));
+  h.ioctl(fd, TcpcDriver::kIocPdNegotiate, h.u32s({5000, 3000}));
+  h.ioctl(fd, TcpcDriver::kIocRoleSwap, h.u32s({1}));
+  h.ioctl(fd, TcpcDriver::kIocRoleSwap, h.u32s({1}));
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(TcpcTest, FixedFirmwareNeverWarns) {
+  init(false);
+  bring_up_to_swap();
+  h.ioctl(fd, TcpcDriver::kIocRoleSwap, h.u32s({1}));
+  EXPECT_EQ(h.last_report(), "");
+}
+
+TEST_F(TcpcTest, FixedRolePortRejectsSwap) {
+  init(true);
+  h.ioctl(fd, TcpcDriver::kIocInit);
+  h.ioctl(fd, TcpcDriver::kIocSetMode, h.u32s({1}));  // source-only
+  h.ioctl(fd, TcpcDriver::kIocConnect, h.u32s({1}));
+  h.ioctl(fd, TcpcDriver::kIocPdNegotiate, h.u32s({9000, 3000}));
+  EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocRoleSwap, h.u32s({0})).ret,
+            err::kEOPNOTSUPP);
+}
+
+TEST_F(TcpcTest, DisconnectClearsContract) {
+  init(true);
+  bring_up_to_swap();
+  EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocDisconnect).ret, 0);
+  const auto st = h.ioctl(fd, TcpcDriver::kIocGetState);
+  EXPECT_EQ(le_u32(st.out, 8), 0u);  // contract mv cleared
+  EXPECT_EQ(h.ioctl(fd, TcpcDriver::kIocDisconnect).ret, err::kEINVAL);
+}
+
+TEST_F(TcpcTest, RebootResetsToUninit) {
+  init(true);
+  bring_up_to_swap();
+  h.kernel.reboot();
+  const int32_t fd2 = h.open("/dev/tcpc");
+  EXPECT_EQ(h.ioctl(fd2, TcpcDriver::kIocSetMode, h.u32s({2})).ret,
+            err::kEINVAL);  // back to pre-INIT state
+}
+
+}  // namespace
+}  // namespace df::kernel

@@ -1,0 +1,130 @@
+#include "kernel/kasan.h"
+
+#include <gtest/gtest.h>
+
+namespace df::kernel {
+namespace {
+
+class KasanTest : public ::testing::Test {
+ protected:
+  Dmesg dmesg_;
+  Kasan kasan_{dmesg_};
+
+  std::string last_title() {
+    return dmesg_.ring().empty() ? "" : dmesg_.ring().back().title;
+  }
+};
+
+TEST_F(KasanTest, AllocFreeLifecycle) {
+  const HeapPtr p = kasan_.alloc(64, "test:obj");
+  EXPECT_NE(p, kNullHeapPtr);
+  EXPECT_TRUE(kasan_.heap().is_live(p));
+  kasan_.free(p, "test", "site");
+  EXPECT_FALSE(kasan_.heap().is_live(p));
+  EXPECT_EQ(kasan_.report_count(), 0u);
+}
+
+TEST_F(KasanTest, ValidAccessPasses) {
+  const HeapPtr p = kasan_.alloc(64, "t");
+  EXPECT_TRUE(kasan_.check(p, 0, 64, Access::kRead, "t", "f"));
+  EXPECT_TRUE(kasan_.check(p, 60, 4, Access::kWrite, "t", "f"));
+  EXPECT_EQ(kasan_.report_count(), 0u);
+}
+
+TEST_F(KasanTest, OutOfBoundsDetected) {
+  const HeapPtr p = kasan_.alloc(64, "t");
+  EXPECT_FALSE(kasan_.check(p, 60, 8, Access::kRead, "drv", "my_func"));
+  EXPECT_EQ(kasan_.report_count(), 1u);
+  EXPECT_EQ(last_title(), "KASAN: slab-out-of-bounds Read in my_func");
+  EXPECT_TRUE(dmesg_.panicked());
+}
+
+TEST_F(KasanTest, OffsetPastEndDetected) {
+  const HeapPtr p = kasan_.alloc(16, "t");
+  EXPECT_FALSE(kasan_.check(p, 17, 0, Access::kRead, "drv", "f"));
+}
+
+TEST_F(KasanTest, UseAfterFreeDetected) {
+  const HeapPtr p = kasan_.alloc(32, "t:obj");
+  kasan_.free(p, "drv", "free_site");
+  EXPECT_FALSE(kasan_.check(p, 0, 4, Access::kWrite, "drv", "use_site"));
+  EXPECT_EQ(last_title(), "KASAN: slab-use-after-free Write in use_site");
+}
+
+TEST_F(KasanTest, DoubleFreeDetected) {
+  const HeapPtr p = kasan_.alloc(32, "t");
+  kasan_.free(p, "drv", "f1");
+  kasan_.free(p, "drv", "f2");
+  EXPECT_EQ(kasan_.report_count(), 1u);
+  EXPECT_EQ(last_title(), "KASAN: double-free in f2");
+}
+
+TEST_F(KasanTest, NullDerefDetected) {
+  EXPECT_FALSE(kasan_.check(kNullHeapPtr, 0, 4, Access::kRead, "drv", "f"));
+  EXPECT_EQ(last_title(), "KASAN: null-ptr-deref Read in f");
+}
+
+TEST_F(KasanTest, FreeNullIsNoop) {
+  kasan_.free(kNullHeapPtr, "drv", "f");
+  EXPECT_EQ(kasan_.report_count(), 0u);
+}
+
+TEST_F(KasanTest, WildPointerDetected) {
+  EXPECT_FALSE(kasan_.check(0xdeadbeef, 0, 4, Access::kRead, "drv", "f"));
+  EXPECT_EQ(last_title(), "KASAN: invalid-access Read in f");
+}
+
+TEST_F(KasanTest, InvalidFreeDetected) {
+  kasan_.free(0xdeadbeef, "drv", "f");
+  EXPECT_EQ(last_title(), "KASAN: invalid-free in f");
+}
+
+TEST_F(KasanTest, ReadWriteDataRoundTrip) {
+  const HeapPtr p = kasan_.alloc(8, "t");
+  const uint8_t src[4] = {1, 2, 3, 4};
+  EXPECT_TRUE(kasan_.write(p, 2, src, "drv", "w"));
+  uint8_t dst[4] = {};
+  EXPECT_TRUE(kasan_.read(p, 2, dst, "drv", "r"));
+  EXPECT_EQ(dst[0], 1);
+  EXPECT_EQ(dst[3], 4);
+}
+
+TEST_F(KasanTest, ReadPastEndFailsWithoutSideEffects) {
+  const HeapPtr p = kasan_.alloc(4, "t");
+  uint8_t dst[8] = {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff};
+  EXPECT_FALSE(kasan_.read(p, 0, dst, "drv", "r"));
+  EXPECT_EQ(dst[0], 0xff);  // untouched
+}
+
+TEST_F(KasanTest, HandlesNeverReused) {
+  const HeapPtr a = kasan_.alloc(8, "a");
+  kasan_.free(a, "d", "f");
+  const HeapPtr b = kasan_.alloc(8, "b");
+  EXPECT_NE(a, b);
+  // The stale handle is still attributable after new allocations.
+  EXPECT_FALSE(kasan_.check(a, 0, 1, Access::kRead, "d", "g"));
+  EXPECT_EQ(last_title(), "KASAN: slab-use-after-free Read in g");
+}
+
+TEST_F(KasanTest, HeapAccounting) {
+  const HeapPtr a = kasan_.alloc(100, "a");
+  const HeapPtr b = kasan_.alloc(28, "b");
+  EXPECT_EQ(kasan_.heap().live_count(), 2u);
+  EXPECT_EQ(kasan_.heap().live_bytes(), 128u);
+  kasan_.free(a, "d", "f");
+  EXPECT_EQ(kasan_.heap().live_count(), 1u);
+  EXPECT_EQ(kasan_.heap().live_bytes(), 28u);
+  (void)b;
+}
+
+TEST_F(KasanTest, ResetClearsQuarantine) {
+  const HeapPtr a = kasan_.alloc(8, "a");
+  kasan_.reset();
+  EXPECT_EQ(kasan_.heap().live_count(), 0u);
+  // After reset the old handle is a wild pointer, not a UAF.
+  EXPECT_FALSE(kasan_.check(a, 0, 1, Access::kRead, "d", "f"));
+  EXPECT_EQ(last_title(), "KASAN: invalid-access Read in f");
+}
+
+}  // namespace
+}  // namespace df::kernel

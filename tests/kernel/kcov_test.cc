@@ -1,0 +1,76 @@
+#include "kernel/kcov.h"
+
+#include <gtest/gtest.h>
+
+namespace df::kernel {
+namespace {
+
+TEST(CovFeature, PacksDriverAndBlock) {
+  const uint64_t f = cov_feature(7, 1234);
+  EXPECT_EQ(cov_driver(f), 7);
+  EXPECT_EQ(f & 0xffffffffffffull, 1234u);
+}
+
+TEST(CovFeature, DistinctDriversDistinctFeatures) {
+  EXPECT_NE(cov_feature(1, 5), cov_feature(2, 5));
+  EXPECT_NE(cov_feature(1, 5), cov_feature(1, 6));
+}
+
+TEST(CovFeature, BlockMaskedTo48Bits) {
+  const uint64_t f = cov_feature(1, 0xffffffffffffffffull);
+  EXPECT_EQ(cov_driver(f), 1);
+}
+
+TEST(Kcov, DisabledByDefault) {
+  Kcov k;
+  k.hit(1);
+  EXPECT_EQ(k.pending(), 0u);
+}
+
+TEST(Kcov, CollectsWhenEnabled) {
+  Kcov k;
+  k.enable();
+  k.hit(1);
+  k.hit(2);
+  EXPECT_EQ(k.pending(), 2u);
+  const auto v = k.collect();
+  EXPECT_EQ(v, (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(Kcov, DeduplicatesWithinExecution) {
+  Kcov k;
+  k.enable();
+  for (int i = 0; i < 100; ++i) k.hit(42);
+  EXPECT_EQ(k.pending(), 1u);
+}
+
+TEST(Kcov, CollectResetsDedup) {
+  Kcov k;
+  k.enable();
+  k.hit(42);
+  k.collect();
+  k.hit(42);
+  EXPECT_EQ(k.pending(), 1u);  // fresh execution re-records
+}
+
+TEST(Kcov, PreservesFirstHitOrder) {
+  Kcov k;
+  k.enable();
+  k.hit(3);
+  k.hit(1);
+  k.hit(2);
+  k.hit(1);
+  EXPECT_EQ(k.collect(), (std::vector<uint64_t>{3, 1, 2}));
+}
+
+TEST(Kcov, DisableStopsCollection) {
+  Kcov k;
+  k.enable();
+  k.hit(1);
+  k.disable();
+  k.hit(2);
+  EXPECT_EQ(k.collect(), (std::vector<uint64_t>{1}));
+}
+
+}  // namespace
+}  // namespace df::kernel

@@ -1,0 +1,201 @@
+// Property-based suites: parameterized sweeps over seeds asserting
+// structural invariants of the core data structures under randomized use.
+#include <gtest/gtest.h>
+
+#include "core/descriptions.h"
+#include "core/gen/generator.h"
+#include "core/relation/graph.h"
+#include "device/catalog.h"
+#include "dsl/fmt.h"
+#include "dsl/parse.h"
+#include "hal/parcel.h"
+#include "kernel/kasan.h"
+
+namespace df {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+// --- Relation graph: Eq. (1) mass conservation under arbitrary histories ---
+
+TEST_P(SeededProperty, RelationGraphInvariants) {
+  util::Rng rng(GetParam());
+  dsl::CallTable table;
+  std::vector<const dsl::CallDesc*> descs;
+  for (int i = 0; i < 12; ++i) {
+    dsl::CallDesc d;
+    d.name = "c" + std::to_string(i);
+    descs.push_back(table.add(std::move(d)));
+  }
+  core::RelationGraph g;
+  for (const auto* d : descs) g.add_vertex(d, rng.uniform() + 0.01);
+
+  size_t observed = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const auto* a = descs[rng.below(descs.size())];
+    const auto* b = descs[rng.below(descs.size())];
+    if (a != b) {
+      g.observe_relation(a, b);
+      ++observed;
+    }
+    if (rng.chance(1, 20)) g.decay(0.8 + rng.uniform() * 0.19);
+    if (step % 100 == 0) {
+      for (const auto* v : descs) {
+        const double in = g.in_weight_sum(v);
+        ASSERT_GE(in, 0.0);
+        ASSERT_LE(in, 1.0 + 1e-9);
+      }
+    }
+  }
+  ASSERT_GT(observed, 0u);
+  // Edge weights themselves stay in (0, 1].
+  for (const auto* a : descs) {
+    for (const auto& [b, w] : g.out_edges(a)) {
+      ASSERT_GT(w, 0.0);
+      ASSERT_LE(w, 1.0 + 1e-9);
+    }
+  }
+}
+
+// --- Generator: every emitted program is structurally valid and formats/
+// parses losslessly -------------------------------------------------------------
+
+TEST_P(SeededProperty, GeneratorProgramsRoundTripThroughText) {
+  auto dev = device::make_device("A1", GetParam());
+  dsl::CallTable table;
+  core::add_syscall_descriptions(table, *dev);
+  for (const auto& svc : dev->services()) {
+    std::vector<std::pair<uint32_t, double>> w;
+    for (const auto& uw : svc->app_usage_profile()) {
+      w.emplace_back(uw.code, uw.weight);
+    }
+    core::add_hal_interface(table, svc->descriptor(), svc->interface(), w);
+  }
+  core::RelationGraph rel;
+  for (const auto* d : table.all()) rel.add_vertex(d, d->weight);
+  core::Corpus corpus;
+  util::Rng rng(GetParam());
+  core::Generator gen(table, rel, corpus, rng, {});
+
+  dsl::Program prog = gen.generate_fresh();
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(prog.valid()) << dsl::format_program(prog);
+    const std::string text = dsl::format_program(prog);
+    std::string err;
+    auto reparsed = dsl::parse_program(text, table, &err);
+    ASSERT_TRUE(reparsed.has_value()) << err << "\n" << text;
+    ASSERT_EQ(dsl::format_program(*reparsed), text);
+    ASSERT_EQ(dsl::program_hash(*reparsed), dsl::program_hash(prog));
+    prog = rng.chance(1, 2) ? gen.mutate(prog) : gen.generate_fresh();
+  }
+}
+
+// --- Program surgery: remove_call/repair_refs never break validity ------------
+
+TEST_P(SeededProperty, ProgramSurgeryPreservesValidity) {
+  auto dev = device::make_device("A2", GetParam());
+  dsl::CallTable table;
+  core::add_syscall_descriptions(table, *dev);
+  core::RelationGraph rel;
+  for (const auto* d : table.all()) rel.add_vertex(d, d->weight);
+  core::Corpus corpus;
+  util::Rng rng(GetParam() * 31 + 1);
+  core::Generator gen(table, rel, corpus, rng, {});
+
+  for (int round = 0; round < 60; ++round) {
+    dsl::Program p = gen.generate_fresh();
+    while (p.size() > 1) {
+      p.remove_call(rng.below(p.size()));
+      ASSERT_TRUE(p.valid());
+    }
+  }
+}
+
+// --- Parcel: arbitrary byte strings never crash the readers -------------------
+
+TEST_P(SeededProperty, ParcelReadersTotalOnGarbage) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    std::vector<uint8_t> bytes(rng.below(64));
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.next());
+    hal::Parcel p(bytes);
+    // Interleave reads of every kind; must terminate and never throw.
+    for (int k = 0; k < 10; ++k) {
+      switch (rng.below(5)) {
+        case 0: p.read_u32(); break;
+        case 1: p.read_u64(); break;
+        case 2: p.read_string(); break;
+        case 3: p.read_blob(); break;
+        default: p.read_bool(); break;
+      }
+    }
+    SUCCEED();
+  }
+}
+
+// --- KASAN heap: random alloc/free/access traffic keeps accounting sane -------
+
+TEST_P(SeededProperty, KasanHeapAccountingInvariant) {
+  util::Rng rng(GetParam());
+  kernel::Dmesg dmesg;
+  kernel::Kasan kasan(dmesg);
+  std::vector<std::pair<kernel::HeapPtr, size_t>> live;
+  size_t live_bytes = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const auto op = rng.below(3);
+    if (op == 0 || live.empty()) {
+      const size_t size = 1 + rng.below(256);
+      live.emplace_back(kasan.alloc(size, "prop"), size);
+      live_bytes += size;
+    } else if (op == 1) {
+      const size_t idx = rng.below(live.size());
+      kasan.free(live[idx].first, "prop", "free");
+      live_bytes -= live[idx].second;
+      live.erase(live.begin() + static_cast<long>(idx));
+    } else {
+      const size_t idx = rng.below(live.size());
+      const auto [ptr, size] = live[idx];
+      // In-bounds access must always pass.
+      const size_t off = rng.below(size);
+      ASSERT_TRUE(kasan.check(ptr, off, 1, kernel::Access::kRead, "p", "f"));
+    }
+    ASSERT_EQ(kasan.heap().live_count(), live.size());
+    ASSERT_EQ(kasan.heap().live_bytes(), live_bytes);
+  }
+  ASSERT_EQ(kasan.report_count(), 0u);
+  ASSERT_FALSE(dmesg.panicked());
+}
+
+// --- Device kernels: random syscall storms never corrupt process state --------
+
+TEST_P(SeededProperty, RandomSyscallStormIsMemorySafe) {
+  auto dev = device::make_device("B", GetParam());
+  auto& k = dev->kernel();
+  const auto task = k.create_task(kernel::TaskOrigin::kNative, "storm");
+  util::Rng rng(GetParam() * 7 + 5);
+  const auto paths = k.registry().paths();
+  for (int i = 0; i < 4000; ++i) {
+    kernel::SyscallReq req;
+    req.nr = static_cast<kernel::Sys>(
+        rng.below(static_cast<uint64_t>(kernel::Sys::kCount)));
+    req.fd = static_cast<int32_t>(rng.below(16));
+    req.arg = rng.next() % 0x10000;
+    req.arg2 = rng.below(16);
+    req.arg3 = rng.below(4);
+    req.size = rng.below(256);
+    if (!paths.empty() && rng.chance(1, 2)) {
+      req.path = paths[rng.below(paths.size())];
+    }
+    req.data.resize(rng.below(64));
+    for (auto& b : req.data) b = static_cast<uint8_t>(rng.next());
+    k.syscall(task, req);
+    if (k.panicked()) dev->reboot();
+  }
+  SUCCEED();  // no crash / sanitizer violation
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace df

@@ -1,0 +1,182 @@
+// Tests for the eBPF-style tracer: origin filtering, critical-argument
+// extraction, specialized syscall IDs, and directional coverage features.
+#include <gtest/gtest.h>
+
+#include "device/catalog.h"
+#include "hal/services/sensors_hal.h"
+#include "trace/ebpf.h"
+#include "trace/syscall_trace.h"
+
+namespace df::trace {
+namespace {
+
+using kernel::Sys;
+using kernel::SyscallReq;
+
+TEST(CriticalArg, IoctlUsesRequest) {
+  SyscallReq req;
+  req.nr = Sys::kIoctl;
+  req.arg = 0x7401;
+  EXPECT_EQ(critical_arg_of(req), 0x7401u);
+}
+
+TEST(CriticalArg, SockoptPacksLevelAndName) {
+  SyscallReq req;
+  req.nr = Sys::kSetsockopt;
+  req.arg = 6;
+  req.arg2 = 1;
+  EXPECT_EQ(critical_arg_of(req), (6ull << 32) | 1);
+}
+
+TEST(CriticalArg, SocketPacksFamilyProto) {
+  SyscallReq req;
+  req.nr = Sys::kSocket;
+  req.arg = 31;
+  req.arg3 = 1;
+  EXPECT_EQ(critical_arg_of(req), (31ull << 32) | 1);
+}
+
+TEST(CriticalArg, PlainSyscallsZero) {
+  SyscallReq req;
+  req.nr = Sys::kRead;
+  req.arg = 99;
+  EXPECT_EQ(critical_arg_of(req), 0u);
+}
+
+TEST(SpecTable, AssignsStableDenseIds) {
+  SpecTable t;
+  const uint32_t a = t.add(Sys::kIoctl, 0x7401);
+  const uint32_t b = t.add(Sys::kIoctl, 0x7402);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.add(Sys::kIoctl, 0x7401), a);  // idempotent
+  EXPECT_EQ(t.id_of(Sys::kIoctl, 0x7401), a);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(SpecTable, FallsBackToPlainForm) {
+  SpecTable t;
+  const uint32_t plain = t.add_plain(Sys::kIoctl);
+  EXPECT_EQ(t.id_of(Sys::kIoctl, 0x9999), plain);
+}
+
+TEST(SpecTable, OverflowBucketsAreDeterministic) {
+  SpecTable t;
+  const uint32_t a = t.id_of(Sys::kIoctl, 0x1234);
+  const uint32_t b = t.id_of(Sys::kIoctl, 0x1234);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 1u << 20);  // overflow namespace
+}
+
+TEST(HalFeature, NamespaceDisjointFromKernelCoverage) {
+  const uint64_t hal = kernel::cov_feature(kHalCovDriverId, 123);
+  const uint64_t drv = kernel::cov_feature(3, 123);
+  EXPECT_TRUE(is_hal_feature(hal));
+  EXPECT_FALSE(is_hal_feature(drv));
+}
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = device::make_device("A1", 1);
+    table_.add(Sys::kIoctl, 0x9002);  // SENS_ENABLE
+    table_.add(Sys::kIoctl, 0x9004);  // SENS_SET_RATE
+    table_.add_plain(Sys::kOpenAt);
+  }
+  void hal_activate(uint32_t sensor) {
+    hal::Parcel p;
+    p.write_u32(sensor);
+    p.write_u32(1);
+    dev_->service_manager().call("android.hardware.sensors@sim",
+                                 hal::services::SensorsHal::kActivate, p);
+  }
+  std::unique_ptr<device::Device> dev_;
+  SpecTable table_;
+};
+
+TEST_F(TracerTest, RecordsHalOriginatedSequence) {
+  DirectionalTracer tracer(dev_->kernel(), table_);
+  tracer.begin_execution();
+  hal_activate(3);
+  // The Sensors HAL opens the hub and issues ENABLE + SET_RATE.
+  const auto& seq = tracer.sequence();
+  ASSERT_GE(seq.size(), 3u);
+  EXPECT_EQ(seq[0], table_.id_of(Sys::kOpenAt, 0));
+  EXPECT_EQ(seq[1], table_.id_of(Sys::kIoctl, 0x9002));
+  EXPECT_EQ(seq[2], table_.id_of(Sys::kIoctl, 0x9004));
+}
+
+TEST_F(TracerTest, IgnoresNativeTasks) {
+  DirectionalTracer tracer(dev_->kernel(), table_);
+  tracer.begin_execution();
+  const auto task =
+      dev_->kernel().create_task(kernel::TaskOrigin::kNative, "n");
+  SyscallReq req;
+  req.nr = Sys::kOpenAt;
+  req.path = "/dev/sensor_hub";
+  dev_->kernel().syscall(task, req);
+  EXPECT_TRUE(tracer.sequence().empty());
+}
+
+TEST_F(TracerTest, FeaturesAreOrderSensitive) {
+  DirectionalTracer tracer(dev_->kernel(), table_);
+  tracer.begin_execution();
+  hal_activate(3);
+  const auto f1 = tracer.take_features();
+
+  // Restart the HAL so the open happens again, then activate a different
+  // sensor id — same syscall IDs, same order: same features.
+  dev_->reboot();
+  tracer.begin_execution();
+  hal_activate(5);
+  const auto f2 = tracer.take_features();
+  EXPECT_EQ(f1, f2);  // IDs ignore payload values by design
+  for (uint64_t f : f1) EXPECT_TRUE(is_hal_feature(f));
+}
+
+TEST_F(TracerTest, TakeFeaturesClearsSequence) {
+  DirectionalTracer tracer(dev_->kernel(), table_);
+  tracer.begin_execution();
+  hal_activate(1);
+  EXPECT_FALSE(tracer.sequence().empty());
+  tracer.take_features();
+  EXPECT_TRUE(tracer.sequence().empty());
+}
+
+TEST_F(TracerTest, ChainedPairFeaturesDifferByPrefix) {
+  // [A, B] and [B] produce different features for B because the chained
+  // hash includes the predecessor.
+  SpecTable t;
+  const uint32_t a = t.add(Sys::kIoctl, 1);
+  const uint32_t b = t.add(Sys::kIoctl, 2);
+  const uint64_t b_after_a = util::hash_combine(a, b);
+  const uint64_t b_first = util::hash_combine(0, b);
+  EXPECT_NE(b_after_a, b_first);
+}
+
+TEST(EbpfProbe, DetachOnDestruction) {
+  auto dev = device::make_device("A1", 1);
+  uint64_t count = 0;
+  {
+    EbpfProbe probe(dev->kernel(), std::nullopt,
+                    [&](const SyscallEvent&) { ++count; });
+    const auto task =
+        dev->kernel().create_task(kernel::TaskOrigin::kNative, "n");
+    SyscallReq req;
+    req.nr = Sys::kOpenAt;
+    req.path = "/dev/rt1711";
+    dev->kernel().syscall(task, req);
+    EXPECT_EQ(count, 1u);
+    EXPECT_EQ(probe.events_delivered(), 1u);
+  }
+  // Probe detached: no more deliveries.
+  const auto task2 =
+      dev->kernel().create_task(kernel::TaskOrigin::kNative, "n2");
+  SyscallReq req;
+  req.nr = Sys::kOpenAt;
+  req.path = "/dev/rt1711";
+  dev->kernel().syscall(task2, req);
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace df::trace

@@ -1,0 +1,53 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace df::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_log_sink([this](LogLevel level, const std::string& msg) {
+      captured_.emplace_back(level, msg);
+    });
+    old_level_ = log_level();
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(old_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+  LogLevel old_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, RespectsMinimumLevel) {
+  set_log_level(LogLevel::kWarn);
+  DF_LOG(kInfo) << "dropped";
+  DF_LOG(kWarn) << "kept";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "kept");
+}
+
+TEST_F(LogTest, StreamsMultipleValues) {
+  set_log_level(LogLevel::kDebug);
+  DF_LOG(kError) << "coverage=" << 42 << " device=" << "A1";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "coverage=42 device=A1");
+  EXPECT_EQ(captured_[0].first, LogLevel::kError);
+}
+
+TEST_F(LogTest, LevelOrdering) {
+  set_log_level(LogLevel::kError);
+  DF_LOG(kDebug) << "no";
+  DF_LOG(kInfo) << "no";
+  DF_LOG(kWarn) << "no";
+  DF_LOG(kError) << "yes";
+  ASSERT_EQ(captured_.size(), 1u);
+}
+
+}  // namespace
+}  // namespace df::util

@@ -1,0 +1,148 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace df::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowZeroBoundIsZero) {
+  Rng r(7);
+  EXPECT_EQ(r.below(0), 0u);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo = lo || v == -3;
+    hi = hi || v == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0, 10));
+    EXPECT_TRUE(r.chance(10, 10));
+  }
+}
+
+TEST(Rng, ProbExtremes) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.prob(0.0));
+    EXPECT_TRUE(r.prob(1.0));
+    EXPECT_FALSE(r.prob(-1.0));
+    EXPECT_TRUE(r.prob(2.0));
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng r(19);
+  std::vector<double> w = {1.0, 0.0, 9.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[r.weighted(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 5);
+}
+
+TEST(Rng, WeightedEmptyAndZero) {
+  Rng r(23);
+  EXPECT_EQ(r.weighted({}), 0u);
+  // All-zero weights degrade to uniform choice over indices.
+  std::set<size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(r.weighted({0.0, 0.0, 0.0}));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, WeightedIgnoresNegative) {
+  Rng r(29);
+  std::vector<double> w = {-5.0, 1.0};
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(r.weighted(w), 1u);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng r(31);
+  auto p = r.permutation(50);
+  std::sort(p.begin(), p.end());
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng r(37);
+  const auto a = r.permutation(50);
+  const auto b = r.permutation(50);
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng a(41);
+  Rng child = a.fork();
+  // The child stream should not mirror the parent.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+// Statistical sanity: bit balance of the generator output.
+TEST(Rng, BitBalance) {
+  Rng r(43);
+  int ones = 0;
+  constexpr int kSamples = 2000;
+  for (int i = 0; i < kSamples; ++i) {
+    ones += __builtin_popcountll(r.next());
+  }
+  const double frac = static_cast<double>(ones) / (64.0 * kSamples);
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace df::util

@@ -1,0 +1,80 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace df::util {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, StddevBasics) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({7.0}), 0.0);
+  EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.138, 0.001);
+}
+
+TEST(MannWhitney, EmptySamplesNotSignificant) {
+  const auto r = mann_whitney_u({}, {1.0, 2.0});
+  EXPECT_FALSE(r.significant_at_05);
+  EXPECT_DOUBLE_EQ(r.p_two_sided, 1.0);
+}
+
+TEST(MannWhitney, AllTiedNotSignificant) {
+  const auto r = mann_whitney_u({5, 5, 5, 5}, {5, 5, 5, 5});
+  EXPECT_FALSE(r.significant_at_05);
+}
+
+TEST(MannWhitney, ClearlySeparatedSamplesSignificant) {
+  // Ten repetitions, as in the paper's evaluation protocol.
+  std::vector<double> a = {101, 103, 98, 105, 99, 102, 104, 100, 97, 106};
+  std::vector<double> b = {51, 53, 48, 55, 49, 52, 54, 50, 47, 56};
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_TRUE(r.significant_at_05);
+  EXPECT_LT(r.p_two_sided, 0.001);
+  EXPECT_GT(r.z, 3.0);
+}
+
+TEST(MannWhitney, IdenticalDistributionsNotSignificant) {
+  std::vector<double> a = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<double> b = {1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5, 9.5, 0.5};
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_FALSE(r.significant_at_05);
+}
+
+TEST(MannWhitney, SymmetricInDirection) {
+  std::vector<double> a = {10, 11, 12, 13, 14};
+  std::vector<double> b = {1, 2, 3, 4, 5};
+  const auto ab = mann_whitney_u(a, b);
+  const auto ba = mann_whitney_u(b, a);
+  EXPECT_NEAR(ab.p_two_sided, ba.p_two_sided, 1e-9);
+  EXPECT_NEAR(ab.z, -ba.z, 1e-9);
+}
+
+TEST(MannWhitney, HandlesTiesViaMidranks) {
+  std::vector<double> a = {1, 1, 2, 2, 3};
+  std::vector<double> b = {2, 2, 3, 3, 4};
+  const auto r = mann_whitney_u(a, b);
+  // Must not crash or produce NaN; direction favours b.
+  EXPECT_EQ(r.p_two_sided, r.p_two_sided);  // not NaN
+  EXPECT_LT(r.u, 12.5);                     // U below the mean of 12.5
+}
+
+TEST(MannWhitney, UStatisticRange) {
+  std::vector<double> a = {9, 10, 11};
+  std::vector<double> b = {1, 2, 3};
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_DOUBLE_EQ(r.u, 9.0);  // a wins every pairwise comparison: U = n1*n2
+}
+
+}  // namespace
+}  // namespace df::util
