@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_difuze.dir/bench/bench_fig5_difuze.cc.o"
+  "CMakeFiles/bench_fig5_difuze.dir/bench/bench_fig5_difuze.cc.o.d"
+  "bench/bench_fig5_difuze"
+  "bench/bench_fig5_difuze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_difuze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hal_probe_demo.dir/hal_probe_demo.cpp.o"
+  "CMakeFiles/hal_probe_demo.dir/hal_probe_demo.cpp.o.d"
+  "hal_probe_demo"
+  "hal_probe_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hal_probe_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

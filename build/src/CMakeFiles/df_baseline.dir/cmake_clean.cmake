@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_baseline.dir/baseline/difuze.cc.o"
+  "CMakeFiles/df_baseline.dir/baseline/difuze.cc.o.d"
+  "CMakeFiles/df_baseline.dir/baseline/syzkaller.cc.o"
+  "CMakeFiles/df_baseline.dir/baseline/syzkaller.cc.o.d"
+  "libdf_baseline.a"
+  "libdf_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

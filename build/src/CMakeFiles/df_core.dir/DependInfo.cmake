@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/descriptions.cc" "src/CMakeFiles/df_core.dir/core/descriptions.cc.o" "gcc" "src/CMakeFiles/df_core.dir/core/descriptions.cc.o.d"
+  "/root/repo/src/core/exec/broker.cc" "src/CMakeFiles/df_core.dir/core/exec/broker.cc.o" "gcc" "src/CMakeFiles/df_core.dir/core/exec/broker.cc.o.d"
+  "/root/repo/src/core/feedback/coverage.cc" "src/CMakeFiles/df_core.dir/core/feedback/coverage.cc.o" "gcc" "src/CMakeFiles/df_core.dir/core/feedback/coverage.cc.o.d"
+  "/root/repo/src/core/fuzz/crash.cc" "src/CMakeFiles/df_core.dir/core/fuzz/crash.cc.o" "gcc" "src/CMakeFiles/df_core.dir/core/fuzz/crash.cc.o.d"
+  "/root/repo/src/core/fuzz/daemon.cc" "src/CMakeFiles/df_core.dir/core/fuzz/daemon.cc.o" "gcc" "src/CMakeFiles/df_core.dir/core/fuzz/daemon.cc.o.d"
+  "/root/repo/src/core/fuzz/engine.cc" "src/CMakeFiles/df_core.dir/core/fuzz/engine.cc.o" "gcc" "src/CMakeFiles/df_core.dir/core/fuzz/engine.cc.o.d"
+  "/root/repo/src/core/gen/generator.cc" "src/CMakeFiles/df_core.dir/core/gen/generator.cc.o" "gcc" "src/CMakeFiles/df_core.dir/core/gen/generator.cc.o.d"
+  "/root/repo/src/core/gen/minimize.cc" "src/CMakeFiles/df_core.dir/core/gen/minimize.cc.o" "gcc" "src/CMakeFiles/df_core.dir/core/gen/minimize.cc.o.d"
+  "/root/repo/src/core/probe/hal_probe.cc" "src/CMakeFiles/df_core.dir/core/probe/hal_probe.cc.o" "gcc" "src/CMakeFiles/df_core.dir/core/probe/hal_probe.cc.o.d"
+  "/root/repo/src/core/relation/graph.cc" "src/CMakeFiles/df_core.dir/core/relation/graph.cc.o" "gcc" "src/CMakeFiles/df_core.dir/core/relation/graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/df_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

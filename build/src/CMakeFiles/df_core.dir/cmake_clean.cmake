@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_core.dir/core/descriptions.cc.o"
+  "CMakeFiles/df_core.dir/core/descriptions.cc.o.d"
+  "CMakeFiles/df_core.dir/core/exec/broker.cc.o"
+  "CMakeFiles/df_core.dir/core/exec/broker.cc.o.d"
+  "CMakeFiles/df_core.dir/core/feedback/coverage.cc.o"
+  "CMakeFiles/df_core.dir/core/feedback/coverage.cc.o.d"
+  "CMakeFiles/df_core.dir/core/fuzz/crash.cc.o"
+  "CMakeFiles/df_core.dir/core/fuzz/crash.cc.o.d"
+  "CMakeFiles/df_core.dir/core/fuzz/daemon.cc.o"
+  "CMakeFiles/df_core.dir/core/fuzz/daemon.cc.o.d"
+  "CMakeFiles/df_core.dir/core/fuzz/engine.cc.o"
+  "CMakeFiles/df_core.dir/core/fuzz/engine.cc.o.d"
+  "CMakeFiles/df_core.dir/core/gen/generator.cc.o"
+  "CMakeFiles/df_core.dir/core/gen/generator.cc.o.d"
+  "CMakeFiles/df_core.dir/core/gen/minimize.cc.o"
+  "CMakeFiles/df_core.dir/core/gen/minimize.cc.o.d"
+  "CMakeFiles/df_core.dir/core/probe/hal_probe.cc.o"
+  "CMakeFiles/df_core.dir/core/probe/hal_probe.cc.o.d"
+  "CMakeFiles/df_core.dir/core/relation/graph.cc.o"
+  "CMakeFiles/df_core.dir/core/relation/graph.cc.o.d"
+  "libdf_core.a"
+  "libdf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

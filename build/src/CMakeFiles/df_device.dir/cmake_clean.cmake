@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_device.dir/device/catalog.cc.o"
+  "CMakeFiles/df_device.dir/device/catalog.cc.o.d"
+  "CMakeFiles/df_device.dir/device/device.cc.o"
+  "CMakeFiles/df_device.dir/device/device.cc.o.d"
+  "libdf_device.a"
+  "libdf_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/descr.cc" "src/CMakeFiles/df_dsl.dir/dsl/descr.cc.o" "gcc" "src/CMakeFiles/df_dsl.dir/dsl/descr.cc.o.d"
+  "/root/repo/src/dsl/fmt.cc" "src/CMakeFiles/df_dsl.dir/dsl/fmt.cc.o" "gcc" "src/CMakeFiles/df_dsl.dir/dsl/fmt.cc.o.d"
+  "/root/repo/src/dsl/parse.cc" "src/CMakeFiles/df_dsl.dir/dsl/parse.cc.o" "gcc" "src/CMakeFiles/df_dsl.dir/dsl/parse.cc.o.d"
+  "/root/repo/src/dsl/prog.cc" "src/CMakeFiles/df_dsl.dir/dsl/prog.cc.o" "gcc" "src/CMakeFiles/df_dsl.dir/dsl/prog.cc.o.d"
+  "/root/repo/src/dsl/type.cc" "src/CMakeFiles/df_dsl.dir/dsl/type.cc.o" "gcc" "src/CMakeFiles/df_dsl.dir/dsl/type.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/df_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_dsl.dir/dsl/descr.cc.o"
+  "CMakeFiles/df_dsl.dir/dsl/descr.cc.o.d"
+  "CMakeFiles/df_dsl.dir/dsl/fmt.cc.o"
+  "CMakeFiles/df_dsl.dir/dsl/fmt.cc.o.d"
+  "CMakeFiles/df_dsl.dir/dsl/parse.cc.o"
+  "CMakeFiles/df_dsl.dir/dsl/parse.cc.o.d"
+  "CMakeFiles/df_dsl.dir/dsl/prog.cc.o"
+  "CMakeFiles/df_dsl.dir/dsl/prog.cc.o.d"
+  "CMakeFiles/df_dsl.dir/dsl/type.cc.o"
+  "CMakeFiles/df_dsl.dir/dsl/type.cc.o.d"
+  "libdf_dsl.a"
+  "libdf_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hal/binder.cc" "src/CMakeFiles/df_hal.dir/hal/binder.cc.o" "gcc" "src/CMakeFiles/df_hal.dir/hal/binder.cc.o.d"
+  "/root/repo/src/hal/hal_service.cc" "src/CMakeFiles/df_hal.dir/hal/hal_service.cc.o" "gcc" "src/CMakeFiles/df_hal.dir/hal/hal_service.cc.o.d"
+  "/root/repo/src/hal/parcel.cc" "src/CMakeFiles/df_hal.dir/hal/parcel.cc.o" "gcc" "src/CMakeFiles/df_hal.dir/hal/parcel.cc.o.d"
+  "/root/repo/src/hal/services/audio_hal.cc" "src/CMakeFiles/df_hal.dir/hal/services/audio_hal.cc.o" "gcc" "src/CMakeFiles/df_hal.dir/hal/services/audio_hal.cc.o.d"
+  "/root/repo/src/hal/services/bt_hal.cc" "src/CMakeFiles/df_hal.dir/hal/services/bt_hal.cc.o" "gcc" "src/CMakeFiles/df_hal.dir/hal/services/bt_hal.cc.o.d"
+  "/root/repo/src/hal/services/camera_hal.cc" "src/CMakeFiles/df_hal.dir/hal/services/camera_hal.cc.o" "gcc" "src/CMakeFiles/df_hal.dir/hal/services/camera_hal.cc.o.d"
+  "/root/repo/src/hal/services/graphics_hal.cc" "src/CMakeFiles/df_hal.dir/hal/services/graphics_hal.cc.o" "gcc" "src/CMakeFiles/df_hal.dir/hal/services/graphics_hal.cc.o.d"
+  "/root/repo/src/hal/services/light_hal.cc" "src/CMakeFiles/df_hal.dir/hal/services/light_hal.cc.o" "gcc" "src/CMakeFiles/df_hal.dir/hal/services/light_hal.cc.o.d"
+  "/root/repo/src/hal/services/media_hal.cc" "src/CMakeFiles/df_hal.dir/hal/services/media_hal.cc.o" "gcc" "src/CMakeFiles/df_hal.dir/hal/services/media_hal.cc.o.d"
+  "/root/repo/src/hal/services/power_hal.cc" "src/CMakeFiles/df_hal.dir/hal/services/power_hal.cc.o" "gcc" "src/CMakeFiles/df_hal.dir/hal/services/power_hal.cc.o.d"
+  "/root/repo/src/hal/services/sensors_hal.cc" "src/CMakeFiles/df_hal.dir/hal/services/sensors_hal.cc.o" "gcc" "src/CMakeFiles/df_hal.dir/hal/services/sensors_hal.cc.o.d"
+  "/root/repo/src/hal/services/wifi_hal.cc" "src/CMakeFiles/df_hal.dir/hal/services/wifi_hal.cc.o" "gcc" "src/CMakeFiles/df_hal.dir/hal/services/wifi_hal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/df_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

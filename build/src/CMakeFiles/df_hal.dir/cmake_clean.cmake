@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_hal.dir/hal/binder.cc.o"
+  "CMakeFiles/df_hal.dir/hal/binder.cc.o.d"
+  "CMakeFiles/df_hal.dir/hal/hal_service.cc.o"
+  "CMakeFiles/df_hal.dir/hal/hal_service.cc.o.d"
+  "CMakeFiles/df_hal.dir/hal/parcel.cc.o"
+  "CMakeFiles/df_hal.dir/hal/parcel.cc.o.d"
+  "CMakeFiles/df_hal.dir/hal/services/audio_hal.cc.o"
+  "CMakeFiles/df_hal.dir/hal/services/audio_hal.cc.o.d"
+  "CMakeFiles/df_hal.dir/hal/services/bt_hal.cc.o"
+  "CMakeFiles/df_hal.dir/hal/services/bt_hal.cc.o.d"
+  "CMakeFiles/df_hal.dir/hal/services/camera_hal.cc.o"
+  "CMakeFiles/df_hal.dir/hal/services/camera_hal.cc.o.d"
+  "CMakeFiles/df_hal.dir/hal/services/graphics_hal.cc.o"
+  "CMakeFiles/df_hal.dir/hal/services/graphics_hal.cc.o.d"
+  "CMakeFiles/df_hal.dir/hal/services/light_hal.cc.o"
+  "CMakeFiles/df_hal.dir/hal/services/light_hal.cc.o.d"
+  "CMakeFiles/df_hal.dir/hal/services/media_hal.cc.o"
+  "CMakeFiles/df_hal.dir/hal/services/media_hal.cc.o.d"
+  "CMakeFiles/df_hal.dir/hal/services/power_hal.cc.o"
+  "CMakeFiles/df_hal.dir/hal/services/power_hal.cc.o.d"
+  "CMakeFiles/df_hal.dir/hal/services/sensors_hal.cc.o"
+  "CMakeFiles/df_hal.dir/hal/services/sensors_hal.cc.o.d"
+  "CMakeFiles/df_hal.dir/hal/services/wifi_hal.cc.o"
+  "CMakeFiles/df_hal.dir/hal/services/wifi_hal.cc.o.d"
+  "libdf_hal.a"
+  "libdf_hal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_hal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/dmesg.cc" "src/CMakeFiles/df_kernel.dir/kernel/dmesg.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/dmesg.cc.o.d"
+  "/root/repo/src/kernel/driver.cc" "src/CMakeFiles/df_kernel.dir/kernel/driver.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/driver.cc.o.d"
+  "/root/repo/src/kernel/drivers/audio_pcm.cc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/audio_pcm.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/audio_pcm.cc.o.d"
+  "/root/repo/src/kernel/drivers/bt_hci.cc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/bt_hci.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/bt_hci.cc.o.d"
+  "/root/repo/src/kernel/drivers/drm_gpu.cc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/drm_gpu.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/drm_gpu.cc.o.d"
+  "/root/repo/src/kernel/drivers/gpu_mali.cc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/gpu_mali.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/gpu_mali.cc.o.d"
+  "/root/repo/src/kernel/drivers/ion_alloc.cc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/ion_alloc.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/ion_alloc.cc.o.d"
+  "/root/repo/src/kernel/drivers/l2cap.cc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/l2cap.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/l2cap.cc.o.d"
+  "/root/repo/src/kernel/drivers/rt1711_i2c.cc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/rt1711_i2c.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/rt1711_i2c.cc.o.d"
+  "/root/repo/src/kernel/drivers/sensor_hub.cc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/sensor_hub.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/sensor_hub.cc.o.d"
+  "/root/repo/src/kernel/drivers/tcpc_core.cc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/tcpc_core.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/tcpc_core.cc.o.d"
+  "/root/repo/src/kernel/drivers/v4l2_cam.cc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/v4l2_cam.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/v4l2_cam.cc.o.d"
+  "/root/repo/src/kernel/drivers/wifi_rate.cc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/wifi_rate.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/drivers/wifi_rate.cc.o.d"
+  "/root/repo/src/kernel/kasan.cc" "src/CMakeFiles/df_kernel.dir/kernel/kasan.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/kasan.cc.o.d"
+  "/root/repo/src/kernel/kcov.cc" "src/CMakeFiles/df_kernel.dir/kernel/kcov.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/kcov.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/CMakeFiles/df_kernel.dir/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/kmalloc.cc" "src/CMakeFiles/df_kernel.dir/kernel/kmalloc.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/kmalloc.cc.o.d"
+  "/root/repo/src/kernel/vfs.cc" "src/CMakeFiles/df_kernel.dir/kernel/vfs.cc.o" "gcc" "src/CMakeFiles/df_kernel.dir/kernel/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/df_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_util.dir/util/log.cc.o"
+  "CMakeFiles/df_util.dir/util/log.cc.o.d"
+  "CMakeFiles/df_util.dir/util/rng.cc.o"
+  "CMakeFiles/df_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/df_util.dir/util/stats.cc.o"
+  "CMakeFiles/df_util.dir/util/stats.cc.o.d"
+  "libdf_util.a"
+  "libdf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

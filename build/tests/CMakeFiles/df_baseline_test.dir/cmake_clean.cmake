@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_baseline_test.dir/baseline/baseline_test.cc.o"
+  "CMakeFiles/df_baseline_test.dir/baseline/baseline_test.cc.o.d"
+  "df_baseline_test"
+  "df_baseline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/broker_test.cc" "tests/CMakeFiles/df_core_test.dir/core/broker_test.cc.o" "gcc" "tests/CMakeFiles/df_core_test.dir/core/broker_test.cc.o.d"
+  "/root/repo/tests/core/crash_test.cc" "tests/CMakeFiles/df_core_test.dir/core/crash_test.cc.o" "gcc" "tests/CMakeFiles/df_core_test.dir/core/crash_test.cc.o.d"
+  "/root/repo/tests/core/daemon_test.cc" "tests/CMakeFiles/df_core_test.dir/core/daemon_test.cc.o" "gcc" "tests/CMakeFiles/df_core_test.dir/core/daemon_test.cc.o.d"
+  "/root/repo/tests/core/descriptions_test.cc" "tests/CMakeFiles/df_core_test.dir/core/descriptions_test.cc.o" "gcc" "tests/CMakeFiles/df_core_test.dir/core/descriptions_test.cc.o.d"
+  "/root/repo/tests/core/engine_test.cc" "tests/CMakeFiles/df_core_test.dir/core/engine_test.cc.o" "gcc" "tests/CMakeFiles/df_core_test.dir/core/engine_test.cc.o.d"
+  "/root/repo/tests/core/feedback_test.cc" "tests/CMakeFiles/df_core_test.dir/core/feedback_test.cc.o" "gcc" "tests/CMakeFiles/df_core_test.dir/core/feedback_test.cc.o.d"
+  "/root/repo/tests/core/generator_test.cc" "tests/CMakeFiles/df_core_test.dir/core/generator_test.cc.o" "gcc" "tests/CMakeFiles/df_core_test.dir/core/generator_test.cc.o.d"
+  "/root/repo/tests/core/minimize_test.cc" "tests/CMakeFiles/df_core_test.dir/core/minimize_test.cc.o" "gcc" "tests/CMakeFiles/df_core_test.dir/core/minimize_test.cc.o.d"
+  "/root/repo/tests/core/probe_test.cc" "tests/CMakeFiles/df_core_test.dir/core/probe_test.cc.o" "gcc" "tests/CMakeFiles/df_core_test.dir/core/probe_test.cc.o.d"
+  "/root/repo/tests/core/relation_test.cc" "tests/CMakeFiles/df_core_test.dir/core/relation_test.cc.o" "gcc" "tests/CMakeFiles/df_core_test.dir/core/relation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/df_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_core_test.dir/core/broker_test.cc.o"
+  "CMakeFiles/df_core_test.dir/core/broker_test.cc.o.d"
+  "CMakeFiles/df_core_test.dir/core/crash_test.cc.o"
+  "CMakeFiles/df_core_test.dir/core/crash_test.cc.o.d"
+  "CMakeFiles/df_core_test.dir/core/daemon_test.cc.o"
+  "CMakeFiles/df_core_test.dir/core/daemon_test.cc.o.d"
+  "CMakeFiles/df_core_test.dir/core/descriptions_test.cc.o"
+  "CMakeFiles/df_core_test.dir/core/descriptions_test.cc.o.d"
+  "CMakeFiles/df_core_test.dir/core/engine_test.cc.o"
+  "CMakeFiles/df_core_test.dir/core/engine_test.cc.o.d"
+  "CMakeFiles/df_core_test.dir/core/feedback_test.cc.o"
+  "CMakeFiles/df_core_test.dir/core/feedback_test.cc.o.d"
+  "CMakeFiles/df_core_test.dir/core/generator_test.cc.o"
+  "CMakeFiles/df_core_test.dir/core/generator_test.cc.o.d"
+  "CMakeFiles/df_core_test.dir/core/minimize_test.cc.o"
+  "CMakeFiles/df_core_test.dir/core/minimize_test.cc.o.d"
+  "CMakeFiles/df_core_test.dir/core/probe_test.cc.o"
+  "CMakeFiles/df_core_test.dir/core/probe_test.cc.o.d"
+  "CMakeFiles/df_core_test.dir/core/relation_test.cc.o"
+  "CMakeFiles/df_core_test.dir/core/relation_test.cc.o.d"
+  "df_core_test"
+  "df_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_device_test.dir/device/device_test.cc.o"
+  "CMakeFiles/df_device_test.dir/device/device_test.cc.o.d"
+  "CMakeFiles/df_device_test.dir/trace/trace_test.cc.o"
+  "CMakeFiles/df_device_test.dir/trace/trace_test.cc.o.d"
+  "df_device_test"
+  "df_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

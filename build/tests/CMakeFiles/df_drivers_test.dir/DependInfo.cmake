@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernel/drivers_bt_test.cc" "tests/CMakeFiles/df_drivers_test.dir/kernel/drivers_bt_test.cc.o" "gcc" "tests/CMakeFiles/df_drivers_test.dir/kernel/drivers_bt_test.cc.o.d"
+  "/root/repo/tests/kernel/drivers_gpu_test.cc" "tests/CMakeFiles/df_drivers_test.dir/kernel/drivers_gpu_test.cc.o" "gcc" "tests/CMakeFiles/df_drivers_test.dir/kernel/drivers_gpu_test.cc.o.d"
+  "/root/repo/tests/kernel/drivers_media_test.cc" "tests/CMakeFiles/df_drivers_test.dir/kernel/drivers_media_test.cc.o" "gcc" "tests/CMakeFiles/df_drivers_test.dir/kernel/drivers_media_test.cc.o.d"
+  "/root/repo/tests/kernel/drivers_typec_test.cc" "tests/CMakeFiles/df_drivers_test.dir/kernel/drivers_typec_test.cc.o" "gcc" "tests/CMakeFiles/df_drivers_test.dir/kernel/drivers_typec_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/df_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_hal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/df_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_drivers_test.dir/kernel/drivers_bt_test.cc.o"
+  "CMakeFiles/df_drivers_test.dir/kernel/drivers_bt_test.cc.o.d"
+  "CMakeFiles/df_drivers_test.dir/kernel/drivers_gpu_test.cc.o"
+  "CMakeFiles/df_drivers_test.dir/kernel/drivers_gpu_test.cc.o.d"
+  "CMakeFiles/df_drivers_test.dir/kernel/drivers_media_test.cc.o"
+  "CMakeFiles/df_drivers_test.dir/kernel/drivers_media_test.cc.o.d"
+  "CMakeFiles/df_drivers_test.dir/kernel/drivers_typec_test.cc.o"
+  "CMakeFiles/df_drivers_test.dir/kernel/drivers_typec_test.cc.o.d"
+  "df_drivers_test"
+  "df_drivers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_drivers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_dsl_test.dir/dsl/fmt_parse_test.cc.o"
+  "CMakeFiles/df_dsl_test.dir/dsl/fmt_parse_test.cc.o.d"
+  "CMakeFiles/df_dsl_test.dir/dsl/prog_test.cc.o"
+  "CMakeFiles/df_dsl_test.dir/dsl/prog_test.cc.o.d"
+  "CMakeFiles/df_dsl_test.dir/dsl/type_test.cc.o"
+  "CMakeFiles/df_dsl_test.dir/dsl/type_test.cc.o.d"
+  "df_dsl_test"
+  "df_dsl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_dsl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_hal_test.dir/hal/binder_test.cc.o"
+  "CMakeFiles/df_hal_test.dir/hal/binder_test.cc.o.d"
+  "CMakeFiles/df_hal_test.dir/hal/hal_services_test.cc.o"
+  "CMakeFiles/df_hal_test.dir/hal/hal_services_test.cc.o.d"
+  "CMakeFiles/df_hal_test.dir/hal/parcel_test.cc.o"
+  "CMakeFiles/df_hal_test.dir/hal/parcel_test.cc.o.d"
+  "df_hal_test"
+  "df_hal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_hal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_integration_test.dir/integration/bug_repro_test.cc.o"
+  "CMakeFiles/df_integration_test.dir/integration/bug_repro_test.cc.o.d"
+  "CMakeFiles/df_integration_test.dir/integration/determinism_test.cc.o"
+  "CMakeFiles/df_integration_test.dir/integration/determinism_test.cc.o.d"
+  "CMakeFiles/df_integration_test.dir/integration/fuzz_smoke_test.cc.o"
+  "CMakeFiles/df_integration_test.dir/integration/fuzz_smoke_test.cc.o.d"
+  "df_integration_test"
+  "df_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

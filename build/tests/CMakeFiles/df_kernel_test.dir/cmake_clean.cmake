@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_kernel_test.dir/kernel/dmesg_test.cc.o"
+  "CMakeFiles/df_kernel_test.dir/kernel/dmesg_test.cc.o.d"
+  "CMakeFiles/df_kernel_test.dir/kernel/kasan_test.cc.o"
+  "CMakeFiles/df_kernel_test.dir/kernel/kasan_test.cc.o.d"
+  "CMakeFiles/df_kernel_test.dir/kernel/kcov_test.cc.o"
+  "CMakeFiles/df_kernel_test.dir/kernel/kcov_test.cc.o.d"
+  "CMakeFiles/df_kernel_test.dir/kernel/kernel_core_test.cc.o"
+  "CMakeFiles/df_kernel_test.dir/kernel/kernel_core_test.cc.o.d"
+  "df_kernel_test"
+  "df_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

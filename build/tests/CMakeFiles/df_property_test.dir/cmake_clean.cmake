@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_property_test.dir/property/property_test.cc.o"
+  "CMakeFiles/df_property_test.dir/property/property_test.cc.o.d"
+  "df_property_test"
+  "df_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

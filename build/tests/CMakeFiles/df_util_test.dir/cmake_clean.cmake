@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/df_util_test.dir/util/hash_test.cc.o"
+  "CMakeFiles/df_util_test.dir/util/hash_test.cc.o.d"
+  "CMakeFiles/df_util_test.dir/util/log_test.cc.o"
+  "CMakeFiles/df_util_test.dir/util/log_test.cc.o.d"
+  "CMakeFiles/df_util_test.dir/util/rng_test.cc.o"
+  "CMakeFiles/df_util_test.dir/util/rng_test.cc.o.d"
+  "CMakeFiles/df_util_test.dir/util/stats_test.cc.o"
+  "CMakeFiles/df_util_test.dir/util/stats_test.cc.o.d"
+  "df_util_test"
+  "df_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/df_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(df_util_test "/root/repo/build/tests/df_util_test")
+set_tests_properties(df_util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;df_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(df_kernel_test "/root/repo/build/tests/df_kernel_test")
+set_tests_properties(df_kernel_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;df_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(df_drivers_test "/root/repo/build/tests/df_drivers_test")
+set_tests_properties(df_drivers_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;25;df_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(df_hal_test "/root/repo/build/tests/df_hal_test")
+set_tests_properties(df_hal_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;32;df_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(df_device_test "/root/repo/build/tests/df_device_test")
+set_tests_properties(df_device_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;38;df_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(df_dsl_test "/root/repo/build/tests/df_dsl_test")
+set_tests_properties(df_dsl_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;43;df_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(df_core_test "/root/repo/build/tests/df_core_test")
+set_tests_properties(df_core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;49;df_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(df_baseline_test "/root/repo/build/tests/df_baseline_test")
+set_tests_properties(df_baseline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;62;df_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(df_integration_test "/root/repo/build/tests/df_integration_test")
+set_tests_properties(df_integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;66;df_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(df_property_test "/root/repo/build/tests/df_property_test")
+set_tests_properties(df_property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;72;df_add_test;/root/repo/tests/CMakeLists.txt;0;")
