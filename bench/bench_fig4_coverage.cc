@@ -3,6 +3,11 @@
 // (paper: 10), with Mann-Whitney U significance on the final values.
 // Also reports the §I claim: average per-driver kernel coverage increase
 // of DroidFuzz over Syzkaller (paper: 17% on average).
+//
+// Exports BENCH_fig4_coverage.json: every (device, config, rep) trajectory
+// sampled through obs::StatsReporter plus phase-latency histogram summaries
+// from the DroidFuzz engines. Series content is deterministic for a fixed
+// DF_SEED (timing fields excluded).
 #include <cstdio>
 
 #include "baseline/syzkaller.h"
@@ -18,9 +23,17 @@ constexpr uint64_t kStep = 5 * kExecsPerHour;  // sample every 5 sim-hours
 }  // namespace
 
 int main() {
+  const WallTimer wall;
   const size_t reps = reps_from_env();
   const uint64_t base_seed = seed_from_env();
   const char* devices[] = {"A1", "A2", "B", "C1"};
+
+  // Campaign telemetry: the DroidFuzz engines run with observability
+  // attached, so the exported JSON carries phase-latency histograms.
+  // Per-exec trace events are off — only milestone events are retained.
+  obs::Observability obs;
+  obs.trace.set_record_execs(false);
+  std::vector<BenchSeries> exported;
 
   std::printf("=== Fig. 4: coverage over 48 simulated hours (mean of %zu "
               "reps) ===\n",
@@ -44,8 +57,11 @@ int main() {
         core::EngineConfig cfg;
         cfg.seed = seed;
         core::Engine eng(*dev, cfg);
-        df_runs.push_back(run_sampled(eng, k48h, kStep));
+        eng.attach_observability(&obs);
+        auto points = run_sampled_points(eng, k48h, kStep);
+        df_runs.push_back(to_series(points));
         df_final.push_back(static_cast<double>(eng.kernel_coverage()));
+        exported.push_back({id, "droidfuzz", r, std::move(points)});
         for (const auto& [drv, n] : dev->kernel().per_driver_coverage()) {
           driver_cov[drv].first += static_cast<double>(n);
         }
@@ -56,15 +72,10 @@ int main() {
       {
         auto dev = device::make_device(id, seed);
         baseline::SyzkallerFuzzer syz(*dev, seed);
-        syz.setup();
-        Series s;
-        for (uint64_t done = 0; done < k48h; done += kStep) {
-          syz.run(kStep);
-          s.hours.push_back((done + kStep) / kExecsPerHour);
-          s.coverage.push_back(syz.kernel_coverage());
-        }
-        syz_runs.push_back(s);
+        auto points = run_sampled_points(syz.engine(), k48h, kStep);
+        syz_runs.push_back(to_series(points));
         syz_final.push_back(static_cast<double>(syz.kernel_coverage()));
+        exported.push_back({id, "syzkaller", r, std::move(points)});
         for (const auto& [drv, n] : dev->kernel().per_driver_coverage()) {
           driver_cov[drv].second += static_cast<double>(n);
         }
@@ -117,5 +128,8 @@ int main() {
                 "(paper SI: 17%% on average)\n",
                 per_driver_gain_sum / per_driver_gain_count);
   }
+
+  write_bench_json("fig4_coverage", base_seed, reps, exported, &obs,
+                   wall.seconds());
   return 0;
 }

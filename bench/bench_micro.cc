@@ -1,9 +1,17 @@
 // Component microbenchmarks (google-benchmark): throughput of the pieces
 // that dominate a fuzzing campaign — generation, execution, feedback
-// merging, probing, and the relation-graph update rule.
+// merging, probing, and the relation-graph update rule — plus the
+// observability primitives.
+//
+// Before the google-benchmark suite runs, an engine-step overhead probe
+// measures campaign throughput with observability detached vs attached and
+// writes BENCH_micro.json (instrumentation contract: the detached engine —
+// no sink attached — must stay within noise of the pre-obs engine, and the
+// attached engine within a few percent of detached).
 #include <benchmark/benchmark.h>
 
 #include "baseline/syzkaller.h"
+#include "bench/bench_util.h"
 #include "core/descriptions.h"
 #include "core/exec/broker.h"
 #include "core/fuzz/engine.h"
@@ -13,10 +21,12 @@
 #include "dsl/fmt.h"
 #include "dsl/parse.h"
 #include "hal/parcel.h"
+#include "obs/obs.h"
 
 namespace {
 
 using namespace df;
+using namespace df::bench;
 
 void BM_RngNext(benchmark::State& state) {
   util::Rng rng(1);
@@ -144,6 +154,23 @@ void BM_EngineStep(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineStep);
 
+// Same workload with full observability attached (phase timers, counters,
+// milestone trace events): the instrumented-campaign configuration.
+void BM_EngineStepObserved(benchmark::State& state) {
+  auto dev = device::make_device("A2", 1);
+  core::EngineConfig cfg;
+  cfg.seed = 1;
+  core::Engine eng(*dev, cfg);
+  obs::Observability obs;
+  obs.trace.set_record_execs(false);
+  eng.attach_observability(&obs);
+  eng.setup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng.step());
+  }
+}
+BENCHMARK(BM_EngineStepObserved);
+
 void BM_SyzkallerStep(benchmark::State& state) {
   auto dev = device::make_device("A2", 1);
   baseline::SyzkallerFuzzer syz(*dev, 1);
@@ -180,6 +207,143 @@ void BM_RelationDecay(benchmark::State& state) {
 }
 BENCHMARK(BM_RelationDecay);
 
+// --- observability primitives -----------------------------------------------
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("bench.counter");
+  for (auto _ : state) c.inc();
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("bench.hist");
+  uint64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap LCG spread
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_ObsHistogramRecord);
+
+// The detached-engine hot path: a ScopedTimer over a null histogram must
+// not touch the clock.
+void BM_ObsScopedTimerDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::ScopedTimer t(nullptr);
+    benchmark::DoNotOptimize(&t);
+  }
+}
+BENCHMARK(BM_ObsScopedTimerDisabled);
+
+void BM_ObsTraceEmit(benchmark::State& state) {
+  obs::TraceSink sink(1024);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    obs::TraceEvent ev{obs::EventKind::kNewCoverage, "A2", ++i, {}};
+    ev.with("features", 3);
+    sink.emit(std::move(ev));
+  }
+  benchmark::DoNotOptimize(sink.size());
+}
+BENCHMARK(BM_ObsTraceEmit);
+
+// --- engine-step overhead probe + BENCH_micro.json ---------------------------
+
+double steps_per_sec(uint64_t seed, obs::Observability* obs,
+                     bool exec_events, uint64_t warmup, uint64_t measure) {
+  auto dev = device::make_device("A2", seed);
+  core::EngineConfig cfg;
+  cfg.seed = seed;
+  core::Engine eng(*dev, cfg);
+  if (obs != nullptr) {
+    obs->trace.set_record_execs(exec_events);
+    eng.attach_observability(obs);
+  }
+  eng.setup();
+  eng.run(warmup);
+  const WallTimer t;
+  eng.run(measure);
+  return static_cast<double>(measure) / t.seconds();
+}
+
+void run_obs_overhead_probe() {
+  const WallTimer wall;
+  const uint64_t seed = seed_from_env();
+  constexpr uint64_t kWarmup = 2000;
+  constexpr uint64_t kMeasure = 20000;
+  constexpr uint64_t kStep = 5000;
+
+  // Deterministic sampled trajectories for both configurations — identical
+  // series content is itself part of the contract (instrumentation must not
+  // perturb the campaign).
+  obs::Observability obs;
+  obs.trace.set_record_execs(false);
+  std::vector<BenchSeries> exported;
+  {
+    auto dev = device::make_device("A2", seed);
+    core::EngineConfig cfg;
+    cfg.seed = seed;
+    core::Engine eng(*dev, cfg);
+    exported.push_back(
+        {"A2", "detached", 0, run_sampled_points(eng, kMeasure, kStep)});
+  }
+  {
+    auto dev = device::make_device("A2", seed);
+    core::EngineConfig cfg;
+    cfg.seed = seed;
+    core::Engine eng(*dev, cfg);
+    eng.attach_observability(&obs);
+    exported.push_back(
+        {"A2", "attached", 0, run_sampled_points(eng, kMeasure, kStep)});
+  }
+
+  const double detached =
+      steps_per_sec(seed, nullptr, false, kWarmup, kMeasure);
+  obs::Observability probe;
+  const double attached =
+      steps_per_sec(seed, &probe, false, kWarmup, kMeasure);
+  const double traced = steps_per_sec(seed, &probe, true, kWarmup, kMeasure);
+  const double attached_pct = 100.0 * (detached / attached - 1.0);
+  const double traced_pct = 100.0 * (detached / traced - 1.0);
+
+  std::printf("=== obs overhead probe (device A2, %llu engine steps) ===\n",
+              static_cast<unsigned long long>(kMeasure));
+  std::printf("  detached:        %12.0f execs/sec\n", detached);
+  std::printf("  attached:        %12.0f execs/sec  (%+.2f%%)\n", attached,
+              attached_pct);
+  std::printf("  attached+trace:  %12.0f execs/sec  (%+.2f%%)\n\n", traced,
+              traced_pct);
+
+  write_bench_json(
+      "micro", seed, 1, exported, &obs, wall.seconds(),
+      [&](obs::JsonWriter& w) {
+        w.key("overhead").begin_object();
+        w.field("device", "A2");
+        w.field("measure_execs", kMeasure);
+        // Throughputs and derived percentages are wall-dependent, so they
+        // live under a "timing" key (stripped by the determinism checker).
+        w.key("timing").begin_object();
+        w.field("detached_execs_per_sec", detached);
+        w.field("attached_execs_per_sec", attached);
+        w.field("attached_trace_execs_per_sec", traced);
+        w.field("attached_overhead_percent", attached_pct);
+        w.field("attached_trace_overhead_percent", traced_pct);
+        w.end_object();
+        w.end_object();
+      });
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  run_obs_overhead_probe();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -23,11 +23,16 @@ struct Found {
 }  // namespace
 
 int main() {
+  const WallTimer wall;
   // Default campaign seed 3: a seed on which the full 144h campaign lands
   // all twelve Table II bugs (discovery of the two deepest bugs is
   // stochastic across seeds; see EXPERIMENTS.md).
   const uint64_t seed = seed_from_env(3);
   const uint64_t syz_seed = syz_seed_from_env(1);
+  obs::Observability obs;
+  obs.trace.set_record_execs(false);
+  std::vector<BenchSeries> exported;
+  constexpr uint64_t kSampleStep = 8 * kExecsPerHour;
   std::printf("=== Table I: List of Embedded Android Devices Tested ===\n");
   std::printf("%-3s %-18s %-12s %-8s %-5s %s\n", "ID", "Device", "Vendor",
               "Arch.", "AOSP", "Kernel");
@@ -47,7 +52,9 @@ int main() {
     core::EngineConfig cfg;
     cfg.seed = seed;
     core::Engine eng(*dev, cfg);
-    eng.run(k144h);
+    eng.attach_observability(&obs);
+    exported.push_back(
+        {spec.id, "droidfuzz", 0, run_sampled_points(eng, k144h, kSampleStep)});
     for (const auto& bug : eng.crashes().bugs()) {
       found.push_back({spec.id, bug});
     }
@@ -87,13 +94,16 @@ int main() {
       "\n=== Syzkaller comparison (48 simulated hours per device, as in "
       "SV-C) ===\n");
   size_t syz_total = 0, syz_hal = 0;
+  std::vector<Found> syz_found;
   for (const auto& spec : device::device_table()) {
     auto dev = device::make_device(spec.id, syz_seed);
     baseline::SyzkallerFuzzer syz(*dev, syz_seed);
-    syz.run(k48h);
+    exported.push_back({spec.id, "syzkaller", 0,
+                        run_sampled_points(syz.engine(), k48h, kSampleStep)});
     for (const auto& bug : syz.crashes().bugs()) {
       ++syz_total;
       if (bug.component == "HAL") ++syz_hal;
+      syz_found.push_back({spec.id, bug});
       std::printf("  syzkaller [%s] %s\n", spec.id.c_str(),
                   bug.title.c_str());
     }
@@ -101,5 +111,30 @@ int main() {
   std::printf("Syzkaller: %zu bugs total, %zu from the HAL layer (paper: 2, "
               "0)\n",
               syz_total, syz_hal);
+
+  const auto write_bugs = [](obs::JsonWriter& w, const char* key,
+                             const std::vector<Found>& bugs) {
+    w.key(key).begin_array();
+    for (const auto& f : bugs) {
+      w.begin_object()
+          .field("device", f.device)
+          .field("title", f.bug.title)
+          .field("component", f.bug.component)
+          .field("origin", f.bug.origin)
+          .field("class", f.bug.bug_class)
+          .field("first_exec", f.bug.first_exec)
+          .field("dup_count", f.bug.dup_count)
+          .end_object();
+    }
+    w.end_array();
+  };
+  write_bench_json("table2_bugs", seed, 1, exported, &obs, wall.seconds(),
+                   [&](obs::JsonWriter& w) {
+                     write_bugs(w, "bugs", found);
+                     write_bugs(w, "syzkaller_bugs", syz_found);
+                     w.field("table2_matched", static_cast<uint64_t>(matched));
+                     w.field("table2_expected",
+                             static_cast<uint64_t>(device::planted_bugs().size()));
+                   });
   return 0;
 }

@@ -2,6 +2,10 @@
 // two ablations (DF-NoRel: random dependency generation; DF-NoHCov: no HAL
 // directional coverage) and Syzkaller, on all seven devices, averaged over
 // DF_REPS repetitions with Mann-Whitney significance vs DroidFuzz.
+//
+// Exports BENCH_table3_ablation.json with every per-config trajectory plus
+// a "finals" summary (the Table III cells) and, for the full configuration,
+// phase-latency histogram summaries.
 #include <cstdio>
 
 #include "baseline/syzkaller.h"
@@ -12,28 +16,42 @@ namespace {
 using namespace df;
 using namespace df::bench;
 
+constexpr uint64_t kSampleStep = 8 * kExecsPerHour;
+
+struct Final {
+  std::string device, config;
+  std::vector<double> values;
+};
+
 std::vector<double> run_config(const char* id, core::EngineConfig cfg,
-                               size_t reps, uint64_t base_seed) {
+                               size_t reps, uint64_t base_seed,
+                               const char* config_name,
+                               std::vector<BenchSeries>& exported,
+                               obs::Observability* obs) {
   std::vector<double> finals;
   for (size_t r = 0; r < reps; ++r) {
     const uint64_t seed = base_seed + r * 101;
     auto dev = device::make_device(id, seed);
     cfg.seed = seed;
     core::Engine eng(*dev, cfg);
-    eng.run(k48h);
+    if (obs != nullptr) eng.attach_observability(obs);
+    exported.push_back(
+        {id, config_name, r, run_sampled_points(eng, k48h, kSampleStep)});
     finals.push_back(static_cast<double>(eng.kernel_coverage()));
   }
   return finals;
 }
 
 std::vector<double> run_syzkaller(const char* id, size_t reps,
-                                  uint64_t base_seed) {
+                                  uint64_t base_seed,
+                                  std::vector<BenchSeries>& exported) {
   std::vector<double> finals;
   for (size_t r = 0; r < reps; ++r) {
     const uint64_t seed = base_seed + r * 101;
     auto dev = device::make_device(id, seed);
     baseline::SyzkallerFuzzer syz(*dev, seed);
-    syz.run(k48h);
+    exported.push_back({id, "syzkaller", r,
+                        run_sampled_points(syz.engine(), k48h, kSampleStep)});
     finals.push_back(static_cast<double>(syz.kernel_coverage()));
   }
   return finals;
@@ -42,8 +60,16 @@ std::vector<double> run_syzkaller(const char* id, size_t reps,
 }  // namespace
 
 int main() {
+  const WallTimer wall;
   const size_t reps = reps_from_env();
   const uint64_t base_seed = seed_from_env();
+
+  // Phase histograms are collected for the full configuration only, so the
+  // exported summaries describe DROIDFUZZ proper rather than a mix.
+  obs::Observability obs;
+  obs.trace.set_record_execs(false);
+  std::vector<BenchSeries> exported;
+  std::vector<Final> finals;
 
   core::EngineConfig full;
   core::EngineConfig norel;
@@ -62,10 +88,17 @@ int main() {
   const size_t n_dev = device::device_table().size();
   for (const auto& spec : device::device_table()) {
     const char* id = spec.id.c_str();
-    const auto df = run_config(id, full, reps, base_seed);
-    const auto nr = run_config(id, norel, reps, base_seed);
-    const auto nh = run_config(id, nohcov, reps, base_seed);
-    const auto sz = run_syzkaller(id, reps, base_seed);
+    const auto df =
+        run_config(id, full, reps, base_seed, "droidfuzz", exported, &obs);
+    const auto nr =
+        run_config(id, norel, reps, base_seed, "df-norel", exported, nullptr);
+    const auto nh = run_config(id, nohcov, reps, base_seed, "df-nohcov",
+                               exported, nullptr);
+    const auto sz = run_syzkaller(id, reps, base_seed, exported);
+    finals.push_back({spec.id, "droidfuzz", df});
+    finals.push_back({spec.id, "df-norel", nr});
+    finals.push_back({spec.id, "df-nohcov", nh});
+    finals.push_back({spec.id, "syzkaller", sz});
     const double dfm = util::mean(df), nrm = util::mean(nr),
                  nhm = util::mean(nh), szm = util::mean(sz);
     std::printf("%-7s %-10.0f %-10.0f %-10.0f %-10.0f", id, dfm, nrm, nhm,
@@ -83,5 +116,22 @@ int main() {
               n_dev);
   std::printf("  both ablations > Syzkaller on %zu/%zu devices\n",
               all_beat_syz, n_dev);
+
+  write_bench_json(
+      "table3_ablation", base_seed, reps, exported, &obs, wall.seconds(),
+      [&](obs::JsonWriter& w) {
+        w.key("finals").begin_array();
+        for (const auto& f : finals) {
+          w.begin_object()
+              .field("device", f.device)
+              .field("config", f.config)
+              .field("mean", util::mean(f.values));
+          w.key("values").begin_array();
+          for (const double v : f.values) w.value(v);
+          w.end_array();
+          w.end_object();
+        }
+        w.end_array();
+      });
   return 0;
 }

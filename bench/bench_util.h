@@ -7,15 +7,27 @@
 // environment variables:
 //   DF_REPS  - repetitions per configuration (paper: 10; default: 3)
 //   DF_SEED  - base campaign seed (default: 1)
+//
+// Every bench additionally exports its campaign trajectory as
+// BENCH_<name>.json (see scripts/check_bench_json.py for the schema and
+// DESIGN.md "Observability" for the determinism contract). The output
+// directory defaults to the current working directory and can be overridden
+// with DF_BENCH_JSON_DIR.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/fuzz/engine.h"
 #include "device/catalog.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "obs/stats_reporter.h"
 #include "util/stats.h"
 
 namespace df::bench {
@@ -53,17 +65,36 @@ struct Series {
   std::vector<size_t> coverage;
 };
 
+// Runs `eng` for `total` executions, recording a full stats point (baseline
+// included) every `step` executions. This is the bench-side use of the
+// campaign StatsReporter.
+inline std::vector<obs::StatsReporter::Point> run_sampled_points(
+    core::Engine& eng, uint64_t total, uint64_t step) {
+  obs::StatsReporter rep(step);
+  eng.setup();
+  rep.record("run", eng.sample());
+  for (uint64_t done = 0; done < total; done += step) {
+    eng.run(std::min(step, total - done));
+    rep.record("run", eng.sample());
+  }
+  return rep.series("run");
+}
+
+// Printable coverage series from sampled points (drops the exec-0 baseline
+// point so columns stay "coverage at hours step, 2*step, ...").
+inline Series to_series(const std::vector<obs::StatsReporter::Point>& pts) {
+  Series s;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    s.hours.push_back(pts[i].sample.executions / kExecsPerHour);
+    s.coverage.push_back(static_cast<size_t>(pts[i].sample.kernel_coverage));
+  }
+  return s;
+}
+
 // Runs `eng` for `total` executions, sampling cumulative kernel coverage
 // every `step` executions.
 inline Series run_sampled(core::Engine& eng, uint64_t total, uint64_t step) {
-  Series s;
-  eng.setup();
-  for (uint64_t done = 0; done < total; done += step) {
-    eng.run(std::min(step, total - done));
-    s.hours.push_back((done + step) / kExecsPerHour);
-    s.coverage.push_back(eng.kernel_coverage());
-  }
-  return s;
+  return to_series(run_sampled_points(eng, total, step));
 }
 
 inline void print_series(const std::string& label, const Series& s) {
@@ -82,6 +113,104 @@ inline std::string significance_tag(const std::vector<double>& a,
   std::snprintf(buf, sizeof buf, "p=%.4f%s", mw.p_two_sided,
                 mw.significant_at_05 ? "" : " (not significant)");
   return buf;
+}
+
+// --- BENCH_*.json export -----------------------------------------------------
+
+inline std::string bench_json_path(const std::string& bench_name) {
+  std::string path;
+  if (const char* dir = std::getenv("DF_BENCH_JSON_DIR")) {
+    path = dir;
+    if (!path.empty() && path.back() != '/') path += '/';
+  }
+  return path + "BENCH_" + bench_name + ".json";
+}
+
+// One exported time-series: a (device, config, rep) trajectory.
+struct BenchSeries {
+  std::string device;
+  std::string config;  // "droidfuzz", "syzkaller", "df-norel", ...
+  size_t rep = 0;
+  std::vector<obs::StatsReporter::Point> points;
+};
+
+// Wall clock for the whole bench run (a timing-only field in the JSON).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Writes BENCH_<bench>.json: series content is deterministic for a fixed
+// seed; everything wall-dependent lives under "timing" keys or *_ns fields.
+// `obs` (optional) contributes the metric snapshot (phase-latency histogram
+// summaries); `extra` (optional) appends bench-specific top-level sections.
+inline bool write_bench_json(
+    const std::string& bench, uint64_t seed, size_t reps,
+    const std::vector<BenchSeries>& series, obs::Observability* obs,
+    double wall_seconds,
+    const std::function<void(obs::JsonWriter&)>& extra = {}) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("bench", bench);
+  w.field("seed", seed);
+  w.field("reps", static_cast<uint64_t>(reps));
+
+  w.key("series").begin_array();
+  for (const auto& s : series) {
+    w.begin_object();
+    w.field("device", s.device);
+    w.field("config", s.config);
+    w.field("rep", static_cast<uint64_t>(s.rep));
+    auto arr = [&](const char* key, auto get) {
+      w.key(key).begin_array();
+      for (const auto& p : s.points) w.value(get(p));
+      w.end_array();
+    };
+    using Point = obs::StatsReporter::Point;
+    arr("executions", [](const Point& p) { return p.sample.executions; });
+    arr("kernel_coverage",
+        [](const Point& p) { return p.sample.kernel_coverage; });
+    arr("total_coverage",
+        [](const Point& p) { return p.sample.total_coverage; });
+    arr("corpus", [](const Point& p) { return p.sample.corpus_size; });
+    arr("bugs", [](const Point& p) { return p.sample.unique_bugs; });
+    w.key("timing").begin_object();
+    w.key("secs").begin_array();
+    for (const auto& p : s.points) w.value(p.secs);
+    w.end_array();
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  if (obs != nullptr) {
+    obs::capture_log_metrics(obs->registry);
+    w.key("metrics");
+    obs->registry.snapshot().write_json(w);
+  }
+  if (extra) extra(w);
+  w.key("timing").begin_object();
+  w.field("wall_seconds", wall_seconds);
+  w.end_object();
+  w.end_object();
+
+  const std::string path = bench_json_path(bench);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << w.str() << '\n';
+  std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace df::bench

@@ -4,19 +4,56 @@
 // reproduced" pipeline from the paper's §V-B.
 //
 //   ./examples/crash_triage [device-id] [max-execs] [seed]
+//                           [--stats-json <path>] [--quiet]
+//
+// --stats-json writes campaign telemetry (stats series, metric snapshot
+// including minimize-phase latency, bug trace events) as one JSON document;
+// --quiet suppresses the per-bug listing, leaving the final one-line
+// summary.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 
 #include "core/fuzz/engine.h"
 #include "device/catalog.h"
 #include "dsl/fmt.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "obs/stats_reporter.h"
 
 int main(int argc, char** argv) {
-  const std::string device_id = argc > 1 ? argv[1] : "A1";
-  const uint64_t max_execs =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 30000;
-  const uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3;
+  std::string device_id = "A1";
+  uint64_t max_execs = 30000;
+  uint64_t seed = 3;
+  std::string stats_path;
+  bool quiet = false;
+  int pos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--stats-json requires a path\n");
+        return 1;
+      }
+      stats_path = argv[++i];
+    } else if (pos == 0) {
+      device_id = argv[i];
+      ++pos;
+    } else if (pos == 1) {
+      max_execs = std::strtoull(argv[i], nullptr, 10);
+      ++pos;
+    } else if (pos == 2) {
+      seed = std::strtoull(argv[i], nullptr, 10);
+      ++pos;
+    } else {
+      std::fprintf(stderr, "usage: %s [device-id] [max-execs] [seed] "
+                   "[--stats-json <path>] [--quiet]\n", argv[0]);
+      return 1;
+    }
+  }
 
   auto dev = df::device::make_device(device_id, seed);
   if (dev == nullptr) {
@@ -26,36 +63,91 @@ int main(int argc, char** argv) {
   df::core::EngineConfig cfg;
   cfg.seed = seed;
   df::core::Engine engine(*dev, cfg);
+  df::obs::Observability obs;
+  obs.trace.set_record_execs(false);
+  df::obs::StatsReporter reporter(1000);
+  engine.attach_observability(&obs);
   engine.setup();
 
-  std::printf("== crash triage on %s (budget %llu execs) ==\n",
-              device_id.c_str(),
-              static_cast<unsigned long long>(max_execs));
+  if (!quiet) {
+    std::printf("== crash triage on %s (budget %llu execs) ==\n",
+                device_id.c_str(),
+                static_cast<unsigned long long>(max_execs));
+  }
+  reporter.record(device_id, engine.sample());
   uint64_t done = 0;
   while (done < max_execs) {
     engine.run(1000);
     done += 1000;
+    reporter.record(device_id, engine.sample());
     if (engine.crashes().unique_bugs() >= 3) break;
   }
-  std::printf("campaign: %llu execs, %zu unique bugs, coverage %zu\n\n",
-              static_cast<unsigned long long>(engine.executions()),
-              engine.crashes().unique_bugs(), engine.kernel_coverage());
-
-  for (const auto& bug : engine.crashes().bugs()) {
-    std::printf("--- %s [%s/%s], hit %llu times, first at exec %llu\n",
-                bug.title.c_str(), bug.component.c_str(),
-                bug.bug_class.c_str(),
-                static_cast<unsigned long long>(bug.dup_count),
-                static_cast<unsigned long long>(bug.first_exec));
-    std::printf("original reproducer (%zu calls):\n%s", bug.repro.size(),
-                bug.repro_text.c_str());
-    const df::dsl::Program minimized = engine.minimize_crash(bug, 96);
-    std::printf("minimized reproducer (%zu calls):\n%s\n", minimized.size(),
-                df::dsl::format_program(minimized).c_str());
+  if (!quiet) {
+    std::printf("campaign: %llu execs, %zu unique bugs, coverage %zu\n\n",
+                static_cast<unsigned long long>(engine.executions()),
+                engine.crashes().unique_bugs(), engine.kernel_coverage());
   }
-  if (engine.crashes().bugs().empty()) {
+
+  size_t minimized_calls = 0;
+  size_t original_calls = 0;
+  for (const auto& bug : engine.crashes().bugs()) {
+    const df::dsl::Program minimized = engine.minimize_crash(bug, 96);
+    original_calls += bug.repro.size();
+    minimized_calls += minimized.size();
+    if (!quiet) {
+      std::printf("--- %s [%s/%s], hit %llu times, first at exec %llu\n",
+                  bug.title.c_str(), bug.component.c_str(),
+                  bug.bug_class.c_str(),
+                  static_cast<unsigned long long>(bug.dup_count),
+                  static_cast<unsigned long long>(bug.first_exec));
+      std::printf("original reproducer (%zu calls):\n%s", bug.repro.size(),
+                  bug.repro_text.c_str());
+      std::printf("minimized reproducer (%zu calls):\n%s\n", minimized.size(),
+                  df::dsl::format_program(minimized).c_str());
+    }
+  }
+  if (!quiet && engine.crashes().bugs().empty()) {
     std::printf("no bugs found within the budget — try a longer run or "
                 "another seed\n");
   }
+
+  if (!stats_path.empty()) {
+    df::obs::capture_log_metrics(obs.registry);
+    df::obs::JsonWriter w;
+    w.begin_object();
+    w.key("campaign").begin_object();
+    w.field("example", "crash_triage");
+    w.field("device", device_id);
+    w.field("seed", seed);
+    w.field("max_execs", max_execs);
+    w.field("executions", engine.executions());
+    w.field("bugs", static_cast<uint64_t>(engine.crashes().unique_bugs()));
+    w.end_object();
+    w.key("stats");
+    reporter.write_json(w);
+    w.key("metrics");
+    obs.registry.snapshot().write_json(w);
+    w.key("events").begin_array();
+    for (size_t i = 0; i < obs.trace.size(); ++i) {
+      w.raw(df::obs::TraceSink::to_json(obs.trace.at(i)));
+    }
+    w.end_array();
+    w.end_object();
+    std::ofstream out(stats_path, std::ios::trunc);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot write %s\n", stats_path.c_str());
+      return 1;
+    }
+    out << w.str() << '\n';
+    if (!quiet) std::printf("stats written to %s\n", stats_path.c_str());
+  }
+
+  std::printf("crash_triage: device %s, %llu execs, %zu bugs, reproducers "
+              "%zu -> %zu calls, coverage %zu, seed %llu\n",
+              device_id.c_str(),
+              static_cast<unsigned long long>(engine.executions()),
+              engine.crashes().unique_bugs(), original_calls, minimized_calls,
+              engine.kernel_coverage(),
+              static_cast<unsigned long long>(seed));
   return 0;
 }

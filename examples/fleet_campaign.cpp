@@ -5,44 +5,97 @@
 // then save and reload the corpus to show warm-start behaviour.
 //
 //   ./examples/fleet_campaign [execs-per-device] [seed]
+//                             [--stats-json <path>] [--quiet]
+//
+// --stats-json writes the full campaign telemetry (per-device + aggregate
+// time series, metric snapshot, milestone trace events) as one JSON
+// document; --quiet suppresses the dashboard, leaving only the final
+// one-line summary.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "core/fuzz/daemon.h"
 #include "device/catalog.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+#include "obs/stats_reporter.h"
 
 int main(int argc, char** argv) {
-  const uint64_t execs =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 15000;
-  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+  uint64_t execs = 15000;
+  uint64_t seed = 3;
+  std::string stats_path;
+  bool quiet = false;
+  int pos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--stats-json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--stats-json requires a path\n");
+        return 1;
+      }
+      stats_path = argv[++i];
+    } else if (pos == 0) {
+      execs = std::strtoull(argv[i], nullptr, 10);
+      ++pos;
+    } else if (pos == 1) {
+      seed = std::strtoull(argv[i], nullptr, 10);
+      ++pos;
+    } else {
+      std::fprintf(stderr, "usage: %s [execs-per-device] [seed] "
+                   "[--stats-json <path>] [--quiet]\n", argv[0]);
+      return 1;
+    }
+  }
 
   df::core::DaemonConfig cfg;
   cfg.seed = seed;
   df::core::Daemon daemon(cfg);
+  df::obs::Observability obs;
+  obs.trace.set_record_execs(false);
+  df::obs::StatsReporter reporter(2048);
+  daemon.attach_observability(&obs);
+  daemon.attach_reporter(&reporter);
   for (const auto& spec : df::device::device_table()) {
     daemon.add_device(spec.id);
   }
-  std::printf("== fleet campaign: %zu devices x %llu execs ==\n",
-              daemon.device_count(),
-              static_cast<unsigned long long>(execs));
+  if (!quiet) {
+    std::printf("== fleet campaign: %zu devices x %llu execs ==\n",
+                daemon.device_count(),
+                static_cast<unsigned long long>(execs));
+  }
   daemon.run(execs, 512);
 
-  std::printf("\n%-4s %-9s %-8s %-7s %-9s %s\n", "Dev", "coverage", "corpus",
-              "bugs", "relations", "reboots");
+  size_t fleet_coverage = 0;
+  size_t fleet_corpus = 0;
+  if (!quiet) {
+    std::printf("\n%-4s %-9s %-8s %-7s %-9s %s\n", "Dev", "coverage",
+                "corpus", "bugs", "relations", "reboots");
+  }
   for (const auto& spec : df::device::device_table()) {
     df::core::Engine* eng = daemon.engine(spec.id);
-    std::printf("%-4s %-9zu %-8zu %-7zu %-9zu %llu\n", spec.id.c_str(),
-                eng->kernel_coverage(), eng->corpus().size(),
-                eng->crashes().unique_bugs(), eng->relations().edge_count(),
-                static_cast<unsigned long long>(
-                    eng->device().kernel().reboot_count()));
+    fleet_coverage += eng->kernel_coverage();
+    fleet_corpus += eng->corpus().size();
+    if (!quiet) {
+      std::printf("%-4s %-9zu %-8zu %-7zu %-9zu %llu\n", spec.id.c_str(),
+                  eng->kernel_coverage(), eng->corpus().size(),
+                  eng->crashes().unique_bugs(), eng->relations().edge_count(),
+                  static_cast<unsigned long long>(
+                      eng->device().kernel().reboot_count()));
+    }
   }
 
-  std::printf("\nbugs across the fleet:\n");
-  for (const auto& found : daemon.all_bugs()) {
-    std::printf("  [%s] %s (first at exec %llu)\n", found.device_id.c_str(),
-                found.bug.title.c_str(),
-                static_cast<unsigned long long>(found.bug.first_exec));
+  const auto bugs = daemon.all_bugs();
+  if (!quiet) {
+    std::printf("\nbugs across the fleet:\n");
+    for (const auto& found : bugs) {
+      std::printf("  [%s] %s (first at exec %llu)\n", found.device_id.c_str(),
+                  found.bug.title.c_str(),
+                  static_cast<unsigned long long>(found.bug.first_exec));
+    }
   }
 
   // Persist and warm-start: a fresh daemon reloads the distilled corpus.
@@ -52,8 +105,46 @@ int main(int argc, char** argv) {
     warm.add_device(spec.id);
   }
   const size_t loaded = warm.load_corpus(snapshot);
-  std::printf("\ncorpus snapshot: %zu bytes, %zu programs reloaded into a "
-              "fresh daemon\n",
-              snapshot.size(), loaded);
+  if (!quiet) {
+    std::printf("\ncorpus snapshot: %zu bytes, %zu programs reloaded into a "
+                "fresh daemon\n",
+                snapshot.size(), loaded);
+  }
+
+  if (!stats_path.empty()) {
+    df::obs::capture_log_metrics(obs.registry);
+    df::obs::JsonWriter w;
+    w.begin_object();
+    w.key("campaign").begin_object();
+    w.field("example", "fleet_campaign");
+    w.field("seed", seed);
+    w.field("execs_per_device", execs);
+    w.field("devices", static_cast<uint64_t>(daemon.device_count()));
+    w.field("bugs", static_cast<uint64_t>(bugs.size()));
+    w.end_object();
+    w.key("stats");
+    reporter.write_json(w);
+    w.key("metrics");
+    obs.registry.snapshot().write_json(w);
+    w.key("events").begin_array();
+    for (size_t i = 0; i < obs.trace.size(); ++i) {
+      w.raw(df::obs::TraceSink::to_json(obs.trace.at(i)));
+    }
+    w.end_array();
+    w.end_object();
+    std::ofstream out(stats_path, std::ios::trunc);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot write %s\n", stats_path.c_str());
+      return 1;
+    }
+    out << w.str() << '\n';
+    if (!quiet) std::printf("\nstats written to %s\n", stats_path.c_str());
+  }
+
+  std::printf("fleet_campaign: %zu devices, %llu execs/device, coverage %zu, "
+              "corpus %zu, bugs %zu, seed %llu\n",
+              daemon.device_count(), static_cast<unsigned long long>(execs),
+              fleet_coverage, fleet_corpus, bugs.size(),
+              static_cast<unsigned long long>(seed));
   return 0;
 }

@@ -1,0 +1,347 @@
+#!/usr/bin/env python3
+"""Validate DroidFuzz telemetry JSON and compare runs for determinism.
+
+Two document shapes are understood:
+
+  BENCH_*.json           (written by the bench binaries via write_bench_json)
+      {"bench": ..., "seed": ..., "reps": ..., "series": [...],
+       "metrics": {...}, ..., "timing": {...}}
+
+  campaign stats export  (written by examples via --stats-json)
+      {"campaign": {...}, "stats": {...}, "metrics": {...}, "events": [...]}
+
+Usage:
+  check_bench_json.py FILE...            validate each document
+  check_bench_json.py --compare A B      validate, then require A == B after
+                                         stripping wall-clock fields
+  check_bench_json.py --self-test        run the built-in unit checks
+
+Determinism contract (DESIGN.md "Observability"): everything wall-dependent
+lives under keys named "timing", "wall_seconds", "secs", or ending in "_ns"
+or "_per_sec". Stripping those keys must make two identically-seeded runs
+byte-identical.
+"""
+
+import json
+import sys
+
+TIMING_KEYS = {"timing", "wall_seconds", "secs"}
+TIMING_SUFFIXES = ("_ns", "_per_sec")
+
+SERIES_ARRAYS = ("executions", "kernel_coverage", "total_coverage",
+                 "corpus", "bugs")
+STATS_ARRAYS = SERIES_ARRAYS[:2] + ("total_coverage", "corpus", "bugs",
+                                    "relation_edges", "reboots")
+
+
+def is_timing_key(key):
+    return key in TIMING_KEYS or key.endswith(TIMING_SUFFIXES)
+
+
+def strip_timing(doc):
+    """Recursively drop wall-clock fields; returns a new structure."""
+    if isinstance(doc, dict):
+        return {k: strip_timing(v) for k, v in doc.items()
+                if not is_timing_key(k)}
+    if isinstance(doc, list):
+        return [strip_timing(v) for v in doc]
+    return doc
+
+
+class CheckError(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise CheckError(msg)
+
+
+def check_monotone(name, values):
+    require(all(b >= a for a, b in zip(values, values[1:])),
+            f"{name} must be non-decreasing, got {values}")
+
+
+def check_series_entry(i, entry):
+    where = f"series[{i}]"
+    require(isinstance(entry, dict), f"{where} must be an object")
+    for key in ("device", "config"):
+        require(isinstance(entry.get(key), str) and entry[key],
+                f"{where}.{key} must be a non-empty string")
+    lengths = set()
+    for key in SERIES_ARRAYS:
+        arr = entry.get(key)
+        require(isinstance(arr, list) and arr,
+                f"{where}.{key} must be a non-empty array")
+        require(all(isinstance(v, int) and v >= 0 for v in arr),
+                f"{where}.{key} must hold non-negative integers")
+        lengths.add(len(arr))
+    require(len(lengths) == 1,
+            f"{where}: all series arrays must share one length, got {lengths}")
+    for key in ("executions", "kernel_coverage", "total_coverage", "bugs"):
+        check_monotone(f"{where}.{key}", entry[key])
+
+
+def check_metrics(metrics, where="metrics"):
+    require(isinstance(metrics, dict), f"{where} must be an object")
+    for section in ("counters", "gauges", "histograms"):
+        require(isinstance(metrics.get(section), list),
+                f"{where}.{section} must be an array")
+    for i, c in enumerate(metrics["counters"]):
+        require(isinstance(c.get("name"), str) and c["name"],
+                f"{where}.counters[{i}].name must be a non-empty string")
+        require(isinstance(c.get("value"), int) and c["value"] >= 0,
+                f"{where}.counters[{i}].value must be a non-negative int")
+    for i, h in enumerate(metrics["histograms"]):
+        require(isinstance(h.get("name"), str) and h["name"],
+                f"{where}.histograms[{i}].name must be a non-empty string")
+        require(isinstance(h.get("count"), int) and h["count"] >= 0,
+                f"{where}.histograms[{i}].count must be a non-negative int")
+        for key in h:
+            if key in ("name", "label", "count"):
+                continue
+            require(is_timing_key(key),
+                    f"{where}.histograms[{i}].{key}: wall-dependent "
+                    f"histogram fields must be *_ns")
+
+
+def check_stats(stats, where="stats"):
+    require(isinstance(stats, dict), f"{where} must be an object")
+    require(isinstance(stats.get("sample_every"), int)
+            and stats["sample_every"] > 0,
+            f"{where}.sample_every must be a positive int")
+    devices = stats.get("devices")
+    require(isinstance(devices, list) and devices,
+            f"{where}.devices must be a non-empty array")
+    for i, dev in enumerate(devices):
+        dwhere = f"{where}.devices[{i}]"
+        require(isinstance(dev.get("device"), str) and dev["device"],
+                f"{dwhere}.device must be a non-empty string")
+        lengths = set()
+        for key in STATS_ARRAYS:
+            arr = dev.get(key)
+            require(isinstance(arr, list),
+                    f"{dwhere}.{key} must be an array")
+            lengths.add(len(arr))
+        require(len(lengths) == 1,
+                f"{dwhere}: array length mismatch {lengths}")
+        check_monotone(f"{dwhere}.executions", dev["executions"])
+    agg = stats.get("aggregate")
+    require(isinstance(agg, dict), f"{where}.aggregate must be an object")
+    n = min(len(d["executions"]) for d in devices)
+    require(len(agg.get("executions", [])) == n,
+            f"{where}.aggregate.executions must have {n} points "
+            f"(shortest device series)")
+    for i in range(n):
+        want = sum(d["executions"][i] for d in devices)
+        require(agg["executions"][i] == want,
+                f"{where}.aggregate.executions[{i}] = "
+                f"{agg['executions'][i]}, expected sum {want}")
+
+
+def check_events(events, where="events"):
+    require(isinstance(events, list), f"{where} must be an array")
+    for i, ev in enumerate(events):
+        require(isinstance(ev, dict), f"{where}[{i}] must be an object")
+        require(isinstance(ev.get("event"), str) and ev["event"],
+                f"{where}[{i}].event must be a non-empty string")
+        require(isinstance(ev.get("exec"), int) and ev["exec"] >= 0,
+                f"{where}[{i}].exec must be a non-negative int")
+
+
+def check_bench_doc(doc):
+    require(isinstance(doc.get("bench"), str) and doc["bench"],
+            "bench must be a non-empty string")
+    require(isinstance(doc.get("seed"), int), "seed must be an int")
+    require(isinstance(doc.get("reps"), int) and doc["reps"] > 0,
+            "reps must be a positive int")
+    series = doc.get("series")
+    require(isinstance(series, list) and series,
+            "series must be a non-empty array")
+    for i, entry in enumerate(series):
+        check_series_entry(i, entry)
+    if "metrics" in doc:
+        check_metrics(doc["metrics"])
+    timing = doc.get("timing")
+    require(isinstance(timing, dict)
+            and isinstance(timing.get("wall_seconds"), (int, float)),
+            "timing.wall_seconds must be a number")
+
+
+def check_campaign_doc(doc):
+    campaign = doc.get("campaign")
+    require(isinstance(campaign, dict), "campaign must be an object")
+    require(isinstance(campaign.get("example"), str) and campaign["example"],
+            "campaign.example must be a non-empty string")
+    require(isinstance(campaign.get("seed"), int),
+            "campaign.seed must be an int")
+    check_stats(doc.get("stats"))
+    if "metrics" in doc:
+        check_metrics(doc["metrics"])
+    if "events" in doc:
+        check_events(doc["events"])
+
+
+def check_document(doc):
+    if "bench" in doc:
+        check_bench_doc(doc)
+    elif "campaign" in doc:
+        check_campaign_doc(doc)
+    else:
+        raise CheckError("unknown document: expected a 'bench' or "
+                         "'campaign' top-level key")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def validate_file(path):
+    try:
+        doc = load(path)
+        check_document(doc)
+    except (OSError, json.JSONDecodeError, CheckError) as e:
+        print(f"FAIL {path}: {e}")
+        return False
+    print(f"OK   {path}")
+    return True
+
+
+def compare_files(path_a, path_b):
+    if not (validate_file(path_a) and validate_file(path_b)):
+        return False
+    a = strip_timing(load(path_a))
+    b = strip_timing(load(path_b))
+    if a != b:
+        print(f"FAIL {path_a} vs {path_b}: documents differ after "
+              f"stripping timing fields")
+        return False
+    print(f"OK   {path_a} == {path_b} (modulo timing)")
+    return True
+
+
+# --- self-test ---------------------------------------------------------------
+
+def _bench_fixture():
+    return {
+        "bench": "fig4_coverage", "seed": 1, "reps": 1,
+        "series": [{
+            "device": "A1", "config": "droidfuzz", "rep": 0,
+            "executions": [0, 100], "kernel_coverage": [0, 40],
+            "total_coverage": [0, 50], "corpus": [0, 4], "bugs": [0, 1],
+            "timing": {"secs": [0.0, 0.5]},
+        }],
+        "metrics": {
+            "counters": [{"name": "engine.executions", "label": "A1",
+                          "value": 100}],
+            "gauges": [],
+            "histograms": [{"name": "phase.execute", "label": "A1",
+                            "count": 100, "sum_ns": 5, "p50_ns": 1}],
+        },
+        "timing": {"wall_seconds": 0.5},
+    }
+
+
+def _campaign_fixture():
+    return {
+        "campaign": {"example": "fleet_campaign", "seed": 3},
+        "stats": {
+            "sample_every": 512,
+            "devices": [{
+                "device": "A1",
+                "executions": [0, 512], "kernel_coverage": [0, 10],
+                "total_coverage": [0, 12], "corpus": [0, 2], "bugs": [0, 0],
+                "relation_edges": [0, 3], "reboots": [0, 0],
+            }],
+            "aggregate": {"executions": [0, 512], "kernel_coverage": [0, 10],
+                          "total_coverage": [0, 12], "corpus": [0, 2],
+                          "bugs": [0, 0], "reboots": [0, 0]},
+        },
+        "events": [{"event": "bug", "device": "A1", "exec": 40}],
+    }
+
+
+def self_test():
+    cases = []
+
+    def expect_ok(name, doc):
+        cases.append((name, doc, True))
+
+    def expect_fail(name, doc):
+        cases.append((name, doc, False))
+
+    expect_ok("valid bench doc", _bench_fixture())
+    expect_ok("valid campaign doc", _campaign_fixture())
+
+    doc = _bench_fixture()
+    del doc["series"][0]["kernel_coverage"]
+    expect_fail("missing series array", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["executions"] = [100, 0]
+    expect_fail("non-monotone executions", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["corpus"] = [0]
+    expect_fail("array length mismatch", doc)
+
+    doc = _bench_fixture()
+    doc["metrics"]["histograms"][0]["p50"] = 7
+    expect_fail("histogram wall field without _ns suffix", doc)
+
+    doc = _campaign_fixture()
+    doc["stats"]["aggregate"]["executions"] = [0, 999]
+    expect_fail("aggregate not the device sum", doc)
+
+    expect_fail("unknown shape", {"something": 1})
+
+    failures = 0
+    for name, doc, want_ok in cases:
+        try:
+            check_document(doc)
+            got_ok = True
+        except CheckError:
+            got_ok = False
+        status = "ok" if got_ok == want_ok else "FAIL"
+        if got_ok != want_ok:
+            failures += 1
+        print(f"  [{status}] {name}")
+
+    a, b = _bench_fixture(), _bench_fixture()
+    b["timing"]["wall_seconds"] = 99.0
+    b["series"][0]["timing"]["secs"] = [0.0, 123.0]
+    b["metrics"]["histograms"][0]["sum_ns"] = 12345
+    if strip_timing(a) != strip_timing(b):
+        failures += 1
+        print("  [FAIL] strip_timing must erase wall-clock differences")
+    else:
+        print("  [ok] strip_timing erases wall-clock differences")
+    b["series"][0]["kernel_coverage"] = [0, 41]
+    if strip_timing(a) == strip_timing(b):
+        failures += 1
+        print("  [FAIL] strip_timing must preserve content differences")
+    else:
+        print("  [ok] strip_timing preserves content differences")
+
+    print(f"self-test: {'PASS' if failures == 0 else 'FAIL'}")
+    return failures == 0
+
+
+def main(argv):
+    if len(argv) >= 1 and argv[0] == "--self-test":
+        return 0 if self_test() else 1
+    if len(argv) >= 1 and argv[0] == "--compare":
+        if len(argv) != 3:
+            print("usage: check_bench_json.py --compare A B")
+            return 2
+        return 0 if compare_files(argv[1], argv[2]) else 1
+    if not argv:
+        print(__doc__)
+        return 2
+    ok = all([validate_file(p) for p in argv])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

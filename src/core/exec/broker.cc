@@ -19,6 +19,20 @@ Broker::Broker(device::Device& dev, const trace::SpecTable& spec)
 
 Broker::~Broker() { dev_.kernel().exit_task(native_task_); }
 
+void Broker::attach_observability(obs::Observability* o,
+                                  std::string_view label) {
+  obs_ = o;
+  if (o == nullptr) {
+    h_execute_ = nullptr;
+    c_programs_ = c_calls_ = c_reboots_ = nullptr;
+    return;
+  }
+  h_execute_ = &o->registry.histogram("phase.execute", label);
+  c_programs_ = &o->registry.counter("broker.programs", label);
+  c_calls_ = &o->registry.counter("broker.calls", label);
+  c_reboots_ = &o->registry.counter("broker.reboots", label);
+}
+
 uint64_t Broker::resolve(const std::vector<uint64_t>& results,
                          const dsl::Value& v) {
   if (v.ref == dsl::Value::kNoRef) return 0;
@@ -142,6 +156,7 @@ int64_t Broker::run_hal(const dsl::Call& call,
 }
 
 ExecResult Broker::execute(const dsl::Program& prog, const ExecOptions& opt) {
+  const obs::ScopedTimer timer(h_execute_);
   ExecResult out;
   ++executions_;
   auto& k = dev_.kernel();
@@ -213,6 +228,11 @@ ExecResult Broker::execute(const dsl::Program& prog, const ExecOptions& opt) {
     } else {
       dev_.restart_dead_services();
     }
+  }
+  if (obs_ != nullptr) {
+    c_programs_->inc();
+    c_calls_->inc(out.calls_executed);
+    if (out.rebooted) c_reboots_->inc();
   }
   return out;
 }

@@ -11,6 +11,7 @@
 #include "device/device.h"
 #include "dsl/prog.h"
 #include "kernel/dmesg.h"
+#include "obs/obs.h"
 #include "trace/syscall_trace.h"
 
 namespace df::core {
@@ -47,6 +48,11 @@ class Broker {
 
   ExecResult execute(const dsl::Program& prog, const ExecOptions& opt = {});
 
+  // Attach/detach campaign telemetry (null = off). Caches metric pointers
+  // (phase.execute latency, broker.programs/calls/reboots counters labeled
+  // with `label`) so execute() pays only null-checks when detached.
+  void attach_observability(obs::Observability* o, std::string_view label);
+
   device::Device& device() { return dev_; }
   uint64_t executions() const { return executions_; }
 
@@ -75,6 +81,12 @@ class Broker {
   std::map<const hal::HalService*, size_t> crash_marks_;
   std::map<std::string, CallStat> call_stats_;
   uint64_t executions_ = 0;
+
+  obs::Observability* obs_ = nullptr;
+  obs::Histogram* h_execute_ = nullptr;
+  obs::Counter* c_programs_ = nullptr;
+  obs::Counter* c_calls_ = nullptr;
+  obs::Counter* c_reboots_ = nullptr;
 };
 
 }  // namespace df::core

@@ -17,19 +17,44 @@ bool Daemon::add_device(std::string_view id) {
   EngineConfig ec = cfg_.engine;
   ec.seed = rng_.next();
   slot.eng = std::make_unique<Engine>(*slot.dev, ec);
+  if (obs_ != nullptr) slot.eng->attach_observability(obs_);
   engines_.push_back(std::move(slot));
   return true;
+}
+
+void Daemon::attach_observability(obs::Observability* o) {
+  obs_ = o;
+  for (auto& s : engines_) s.eng->attach_observability(o);
+}
+
+void Daemon::attach_reporter(obs::StatsReporter* reporter) {
+  reporter_ = reporter;
+}
+
+void Daemon::sample_stats() {
+  if (reporter_ == nullptr) return;
+  for (auto& s : engines_) reporter_->record(s.id, s.eng->sample());
 }
 
 void Daemon::run(uint64_t executions_per_device, uint64_t slice) {
   if (slice == 0) slice = 1;
   for (auto& s : engines_) s.eng->setup();
+  // Baseline stats point for a fresh campaign (skipped when resuming so a
+  // second run() does not duplicate the previous final point).
+  if (reporter_ != nullptr && reporter_->empty()) sample_stats();
   uint64_t done = 0;
+  uint64_t since_sample = 0;
   while (done < executions_per_device) {
     const uint64_t step = std::min(slice, executions_per_device - done);
     for (auto& s : engines_) s.eng->run(step);
     done += step;
+    since_sample += step;
+    if (reporter_ != nullptr && since_sample >= reporter_->interval()) {
+      sample_stats();
+      since_sample = 0;
+    }
   }
+  if (reporter_ != nullptr && since_sample > 0) sample_stats();
 }
 
 Engine* Daemon::engine(std::string_view device_id) {

@@ -11,6 +11,8 @@
 
 #include "core/fuzz/engine.h"
 #include "device/catalog.h"
+#include "obs/obs.h"
+#include "obs/stats_reporter.h"
 
 namespace df::core {
 
@@ -33,9 +35,18 @@ class Daemon {
 
   // Runs every engine for `executions_per_device`, interleaving in
   // `slice`-sized rounds (the daemon's synchronization granularity).
+  // With a reporter attached, every engine is sampled on the reporter's
+  // execution interval (plus a baseline point and a final point).
   void run(uint64_t executions_per_device, uint64_t slice = 256);
 
   // --- aggregated observability ----------------------------------------------
+  // Attach campaign telemetry to every engine, present and future (null
+  // detaches).
+  void attach_observability(obs::Observability* o);
+  // Attach the campaign stats reporter run() samples into (null detaches).
+  void attach_reporter(obs::StatsReporter* reporter);
+  // Records one stats point per device right now.
+  void sample_stats();
   size_t device_count() const { return engines_.size(); }
   Engine* engine(std::string_view device_id);
   std::vector<CampaignBug> all_bugs() const;
@@ -57,6 +68,8 @@ class Daemon {
   DaemonConfig cfg_;
   util::Rng rng_;
   std::vector<Slot> engines_;
+  obs::Observability* obs_ = nullptr;
+  obs::StatsReporter* reporter_ = nullptr;
 };
 
 }  // namespace df::core

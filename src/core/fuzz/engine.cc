@@ -29,7 +29,7 @@ void Engine::setup() {
   // HAL surface: pre-testing probing (§IV-B) discovers interfaces, argument
   // types, and normalized-occurrence weights.
   if (cfg_.probe_hal) {
-    HalProber prober(dev_, rng_.next());
+    HalProber prober(dev_, rng_.next(), obs_);
     probed_ = prober.probe();
     std::unordered_set<std::string> done;
     for (const auto& pm : probed_->methods) {
@@ -52,15 +52,138 @@ void Engine::setup() {
   for (const dsl::CallDesc* d : table_.all()) rel_.add_vertex(d, d->weight);
 
   broker_ = std::make_unique<Broker>(dev_, spec_);
+  if (obs_ != nullptr) broker_->attach_observability(obs_, dev_.spec().id);
   gen_ = std::make_unique<Generator>(table_, rel_, corpus_, rng_,
                                      cfg_.gen);
   DF_LOG(kInfo) << "engine[" << dev_.spec().id << "]: " << table_.size()
                 << " calls, " << spec_.size() << " specialized ids";
 }
 
+void Engine::attach_observability(obs::Observability* o) {
+  obs_ = o;
+  if (o == nullptr) {
+    h_generate_ = h_analyze_ = h_minimize_ = nullptr;
+    c_execs_ = c_new_features_ = c_corpus_adds_ = c_bugs_ = nullptr;
+    c_decays_ = c_min_oracle_ = c_relations_ = nullptr;
+    if (broker_ != nullptr) broker_->attach_observability(nullptr, {});
+    dev_.set_reboot_hook(nullptr);
+    return;
+  }
+  const std::string& id = dev_.spec().id;
+  auto& reg = o->registry;
+  h_generate_ = &reg.histogram("phase.generate", id);
+  h_analyze_ = &reg.histogram("phase.analyze", id);
+  h_minimize_ = &reg.histogram("phase.minimize", id);
+  c_execs_ = &reg.counter("engine.executions", id);
+  c_new_features_ = &reg.counter("engine.new_features", id);
+  c_corpus_adds_ = &reg.counter("engine.corpus_adds", id);
+  c_bugs_ = &reg.counter("engine.bugs", id);
+  c_decays_ = &reg.counter("engine.decays", id);
+  c_min_oracle_ = &reg.counter("minimize.oracle_execs", id);
+  c_relations_ = &reg.counter("relation.observations", id);
+  if (broker_ != nullptr) broker_->attach_observability(o, id);
+  dev_.set_reboot_hook([this](uint64_t reboot_count) {
+    if (obs_ == nullptr) return;
+    obs_->registry.counter("device.reboots", dev_.spec().id).inc();
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kReboot;
+    ev.device = dev_.spec().id;
+    ev.exec_index = exec_count_;
+    ev.with("total_reboots", reboot_count);
+    obs_->trace.emit(std::move(ev));
+  });
+}
+
+obs::EngineSample Engine::sample() const {
+  obs::EngineSample s;
+  s.executions = exec_count_;
+  s.kernel_coverage = features_.kernel_size();
+  s.total_coverage = features_.size();
+  s.corpus_size = corpus_.size();
+  s.unique_bugs = crash_log_.unique_bugs();
+  s.relation_edges = rel_.edge_count();
+  s.reboots = dev_.kernel().reboot_count();
+  return s;
+}
+
 void Engine::learn_from(const dsl::Program& prog) {
+  size_t observed = 0;
   for (size_t i = 0; i + 1 < prog.calls.size(); ++i) {
     rel_.observe_relation(prog.calls[i].desc, prog.calls[i + 1].desc);
+    ++observed;
+  }
+  if (obs_ != nullptr && observed > 0) {
+    c_relations_->inc(observed);
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kRelationLearn;
+    ev.device = dev_.spec().id;
+    ev.exec_index = exec_count_;
+    ev.with("pairs", static_cast<uint64_t>(observed))
+        .with("edges", static_cast<uint64_t>(rel_.edge_count()));
+    obs_->trace.emit(std::move(ev));
+  }
+}
+
+void Engine::record_bug(const BugRecord& bug) {
+  c_bugs_->inc();
+  obs::TraceEvent ev;
+  ev.kind = obs::EventKind::kBug;
+  ev.device = dev_.spec().id;
+  ev.exec_index = exec_count_;
+  ev.with("title", bug.title)
+      .with("component", bug.component)
+      .with("origin", bug.origin)
+      .with("class", bug.bug_class)
+      .with("repro_calls", static_cast<uint64_t>(bug.repro.size()));
+  obs_->trace.emit(std::move(ev));
+}
+
+void Engine::record_step(const ExecResult& res, const StepStats& stats,
+                         bool decayed) {
+  c_execs_->inc();
+  if (stats.new_features > 0) c_new_features_->inc(stats.new_features);
+  if (stats.added_to_corpus) c_corpus_adds_->inc();
+  if (decayed) c_decays_->inc();
+
+  auto& tr = obs_->trace;
+  const std::string& id = dev_.spec().id;
+  if (tr.record_execs()) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kExec;
+    ev.device = id;
+    ev.exec_index = exec_count_;
+    ev.with("calls", static_cast<uint64_t>(res.calls_executed))
+        .with("new_features", static_cast<uint64_t>(stats.new_features))
+        .with("kernel_bug", static_cast<uint64_t>(stats.kernel_bug ? 1 : 0))
+        .with("hal_crash", static_cast<uint64_t>(stats.hal_crash ? 1 : 0))
+        .with("rebooted", static_cast<uint64_t>(res.rebooted ? 1 : 0));
+    tr.emit(std::move(ev));
+  }
+  if (stats.new_features > 0) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kNewCoverage;
+    ev.device = id;
+    ev.exec_index = exec_count_;
+    ev.with("new_features", static_cast<uint64_t>(stats.new_features))
+        .with("kernel_total", static_cast<uint64_t>(features_.kernel_size()))
+        .with("total", static_cast<uint64_t>(features_.size()));
+    tr.emit(std::move(ev));
+  }
+  if (stats.added_to_corpus) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kCorpusAdd;
+    ev.device = id;
+    ev.exec_index = exec_count_;
+    ev.with("corpus_size", static_cast<uint64_t>(corpus_.size()));
+    tr.emit(std::move(ev));
+  }
+  if (decayed) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kDecay;
+    ev.device = id;
+    ev.exec_index = exec_count_;
+    ev.with("edges", static_cast<uint64_t>(rel_.edge_count()));
+    tr.emit(std::move(ev));
   }
 }
 
@@ -68,11 +191,17 @@ void Engine::analyze(const dsl::Program& prog, const ExecResult& res,
                      StepStats& stats) {
   // Crashes first: every report is triaged against this program.
   for (const auto& rep : res.kernel_reports) {
-    if (crash_log_.record_kernel(rep, prog, exec_count_)) ++stats.new_bugs;
+    if (crash_log_.record_kernel(rep, prog, exec_count_)) {
+      ++stats.new_bugs;
+      if (obs_ != nullptr) record_bug(crash_log_.bugs().back());
+    }
     stats.kernel_bug = true;
   }
   for (const auto& crash : res.hal_crashes) {
-    if (crash_log_.record_hal(crash, prog, exec_count_)) ++stats.new_bugs;
+    if (crash_log_.record_hal(crash, prog, exec_count_)) {
+      ++stats.new_bugs;
+      if (obs_ != nullptr) record_bug(crash_log_.bugs().back());
+    }
     stats.hal_crash = true;
   }
 
@@ -92,7 +221,10 @@ void Engine::analyze(const dsl::Program& prog, const ExecResult& res,
       }
       return false;
     };
-    seed_prog = minimize(prog, oracle, cfg_.minimize_budget);
+    MinimizeStats mstats;
+    seed_prog =
+        minimize(prog, oracle, cfg_.minimize_budget, &mstats, h_minimize_);
+    if (obs_ != nullptr) c_min_oracle_->inc(mstats.oracle_calls);
   }
   if (cfg_.learn_relations) learn_from(seed_prog);
 
@@ -106,15 +238,25 @@ void Engine::analyze(const dsl::Program& prog, const ExecResult& res,
 StepStats Engine::step() {
   if (!ready()) setup();
   StepStats stats;
-  const dsl::Program prog = gen_->next();
+  dsl::Program prog;
+  {
+    const obs::ScopedTimer t(h_generate_);
+    prog = gen_->next();
+  }
   if (prog.empty()) return stats;
   ++exec_count_;
   const ExecResult res = broker_->execute(prog, exec_options());
-  analyze(prog, res, stats);
+  {
+    const obs::ScopedTimer t(h_analyze_);
+    analyze(prog, res, stats);
+  }
 
+  bool decayed = false;
   if (cfg_.decay_every != 0 && exec_count_ % cfg_.decay_every == 0) {
     rel_.decay(cfg_.decay_factor);
+    decayed = true;
   }
+  if (obs_ != nullptr) record_step(res, stats, decayed);
   return stats;
 }
 
@@ -136,7 +278,7 @@ dsl::Program Engine::minimize_crash(const BugRecord& bug, size_t budget) {
     }
     return false;
   };
-  return minimize(bug.repro, oracle, budget);
+  return minimize(bug.repro, oracle, budget, nullptr, h_minimize_);
 }
 
 }  // namespace df::core

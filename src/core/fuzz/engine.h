@@ -21,6 +21,8 @@
 #include "core/relation/graph.h"
 #include "device/device.h"
 #include "dsl/descr.h"
+#include "obs/obs.h"
+#include "obs/stats_reporter.h"
 
 namespace df::core {
 
@@ -59,6 +61,15 @@ class Engine {
   void run(uint64_t executions);
 
   // --- observability ---------------------------------------------------------
+  // Attach campaign telemetry (null = off, the default). Threads the bundle
+  // into the broker and probe, installs the device reboot hook, and caches
+  // metric pointers (phase histograms + engine counters labeled by device
+  // id) so step() pays only null-checks when detached.
+  void attach_observability(obs::Observability* o);
+  obs::Observability* observability() const { return obs_; }
+  // One stats-reporter observation of this engine's current state.
+  obs::EngineSample sample() const;
+
   uint64_t executions() const { return exec_count_; }
   // The paper's coverage proxy: cumulative *kernel* features.
   size_t kernel_coverage() const { return features_.kernel_size(); }
@@ -82,6 +93,10 @@ class Engine {
                StepStats& stats);
   void learn_from(const dsl::Program& prog);
   ExecOptions exec_options() const;
+  // Cold-path telemetry emitters; only called when obs_ != nullptr.
+  void record_step(const ExecResult& res, const StepStats& stats,
+                   bool decayed);
+  void record_bug(const BugRecord& bug);
 
   device::Device& dev_;
   EngineConfig cfg_;
@@ -96,6 +111,18 @@ class Engine {
   std::unique_ptr<Broker> broker_;
   std::unique_ptr<Generator> gen_;
   uint64_t exec_count_ = 0;
+
+  obs::Observability* obs_ = nullptr;
+  obs::Histogram* h_generate_ = nullptr;
+  obs::Histogram* h_analyze_ = nullptr;
+  obs::Histogram* h_minimize_ = nullptr;
+  obs::Counter* c_execs_ = nullptr;
+  obs::Counter* c_new_features_ = nullptr;
+  obs::Counter* c_corpus_adds_ = nullptr;
+  obs::Counter* c_bugs_ = nullptr;
+  obs::Counter* c_decays_ = nullptr;
+  obs::Counter* c_min_oracle_ = nullptr;
+  obs::Counter* c_relations_ = nullptr;
 };
 
 }  // namespace df::core

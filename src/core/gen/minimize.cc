@@ -3,7 +3,9 @@
 namespace df::core {
 
 dsl::Program minimize(const dsl::Program& prog, const StillInteresting& oracle,
-                      size_t budget, MinimizeStats* stats) {
+                      size_t budget, MinimizeStats* stats,
+                      obs::Histogram* latency) {
+  obs::ScopedTimer timer(latency);
   MinimizeStats local;
   MinimizeStats& st = stats != nullptr ? *stats : local;
   dsl::Program best = prog;

@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "dsl/prog.h"
+#include "obs/metrics.h"
 
 namespace df::core {
 
@@ -25,9 +26,11 @@ struct MinimizeStats {
 
 // Greedy reduction: (1) drop calls back-to-front, (2) simplify arguments
 // (zero scalars, empty blobs) — each step kept only if the oracle still
-// fires. `budget` caps oracle invocations.
+// fires. `budget` caps oracle invocations. When `latency` is non-null the
+// whole pass records its duration into that histogram (phase profiling).
 dsl::Program minimize(const dsl::Program& prog,
                       const StillInteresting& oracle, size_t budget,
-                      MinimizeStats* stats = nullptr);
+                      MinimizeStats* stats = nullptr,
+                      obs::Histogram* latency = nullptr);
 
 }  // namespace df::core

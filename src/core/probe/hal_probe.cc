@@ -99,10 +99,16 @@ std::vector<std::pair<uint32_t, double>> ProbeResult::method_weights_for(
   return out;
 }
 
-HalProber::HalProber(device::Device& dev, uint64_t seed)
-    : dev_(dev), rng_(seed) {}
+HalProber::HalProber(device::Device& dev, uint64_t seed,
+                     obs::Observability* o)
+    : dev_(dev), rng_(seed), obs_(o) {
+  if (obs_ != nullptr) {
+    h_probe_ = &obs_->registry.histogram("phase.probe", dev_.spec().id);
+  }
+}
 
 ProbeResult HalProber::probe(size_t workload_rounds) {
+  const obs::ScopedTimer timer(h_probe_);
   ProbeResult out;
   // Step 1: enumerate running HAL services (the probe utility's lshal pass).
   out.services = dev_.service_manager().list_services();
@@ -117,7 +123,31 @@ ProbeResult HalProber::probe(size_t workload_rounds) {
   DF_LOG(kInfo) << "probe: " << out.services.size() << " services, "
                 << out.methods.size() << " interfaces, "
                 << out.binder_transactions_observed << " binder txs";
+  if (obs_ != nullptr) record_probe(out);
   return out;
+}
+
+void HalProber::record_probe(const ProbeResult& out) {
+  const std::string& id = dev_.spec().id;
+  size_t responsive = 0;
+  for (const auto& pm : out.methods) {
+    if (pm.responsive) ++responsive;
+  }
+  auto& reg = obs_->registry;
+  reg.counter("probe.services", id).inc(out.services.size());
+  reg.counter("probe.methods", id).inc(out.methods.size());
+  reg.counter("probe.responsive_methods", id).inc(responsive);
+  reg.counter("probe.binder_txns", id).inc(out.binder_transactions_observed);
+
+  obs::TraceEvent ev;
+  ev.kind = obs::EventKind::kProbe;
+  ev.device = id;
+  ev.with("services", static_cast<uint64_t>(out.services.size()))
+      .with("methods", static_cast<uint64_t>(out.methods.size()))
+      .with("responsive", static_cast<uint64_t>(responsive))
+      .with("binder_txns", out.binder_transactions_observed)
+      .with("workload_invocations", out.workload_invocations);
+  obs_->trace.emit(std::move(ev));
 }
 
 void HalProber::poke_service(const std::string& name, ProbeResult& out) {

@@ -20,6 +20,7 @@
 
 #include "device/device.h"
 #include "hal/binder.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace df::core {
@@ -45,7 +46,11 @@ struct ProbeResult {
 
 class HalProber {
  public:
-  HalProber(device::Device& dev, uint64_t seed);
+  // `o` (optional) receives probe telemetry: a phase.probe latency
+  // histogram, probe.* counters, and one kProbe trace event per pass, all
+  // labeled/attributed with the device id.
+  HalProber(device::Device& dev, uint64_t seed,
+            obs::Observability* o = nullptr);
 
   // Runs the full probing pass: enumerate -> poke every interface ->
   // replay `workload_rounds` framework-level invocations for weighting.
@@ -54,9 +59,12 @@ class HalProber {
  private:
   void poke_service(const std::string& name, ProbeResult& out);
   void run_app_workload(ProbeResult& out, size_t rounds);
+  void record_probe(const ProbeResult& out);
 
   device::Device& dev_;
   util::Rng rng_;
+  obs::Observability* obs_ = nullptr;
+  obs::Histogram* h_probe_ = nullptr;
 };
 
 }  // namespace df::core

@@ -29,6 +29,7 @@ void Device::boot() {
 void Device::reboot() {
   kernel_->reboot();
   for (auto& svc : services_) svc->restart();
+  if (reboot_hook_) reboot_hook_(kernel_->reboot_count());
 }
 
 void Device::restart_dead_services() {

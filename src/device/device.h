@@ -4,6 +4,7 @@
 // harness connects to (the stand-in for a physical board behind ADB).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +48,10 @@ class Device {
   // Reboots the kernel and restarts every HAL process (the paper's harness
   // reboots the device upon any bug).
   void reboot();
+  // Telemetry hook invoked after every reboot with the cumulative reboot
+  // count (the fuzzing engine uses it to trace reboot events). Null clears.
+  using RebootHook = std::function<void(uint64_t reboot_count)>;
+  void set_reboot_hook(RebootHook hook) { reboot_hook_ = std::move(hook); }
   // Restart only dead HAL processes (hwservicemanager behaviour after a
   // native crash that did not take the kernel down).
   void restart_dead_services();
@@ -62,6 +67,7 @@ class Device {
   std::unique_ptr<kernel::Kernel> kernel_;
   hal::ServiceManager sm_;
   std::vector<std::shared_ptr<hal::HalService>> services_;
+  RebootHook reboot_hook_;
 };
 
 }  // namespace df::device

@@ -1,0 +1,117 @@
+#include "obs/json.h"
+
+#include <cstdio>
+
+namespace df::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_item() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_in_container_.empty()) {
+    if (!first_in_container_.back()) out_ += ',';
+    first_in_container_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_item();
+  out_ += '{';
+  first_in_container_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  if (!first_in_container_.empty()) first_in_container_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_item();
+  out_ += '[';
+  first_in_container_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  if (!first_in_container_.empty()) first_in_container_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  before_item();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_item();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(uint64_t v) {
+  before_item();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int64_t v) {
+  before_item();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_item();
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  before_item();
+  out_ += json;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_item();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+}  // namespace df::obs

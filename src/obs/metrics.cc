@@ -1,0 +1,145 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/json.h"
+
+namespace df::obs {
+
+namespace {
+
+size_t bucket_index(uint64_t v) {
+  return v == 0 ? 0 : static_cast<size_t>(std::bit_width(v));
+}
+
+// Geometric midpoint of bucket `i` (its representative value).
+uint64_t bucket_mid(size_t i) {
+  if (i == 0) return 0;
+  const uint64_t lo = uint64_t{1} << (i - 1);
+  const uint64_t hi = i >= 64 ? UINT64_MAX : (uint64_t{1} << i) - 1;
+  return lo + (hi - lo) / 2;
+}
+
+}  // namespace
+
+void Histogram::record(uint64_t v) {
+  ++buckets_[bucket_index(v)];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void Histogram::reset() { *this = Histogram(); }
+
+uint64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(q * static_cast<double>(count_) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::clamp<uint64_t>(bucket_mid(i), min(), max());
+    }
+  }
+  return max_;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view label) {
+  return counters_[Key(std::string(name), std::string(label))];
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view label) {
+  return gauges_[Key(std::string(name), std::string(label))];
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view label) {
+  return histograms_[Key(std::string(name), std::string(label))];
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot s;
+  for (const auto& [key, c] : counters_) {
+    s.counters.push_back({key.first, key.second, c.value()});
+  }
+  for (const auto& [key, g] : gauges_) {
+    s.gauges.push_back({key.first, key.second, g.value()});
+  }
+  for (const auto& [key, h] : histograms_) {
+    Snapshot::HistogramValue v;
+    v.name = key.first;
+    v.label = key.second;
+    v.count = h.count();
+    v.sum_ns = h.sum();
+    v.min_ns = h.min();
+    v.max_ns = h.max();
+    v.p50_ns = h.quantile(0.50);
+    v.p90_ns = h.quantile(0.90);
+    v.p99_ns = h.quantile(0.99);
+    s.histograms.push_back(std::move(v));
+  }
+  return s;
+}
+
+void Registry::reset() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+const Snapshot::CounterValue* Snapshot::find_counter(
+    std::string_view name, std::string_view label) const {
+  for (const auto& c : counters) {
+    if (c.name == name && c.label == label) return &c;
+  }
+  return nullptr;
+}
+
+void Snapshot::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_array();
+  for (const auto& c : counters) {
+    w.begin_object()
+        .field("name", c.name)
+        .field("label", c.label)
+        .field("value", c.value)
+        .end_object();
+  }
+  w.end_array();
+  w.key("gauges").begin_array();
+  for (const auto& g : gauges) {
+    w.begin_object()
+        .field("name", g.name)
+        .field("label", g.label)
+        .field("value", g.value)
+        .end_object();
+  }
+  w.end_array();
+  w.key("histograms").begin_array();
+  for (const auto& h : histograms) {
+    w.begin_object()
+        .field("name", h.name)
+        .field("label", h.label)
+        .field("count", h.count)
+        .field("sum_ns", h.sum_ns)
+        .field("min_ns", h.min_ns)
+        .field("max_ns", h.max_ns)
+        .field("p50_ns", h.p50_ns)
+        .field("p90_ns", h.p90_ns)
+        .field("p99_ns", h.p99_ns)
+        .end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string Snapshot::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.take();
+}
+
+}  // namespace df::obs

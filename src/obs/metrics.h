@@ -1,0 +1,152 @@
+// Metrics registry for campaign telemetry (syzkaller-style stats loop):
+// named + labeled Counters, Gauges, and log-scale Histograms, snapshot-able
+// into an immutable value object that serializes to JSON.
+//
+// Cost model: instrumented code caches `Counter*`/`Histogram*` pointers at
+// attach time (one map lookup), so a hot-path update is a single add with no
+// hashing, no locking, no formatting. When no Observability bundle is
+// attached, every hook degrades to a null-pointer check (see obs.h).
+//
+// Determinism contract: counter/gauge values and histogram *counts* are pure
+// functions of the executed work; histogram time fields (sum/min/max/
+// quantiles, always nanoseconds, always `*_ns` in JSON) are wall-dependent
+// and excluded from determinism comparisons.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace df::obs {
+
+class JsonWriter;
+
+class Counter {
+ public:
+  void inc(uint64_t n = 1) { v_ += n; }
+  void reset() { v_ = 0; }
+  uint64_t value() const { return v_; }
+
+ private:
+  uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  void add(double d) { v_ += d; }
+  double value() const { return v_; }
+
+ private:
+  double v_ = 0;
+};
+
+// Power-of-two bucketed histogram for latencies (unit: nanoseconds by
+// convention). Bucket 0 holds the value 0; bucket i >= 1 holds values in
+// [2^(i-1), 2^i). Quantiles are approximated by the geometric midpoint of
+// the bucket containing the target rank.
+class Histogram {
+ public:
+  static constexpr size_t kBucketCount = 65;
+
+  void record(uint64_t v);
+  void reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  // q in [0, 1]; returns 0 on an empty histogram.
+  uint64_t quantile(double q) const;
+  const std::array<uint64_t, kBucketCount>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::array<uint64_t, kBucketCount> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+// RAII phase timer: records elapsed steady-clock nanoseconds into `h` on
+// destruction. A null histogram makes both ends no-ops — no clock read.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) : h_(h) {
+    if (h_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (h_ != nullptr) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_);
+      h_->record(static_cast<uint64_t>(ns.count()));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Immutable copy of a registry's state at one instant. Mutating the registry
+// afterwards does not affect an existing snapshot.
+struct Snapshot {
+  struct CounterValue {
+    std::string name, label;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name, label;
+    double value = 0;
+  };
+  struct HistogramValue {
+    std::string name, label;
+    uint64_t count = 0;
+    uint64_t sum_ns = 0, min_ns = 0, max_ns = 0;
+    uint64_t p50_ns = 0, p90_ns = 0, p99_ns = 0;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  const CounterValue* find_counter(std::string_view name,
+                                   std::string_view label = "") const;
+
+  void write_json(JsonWriter& w) const;
+  std::string to_json() const;
+};
+
+// Metric store keyed by (name, label). Lookups create on first use and
+// return references that stay valid for the registry's lifetime (node-based
+// map), so callers cache them once and update lock- and lookup-free.
+class Registry {
+ public:
+  Counter& counter(std::string_view name, std::string_view label = "");
+  Gauge& gauge(std::string_view name, std::string_view label = "");
+  Histogram& histogram(std::string_view name, std::string_view label = "");
+
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  using Key = std::pair<std::string, std::string>;
+  std::map<Key, Counter> counters_;
+  std::map<Key, Gauge> gauges_;
+  std::map<Key, Histogram> histograms_;
+};
+
+}  // namespace df::obs

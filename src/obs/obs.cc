@@ -1,0 +1,16 @@
+#include "obs/obs.h"
+
+#include "util/log.h"
+
+namespace df::obs {
+
+void capture_log_metrics(Registry& r) {
+  const util::LogCounters& c = util::log_counters();
+  static constexpr const char* kLevels[] = {"debug", "info", "warn", "error"};
+  for (size_t i = 0; i < 4; ++i) {
+    r.gauge("log.emitted", kLevels[i])
+        .set(static_cast<double>(c.emitted[i]));
+  }
+}
+
+}  // namespace df::obs

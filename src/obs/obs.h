@@ -1,0 +1,25 @@
+// The Observability bundle every instrumented layer attaches to: one
+// metrics registry plus one structured event trace. Components receive an
+// `Observability*` (null = observability off); they cache metric pointers
+// at attach time so the instrumented hot paths are single null-checks when
+// detached and single adds when attached.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace df::obs {
+
+struct Observability {
+  Registry registry;
+  TraceSink trace;
+
+  Observability() = default;
+  explicit Observability(size_t trace_capacity) : trace(trace_capacity) {}
+};
+
+// Mirrors the util::log emission counters into `r` as gauges named
+// "log.emitted" labeled by level, making log volume a first-class metric.
+void capture_log_metrics(Registry& r);
+
+}  // namespace df::obs

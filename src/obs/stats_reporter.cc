@@ -1,0 +1,140 @@
+#include "obs/stats_reporter.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace df::obs {
+
+StatsReporter::StatsReporter(uint64_t sample_every_execs)
+    : interval_(sample_every_execs == 0 ? 1 : sample_every_execs),
+      start_(std::chrono::steady_clock::now()) {}
+
+void StatsReporter::record(const std::string& device, const EngineSample& s) {
+  auto it = series_.find(device);
+  if (it == series_.end()) {
+    order_.push_back(device);
+    it = series_.emplace(device, std::vector<Point>()).first;
+  }
+  Point p;
+  p.sample = s;
+  p.secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+               .count();
+  it->second.push_back(p);
+}
+
+const std::vector<StatsReporter::Point>& StatsReporter::series(
+    std::string_view device) const {
+  static const std::vector<Point> kEmpty;
+  const auto it = series_.find(device);
+  return it == series_.end() ? kEmpty : it->second;
+}
+
+namespace {
+
+template <typename Get>
+void write_array(JsonWriter& w, std::string_view key,
+                 const std::vector<StatsReporter::Point>& pts, Get get) {
+  w.key(key).begin_array();
+  for (const auto& p : pts) w.value(get(p));
+  w.end_array();
+}
+
+}  // namespace
+
+void StatsReporter::write_json(JsonWriter& w, bool include_timing) const {
+  w.begin_object();
+  w.field("sample_every", interval_);
+
+  w.key("devices").begin_array();
+  for (const auto& dev : order_) {
+    const auto& pts = series_.at(dev);
+    w.begin_object();
+    w.field("device", dev);
+    write_array(w, "executions", pts,
+                [](const Point& p) { return p.sample.executions; });
+    write_array(w, "kernel_coverage", pts,
+                [](const Point& p) { return p.sample.kernel_coverage; });
+    write_array(w, "total_coverage", pts,
+                [](const Point& p) { return p.sample.total_coverage; });
+    write_array(w, "corpus", pts,
+                [](const Point& p) { return p.sample.corpus_size; });
+    write_array(w, "bugs", pts,
+                [](const Point& p) { return p.sample.unique_bugs; });
+    write_array(w, "relation_edges", pts,
+                [](const Point& p) { return p.sample.relation_edges; });
+    write_array(w, "reboots", pts,
+                [](const Point& p) { return p.sample.reboots; });
+    if (include_timing) {
+      w.key("timing").begin_object();
+      w.key("secs").begin_array();
+      for (const auto& p : pts) w.value(p.secs);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  // Aggregate: index-wise sum over devices, truncated to the shortest
+  // series so every aggregate point covers the whole fleet.
+  size_t n = SIZE_MAX;
+  for (const auto& dev : order_) n = std::min(n, series_.at(dev).size());
+  if (order_.empty()) n = 0;
+
+  w.key("aggregate").begin_object();
+  auto sum_at = [&](size_t i, auto get) {
+    uint64_t total = 0;
+    for (const auto& dev : order_) total += get(series_.at(dev)[i]);
+    return total;
+  };
+  auto write_sum = [&](std::string_view key, auto get) {
+    w.key(key).begin_array();
+    for (size_t i = 0; i < n; ++i) w.value(sum_at(i, get));
+    w.end_array();
+  };
+  write_sum("executions", [](const Point& p) { return p.sample.executions; });
+  write_sum("kernel_coverage",
+            [](const Point& p) { return p.sample.kernel_coverage; });
+  write_sum("total_coverage",
+            [](const Point& p) { return p.sample.total_coverage; });
+  write_sum("corpus", [](const Point& p) { return p.sample.corpus_size; });
+  write_sum("bugs", [](const Point& p) { return p.sample.unique_bugs; });
+  write_sum("reboots", [](const Point& p) { return p.sample.reboots; });
+  if (include_timing) {
+    w.key("timing").begin_object();
+    w.key("secs").begin_array();
+    for (size_t i = 0; i < n; ++i) {
+      double last = 0;
+      for (const auto& dev : order_) {
+        last = std::max(last, series_.at(dev)[i].secs);
+      }
+      w.value(last);
+    }
+    w.end_array();
+    w.key("execs_per_sec").begin_array();
+    for (size_t i = 0; i < n; ++i) {
+      double secs = 0;
+      for (const auto& dev : order_) {
+        secs = std::max(secs, series_.at(dev)[i].secs);
+      }
+      const uint64_t execs =
+          sum_at(i, [](const Point& p) { return p.sample.executions; });
+      w.value(secs > 0 ? static_cast<double>(execs) / secs : 0.0);
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+}
+
+std::string StatsReporter::to_json(bool include_timing) const {
+  JsonWriter w;
+  write_json(w, include_timing);
+  return w.take();
+}
+
+}  // namespace df::obs

@@ -1,0 +1,67 @@
+// Campaign stats export: per-device + aggregate time-series sampled on an
+// execution-count interval — the data the paper's Fig. 4 (coverage over
+// time), Table 2 (bug counts), and Table 3 (ablations) plots are built
+// from.
+//
+// The primary axis is *executions* (deterministic); each point also carries
+// elapsed steady-clock seconds so throughput (execs/sec) can be derived.
+// All timing lives under "timing" keys in the JSON and can be omitted
+// (`include_timing = false`) for determinism comparisons.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace df::obs {
+
+class JsonWriter;
+
+// One engine observation. Produced by Engine::sample(); plain data so the
+// obs layer stays below core in the dependency order.
+struct EngineSample {
+  uint64_t executions = 0;
+  uint64_t kernel_coverage = 0;
+  uint64_t total_coverage = 0;
+  uint64_t corpus_size = 0;
+  uint64_t unique_bugs = 0;
+  uint64_t relation_edges = 0;
+  uint64_t reboots = 0;
+};
+
+class StatsReporter {
+ public:
+  struct Point {
+    EngineSample sample;
+    double secs = 0;  // steady-clock seconds since reporter construction
+  };
+
+  explicit StatsReporter(uint64_t sample_every_execs = 1024);
+
+  // Sampling cadence in per-engine executions; the owner (Daemon, bench
+  // loop) decides when that many executions have elapsed and calls record().
+  uint64_t interval() const { return interval_; }
+
+  void record(const std::string& device, const EngineSample& s);
+
+  bool empty() const { return series_.empty(); }
+  // Devices in first-seen order.
+  const std::vector<std::string>& devices() const { return order_; }
+  const std::vector<Point>& series(std::string_view device) const;
+
+  // {"sample_every":..,"devices":[{...per-device arrays...}],
+  //  "aggregate":{...summed arrays + execs/sec...}}
+  void write_json(JsonWriter& w, bool include_timing = true) const;
+  std::string to_json(bool include_timing = true) const;
+
+ private:
+  uint64_t interval_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::string> order_;
+  std::map<std::string, std::vector<Point>, std::less<>> series_;
+};
+
+}  // namespace df::obs

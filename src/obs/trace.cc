@@ -1,0 +1,88 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+
+namespace df::obs {
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kExec: return "exec";
+    case EventKind::kNewCoverage: return "new_coverage";
+    case EventKind::kRelationLearn: return "relation_learn";
+    case EventKind::kBug: return "bug";
+    case EventKind::kCorpusAdd: return "corpus_add";
+    case EventKind::kDecay: return "decay";
+    case EventKind::kProbe: return "probe";
+    case EventKind::kReboot: return "reboot";
+  }
+  return "?";
+}
+
+TraceSink::TraceSink(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+TraceSink::~TraceSink() { close_file(); }
+
+void TraceSink::emit(TraceEvent ev) {
+  // Callers on the hot path check record_execs() before even constructing
+  // the event; this keeps the flag authoritative for direct emitters too.
+  if (ev.kind == EventKind::kExec && !record_execs_) return;
+  ++emitted_;
+  if (file_ != nullptr) *file_ << to_json(ev) << '\n';
+  if (count_ < capacity_) {
+    ring_.push_back(std::move(ev));
+    ++count_;
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the ring head.
+  ring_[head_] = std::move(ev);
+  head_ = (head_ + 1) % capacity_;
+}
+
+const TraceEvent& TraceSink::at(size_t i) const {
+  return ring_[(head_ + i) % count_];
+}
+
+bool TraceSink::open_file(const std::string& path) {
+  auto f = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!f->is_open()) return false;
+  file_ = std::move(f);
+  return true;
+}
+
+void TraceSink::close_file() {
+  if (file_ != nullptr) {
+    file_->flush();
+    file_.reset();
+  }
+}
+
+std::string TraceSink::to_jsonl() const {
+  std::string out;
+  for (size_t i = 0; i < count_; ++i) {
+    out += to_json(at(i));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TraceSink::to_json(const TraceEvent& ev) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("event", kind_name(ev.kind));
+  w.field("device", ev.device);
+  w.field("exec", ev.exec_index);
+  for (const auto& f : ev.fields) {
+    if (f.is_num) {
+      w.field(f.key, f.num);
+    } else {
+      w.field(f.key, f.str);
+    }
+  }
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace df::obs

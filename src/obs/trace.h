@@ -1,0 +1,98 @@
+// Structured campaign event trace: exec results, new-coverage events,
+// relation-learn events, crash/bug events, corpus adds, decay ticks, probe
+// completions, and device reboots, each serializable as one JSONL record.
+//
+// Events are held in a bounded in-memory ring (oldest evicted first) and
+// optionally mirrored line-by-line to a file. Determinism contract: event
+// *content* carries no wall-clock — ordering and the `exec` field use
+// execution counts, so two identically-seeded campaigns emit identical
+// JSONL.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace df::obs {
+
+enum class EventKind : uint8_t {
+  kExec,           // one program execution finished
+  kNewCoverage,    // execution produced previously-unseen features
+  kRelationLearn,  // relation graph learned from a minimized seed
+  kBug,            // first occurrence of a (deduped) kernel/HAL bug
+  kCorpusAdd,      // seed admitted to the corpus
+  kDecay,          // periodic relation-weight decay tick
+  kProbe,          // HAL probing pass completed
+  kReboot,         // device rebooted
+};
+
+const char* kind_name(EventKind kind);
+
+struct TraceEvent {
+  EventKind kind = EventKind::kExec;
+  std::string device;      // device id ("A1", ...)
+  uint64_t exec_index = 0; // engine execution count when the event fired
+
+  struct Field {
+    std::string key;
+    std::string str;   // used when !is_num
+    uint64_t num = 0;  // used when is_num
+    bool is_num = false;
+  };
+  std::vector<Field> fields;
+
+  TraceEvent& with(std::string key, uint64_t v) {
+    fields.push_back({std::move(key), {}, v, true});
+    return *this;
+  }
+  TraceEvent& with(std::string key, std::string v) {
+    fields.push_back({std::move(key), std::move(v), 0, false});
+    return *this;
+  }
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(size_t capacity = 4096);
+  ~TraceSink();
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Per-execution kExec events are the only high-rate kind; campaigns that
+  // want just the milestone events can switch them off.
+  bool record_execs() const { return record_execs_; }
+  void set_record_execs(bool on) { record_execs_ = on; }
+
+  void emit(TraceEvent ev);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return count_; }
+  uint64_t emitted() const { return emitted_; }
+  uint64_t dropped() const { return emitted_ - count_; }
+  // i = 0 is the oldest retained event.
+  const TraceEvent& at(size_t i) const;
+
+  // Mirrors every subsequent event to `path` as one JSON object per line.
+  bool open_file(const std::string& path);
+  void close_file();
+  bool file_open() const { return file_ != nullptr; }
+
+  // The retained ring as JSONL, oldest first.
+  std::string to_jsonl() const;
+  static std::string to_json(const TraceEvent& ev);
+
+ private:
+  size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;   // index of the oldest event
+  size_t count_ = 0;  // events currently retained
+  uint64_t emitted_ = 0;
+  bool record_execs_ = true;
+  std::unique_ptr<std::ofstream> file_;
+};
+
+}  // namespace df::obs

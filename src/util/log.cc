@@ -8,6 +8,7 @@ namespace {
 
 LogLevel g_level = LogLevel::kWarn;
 LogSink g_sink;  // empty => default stderr sink
+LogCounters g_counters;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,8 +27,12 @@ LogLevel log_level() { return g_level; }
 
 void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
 
+const LogCounters& log_counters() { return g_counters; }
+void reset_log_counters() { g_counters = LogCounters(); }
+
 void log_message(LogLevel level, const std::string& msg) {
   if (level < g_level) return;
+  ++g_counters.emitted[static_cast<size_t>(level)];
   if (g_sink) {
     g_sink(level, msg);
     return;

@@ -2,6 +2,7 @@
 // examples and benches can silence the simulator while tests can capture it.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -10,10 +11,13 @@ namespace df::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-// Global minimum level; messages below it are dropped before formatting
-// reaches the sink (they are still formatted — keep hot paths log-free).
+// Global minimum level; DF_LOG statements below it are dropped before any
+// formatting happens (the ostringstream is never constructed), so disabled
+// log statements cost one level comparison.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
 
 // Replace the sink (default writes to stderr). Passing nullptr restores
 // the default sink.
@@ -21,6 +25,18 @@ using LogSink = std::function<void(LogLevel, const std::string&)>;
 void set_log_sink(LogSink sink);
 
 void log_message(LogLevel level, const std::string& msg);
+
+// Per-level count of messages that passed the level filter, so log volume
+// is itself observable (mirrored into the obs registry by
+// obs::capture_log_metrics).
+struct LogCounters {
+  uint64_t emitted[4] = {0, 0, 0, 0};  // indexed by LogLevel
+  uint64_t total() const {
+    return emitted[0] + emitted[1] + emitted[2] + emitted[3];
+  }
+};
+const LogCounters& log_counters();
+void reset_log_counters();
 
 namespace detail {
 class LogLine {
@@ -41,4 +57,10 @@ class LogLine {
 
 }  // namespace df::util
 
-#define DF_LOG(level) ::df::util::detail::LogLine(::df::util::LogLevel::level)
+// Short-circuits on the level check before constructing the LogLine (and
+// its ostringstream). The `if/else` form keeps the trailing `<< ...;` as a
+// single statement and stays dangling-else-safe in unbraced contexts.
+#define DF_LOG(level)                                                    \
+  if (!::df::util::log_enabled(::df::util::LogLevel::level)) {           \
+  } else                                                                 \
+    ::df::util::detail::LogLine(::df::util::LogLevel::level)

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/obs.h"
+#include "obs/stats_reporter.h"
+
 namespace df::core {
 namespace {
 
@@ -77,6 +80,55 @@ TEST(Daemon, ZeroSliceIsSafe) {
   d.add_device("E");
   d.run(10, 0);
   EXPECT_EQ(d.engine("E")->executions(), 10u);
+}
+
+TEST(Daemon, StatsSamplingFollowsTheInterval) {
+  DaemonConfig cfg;
+  cfg.seed = 5;
+  Daemon d(cfg);
+  obs::StatsReporter rep(128);
+  d.attach_reporter(&rep);
+  d.add_device("A1");
+  d.add_device("B");
+  // 600 execs in slices of 64: baseline point at exec 0, interval samples
+  // at 128/256/384/512, and a final partial sample at 600.
+  d.run(600, 64);
+  ASSERT_EQ(rep.devices().size(), 2u);
+  for (const auto& dev : rep.devices()) {
+    const auto& pts = rep.series(dev);
+    ASSERT_EQ(pts.size(), 6u);
+    EXPECT_EQ(pts.front().sample.executions, 0u);
+    EXPECT_EQ(pts[1].sample.executions, 128u);
+    EXPECT_EQ(pts.back().sample.executions, 600u);
+  }
+}
+
+// The determinism contract from DESIGN.md: two identically-seeded campaigns
+// produce identical stats series (timing excluded) and an identical
+// milestone event trace.
+TEST(Daemon, StatsAndTraceAreDeterministicAcrossRuns) {
+  auto run_once = [](std::string* stats_json, std::string* trace_jsonl) {
+    DaemonConfig cfg;
+    cfg.seed = 3;
+    Daemon d(cfg);
+    obs::Observability obs;
+    obs.trace.set_record_execs(false);
+    obs::StatsReporter rep(512);
+    d.attach_observability(&obs);
+    d.attach_reporter(&rep);
+    d.add_device("A1");
+    d.add_device("C1");
+    d.run(2000, 128);
+    *stats_json = rep.to_json(/*include_timing=*/false);
+    *trace_jsonl = obs.trace.to_jsonl();
+  };
+  std::string stats_a, trace_a, stats_b, trace_b;
+  run_once(&stats_a, &trace_a);
+  run_once(&stats_b, &trace_b);
+  EXPECT_FALSE(stats_a.empty());
+  EXPECT_FALSE(trace_a.empty());
+  EXPECT_EQ(stats_a, stats_b);
+  EXPECT_EQ(trace_a, trace_b);
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+#include "obs/stats_reporter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace df::obs {
+namespace {
+
+EngineSample sample_at(uint64_t execs) {
+  EngineSample s;
+  s.executions = execs;
+  s.kernel_coverage = execs / 2;
+  s.total_coverage = execs / 2 + 10;
+  s.corpus_size = execs / 100;
+  s.unique_bugs = execs / 1000;
+  s.relation_edges = execs / 50;
+  s.reboots = execs / 5000;
+  return s;
+}
+
+TEST(StatsReporter, DevicesKeepFirstSeenOrder) {
+  StatsReporter rep(100);
+  EXPECT_TRUE(rep.empty());
+  EXPECT_EQ(rep.interval(), 100u);
+  rep.record("B", sample_at(0));
+  rep.record("A1", sample_at(0));
+  rep.record("B", sample_at(100));
+  ASSERT_EQ(rep.devices().size(), 2u);
+  EXPECT_EQ(rep.devices()[0], "B");
+  EXPECT_EQ(rep.devices()[1], "A1");
+  EXPECT_EQ(rep.series("B").size(), 2u);
+  EXPECT_EQ(rep.series("A1").size(), 1u);
+  EXPECT_FALSE(rep.empty());
+}
+
+TEST(StatsReporter, SeriesCarriesTheSamples) {
+  StatsReporter rep(10);
+  rep.record("A1", sample_at(0));
+  rep.record("A1", sample_at(10));
+  rep.record("A1", sample_at(20));
+  const auto& pts = rep.series("A1");
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_EQ(pts[0].sample.executions, 0u);
+  EXPECT_EQ(pts[2].sample.executions, 20u);
+  EXPECT_EQ(pts[2].sample.kernel_coverage, 10u);
+  // secs is monotone (steady clock).
+  EXPECT_LE(pts[0].secs, pts[1].secs);
+  EXPECT_LE(pts[1].secs, pts[2].secs);
+}
+
+TEST(StatsReporter, JsonShapeAndAggregate) {
+  StatsReporter rep(10);
+  rep.record("A1", sample_at(10));
+  rep.record("B", sample_at(10));
+  rep.record("A1", sample_at(20));
+  rep.record("B", sample_at(40));
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"sample_every\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"devices\":["), std::string::npos);
+  EXPECT_NE(json.find("\"aggregate\":{"), std::string::npos);
+  // Aggregate sums index-wise: point 1 = 20 + 40 executions.
+  EXPECT_NE(json.find("\"executions\":[20,60]"), std::string::npos);
+  EXPECT_NE(json.find("\"execs_per_sec\""), std::string::npos);
+}
+
+TEST(StatsReporter, TimingExcludedOnRequest) {
+  StatsReporter rep(10);
+  rep.record("A1", sample_at(10));
+  const std::string with = rep.to_json(true);
+  const std::string without = rep.to_json(false);
+  EXPECT_NE(with.find("\"timing\""), std::string::npos);
+  EXPECT_EQ(without.find("\"timing\""), std::string::npos);
+  EXPECT_EQ(without.find("secs"), std::string::npos);
+  // Deterministic content is unaffected by the flag.
+  EXPECT_NE(without.find("\"executions\":[10]"), std::string::npos);
+}
+
+TEST(StatsReporter, UnknownDeviceYieldsEmptySeries) {
+  StatsReporter rep;
+  EXPECT_TRUE(rep.series("nope").empty());
+}
+
+}  // namespace
+}  // namespace df::obs

@@ -1,0 +1,130 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace df::obs {
+namespace {
+
+TraceEvent make_event(EventKind kind, uint64_t exec) {
+  TraceEvent ev{kind, "A1", exec, {}};
+  return ev;
+}
+
+TEST(TraceSink, RingRetainsNewestAndCountsDropped) {
+  TraceSink sink(4);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    sink.emit(make_event(EventKind::kNewCoverage, i));
+  }
+  EXPECT_EQ(sink.capacity(), 4u);
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.emitted(), 10u);
+  EXPECT_EQ(sink.dropped(), 6u);
+  // Oldest-first: events 7, 8, 9, 10 survive.
+  for (size_t i = 0; i < sink.size(); ++i) {
+    EXPECT_EQ(sink.at(i).exec_index, 7u + i);
+  }
+}
+
+TEST(TraceSink, ExecEventsGatedByFlag) {
+  TraceSink sink(16);
+  EXPECT_TRUE(sink.record_execs());
+  sink.set_record_execs(false);
+  sink.emit(make_event(EventKind::kExec, 1));
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.emitted(), 0u);
+  // Milestone kinds are unaffected by the gate.
+  sink.emit(make_event(EventKind::kBug, 2));
+  EXPECT_EQ(sink.size(), 1u);
+  sink.set_record_execs(true);
+  sink.emit(make_event(EventKind::kExec, 3));
+  EXPECT_EQ(sink.size(), 2u);
+}
+
+TEST(TraceSink, EventJsonShape) {
+  TraceEvent ev{EventKind::kBug, "C1", 42, {}};
+  ev.with("title", "kasan: use-after-free in \"ioctl\"");
+  ev.with("dup_count", uint64_t{3});
+  const std::string json = TraceSink::to_json(ev);
+  EXPECT_EQ(json,
+            "{\"event\":\"bug\",\"device\":\"C1\",\"exec\":42,"
+            "\"title\":\"kasan: use-after-free in \\\"ioctl\\\"\","
+            "\"dup_count\":3}");
+}
+
+TEST(TraceSink, JsonlOneRecordPerLine) {
+  TraceSink sink(8);
+  sink.emit(make_event(EventKind::kCorpusAdd, 1));
+  sink.emit(make_event(EventKind::kDecay, 2));
+  sink.emit(make_event(EventKind::kReboot, 3));
+  const std::string jsonl = sink.to_jsonl();
+  std::istringstream in(jsonl);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(jsonl.find("\"event\":\"corpus_add\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"event\":\"decay\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"event\":\"reboot\""), std::string::npos);
+}
+
+TEST(TraceSink, EscapingSurvivesHostileStrings) {
+  TraceEvent ev{EventKind::kBug, "A1\n\"x\"", 1, {}};
+  ev.with("title", std::string("null\x01" "byte\ttab"));
+  const std::string json = TraceSink::to_json(ev);
+  // No raw control characters may survive into the JSON line.
+  for (const char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+TEST(TraceSink, FileMirrorWritesEveryEvent) {
+  const std::string path = ::testing::TempDir() + "df_trace_mirror.jsonl";
+  {
+    TraceSink sink(2);  // ring smaller than the event count
+    ASSERT_TRUE(sink.open_file(path));
+    EXPECT_TRUE(sink.file_open());
+    for (uint64_t i = 1; i <= 5; ++i) {
+      sink.emit(make_event(EventKind::kNewCoverage, i));
+    }
+    sink.close_file();
+    EXPECT_FALSE(sink.file_open());
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_NE(line.find("\"event\":\"new_coverage\""), std::string::npos);
+    ++lines;
+  }
+  // The file mirror is not ring-bounded: all five events are on disk.
+  EXPECT_EQ(lines, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceSink, KindNamesAreStable) {
+  EXPECT_STREQ(kind_name(EventKind::kExec), "exec");
+  EXPECT_STREQ(kind_name(EventKind::kNewCoverage), "new_coverage");
+  EXPECT_STREQ(kind_name(EventKind::kRelationLearn), "relation_learn");
+  EXPECT_STREQ(kind_name(EventKind::kBug), "bug");
+  EXPECT_STREQ(kind_name(EventKind::kCorpusAdd), "corpus_add");
+  EXPECT_STREQ(kind_name(EventKind::kDecay), "decay");
+  EXPECT_STREQ(kind_name(EventKind::kProbe), "probe");
+  EXPECT_STREQ(kind_name(EventKind::kReboot), "reboot");
+}
+
+}  // namespace
+}  // namespace df::obs

@@ -1,0 +1,17 @@
+# Obs export smoke test (run via cmake -P from ctest): drive a small fleet
+# campaign with --stats-json, then validate the document with
+# scripts/check_bench_json.py. Inputs: FLEET, PYTHON, CHECKER, OUT.
+
+execute_process(
+  COMMAND ${FLEET} 600 3 --quiet --stats-json ${OUT}
+  RESULT_VARIABLE campaign_rc)
+if(NOT campaign_rc EQUAL 0)
+  message(FATAL_ERROR "fleet_campaign failed (rc=${campaign_rc})")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${OUT}
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_bench_json.py rejected ${OUT} (rc=${check_rc})")
+endif()
