@@ -289,7 +289,7 @@ void run_obs_overhead_probe() {
     cfg.seed = seed;
     core::Engine eng(*dev, cfg);
     exported.push_back(
-        {"A2", "detached", 0, run_sampled_points(eng, kMeasure, kStep)});
+        {"A2", "detached", 0, run_sampled_points(eng, kMeasure, kStep), {}});
   }
   {
     auto dev = device::make_device("A2", seed);
@@ -298,7 +298,7 @@ void run_obs_overhead_probe() {
     core::Engine eng(*dev, cfg);
     eng.attach_observability(&obs);
     exported.push_back(
-        {"A2", "attached", 0, run_sampled_points(eng, kMeasure, kStep)});
+        {"A2", "attached", 0, run_sampled_points(eng, kMeasure, kStep), {}});
   }
 
   const double detached =
@@ -307,16 +307,26 @@ void run_obs_overhead_probe() {
   const double attached =
       steps_per_sec(seed, &probe, false, kWarmup, kMeasure);
   const double traced = steps_per_sec(seed, &probe, true, kWarmup, kMeasure);
+  // Full provenance: span tracing + crash flight recorder, the
+  // `--trace-out --crash-dir` campaign configuration.
+  obs::Observability prov;
+  prov.spans.set_enabled(true);
+  prov.flight.enable(16);
+  const double provenance =
+      steps_per_sec(seed, &prov, false, kWarmup, kMeasure);
   const double attached_pct = 100.0 * (detached / attached - 1.0);
   const double traced_pct = 100.0 * (detached / traced - 1.0);
+  const double provenance_pct = 100.0 * (detached / provenance - 1.0);
 
   std::printf("=== obs overhead probe (device A2, %llu engine steps) ===\n",
               static_cast<unsigned long long>(kMeasure));
   std::printf("  detached:        %12.0f execs/sec\n", detached);
   std::printf("  attached:        %12.0f execs/sec  (%+.2f%%)\n", attached,
               attached_pct);
-  std::printf("  attached+trace:  %12.0f execs/sec  (%+.2f%%)\n\n", traced,
+  std::printf("  attached+trace:  %12.0f execs/sec  (%+.2f%%)\n", traced,
               traced_pct);
+  std::printf("  spans+flight:    %12.0f execs/sec  (%+.2f%%)\n\n", provenance,
+              provenance_pct);
 
   write_bench_json(
       "micro", seed, 1, exported, &obs, wall.seconds(),
@@ -330,8 +340,10 @@ void run_obs_overhead_probe() {
         w.field("detached_execs_per_sec", detached);
         w.field("attached_execs_per_sec", attached);
         w.field("attached_trace_execs_per_sec", traced);
+        w.field("provenance_execs_per_sec", provenance);
         w.field("attached_overhead_percent", attached_pct);
         w.field("attached_trace_overhead_percent", traced_pct);
+        w.field("provenance_overhead_percent", provenance_pct);
         w.end_object();
         w.end_object();
       });

@@ -31,6 +31,11 @@ int main() {
   const uint64_t syz_seed = syz_seed_from_env(1);
   obs::Observability obs;
   obs.trace.set_record_execs(false);
+  // Crash provenance: flight-recorder window + crash_<hash>.json reports
+  // (enabled before engines attach so they cache the recorder pointer).
+  obs.flight.enable(16);
+  const char* crash_env = std::getenv("DF_CRASH_DIR");
+  const std::string crash_dir = crash_env != nullptr ? crash_env : "crashes";
   std::vector<BenchSeries> exported;
   constexpr uint64_t kSampleStep = 8 * kExecsPerHour;
   std::printf("=== Table I: List of Embedded Android Devices Tested ===\n");
@@ -47,20 +52,32 @@ int main() {
       "device, %llu execs) ===\n",
       static_cast<unsigned long long>(k144h));
   std::vector<Found> found;
+  std::vector<std::string> crash_reports;
   for (const auto& spec : device::device_table()) {
+    obs.flight.clear();  // the window should only show this device's run
     auto dev = device::make_device(spec.id, seed);
     core::EngineConfig cfg;
     cfg.seed = seed;
     core::Engine eng(*dev, cfg);
     eng.attach_observability(&obs);
-    exported.push_back(
-        {spec.id, "droidfuzz", 0, run_sampled_points(eng, k144h, kSampleStep)});
+    eng.set_crash_dir(crash_dir);
+    BenchSeries series{spec.id, "droidfuzz", 0,
+                       run_sampled_points(eng, k144h, kSampleStep), {}};
+    series.states = eng.state_coverage();
+    exported.push_back(std::move(series));
     for (const auto& bug : eng.crashes().bugs()) {
       found.push_back({spec.id, bug});
+    }
+    for (const auto& path : eng.crashes().provenance_files()) {
+      const size_t slash = path.rfind('/');
+      crash_reports.push_back(
+          slash == std::string::npos ? path : path.substr(slash + 1));
     }
     std::fprintf(stderr, "  [%s done: %zu bugs, cov %zu]\n", spec.id.c_str(),
                  eng.crashes().unique_bugs(), eng.kernel_coverage());
   }
+  std::fprintf(stderr, "bench: %zu crash provenance reports in %s/\n",
+               crash_reports.size(), crash_dir.c_str());
 
   std::printf("%-3s %-3s %-55s %-20s %s\n", "No", "Dev", "Bug Info",
               "Bug Type", "Component");
@@ -98,8 +115,11 @@ int main() {
   for (const auto& spec : device::device_table()) {
     auto dev = device::make_device(spec.id, syz_seed);
     baseline::SyzkallerFuzzer syz(*dev, syz_seed);
-    exported.push_back({spec.id, "syzkaller", 0,
-                        run_sampled_points(syz.engine(), k48h, kSampleStep)});
+    BenchSeries series{spec.id, "syzkaller", 0,
+                       run_sampled_points(syz.engine(), k48h, kSampleStep),
+                       {}};
+    series.states = syz.engine().state_coverage();
+    exported.push_back(std::move(series));
     for (const auto& bug : syz.crashes().bugs()) {
       ++syz_total;
       if (bug.component == "HAL") ++syz_hal;
@@ -132,6 +152,9 @@ int main() {
                    [&](obs::JsonWriter& w) {
                      write_bugs(w, "bugs", found);
                      write_bugs(w, "syzkaller_bugs", syz_found);
+                     w.key("crash_reports").begin_array();
+                     for (const auto& name : crash_reports) w.value(name);
+                     w.end_array();
                      w.field("table2_matched", static_cast<uint64_t>(matched));
                      w.field("table2_expected",
                              static_cast<uint64_t>(device::planted_bugs().size()));

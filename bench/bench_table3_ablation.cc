@@ -35,8 +35,10 @@ std::vector<double> run_config(const char* id, core::EngineConfig cfg,
     cfg.seed = seed;
     core::Engine eng(*dev, cfg);
     if (obs != nullptr) eng.attach_observability(obs);
-    exported.push_back(
-        {id, config_name, r, run_sampled_points(eng, k48h, kSampleStep)});
+    BenchSeries series{id, config_name, r,
+                       run_sampled_points(eng, k48h, kSampleStep), {}};
+    series.states = eng.state_coverage();
+    exported.push_back(std::move(series));
     finals.push_back(static_cast<double>(eng.kernel_coverage()));
   }
   return finals;
@@ -51,7 +53,8 @@ std::vector<double> run_syzkaller(const char* id, size_t reps,
     auto dev = device::make_device(id, seed);
     baseline::SyzkallerFuzzer syz(*dev, seed);
     exported.push_back({id, "syzkaller", r,
-                        run_sampled_points(syz.engine(), k48h, kSampleStep)});
+                        run_sampled_points(syz.engine(), k48h, kSampleStep),
+                        {}});
     finals.push_back(static_cast<double>(syz.kernel_coverage()));
   }
   return finals;

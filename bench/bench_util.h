@@ -126,12 +126,15 @@ inline std::string bench_json_path(const std::string& bench_name) {
   return path + "BENCH_" + bench_name + ".json";
 }
 
-// One exported time-series: a (device, config, rep) trajectory.
+// One exported time-series: a (device, config, rep) trajectory. `states`
+// (optional, filled from Engine::state_coverage() at campaign end) adds the
+// per-driver state-transition coverage matrices to the series.
 struct BenchSeries {
   std::string device;
   std::string config;  // "droidfuzz", "syzkaller", "df-norel", ...
   size_t rep = 0;
   std::vector<obs::StatsReporter::Point> points;
+  std::vector<obs::DriverStateCoverage> states;
 };
 
 // Wall clock for the whole bench run (a timing-only field in the JSON).
@@ -182,6 +185,14 @@ inline bool write_bench_json(
         [](const Point& p) { return p.sample.total_coverage; });
     arr("corpus", [](const Point& p) { return p.sample.corpus_size; });
     arr("bugs", [](const Point& p) { return p.sample.unique_bugs; });
+    if (!s.states.empty()) {
+      w.key("state_coverage").begin_array();
+      for (const auto& c : s.states) {
+        if (c.states.empty()) continue;
+        c.write_json(w);
+      }
+      w.end_array();
+    }
     w.key("timing").begin_object();
     w.key("secs").begin_array();
     for (const auto& p : s.points) w.value(p.secs);

@@ -4,12 +4,16 @@
 // reproduced" pipeline from the paper's §V-B.
 //
 //   ./examples/crash_triage [device-id] [max-execs] [seed]
-//                           [--stats-json <path>] [--quiet]
+//                           [--stats-json <path>] [--trace-out <path>]
+//                           [--crash-dir <dir>] [--quiet]
 //
 // --stats-json writes campaign telemetry (stats series, metric snapshot
 // including minimize-phase latency, bug trace events) as one JSON document;
-// --quiet suppresses the per-bug listing, leaving the final one-line
-// summary.
+// --trace-out enables hierarchical span tracing and exports a Chrome
+// trace-event file (load at ui.perfetto.dev); --crash-dir enables the crash
+// flight recorder and writes one crash_<hash>.json provenance report per
+// unique bug; --quiet suppresses the per-bug listing, leaving the final
+// one-line summary.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,26 +23,38 @@
 #include "core/fuzz/engine.h"
 #include "device/catalog.h"
 #include "dsl/fmt.h"
+#include "obs/chrome_trace.h"
 #include "obs/json.h"
 #include "obs/obs.h"
 #include "obs/stats_reporter.h"
+#include "util/log.h"
 
 int main(int argc, char** argv) {
+  df::util::init_log_from_env();
   std::string device_id = "A1";
   uint64_t max_execs = 30000;
   uint64_t seed = 3;
   std::string stats_path;
+  std::string trace_path;
+  std::string crash_dir;
   bool quiet = false;
   int pos = 0;
+  const auto flag_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", flag);
+      std::exit(1);
+    }
+    return argv[++i];
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else if (std::strcmp(argv[i], "--stats-json") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--stats-json requires a path\n");
-        return 1;
-      }
-      stats_path = argv[++i];
+      stats_path = flag_value(i, "--stats-json");
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_path = flag_value(i, "--trace-out");
+    } else if (std::strcmp(argv[i], "--crash-dir") == 0) {
+      crash_dir = flag_value(i, "--crash-dir");
     } else if (pos == 0) {
       device_id = argv[i];
       ++pos;
@@ -50,7 +66,8 @@ int main(int argc, char** argv) {
       ++pos;
     } else {
       std::fprintf(stderr, "usage: %s [device-id] [max-execs] [seed] "
-                   "[--stats-json <path>] [--quiet]\n", argv[0]);
+                   "[--stats-json <path>] [--trace-out <path>] "
+                   "[--crash-dir <dir>] [--quiet]\n", argv[0]);
       return 1;
     }
   }
@@ -63,10 +80,17 @@ int main(int argc, char** argv) {
   df::core::EngineConfig cfg;
   cfg.seed = seed;
   df::core::Engine engine(*dev, cfg);
-  df::obs::Observability obs;
+  // Span tracing keeps one event per iteration/phase/syscall/driver-op, so
+  // the ring must outlast the campaign when a trace export is requested.
+  df::obs::Observability obs(trace_path.empty() ? 4096 : 1 << 16);
   obs.trace.set_record_execs(false);
+  // Enable provenance features before attach: the engine and broker cache
+  // the span/flight pointers only when enabled at attach time.
+  if (!trace_path.empty()) obs.spans.set_enabled(true);
+  if (!crash_dir.empty()) obs.flight.enable(16);
   df::obs::StatsReporter reporter(1000);
   engine.attach_observability(&obs);
+  if (!crash_dir.empty()) engine.set_crash_dir(crash_dir);
   engine.setup();
 
   if (!quiet) {
@@ -75,12 +99,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(max_execs));
   }
   reporter.record(device_id, engine.sample());
-  uint64_t done = 0;
-  while (done < max_execs) {
-    engine.run(1000);
-    done += 1000;
-    reporter.record(device_id, engine.sample());
-    if (engine.crashes().unique_bugs() >= 3) break;
+  {
+    // Campaign root span: every iteration/phase/syscall span nests below it.
+    const df::obs::ScopedSpan campaign_span(
+        obs.spans.enabled() ? &obs.spans : nullptr, "campaign");
+    uint64_t done = 0;
+    while (done < max_execs) {
+      engine.run(1000);
+      done += 1000;
+      reporter.record(device_id, engine.sample());
+      if (engine.crashes().unique_bugs() >= 3) break;
+    }
   }
   if (!quiet) {
     std::printf("campaign: %llu execs, %zu unique bugs, coverage %zu\n\n",
@@ -140,6 +169,22 @@ int main(int argc, char** argv) {
     }
     out << w.str() << '\n';
     if (!quiet) std::printf("stats written to %s\n", stats_path.c_str());
+  }
+
+  if (!trace_path.empty()) {
+    if (!df::obs::write_chrome_trace(obs.trace, trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("chrome trace written to %s (%llu spans; load at "
+                "ui.perfetto.dev)\n",
+                trace_path.c_str(),
+                static_cast<unsigned long long>(obs.spans.spans_started()));
+  }
+  if (!crash_dir.empty()) {
+    std::printf("crash provenance: %zu report(s) in %s/\n",
+                engine.crashes().provenance_files().size(),
+                crash_dir.c_str());
   }
 
   std::printf("crash_triage: device %s, %llu execs, %zu bugs, reproducers "

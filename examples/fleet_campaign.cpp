@@ -5,12 +5,18 @@
 // then save and reload the corpus to show warm-start behaviour.
 //
 //   ./examples/fleet_campaign [execs-per-device] [seed]
-//                             [--stats-json <path>] [--quiet]
+//                             [--stats-json <path>] [--trace-out <path>]
+//                             [--crash-dir <dir>] [--stall-window <execs>]
+//                             [--quiet]
 //
 // --stats-json writes the full campaign telemetry (per-device + aggregate
 // time series, metric snapshot, milestone trace events) as one JSON
-// document; --quiet suppresses the dashboard, leaving only the final
-// one-line summary.
+// document; --trace-out enables hierarchical span tracing and exports the
+// campaign as a Chrome trace-event file (load at ui.perfetto.dev);
+// --crash-dir enables the crash flight recorder and writes one
+// crash_<hash>.json provenance report per unique bug; --stall-window sets
+// the coverage-plateau watchdog (default 5000 execs, 0 disables); --quiet
+// suppresses the dashboard, leaving only the final one-line summary.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,25 +25,41 @@
 
 #include "core/fuzz/daemon.h"
 #include "device/catalog.h"
+#include "obs/chrome_trace.h"
 #include "obs/json.h"
 #include "obs/obs.h"
 #include "obs/stats_reporter.h"
+#include "util/log.h"
 
 int main(int argc, char** argv) {
+  df::util::init_log_from_env();
   uint64_t execs = 15000;
   uint64_t seed = 3;
   std::string stats_path;
+  std::string trace_path;
+  std::string crash_dir;
+  uint64_t stall_window = 5000;
   bool quiet = false;
   int pos = 0;
+  const auto flag_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", flag);
+      std::exit(1);
+    }
+    return argv[++i];
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else if (std::strcmp(argv[i], "--stats-json") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--stats-json requires a path\n");
-        return 1;
-      }
-      stats_path = argv[++i];
+      stats_path = flag_value(i, "--stats-json");
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_path = flag_value(i, "--trace-out");
+    } else if (std::strcmp(argv[i], "--crash-dir") == 0) {
+      crash_dir = flag_value(i, "--crash-dir");
+    } else if (std::strcmp(argv[i], "--stall-window") == 0) {
+      stall_window = std::strtoull(flag_value(i, "--stall-window"), nullptr,
+                                   10);
     } else if (pos == 0) {
       execs = std::strtoull(argv[i], nullptr, 10);
       ++pos;
@@ -46,17 +68,28 @@ int main(int argc, char** argv) {
       ++pos;
     } else {
       std::fprintf(stderr, "usage: %s [execs-per-device] [seed] "
-                   "[--stats-json <path>] [--quiet]\n", argv[0]);
+                   "[--stats-json <path>] [--trace-out <path>] "
+                   "[--crash-dir <dir>] [--stall-window <execs>] [--quiet]\n",
+                   argv[0]);
       return 1;
     }
   }
 
   df::core::DaemonConfig cfg;
   cfg.seed = seed;
+  cfg.crash_dir = crash_dir;
   df::core::Daemon daemon(cfg);
-  df::obs::Observability obs;
+  // Span tracing needs a deeper event ring than the default: one span per
+  // iteration/phase/syscall/driver-op survives until export.
+  df::obs::Observability obs(trace_path.empty() ? 4096 : 1 << 16);
   obs.trace.set_record_execs(false);
+  // Provenance features are enabled before any engine attaches (components
+  // cache the span/flight pointers at attach time).
+  if (!trace_path.empty()) obs.spans.set_enabled(true);
+  if (!crash_dir.empty()) obs.flight.enable(16);
   df::obs::StatsReporter reporter(2048);
+  reporter.set_stall_window(stall_window);
+  reporter.attach_observability(&obs);
   daemon.attach_observability(&obs);
   daemon.attach_reporter(&reporter);
   for (const auto& spec : df::device::device_table()) {
@@ -139,6 +172,37 @@ int main(int argc, char** argv) {
     }
     out << w.str() << '\n';
     if (!quiet) std::printf("\nstats written to %s\n", stats_path.c_str());
+  }
+
+  if (!trace_path.empty()) {
+    if (!df::obs::write_chrome_trace(obs.trace, trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    if (!quiet) {
+      std::printf("chrome trace written to %s (%llu spans; load at "
+                  "ui.perfetto.dev)\n",
+                  trace_path.c_str(),
+                  static_cast<unsigned long long>(obs.spans.spans_started()));
+    }
+  }
+  if (!crash_dir.empty() && !quiet) {
+    size_t reports = 0;
+    for (const auto& spec : df::device::device_table()) {
+      reports += daemon.engine(spec.id)->crashes().provenance_files().size();
+    }
+    std::printf("crash provenance: %zu report(s) in %s/\n", reports,
+                crash_dir.c_str());
+  }
+  if (!quiet && stall_window > 0) {
+    for (const auto& spec : df::device::device_table()) {
+      if (reporter.stalled(spec.id)) {
+        std::printf("watchdog: %s stalled (no coverage growth in %llu "
+                    "execs)\n",
+                    spec.id.c_str(),
+                    static_cast<unsigned long long>(stall_window));
+      }
+    }
   }
 
   std::printf("fleet_campaign: %zu devices, %llu execs/device, coverage %zu, "

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate DroidFuzz telemetry JSON and compare runs for determinism.
 
-Two document shapes are understood:
+Four document shapes are understood:
 
   BENCH_*.json           (written by the bench binaries via write_bench_json)
       {"bench": ..., "seed": ..., "reps": ..., "series": [...],
@@ -9,6 +9,14 @@ Two document shapes are understood:
 
   campaign stats export  (written by examples via --stats-json)
       {"campaign": {...}, "stats": {...}, "metrics": {...}, "events": [...]}
+
+  Chrome trace export    (written by --trace-out via obs::write_chrome_trace)
+      {"displayTimeUnit": ..., "traceEvents": [{"ph": "M"|"X", ...}, ...]}
+
+  crash provenance       (crash_<hash>.json, written by core::CrashLog)
+      {"crash": {...}, "campaign": {...}, "repro": {...},
+       "driver_states": [...], "kasan_context": {...},
+       "flight_recorder": {...}}
 
 Usage:
   check_bench_json.py FILE...            validate each document
@@ -18,14 +26,15 @@ Usage:
 
 Determinism contract (DESIGN.md "Observability"): everything wall-dependent
 lives under keys named "timing", "wall_seconds", "secs", or ending in "_ns"
-or "_per_sec". Stripping those keys must make two identically-seeded runs
-byte-identical.
+or "_per_sec"; Chrome traces additionally quarantine wall-clock under the
+format's "ts"/"dur" fields. Stripping those keys must make two
+identically-seeded runs byte-identical.
 """
 
 import json
 import sys
 
-TIMING_KEYS = {"timing", "wall_seconds", "secs"}
+TIMING_KEYS = {"timing", "wall_seconds", "secs", "ts", "dur"}
 TIMING_SUFFIXES = ("_ns", "_per_sec")
 
 SERIES_ARRAYS = ("executions", "kernel_coverage", "total_coverage",
@@ -62,6 +71,43 @@ def check_monotone(name, values):
             f"{name} must be non-decreasing, got {values}")
 
 
+def check_state_coverage(entries, where):
+    """Per-driver state-machine coverage matrices (DriverStateCoverage)."""
+    require(isinstance(entries, list) and entries,
+            f"{where} must be a non-empty array")
+    for i, cov in enumerate(entries):
+        cwhere = f"{where}[{i}]"
+        require(isinstance(cov, dict), f"{cwhere} must be an object")
+        require(isinstance(cov.get("driver"), str) and cov["driver"],
+                f"{cwhere}.driver must be a non-empty string")
+        states = cov.get("states")
+        require(isinstance(states, list) and states
+                and all(isinstance(s, str) and s for s in states),
+                f"{cwhere}.states must be a non-empty array of state names")
+        n = len(states)
+        require(cov.get("current") in states,
+                f"{cwhere}.current must name one of the states")
+        visits = cov.get("visits")
+        require(isinstance(visits, list) and len(visits) == n
+                and all(isinstance(v, int) and v >= 0 for v in visits),
+                f"{cwhere}.visits must be {n} non-negative ints")
+        matrix = cov.get("matrix")
+        require(isinstance(matrix, list) and len(matrix) == n
+                and all(isinstance(row, list) and len(row) == n
+                        and all(isinstance(v, int) and v >= 0 for v in row)
+                        for row in matrix),
+                f"{cwhere}.matrix must be a {n}x{n} array of non-negative "
+                f"ints")
+        visited = sum(1 for v in visits if v > 0)
+        require(cov.get("states_visited") == visited,
+                f"{cwhere}.states_visited must equal the number of states "
+                f"with visits > 0 ({visited})")
+        transitions = sum(1 for row in matrix for v in row if v > 0)
+        require(cov.get("transitions_observed") == transitions,
+                f"{cwhere}.transitions_observed must equal the number of "
+                f"non-zero matrix cells ({transitions})")
+
+
 def check_series_entry(i, entry):
     where = f"series[{i}]"
     require(isinstance(entry, dict), f"{where} must be an object")
@@ -80,6 +126,9 @@ def check_series_entry(i, entry):
             f"{where}: all series arrays must share one length, got {lengths}")
     for key in ("executions", "kernel_coverage", "total_coverage", "bugs"):
         check_monotone(f"{where}.{key}", entry[key])
+    if "state_coverage" in entry:
+        check_state_coverage(entry["state_coverage"],
+                             f"{where}.state_coverage")
 
 
 def check_metrics(metrics, where="metrics"):
@@ -126,6 +175,9 @@ def check_stats(stats, where="stats"):
         require(len(lengths) == 1,
                 f"{dwhere}: array length mismatch {lengths}")
         check_monotone(f"{dwhere}.executions", dev["executions"])
+        if "state_coverage" in dev:
+            check_state_coverage(dev["state_coverage"],
+                                 f"{dwhere}.state_coverage")
     agg = stats.get("aggregate")
     require(isinstance(agg, dict), f"{where}.aggregate must be an object")
     n = min(len(d["executions"]) for d in devices)
@@ -182,14 +234,132 @@ def check_campaign_doc(doc):
         check_events(doc["events"])
 
 
+def check_chrome_trace(doc):
+    events = doc.get("traceEvents")
+    require(isinstance(events, list) and events,
+            "traceEvents must be a non-empty array")
+    span_ids = set()
+    parents = []
+    last_ts = {}
+    complete = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        require(isinstance(ev, dict), f"{where} must be an object")
+        ph = ev.get("ph")
+        require(ph in ("M", "X"), f"{where}.ph must be 'M' or 'X', got {ph!r}")
+        require(isinstance(ev.get("name"), str) and ev["name"],
+                f"{where}.name must be a non-empty string")
+        for key in ("pid", "tid"):
+            require(isinstance(ev.get(key), int) and ev[key] >= 0,
+                    f"{where}.{key} must be a non-negative int")
+        args = ev.get("args")
+        require(isinstance(args, dict), f"{where}.args must be an object")
+        if ph == "M":
+            require(ev["name"] in ("process_name", "thread_name"),
+                    f"{where}: metadata event must name a process or thread")
+            require(isinstance(args.get("name"), str) and args["name"],
+                    f"{where}.args.name must be a non-empty string")
+            continue
+        complete += 1
+        for key in ("ts", "dur"):
+            require(isinstance(ev.get(key), int) and ev[key] >= 0,
+                    f"{where}.{key} must be a non-negative int")
+        # The exporter sorts by (tid, ts): timestamps are monotone per track.
+        tid = ev["tid"]
+        require(ev["ts"] >= last_ts.get(tid, 0),
+                f"{where}: ts must be non-decreasing within tid {tid}")
+        last_ts[tid] = ev["ts"]
+        span_id = args.get("id")
+        require(isinstance(span_id, int) and span_id > 0,
+                f"{where}.args.id must be a positive int")
+        require(span_id not in span_ids,
+                f"{where}.args.id {span_id} duplicated")
+        span_ids.add(span_id)
+        require(isinstance(args.get("parent"), int) and args["parent"] >= 0,
+                f"{where}.args.parent must be a non-negative int")
+        require(isinstance(args.get("exec"), int) and args["exec"] >= 0,
+                f"{where}.args.exec must be a non-negative int")
+        parents.append((where, args["parent"]))
+    require(complete > 0, "trace must contain at least one complete span")
+    for where, parent in parents:
+        require(parent == 0 or parent in span_ids,
+                f"{where}: parent {parent} does not match any span id "
+                f"(incomplete span tree)")
+
+
+def check_crash_doc(doc):
+    crash = doc.get("crash")
+    require(isinstance(crash, dict), "crash must be an object")
+    for key in ("title", "component", "origin", "bug_class"):
+        require(isinstance(crash.get(key), str) and crash[key],
+                f"crash.{key} must be a non-empty string")
+    h = crash.get("hash")
+    require(isinstance(h, str) and len(h) == 16
+            and all(c in "0123456789abcdef" for c in h),
+            "crash.hash must be 16 lowercase hex digits")
+    for key in ("first_exec", "dup_count"):
+        require(isinstance(crash.get(key), int) and crash[key] >= 0,
+                f"crash.{key} must be a non-negative int")
+    campaign = doc.get("campaign")
+    require(isinstance(campaign, dict), "campaign must be an object")
+    require(isinstance(campaign.get("device"), str) and campaign["device"],
+            "campaign.device must be a non-empty string")
+    for key in ("seed", "exec"):
+        require(isinstance(campaign.get(key), int),
+                f"campaign.{key} must be an int")
+    repro = doc.get("repro")
+    require(isinstance(repro, dict), "repro must be an object")
+    require(isinstance(repro.get("calls"), int) and repro["calls"] > 0,
+            "repro.calls must be a positive int")
+    require(isinstance(repro.get("dsl"), str) and repro["dsl"].strip(),
+            "repro.dsl must be a non-empty program")
+    check_state_coverage(doc.get("driver_states"), "driver_states")
+    kasan = doc.get("kasan_context")
+    require(isinstance(kasan, dict), "kasan_context must be an object")
+    for key in ("kernel_reports", "hal_crashes"):
+        arr = kasan.get(key)
+        require(isinstance(arr, list)
+                and all(isinstance(s, str) and s for s in arr),
+                f"kasan_context.{key} must be an array of strings")
+    require(kasan["kernel_reports"] or kasan["hal_crashes"],
+            "kasan_context must carry at least one report")
+    flight = doc.get("flight_recorder")
+    require(isinstance(flight, dict), "flight_recorder must be an object")
+    require(isinstance(flight.get("capacity"), int) and flight["capacity"] > 0,
+            "flight_recorder.capacity must be a positive int")
+    require(isinstance(flight.get("recorded"), int)
+            and flight["recorded"] > 0,
+            "flight_recorder.recorded must be a positive int")
+    records = flight.get("records")
+    require(isinstance(records, list) and records,
+            "flight_recorder.records must be a non-empty array")
+    for i, rec in enumerate(records):
+        rwhere = f"flight_recorder.records[{i}]"
+        require(isinstance(rec, dict), f"{rwhere} must be an object")
+        require(isinstance(rec.get("exec"), int) and rec["exec"] >= 0,
+                f"{rwhere}.exec must be a non-negative int")
+        require(isinstance(rec.get("program"), str) and rec["program"],
+                f"{rwhere}.program must be a non-empty string")
+        require(isinstance(rec.get("rets"), list),
+                f"{rwhere}.rets must be an array")
+        for key in ("states_before", "states_after"):
+            require(isinstance(rec.get(key), dict),
+                    f"{rwhere}.{key} must be an object")
+
+
 def check_document(doc):
     if "bench" in doc:
         check_bench_doc(doc)
+    elif "traceEvents" in doc:
+        check_chrome_trace(doc)
+    elif "crash" in doc:
+        check_crash_doc(doc)
     elif "campaign" in doc:
         check_campaign_doc(doc)
     else:
-        raise CheckError("unknown document: expected a 'bench' or "
-                         "'campaign' top-level key")
+        raise CheckError("unknown document: expected a 'bench', "
+                         "'traceEvents', 'crash', or 'campaign' top-level "
+                         "key")
 
 
 def load(path):
@@ -240,6 +410,64 @@ def _bench_fixture():
                             "count": 100, "sum_ns": 5, "p50_ns": 1}],
         },
         "timing": {"wall_seconds": 0.5},
+    }
+
+
+def _state_coverage_fixture():
+    return [{
+        "driver": "rt1711_i2c",
+        "states": ["idle", "attached", "alerting"],
+        "current": "attached",
+        "visits": [3, 2, 0],
+        "matrix": [[0, 2, 0], [1, 0, 0], [0, 0, 0]],
+        "states_visited": 2,
+        "transitions_observed": 2,
+    }]
+
+
+def _chrome_fixture():
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+             "args": {"name": "droidfuzz"}},
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+             "args": {"name": "A1"}},
+            {"name": "campaign", "cat": "droidfuzz", "ph": "X", "pid": 1,
+             "tid": 1, "ts": 0, "dur": 90,
+             "args": {"id": 1, "parent": 0, "exec": 0}},
+            {"name": "iteration", "cat": "droidfuzz", "ph": "X", "pid": 1,
+             "tid": 1, "ts": 10, "dur": 40,
+             "args": {"id": 2, "parent": 1, "exec": 1}},
+            {"name": "phase:execute", "cat": "droidfuzz", "ph": "X", "pid": 1,
+             "tid": 1, "ts": 12, "dur": 20,
+             "args": {"id": 3, "parent": 2, "exec": 1}},
+        ],
+    }
+
+
+def _crash_fixture():
+    return {
+        "crash": {"title": "KASAN: use-after-free in ion_free",
+                  "hash": "00c0ffee00c0ffee", "component": "Kernel",
+                  "origin": "ion", "bug_class": "KASAN",
+                  "first_exec": 40, "dup_count": 1},
+        "campaign": {"device": "A1", "seed": 3, "exec": 40},
+        "repro": {"calls": 2, "dsl": "r0 = openat$ion()\nclose(r0)\n"},
+        "driver_states": _state_coverage_fixture(),
+        "kasan_context": {
+            "kernel_reports": ["KASAN: use-after-free in ion_free | ..."],
+            "hal_crashes": [],
+        },
+        "flight_recorder": {
+            "capacity": 16, "recorded": 1,
+            "records": [{"exec": 40, "program": "r0 = openat$ion()\n",
+                         "rets": [3], "new_features": 0,
+                         "kernel_bug": "KASAN: use-after-free in ion_free",
+                         "hal_crash": "",
+                         "states_before": {"ion": "empty"},
+                         "states_after": {"ion": "allocated"}}],
+        },
     }
 
 
@@ -294,6 +522,60 @@ def self_test():
     doc["stats"]["aggregate"]["executions"] = [0, 999]
     expect_fail("aggregate not the device sum", doc)
 
+    doc = _bench_fixture()
+    doc["series"][0]["state_coverage"] = _state_coverage_fixture()
+    expect_ok("bench series with state coverage", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["state_coverage"] = _state_coverage_fixture()
+    doc["series"][0]["state_coverage"][0]["matrix"][0] = [0, 2]
+    expect_fail("ragged transition matrix", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["state_coverage"] = _state_coverage_fixture()
+    doc["series"][0]["state_coverage"][0]["states_visited"] = 3
+    expect_fail("states_visited inconsistent with visits", doc)
+
+    doc = _campaign_fixture()
+    doc["stats"]["devices"][0]["state_coverage"] = _state_coverage_fixture()
+    expect_ok("campaign stats with state coverage", doc)
+
+    expect_ok("valid chrome trace", _chrome_fixture())
+
+    doc = _chrome_fixture()
+    doc["traceEvents"][4]["ts"] = 5
+    expect_fail("non-monotone ts within a track", doc)
+
+    doc = _chrome_fixture()
+    doc["traceEvents"][4]["args"]["parent"] = 99
+    expect_fail("dangling span parent", doc)
+
+    doc = _chrome_fixture()
+    del doc["traceEvents"][3]["dur"]
+    expect_fail("complete span without dur", doc)
+
+    doc = _chrome_fixture()
+    doc["traceEvents"] = doc["traceEvents"][:2]
+    expect_fail("metadata-only trace", doc)
+
+    expect_ok("valid crash provenance doc", _crash_fixture())
+
+    doc = _crash_fixture()
+    doc["crash"]["hash"] = "xyz"
+    expect_fail("malformed crash hash", doc)
+
+    doc = _crash_fixture()
+    doc["repro"]["dsl"] = ""
+    expect_fail("empty reproducer", doc)
+
+    doc = _crash_fixture()
+    doc["flight_recorder"]["records"] = []
+    expect_fail("crash report without flight records", doc)
+
+    doc = _crash_fixture()
+    doc["kasan_context"]["kernel_reports"] = []
+    expect_fail("crash report without any kernel/HAL context", doc)
+
     expect_fail("unknown shape", {"something": 1})
 
     failures = 0
@@ -323,6 +605,23 @@ def self_test():
         print("  [FAIL] strip_timing must preserve content differences")
     else:
         print("  [ok] strip_timing preserves content differences")
+
+    a, b = _chrome_fixture(), _chrome_fixture()
+    for ev in b["traceEvents"]:
+        if ev["ph"] == "X":
+            ev["ts"] += 1000
+            ev["dur"] += 7
+    if strip_timing(a) != strip_timing(b):
+        failures += 1
+        print("  [FAIL] strip_timing must erase chrome ts/dur differences")
+    else:
+        print("  [ok] strip_timing erases chrome ts/dur differences")
+    b["traceEvents"][3]["name"] = "other"
+    if strip_timing(a) == strip_timing(b):
+        failures += 1
+        print("  [FAIL] strip_timing must preserve span-name differences")
+    else:
+        print("  [ok] strip_timing preserves span-name differences")
 
     print(f"self-test: {'PASS' if failures == 0 else 'FAIL'}")
     return failures == 0

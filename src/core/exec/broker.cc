@@ -22,15 +22,37 @@ Broker::~Broker() { dev_.kernel().exit_task(native_task_); }
 void Broker::attach_observability(obs::Observability* o,
                                   std::string_view label) {
   obs_ = o;
+  label_ = std::string(label);
+  spans_ = (o != nullptr && o->spans.enabled()) ? &o->spans : nullptr;
   if (o == nullptr) {
     h_execute_ = nullptr;
     c_programs_ = c_calls_ = c_reboots_ = nullptr;
+    dev_.kernel().set_driver_op_hook(nullptr);
     return;
   }
   h_execute_ = &o->registry.histogram("phase.execute", label);
   c_programs_ = &o->registry.counter("broker.programs", label);
   c_calls_ = &o->registry.counter("broker.calls", label);
   c_reboots_ = &o->registry.counter("broker.reboots", label);
+  if (spans_ != nullptr) {
+    // Driver-handler spans: the kernel cannot link obs, so it calls back
+    // into the broker, which owns the open-span id stack for nested ops.
+    dev_.kernel().set_driver_op_hook(
+        [this](std::string_view driver, const char* op, bool enter) {
+          if (enter) {
+            std::string name = "driver:";
+            name += driver;
+            name += '.';
+            name += op;
+            op_spans_.push_back(spans_->begin(name, label_, executions_));
+          } else if (!op_spans_.empty()) {
+            spans_->end(op_spans_.back());
+            op_spans_.pop_back();
+          }
+        });
+  } else {
+    dev_.kernel().set_driver_op_hook(nullptr);
+  }
 }
 
 uint64_t Broker::resolve(const std::vector<uint64_t>& results,
@@ -159,6 +181,8 @@ ExecResult Broker::execute(const dsl::Program& prog, const ExecOptions& opt) {
   const obs::ScopedTimer timer(h_execute_);
   ExecResult out;
   ++executions_;
+  const obs::ScopedSpan exec_span(spans_, "phase:execute", label_,
+                                  executions_);
   auto& k = dev_.kernel();
 
   // Arm feedback collection.
@@ -178,6 +202,8 @@ ExecResult Broker::execute(const dsl::Program& prog, const ExecOptions& opt) {
     const dsl::Call& call = prog.calls[i];
     if (call.desc == nullptr) continue;
     uint64_t produced = 0;
+    const obs::ScopedSpan call_span(spans_, call.desc->name, label_,
+                                    executions_);
     const int64_t ret = call.desc->is_hal()
                             ? run_hal(call, results, produced)
                             : run_syscall(call, results, produced);

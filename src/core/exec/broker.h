@@ -6,6 +6,7 @@
 #pragma once
 
 #include <map>
+#include <string>
 #include <vector>
 
 #include "device/device.h"
@@ -50,7 +51,9 @@ class Broker {
 
   // Attach/detach campaign telemetry (null = off). Caches metric pointers
   // (phase.execute latency, broker.programs/calls/reboots counters labeled
-  // with `label`) so execute() pays only null-checks when detached.
+  // with `label`) so execute() pays only null-checks when detached. When the
+  // bundle's span tracer is enabled, also emits phase:execute + per-syscall
+  // spans and installs the kernel driver-op hook for driver-handler spans.
   void attach_observability(obs::Observability* o, std::string_view label);
 
   device::Device& device() { return dev_; }
@@ -87,6 +90,9 @@ class Broker {
   obs::Counter* c_programs_ = nullptr;
   obs::Counter* c_calls_ = nullptr;
   obs::Counter* c_reboots_ = nullptr;
+  obs::SpanTracer* spans_ = nullptr;  // cached only when enabled at attach
+  std::string label_;
+  std::vector<uint64_t> op_spans_;  // open driver-handler span ids
 };
 
 }  // namespace df::core

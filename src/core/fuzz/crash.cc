@@ -1,8 +1,12 @@
 #include "core/fuzz/crash.h"
 
 #include <cctype>
+#include <filesystem>
+#include <fstream>
 
 #include "core/descriptions.h"
+#include "obs/json.h"
+#include "util/hash.h"
 
 namespace df::core {
 
@@ -80,6 +84,137 @@ bool CrashLog::record_hal(const hal::CrashRecord& crash,
     rec->bug_class = crash.signal;
   }
   return fresh;
+}
+
+std::string CrashLog::title_hash(std::string_view title) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  const uint64_t h = util::fnv1a(title);
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = kHex[(h >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+namespace {
+
+// Decodes a flight-record state snapshot against the per-driver coverage
+// entries (registration order). Emits {"driver": "state"} for every driver
+// that exposes a state machine.
+void write_state_snapshot(obs::JsonWriter& w, const std::vector<uint8_t>& snap,
+                          const std::vector<obs::DriverStateCoverage>& cov) {
+  w.begin_object();
+  for (size_t i = 0; i < cov.size() && i < snap.size(); ++i) {
+    if (cov[i].states.empty()) continue;
+    w.key(cov[i].driver);
+    const size_t s = snap[i];
+    if (s < cov[i].states.size()) {
+      w.value(cov[i].states[s]);
+    } else {
+      w.value(std::to_string(s));
+    }
+  }
+  w.end_object();
+}
+
+void write_flight_record(obs::JsonWriter& w, const obs::ExecutionRecord& rec,
+                         const CrashContext& ctx) {
+  w.begin_object();
+  w.field("exec", rec.exec_index);
+  const auto* prog = static_cast<const dsl::Program*>(rec.program.get());
+  w.field("program", prog != nullptr ? dsl::format_program(*prog) : "");
+  w.key("rets").begin_array();
+  for (int64_t r : rec.rets) w.value(r);
+  w.end_array();
+  w.field("new_features", rec.new_features);
+  w.field("kernel_bug", rec.kernel_bug);
+  w.field("hal_crash", rec.hal_crash);
+  w.key("states_before");
+  write_state_snapshot(w, rec.states_before, ctx.state_coverage);
+  w.key("states_after");
+  write_state_snapshot(w, rec.states_after, ctx.state_coverage);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string CrashLog::provenance_json(const BugRecord& bug,
+                                      const CrashContext& ctx) {
+  obs::JsonWriter w;
+  w.begin_object();
+
+  w.key("crash").begin_object();
+  w.field("title", bug.title);
+  w.field("hash", title_hash(bug.title));
+  w.field("component", bug.component);
+  w.field("origin", bug.origin);
+  w.field("bug_class", bug.bug_class);
+  w.field("first_exec", bug.first_exec);
+  w.field("dup_count", bug.dup_count);
+  w.end_object();
+
+  w.key("campaign").begin_object();
+  w.field("device", ctx.device);
+  w.field("seed", ctx.seed);
+  w.field("exec", ctx.exec_index);
+  w.end_object();
+
+  w.key("repro").begin_object();
+  w.field("calls", static_cast<uint64_t>(bug.repro.calls.size()));
+  w.field("dsl", bug.repro_text);
+  w.end_object();
+
+  w.key("driver_states").begin_array();
+  for (const auto& c : ctx.state_coverage) {
+    if (c.states.empty()) continue;
+    c.write_json(w);
+  }
+  w.end_array();
+
+  w.key("kasan_context").begin_object();
+  w.key("kernel_reports").begin_array();
+  for (const auto& line : ctx.kernel_context) w.value(line);
+  w.end_array();
+  w.key("hal_crashes").begin_array();
+  for (const auto& line : ctx.hal_context) w.value(line);
+  w.end_array();
+  w.end_object();
+
+  w.key("flight_recorder").begin_object();
+  const obs::FlightRecorder* fr = ctx.flight;
+  w.field("capacity", static_cast<uint64_t>(fr != nullptr ? fr->capacity() : 0));
+  w.field("recorded", fr != nullptr ? fr->recorded() : 0);
+  w.key("records").begin_array();
+  if (fr != nullptr) {
+    for (size_t i = 0; i < fr->size(); ++i) {
+      write_flight_record(w, fr->at(i), ctx);
+    }
+  }
+  w.end_array();
+  w.end_object();
+
+  w.end_object();
+  std::string out = w.take();
+  out.push_back('\n');
+  return out;
+}
+
+std::string CrashLog::write_provenance(const BugRecord& bug,
+                                       const CrashContext& ctx) {
+  if (!provenance_enabled()) return {};
+  std::error_code ec;
+  std::filesystem::create_directories(provenance_dir_, ec);
+  const std::string path =
+      provenance_dir_ + "/crash_" + title_hash(bug.title) + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return {};
+  out << provenance_json(bug, ctx);
+  out.close();
+  if (!out.good()) return {};
+  bool seen = false;
+  for (const auto& p : provenance_files_) seen = seen || p == path;
+  if (!seen) provenance_files_.push_back(path);
+  return path;
 }
 
 const BugRecord* CrashLog::find(std::string_view title) const {

@@ -1,6 +1,8 @@
 // Crash triage: dedup, normalization, and reproducer bookkeeping for kernel
 // reports and HAL native crashes (the post-processing §V-B describes:
-// "initially minimized, deduplicated, and reproduced").
+// "initially minimized, deduplicated, and reproduced"), plus self-contained
+// crash_<hash>.json provenance reports bundling the reproducer, the flight-
+// recorder window, and the driver-state snapshot at crash time.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +13,8 @@
 #include "dsl/prog.h"
 #include "hal/hal_service.h"
 #include "kernel/dmesg.h"
+#include "obs/flight_recorder.h"
+#include "obs/stats_reporter.h"
 
 namespace df::core {
 
@@ -34,6 +38,20 @@ std::string normalize_title(std::string_view raw);
 // "android.hardware.graphics.composer@sim" -> "Native crash in Graphics HAL".
 std::string hal_crash_title(std::string_view service_descriptor);
 
+// Execution-provenance context captured by the engine when a crash fires.
+// `flight` may be null (recorder disabled); `state_coverage` entries are in
+// kernel driver registration order so flight-record state snapshots decode
+// against them.
+struct CrashContext {
+  std::string device;
+  uint64_t seed = 0;
+  uint64_t exec_index = 0;
+  const obs::FlightRecorder* flight = nullptr;
+  std::vector<obs::DriverStateCoverage> state_coverage;
+  std::vector<std::string> kernel_context;  // dmesg lines of the crashing exec
+  std::vector<std::string> hal_context;     // HAL crash records of the exec
+};
+
 class CrashLog {
  public:
   // Returns true when the report is new (first occurrence).
@@ -48,12 +66,32 @@ class CrashLog {
   size_t unique_bugs() const { return bugs_.size(); }
   uint64_t total_reports() const { return total_; }
 
+  // --- crash provenance reports -------------------------------------------
+  // Directory for crash_<hash>.json reports; "" (the default) disables.
+  // The directory is created on the first write.
+  void set_provenance_dir(std::string dir) { provenance_dir_ = std::move(dir); }
+  bool provenance_enabled() const { return !provenance_dir_.empty(); }
+  const std::vector<std::string>& provenance_files() const {
+    return provenance_files_;
+  }
+  // Writes the self-contained report for `bug` and returns its path ("" on
+  // I/O failure or when disabled). One report per bug title: a repeat of an
+  // already-reported title overwrites the same file.
+  std::string write_provenance(const BugRecord& bug, const CrashContext& ctx);
+  // The report body (one JSON document; exposed for golden-file tests).
+  static std::string provenance_json(const BugRecord& bug,
+                                     const CrashContext& ctx);
+  // The 16-hex-digit filename hash of a normalized title.
+  static std::string title_hash(std::string_view title);
+
  private:
   BugRecord* upsert(std::string title, const dsl::Program& repro,
                     uint64_t exec_index, bool& fresh);
 
   std::vector<BugRecord> bugs_;
   uint64_t total_ = 0;
+  std::string provenance_dir_;
+  std::vector<std::string> provenance_files_;
 };
 
 }  // namespace df::core

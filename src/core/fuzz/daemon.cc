@@ -18,8 +18,14 @@ bool Daemon::add_device(std::string_view id) {
   ec.seed = rng_.next();
   slot.eng = std::make_unique<Engine>(*slot.dev, ec);
   if (obs_ != nullptr) slot.eng->attach_observability(obs_);
+  if (!cfg_.crash_dir.empty()) slot.eng->set_crash_dir(cfg_.crash_dir);
   engines_.push_back(std::move(slot));
   return true;
+}
+
+void Daemon::set_crash_dir(std::string dir) {
+  cfg_.crash_dir = std::move(dir);
+  for (auto& s : engines_) s.eng->set_crash_dir(cfg_.crash_dir);
 }
 
 void Daemon::attach_observability(obs::Observability* o) {
@@ -33,11 +39,18 @@ void Daemon::attach_reporter(obs::StatsReporter* reporter) {
 
 void Daemon::sample_stats() {
   if (reporter_ == nullptr) return;
-  for (auto& s : engines_) reporter_->record(s.id, s.eng->sample());
+  for (auto& s : engines_) {
+    reporter_->set_state_coverage(s.id, s.eng->state_coverage());
+    reporter_->record(s.id, s.eng->sample());
+  }
 }
 
 void Daemon::run(uint64_t executions_per_device, uint64_t slice) {
   if (slice == 0) slice = 1;
+  // Campaign root span (one per run() round).
+  obs::SpanTracer* spans =
+      obs_ != nullptr && obs_->spans.enabled() ? &obs_->spans : nullptr;
+  const obs::ScopedSpan campaign_span(spans, "campaign");
   for (auto& s : engines_) s.eng->setup();
   // Baseline stats point for a fresh campaign (skipped when resuming so a
   // second run() does not duplicate the previous final point).
@@ -137,7 +150,7 @@ size_t Daemon::load_corpus(const std::string& text) {
     if (begin > text.size()) break;
   }
   flush();
-  DF_LOG(kInfo) << "daemon: loaded " << loaded << " corpus programs";
+  DF_CLOG("daemon", kInfo) << "loaded " << loaded << " corpus programs";
   return loaded;
 }
 

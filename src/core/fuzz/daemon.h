@@ -19,6 +19,9 @@ namespace df::core {
 struct DaemonConfig {
   uint64_t seed = 1;
   EngineConfig engine;  // template applied to every device engine
+  // Directory for crash_<hash>.json provenance reports ("" disables).
+  // Applied to every engine, present and future.
+  std::string crash_dir;
 };
 
 struct CampaignBug {
@@ -45,8 +48,11 @@ class Daemon {
   void attach_observability(obs::Observability* o);
   // Attach the campaign stats reporter run() samples into (null detaches).
   void attach_reporter(obs::StatsReporter* reporter);
-  // Records one stats point per device right now.
+  // Records one stats point per device right now, refreshing each device's
+  // driver-state coverage matrices in the reporter.
   void sample_stats();
+  // Re-points every engine's provenance output ("" disables).
+  void set_crash_dir(std::string dir);
   size_t device_count() const { return engines_.size(); }
   Engine* engine(std::string_view device_id);
   std::vector<CampaignBug> all_bugs() const;

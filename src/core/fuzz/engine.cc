@@ -55,13 +55,16 @@ void Engine::setup() {
   if (obs_ != nullptr) broker_->attach_observability(obs_, dev_.spec().id);
   gen_ = std::make_unique<Generator>(table_, rel_, corpus_, rng_,
                                      cfg_.gen);
-  DF_LOG(kInfo) << "engine[" << dev_.spec().id << "]: " << table_.size()
-                << " calls, " << spec_.size() << " specialized ids";
+  DF_CLOG("engine", kInfo) << "engine[" << dev_.spec().id << "]: "
+                           << table_.size() << " calls, " << spec_.size()
+                           << " specialized ids";
 }
 
 void Engine::attach_observability(obs::Observability* o) {
   obs_ = o;
   if (o == nullptr) {
+    spans_ = nullptr;
+    flight_ = nullptr;
     h_generate_ = h_analyze_ = h_minimize_ = nullptr;
     c_execs_ = c_new_features_ = c_corpus_adds_ = c_bugs_ = nullptr;
     c_decays_ = c_min_oracle_ = c_relations_ = nullptr;
@@ -69,6 +72,8 @@ void Engine::attach_observability(obs::Observability* o) {
     dev_.set_reboot_hook(nullptr);
     return;
   }
+  spans_ = o->spans.enabled() ? &o->spans : nullptr;
+  flight_ = o->flight.enabled() ? &o->flight : nullptr;
   const std::string& id = dev_.spec().id;
   auto& reg = o->registry;
   h_generate_ = &reg.histogram("phase.generate", id);
@@ -92,6 +97,52 @@ void Engine::attach_observability(obs::Observability* o) {
     ev.with("total_reboots", reboot_count);
     obs_->trace.emit(std::move(ev));
   });
+}
+
+std::vector<uint8_t> Engine::driver_state_snapshot() const {
+  const auto& drvs = dev_.kernel().drivers();
+  std::vector<uint8_t> out;
+  out.reserve(drvs.size());
+  for (const auto& d : drvs) {
+    out.push_back(static_cast<uint8_t>(d->current_state()));
+  }
+  return out;
+}
+
+std::vector<obs::DriverStateCoverage> Engine::state_coverage() const {
+  std::vector<obs::DriverStateCoverage> out;
+  for (const auto& d : dev_.kernel().drivers()) {
+    obs::DriverStateCoverage c;
+    c.driver = std::string(d->name());
+    c.states = d->state_names();
+    c.current = d->current_state();
+    c.visits = d->state_visits();
+    c.matrix = d->state_matrix();
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+CrashContext Engine::make_crash_context(const ExecResult& res) const {
+  CrashContext ctx;
+  ctx.device = dev_.spec().id;
+  ctx.seed = cfg_.seed;
+  ctx.exec_index = exec_count_;
+  ctx.flight = flight_;
+  ctx.state_coverage = state_coverage();
+  for (const auto& rep : res.kernel_reports) {
+    std::string line = rep.title;
+    if (!rep.detail.empty()) {
+      line += " | ";
+      line += rep.detail;
+    }
+    ctx.kernel_context.push_back(std::move(line));
+  }
+  for (const auto& crash : res.hal_crashes) {
+    ctx.hal_context.push_back(crash.service + " " + crash.signal + " at " +
+                              crash.site);
+  }
+  return ctx;
 }
 
 obs::EngineSample Engine::sample() const {
@@ -238,17 +289,48 @@ void Engine::analyze(const dsl::Program& prog, const ExecResult& res,
 StepStats Engine::step() {
   if (!ready()) setup();
   StepStats stats;
+  const obs::ScopedSpan iter_span(spans_, "iteration", dev_.spec().id,
+                                  exec_count_ + 1);
   dsl::Program prog;
   {
     const obs::ScopedTimer t(h_generate_);
+    const obs::ScopedSpan s(spans_, "phase:generate", dev_.spec().id,
+                            exec_count_ + 1);
     prog = gen_->next();
   }
   if (prog.empty()) return stats;
   ++exec_count_;
+  std::vector<uint8_t> states_before;
+  if (flight_ != nullptr) states_before = driver_state_snapshot();
+  const size_t bugs_before = crash_log_.unique_bugs();
   const ExecResult res = broker_->execute(prog, exec_options());
   {
     const obs::ScopedTimer t(h_analyze_);
+    const obs::ScopedSpan s(spans_, "phase:analyze", dev_.spec().id,
+                            exec_count_);
     analyze(prog, res, stats);
+  }
+
+  if (flight_ != nullptr) {
+    obs::ExecutionRecord rec;
+    rec.exec_index = exec_count_;
+    rec.program = std::make_shared<const dsl::Program>(prog);
+    rec.rets = res.rets;
+    rec.new_features = stats.new_features;
+    rec.kernel_bug = stats.kernel_bug;
+    rec.hal_crash = stats.hal_crash;
+    rec.states_before = std::move(states_before);
+    // Post-reboot when the execution rebooted: the recovery state is what
+    // the next execution actually starts from.
+    rec.states_after = driver_state_snapshot();
+    flight_->push(std::move(rec));
+  }
+  if (crash_log_.provenance_enabled() &&
+      crash_log_.unique_bugs() > bugs_before) {
+    const CrashContext ctx = make_crash_context(res);
+    for (size_t i = bugs_before; i < crash_log_.unique_bugs(); ++i) {
+      crash_log_.write_provenance(crash_log_.bugs()[i], ctx);
+    }
   }
 
   bool decayed = false;

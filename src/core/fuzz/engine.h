@@ -64,11 +64,23 @@ class Engine {
   // Attach campaign telemetry (null = off, the default). Threads the bundle
   // into the broker and probe, installs the device reboot hook, and caches
   // metric pointers (phase histograms + engine counters labeled by device
-  // id) so step() pays only null-checks when detached.
+  // id) so step() pays only null-checks when detached. Span tracing and the
+  // flight recorder are cached only if already enabled on the bundle —
+  // enable them *before* attaching.
   void attach_observability(obs::Observability* o);
   obs::Observability* observability() const { return obs_; }
   // One stats-reporter observation of this engine's current state.
   obs::EngineSample sample() const;
+  // Per-driver state-machine positions (state index per kernel driver, in
+  // registration order — aligned with state_coverage() entries).
+  std::vector<uint8_t> driver_state_snapshot() const;
+  // State-transition coverage matrices for every kernel driver (drivers
+  // without a state machine have empty `states`).
+  std::vector<obs::DriverStateCoverage> state_coverage() const;
+  // Directory for crash_<hash>.json provenance reports ("" disables).
+  void set_crash_dir(std::string dir) {
+    crash_log_.set_provenance_dir(std::move(dir));
+  }
 
   uint64_t executions() const { return exec_count_; }
   // The paper's coverage proxy: cumulative *kernel* features.
@@ -93,6 +105,7 @@ class Engine {
                StepStats& stats);
   void learn_from(const dsl::Program& prog);
   ExecOptions exec_options() const;
+  CrashContext make_crash_context(const ExecResult& res) const;
   // Cold-path telemetry emitters; only called when obs_ != nullptr.
   void record_step(const ExecResult& res, const StepStats& stats,
                    bool decayed);
@@ -113,6 +126,8 @@ class Engine {
   uint64_t exec_count_ = 0;
 
   obs::Observability* obs_ = nullptr;
+  obs::SpanTracer* spans_ = nullptr;       // cached only when enabled
+  obs::FlightRecorder* flight_ = nullptr;  // cached only when enabled
   obs::Histogram* h_generate_ = nullptr;
   obs::Histogram* h_analyze_ = nullptr;
   obs::Histogram* h_minimize_ = nullptr;

@@ -120,9 +120,9 @@ ProbeResult HalProber::probe(size_t workload_rounds) {
   // as normalized occurrence counts (paper §IV-B, last paragraph).
   run_app_workload(out, workload_rounds);
 
-  DF_LOG(kInfo) << "probe: " << out.services.size() << " services, "
-                << out.methods.size() << " interfaces, "
-                << out.binder_transactions_observed << " binder txs";
+  DF_CLOG("probe", kInfo) << "probe: " << out.services.size() << " services, "
+                          << out.methods.size() << " interfaces, "
+                          << out.binder_transactions_observed << " binder txs";
   if (obs_ != nullptr) record_probe(out);
   return out;
 }

@@ -26,8 +26,8 @@ TxResult HalService::transact(uint32_t code, Parcel& data) {
     crashes_.push_back(
         {crash.service, crash.signal, crash.site, crash_seq_++});
     dead_ = true;
-    DF_LOG(kInfo) << "HAL crash: " << crash.service << " " << crash.signal
-                  << " in " << crash.site;
+    DF_CLOG("hal", kInfo) << "HAL crash: " << crash.service << " "
+                          << crash.signal << " in " << crash.site;
     return {kStatusDeadObject, {}};
   }
 }

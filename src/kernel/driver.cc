@@ -71,6 +71,38 @@ bool DriverCtx::lock_acquire_nested(uint32_t subclass,
 
 util::Rng& DriverCtx::rng() { return kernel_.rng(); }
 
+void Driver::state_machine_boot() {
+  const size_t n = state_names().size();
+  if (state_visits_.size() != n) {
+    state_visits_.assign(n, 0);
+    state_matrix_.assign(n * n, 0);
+  }
+  cur_state_ = 0;
+  if (n > 0) ++state_visits_[0];
+}
+
+void Driver::enter_state(size_t s) {
+  const size_t n = state_visits_.size();
+  if (s >= n) return;
+  ++state_visits_[s];
+  if (s != cur_state_) {
+    ++state_matrix_[cur_state_ * n + s];
+    cur_state_ = s;
+  }
+}
+
+size_t Driver::states_visited() const {
+  size_t n = 0;
+  for (uint64_t v : state_visits_) n += v > 0 ? 1 : 0;
+  return n;
+}
+
+uint64_t Driver::transitions_observed() const {
+  uint64_t n = 0;
+  for (uint64_t v : state_matrix_) n += v > 0 ? 1 : 0;
+  return n;
+}
+
 uint64_t le_u64(std::span<const uint8_t> b, size_t off) {
   uint64_t v = 0;
   for (size_t i = 0; i < 8 && off + i < b.size(); ++i)

@@ -183,9 +183,41 @@ class Driver {
   // Assigned by the kernel at registration; used for coverage attribution.
   uint16_t driver_id() const { return driver_id_; }
 
+  // --- state-machine introspection ----------------------------------------
+  // Every gated state machine reports its protocol position through
+  // enter_state(); the base class tallies campaign-cumulative per-state
+  // visit counts and a transition matrix — the observability counterpart of
+  // the paper's "deep block" claim. State 0 is the boot/initial state.
+  //
+  // Names of the protocol states, index == state id. Empty (the default)
+  // means the driver does not expose a state machine.
+  virtual std::vector<std::string> state_names() const { return {}; }
+
+  // (Re)sizes the tallies from state_names() and counts the boot-time entry
+  // into state 0 *without* recording a transition — a reboot is not a
+  // protocol transition. Called by the kernel at boot() and reboot();
+  // tallies deliberately survive reboots (they are campaign-cumulative).
+  void state_machine_boot();
+
+  size_t current_state() const { return cur_state_; }
+  const std::vector<uint64_t>& state_visits() const { return state_visits_; }
+  // Row-major transition counts: matrix[from * n + to], n = state count.
+  const std::vector<uint64_t>& state_matrix() const { return state_matrix_; }
+  size_t states_visited() const;
+  uint64_t transitions_observed() const;  // distinct (from, to) pairs seen
+
+ protected:
+  // Driver code calls this whenever the protocol state machine moves (or
+  // re-enters a state). No-op before state_machine_boot() or for out-of-
+  // range indices, so drivers stay usable without a booted kernel.
+  void enter_state(size_t s);
+
  private:
   friend class Kernel;
   uint16_t driver_id_ = 0;
+  size_t cur_state_ = 0;
+  std::vector<uint64_t> state_visits_;
+  std::vector<uint64_t> state_matrix_;
 };
 
 // Helpers for little-endian scalar extraction from syscall payloads —

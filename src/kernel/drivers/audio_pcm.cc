@@ -49,6 +49,7 @@ int64_t AudioPcmDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
       channels_ = ch;
       fmt_ = fmt;
       st_ = St::kSetup;
+      track_st();
       // DSP path table: rate x channels x format.
       ctx.covp(12, (rate / 8000) * 32 + ch * 4 + fmt);
       return 0;
@@ -60,6 +61,7 @@ int64_t AudioPcmDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
         return err::kEINVAL;
       }
       st_ = St::kPrepared;
+      track_st();
       ctx.cov(202);
       return 0;
     case kIocStart:
@@ -69,6 +71,7 @@ int64_t AudioPcmDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
         return err::kEINVAL;
       }
       st_ = St::kRunning;
+      track_st();
       ctx.cov(212);
       return 0;
     case kIocDrain:
@@ -78,19 +81,23 @@ int64_t AudioPcmDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
         return err::kEINVAL;
       }
       st_ = St::kDraining;
+      track_st();  // transient: running -> draining -> setup within one call
       ctx.covp(41, frames_written_ % 8);
       st_ = St::kSetup;
+      track_st();
       return 0;
     case kIocPause: {
       const uint32_t on = le_u32(in, 0);
       ctx.cov(410);
       if (on != 0 && st_ == St::kRunning) {
         st_ = St::kPaused;
+        track_st();
         ctx.cov(411);
         return 0;
       }
       if (on == 0 && st_ == St::kPaused) {
         st_ = St::kRunning;
+        track_st();
         ctx.cov(412);
         return 0;
       }

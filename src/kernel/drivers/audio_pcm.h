@@ -20,6 +20,9 @@ class AudioPcmDriver final : public Driver {
 
   std::string_view name() const override { return "audio_pcm"; }
   std::vector<std::string> nodes() const override { return {"/dev/snd_pcm"}; }
+  std::vector<std::string> state_names() const override {
+    return {"open", "setup", "prepared", "running", "paused", "draining"};
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;
@@ -33,6 +36,8 @@ class AudioPcmDriver final : public Driver {
 
  private:
   enum class St { kOpen, kSetup, kPrepared, kRunning, kPaused, kDraining };
+
+  void track_st() { enter_state(static_cast<size_t>(st_)); }
 
   St st_ = St::kOpen;
   uint32_t rate_ = 0, channels_ = 0, fmt_ = 0;

@@ -45,7 +45,7 @@ int64_t BtHciDriver::bind(DriverCtx& ctx, File& f,
   return 0;
 }
 
-int64_t BtHciDriver::ioctl(DriverCtx& ctx, File& f, uint64_t req,
+int64_t BtHciDriver::ioctl_impl(DriverCtx& ctx, File& f, uint64_t req,
                            std::span<const uint8_t>, std::vector<uint8_t>& out) {
   auto* ss = f.state<SockState>();
   if (ss == nullptr) return err::kEINVAL;
@@ -105,7 +105,7 @@ void BtHciDriver::queue_cmd_complete(SockState& ss, uint16_t opcode,
   ss.events.push_back(std::move(ev));
 }
 
-int64_t BtHciDriver::sendmsg(DriverCtx& ctx, File& f,
+int64_t BtHciDriver::sendmsg_impl(DriverCtx& ctx, File& f,
                              std::span<const uint8_t> pkt) {
   auto* ss = f.state<SockState>();
   if (ss == nullptr) return err::kEINVAL;

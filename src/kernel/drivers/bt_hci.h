@@ -47,19 +47,40 @@ class BtHciDriver final : public Driver {
   void probe(DriverCtx& ctx) override;
   void reset() override;
 
+  std::vector<std::string> state_names() const override {
+    return {"down", "up", "vendor_unlocked"};
+  }
+
   int64_t sock_create(DriverCtx& ctx, File& f) override;
   int64_t bind(DriverCtx& ctx, File& f,
                std::span<const uint8_t> addr) override;
   int64_t ioctl(DriverCtx& ctx, File& f, uint64_t req,
                 std::span<const uint8_t> in,
-                std::vector<uint8_t>& out) override;
+                std::vector<uint8_t>& out) override {
+    const int64_t ret = ioctl_impl(ctx, f, req, in, out);
+    enter_state(protocol_state());
+    return ret;
+  }
   int64_t sendmsg(DriverCtx& ctx, File& f,
-                  std::span<const uint8_t> pkt) override;
+                  std::span<const uint8_t> pkt) override {
+    const int64_t ret = sendmsg_impl(ctx, f, pkt);
+    enter_state(protocol_state());
+    return ret;
+  }
   int64_t recvmsg(DriverCtx& ctx, File& f, size_t n,
                   std::vector<uint8_t>& out) override;
   void release(DriverCtx& ctx, File& f) override;
 
  private:
+  int64_t ioctl_impl(DriverCtx& ctx, File& f, uint64_t req,
+                     std::span<const uint8_t> in, std::vector<uint8_t>& out);
+  int64_t sendmsg_impl(DriverCtx& ctx, File& f, std::span<const uint8_t> pkt);
+  // Adapter position: vendor surface unlocked > adapter up > down.
+  size_t protocol_state() const {
+    if (vendor_unlocked_) return 2;
+    return adapter_up_ ? 1 : 0;
+  }
+
   struct SockState {
     bool bound = false;
     std::vector<std::vector<uint8_t>> events;  // pending HCI events

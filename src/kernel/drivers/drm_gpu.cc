@@ -14,7 +14,7 @@ void DrmGpuDriver::reset() {
   next_fence_ = 1;
 }
 
-int64_t DrmGpuDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
+int64_t DrmGpuDriver::ioctl_impl(DriverCtx& ctx, File&, uint64_t req,
                             std::span<const uint8_t> in,
                             std::vector<uint8_t>& out) {
   switch (req) {

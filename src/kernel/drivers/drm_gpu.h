@@ -24,16 +24,36 @@ class DrmGpuDriver final : public Driver {
   std::vector<std::string> nodes() const override {
     return {"/dev/dri_card0"};
   }
+  std::vector<std::string> state_names() const override {
+    return {"idle", "bo_allocated", "bo_mapped", "submitted"};
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;
 
   int64_t ioctl(DriverCtx& ctx, File& f, uint64_t req,
                 std::span<const uint8_t> in,
-                std::vector<uint8_t>& out) override;
+                std::vector<uint8_t>& out) override {
+    const int64_t ret = ioctl_impl(ctx, f, req, in, out);
+    enter_state(protocol_state());
+    return ret;
+  }
   int64_t mmap(DriverCtx& ctx, File& f, size_t len, uint64_t prot) override;
 
  private:
+  int64_t ioctl_impl(DriverCtx& ctx, File& f, uint64_t req,
+                     std::span<const uint8_t> in, std::vector<uint8_t>& out);
+  // Composition-path position: submissions trump mapping trump allocation.
+  size_t protocol_state() const {
+    if (next_fence_ > 1) return 3;
+    size_t st = 0;
+    for (const auto& [h, bo] : bos_) {
+      if (bo.mapped) return 2;
+      st = 1;
+    }
+    return st;
+  }
+
   struct Bo {
     uint32_t pages = 0;
     bool mapped = false;

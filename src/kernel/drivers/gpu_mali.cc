@@ -15,7 +15,7 @@ void MaliDriver::reset() {
   next_ctx_ = 1;
 }
 
-int64_t MaliDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
+int64_t MaliDriver::ioctl_impl(DriverCtx& ctx, File&, uint64_t req,
                           std::span<const uint8_t> in,
                           std::vector<uint8_t>& out) {
   switch (req) {

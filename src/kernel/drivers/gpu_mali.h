@@ -9,6 +9,7 @@
 // routine for the Graphics/Media HAL submission paths.
 #pragma once
 
+#include <algorithm>
 #include <map>
 
 #include "kernel/driver.h"
@@ -39,15 +40,34 @@ class MaliDriver final : public Driver {
 
   std::string_view name() const override { return "gpu_mali"; }
   std::vector<std::string> nodes() const override { return {"/dev/mali0"}; }
+  std::vector<std::string> state_names() const override {
+    return {"no_ctx", "ctx_ready", "pool_ready", "jobs_running"};
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;
 
   int64_t ioctl(DriverCtx& ctx, File& f, uint64_t req,
                 std::span<const uint8_t> in,
-                std::vector<uint8_t>& out) override;
+                std::vector<uint8_t>& out) override {
+    const int64_t ret = ioctl_impl(ctx, f, req, in, out);
+    enter_state(protocol_state());
+    return ret;
+  }
 
  private:
+  int64_t ioctl_impl(DriverCtx& ctx, File& f, uint64_t req,
+                     std::span<const uint8_t> in, std::vector<uint8_t>& out);
+  // Deepest position any context has reached in the submission protocol.
+  size_t protocol_state() const {
+    size_t st = 0;
+    for (const auto& [id, c] : ctxs_) {
+      if (c.jobs_run > 0) return 3;
+      st = std::max(st, c.pool_pages > 0 ? size_t{2} : size_t{1});
+    }
+    return st;
+  }
+
   struct GpuCtx {
     uint32_t pool_pages = 0;
     uint64_t jobs_run = 0;

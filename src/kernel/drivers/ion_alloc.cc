@@ -13,7 +13,7 @@ void IonDriver::reset() {
   next_id_ = 1;
 }
 
-int64_t IonDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
+int64_t IonDriver::ioctl_impl(DriverCtx& ctx, File&, uint64_t req,
                          std::span<const uint8_t> in,
                          std::vector<uint8_t>& out) {
   switch (req) {

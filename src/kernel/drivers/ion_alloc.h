@@ -20,15 +20,34 @@ class IonDriver final : public Driver {
 
   std::string_view name() const override { return "ion_alloc"; }
   std::vector<std::string> nodes() const override { return {"/dev/ion"}; }
+  std::vector<std::string> state_names() const override {
+    return {"empty", "allocated", "shared"};
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;
 
   int64_t ioctl(DriverCtx& ctx, File& f, uint64_t req,
                 std::span<const uint8_t> in,
-                std::vector<uint8_t>& out) override;
+                std::vector<uint8_t>& out) override {
+    const int64_t ret = ioctl_impl(ctx, f, req, in, out);
+    enter_state(protocol_state());
+    return ret;
+  }
 
  private:
+  int64_t ioctl_impl(DriverCtx& ctx, File& f, uint64_t req,
+                     std::span<const uint8_t> in, std::vector<uint8_t>& out);
+  // Allocator position: any buffer shared cross-driver > any live buffer.
+  size_t protocol_state() const {
+    bool allocated = false;
+    for (const auto& [id, b] : bufs_) {
+      if (b.shared) return 2;
+      allocated = true;
+    }
+    return allocated ? 1 : 0;
+  }
+
   struct Buf {
     uint32_t len = 0;
     uint32_t heap = 0;

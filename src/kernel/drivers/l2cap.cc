@@ -46,6 +46,7 @@ int64_t L2capDriver::bind(DriverCtx& ctx, File& f,
   ++bound_[psm];
   ss->psm = psm;
   ss->st = Chan::kBound;
+  track_chan(ss->st);
   ctx.covp(13, psm % 32);  // PSM hash-bucket paths
   return 0;
 }
@@ -69,6 +70,7 @@ int64_t L2capDriver::connect(DriverCtx& ctx, File& f,
     // Local loopback connection: queue on the listener, move to CONFIG.
     ++it->second->pending;
     ss->st = Chan::kConfig;
+    track_chan(ss->st);
     ss->psm = psm;
     ctx.covp(21, psm % 16);
     return 0;
@@ -76,6 +78,7 @@ int64_t L2capDriver::connect(DriverCtx& ctx, File& f,
   // Remote peer: the response never arrives in this simulation, so the
   // channel sits in CONNECTING — exactly the window for bug #8.
   ss->st = Chan::kConnecting;
+  track_chan(ss->st);
   ss->psm = psm;
   ctx.cov(220);
   return 0;
@@ -96,6 +99,7 @@ int64_t L2capDriver::listen(DriverCtx& ctx, File& f, uint64_t backlog) {
   ss->backlog = static_cast<uint32_t>(backlog);
   ss->accept_q = ctx.kmalloc(ss->backlog * 16, "l2cap:accept_q");
   ss->st = Chan::kListening;
+  track_chan(ss->st);
   listeners_[ss->psm] = ss;
   ctx.covp(31, backlog);
   return 0;
@@ -116,6 +120,7 @@ int64_t L2capDriver::accept(DriverCtx& ctx, File& listener, File& child) {
   --ls->pending;
   auto* cs = child.make_state<SockState>();
   cs->st = Chan::kConnected;
+  track_chan(cs->st);
   cs->psm = ls->psm;
   if (bugs_.accept_unlink_uaf) {
     // Vendor bug: the child stays linked into the parent's accept queue
@@ -184,6 +189,7 @@ int64_t L2capDriver::sendmsg(DriverCtx& ctx, File& f,
         if (mtu >= 48 && mtu <= 65535) ss->mtu = mtu;  // else keep default
       }
       ss->st = Chan::kConnected;
+      track_chan(ss->st);
       ctx.cov(512);
       return 0;
     case kCtlDisconnReq:
@@ -196,11 +202,13 @@ int64_t L2capDriver::sendmsg(DriverCtx& ctx, File& f,
           ctx.warn("l2cap_send_disconn_req", "chan in BT_CONNECT state");
         }
         ss->st = Chan::kClosed;
+        track_chan(ss->st);
         return 0;
       }
       if (ss->st == Chan::kConnected || ss->st == Chan::kConfig) {
         ctx.cov(522);
         ss->st = Chan::kClosed;
+        track_chan(ss->st);
         return 0;
       }
       ctx.cov(523);
@@ -246,6 +254,7 @@ void L2capDriver::release(DriverCtx& ctx, File& f) {
   auto* ss = f.state<SockState>();
   if (ss == nullptr) return;
   ctx.cov(700);
+  track_chan(Chan::kClosed);  // socket teardown closes the channel
   if (ss->st == Chan::kBound || ss->st == Chan::kListening) {
     auto it = bound_.find(ss->psm);
     if (it != bound_.end() && --it->second == 0) bound_.erase(it);

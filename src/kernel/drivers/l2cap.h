@@ -40,6 +40,13 @@ class L2capDriver final : public Driver {
   std::vector<SockTriple> socket_protos() const override {
     return {{kAfBluetooth, kSockSeqpacket, kBtProtoL2cap}};
   }
+  // Channel states are per-socket; the driver-level machine tracks whichever
+  // channel transitioned last, so the matrix records the protocol orderings
+  // the fuzzer actually exercised across all sockets.
+  std::vector<std::string> state_names() const override {
+    return {"closed", "bound", "listening", "connecting", "config",
+            "connected"};
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;
@@ -79,6 +86,8 @@ class L2capDriver final : public Driver {
     HeapPtr parent_q = kNullHeapPtr;  // child's pointer into parent queue
     uint64_t tx = 0;
   };
+
+  void track_chan(Chan c) { enter_state(static_cast<size_t>(c)); }
 
   L2capBugs bugs_;
   // PSM -> listening socket state (single adapter).

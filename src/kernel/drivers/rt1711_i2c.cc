@@ -22,6 +22,7 @@ void Rt1711Driver::do_probe(DriverCtx& ctx) {
       ctx.warn("rt1711_i2c_probe", "re-probe with active CC attach");
     }
     chip_ = Chip::kIdle;
+    track_chip();
   }
   ctx.cov(120);
 }
@@ -54,6 +55,7 @@ int64_t Rt1711Driver::ioctl(DriverCtx& ctx, File&, uint64_t req,
       }
       mode_ = mode;
       chip_ = Chip::kAttached;
+      track_chip();
       ctx.covp(22, mode * 4 + (cc1_ & 3));  // attach outcome depends on CC
       return 0;
     }
@@ -61,6 +63,7 @@ int64_t Rt1711Driver::ioctl(DriverCtx& ctx, File&, uint64_t req,
       ctx.cov(210);
       if (chip_ != Chip::kAttached) return err::kEINVAL;
       chip_ = Chip::kIdle;
+      track_chip();
       ctx.cov(211);
       return 0;
     case kIocReset:
@@ -104,6 +107,7 @@ int64_t Rt1711Driver::ioctl(DriverCtx& ctx, File&, uint64_t req,
       }
       if (alert_mask_ != 0 && chip_ == Chip::kAttached) {
         chip_ = Chip::kAlerting;
+        track_chip();
         ctx.cov(510);
       }
       return 0;
@@ -130,6 +134,7 @@ int64_t Rt1711Driver::read(DriverCtx& ctx, File&, size_t n,
     ctx.cov(701);
     put_u32(out, alert_mask_);
     chip_ = Chip::kAttached;
+    track_chip();
     return static_cast<int64_t>(out.size());
   }
   ctx.cov(702);

@@ -30,6 +30,9 @@ class Rt1711Driver final : public Driver {
 
   std::string_view name() const override { return "rt1711_i2c"; }
   std::vector<std::string> nodes() const override { return {"/dev/rt1711"}; }
+  std::vector<std::string> state_names() const override {
+    return {"idle", "attached", "alerting"};
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;
@@ -45,6 +48,7 @@ class Rt1711Driver final : public Driver {
   enum class Chip { kIdle, kAttached, kAlerting };
 
   void do_probe(DriverCtx& ctx);
+  void track_chip() { enter_state(static_cast<size_t>(chip_)); }
 
   Rt1711Bugs bugs_;
   Chip chip_ = Chip::kIdle;

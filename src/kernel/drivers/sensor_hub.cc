@@ -10,7 +10,7 @@ void SensorHubDriver::probe(DriverCtx& ctx) {
 
 void SensorHubDriver::reset() { sensors_.fill(Sensor{}); }
 
-int64_t SensorHubDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
+int64_t SensorHubDriver::ioctl_impl(DriverCtx& ctx, File&, uint64_t req,
                                std::span<const uint8_t> in,
                                std::vector<uint8_t>& out) {
   switch (req) {

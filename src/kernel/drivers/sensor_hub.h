@@ -35,17 +35,36 @@ class SensorHubDriver final : public Driver {
   std::vector<std::string> nodes() const override {
     return {"/dev/sensor_hub"};
   }
+  std::vector<std::string> state_names() const override {
+    return {"idle", "sensing", "batching"};
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;
 
   int64_t ioctl(DriverCtx& ctx, File& f, uint64_t req,
                 std::span<const uint8_t> in,
-                std::vector<uint8_t>& out) override;
+                std::vector<uint8_t>& out) override {
+    const int64_t ret = ioctl_impl(ctx, f, req, in, out);
+    enter_state(protocol_state());
+    return ret;
+  }
   int64_t read(DriverCtx& ctx, File& f, size_t n,
                std::vector<uint8_t>& out) override;
 
  private:
+  int64_t ioctl_impl(DriverCtx& ctx, File& f, uint64_t req,
+                     std::span<const uint8_t> in, std::vector<uint8_t>& out);
+  // Hub-level position: any sensor batching > any sensor enabled > idle.
+  size_t protocol_state() const {
+    bool sensing = false;
+    for (const auto& s : sensors_) {
+      if (s.enabled && s.batch_depth > 0) return 2;
+      sensing = sensing || s.enabled;
+    }
+    return sensing ? 1 : 0;
+  }
+
   struct Sensor {
     bool enabled = false;
     uint32_t rate_hz = 0;

@@ -27,6 +27,7 @@ int64_t TcpcDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
         return err::kEBUSY;
       }
       st_ = St::kIdle;
+      track_st();
       ctx.cov(112);
       return 0;
     case kIocSetMode: {
@@ -55,6 +56,7 @@ int64_t TcpcDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
       }
       partner_ = partner;
       st_ = St::kConnected;
+      track_st();
       swaps_since_connect_ = 0;
       // Debounce + orientation paths depend on mode and partner kind.
       ctx.covp(21, mode_ * 4 + partner);
@@ -80,6 +82,7 @@ int64_t TcpcDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
       contract_mv_ = mv;
       contract_ma_ = ma;
       st_ = St::kContract;
+      track_st();
       ctx.covp(31, (mv / 1000) * 8 + ma / 1000);  // per-tier contract paths
       return 0;
     }
@@ -127,6 +130,7 @@ int64_t TcpcDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
       }
       ctx.covp(51, static_cast<uint64_t>(st_));
       st_ = St::kIdle;
+      track_st();
       contract_mv_ = contract_ma_ = 0;
       return 0;
     case kIocGetState:

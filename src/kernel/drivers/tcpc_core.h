@@ -32,6 +32,9 @@ class TcpcDriver final : public Driver {
 
   std::string_view name() const override { return "tcpc_core"; }
   std::vector<std::string> nodes() const override { return {"/dev/tcpc"}; }
+  std::vector<std::string> state_names() const override {
+    return {"uninit", "idle", "connected", "contract"};
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;
@@ -42,6 +45,8 @@ class TcpcDriver final : public Driver {
 
  private:
   enum class St { kUninit, kIdle, kConnected, kContract };
+
+  void track_st() { enter_state(static_cast<size_t>(st_)); }
 
   TcpcBugs bugs_;
   St st_ = St::kUninit;

@@ -20,7 +20,7 @@ void V4l2CamDriver::reset() {
   caps_dirty_ = false;
 }
 
-int64_t V4l2CamDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
+int64_t V4l2CamDriver::ioctl_impl(DriverCtx& ctx, File&, uint64_t req,
                              std::span<const uint8_t> in,
                              std::vector<uint8_t>& out) {
   switch (req) {

@@ -37,18 +37,35 @@ class V4l2CamDriver final : public Driver {
 
   std::string_view name() const override { return "v4l2_cam"; }
   std::vector<std::string> nodes() const override { return {"/dev/video0"}; }
+  std::vector<std::string> state_names() const override {
+    return {"open", "configured", "buffers", "streaming"};
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;
 
   int64_t ioctl(DriverCtx& ctx, File& f, uint64_t req,
                 std::span<const uint8_t> in,
-                std::vector<uint8_t>& out) override;
+                std::vector<uint8_t>& out) override {
+    const int64_t ret = ioctl_impl(ctx, f, req, in, out);
+    enter_state(protocol_state());
+    return ret;
+  }
   int64_t read(DriverCtx& ctx, File& f, size_t n,
                std::vector<uint8_t>& out) override;
   int64_t mmap(DriverCtx& ctx, File& f, size_t len, uint64_t prot) override;
 
  private:
+  int64_t ioctl_impl(DriverCtx& ctx, File& f, uint64_t req,
+                     std::span<const uint8_t> in, std::vector<uint8_t>& out);
+  // Protocol position derived from the pipeline setup flags.
+  size_t protocol_state() const {
+    if (streaming_) return 3;
+    if (nbufs_ > 0) return 2;
+    if (fourcc_ != 0) return 1;
+    return 0;
+  }
+
   uint32_t fourcc_ = 0;
   uint32_t width_ = 0, height_ = 0;
   uint32_t nbufs_ = 0;

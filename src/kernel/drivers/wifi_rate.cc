@@ -16,7 +16,7 @@ void WifiRateDriver::reset() {
   associated_ = false;
 }
 
-int64_t WifiRateDriver::ioctl(DriverCtx& ctx, File&, uint64_t req,
+int64_t WifiRateDriver::ioctl_impl(DriverCtx& ctx, File&, uint64_t req,
                               std::span<const uint8_t> in,
                               std::vector<uint8_t>& out) {
   switch (req) {

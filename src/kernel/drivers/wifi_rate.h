@@ -28,15 +28,32 @@ class WifiRateDriver final : public Driver {
 
   std::string_view name() const override { return "wifi_rate"; }
   std::vector<std::string> nodes() const override { return {"/dev/wifi0"}; }
+  std::vector<std::string> state_names() const override {
+    return {"idle", "scanned", "rates_set", "associated"};
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;
 
   int64_t ioctl(DriverCtx& ctx, File& f, uint64_t req,
                 std::span<const uint8_t> in,
-                std::vector<uint8_t>& out) override;
+                std::vector<uint8_t>& out) override {
+    const int64_t ret = ioctl_impl(ctx, f, req, in, out);
+    enter_state(protocol_state());
+    return ret;
+  }
 
  private:
+  int64_t ioctl_impl(DriverCtx& ctx, File& f, uint64_t req,
+                     std::span<const uint8_t> in, std::vector<uint8_t>& out);
+  // Protocol position derived from the connection-setup flags.
+  size_t protocol_state() const {
+    if (associated_) return 3;
+    if (rates_set_) return 2;
+    if (scanned_bss_ > 0) return 1;
+    return 0;
+  }
+
   uint32_t scanned_bss_ = 0;   // results of the last scan
   uint32_t rate_count_ = 0;
   bool rates_set_ = false;

@@ -55,6 +55,7 @@ void Kernel::boot() {
     for (auto& node : drv->nodes()) registry_.add_node(node, drv.get());
     for (auto& triple : drv->socket_protos())
       registry_.add_socket(triple, drv.get());
+    drv->state_machine_boot();
     DriverCtx ctx(*this, boot_task, *drv);
     drv->probe(ctx);
   }
@@ -176,14 +177,19 @@ SyscallRes Kernel::syscall(TaskId tid, const SyscallReq& req) {
 
 SyscallRes Kernel::dispatch(Task& task, const SyscallReq& req) {
   SyscallRes res;
-  auto with_file = [&](auto&& fn) {
+  // `op` names the driver handler for the driver-op hook; nullptr marks
+  // core-kernel paths (lseek/fcntl/fsync) that never enter driver code.
+  auto with_file = [&](const char* op, auto&& fn) {
     std::shared_ptr<File> f = task.fds.get(req.fd);
     if (!f) {
       res.ret = err::kEBADF;
       return;
     }
     DriverCtx ctx(*this, task, *f->drv);
+    const bool hooked = op != nullptr && driver_op_hook_ != nullptr;
+    if (hooked) driver_op_hook_(f->drv->name(), op, true);
     res.ret = fn(ctx, *f);
+    if (hooked) driver_op_hook_(f->drv->name(), op, false);
   };
 
   switch (req.nr) {
@@ -198,7 +204,9 @@ SyscallRes Kernel::dispatch(Task& task, const SyscallReq& req) {
       f->path = req.path;
       f->flags = req.arg;
       DriverCtx ctx(*this, task, *drv);
+      if (driver_op_hook_) driver_op_hook_(drv->name(), "open", true);
       const int64_t rc = drv->open(ctx, *f);
+      if (driver_op_hook_) driver_op_hook_(drv->name(), "open", false);
       if (rc < 0) {
         res.ret = rc;
         break;
@@ -226,22 +234,22 @@ SyscallRes Kernel::dispatch(Task& task, const SyscallReq& req) {
       break;
     }
     case Sys::kRead:
-      with_file([&](DriverCtx& ctx, File& f) {
+      with_file("read", [&](DriverCtx& ctx, File& f) {
         return f.drv->read(ctx, f, req.size, res.out);
       });
       break;
     case Sys::kWrite:
-      with_file([&](DriverCtx& ctx, File& f) {
+      with_file("write", [&](DriverCtx& ctx, File& f) {
         return f.drv->write(ctx, f, req.data);
       });
       break;
     case Sys::kIoctl:
-      with_file([&](DriverCtx& ctx, File& f) {
+      with_file("ioctl", [&](DriverCtx& ctx, File& f) {
         return f.drv->ioctl(ctx, f, req.arg, req.data, res.out);
       });
       break;
     case Sys::kMmap:
-      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+      with_file("mmap", [&](DriverCtx& ctx, File& f) -> int64_t {
         const int64_t rc = f.drv->mmap(ctx, f, req.size, req.arg);
         if (rc < 0) return rc;
         const uint64_t handle = next_map_;
@@ -254,13 +262,13 @@ SyscallRes Kernel::dispatch(Task& task, const SyscallReq& req) {
       res.ret = mappings_.erase(req.arg) ? 0 : err::kEINVAL;
       break;
     case Sys::kLseek:
-      with_file([&](DriverCtx&, File& f) -> int64_t {
+      with_file(nullptr, [&](DriverCtx&, File& f) -> int64_t {
         f.pos = req.arg;
         return static_cast<int64_t>(f.pos);
       });
       break;
     case Sys::kFcntl:
-      with_file([&](DriverCtx&, File& f) -> int64_t {
+      with_file(nullptr, [&](DriverCtx&, File& f) -> int64_t {
         if (req.arg == 1 /*F_GETFL*/) return static_cast<int64_t>(f.flags);
         if (req.arg == 2 /*F_SETFL*/) {
           f.flags = req.arg2;
@@ -270,10 +278,10 @@ SyscallRes Kernel::dispatch(Task& task, const SyscallReq& req) {
       });
       break;
     case Sys::kFsync:
-      with_file([&](DriverCtx&, File&) -> int64_t { return 0; });
+      with_file(nullptr, [&](DriverCtx&, File&) -> int64_t { return 0; });
       break;
     case Sys::kPoll:
-      with_file([&](DriverCtx& ctx, File& f) {
+      with_file("poll", [&](DriverCtx& ctx, File& f) {
         return f.drv->poll(ctx, f, req.arg);
       });
       break;
@@ -291,7 +299,9 @@ SyscallRes Kernel::dispatch(Task& task, const SyscallReq& req) {
       f->path = "sock:" + std::to_string(req.arg) + ":" +
                 std::to_string(req.arg3);
       DriverCtx ctx(*this, task, *drv);
+      if (driver_op_hook_) driver_op_hook_(drv->name(), "socket", true);
       const int64_t rc = drv->sock_create(ctx, *f);
+      if (driver_op_hook_) driver_op_hook_(drv->name(), "socket", false);
       if (rc < 0) {
         res.ret = rc;
         break;
@@ -300,19 +310,19 @@ SyscallRes Kernel::dispatch(Task& task, const SyscallReq& req) {
       break;
     }
     case Sys::kBind:
-      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+      with_file("bind", [&](DriverCtx& ctx, File& f) -> int64_t {
         if (!f.is_sock) return err::kEOPNOTSUPP;
         return f.drv->bind(ctx, f, req.data);
       });
       break;
     case Sys::kConnect:
-      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+      with_file("connect", [&](DriverCtx& ctx, File& f) -> int64_t {
         if (!f.is_sock) return err::kEOPNOTSUPP;
         return f.drv->connect(ctx, f, req.data);
       });
       break;
     case Sys::kListen:
-      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+      with_file("listen", [&](DriverCtx& ctx, File& f) -> int64_t {
         if (!f.is_sock) return err::kEOPNOTSUPP;
         return f.drv->listen(ctx, f, req.arg);
       });
@@ -334,7 +344,9 @@ SyscallRes Kernel::dispatch(Task& task, const SyscallReq& req) {
       child->sock_proto = f->sock_proto;
       child->path = f->path + ":accepted";
       DriverCtx ctx(*this, task, *f->drv);
+      if (driver_op_hook_) driver_op_hook_(f->drv->name(), "accept", true);
       const int64_t rc = f->drv->accept(ctx, *f, *child);
+      if (driver_op_hook_) driver_op_hook_(f->drv->name(), "accept", false);
       if (rc < 0) {
         res.ret = rc;
         break;
@@ -343,25 +355,25 @@ SyscallRes Kernel::dispatch(Task& task, const SyscallReq& req) {
       break;
     }
     case Sys::kSetsockopt:
-      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+      with_file("setsockopt", [&](DriverCtx& ctx, File& f) -> int64_t {
         if (!f.is_sock) return err::kEOPNOTSUPP;
         return f.drv->setsockopt(ctx, f, req.arg, req.arg2, req.data);
       });
       break;
     case Sys::kGetsockopt:
-      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+      with_file("getsockopt", [&](DriverCtx& ctx, File& f) -> int64_t {
         if (!f.is_sock) return err::kEOPNOTSUPP;
         return f.drv->getsockopt(ctx, f, req.arg, req.arg2, res.out);
       });
       break;
     case Sys::kSendmsg:
-      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+      with_file("sendmsg", [&](DriverCtx& ctx, File& f) -> int64_t {
         if (!f.is_sock) return err::kEOPNOTSUPP;
         return f.drv->sendmsg(ctx, f, req.data);
       });
       break;
     case Sys::kRecvmsg:
-      with_file([&](DriverCtx& ctx, File& f) -> int64_t {
+      with_file("recvmsg", [&](DriverCtx& ctx, File& f) -> int64_t {
         if (!f.is_sock) return err::kEOPNOTSUPP;
         return f.drv->recvmsg(ctx, f, req.size, res.out);
       });

@@ -86,6 +86,16 @@ class Kernel {
   int attach_tracepoint(Tracepoint hook);
   void detach_tracepoint(int id);
 
+  // Hook invoked around every driver handler invocation (open/ioctl/...):
+  // enter=true immediately before the op, enter=false after it returns.
+  // Installed by the execution layer for driver-handler span tracing; when
+  // empty (the default) each dispatch pays only one branch.
+  using DriverOpHook =
+      std::function<void(std::string_view driver, const char* op, bool enter)>;
+  void set_driver_op_hook(DriverOpHook hook) {
+    driver_op_hook_ = std::move(hook);
+  }
+
   // --- observability ----------------------------------------------------------
   Dmesg& dmesg() { return dmesg_; }
   const Dmesg& dmesg() const { return dmesg_; }
@@ -126,6 +136,7 @@ class Kernel {
   std::vector<std::unique_ptr<Driver>> drivers_;
   std::unordered_map<TaskId, std::unique_ptr<Task>> tasks_;
   std::unordered_map<int, Tracepoint> tracepoints_;
+  DriverOpHook driver_op_hook_;
   std::unordered_set<uint64_t> cumulative_cov_;
   std::unordered_map<uint64_t, uint64_t> mappings_;  // handle -> dummy
   TaskId next_task_ = 1;

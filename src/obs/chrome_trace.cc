@@ -1,0 +1,106 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace df::obs {
+
+namespace {
+
+struct SpanEntry {
+  uint32_t tid = 0;
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  std::string name;
+  uint64_t id = 0;
+  uint64_t parent = 0;
+  uint64_t exec = 0;
+};
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceSink& sink) {
+  std::vector<std::string> tracks;
+  std::vector<SpanEntry> spans;
+  auto tid_for = [&](const std::string& track) -> uint32_t {
+    const std::string label = track.empty() ? "main" : track;
+    for (size_t i = 0; i < tracks.size(); ++i) {
+      if (tracks[i] == label) return static_cast<uint32_t>(i + 1);
+    }
+    tracks.push_back(label);
+    return static_cast<uint32_t>(tracks.size());
+  };
+
+  for (size_t i = 0; i < sink.size(); ++i) {
+    const TraceEvent& ev = sink.at(i);
+    if (ev.kind != EventKind::kSpan) continue;
+    SpanEntry e;
+    e.tid = tid_for(ev.device);
+    e.exec = ev.exec_index;
+    for (const auto& f : ev.fields) {
+      if (f.key == "span") e.name = f.str;
+      else if (f.key == "id") e.id = f.num;
+      else if (f.key == "parent") e.parent = f.num;
+      else if (f.key == "ts_ns") e.ts_us = f.num / 1000;
+      else if (f.key == "dur_ns") e.dur_us = f.num / 1000;
+    }
+    spans.push_back(std::move(e));
+  }
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanEntry& a, const SpanEntry& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return a.ts_us < b.ts_us;
+                   });
+
+  JsonWriter w;
+  w.begin_object();
+  w.field("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  w.begin_object();
+  w.field("name", "process_name");
+  w.field("ph", "M");
+  w.field("pid", 1);
+  w.field("tid", 0);
+  w.key("args").begin_object().field("name", "droidfuzz").end_object();
+  w.end_object();
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    w.begin_object();
+    w.field("name", "thread_name");
+    w.field("ph", "M");
+    w.field("pid", 1);
+    w.field("tid", static_cast<uint64_t>(i + 1));
+    w.key("args").begin_object().field("name", tracks[i]).end_object();
+    w.end_object();
+  }
+  for (const auto& e : spans) {
+    w.begin_object();
+    w.field("name", e.name);
+    w.field("cat", "droidfuzz");
+    w.field("ph", "X");
+    w.field("pid", 1);
+    w.field("tid", static_cast<uint64_t>(e.tid));
+    w.field("ts", e.ts_us);
+    w.field("dur", e.dur_us);
+    w.key("args").begin_object();
+    w.field("id", e.id);
+    w.field("parent", e.parent);
+    w.field("exec", e.exec);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+bool write_chrome_trace(const TraceSink& sink, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return false;
+  out << chrome_trace_json(sink) << '\n';
+  return out.good();
+}
+
+}  // namespace df::obs

@@ -1,0 +1,21 @@
+// Chrome trace-event exporter: renders the kSpan events retained in a
+// TraceSink as one {"traceEvents":[...]} JSON document of "X" (complete)
+// events — one tid per span track, "M" thread_name metadata per track —
+// loadable by Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Events are sorted by (tid, ts) so timestamps are monotone per track, the
+// property scripts/check_bench_json.py validates.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace df::obs {
+
+std::string chrome_trace_json(const TraceSink& sink);
+
+// Writes chrome_trace_json(sink) to `path`. Returns false on I/O failure.
+bool write_chrome_trace(const TraceSink& sink, const std::string& path);
+
+}  // namespace df::obs

@@ -1,0 +1,34 @@
+#include "obs/flight_recorder.h"
+
+namespace df::obs {
+
+void FlightRecorder::enable(size_t capacity) {
+  capacity_ = capacity;
+  clear();
+}
+
+void FlightRecorder::clear() {
+  ring_.clear();
+  if (capacity_ > 0) ring_.reserve(capacity_);
+  head_ = 0;
+  count_ = 0;
+  recorded_ = 0;
+}
+
+void FlightRecorder::push(ExecutionRecord rec) {
+  if (capacity_ == 0) return;
+  ++recorded_;
+  if (count_ < capacity_) {
+    ring_.push_back(std::move(rec));
+    ++count_;
+    return;
+  }
+  ring_[head_] = std::move(rec);
+  head_ = (head_ + 1) % capacity_;
+}
+
+const ExecutionRecord& FlightRecorder::at(size_t i) const {
+  return ring_[(head_ + i) % count_];
+}
+
+}  // namespace df::obs

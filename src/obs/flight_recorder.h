@@ -1,0 +1,63 @@
+// Crash flight recorder: a bounded ring of the last N execution records,
+// dumped wholesale into crash_<hash>.json provenance reports when a kernel
+// report or HAL crash fires (the "what led up to this?" window).
+//
+// `program` is an owner-interpreted handle: the layer that pushes records
+// (core::Engine pushes dsl::Program copies) is also the layer that formats
+// them at dump time (core::CrashLog), keeping obs below dsl in the layer
+// order and avoiding per-execution DSL formatting on the hot path.
+//
+// Disabled (capacity 0) by default; components cache a FlightRecorder* only
+// when enabled, so the detached hot path stays a single null-check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace df::obs {
+
+struct ExecutionRecord {
+  uint64_t exec_index = 0;
+  std::shared_ptr<const void> program;  // dsl::Program, formatted by the owner
+  std::vector<int64_t> rets;            // per-call syscall ret / binder status
+  uint64_t new_features = 0;
+  bool kernel_bug = false;
+  bool hal_crash = false;
+  // Per-driver state-machine position (state index) in kernel driver
+  // registration order, captured before and after the execution. The
+  // `after` snapshot is post-reboot when the execution rebooted the device.
+  std::vector<uint8_t> states_before;
+  std::vector<uint8_t> states_after;
+};
+
+class FlightRecorder {
+ public:
+  FlightRecorder() = default;
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool enabled() const { return capacity_ > 0; }
+  // Sets the window size and clears retained records; 0 disables.
+  void enable(size_t capacity);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return count_; }
+  uint64_t recorded() const { return recorded_; }
+
+  void push(ExecutionRecord rec);
+  // i = 0 is the oldest retained record.
+  const ExecutionRecord& at(size_t i) const;
+  void clear();
+
+ private:
+  size_t capacity_ = 0;
+  std::vector<ExecutionRecord> ring_;
+  size_t head_ = 0;   // index of the oldest record
+  size_t count_ = 0;  // records currently retained
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace df::obs

@@ -1,11 +1,20 @@
 // The Observability bundle every instrumented layer attaches to: one
-// metrics registry plus one structured event trace. Components receive an
+// metrics registry, one structured event trace, one hierarchical span
+// tracer, and one crash flight recorder. Components receive an
 // `Observability*` (null = observability off); they cache metric pointers
 // at attach time so the instrumented hot paths are single null-checks when
 // detached and single adds when attached.
+//
+// Spans and the flight recorder are opt-in *within* an attached bundle:
+// enable them (`spans.set_enabled(true)`, `flight.enable(n)`) before
+// components attach — components cache SpanTracer*/FlightRecorder* only
+// when enabled, keeping the default attached configuration inside the <5%
+// overhead budget.
 #pragma once
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace df::obs {
@@ -13,9 +22,12 @@ namespace df::obs {
 struct Observability {
   Registry registry;
   TraceSink trace;
+  SpanTracer spans;
+  FlightRecorder flight;
 
-  Observability() = default;
-  explicit Observability(size_t trace_capacity) : trace(trace_capacity) {}
+  Observability() : spans(trace) {}
+  explicit Observability(size_t trace_capacity)
+      : trace(trace_capacity), spans(trace) {}
 };
 
 // Mirrors the util::log emission counters into `r` as gauges named

@@ -1,0 +1,51 @@
+#include "obs/span.h"
+
+namespace df::obs {
+
+namespace {
+
+uint64_t to_ns(std::chrono::steady_clock::duration d) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+}  // namespace
+
+SpanTracer::SpanTracer(TraceSink& sink)
+    : sink_(sink), epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t SpanTracer::begin(std::string_view name, std::string_view track,
+                           uint64_t exec) {
+  if (!enabled_) return 0;
+  Open o;
+  o.id = next_id_++;
+  o.parent = open_.empty() ? 0 : open_.back().id;
+  o.name = std::string(name);
+  o.track = std::string(track);
+  o.exec = exec;
+  o.start = std::chrono::steady_clock::now();
+  open_.push_back(std::move(o));
+  return open_.back().id;
+}
+
+void SpanTracer::end(uint64_t id) {
+  if (id == 0) return;
+  while (!open_.empty()) {
+    Open o = std::move(open_.back());
+    open_.pop_back();
+    const auto now = std::chrono::steady_clock::now();
+    TraceEvent ev;
+    ev.kind = EventKind::kSpan;
+    ev.device = std::move(o.track);
+    ev.exec_index = o.exec;
+    ev.with("span", std::move(o.name))
+        .with("id", o.id)
+        .with("parent", o.parent)
+        .with("ts_ns", to_ns(o.start - epoch_))
+        .with("dur_ns", to_ns(now - o.start));
+    sink_.emit(std::move(ev));
+    if (o.id == id) return;
+  }
+}
+
+}  // namespace df::obs

@@ -1,0 +1,87 @@
+// Hierarchical execution spans: campaign → engine iteration → phase →
+// per-syscall → driver-handler. The fuzz loop is single-threaded, so spans
+// nest strictly; SpanTracer keeps the open-span stack and records each
+// completed span into the bounded TraceSink as one kSpan event carrying its
+// id, parent id, track, and (timing-quarantined) ts_ns/dur_ns fields.
+//
+// Determinism contract: span names, ids, parents, tracks and exec indices
+// are pure functions of the executed work; only the `_ns` fields carry
+// wall-clock and are stripped by determinism comparisons.
+//
+// Tracing is opt-in (`set_enabled(true)` before components attach): when
+// disabled, begin() returns 0 and ScopedSpan is a null-check, preserving
+// the <5% attached-instrumentation budget of the default configuration.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace df::obs {
+
+class SpanTracer {
+ public:
+  explicit SpanTracer(TraceSink& sink);
+
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // Opens a span nested under the innermost open span. `track` groups spans
+  // into one timeline row for the Chrome exporter (device id, or "" for the
+  // root process track). Returns the span id, 0 when disabled.
+  uint64_t begin(std::string_view name, std::string_view track = {},
+                 uint64_t exec = 0);
+  // Closes span `id` — and, defensively, any deeper span left open — and
+  // emits one kSpan event per closed span. end(0) is a no-op.
+  void end(uint64_t id);
+
+  uint64_t spans_started() const { return next_id_ - 1; }
+  size_t open_depth() const { return open_.size(); }
+
+ private:
+  struct Open {
+    uint64_t id = 0;
+    uint64_t parent = 0;
+    std::string name;
+    std::string track;
+    uint64_t exec = 0;
+    std::chrono::steady_clock::time_point start;
+  };
+
+  TraceSink& sink_;
+  bool enabled_ = false;
+  uint64_t next_id_ = 1;
+  std::vector<Open> open_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// RAII span guard. A null tracer (detached / disabled) costs one null-check
+// per end of the scope.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanTracer* tracer, std::string_view name,
+             std::string_view track = {}, uint64_t exec = 0)
+      : tracer_(tracer),
+        id_(tracer == nullptr ? 0 : tracer->begin(name, track, exec)) {}
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->end(id_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  uint64_t id() const { return id_; }
+
+ private:
+  SpanTracer* tracer_;
+  uint64_t id_;
+};
+
+}  // namespace df::obs

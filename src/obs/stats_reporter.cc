@@ -3,8 +3,45 @@
 #include <algorithm>
 
 #include "obs/json.h"
+#include "obs/obs.h"
 
 namespace df::obs {
+
+uint64_t DriverStateCoverage::states_visited() const {
+  uint64_t n = 0;
+  for (uint64_t v : visits) n += v > 0 ? 1 : 0;
+  return n;
+}
+
+uint64_t DriverStateCoverage::transitions_observed() const {
+  uint64_t n = 0;
+  for (uint64_t v : matrix) n += v > 0 ? 1 : 0;
+  return n;
+}
+
+void DriverStateCoverage::write_json(JsonWriter& w) const {
+  const size_t n = states.size();
+  w.begin_object();
+  w.field("driver", driver);
+  w.key("states").begin_array();
+  for (const auto& s : states) w.value(s);
+  w.end_array();
+  w.field("current", current < n ? states[current] : std::to_string(current));
+  w.key("visits").begin_array();
+  for (uint64_t v : visits) w.value(v);
+  w.end_array();
+  // Row-major transition matrix as an array of rows, matrix[from][to].
+  w.key("matrix").begin_array();
+  for (size_t from = 0; from < n; ++from) {
+    w.begin_array();
+    for (size_t to = 0; to < n; ++to) w.value(matrix[from * n + to]);
+    w.end_array();
+  }
+  w.end_array();
+  w.field("states_visited", states_visited());
+  w.field("transitions_observed", transitions_observed());
+  w.end_object();
+}
 
 StatsReporter::StatsReporter(uint64_t sample_every_execs)
     : interval_(sample_every_execs == 0 ? 1 : sample_every_execs),
@@ -22,6 +59,56 @@ void StatsReporter::record(const std::string& device, const EngineSample& s) {
                                          start_)
                .count();
   it->second.push_back(p);
+  if (stall_window_ != 0) run_watchdog(device, s);
+}
+
+void StatsReporter::run_watchdog(const std::string& device,
+                                 const EngineSample& s) {
+  Watch& wd = watch_[device];
+  if (s.total_coverage > wd.best_coverage || !wd.seeded) {
+    wd.seeded = true;
+    wd.best_coverage = s.total_coverage;
+    wd.last_progress_exec = s.executions;
+    if (wd.stalled) {
+      wd.stalled = false;
+      if (watch_obs_ != nullptr) {
+        watch_obs_->registry.gauge("campaign.stalled", device).set(0);
+      }
+    }
+    return;
+  }
+  if (wd.stalled || s.executions - wd.last_progress_exec < stall_window_) {
+    return;
+  }
+  wd.stalled = true;
+  if (watch_obs_ != nullptr) {
+    watch_obs_->registry.gauge("campaign.stalled", device).set(1);
+    TraceEvent ev;
+    ev.kind = EventKind::kStall;
+    ev.device = device;
+    ev.exec_index = s.executions;
+    ev.with("window", stall_window_)
+        .with("execs_since_progress", s.executions - wd.last_progress_exec)
+        .with("coverage", s.total_coverage);
+    watch_obs_->trace.emit(std::move(ev));
+  }
+}
+
+bool StatsReporter::stalled(std::string_view device) const {
+  const auto it = watch_.find(device);
+  return it != watch_.end() && it->second.stalled;
+}
+
+void StatsReporter::set_state_coverage(
+    const std::string& device, std::vector<DriverStateCoverage> coverage) {
+  state_cov_[device] = std::move(coverage);
+}
+
+const std::vector<DriverStateCoverage>& StatsReporter::state_coverage(
+    std::string_view device) const {
+  static const std::vector<DriverStateCoverage> kEmpty;
+  const auto it = state_cov_.find(device);
+  return it == state_cov_.end() ? kEmpty : it->second;
 }
 
 const std::vector<StatsReporter::Point>& StatsReporter::series(
@@ -66,6 +153,14 @@ void StatsReporter::write_json(JsonWriter& w, bool include_timing) const {
                 [](const Point& p) { return p.sample.relation_edges; });
     write_array(w, "reboots", pts,
                 [](const Point& p) { return p.sample.reboots; });
+    const auto sc = state_cov_.find(dev);
+    if (sc != state_cov_.end() && !sc->second.empty()) {
+      w.key("state_coverage").begin_array();
+      for (const auto& d : sc->second) {
+        if (!d.states.empty()) d.write_json(w);
+      }
+      w.end_array();
+    }
     if (include_timing) {
       w.key("timing").begin_object();
       w.key("secs").begin_array();

@@ -7,6 +7,14 @@
 // elapsed steady-clock seconds so throughput (execs/sec) can be derived.
 // All timing lives under "timing" keys in the JSON and can be omitted
 // (`include_timing = false`) for determinism comparisons.
+//
+// Besides the counter series, the reporter carries two provenance-era
+// extensions:
+//  - per-device driver-state coverage (DriverStateCoverage matrices pushed
+//    by the sampling owner), written as a "state_coverage" section, and
+//  - a stall watchdog: when a device records no total-coverage growth for
+//    `stall_window()` executions, the gauge `campaign.stalled{device}` is
+//    set and one kStall trace event fires (exec-indexed, deterministic).
 #pragma once
 
 #include <chrono>
@@ -19,6 +27,7 @@
 namespace df::obs {
 
 class JsonWriter;
+struct Observability;
 
 // One engine observation. Produced by Engine::sample(); plain data so the
 // obs layer stays below core in the dependency order.
@@ -30,6 +39,22 @@ struct EngineSample {
   uint64_t unique_bugs = 0;
   uint64_t relation_edges = 0;
   uint64_t reboots = 0;
+};
+
+// Campaign-cumulative state-machine coverage of one driver: which protocol
+// states a campaign entered and which transitions it exercised — the
+// observability counterpart of the paper's "deep block" claim. Plain data
+// collected from kernel::Driver by the core layer.
+struct DriverStateCoverage {
+  std::string driver;
+  std::vector<std::string> states;  // state names; index == state id
+  uint64_t current = 0;             // state index at sample time
+  std::vector<uint64_t> visits;     // per-state entry counts
+  std::vector<uint64_t> matrix;     // row-major [from * n + to] transitions
+
+  uint64_t states_visited() const;
+  uint64_t transitions_observed() const;  // distinct (from, to) pairs seen
+  void write_json(JsonWriter& w) const;
 };
 
 class StatsReporter {
@@ -52,16 +77,48 @@ class StatsReporter {
   const std::vector<std::string>& devices() const { return order_; }
   const std::vector<Point>& series(std::string_view device) const;
 
+  // Latest driver-state coverage for `device`; replaces any prior snapshot
+  // (matrices are campaign-cumulative, so last-wins is the full picture).
+  void set_state_coverage(const std::string& device,
+                          std::vector<DriverStateCoverage> coverage);
+  const std::vector<DriverStateCoverage>& state_coverage(
+      std::string_view device) const;
+
+  // --- stall watchdog -------------------------------------------------------
+  // Enables the coverage-plateau detector: a device with no total-coverage
+  // growth across `execs` executions (measured at record() points) is
+  // flagged. 0 (the default) disables.
+  void set_stall_window(uint64_t execs) { stall_window_ = execs; }
+  uint64_t stall_window() const { return stall_window_; }
+  // Where the watchdog publishes: gauge campaign.stalled{device} and kStall
+  // trace events. Null detaches (detection itself keeps running).
+  void attach_observability(Observability* o) { watch_obs_ = o; }
+  bool stalled(std::string_view device) const;
+
   // {"sample_every":..,"devices":[{...per-device arrays...}],
   //  "aggregate":{...summed arrays + execs/sec...}}
   void write_json(JsonWriter& w, bool include_timing = true) const;
   std::string to_json(bool include_timing = true) const;
 
  private:
+  struct Watch {
+    uint64_t best_coverage = 0;
+    uint64_t last_progress_exec = 0;
+    bool seeded = false;  // first record() establishes the baseline
+    bool stalled = false;
+  };
+
+  void run_watchdog(const std::string& device, const EngineSample& s);
+
   uint64_t interval_;
   std::chrono::steady_clock::time_point start_;
   std::vector<std::string> order_;
   std::map<std::string, std::vector<Point>, std::less<>> series_;
+  std::map<std::string, std::vector<DriverStateCoverage>, std::less<>>
+      state_cov_;
+  uint64_t stall_window_ = 0;
+  Observability* watch_obs_ = nullptr;
+  std::map<std::string, Watch, std::less<>> watch_;
 };
 
 }  // namespace df::obs

@@ -14,6 +14,8 @@ const char* kind_name(EventKind kind) {
     case EventKind::kDecay: return "decay";
     case EventKind::kProbe: return "probe";
     case EventKind::kReboot: return "reboot";
+    case EventKind::kSpan: return "span";
+    case EventKind::kStall: return "stall";
   }
   return "?";
 }

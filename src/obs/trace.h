@@ -27,6 +27,8 @@ enum class EventKind : uint8_t {
   kDecay,          // periodic relation-weight decay tick
   kProbe,          // HAL probing pass completed
   kReboot,         // device rebooted
+  kSpan,           // completed hierarchical execution span (obs/span.h)
+  kStall,          // coverage-plateau watchdog fired for a device
 };
 
 const char* kind_name(EventKind kind);

@@ -1,6 +1,9 @@
 #include "util/log.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
 
 namespace df::util {
 
@@ -9,6 +12,22 @@ namespace {
 LogLevel g_level = LogLevel::kWarn;
 LogSink g_sink;  // empty => default stderr sink
 LogCounters g_counters;
+std::vector<std::pair<std::string, LogLevel>> g_overrides;
+
+bool parse_level(std::string_view s, LogLevel& out) {
+  if (s == "debug") {
+    out = LogLevel::kDebug;
+  } else if (s == "info") {
+    out = LogLevel::kInfo;
+  } else if (s == "warn") {
+    out = LogLevel::kWarn;
+  } else if (s == "error") {
+    out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -25,6 +44,50 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+bool configure_log(std::string_view spec) {
+  LogLevel global = g_level;
+  std::vector<std::pair<std::string, LogLevel>> overrides;
+  bool any = false;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view tok = spec.substr(begin, end - begin);
+    if (!tok.empty()) {
+      const size_t eq = tok.find('=');
+      if (eq == std::string_view::npos) {
+        if (!parse_level(tok, global)) return false;
+      } else {
+        const std::string_view name = tok.substr(0, eq);
+        LogLevel lv = LogLevel::kWarn;
+        if (name.empty() || !parse_level(tok.substr(eq + 1), lv)) return false;
+        overrides.emplace_back(std::string(name), lv);
+      }
+      any = true;
+    }
+    if (end == spec.size()) break;
+    begin = end + 1;
+  }
+  if (!any) return false;
+  g_level = global;
+  g_overrides = std::move(overrides);
+  return true;
+}
+
+void clear_log_overrides() { g_overrides.clear(); }
+
+LogLevel component_level(std::string_view component) {
+  for (const auto& [name, lv] : g_overrides) {
+    if (name == component) return lv;
+  }
+  return g_level;
+}
+
+void init_log_from_env() {
+  const char* spec = std::getenv("DF_LOG");
+  if (spec != nullptr && *spec != '\0') configure_log(spec);
+}
+
 void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
 
 const LogCounters& log_counters() { return g_counters; }
@@ -38,6 +101,19 @@ void log_message(LogLevel level, const std::string& msg) {
     return;
   }
   std::fprintf(stderr, "[df:%s] %s\n", level_name(level), msg.c_str());
+}
+
+void log_message_for(std::string_view component, LogLevel level,
+                     const std::string& msg) {
+  if (level < component_level(component)) return;
+  ++g_counters.emitted[static_cast<size_t>(level)];
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[df:%s] %.*s: %s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               msg.c_str());
 }
 
 }  // namespace df::util

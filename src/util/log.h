@@ -6,6 +6,7 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace df::util {
 
@@ -19,12 +20,33 @@ LogLevel log_level();
 
 inline bool log_enabled(LogLevel level) { return level >= log_level(); }
 
+// --- per-component level overrides ----------------------------------------
+// Spec grammar: "<level>[,<component>=<level>]...", e.g. "info,engine=debug"
+// (the DF_LOG environment variable format). A bare level token sets the
+// global minimum; name=level pairs override it for DF_CLOG statements tagged
+// with that component. Returns false — applying nothing — when any token
+// fails to parse. Overrides are replaced wholesale on every successful call.
+bool configure_log(std::string_view spec);
+void clear_log_overrides();
+// Effective minimum level for `component`: its override, else the global.
+LogLevel component_level(std::string_view component);
+inline bool log_enabled_for(std::string_view component, LogLevel level) {
+  return level >= component_level(component);
+}
+// Applies the DF_LOG environment variable (no-op when unset or malformed).
+void init_log_from_env();
+
 // Replace the sink (default writes to stderr). Passing nullptr restores
 // the default sink.
 using LogSink = std::function<void(LogLevel, const std::string&)>;
 void set_log_sink(LogSink sink);
 
 void log_message(LogLevel level, const std::string& msg);
+// Component-aware emission: filters against component_level(component)
+// instead of the global minimum, so overrides can both raise and lower the
+// threshold for one component.
+void log_message_for(std::string_view component, LogLevel level,
+                     const std::string& msg);
 
 // Per-level count of messages that passed the level filter, so log volume
 // is itself observable (mirrored into the obs registry by
@@ -42,7 +64,15 @@ namespace detail {
 class LogLine {
  public:
   explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, out_.str()); }
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() {
+    if (component_.empty()) {
+      log_message(level_, out_.str());
+    } else {
+      log_message_for(component_, level_, out_.str());
+    }
+  }
   template <typename T>
   LogLine& operator<<(const T& v) {
     out_ << v;
@@ -51,6 +81,7 @@ class LogLine {
 
  private:
   LogLevel level_;
+  std::string_view component_;
   std::ostringstream out_;
 };
 }  // namespace detail
@@ -64,3 +95,12 @@ class LogLine {
   if (!::df::util::log_enabled(::df::util::LogLevel::level)) {           \
   } else                                                                 \
     ::df::util::detail::LogLine(::df::util::LogLevel::level)
+
+// Component-tagged variant filtered through the DF_LOG override table:
+// DF_CLOG("engine", kDebug) << ... emits when "engine=debug" (or a global
+// debug level) is configured, regardless of the global minimum.
+#define DF_CLOG(component, level)                                        \
+  if (!::df::util::log_enabled_for(component,                            \
+                                   ::df::util::LogLevel::level)) {       \
+  } else                                                                 \
+    ::df::util::detail::LogLine(::df::util::LogLevel::level, component)

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
 namespace df::core {
 namespace {
 
@@ -117,6 +123,164 @@ TEST(CrashLog, StoresReproducerText) {
 TEST(CrashLog, FindMissingReturnsNull) {
   CrashLog log;
   EXPECT_EQ(log.find("nothing"), nullptr);
+}
+
+TEST(NormalizeTitle, NumericSuffixEdgeCases) {
+  // Multi-digit tails and tails behind parentheticals are both stripped.
+  EXPECT_EQ(normalize_title("BUG: soft lockup: 123456"), "BUG: soft lockup");
+  EXPECT_EQ(normalize_title("WARNING in tcpc_role_swap (core): 7"),
+            "WARNING in tcpc_role_swap");
+  // Non-numeric tails and interior digits are instance-relevant and kept.
+  EXPECT_EQ(normalize_title("KASAN: use-after-free in foo: bar"),
+            "KASAN: use-after-free in foo: bar");
+  EXPECT_EQ(normalize_title("WARNING in rt1711_i2c_probe"),
+            "WARNING in rt1711_i2c_probe");
+  // A bare trailing colon has nothing to strip.
+  EXPECT_EQ(normalize_title("BUG: thing: "), "BUG: thing: ");
+}
+
+TEST(NormalizeTitle, LockAnnotationsStripped) {
+  EXPECT_EQ(normalize_title("BUG: spinlock bad magic (lock hub->fifo)"),
+            "BUG: spinlock bad magic");
+  EXPECT_EQ(
+      normalize_title("BUG: looking up invalid subclass: 9 (lock mdev->lock)"),
+      "BUG: looking up invalid subclass");
+}
+
+TEST(HalCrashTitle, DescriptorEdgeCases) {
+  // Versioned and nested descriptors reduce to the first name segment.
+  EXPECT_EQ(hal_crash_title("android.hardware.bluetooth@sim"),
+            "Native crash in Bluetooth HAL");
+  EXPECT_EQ(hal_crash_title("android.hardware.media.codec@sim"),
+            "Native crash in Media HAL");
+  // Non-android.hardware descriptors still produce a usable alias.
+  EXPECT_EQ(hal_crash_title("vendor.widget@1.0"),
+            "Native crash in Vendor HAL");
+}
+
+TEST(CrashLog, TitleHashIsStableSixteenHexDigits) {
+  const std::string h = CrashLog::title_hash("WARNING in tcpc_role_swap");
+  ASSERT_EQ(h.size(), 16u);
+  for (const char c : h) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)) &&
+                !std::isupper(static_cast<unsigned char>(c)))
+        << h;
+  }
+  EXPECT_EQ(h, CrashLog::title_hash("WARNING in tcpc_role_swap"));
+  EXPECT_NE(h, CrashLog::title_hash("WARNING in tcpc_role_swap2"));
+}
+
+// Fixture for the provenance report: one bug with a one-call reproducer and
+// a crash context carrying a driver-state snapshot plus one flight record.
+struct ProvenanceFixture {
+  ProvenanceFixture() {
+    dsl::CallDesc d;
+    d.name = "openat$video";
+    desc = table.add(std::move(d));
+    dsl::Call call;
+    call.desc = desc;
+    bug.repro.calls.push_back(call);
+    bug.repro_text = dsl::format_program(bug.repro);
+    bug.title = "WARNING in tcpc_role_swap";
+    bug.component = "Kernel";
+    bug.origin = "typec_tcpc";
+    bug.bug_class = "WARNING";
+    bug.first_exec = 120;
+    bug.dup_count = 1;
+
+    obs::DriverStateCoverage cov;
+    cov.driver = "rt1711_i2c";
+    cov.states = {"idle", "attached", "alerting"};
+    cov.current = 1;
+    cov.visits = {2, 1, 0};
+    cov.matrix = {0, 1, 0, 0, 0, 0, 0, 0, 0};
+    ctx.state_coverage.push_back(cov);
+    // A stateless driver: skipped in the report body, still occupies a slot
+    // in flight-record snapshots.
+    obs::DriverStateCoverage plain;
+    plain.driver = "plain";
+    ctx.state_coverage.push_back(plain);
+
+    flight.enable(2);
+    obs::ExecutionRecord rec;
+    rec.exec_index = 120;
+    rec.program = std::make_shared<const dsl::Program>(bug.repro);
+    rec.rets = {0};
+    rec.new_features = 3;
+    rec.kernel_bug = true;
+    rec.hal_crash = false;
+    rec.states_before = {0, 0};
+    rec.states_after = {1, 0};
+    flight.push(std::move(rec));
+
+    ctx.device = "A1";
+    ctx.seed = 42;
+    ctx.exec_index = 120;
+    ctx.flight = &flight;
+    ctx.kernel_context = {"WARNING in tcpc_role_swap"};
+  }
+
+  dsl::CallTable table;
+  const dsl::CallDesc* desc = nullptr;
+  BugRecord bug;
+  obs::FlightRecorder flight;
+  CrashContext ctx;
+};
+
+TEST(CrashLog, ProvenanceJsonMatchesGolden) {
+  const ProvenanceFixture fx;
+  const std::string hash = CrashLog::title_hash(fx.bug.title);
+  const std::string expected =
+      "{\"crash\":{\"title\":\"WARNING in tcpc_role_swap\",\"hash\":\"" +
+      hash +
+      "\",\"component\":\"Kernel\",\"origin\":\"typec_tcpc\","
+      "\"bug_class\":\"WARNING\",\"first_exec\":120,\"dup_count\":1},"
+      "\"campaign\":{\"device\":\"A1\",\"seed\":42,\"exec\":120},"
+      "\"repro\":{\"calls\":1,\"dsl\":\"openat$video()\\n\"},"
+      "\"driver_states\":[{\"driver\":\"rt1711_i2c\","
+      "\"states\":[\"idle\",\"attached\",\"alerting\"],"
+      "\"current\":\"attached\",\"visits\":[2,1,0],"
+      "\"matrix\":[[0,1,0],[0,0,0],[0,0,0]],"
+      "\"states_visited\":2,\"transitions_observed\":1}],"
+      "\"kasan_context\":{\"kernel_reports\":"
+      "[\"WARNING in tcpc_role_swap\"],\"hal_crashes\":[]},"
+      "\"flight_recorder\":{\"capacity\":2,\"recorded\":1,\"records\":"
+      "[{\"exec\":120,\"program\":\"openat$video()\\n\",\"rets\":[0],"
+      "\"new_features\":3,\"kernel_bug\":true,\"hal_crash\":false,"
+      "\"states_before\":{\"rt1711_i2c\":\"idle\"},"
+      "\"states_after\":{\"rt1711_i2c\":\"attached\"}}]}}\n";
+  EXPECT_EQ(CrashLog::provenance_json(fx.bug, fx.ctx), expected);
+}
+
+TEST(CrashLog, ProvenanceWithoutFlightRecorderStaysWellFormed) {
+  ProvenanceFixture fx;
+  fx.ctx.flight = nullptr;
+  const std::string json = CrashLog::provenance_json(fx.bug, fx.ctx);
+  EXPECT_NE(json.find("\"flight_recorder\":{\"capacity\":0,\"recorded\":0,"
+                      "\"records\":[]}"),
+            std::string::npos);
+}
+
+TEST(CrashLog, WriteProvenanceNamesFileByHashAndDedups) {
+  const ProvenanceFixture fx;
+  CrashLog log;
+  EXPECT_EQ(log.write_provenance(fx.bug, fx.ctx), "");  // disabled by default
+  const std::string dir = ::testing::TempDir() + "df_crash_prov_test";
+  std::filesystem::remove_all(dir);
+  log.set_provenance_dir(dir);
+  ASSERT_TRUE(log.provenance_enabled());
+  const std::string path = log.write_provenance(fx.bug, fx.ctx);
+  EXPECT_EQ(path,
+            dir + "/crash_" + CrashLog::title_hash(fx.bug.title) + ".json");
+  // A repeat of the same title overwrites in place, no duplicate entry.
+  EXPECT_EQ(log.write_provenance(fx.bug, fx.ctx), path);
+  ASSERT_EQ(log.provenance_files().size(), 1u);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), CrashLog::provenance_json(fx.bug, fx.ctx));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace df::obs {
+namespace {
+
+ExecutionRecord record_at(uint64_t exec) {
+  ExecutionRecord rec;
+  rec.exec_index = exec;
+  rec.program = std::make_shared<const std::string>("prog");
+  rec.rets = {0, -22};
+  rec.states_before = {0, 1};
+  rec.states_after = {1, 1};
+  return rec;
+}
+
+TEST(FlightRecorder, DisabledDropsRecords) {
+  FlightRecorder fr;
+  EXPECT_FALSE(fr.enabled());
+  fr.push(record_at(1));
+  EXPECT_EQ(fr.size(), 0u);
+  EXPECT_EQ(fr.recorded(), 0u);
+}
+
+TEST(FlightRecorder, KeepsTheLastNInOrder) {
+  FlightRecorder fr;
+  fr.enable(4);
+  for (uint64_t i = 1; i <= 10; ++i) fr.push(record_at(i));
+  EXPECT_EQ(fr.capacity(), 4u);
+  EXPECT_EQ(fr.size(), 4u);
+  EXPECT_EQ(fr.recorded(), 10u);
+  // Oldest retained first: 7, 8, 9, 10.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(fr.at(i).exec_index, 7 + i);
+  }
+}
+
+TEST(FlightRecorder, RecordCarriesTheExecutionContext) {
+  FlightRecorder fr;
+  fr.enable(2);
+  fr.push(record_at(42));
+  const ExecutionRecord& rec = fr.at(0);
+  EXPECT_EQ(rec.exec_index, 42u);
+  ASSERT_NE(rec.program, nullptr);
+  EXPECT_EQ(*static_cast<const std::string*>(rec.program.get()), "prog");
+  ASSERT_EQ(rec.rets.size(), 2u);
+  EXPECT_EQ(rec.rets[1], -22);
+  EXPECT_EQ(rec.states_before, (std::vector<uint8_t>{0, 1}));
+  EXPECT_EQ(rec.states_after, (std::vector<uint8_t>{1, 1}));
+}
+
+TEST(FlightRecorder, ClearKeepsCapacity) {
+  FlightRecorder fr;
+  fr.enable(3);
+  fr.push(record_at(1));
+  fr.push(record_at(2));
+  fr.clear();
+  EXPECT_EQ(fr.size(), 0u);
+  EXPECT_TRUE(fr.enabled());
+  EXPECT_EQ(fr.capacity(), 3u);
+  fr.push(record_at(3));
+  ASSERT_EQ(fr.size(), 1u);
+  EXPECT_EQ(fr.at(0).exec_index, 3u);
+}
+
+TEST(FlightRecorder, ReenableResizesWindow) {
+  FlightRecorder fr;
+  fr.enable(2);
+  fr.push(record_at(1));
+  fr.push(record_at(2));
+  fr.enable(8);  // clears and resizes
+  EXPECT_EQ(fr.size(), 0u);
+  EXPECT_EQ(fr.capacity(), 8u);
+  fr.enable(0);  // disables again
+  EXPECT_FALSE(fr.enabled());
+  fr.push(record_at(5));
+  EXPECT_EQ(fr.size(), 0u);
+}
+
+}  // namespace
+}  // namespace df::obs

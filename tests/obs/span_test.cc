@@ -1,0 +1,139 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "obs/chrome_trace.h"
+#include "obs/trace.h"
+
+namespace df::obs {
+namespace {
+
+// Pulls a named field out of a kSpan event; fails the test when absent.
+uint64_t num_field(const TraceEvent& ev, std::string_view key) {
+  for (const auto& f : ev.fields) {
+    if (f.key == key) return f.num;
+  }
+  ADD_FAILURE() << "missing field " << key;
+  return 0;
+}
+
+std::string str_field(const TraceEvent& ev, std::string_view key) {
+  for (const auto& f : ev.fields) {
+    if (f.key == key) return f.str;
+  }
+  ADD_FAILURE() << "missing field " << key;
+  return {};
+}
+
+TEST(SpanTracer, DisabledByDefault) {
+  TraceSink sink(64);
+  SpanTracer spans(sink);
+  EXPECT_FALSE(spans.enabled());
+  EXPECT_EQ(spans.begin("campaign"), 0u);
+  spans.end(0);
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(spans.spans_started(), 0u);
+}
+
+TEST(SpanTracer, NestsStrictlyAndRecordsParents) {
+  TraceSink sink(64);
+  SpanTracer spans(sink);
+  spans.set_enabled(true);
+  const uint64_t campaign = spans.begin("campaign");
+  const uint64_t iter = spans.begin("iteration", "A1", 1);
+  const uint64_t phase = spans.begin("phase:execute", "A1", 1);
+  spans.end(phase);
+  spans.end(iter);
+  spans.end(campaign);
+  ASSERT_EQ(sink.size(), 3u);  // innermost closes first
+  EXPECT_EQ(str_field(sink.at(0), "span"), "phase:execute");
+  EXPECT_EQ(num_field(sink.at(0), "parent"), iter);
+  EXPECT_EQ(str_field(sink.at(1), "span"), "iteration");
+  EXPECT_EQ(num_field(sink.at(1), "parent"), campaign);
+  EXPECT_EQ(str_field(sink.at(2), "span"), "campaign");
+  EXPECT_EQ(num_field(sink.at(2), "parent"), 0u);
+  EXPECT_EQ(sink.at(0).device, "A1");
+  EXPECT_EQ(sink.at(0).exec_index, 1u);
+  EXPECT_EQ(spans.open_depth(), 0u);
+}
+
+TEST(SpanTracer, EndClosesAbandonedChildren) {
+  TraceSink sink(64);
+  SpanTracer spans(sink);
+  spans.set_enabled(true);
+  const uint64_t outer = spans.begin("outer");
+  spans.begin("leaked-child");
+  spans.end(outer);  // must close the child too
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(spans.open_depth(), 0u);
+}
+
+TEST(SpanTracer, ScopedSpanNullTracerIsANoOp) {
+  { const ScopedSpan span(nullptr, "anything"); }
+  TraceSink sink(16);
+  SpanTracer spans(sink);
+  spans.set_enabled(true);
+  {
+    const ScopedSpan span(&spans, "scoped", "A1", 7);
+    EXPECT_NE(span.id(), 0u);
+  }
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(str_field(sink.at(0), "span"), "scoped");
+}
+
+TEST(ChromeTrace, ExportsSortedCompleteEventsWithMetadata) {
+  TraceSink sink(64);
+  SpanTracer spans(sink);
+  spans.set_enabled(true);
+  const uint64_t root = spans.begin("campaign");
+  const uint64_t a = spans.begin("iteration", "A1", 1);
+  spans.end(a);
+  const uint64_t b = spans.begin("iteration", "B", 2);
+  spans.end(b);
+  spans.end(root);
+
+  const std::string json = chrome_trace_json(sink);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // One thread per track: main (root span), A1, B.
+  EXPECT_NE(json.find("\"name\":\"main\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"A1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"campaign\""), std::string::npos);
+  // Parent linkage survives the export.
+  EXPECT_NE(json.find("\"parent\":" + std::to_string(root)),
+            std::string::npos);
+}
+
+TEST(ChromeTrace, IgnoresNonSpanEvents) {
+  TraceSink sink(16);
+  TraceEvent ev;
+  ev.kind = EventKind::kBug;
+  ev.device = "A1";
+  sink.emit(std::move(ev));
+  const std::string json = chrome_trace_json(sink);
+  // Only process metadata remains; no complete events.
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(SpanTracer, IdsAreUniqueAndDeterministic) {
+  std::set<uint64_t> ids;
+  TraceSink sink(256);
+  SpanTracer spans(sink);
+  spans.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t id = spans.begin("iteration", "A1", i);
+    EXPECT_TRUE(ids.insert(id).second);
+    spans.end(id);
+  }
+  // Ids are sequential from 1: a pure function of the executed work.
+  EXPECT_EQ(*ids.begin(), 1u);
+  EXPECT_EQ(*ids.rbegin(), 10u);
+}
+
+}  // namespace
+}  // namespace df::obs

@@ -4,6 +4,8 @@
 
 #include <string>
 
+#include "obs/obs.h"
+
 namespace df::obs {
 namespace {
 
@@ -79,6 +81,80 @@ TEST(StatsReporter, TimingExcludedOnRequest) {
 TEST(StatsReporter, UnknownDeviceYieldsEmptySeries) {
   StatsReporter rep;
   EXPECT_TRUE(rep.series("nope").empty());
+}
+
+// Fixed coverage across a window larger than the stall threshold.
+EngineSample flat_sample(uint64_t execs, uint64_t coverage) {
+  EngineSample s;
+  s.executions = execs;
+  s.total_coverage = coverage;
+  s.kernel_coverage = coverage;
+  return s;
+}
+
+TEST(StatsReporter, WatchdogDisabledByDefault) {
+  StatsReporter rep(100);
+  EXPECT_EQ(rep.stall_window(), 0u);
+  rep.record("A1", flat_sample(0, 5));
+  rep.record("A1", flat_sample(100000, 5));
+  EXPECT_FALSE(rep.stalled("A1"));
+}
+
+TEST(StatsReporter, WatchdogFlagsCoveragePlateau) {
+  StatsReporter rep(100);
+  rep.set_stall_window(500);
+  rep.record("A1", flat_sample(0, 5));
+  rep.record("A1", flat_sample(400, 5));
+  EXPECT_FALSE(rep.stalled("A1"));  // within the window
+  rep.record("A1", flat_sample(600, 5));
+  EXPECT_TRUE(rep.stalled("A1"));
+}
+
+TEST(StatsReporter, WatchdogFlagsDeviceStuckAtZeroCoverage) {
+  StatsReporter rep(100);
+  rep.set_stall_window(500);
+  rep.record("A1", flat_sample(0, 0));
+  rep.record("A1", flat_sample(600, 0));
+  EXPECT_TRUE(rep.stalled("A1"));
+}
+
+TEST(StatsReporter, WatchdogClearsOnProgress) {
+  StatsReporter rep(100);
+  rep.set_stall_window(500);
+  rep.record("A1", flat_sample(0, 5));
+  rep.record("A1", flat_sample(600, 5));
+  ASSERT_TRUE(rep.stalled("A1"));
+  rep.record("A1", flat_sample(700, 6));  // new coverage
+  EXPECT_FALSE(rep.stalled("A1"));
+}
+
+TEST(StatsReporter, WatchdogPublishesGaugeAndStallEvent) {
+  Observability obs;
+  StatsReporter rep(100);
+  rep.set_stall_window(500);
+  rep.attach_observability(&obs);
+  rep.record("A1", flat_sample(0, 5));
+  rep.record("A1", flat_sample(600, 5));
+  EXPECT_EQ(obs.registry.gauge("campaign.stalled", "A1").value(), 1.0);
+  ASSERT_EQ(obs.trace.size(), 1u);
+  EXPECT_EQ(obs.trace.at(0).kind, EventKind::kStall);
+  EXPECT_EQ(obs.trace.at(0).device, "A1");
+  EXPECT_EQ(obs.trace.at(0).exec_index, 600u);
+  // Progress resets the gauge without a second event.
+  rep.record("A1", flat_sample(700, 6));
+  EXPECT_EQ(obs.registry.gauge("campaign.stalled", "A1").value(), 0.0);
+  EXPECT_EQ(obs.trace.size(), 1u);
+}
+
+TEST(StatsReporter, WatchdogTracksDevicesIndependently) {
+  StatsReporter rep(100);
+  rep.set_stall_window(500);
+  rep.record("A1", flat_sample(0, 5));
+  rep.record("B", flat_sample(0, 5));
+  rep.record("A1", flat_sample(600, 5));
+  rep.record("B", flat_sample(600, 9));
+  EXPECT_TRUE(rep.stalled("A1"));
+  EXPECT_FALSE(rep.stalled("B"));
 }
 
 }  // namespace

@@ -1,0 +1,40 @@
+# Provenance smoke test (run via cmake -P from ctest): drive crash_triage
+# with span tracing and a crash-report directory, then validate both outputs
+# with scripts/check_bench_json.py — the Chrome trace must contain at least
+# one complete span tree and at least one crash_<hash>.json provenance
+# report must exist and pass schema checks.
+# Inputs: TRIAGE, PYTHON, CHECKER, OUTDIR.
+
+file(REMOVE_RECURSE ${OUTDIR})
+file(MAKE_DIRECTORY ${OUTDIR})
+set(trace ${OUTDIR}/trace.json)
+set(crashes ${OUTDIR}/crashes)
+
+execute_process(
+  COMMAND ${TRIAGE} A1 30000 3 --quiet
+          --trace-out ${trace} --crash-dir ${crashes}
+  RESULT_VARIABLE triage_rc)
+if(NOT triage_rc EQUAL 0)
+  message(FATAL_ERROR "crash_triage failed (rc=${triage_rc})")
+endif()
+
+# The checker's chrome-trace branch rejects traces without a complete span.
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${trace}
+  RESULT_VARIABLE trace_rc)
+if(NOT trace_rc EQUAL 0)
+  message(FATAL_ERROR "check_bench_json.py rejected ${trace} (rc=${trace_rc})")
+endif()
+
+file(GLOB reports ${crashes}/crash_*.json)
+list(LENGTH reports report_count)
+if(report_count EQUAL 0)
+  message(FATAL_ERROR "no crash_<hash>.json provenance reports in ${crashes}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${reports}
+  RESULT_VARIABLE crash_rc)
+if(NOT crash_rc EQUAL 0)
+  message(FATAL_ERROR "provenance reports failed validation (rc=${crash_rc})")
+endif()

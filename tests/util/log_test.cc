@@ -18,6 +18,7 @@ class LogTest : public ::testing::Test {
   void TearDown() override {
     set_log_sink(nullptr);
     set_log_level(old_level_);
+    clear_log_overrides();
   }
 
   std::vector<std::pair<LogLevel, std::string>> captured_;
@@ -47,6 +48,51 @@ TEST_F(LogTest, LevelOrdering) {
   DF_LOG(kWarn) << "no";
   DF_LOG(kError) << "yes";
   ASSERT_EQ(captured_.size(), 1u);
+}
+
+TEST_F(LogTest, ConfigureParsesGlobalAndOverrides) {
+  ASSERT_TRUE(configure_log("info,engine=debug,hal=error"));
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+  EXPECT_EQ(component_level("engine"), LogLevel::kDebug);
+  EXPECT_EQ(component_level("hal"), LogLevel::kError);
+  EXPECT_EQ(component_level("daemon"), LogLevel::kInfo);  // falls back
+}
+
+TEST_F(LogTest, ComponentOverrideLowersThreshold) {
+  set_log_level(LogLevel::kWarn);
+  ASSERT_TRUE(configure_log("warn,engine=debug"));
+  DF_CLOG("engine", kDebug) << "engine detail";
+  DF_CLOG("daemon", kDebug) << "dropped";
+  DF_LOG(kDebug) << "dropped too";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "engine detail");
+}
+
+TEST_F(LogTest, ComponentOverrideRaisesThreshold) {
+  ASSERT_TRUE(configure_log("debug,hal=error"));
+  DF_CLOG("hal", kInfo) << "dropped";
+  DF_CLOG("hal", kError) << "hal error";
+  DF_CLOG("engine", kInfo) << "engine info";
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].second, "hal error");
+  EXPECT_EQ(captured_[1].second, "engine info");
+}
+
+TEST_F(LogTest, MalformedSpecAppliesNothing) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(configure_log("info,engine=loud"));   // bad level name
+  EXPECT_FALSE(configure_log("verbose"));            // bad global level
+  EXPECT_FALSE(configure_log("=debug"));             // empty component
+  EXPECT_FALSE(configure_log(""));                   // empty spec
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  EXPECT_EQ(component_level("engine"), LogLevel::kWarn);
+}
+
+TEST_F(LogTest, OverridesReplacedWholesale) {
+  ASSERT_TRUE(configure_log("warn,engine=debug"));
+  ASSERT_TRUE(configure_log("warn,daemon=info"));
+  EXPECT_EQ(component_level("engine"), LogLevel::kWarn);  // old override gone
+  EXPECT_EQ(component_level("daemon"), LogLevel::kInfo);
 }
 
 }  // namespace
