@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate DroidFuzz telemetry JSON and compare runs for determinism.
 
-Four document shapes are understood:
+Five document shapes are understood:
 
   BENCH_*.json           (written by the bench binaries via write_bench_json)
       {"bench": ..., "seed": ..., "reps": ..., "series": [...],
@@ -17,6 +17,10 @@ Four document shapes are understood:
       {"crash": {...}, "campaign": {...}, "repro": {...},
        "driver_states": [...], "kasan_context": {...},
        "flight_recorder": {...}}
+
+  lint report            (written by examples/df_lint via --json)
+      {"lint": {"tool": "df_lint", "device": ..., "files": [...],
+                "summary": {...}, "plans": [...]}}
 
 Usage:
   check_bench_json.py FILE...            validate each document
@@ -39,6 +43,9 @@ TIMING_SUFFIXES = ("_ns", "_per_sec")
 
 SERIES_ARRAYS = ("executions", "kernel_coverage", "total_coverage",
                  "corpus", "bugs")
+LINT_PASSES = ("use-after-close", "dangling-ref", "type-width",
+               "dead-statement")
+LINT_SEVERITIES = ("error", "warning")
 STATS_ARRAYS = SERIES_ARRAYS[:2] + ("total_coverage", "corpus", "bugs",
                                     "relation_edges", "reboots")
 
@@ -347,6 +354,95 @@ def check_crash_doc(doc):
                     f"{rwhere}.{key} must be an object")
 
 
+def check_lint_doc(doc):
+    lint = doc.get("lint")
+    require(isinstance(lint, dict), "lint must be an object")
+    for key in ("tool", "device"):
+        require(isinstance(lint.get(key), str) and lint[key],
+                f"lint.{key} must be a non-empty string")
+    files = lint.get("files")
+    require(isinstance(files, list) and files,
+            "lint.files must be a non-empty array")
+    total_findings = 0
+    total_errors = 0
+    total_warnings = 0
+    for i, f in enumerate(files):
+        fwhere = f"lint.files[{i}]"
+        require(isinstance(f, dict), f"{fwhere} must be an object")
+        require(isinstance(f.get("path"), str) and f["path"],
+                f"{fwhere}.path must be a non-empty string")
+        require(isinstance(f.get("calls"), int) and f["calls"] >= 0,
+                f"{fwhere}.calls must be a non-negative int")
+        require(isinstance(f.get("parse_error"), str),
+                f"{fwhere}.parse_error must be a string")
+        require(isinstance(f.get("repairable"), bool),
+                f"{fwhere}.repairable must be a bool")
+        findings = f.get("findings")
+        require(isinstance(findings, list),
+                f"{fwhere}.findings must be an array")
+        for j, fd in enumerate(findings):
+            dwhere = f"{fwhere}.findings[{j}]"
+            require(isinstance(fd, dict), f"{dwhere} must be an object")
+            require(fd.get("pass") in LINT_PASSES,
+                    f"{dwhere}.pass must be one of {LINT_PASSES}")
+            require(fd.get("severity") in LINT_SEVERITIES,
+                    f"{dwhere}.severity must be 'error' or 'warning'")
+            require(isinstance(fd.get("call"), int) and fd["call"] >= 0,
+                    f"{dwhere}.call must be a non-negative int")
+            require(isinstance(fd.get("arg"), int) and fd["arg"] >= -1,
+                    f"{dwhere}.arg must be an int >= -1")
+            require(isinstance(fd.get("message"), str) and fd["message"],
+                    f"{dwhere}.message must be a non-empty string")
+            total_findings += 1
+            if fd["severity"] == "error":
+                total_errors += 1
+            else:
+                total_warnings += 1
+    summary = lint.get("summary")
+    require(isinstance(summary, dict), "lint.summary must be an object")
+    for key in ("files", "programs", "findings", "errors", "warnings",
+                "repaired", "rejected"):
+        require(isinstance(summary.get(key), int) and summary[key] >= 0,
+                f"lint.summary.{key} must be a non-negative int")
+    require(summary["files"] == len(files),
+            f"lint.summary.files must equal len(files) ({len(files)})")
+    require(summary["findings"] == total_findings,
+            f"lint.summary.findings must equal the per-file finding count "
+            f"({total_findings})")
+    require(summary["errors"] == total_errors
+            and summary["warnings"] == total_warnings,
+            f"lint.summary errors/warnings must match the per-file counts "
+            f"({total_errors}/{total_warnings})")
+    plans = lint.get("plans")
+    require(isinstance(plans, list), "lint.plans must be an array")
+    for i, p in enumerate(plans):
+        pwhere = f"lint.plans[{i}]"
+        require(isinstance(p, dict), f"{pwhere} must be an object")
+        require(isinstance(p.get("driver"), str) and p["driver"],
+                f"{pwhere}.driver must be a non-empty string")
+        states = p.get("states")
+        require(isinstance(states, list) and states
+                and all(isinstance(s, str) and s for s in states),
+                f"{pwhere}.states must be a non-empty array of names")
+        entries = p.get("plans")
+        require(isinstance(entries, list) and len(entries) == len(states),
+                f"{pwhere}.plans must have one entry per state")
+        for j, e in enumerate(entries):
+            ewhere = f"{pwhere}.plans[{j}]"
+            require(isinstance(e, dict), f"{ewhere} must be an object")
+            require(e.get("state") == j,
+                    f"{ewhere}.state must be the state index {j}")
+            require(e.get("name") == states[j],
+                    f"{ewhere}.name must match states[{j}]")
+            require(isinstance(e.get("reachable"), bool),
+                    f"{ewhere}.reachable must be a bool")
+            require(isinstance(e.get("calls"), int) and e["calls"] >= 0,
+                    f"{ewhere}.calls must be a non-negative int")
+            if not e["reachable"]:
+                require(e["calls"] == 0,
+                        f"{ewhere}: unreachable state cannot carry a plan")
+
+
 def check_document(doc):
     if "bench" in doc:
         check_bench_doc(doc)
@@ -356,10 +452,12 @@ def check_document(doc):
         check_crash_doc(doc)
     elif "campaign" in doc:
         check_campaign_doc(doc)
+    elif "lint" in doc:
+        check_lint_doc(doc)
     else:
         raise CheckError("unknown document: expected a 'bench', "
-                         "'traceEvents', 'crash', or 'campaign' top-level "
-                         "key")
+                         "'traceEvents', 'crash', 'campaign', or 'lint' "
+                         "top-level key")
 
 
 def load(path):
@@ -490,6 +588,38 @@ def _campaign_fixture():
     }
 
 
+def _lint_fixture():
+    return {
+        "lint": {
+            "tool": "df_lint", "device": "A1",
+            "files": [{
+                "path": "tests/fixtures/lint/use_after_close.dsl",
+                "calls": 3, "parse_error": "", "repairable": True,
+                "findings": [{
+                    "pass": "use-after-close", "severity": "error",
+                    "call": 2, "arg": 0,
+                    "message": "use of r0 after close$rt1711 at call #1",
+                }],
+            }],
+            "summary": {"files": 1, "programs": 1, "findings": 1,
+                        "errors": 1, "warnings": 0, "repaired": 1,
+                        "rejected": 0},
+            "plans": [{
+                "driver": "rt1711_i2c",
+                "states": ["idle", "attached", "alerting"],
+                "plans": [
+                    {"state": 0, "name": "idle", "reachable": True,
+                     "calls": 0},
+                    {"state": 1, "name": "attached", "reachable": True,
+                     "calls": 1},
+                    {"state": 2, "name": "alerting", "reachable": True,
+                     "calls": 2},
+                ],
+            }],
+        },
+    }
+
+
 def self_test():
     cases = []
 
@@ -575,6 +705,25 @@ def self_test():
     doc = _crash_fixture()
     doc["kasan_context"]["kernel_reports"] = []
     expect_fail("crash report without any kernel/HAL context", doc)
+
+    expect_ok("valid lint report", _lint_fixture())
+
+    doc = _lint_fixture()
+    doc["lint"]["files"][0]["findings"][0]["pass"] = "bad-pass"
+    expect_fail("unknown lint pass name", doc)
+
+    doc = _lint_fixture()
+    doc["lint"]["summary"]["findings"] = 9
+    expect_fail("lint summary inconsistent with findings", doc)
+
+    doc = _lint_fixture()
+    doc["lint"]["plans"][0]["plans"][2] = {"state": 2, "name": "alerting",
+                                           "reachable": False, "calls": 2}
+    expect_fail("unreachable state carrying a plan", doc)
+
+    doc = _lint_fixture()
+    doc["lint"]["plans"][0]["plans"].pop()
+    expect_fail("lint plans missing a state entry", doc)
 
     expect_fail("unknown shape", {"something": 1})
 

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under each sanitizer.
+#
+#   scripts/run_sanitized.sh [address|undefined]...
+#
+# With no arguments both sanitizers run in sequence. Each sanitizer gets its
+# own build tree (build-asan / build-ubsan) so the instrumented objects never
+# mix with the regular build/ directory.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitizers=("$@")
+if [ ${#sanitizers[@]} -eq 0 ]; then
+  sanitizers=(address undefined)
+fi
+
+for san in "${sanitizers[@]}"; do
+  case "$san" in
+    address) dir=build-asan ;;
+    undefined) dir=build-ubsan ;;
+    *)
+      echo "unknown sanitizer '$san' (want: address, undefined)" >&2
+      exit 2
+      ;;
+  esac
+  echo "== $san sanitizer ($dir) =="
+  cmake -B "$dir" -S . -DDF_SANITIZE="$san" -DDF_WERROR=ON >/dev/null
+  cmake --build "$dir" -j "$(nproc)"
+  # halt_on_error makes UBSan findings fail the test run instead of logging.
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ASAN_OPTIONS=detect_leaks=1 \
+    ctest --test-dir "$dir" --output-on-failure
+done

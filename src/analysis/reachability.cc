@@ -1,0 +1,222 @@
+#include "analysis/reachability.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace df::analysis {
+
+using dsl::ArgKind;
+using dsl::CallDesc;
+using dsl::ParamDesc;
+using dsl::Value;
+using kernel::DeclaredTransition;
+using kernel::PlanCall;
+using kernel::TransitionHint;
+
+StateGraph graph_of(const kernel::Driver& d) {
+  StateGraph g;
+  g.driver = std::string(d.name());
+  g.states = d.state_names();
+  g.transitions = d.declared_transitions();
+  return g;
+}
+
+ReachabilityPlanner::ReachabilityPlanner(StateGraph g) : graph_(std::move(g)) {
+  const size_t n = graph_.states.size();
+  plans_.resize(n);
+  for (size_t s = 0; s < n; ++s) {
+    plans_[s].state = s;
+    plans_[s].state_name = graph_.states[s];
+  }
+  if (n == 0) return;
+
+  // Uniform-cost search on total call count (edges can be multi-call
+  // combos). State counts are tiny (<= 8), so Bellman-Ford-style
+  // relaxation to a fixpoint is the simplest deterministic solver.
+  constexpr size_t kInf = std::numeric_limits<size_t>::max();
+  std::vector<size_t> dist(n, kInf);
+  // best incoming edge index per state, for path reconstruction
+  std::vector<size_t> via(n, kInf);
+  dist[0] = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t e = 0; e < graph_.transitions.size(); ++e) {
+      const DeclaredTransition& t = graph_.transitions[e];
+      if (t.from >= n || t.to >= n || dist[t.from] == kInf) continue;
+      const size_t cand = dist[t.from] + std::max<size_t>(t.steps.size(), 1);
+      if (cand < dist[t.to]) {
+        dist[t.to] = cand;
+        via[t.to] = e;
+        changed = true;
+      }
+    }
+  }
+
+  for (size_t s = 0; s < n; ++s) {
+    if (dist[s] == kInf) continue;
+    plans_[s].reachable = true;
+    // Walk predecessor edges back to state 0, then emit steps in order.
+    std::vector<size_t> edges;
+    size_t cur = s;
+    while (cur != 0 && via[cur] != kInf) {
+      edges.push_back(via[cur]);
+      cur = graph_.transitions[via[cur]].from;
+    }
+    std::reverse(edges.begin(), edges.end());
+    for (size_t e : edges) {
+      const DeclaredTransition& t = graph_.transitions[e];
+      plans_[s].steps.insert(plans_[s].steps.end(), t.steps.begin(),
+                             t.steps.end());
+    }
+  }
+}
+
+std::vector<StatePlan> ReachabilityPlanner::unvisited(
+    const std::vector<uint64_t>& visits) const {
+  std::vector<StatePlan> out;
+  for (const StatePlan& p : plans_) {
+    const uint64_t v = p.state < visits.size() ? visits[p.state] : 0;
+    if (v == 0) out.push_back(p);
+  }
+  return out;
+}
+
+namespace {
+
+Value default_value(const ParamDesc& p) {
+  Value v;
+  switch (p.kind) {
+    case ArgKind::kU8:
+    case ArgKind::kU16:
+    case ArgKind::kU32:
+    case ArgKind::kU64:
+      v.scalar = p.min;
+      break;
+    case ArgKind::kEnum:
+      v.scalar = p.choices.empty() ? 0 : p.choices.front();
+      break;
+    case ArgKind::kFlags:
+    case ArgKind::kBool:
+      v.scalar = 0;
+      break;
+    case ArgKind::kString:
+    case ArgKind::kBlob:
+      break;  // empty
+    case ArgKind::kHandle:
+      v.ref = Value::kNoRef;
+      break;
+  }
+  return v;
+}
+
+void apply_hint(const ParamDesc& p, const TransitionHint& h, Value& v) {
+  if (p.kind == ArgKind::kString || p.kind == ArgKind::kBlob) {
+    if (!h.bytes.empty()) {
+      v.bytes = h.bytes;
+    } else {
+      v.bytes.assign(static_cast<size_t>(h.value), 0);
+    }
+  } else if (p.kind != ArgKind::kHandle) {
+    v.scalar = h.value;
+  }
+}
+
+// Deterministic producer choice for a handle type: prefer pure producers
+// (no handle params of their own — socket/open over accept-style), then
+// fewest params, then name. Returns nullptr when nothing produces `type`.
+const CallDesc* pick_producer(const dsl::CallTable& table,
+                              const std::string& type) {
+  const auto consumes_handle = [](const CallDesc* d) {
+    for (const ParamDesc& p : d->params) {
+      if (p.kind == ArgKind::kHandle) return true;
+    }
+    return false;
+  };
+  const CallDesc* best = nullptr;
+  for (const CallDesc* d : table.all()) {
+    if (d->produces != type) continue;
+    if (best == nullptr ||
+        std::make_tuple(consumes_handle(d), d->params.size(),
+                        std::string_view(d->name)) <
+            std::make_tuple(consumes_handle(best), best->params.size(),
+                            std::string_view(best->name))) {
+      best = d;
+    }
+  }
+  return best;
+}
+
+dsl::Call default_call(const CallDesc* d) {
+  dsl::Call c;
+  c.desc = d;
+  c.args.reserve(d->params.size());
+  for (const ParamDesc& p : d->params) c.args.push_back(default_value(p));
+  return c;
+}
+
+}  // namespace
+
+std::optional<dsl::Program> materialize_plan(const StatePlan& plan,
+                                             const dsl::CallTable& table,
+                                             std::string* err) {
+  dsl::Program prog;
+  // (handle type, plan instance) -> index of its producer call in prog.
+  std::map<std::pair<std::string, size_t>, int32_t> producers;
+  for (const PlanCall& step : plan.steps) {
+    const CallDesc* d = table.find(step.call);
+    if (d == nullptr) {
+      if (err != nullptr) *err = "unknown call in plan: " + step.call;
+      return std::nullopt;
+    }
+    dsl::Call c = default_call(d);
+    bool leading = true;
+    for (size_t a = 0; a < d->params.size(); ++a) {
+      const ParamDesc& p = d->params[a];
+      if (p.kind != ArgKind::kHandle) continue;
+      if (leading) {
+        // The step's subject resource: one shared producer per declared
+        // instance, inserted on first use.
+        leading = false;
+        const auto key = std::make_pair(p.handle_type, step.instance);
+        auto it = producers.find(key);
+        if (it == producers.end()) {
+          const CallDesc* prod = pick_producer(table, p.handle_type);
+          if (prod != nullptr) {
+            prog.calls.push_back(default_call(prod));
+            it = producers
+                     .emplace(key,
+                              static_cast<int32_t>(prog.calls.size() - 1))
+                     .first;
+          }
+        }
+        if (it != producers.end()) c.args[a].ref = it->second;
+      } else {
+        // Secondary handles (kernel-id resources like a GPU context) bind
+        // to the nearest prior in-program producer of their type.
+        for (size_t j = prog.calls.size(); j-- > 0;) {
+          if (prog.calls[j].desc != nullptr &&
+              prog.calls[j].desc->produces == p.handle_type) {
+            c.args[a].ref = static_cast<int32_t>(j);
+            break;
+          }
+        }
+      }
+    }
+    for (const TransitionHint& h : step.hints) {
+      for (size_t a = 0; a < d->params.size(); ++a) {
+        if (d->params[a].name == h.param) {
+          apply_hint(d->params[a], h, c.args[a]);
+          break;
+        }
+      }
+    }
+    prog.calls.push_back(std::move(c));
+  }
+  return prog;
+}
+
+}  // namespace df::analysis

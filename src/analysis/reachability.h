@@ -1,0 +1,73 @@
+// Driver-state reachability planning.
+//
+// PR 2 gave every gated driver an observed state machine (visit counts and
+// a transition matrix); this module consumes the *statically declared*
+// counterpart (kernel::Driver::declared_transitions) and computes, without
+// any execution, the shortest call sequence from the boot state to every
+// protocol state. The engine uses the plans as seed-splice hints for states
+// a campaign has never visited — the stateful-model-guided half of the
+// paper's deep-state argument, versus pure model-free exploration.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsl/descr.h"
+#include "dsl/prog.h"
+#include "kernel/driver.h"
+
+namespace df::analysis {
+
+// A driver's declared graph, detached from the live driver object.
+struct StateGraph {
+  std::string driver;
+  std::vector<std::string> states;
+  std::vector<kernel::DeclaredTransition> transitions;
+
+  bool empty() const { return transitions.empty(); }
+};
+
+StateGraph graph_of(const kernel::Driver& d);
+
+// Shortest declared route from state 0 to `state`, flattened to the call
+// sequence that takes it (multi-call edges contribute all their steps).
+struct StatePlan {
+  size_t state = 0;
+  std::string state_name;
+  bool reachable = false;
+  std::vector<kernel::PlanCall> steps;
+};
+
+class ReachabilityPlanner {
+ public:
+  explicit ReachabilityPlanner(StateGraph g);
+
+  const StateGraph& graph() const { return graph_; }
+  // One plan per state, index == state id. State 0 is trivially reachable
+  // with an empty plan; states with no declared route have reachable=false.
+  const std::vector<StatePlan>& plans() const { return plans_; }
+
+  // Diagnostics: plans for every state whose campaign visit count is zero
+  // (visits indexed like state_names; shorter vectors count as zero).
+  std::vector<StatePlan> unvisited(const std::vector<uint64_t>& visits) const;
+
+ private:
+  StateGraph graph_;
+  std::vector<StatePlan> plans_;
+};
+
+// Instantiates a plan as an executable program against `table`: one call
+// per step, scalar/blob params pinned by the transition hints, everything
+// else at its minimal valid default. The leading handle arg of each step
+// is bound to a deterministically chosen pure producer (open/socket)
+// inserted once per PlanCall::instance, so multi-resource plans use
+// distinct resources; later handle args bind to the nearest prior
+// in-program producer of their type. Anything still unresolved is left
+// for Generator::resolve_producers. Returns nullopt (with `err`) when a
+// step names a call the table does not have (e.g. a HAL-only table).
+std::optional<dsl::Program> materialize_plan(const StatePlan& plan,
+                                             const dsl::CallTable& table,
+                                             std::string* err = nullptr);
+
+}  // namespace df::analysis

@@ -1,0 +1,365 @@
+#include "analysis/semantic.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace df::analysis {
+
+namespace {
+
+using dsl::ArgKind;
+using dsl::CallDesc;
+using dsl::ParamDesc;
+using dsl::Program;
+using dsl::Value;
+
+uint64_t kind_width_mask(ArgKind k) {
+  switch (k) {
+    case ArgKind::kU8:
+      return 0xffull;
+    case ArgKind::kU16:
+      return 0xffffull;
+    case ArgKind::kU32:
+      return 0xffffffffull;
+    default:
+      return ~0ull;
+  }
+}
+
+const char* kind_label(ArgKind k) {
+  switch (k) {
+    case ArgKind::kU8:
+      return "u8";
+    case ArgKind::kU16:
+      return "u16";
+    case ArgKind::kU32:
+      return "u32";
+    case ArgKind::kU64:
+      return "u64";
+    case ArgKind::kEnum:
+      return "enum";
+    case ArgKind::kFlags:
+      return "flags";
+    case ArgKind::kBool:
+      return "bool";
+    case ArgKind::kString:
+      return "string";
+    case ArgKind::kBlob:
+      return "blob";
+    case ArgKind::kHandle:
+      return "handle";
+  }
+  return "?";
+}
+
+uint64_t flags_mask(const ParamDesc& p) {
+  uint64_t m = 0;
+  for (uint64_t c : p.choices) m |= c;
+  return m;
+}
+
+bool is_scalar_kind(ArgKind k) {
+  return k == ArgKind::kU8 || k == ArgKind::kU16 || k == ArgKind::kU32 ||
+         k == ArgKind::kU64;
+}
+
+std::string hex(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// The argument index whose handle the call destroys: the first handle param
+// of the declared `destroys` type.
+size_t destroyed_arg(const CallDesc& d) {
+  for (size_t a = 0; a < d.params.size(); ++a) {
+    if (d.params[a].kind == ArgKind::kHandle &&
+        d.params[a].handle_type == d.destroys) {
+      return a;
+    }
+  }
+  return Finding::kNoArg;
+}
+
+// Producer indices destroyed before statement `upto` (exclusive).
+std::vector<bool> closed_before(const Program& prog, size_t upto) {
+  std::vector<bool> closed(prog.calls.size(), false);
+  for (size_t i = 0; i < upto && i < prog.calls.size(); ++i) {
+    const CallDesc* d = prog.calls[i].desc;
+    if (d == nullptr || d->destroys.empty()) continue;
+    const size_t a = destroyed_arg(*d);
+    if (a == Finding::kNoArg || a >= prog.calls[i].args.size()) continue;
+    const int32_t ref = prog.calls[i].args[a].ref;
+    if (ref >= 0 && static_cast<size_t>(ref) < prog.calls.size() &&
+        !closed[static_cast<size_t>(ref)]) {
+      closed[static_cast<size_t>(ref)] = true;
+    }
+  }
+  return closed;
+}
+
+}  // namespace
+
+std::string_view pass_name(Pass p) {
+  switch (p) {
+    case Pass::kUseAfterClose:
+      return "use-after-close";
+    case Pass::kDanglingRef:
+      return "dangling-ref";
+    case Pass::kTypeWidth:
+      return "type-width";
+    case Pass::kDeadStatement:
+      return "dead-statement";
+  }
+  return "?";
+}
+
+std::string_view severity_name(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+size_t LintReport::errors() const {
+  return static_cast<size_t>(
+      std::count_if(findings.begin(), findings.end(), [](const Finding& f) {
+        return f.severity == Severity::kError;
+      }));
+}
+
+size_t LintReport::warnings() const { return findings.size() - errors(); }
+
+bool LintReport::has(Pass p) const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [p](const Finding& f) { return f.pass == p; });
+}
+
+LintReport ProgramLint::analyze(const Program& prog) const {
+  LintReport rep;
+  const size_t n = prog.calls.size();
+
+  // Live-resource tracking for the use-after-close pass: closed[j] is set
+  // once a destroying call has consumed producer j.
+  std::vector<bool> closed(n, false);
+  // consumed[j]: some later call references producer j (dead-statement pass).
+  std::vector<bool> consumed(n, false);
+
+  auto add = [&rep](Pass pass, Severity sev, size_t call, size_t arg,
+                    std::string msg) {
+    Finding f;
+    f.pass = pass;
+    f.severity = sev;
+    f.call = call;
+    f.arg = arg;
+    f.message = std::move(msg);
+    rep.findings.push_back(std::move(f));
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const dsl::Call& c = prog.calls[i];
+    const CallDesc* d = c.desc;
+    if (d == nullptr) {
+      if (opts_.dangling_refs) {
+        add(Pass::kDanglingRef, Severity::kError, i, Finding::kNoArg,
+            "statement has no call description");
+      }
+      continue;
+    }
+    if (c.args.size() != d->params.size()) {
+      if (opts_.dangling_refs) {
+        add(Pass::kDanglingRef, Severity::kError, i, Finding::kNoArg,
+            d->name + ": arity mismatch (" + std::to_string(c.args.size()) +
+                " args, " + std::to_string(d->params.size()) + " params)");
+      }
+      continue;
+    }
+
+    for (size_t a = 0; a < c.args.size(); ++a) {
+      const ParamDesc& p = d->params[a];
+      const Value& v = c.args[a];
+
+      if (p.kind == ArgKind::kHandle) {
+        if (v.ref == Value::kNoRef) {
+          if (opts_.dangling_refs) {
+            add(Pass::kDanglingRef, Severity::kWarning, i, a,
+                d->name + "." + p.name + ": unresolved " + p.handle_type +
+                    " handle (executor will substitute an invalid one)");
+          }
+          continue;
+        }
+        const auto ref = static_cast<size_t>(v.ref);
+        const CallDesc* producer =
+            v.ref >= 0 && ref < n ? prog.calls[ref].desc : nullptr;
+        const bool structurally_ok = v.ref >= 0 && ref < i &&
+                                     producer != nullptr &&
+                                     producer->produces == p.handle_type;
+        if (!structurally_ok) {
+          if (opts_.dangling_refs) {
+            add(Pass::kDanglingRef, Severity::kError, i, a,
+                d->name + "." + p.name + ": dangling result reference r" +
+                    std::to_string(v.ref) +
+                    (producer != nullptr && ref < i
+                         ? " (produces " + producer->produces + ", needs " +
+                               p.handle_type + ")"
+                         : " (no earlier producer at that index)"));
+          }
+          continue;
+        }
+        if (opts_.use_after_close && closed[ref]) {
+          const bool is_second_destroy =
+              !d->destroys.empty() && destroyed_arg(*d) == a;
+          add(Pass::kUseAfterClose, Severity::kError, i, a,
+              d->name + "." + p.name + ": " +
+                  (is_second_destroy ? "double close of r" : "use of r") +
+                  std::to_string(v.ref) + " after " + producer->produces +
+                  " was destroyed");
+          continue;
+        }
+        consumed[ref] = true;
+        continue;
+      }
+
+      if (!opts_.type_width) continue;
+      if (is_scalar_kind(p.kind)) {
+        const uint64_t mask = kind_width_mask(p.kind);
+        if ((v.scalar & ~mask) != 0) {
+          add(Pass::kTypeWidth, Severity::kError, i, a,
+              d->name + "." + p.name + ": value " + hex(v.scalar) +
+                  " exceeds " + kind_label(p.kind) + " width");
+        } else if (v.scalar < p.min || v.scalar > p.max) {
+          add(Pass::kTypeWidth, Severity::kError, i, a,
+              d->name + "." + p.name + ": value " + hex(v.scalar) +
+                  " outside declared range [" + hex(p.min) + ", " +
+                  hex(p.max) + "]");
+        }
+      } else if (p.kind == ArgKind::kEnum) {
+        if (std::find(p.choices.begin(), p.choices.end(), v.scalar) ==
+            p.choices.end()) {
+          add(Pass::kTypeWidth, Severity::kError, i, a,
+              d->name + "." + p.name + ": value " + hex(v.scalar) +
+                  " is not one of the " + std::to_string(p.choices.size()) +
+                  " declared enum choices");
+        }
+      } else if (p.kind == ArgKind::kFlags) {
+        const uint64_t mask = flags_mask(p);
+        if ((v.scalar & ~mask) != 0) {
+          add(Pass::kTypeWidth, Severity::kError, i, a,
+              d->name + "." + p.name + ": value " + hex(v.scalar) +
+                  " sets bits outside the declared flag mask " + hex(mask));
+        }
+      } else if (p.kind == ArgKind::kBool) {
+        if (v.scalar > 1) {
+          add(Pass::kTypeWidth, Severity::kError, i, a,
+              d->name + "." + p.name + ": value " + hex(v.scalar) +
+                  " is not a bool");
+        }
+      } else if (p.kind == ArgKind::kString || p.kind == ArgKind::kBlob) {
+        if (v.bytes.size() > p.max_len) {
+          add(Pass::kTypeWidth, Severity::kError, i, a,
+              d->name + "." + p.name + ": " +
+                  std::to_string(v.bytes.size()) + " bytes exceeds max_len " +
+                  std::to_string(p.max_len));
+        }
+      }
+    }
+
+    // Record the destroy *after* checking the call's own args, so closing a
+    // live resource is legal but anything later touching it is flagged.
+    if (!d->destroys.empty()) {
+      const size_t a = destroyed_arg(*d);
+      if (a != Finding::kNoArg && a < c.args.size()) {
+        const int32_t ref = c.args[a].ref;
+        if (ref >= 0 && static_cast<size_t>(ref) < n) {
+          closed[static_cast<size_t>(ref)] = true;
+        }
+      }
+    }
+  }
+
+  if (opts_.dead_statements) {
+    for (size_t i = 0; i < n; ++i) {
+      const CallDesc* d = prog.calls[i].desc;
+      if (d == nullptr || d->produces.empty()) continue;
+      if (!consumed[i]) {
+        add(Pass::kDeadStatement, Severity::kWarning, i, Finding::kNoArg,
+            d->name + ": produced " + d->produces +
+                " is never consumed by a later call");
+      }
+    }
+  }
+  return rep;
+}
+
+size_t ProgramLint::repair(Program& prog) const {
+  // Structural rot first — repair_refs rebinds to the nearest earlier
+  // producer and clears hopeless refs, which the passes below build on.
+  size_t fixes = prog.repair_refs();
+  const size_t n = prog.calls.size();
+
+  for (size_t i = 0; i < n; ++i) {
+    dsl::Call& c = prog.calls[i];
+    const CallDesc* d = c.desc;
+    if (d == nullptr) continue;
+    // Arity rot is not repairable here (we cannot invent values for params
+    // we know nothing about the position of); leave for rejection.
+    if (c.args.size() != d->params.size()) continue;
+    const std::vector<bool> closed = closed_before(prog, i);
+
+    for (size_t a = 0; a < c.args.size(); ++a) {
+      const ParamDesc& p = d->params[a];
+      Value& v = c.args[a];
+
+      if (p.kind == ArgKind::kHandle) {
+        if (v.ref == Value::kNoRef) continue;
+        const auto ref = static_cast<size_t>(v.ref);
+        if (ref >= n || !closed[ref]) continue;
+        // Use after close: rebind to the nearest *live* earlier producer of
+        // the same type, else fall back to unresolved.
+        int32_t live = Value::kNoRef;
+        for (size_t j = 0; j < i; ++j) {
+          if (closed[j]) continue;
+          const CallDesc* pd = prog.calls[j].desc;
+          if (pd != nullptr && pd->produces == p.handle_type) {
+            live = static_cast<int32_t>(j);
+          }
+        }
+        v.ref = live;
+        ++fixes;
+        continue;
+      }
+
+      if (is_scalar_kind(p.kind)) {
+        uint64_t want = v.scalar & kind_width_mask(p.kind);
+        if (p.min <= p.max) want = std::clamp(want, p.min, p.max);
+        if (want != v.scalar) {
+          v.scalar = want;
+          ++fixes;
+        }
+      } else if (p.kind == ArgKind::kEnum) {
+        if (!p.choices.empty() &&
+            std::find(p.choices.begin(), p.choices.end(), v.scalar) ==
+                p.choices.end()) {
+          v.scalar = p.choices.front();
+          ++fixes;
+        }
+      } else if (p.kind == ArgKind::kFlags) {
+        const uint64_t mask = flags_mask(p);
+        if ((v.scalar & ~mask) != 0) {
+          v.scalar &= mask;
+          ++fixes;
+        }
+      } else if (p.kind == ArgKind::kBool) {
+        if (v.scalar > 1) {
+          v.scalar = 1;
+          ++fixes;
+        }
+      } else if (p.kind == ArgKind::kString || p.kind == ArgKind::kBlob) {
+        if (v.bytes.size() > p.max_len) {
+          v.bytes.resize(p.max_len);
+          ++fixes;
+        }
+      }
+    }
+  }
+  return fixes;
+}
+
+}  // namespace df::analysis

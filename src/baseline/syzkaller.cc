@@ -14,6 +14,10 @@ core::EngineConfig SyzkallerFuzzer::config(uint64_t seed) {
   // DroidFuzz's walk; keep the same caps for a fair budget comparison.
   cfg.gen.random_continue = 0.55;
   cfg.minimize_new_seeds = true;  // syzkaller also minimizes corpus entries
+  // DroidFuzz-only additions stay off: syzkaller has neither a semantic
+  // lint gate nor a driver protocol-state model to plan against.
+  cfg.lint_programs = false;
+  cfg.use_reachability_plans = false;
   return cfg;
 }
 

@@ -128,8 +128,16 @@ CallDesc close_call(std::string name, std::string res) {
   d.name = std::move(name);
   d.cls = CallClass::kSyscall;
   d.sys_nr = static_cast<uint32_t>(Sys::kClose);
+  d.destroys = res;
   d.params = {fd_param(std::move(res))};
   d.weight = 0.3;
+  return d;
+}
+
+// Marks a call as invalidating the resource bound to its handle param
+// (non-close destructors: ION_FREE, MALI_CTX_DESTROY, DRM_DESTROY_BO).
+CallDesc destroying(CallDesc d, std::string res) {
+  d.destroys = std::move(res);
   return d;
 }
 
@@ -234,9 +242,10 @@ void describe_mali(CallTable& t) {
   t.add(open_call("openat$mali", "/dev/mali0", fd));
   t.add(ioctl_call("ioctl$MALI_CTX_CREATE", fd, drv::MaliDriver::kIocCtxCreate,
                    {}, "mali_ctx", ProduceFrom::kOutU32));
-  t.add(ioctl_call("ioctl$MALI_CTX_DESTROY", fd,
-                   drv::MaliDriver::kIocCtxDestroy,
-                   {handle_u32("ctx", "mali_ctx")}));
+  t.add(destroying(ioctl_call("ioctl$MALI_CTX_DESTROY", fd,
+                              drv::MaliDriver::kIocCtxDestroy,
+                              {handle_u32("ctx", "mali_ctx")}),
+                   "mali_ctx"));
   t.add(ioctl_call("ioctl$MALI_MEM_POOL", fd, drv::MaliDriver::kIocMemPool,
                    {handle_u32("ctx", "mali_ctx"), u32p("pages", 0, 1 << 20)}));
   t.add(ioctl_call("ioctl$MALI_JOB_SUBMIT", fd, drv::MaliDriver::kIocJobSubmit,
@@ -345,9 +354,10 @@ void describe_drm(CallTable& t) {
                    {u32p("pages", 0, 16384)}, "drm_bo", ProduceFrom::kOutU32));
   t.add(ioctl_call("ioctl$DRM_MAP_BO", fd, drv::DrmGpuDriver::kIocMapBo,
                    {handle_u32("bo", "drm_bo")}));
-  t.add(ioctl_call("ioctl$DRM_DESTROY_BO", fd,
-                   drv::DrmGpuDriver::kIocDestroyBo,
-                   {handle_u32("bo", "drm_bo")}));
+  t.add(destroying(ioctl_call("ioctl$DRM_DESTROY_BO", fd,
+                              drv::DrmGpuDriver::kIocDestroyBo,
+                              {handle_u32("bo", "drm_bo")}),
+                   "drm_bo"));
   t.add(ioctl_call("ioctl$DRM_SUBMIT", fd, drv::DrmGpuDriver::kIocSubmit,
                    {u32p("pipe", 0, 2), cst("n", 1),
                     handle_u32("bo", "drm_bo")}));
@@ -363,8 +373,9 @@ void describe_ion(CallTable& t) {
   t.add(ioctl_call("ioctl$ION_ALLOC", fd, drv::IonDriver::kIocAlloc,
                    {u32p("len", 0, 0xffffffff), flags_p("heap", {1, 2, 4, 8})},
                    "ion_buf", ProduceFrom::kOutU32));
-  t.add(ioctl_call("ioctl$ION_FREE", fd, drv::IonDriver::kIocFree,
-                   {handle_u32("buf", "ion_buf")}));
+  t.add(destroying(ioctl_call("ioctl$ION_FREE", fd, drv::IonDriver::kIocFree,
+                              {handle_u32("buf", "ion_buf")}),
+                   "ion_buf"));
   t.add(ioctl_call("ioctl$ION_SHARE", fd, drv::IonDriver::kIocShare,
                    {handle_u32("buf", "ion_buf")}));
   t.add(ioctl_call("ioctl$ION_QUERY", fd, drv::IonDriver::kIocQuery, {}));

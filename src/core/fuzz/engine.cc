@@ -55,9 +55,22 @@ void Engine::setup() {
   if (obs_ != nullptr) broker_->attach_observability(obs_, dev_.spec().id);
   gen_ = std::make_unique<Generator>(table_, rel_, corpus_, rng_,
                                      cfg_.gen);
+  if (cfg_.lint_programs) {
+    gen_->set_lint(&lint_, c_lint_rejected_, c_lint_repaired_);
+  }
+
+  // Reachability planners over each driver's declared transition graph
+  // (drivers without one contribute nothing).
+  const auto& drvs = dev_.kernel().drivers();
+  for (size_t i = 0; i < drvs.size(); ++i) {
+    analysis::StateGraph g = analysis::graph_of(*drvs[i]);
+    if (g.empty()) continue;
+    planners_.emplace_back(i, analysis::ReachabilityPlanner(std::move(g)));
+  }
   DF_CLOG("engine", kInfo) << "engine[" << dev_.spec().id << "]: "
                            << table_.size() << " calls, " << spec_.size()
-                           << " specialized ids";
+                           << " specialized ids, " << planners_.size()
+                           << " state planners";
 }
 
 void Engine::attach_observability(obs::Observability* o) {
@@ -68,6 +81,10 @@ void Engine::attach_observability(obs::Observability* o) {
     h_generate_ = h_analyze_ = h_minimize_ = nullptr;
     c_execs_ = c_new_features_ = c_corpus_adds_ = c_bugs_ = nullptr;
     c_decays_ = c_min_oracle_ = c_relations_ = nullptr;
+    c_lint_rejected_ = c_lint_repaired_ = c_plans_injected_ = nullptr;
+    if (gen_ != nullptr && cfg_.lint_programs) {
+      gen_->set_lint(&lint_, nullptr, nullptr);
+    }
     if (broker_ != nullptr) broker_->attach_observability(nullptr, {});
     dev_.set_reboot_hook(nullptr);
     return;
@@ -86,6 +103,14 @@ void Engine::attach_observability(obs::Observability* o) {
   c_decays_ = &reg.counter("engine.decays", id);
   c_min_oracle_ = &reg.counter("minimize.oracle_execs", id);
   c_relations_ = &reg.counter("relation.observations", id);
+  c_lint_rejected_ = &reg.counter("analysis.rejected", id);
+  c_lint_repaired_ = &reg.counter("analysis.repaired", id);
+  c_plans_injected_ = &reg.counter("analysis.plans_injected", id);
+  // attach can run before or after setup(); re-thread the generator's lint
+  // counters when it already exists.
+  if (gen_ != nullptr && cfg_.lint_programs) {
+    gen_->set_lint(&lint_, c_lint_rejected_, c_lint_repaired_);
+  }
   if (broker_ != nullptr) broker_->attach_observability(o, id);
   dev_.set_reboot_hook([this](uint64_t reboot_count) {
     if (obs_ == nullptr) return;
@@ -273,8 +298,8 @@ void Engine::analyze(const dsl::Program& prog, const ExecResult& res,
       return false;
     };
     MinimizeStats mstats;
-    seed_prog =
-        minimize(prog, oracle, cfg_.minimize_budget, &mstats, h_minimize_);
+    seed_prog = minimize(prog, oracle, cfg_.minimize_budget, &mstats,
+                         h_minimize_, cfg_.lint_programs ? &lint_ : nullptr);
     if (obs_ != nullptr) c_min_oracle_->inc(mstats.oracle_calls);
   }
   if (cfg_.learn_relations) learn_from(seed_prog);
@@ -291,12 +316,25 @@ StepStats Engine::step() {
   StepStats stats;
   const obs::ScopedSpan iter_span(spans_, "iteration", dev_.spec().id,
                                   exec_count_ + 1);
+  // Reachability-plan injection (§ static analysis): periodically seed the
+  // queue with programs that drive each driver toward states the campaign
+  // has never visited; they are executed in place of generated inputs.
+  if (cfg_.use_reachability_plans && cfg_.plan_every != 0 &&
+      exec_count_ != 0 && exec_count_ % cfg_.plan_every == 0 &&
+      plan_queue_.empty()) {
+    refill_plan_queue();
+  }
   dsl::Program prog;
   {
     const obs::ScopedTimer t(h_generate_);
     const obs::ScopedSpan s(spans_, "phase:generate", dev_.spec().id,
                             exec_count_ + 1);
-    prog = gen_->next();
+    if (!plan_queue_.empty()) {
+      prog = std::move(plan_queue_.front());
+      plan_queue_.pop_front();
+    } else {
+      prog = gen_->next();
+    }
   }
   if (prog.empty()) return stats;
   ++exec_count_;
@@ -360,7 +398,42 @@ dsl::Program Engine::minimize_crash(const BugRecord& bug, size_t budget) {
     }
     return false;
   };
-  return minimize(bug.repro, oracle, budget, nullptr, h_minimize_);
+  return minimize(bug.repro, oracle, budget, nullptr, h_minimize_,
+                  cfg_.lint_programs ? &lint_ : nullptr);
+}
+
+std::vector<Engine::UnvisitedStatePlan> Engine::unvisited_state_plans()
+    const {
+  std::vector<UnvisitedStatePlan> out;
+  const auto& drvs = dev_.kernel().drivers();
+  for (const auto& [di, planner] : planners_) {
+    for (analysis::StatePlan& p : planner.unvisited(drvs[di]->state_visits())) {
+      UnvisitedStatePlan u;
+      u.driver = std::string(drvs[di]->name());
+      u.plan = std::move(p);
+      out.push_back(std::move(u));
+    }
+  }
+  return out;
+}
+
+void Engine::refill_plan_queue() {
+  constexpr size_t kMaxQueue = 64;
+  const auto& drvs = dev_.kernel().drivers();
+  for (const auto& [di, planner] : planners_) {
+    for (const analysis::StatePlan& p :
+         planner.unvisited(drvs[di]->state_visits())) {
+      if (plan_queue_.size() >= kMaxQueue) return;
+      if (!p.reachable || p.steps.empty()) continue;
+      auto prog = analysis::materialize_plan(p, table_);
+      if (!prog.has_value()) continue;
+      // The plan leaves handle args unresolved; splice in producers the
+      // same way generated programs get them.
+      gen_->resolve_producers(*prog);
+      if (c_plans_injected_ != nullptr) c_plans_injected_->inc();
+      plan_queue_.push_back(std::move(*prog));
+    }
+  }
 }
 
 }  // namespace df::core

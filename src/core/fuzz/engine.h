@@ -10,9 +10,12 @@
 //   DROIDFUZZ-D: gen.ioctl_only = true
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 
+#include "analysis/reachability.h"
+#include "analysis/semantic.h"
 #include "core/exec/broker.h"
 #include "core/feedback/coverage.h"
 #include "core/fuzz/crash.h"
@@ -37,6 +40,13 @@ struct EngineConfig {
   bool minimize_new_seeds = true;
   size_t minimize_budget = 24;  // oracle executions per minimization
   bool reboot_on_bug = true;
+  // Static analysis (src/analysis): semantic lint gate on generated
+  // programs and minimization candidates (analysis.rejected / .repaired),
+  // and reachability-plan injection for driver states with zero visits
+  // (analysis.plans_injected) every `plan_every` executions.
+  bool lint_programs = true;
+  bool use_reachability_plans = true;
+  uint64_t plan_every = 512;
 };
 
 struct StepStats {
@@ -100,10 +110,23 @@ class Engine {
   // utility used by triage tooling and tests).
   dsl::Program minimize_crash(const BugRecord& bug, size_t budget = 48);
 
+  // --- static analysis -------------------------------------------------------
+  const analysis::ProgramLint& lint() const { return lint_; }
+  // Reachability diagnostics: for every driver state with zero campaign
+  // visits, the declared-graph plan that would reach it (if any). This is
+  // the "states never visited + a candidate plan" report from the planner.
+  struct UnvisitedStatePlan {
+    std::string driver;
+    analysis::StatePlan plan;
+  };
+  std::vector<UnvisitedStatePlan> unvisited_state_plans() const;
+
  private:
   void analyze(const dsl::Program& prog, const ExecResult& res,
                StepStats& stats);
   void learn_from(const dsl::Program& prog);
+  // Materializes plans for zero-visit states into the injection queue.
+  void refill_plan_queue();
   ExecOptions exec_options() const;
   CrashContext make_crash_context(const ExecResult& res) const;
   // Cold-path telemetry emitters; only called when obs_ != nullptr.
@@ -125,6 +148,23 @@ class Engine {
   std::unique_ptr<Generator> gen_;
   uint64_t exec_count_ = 0;
 
+  // Pipeline gate: structural validity only (resolvable refs + declared
+  // typing). Use-after-close is deliberately NOT gated — operating on a
+  // destroyed handle is a core fuzzing behaviour (stale-handle error paths
+  // are exactly where use-after-free bugs live), and repairing it away
+  // would hide those bugs. Dead statements are advisory and left to the
+  // minimizer. df_lint keeps all four passes on for offline analysis.
+  static analysis::LintOptions gate_lint_options() {
+    analysis::LintOptions o;
+    o.use_after_close = false;
+    o.dead_statements = false;
+    return o;
+  }
+  analysis::ProgramLint lint_{gate_lint_options()};
+  // (kernel driver index, planner over its declared graph)
+  std::vector<std::pair<size_t, analysis::ReachabilityPlanner>> planners_;
+  std::deque<dsl::Program> plan_queue_;
+
   obs::Observability* obs_ = nullptr;
   obs::SpanTracer* spans_ = nullptr;       // cached only when enabled
   obs::FlightRecorder* flight_ = nullptr;  // cached only when enabled
@@ -138,6 +178,9 @@ class Engine {
   obs::Counter* c_decays_ = nullptr;
   obs::Counter* c_min_oracle_ = nullptr;
   obs::Counter* c_relations_ = nullptr;
+  obs::Counter* c_lint_rejected_ = nullptr;
+  obs::Counter* c_lint_repaired_ = nullptr;
+  obs::Counter* c_plans_injected_ = nullptr;
 };
 
 }  // namespace df::core

@@ -302,11 +302,34 @@ Program Generator::mutate(const Program& seed) {
   return prog;
 }
 
+void Generator::set_lint(const analysis::ProgramLint* lint,
+                         obs::Counter* rejected, obs::Counter* repaired) {
+  lint_ = lint;
+  c_rejected_ = rejected;
+  c_repaired_ = repaired;
+}
+
 Program Generator::next() {
-  if (!corpus_.empty() && rng_.chance(cfg_.mutate_percent, 100)) {
-    return mutate(corpus_.pick(rng_).prog);
+  constexpr int kLintRetries = 4;
+  Program prog;
+  for (int tries = 0; tries < kLintRetries; ++tries) {
+    if (!corpus_.empty() && rng_.chance(cfg_.mutate_percent, 100)) {
+      prog = mutate(corpus_.pick(rng_).prog);
+    } else {
+      prog = generate_fresh();
+    }
+    if (lint_ == nullptr || lint_->analyze(prog).clean()) return prog;
+    lint_->repair(prog);
+    if (lint_->analyze(prog).clean()) {
+      if (c_repaired_ != nullptr) c_repaired_->inc();
+      return prog;
+    }
+    // Unrepairable: discard and regenerate.
+    if (c_rejected_ != nullptr) c_rejected_->inc();
   }
-  return generate_fresh();
+  // Every retry failed lint — return the last (repaired) candidate rather
+  // than starving the fuzz loop; the executor tolerates it.
+  return prog;
 }
 
 }  // namespace df::core

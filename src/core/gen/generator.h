@@ -10,10 +10,12 @@
 // random dependency generation; ioctl_only=true gives DROIDFUZZ-D.
 #pragma once
 
+#include "analysis/semantic.h"
 #include "core/feedback/coverage.h"
 #include "core/relation/graph.h"
 #include "dsl/descr.h"
 #include "dsl/prog.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace df::core {
@@ -45,6 +47,14 @@ class Generator {
   // minimizer and tests reuse it).
   void resolve_producers(dsl::Program& prog);
 
+  // Semantic lint gate for next(): candidates failing analysis are
+  // repaired, and unrepairable ones discarded and regenerated (bounded
+  // retries). nullptr (the default) disables the gate. The counters (may
+  // be null) record discarded / repaired candidates as analysis.rejected
+  // and analysis.repaired.
+  void set_lint(const analysis::ProgramLint* lint, obs::Counter* rejected,
+                obs::Counter* repaired);
+
   const GenConfig& config() const { return cfg_; }
 
  private:
@@ -65,6 +75,9 @@ class Generator {
   util::Rng& rng_;
   GenConfig cfg_;
   std::vector<const dsl::CallDesc*> allowed_cache_;
+  const analysis::ProgramLint* lint_ = nullptr;
+  obs::Counter* c_rejected_ = nullptr;
+  obs::Counter* c_repaired_ = nullptr;
 };
 
 }  // namespace df::core

@@ -4,7 +4,8 @@ namespace df::core {
 
 dsl::Program minimize(const dsl::Program& prog, const StillInteresting& oracle,
                       size_t budget, MinimizeStats* stats,
-                      obs::Histogram* latency) {
+                      obs::Histogram* latency,
+                      const analysis::ProgramLint* lint) {
   obs::ScopedTimer timer(latency);
   MinimizeStats local;
   MinimizeStats& st = stats != nullptr ? *stats : local;
@@ -16,6 +17,17 @@ dsl::Program minimize(const dsl::Program& prog, const StillInteresting& oracle,
     if (best.calls.size() <= 1 || st.oracle_calls >= budget) break;
     dsl::Program cand = best;
     cand.remove_call(idx);
+    if (lint != nullptr && !lint->analyze(cand).clean()) {
+      // remove_call's structural repair can rebind a downstream use to a
+      // closed fd (or orphan a ref entirely); fix semantically, and skip
+      // the candidate when no repair restores validity.
+      lint->repair(cand);
+      if (!lint->analyze(cand).clean()) {
+        ++st.lint_skipped;
+        continue;
+      }
+      ++st.lint_repaired;
+    }
     ++st.oracle_calls;
     if (oracle(cand)) {
       best = std::move(cand);

@@ -8,6 +8,7 @@
 
 #include <functional>
 
+#include "analysis/semantic.h"
 #include "dsl/prog.h"
 #include "obs/metrics.h"
 
@@ -22,15 +23,24 @@ struct MinimizeStats {
   size_t oracle_calls = 0;
   size_t calls_removed = 0;
   size_t args_simplified = 0;
+  size_t lint_repaired = 0;  // candidates fixed up after call removal
+  size_t lint_skipped = 0;   // candidates discarded as semantically broken
 };
 
 // Greedy reduction: (1) drop calls back-to-front, (2) simplify arguments
 // (zero scalars, empty blobs) — each step kept only if the oracle still
 // fires. `budget` caps oracle invocations. When `latency` is non-null the
 // whole pass records its duration into that histogram (phase profiling).
+// When `lint` is non-null, every call-removal candidate is re-validated
+// semantically: removing a producer rebinds downstream refs (remove_call's
+// nearest-producer repair), which can silently bind a use to an fd a close
+// already destroyed — such candidates are repaired, and discarded without
+// an oracle execution if still broken, so minimization cannot emit a
+// semantically rotten reproducer.
 dsl::Program minimize(const dsl::Program& prog,
                       const StillInteresting& oracle, size_t budget,
                       MinimizeStats* stats = nullptr,
-                      obs::Histogram* latency = nullptr);
+                      obs::Histogram* latency = nullptr,
+                      const analysis::ProgramLint* lint = nullptr);
 
 }  // namespace df::core

@@ -48,6 +48,11 @@ struct CallDesc {
   // --- shared ----------------------------------------------------------------
   std::vector<ParamDesc> params;
   std::string produces;      // resource type created ("" = none)
+  // Resource type this call invalidates ("" = none): close$* destroys its
+  // fd, ioctl$ION_FREE destroys the ion_buf handle it is passed, etc. The
+  // destroyed instance is the one bound to the first handle param of this
+  // type — the semantic analyzer's use-after-close pass keys off this.
+  std::string destroys;
   ProduceFrom produce_from = ProduceFrom::kNone;
   double weight = 1.0;       // vertex weight (interface ranking, §IV-C)
 

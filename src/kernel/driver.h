@@ -107,6 +107,56 @@ class DriverCtx {
   bool hang_reported_ = false;
 };
 
+// --- statically declared state graphs --------------------------------------
+// A driver can export its protocol-state machine *without execution*: which
+// DSL call moves it from state `from` to state `to`, and which argument
+// values make that call take the transition instead of an error path. The
+// reachability planner (src/analysis) turns these tables into shortest
+// call-sequence plans for states a campaign has never visited.
+
+// Pins one named parameter of a plan call to a concrete value. Scalar
+// params use `value`; blob/string params use `bytes` (zero-filled to
+// `value` bytes when `bytes` is empty and `value` > 0).
+struct TransitionHint {
+  std::string param;
+  uint64_t value = 0;
+  std::vector<uint8_t> bytes;
+
+  TransitionHint() = default;
+  TransitionHint(std::string p, uint64_t v, std::vector<uint8_t> b = {})
+      : param(std::move(p)), value(v), bytes(std::move(b)) {}
+};
+
+// One call of a plan: a DSL description name (core/descriptions.cc) plus
+// the argument pins required for the success path. The leading handle
+// argument is bound at materialization to the producer for `instance` —
+// multi-resource protocols (l2cap's listener + connecting socket) number
+// their resources so plan calls land on the right one; single-resource
+// plans leave the default 0.
+struct PlanCall {
+  std::string call;
+  std::vector<TransitionHint> hints;
+  size_t instance = 0;
+
+  PlanCall() = default;
+  PlanCall(std::string c, std::vector<TransitionHint> h = {},  // NOLINT
+           size_t inst = 0)
+      : call(std::move(c)), hints(std::move(h)), instance(inst) {}
+};
+
+// One edge of the declared graph. `steps` is the call sequence effecting
+// the edge — usually a single call, occasionally a short combo (e.g. V4L2
+// needs QBUF before STREAMON to leave the buffers state).
+struct DeclaredTransition {
+  size_t from = 0;
+  size_t to = 0;
+  std::vector<PlanCall> steps;
+
+  DeclaredTransition() = default;
+  DeclaredTransition(size_t f, size_t t, std::vector<PlanCall> s)
+      : from(f), to(t), steps(std::move(s)) {}
+};
+
 class Driver {
  public:
   struct SockTriple {
@@ -205,6 +255,14 @@ class Driver {
   const std::vector<uint64_t>& state_matrix() const { return state_matrix_; }
   size_t states_visited() const;
   uint64_t transitions_observed() const;  // distinct (from, to) pairs seen
+
+  // Static declaration of the same machine: edges with the DSL calls (and
+  // argument pins) that take them. Indices refer to state_names(). Empty
+  // (the default) means the driver declares no graph; drivers with a state
+  // machine should keep this in sync with their enter_state() calls.
+  virtual std::vector<DeclaredTransition> declared_transitions() const {
+    return {};
+  }
 
  protected:
   // Driver code calls this whenever the protocol state machine moves (or

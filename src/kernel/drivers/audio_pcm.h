@@ -23,6 +23,20 @@ class AudioPcmDriver final : public Driver {
   std::vector<std::string> state_names() const override {
     return {"open", "setup", "prepared", "running", "paused", "draining"};
   }
+  std::vector<DeclaredTransition> declared_transitions() const override {
+    return {
+        {0, 1,
+         {{"ioctl$PCM_HW_PARAMS",
+           {{"rate", 8000}, {"channels", 2}, {"format", 0}}}}},
+        {1, 2, {{"ioctl$PCM_PREPARE"}}},
+        {2, 3, {{"ioctl$PCM_START"}}},
+        {3, 4, {{"ioctl$PCM_PAUSE", {{"on", 1}}}}},
+        {4, 3, {{"ioctl$PCM_PAUSE", {{"on", 0}}}}},
+        {4, 2, {{"ioctl$PCM_PREPARE"}}},
+        {3, 5, {{"ioctl$PCM_DRAIN"}}},
+        {5, 1, {{"ioctl$PCM_DRAIN"}}},
+    };
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;

@@ -50,6 +50,14 @@ class BtHciDriver final : public Driver {
   std::vector<std::string> state_names() const override {
     return {"down", "up", "vendor_unlocked"};
   }
+  std::vector<DeclaredTransition> declared_transitions() const override {
+    return {
+        // DEVUP only works on a bound socket, so the edge binds first.
+        {0, 1, {{"bind$hci", {{"dev", 0}}}, {"ioctl$HCIDEVUP"}}},
+        {1, 0, {{"ioctl$HCIDEVDOWN"}}},
+        {1, 2, {{"sendmsg$HCI_VS_SET_BAUDRATE", {{"baud", 115200}}}}},
+    };
+  }
 
   int64_t sock_create(DriverCtx& ctx, File& f) override;
   int64_t bind(DriverCtx& ctx, File& f,

@@ -27,6 +27,13 @@ class DrmGpuDriver final : public Driver {
   std::vector<std::string> state_names() const override {
     return {"idle", "bo_allocated", "bo_mapped", "submitted"};
   }
+  std::vector<DeclaredTransition> declared_transitions() const override {
+    return {
+        {0, 1, {{"ioctl$DRM_CREATE_BO", {{"pages", 1}}}}},
+        {1, 2, {{"ioctl$DRM_MAP_BO"}}},
+        {2, 3, {{"ioctl$DRM_SUBMIT", {{"pipe", 0}}}}},
+    };
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;

@@ -43,6 +43,13 @@ class MaliDriver final : public Driver {
   std::vector<std::string> state_names() const override {
     return {"no_ctx", "ctx_ready", "pool_ready", "jobs_running"};
   }
+  std::vector<DeclaredTransition> declared_transitions() const override {
+    return {
+        {0, 1, {{"ioctl$MALI_CTX_CREATE"}}},
+        {1, 2, {{"ioctl$MALI_MEM_POOL", {{"pages", 16}}}}},
+        {2, 3, {{"ioctl$MALI_JOB_SUBMIT", {{"njobs", 1}, {"jobs", 8}}}}},
+    };
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;

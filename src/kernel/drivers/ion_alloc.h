@@ -23,6 +23,13 @@ class IonDriver final : public Driver {
   std::vector<std::string> state_names() const override {
     return {"empty", "allocated", "shared"};
   }
+  std::vector<DeclaredTransition> declared_transitions() const override {
+    return {
+        {0, 1, {{"ioctl$ION_ALLOC", {{"len", 4096}, {"heap", 1}}}}},
+        {1, 2, {{"ioctl$ION_SHARE"}}},
+        {1, 0, {{"ioctl$ION_FREE"}}},
+    };
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;

@@ -47,6 +47,20 @@ class L2capDriver final : public Driver {
     return {"closed", "bound", "listening", "connecting", "config",
             "connected"};
   }
+  std::vector<DeclaredTransition> declared_transitions() const override {
+    return {
+        {0, 1, {{"bind$l2cap", {{"psm", 1}}}}},
+        {1, 2, {{"listen$l2cap", {{"backlog", 1}}}}},
+        // No listener on PSM 25: the connect response never arrives.
+        {0, 3, {{"connect$l2cap", {{"psm", 25}}}}},
+        {3, 0, {{"sendmsg$l2cap_disconn"}}},
+        // A second socket's (instance 1) loopback connect against the
+        // listener's PSM: connecting on the listener itself would EBUSY.
+        {2, 4, {{"connect$l2cap", {{"psm", 1}}, 1}}},
+        {4, 5, {{"sendmsg$l2cap_config", {{"mtu", 1024}}, 1}}},
+        {5, 0, {{"sendmsg$l2cap_disconn", {}, 1}}},
+    };
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;

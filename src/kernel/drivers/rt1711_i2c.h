@@ -33,6 +33,14 @@ class Rt1711Driver final : public Driver {
   std::vector<std::string> state_names() const override {
     return {"idle", "attached", "alerting"};
   }
+  std::vector<DeclaredTransition> declared_transitions() const override {
+    return {
+        {0, 1, {{"ioctl$RT1711_ATTACH", {{"mode", 1}}}}},
+        {1, 0, {{"ioctl$RT1711_DETACH"}}},
+        {1, 2, {{"ioctl$RT1711_ALERT", {{"mask", 1}}}}},
+        {2, 1, {{"read$rt1711", {{"size", 4}}}}},
+    };
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;

@@ -38,6 +38,14 @@ class SensorHubDriver final : public Driver {
   std::vector<std::string> state_names() const override {
     return {"idle", "sensing", "batching"};
   }
+  std::vector<DeclaredTransition> declared_transitions() const override {
+    return {
+        {0, 1, {{"ioctl$SENS_ENABLE", {{"id", 0}}}}},
+        {1, 2,
+         {{"ioctl$SENS_BATCH", {{"id", 0}, {"depth", 16}, {"nesting", 0}}}}},
+        {1, 0, {{"ioctl$SENS_DISABLE", {{"id", 0}}}}},
+    };
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;

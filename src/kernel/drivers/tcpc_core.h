@@ -35,6 +35,15 @@ class TcpcDriver final : public Driver {
   std::vector<std::string> state_names() const override {
     return {"uninit", "idle", "connected", "contract"};
   }
+  std::vector<DeclaredTransition> declared_transitions() const override {
+    return {
+        {0, 1, {{"ioctl$TCPC_INIT"}}},
+        {1, 2, {{"ioctl$TCPC_CONNECT", {{"partner", 0}}}}},
+        {2, 3, {{"ioctl$TCPC_PD_NEGOTIATE", {{"mv", 5000}, {"ma", 1000}}}}},
+        {2, 1, {{"ioctl$TCPC_DISCONNECT"}}},
+        {3, 1, {{"ioctl$TCPC_DISCONNECT"}}},
+    };
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;

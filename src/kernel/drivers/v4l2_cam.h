@@ -40,6 +40,17 @@ class V4l2CamDriver final : public Driver {
   std::vector<std::string> state_names() const override {
     return {"open", "configured", "buffers", "streaming"};
   }
+  std::vector<DeclaredTransition> declared_transitions() const override {
+    return {
+        {0, 1, {{"ioctl$VIDIOC_S_FMT", {{"width", 640}, {"height", 480}}}}},
+        {1, 2, {{"ioctl$VIDIOC_REQBUFS", {{"count", 4}}}}},
+        // STREAMON additionally requires a queued buffer, so the edge is a
+        // two-call combo.
+        {2, 3,
+         {{"ioctl$VIDIOC_QBUF", {{"index", 0}}}, {"ioctl$VIDIOC_STREAMON"}}},
+        {3, 2, {{"ioctl$VIDIOC_STREAMOFF"}}},
+    };
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;

@@ -31,6 +31,16 @@ class WifiRateDriver final : public Driver {
   std::vector<std::string> state_names() const override {
     return {"idle", "scanned", "rates_set", "associated"};
   }
+  std::vector<DeclaredTransition> declared_transitions() const override {
+    return {
+        {0, 1, {{"ioctl$WIFI_SCAN"}}},
+        // One rate entry, 2 (1 Mbps in 500 kbps units) little-endian.
+        {1, 2,
+         {{"ioctl$WIFI_SET_RATES", {{"count", 1}, {"rates", 0, {0x02, 0x00}}}}}},
+        {2, 3, {{"ioctl$WIFI_ASSOC", {{"bss", 0}}}}},
+        {3, 2, {{"ioctl$WIFI_DISASSOC"}}},
+    };
+  }
 
   void probe(DriverCtx& ctx) override;
   void reset() override;

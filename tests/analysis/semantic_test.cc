@@ -1,0 +1,284 @@
+// Unit tests for the DSL semantic analyzer: one suite per pass
+// (use-after-close, dangling-ref, type-width, dead-statement) plus the
+// deterministic repair behaviors the generator and minimizer rely on.
+#include "analysis/semantic.h"
+
+#include <gtest/gtest.h>
+
+namespace df::analysis {
+namespace {
+
+class SemanticLintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dsl::CallDesc open;
+    open.name = "open";
+    open.produces = "fd";
+    open_ = table_.add(std::move(open));
+
+    dsl::CallDesc close;
+    close.name = "close";
+    close.destroys = "fd";
+    close.params = {handle("fd")};
+    close_ = table_.add(std::move(close));
+
+    dsl::CallDesc use;
+    use.name = "use";
+    use.params = {handle("fd"), scalar(dsl::ArgKind::kU8, 0, 200)};
+    use_ = table_.add(std::move(use));
+
+    dsl::CallDesc cfg;
+    cfg.name = "cfg";
+    dsl::ParamDesc mode;
+    mode.kind = dsl::ArgKind::kEnum;
+    mode.name = "mode";
+    mode.choices = {1, 4, 9};
+    dsl::ParamDesc mask;
+    mask.kind = dsl::ArgKind::kFlags;
+    mask.name = "mask";
+    mask.choices = {1, 2, 8};
+    dsl::ParamDesc on;
+    on.kind = dsl::ArgKind::kBool;
+    on.name = "on";
+    dsl::ParamDesc buf;
+    buf.kind = dsl::ArgKind::kBlob;
+    buf.name = "buf";
+    buf.max_len = 4;
+    cfg.params = {mode, mask, on, buf};
+    cfg_ = table_.add(std::move(cfg));
+  }
+
+  static dsl::ParamDesc handle(std::string type) {
+    dsl::ParamDesc p;
+    p.kind = dsl::ArgKind::kHandle;
+    p.name = "fd";
+    p.handle_type = std::move(type);
+    return p;
+  }
+
+  static dsl::ParamDesc scalar(dsl::ArgKind kind, uint64_t min,
+                               uint64_t max) {
+    dsl::ParamDesc p;
+    p.kind = kind;
+    p.name = "val";
+    p.min = min;
+    p.max = max;
+    return p;
+  }
+
+  static dsl::Call call(const dsl::CallDesc* d,
+                        std::vector<dsl::Value> args = {}) {
+    dsl::Call c;
+    c.desc = d;
+    c.args = std::move(args);
+    return c;
+  }
+
+  static dsl::Value ref(int32_t idx) {
+    dsl::Value v;
+    v.ref = idx;
+    return v;
+  }
+
+  static dsl::Value num(uint64_t s) {
+    dsl::Value v;
+    v.scalar = s;
+    return v;
+  }
+
+  dsl::CallTable table_;
+  ProgramLint lint_;
+  const dsl::CallDesc* open_ = nullptr;
+  const dsl::CallDesc* close_ = nullptr;
+  const dsl::CallDesc* use_ = nullptr;
+  const dsl::CallDesc* cfg_ = nullptr;
+};
+
+TEST_F(SemanticLintTest, CleanProgramHasNoFindings) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));
+  p.calls.push_back(call(use_, {ref(0), num(7)}));
+  p.calls.push_back(call(close_, {ref(0)}));
+  const LintReport rep = lint_.analyze(p);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_TRUE(rep.findings.empty());
+}
+
+TEST_F(SemanticLintTest, UseAfterCloseIsAnError) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));
+  p.calls.push_back(call(close_, {ref(0)}));
+  p.calls.push_back(call(use_, {ref(0), num(7)}));
+  const LintReport rep = lint_.analyze(p);
+  EXPECT_FALSE(rep.clean());
+  ASSERT_TRUE(rep.has(Pass::kUseAfterClose));
+  EXPECT_EQ(rep.findings[0].call, 2u);
+  EXPECT_EQ(rep.findings[0].arg, 0u);
+}
+
+TEST_F(SemanticLintTest, DoubleCloseIsFlaggedDistinctly) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));
+  p.calls.push_back(call(close_, {ref(0)}));
+  p.calls.push_back(call(close_, {ref(0)}));
+  const LintReport rep = lint_.analyze(p);
+  ASSERT_TRUE(rep.has(Pass::kUseAfterClose));
+  EXPECT_NE(rep.findings[0].message.find("double close"), std::string::npos);
+}
+
+TEST_F(SemanticLintTest, CloseOfLiveResourceIsLegal) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));
+  p.calls.push_back(call(close_, {ref(0)}));
+  EXPECT_TRUE(lint_.analyze(p).clean());
+}
+
+TEST_F(SemanticLintTest, ReopenedResourceIsIndependentlyTracked) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));            // r0
+  p.calls.push_back(call(close_, {ref(0)}));
+  p.calls.push_back(call(open_));            // r2: a fresh fd
+  p.calls.push_back(call(use_, {ref(2), num(7)}));
+  p.calls.push_back(call(close_, {ref(2)}));
+  EXPECT_TRUE(lint_.analyze(p).clean());
+}
+
+TEST_F(SemanticLintTest, DanglingForwardRefIsAnError) {
+  dsl::Program p;
+  p.calls.push_back(call(use_, {ref(1), num(7)}));
+  p.calls.push_back(call(open_));
+  const LintReport rep = lint_.analyze(p);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_TRUE(rep.has(Pass::kDanglingRef));
+}
+
+TEST_F(SemanticLintTest, WrongProducerTypeIsAnError) {
+  dsl::Program p;
+  p.calls.push_back(call(use_, {ref(-1), num(7)}));  // placeholder
+  p.calls.push_back(call(use_, {ref(0), num(7)}));   // r0 produces nothing
+  const LintReport rep = lint_.analyze(p);
+  EXPECT_TRUE(rep.has(Pass::kDanglingRef));
+  EXPECT_FALSE(rep.clean());
+}
+
+TEST_F(SemanticLintTest, UnresolvedHandleIsOnlyAWarning) {
+  dsl::Program p;
+  p.calls.push_back(call(use_, {ref(dsl::Value::kNoRef), num(7)}));
+  const LintReport rep = lint_.analyze(p);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.warnings(), 1u);
+  EXPECT_TRUE(rep.has(Pass::kDanglingRef));
+}
+
+TEST_F(SemanticLintTest, ScalarWiderThanDeclaredKindIsAnError) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));
+  p.calls.push_back(call(use_, {ref(0), num(0x1ff)}));  // u8 param
+  const LintReport rep = lint_.analyze(p);
+  ASSERT_TRUE(rep.has(Pass::kTypeWidth));
+  EXPECT_NE(rep.findings[0].message.find("exceeds u8 width"),
+            std::string::npos);
+}
+
+TEST_F(SemanticLintTest, ScalarOutsideDeclaredRangeIsAnError) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));
+  p.calls.push_back(call(use_, {ref(0), num(0xff)}));  // fits u8, max is 200
+  const LintReport rep = lint_.analyze(p);
+  ASSERT_TRUE(rep.has(Pass::kTypeWidth));
+  EXPECT_NE(rep.findings[0].message.find("range"), std::string::npos);
+}
+
+TEST_F(SemanticLintTest, EnumFlagsBoolAndBlobViolationsAreFlagged) {
+  dsl::Program p;
+  dsl::Value blob;
+  blob.bytes = {1, 2, 3, 4, 5, 6};  // max_len 4
+  p.calls.push_back(call(cfg_, {num(3), num(0x30), num(2), blob}));
+  const LintReport rep = lint_.analyze(p);
+  EXPECT_EQ(rep.errors(), 4u);
+  EXPECT_TRUE(rep.has(Pass::kTypeWidth));
+}
+
+TEST_F(SemanticLintTest, DeadProducerIsAWarning) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));
+  const LintReport rep = lint_.analyze(p);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_TRUE(rep.has(Pass::kDeadStatement));
+}
+
+TEST_F(SemanticLintTest, ArityMismatchIsAnError) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));
+  p.calls.push_back(call(use_, {ref(0)}));  // missing the scalar arg
+  const LintReport rep = lint_.analyze(p);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_TRUE(rep.has(Pass::kDanglingRef));
+}
+
+TEST_F(SemanticLintTest, OptionsDisableIndividualPasses) {
+  LintOptions opts;
+  opts.use_after_close = false;
+  opts.dead_statements = false;
+  const ProgramLint relaxed(opts);
+  dsl::Program p;
+  p.calls.push_back(call(open_));
+  p.calls.push_back(call(close_, {ref(0)}));
+  p.calls.push_back(call(use_, {ref(0), num(7)}));
+  EXPECT_TRUE(relaxed.analyze(p).clean());
+}
+
+TEST_F(SemanticLintTest, RepairRebindsClosedRefToLiveProducer) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));            // r0
+  p.calls.push_back(call(open_));            // r1
+  p.calls.push_back(call(close_, {ref(0)}));
+  p.calls.push_back(call(use_, {ref(0), num(7)}));
+  EXPECT_FALSE(lint_.analyze(p).clean());
+  EXPECT_GT(lint_.repair(p), 0u);
+  EXPECT_EQ(p.calls[3].args[0].ref, 1);
+  EXPECT_TRUE(lint_.analyze(p).clean());
+}
+
+TEST_F(SemanticLintTest, RepairFallsBackToUnresolvedWithoutLiveProducer) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));
+  p.calls.push_back(call(close_, {ref(0)}));
+  p.calls.push_back(call(use_, {ref(0), num(7)}));
+  lint_.repair(p);
+  EXPECT_EQ(p.calls[2].args[0].ref, dsl::Value::kNoRef);
+  EXPECT_TRUE(lint_.analyze(p).clean());  // downgraded to a warning
+}
+
+TEST_F(SemanticLintTest, RepairClampsScalarsIntoWidthAndRange) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));
+  p.calls.push_back(call(use_, {ref(0), num(0x5ff)}));
+  lint_.repair(p);
+  EXPECT_LE(p.calls[1].args[1].scalar, 200u);
+  EXPECT_TRUE(lint_.analyze(p).clean());
+}
+
+TEST_F(SemanticLintTest, RepairFixesEnumFlagsBoolAndBlob) {
+  dsl::Program p;
+  dsl::Value blob;
+  blob.bytes = {1, 2, 3, 4, 5, 6};
+  p.calls.push_back(call(cfg_, {num(3), num(0x30), num(2), blob}));
+  EXPECT_EQ(lint_.repair(p), 4u);
+  EXPECT_EQ(p.calls[0].args[0].scalar, 1u);       // first enum choice
+  EXPECT_EQ(p.calls[0].args[1].scalar, 0x30u & 0xbu);
+  EXPECT_EQ(p.calls[0].args[2].scalar, 1u);
+  EXPECT_EQ(p.calls[0].args[3].bytes.size(), 4u);
+  EXPECT_TRUE(lint_.analyze(p).clean());
+}
+
+TEST_F(SemanticLintTest, RepairIsIdempotentOnCleanPrograms) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));
+  p.calls.push_back(call(use_, {ref(0), num(7)}));
+  p.calls.push_back(call(close_, {ref(0)}));
+  EXPECT_EQ(lint_.repair(p), 0u);
+}
+
+}  // namespace
+}  // namespace df::analysis

@@ -16,6 +16,7 @@ class BrokerTest : public ::testing::Test {
   void SetUp() override { use_device("A1"); }
 
   void use_device(const char* id) {
+    broker_.reset();  // the broker unwinds into dev_'s kernel on destruction
     dev_ = device::make_device(id, 1);
     table_ = dsl::CallTable();
     add_syscall_descriptions(table_, *dev_);

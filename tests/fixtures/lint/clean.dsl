@@ -1,0 +1,5 @@
+# A lint-clean attach/detach cycle on the USB-C PD controller.
+r0 = openat$rt1711()
+ioctl$RT1711_ATTACH(r0, 0x1)
+ioctl$RT1711_DETACH(r0)
+close$rt1711(r0)

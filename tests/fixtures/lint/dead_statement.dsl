@@ -1,0 +1,5 @@
+# The rt1711 fd is produced but never consumed: dead-statement warning on
+# call #0. The hci socket is used, so only one finding is expected.
+r0 = openat$rt1711()
+r1 = socket$hci()
+bind$hci(r1, 0x1)

@@ -1,0 +1,4 @@
+# Seeded type-width mismatch: bind$hci's dev id is a u8 (range 0..1);
+# 0x1ff does not fit the declared width.
+r0 = socket$hci()
+bind$hci(r0, 0x1ff)

@@ -1,0 +1,5 @@
+# Seeded use-after-close: r0 is destroyed by the close before the status
+# query executes — the use-after-close pass must flag call #2.
+r0 = openat$rt1711()
+close$rt1711(r0)
+ioctl$RT1711_GET_STATUS(r0)

@@ -16,10 +16,13 @@ using drivers::L2capDriver;
 using testutil::DriverHarness;
 
 std::vector<uint8_t> hci_pkt(uint16_t opcode,
-                             std::vector<uint8_t> params = {}) {
-  std::vector<uint8_t> pkt{0x01, static_cast<uint8_t>(opcode & 0xff),
-                           static_cast<uint8_t>(opcode >> 8),
-                           static_cast<uint8_t>(params.size())};
+                             const std::vector<uint8_t>& params = {}) {
+  std::vector<uint8_t> pkt;
+  pkt.reserve(4 + params.size());
+  pkt.push_back(0x01);
+  pkt.push_back(static_cast<uint8_t>(opcode & 0xff));
+  pkt.push_back(static_cast<uint8_t>(opcode >> 8));
+  pkt.push_back(static_cast<uint8_t>(params.size()));
   pkt.insert(pkt.end(), params.begin(), params.end());
   return pkt;
 }

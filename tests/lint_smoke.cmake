@@ -1,0 +1,38 @@
+# df_lint smoke test (run via cmake -P from ctest): lint the seeded fixture
+# corpus, validate the JSON report with scripts/check_bench_json.py, and
+# assert that the seeded use-after-close and type-width bugs were flagged.
+# Inputs: LINT, PYTHON, CHECKER, FIXTURES, OUT.
+
+execute_process(
+  COMMAND ${LINT} --device A1 --json ${OUT} ${FIXTURES}
+  OUTPUT_VARIABLE lint_out
+  RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "df_lint failed (rc=${lint_rc})")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${OUT}
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_bench_json.py rejected ${OUT} (rc=${check_rc})")
+endif()
+
+file(READ ${OUT} report)
+foreach(needle "use-after-close" "type-width" "dead-statement" "\"plans\"")
+  string(FIND "${report}" "${needle}" at)
+  if(at EQUAL -1)
+    message(FATAL_ERROR "lint report is missing '${needle}':\n${report}")
+  endif()
+endforeach()
+
+# clean.dsl must stay clean: exactly one file carries the seeded
+# use-after-close error, and the planner covers the rt1711 graph.
+string(FIND "${lint_out}" "clean.dsl: 4 calls, 0 findings" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "clean fixture reported findings:\n${lint_out}")
+endif()
+string(FIND "${lint_out}" "planner: rt1711_i2c" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "planner diagnostics missing rt1711:\n${lint_out}")
+endif()
