@@ -1,0 +1,196 @@
+// Parallel fleet scaling bench (DESIGN.md §8): runs the full 7-device
+// catalog fleet to the same per-device execution budget at workers =
+// 1/2/4/hardware_concurrency, reports aggregate execs/sec and the
+// sequential-vs-parallel speedup, and — the part that is hardware-
+// independent — verifies that every configuration produces bit-identical
+// per-device results (coverage, corpus, relations, bug list) for the same
+// seed.
+//
+// Speedup is bounded by the host: on a single-core machine every
+// configuration lands near 1.0x, which is the honest number (the JSON
+// carries hardware_concurrency so readers can interpret it). All
+// throughput/speedup values live under "timing" keys; the `deterministic`
+// flag and fleet shape are content, validated by
+// scripts/check_bench_json.py.
+//
+// Env knobs: DF_FLEET_EXECS (per-device executions, default 4000), DF_REPS
+// (repetitions per worker configuration, default 1), DF_SEED.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/fuzz/daemon.h"
+#include "core/fuzz/fleet.h"
+#include "device/catalog.h"
+#include "util/hash.h"
+
+namespace {
+
+using namespace df;
+using namespace df::bench;
+
+constexpr uint64_t kSlice = 256;
+
+uint64_t fleet_execs_from_env(uint64_t fallback) {
+  const char* env = std::getenv("DF_FLEET_EXECS");
+  if (env == nullptr) return fallback;
+  const uint64_t v = std::strtoull(env, nullptr, 10);
+  return v > 0 ? v : fallback;
+}
+
+struct FleetRun {
+  double wall_seconds = 0;
+  std::string fingerprint;  // per-device results, comparable across configs
+  std::vector<BenchSeries> series;
+  std::unique_ptr<obs::Observability> obs;
+};
+
+FleetRun run_fleet(uint64_t seed, uint64_t execs, size_t workers, size_t rep,
+                   const std::vector<std::string>& ids) {
+  FleetRun out;
+  core::DaemonConfig cfg;
+  cfg.seed = seed;
+  cfg.workers = workers;
+  core::Daemon d(cfg);
+  out.obs = std::make_unique<obs::Observability>();
+  out.obs->trace.set_record_execs(false);
+  obs::StatsReporter reporter(std::max<uint64_t>(execs / 4, 1));
+  d.attach_observability(out.obs.get());
+  d.attach_reporter(&reporter);
+  for (const auto& id : ids) d.add_device(id);
+  // Probing is identical (and sequential) for every configuration; keep it
+  // outside the timed region so the scaling numbers measure the fuzz loop.
+  for (const auto& id : ids) d.engine(id)->setup();
+
+  const WallTimer t;
+  d.run(execs, kSlice);
+  out.wall_seconds = t.seconds();
+
+  for (const auto& id : ids) {
+    const core::Engine* e = d.engine(id);
+    out.fingerprint += id;
+    out.fingerprint += ":execs=" + std::to_string(e->executions());
+    out.fingerprint += ",kcov=" + std::to_string(e->kernel_coverage());
+    out.fingerprint += ",cov=" + std::to_string(e->total_coverage());
+    out.fingerprint += ",corpus=" + std::to_string(e->corpus().size());
+    out.fingerprint += ",edges=" + std::to_string(e->relations().edge_count());
+    for (const auto& b : e->crashes().bugs()) {
+      out.fingerprint += ",bug=" + b.title + "@" +
+                         std::to_string(b.first_exec);
+    }
+    out.fingerprint += "\n";
+  }
+  out.fingerprint +=
+      "corpus_hash=" + std::to_string(util::fnv1a(d.save_corpus())) + "\n";
+
+  const std::string config = "workers" + std::to_string(workers);
+  for (const auto& id : ids) {
+    out.series.push_back({id, config, rep, reporter.series(id), {}});
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const WallTimer wall;
+  const uint64_t seed = seed_from_env();
+  const size_t reps = reps_from_env(1);
+  const uint64_t execs = fleet_execs_from_env(4000);
+  const size_t hw = core::FleetExecutor::resolve_workers(0);
+
+  std::vector<std::string> ids;
+  for (const auto& spec : device::device_table()) ids.push_back(spec.id);
+
+  std::vector<size_t> worker_configs{1, 2, 4, hw};
+  std::sort(worker_configs.begin(), worker_configs.end());
+  worker_configs.erase(
+      std::unique(worker_configs.begin(), worker_configs.end()),
+      worker_configs.end());
+
+  std::printf(
+      "=== fleet parallel scaling: %zu devices x %llu execs, slice %llu, "
+      "%zu reps, hardware_concurrency=%zu ===\n",
+      ids.size(), static_cast<unsigned long long>(execs),
+      static_cast<unsigned long long>(kSlice), reps, hw);
+
+  struct ConfigResult {
+    size_t workers = 0;
+    double best_wall = 0;  // fastest rep
+    double execs_per_sec = 0;
+  };
+  std::vector<ConfigResult> results;
+  std::vector<BenchSeries> exported;
+  std::unique_ptr<obs::Observability> exported_obs;
+  std::string baseline_fp;
+  bool deterministic = true;
+
+  for (const size_t workers : worker_configs) {
+    ConfigResult r;
+    r.workers = workers;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      FleetRun run = run_fleet(seed, execs, workers, rep, ids);
+      if (baseline_fp.empty()) {
+        baseline_fp = run.fingerprint;
+      } else if (run.fingerprint != baseline_fp) {
+        deterministic = false;
+        std::fprintf(stderr,
+                     "fleet: NON-DETERMINISTIC results at workers=%zu rep=%zu\n",
+                     workers, rep);
+      }
+      if (rep == 0 && (workers == 1 || workers == worker_configs.back())) {
+        // Export the sequential and widest-parallel trajectories: identical
+        // series content across the two configs is the determinism contract
+        // made visible in the JSON itself.
+        for (auto& s : run.series) exported.push_back(std::move(s));
+        if (workers == 1) exported_obs = std::move(run.obs);
+      }
+      if (r.best_wall == 0 || run.wall_seconds < r.best_wall) {
+        r.best_wall = run.wall_seconds;
+      }
+    }
+    const double total_execs =
+        static_cast<double>(execs) * static_cast<double>(ids.size());
+    r.execs_per_sec = total_execs / r.best_wall;
+    results.push_back(r);
+  }
+
+  const double seq_rate = results.front().execs_per_sec;
+  for (const auto& r : results) {
+    std::printf("  workers=%-2zu  %10.0f execs/sec   speedup %.2fx\n",
+                r.workers, r.execs_per_sec, r.execs_per_sec / seq_rate);
+  }
+  std::printf("  per-device results: %s\n\n",
+              deterministic ? "bit-identical across all configurations"
+                            : "MISMATCH (bug!)");
+
+  const bool wrote = write_bench_json(
+      "fleet_parallel", seed, reps, exported, exported_obs.get(),
+      wall.seconds(), [&](obs::JsonWriter& w) {
+        w.key("fleet_parallel").begin_object();
+        w.field("devices", static_cast<uint64_t>(ids.size()));
+        w.field("execs_per_device", execs);
+        w.field("slice", kSlice);
+        w.field("hardware_concurrency", static_cast<uint64_t>(hw));
+        w.field("deterministic", deterministic);
+        w.key("configs").begin_array();
+        for (const auto& r : results) {
+          w.begin_object();
+          w.field("workers", static_cast<uint64_t>(r.workers));
+          w.key("timing").begin_object();
+          w.field("wall_seconds", r.best_wall);
+          w.field("execs_per_sec", r.execs_per_sec);
+          w.field("speedup_vs_sequential", r.execs_per_sec / seq_rate);
+          w.end_object();
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      });
+
+  return deterministic && wrote ? 0 : 1;
+}

@@ -10,8 +10,11 @@
 // attached engine within a few percent of detached).
 #include <benchmark/benchmark.h>
 
+#include <unordered_set>
+
 #include "baseline/syzkaller.h"
 #include "bench/bench_util.h"
+#include "kernel/kcov.h"
 #include "core/descriptions.h"
 #include "core/exec/broker.h"
 #include "core/fuzz/engine.h"
@@ -206,6 +209,92 @@ void BM_RelationDecay(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RelationDecay);
+
+// --- feedback hot path: u64-set vs unordered_set ----------------------------
+// The per-execution kcov dedup + cumulative FeatureSet merge are the two
+// allocation-heavy feedback paths; both now run on util::U64Set with
+// capacity retained across resets. The *StdSet twins replicate the previous
+// std::unordered_set shape (including the clear()-per-exec reallocation) so
+// the win is visible in one bench run.
+
+// One execution's worth of coverage: ~256 hits, roughly half duplicates —
+// the shape DriverCtx::cov() produces for a multi-call program.
+std::vector<uint64_t> kcov_workload() {
+  std::vector<uint64_t> feats;
+  util::Rng rng(7);
+  for (int i = 0; i < 256; ++i) {
+    feats.push_back(kernel::cov_feature(static_cast<uint16_t>(1 + i % 4),
+                                        rng.below(128)));
+  }
+  return feats;
+}
+
+void BM_KcovRecord(benchmark::State& state) {
+  const std::vector<uint64_t> feats = kcov_workload();
+  kernel::Kcov k;
+  k.enable();
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    for (uint64_t f : feats) k.hit(f);
+    out.clear();
+    k.collect_into(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_KcovRecord);
+
+// Pre-PR kcov shape: unordered_set dedup cleared per exec + a fresh output
+// vector swapped out per exec.
+void BM_KcovRecordStdSet(benchmark::State& state) {
+  const std::vector<uint64_t> feats = kcov_workload();
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> buf;
+  for (auto _ : state) {
+    for (uint64_t f : feats) {
+      if (seen.insert(f).second) buf.push_back(f);
+    }
+    std::vector<uint64_t> out;
+    out.swap(buf);
+    seen.clear();
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_KcovRecordStdSet);
+
+// Steady-state corpus growth: most features are already known, a few are
+// new — the FeatureSet::add_new profile after warmup.
+void BM_FeatureSetAddNew(benchmark::State& state) {
+  core::FeatureSet fs;
+  util::Rng rng(9);
+  std::vector<uint64_t> batch(64);
+  for (auto _ : state) {
+    for (auto& f : batch) {
+      f = kernel::cov_feature(static_cast<uint16_t>(1 + rng.below(8)),
+                              rng.below(1 << 16));
+    }
+    benchmark::DoNotOptimize(fs.add_new(batch));
+  }
+}
+BENCHMARK(BM_FeatureSetAddNew);
+
+void BM_FeatureSetAddNewStdSet(benchmark::State& state) {
+  std::unordered_set<uint64_t> set;
+  util::Rng rng(9);
+  std::vector<uint64_t> batch(64);
+  std::vector<uint64_t> fresh;
+  for (auto _ : state) {
+    for (auto& f : batch) {
+      f = kernel::cov_feature(static_cast<uint16_t>(1 + rng.below(8)),
+                              rng.below(1 << 16));
+    }
+    fresh.clear();
+    for (uint64_t f : batch) {
+      if (set.insert(f).second) fresh.push_back(f);
+    }
+    benchmark::DoNotOptimize(fresh.data());
+  }
+}
+BENCHMARK(BM_FeatureSetAddNewStdSet);
 
 // --- observability primitives -----------------------------------------------
 

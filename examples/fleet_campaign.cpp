@@ -5,9 +5,14 @@
 // then save and reload the corpus to show warm-start behaviour.
 //
 //   ./examples/fleet_campaign [execs-per-device] [seed]
+//                             [--workers <n>]
 //                             [--stats-json <path>] [--trace-out <path>]
 //                             [--crash-dir <dir>] [--stall-window <execs>]
 //                             [--quiet]
+//
+// --workers drives the fleet with N threads (0 = one per hardware core,
+// default 1 = sequential); per-device results are identical for any worker
+// count (DESIGN.md §8), only the wall clock changes.
 //
 // --stats-json writes the full campaign telemetry (per-device + aggregate
 // time series, metric snapshot, milestone trace events) as one JSON
@@ -17,6 +22,7 @@
 // crash_<hash>.json provenance report per unique bug; --stall-window sets
 // the coverage-plateau watchdog (default 5000 execs, 0 disables); --quiet
 // suppresses the dashboard, leaving only the final one-line summary.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +30,7 @@
 #include <string>
 
 #include "core/fuzz/daemon.h"
+#include "core/fuzz/fleet.h"
 #include "device/catalog.h"
 #include "obs/chrome_trace.h"
 #include "obs/json.h"
@@ -39,6 +46,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string crash_dir;
   uint64_t stall_window = 5000;
+  size_t workers = 1;
   bool quiet = false;
   int pos = 0;
   const auto flag_value = [&](int& i, const char* flag) -> const char* {
@@ -60,6 +68,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--stall-window") == 0) {
       stall_window = std::strtoull(flag_value(i, "--stall-window"), nullptr,
                                    10);
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      workers = std::strtoull(flag_value(i, "--workers"), nullptr, 10);
     } else if (pos == 0) {
       execs = std::strtoull(argv[i], nullptr, 10);
       ++pos;
@@ -68,8 +78,9 @@ int main(int argc, char** argv) {
       ++pos;
     } else {
       std::fprintf(stderr, "usage: %s [execs-per-device] [seed] "
-                   "[--stats-json <path>] [--trace-out <path>] "
-                   "[--crash-dir <dir>] [--stall-window <execs>] [--quiet]\n",
+                   "[--workers <n>] [--stats-json <path>] "
+                   "[--trace-out <path>] [--crash-dir <dir>] "
+                   "[--stall-window <execs>] [--quiet]\n",
                    argv[0]);
       return 1;
     }
@@ -77,7 +88,10 @@ int main(int argc, char** argv) {
 
   df::core::DaemonConfig cfg;
   cfg.seed = seed;
+  cfg.workers = workers;
   cfg.crash_dir = crash_dir;
+  const size_t resolved_workers =
+      df::core::FleetExecutor::resolve_workers(workers);
   df::core::Daemon daemon(cfg);
   // Span tracing needs a deeper event ring than the default: one span per
   // iteration/phase/syscall/driver-op survives until export.
@@ -96,11 +110,23 @@ int main(int argc, char** argv) {
     daemon.add_device(spec.id);
   }
   if (!quiet) {
-    std::printf("== fleet campaign: %zu devices x %llu execs ==\n",
+    std::printf("== fleet campaign: %zu devices x %llu execs, %zu "
+                "worker%s ==\n",
                 daemon.device_count(),
-                static_cast<unsigned long long>(execs));
+                static_cast<unsigned long long>(execs), resolved_workers,
+                resolved_workers == 1 ? "" : "s");
   }
+  const auto run_start = std::chrono::steady_clock::now();
   daemon.run(execs, 512);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - run_start)
+          .count();
+  const double execs_per_sec =
+      wall_ms > 0 ? static_cast<double>(execs) *
+                        static_cast<double>(daemon.device_count()) /
+                        (wall_ms / 1000.0)
+                  : 0.0;
 
   size_t fleet_coverage = 0;
   size_t fleet_corpus = 0;
@@ -155,6 +181,17 @@ int main(int argc, char** argv) {
     w.field("devices", static_cast<uint64_t>(daemon.device_count()));
     w.field("bugs", static_cast<uint64_t>(bugs.size()));
     w.end_object();
+    // Parallel execution summary: workers/devices are content, the wall
+    // clock and throughput live under "timing" (stripped by the checker's
+    // determinism comparison).
+    w.key("fleet").begin_object();
+    w.field("workers", static_cast<uint64_t>(resolved_workers));
+    w.field("devices", static_cast<uint64_t>(daemon.device_count()));
+    w.key("timing").begin_object();
+    w.field("wall_ms", wall_ms);
+    w.field("execs_per_sec", execs_per_sec);
+    w.end_object();
+    w.end_object();
     w.key("stats");
     reporter.write_json(w);
     w.key("metrics");
@@ -206,9 +243,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf("fleet_campaign: %zu devices, %llu execs/device, coverage %zu, "
-              "corpus %zu, bugs %zu, seed %llu\n",
+              "corpus %zu, bugs %zu, seed %llu, workers %zu, %.0f "
+              "execs/sec\n",
               daemon.device_count(), static_cast<unsigned long long>(execs),
               fleet_coverage, fleet_corpus, bugs.size(),
-              static_cast<unsigned long long>(seed));
+              static_cast<unsigned long long>(seed), resolved_workers,
+              execs_per_sec);
   return 0;
 }

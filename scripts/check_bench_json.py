@@ -208,6 +208,60 @@ def check_events(events, where="events"):
                 f"{where}[{i}].exec must be a non-negative int")
 
 
+def check_fleet_parallel(fp, where="fleet_parallel"):
+    """Parallel-scaling section written by bench_fleet_parallel.
+
+    Throughput and speedup are wall-dependent (and on a 1-core host land
+    near 1.0x), so they live under per-config "timing" objects; the content
+    contract — which the checker enforces — is that the run was
+    deterministic across every worker configuration.
+    """
+    require(isinstance(fp, dict), f"{where} must be an object")
+    for key in ("devices", "execs_per_device", "slice",
+                "hardware_concurrency"):
+        require(isinstance(fp.get(key), int) and fp[key] > 0,
+                f"{where}.{key} must be a positive int")
+    require(fp.get("deterministic") is True,
+            f"{where}.deterministic must be true: per-device results must "
+            f"be bit-identical across worker counts")
+    configs = fp.get("configs")
+    require(isinstance(configs, list) and configs,
+            f"{where}.configs must be a non-empty array")
+    last = 0
+    for i, c in enumerate(configs):
+        cwhere = f"{where}.configs[{i}]"
+        require(isinstance(c, dict), f"{cwhere} must be an object")
+        workers = c.get("workers")
+        require(isinstance(workers, int) and workers > 0,
+                f"{cwhere}.workers must be a positive int")
+        require(workers > last,
+                f"{cwhere}.workers must be strictly increasing")
+        last = workers
+        for key in c:
+            if key == "workers":
+                continue
+            require(is_timing_key(key),
+                    f"{cwhere}.{key}: throughput/speedup fields must live "
+                    f"under 'timing'")
+    require(configs[0]["workers"] == 1,
+            f"{where}.configs must start with the sequential baseline "
+            f"(workers=1)")
+
+
+def check_fleet(fleet, where="fleet"):
+    """Campaign-level fleet section (--workers in fleet_campaign)."""
+    require(isinstance(fleet, dict), f"{where} must be an object")
+    for key in ("workers", "devices"):
+        require(isinstance(fleet.get(key), int) and fleet[key] > 0,
+                f"{where}.{key} must be a positive int")
+    for key in fleet:
+        if key in ("workers", "devices"):
+            continue
+        require(is_timing_key(key),
+                f"{where}.{key}: wall-dependent fleet fields must live "
+                f"under 'timing'")
+
+
 def check_bench_doc(doc):
     require(isinstance(doc.get("bench"), str) and doc["bench"],
             "bench must be a non-empty string")
@@ -221,6 +275,8 @@ def check_bench_doc(doc):
         check_series_entry(i, entry)
     if "metrics" in doc:
         check_metrics(doc["metrics"])
+    if "fleet_parallel" in doc:
+        check_fleet_parallel(doc["fleet_parallel"])
     timing = doc.get("timing")
     require(isinstance(timing, dict)
             and isinstance(timing.get("wall_seconds"), (int, float)),
@@ -235,6 +291,8 @@ def check_campaign_doc(doc):
     require(isinstance(campaign.get("seed"), int),
             "campaign.seed must be an int")
     check_stats(doc.get("stats"))
+    if "fleet" in doc:
+        check_fleet(doc["fleet"])
     if "metrics" in doc:
         check_metrics(doc["metrics"])
     if "events" in doc:
@@ -569,6 +627,24 @@ def _crash_fixture():
     }
 
 
+def _fleet_parallel_fixture():
+    return {
+        "devices": 7, "execs_per_device": 4000, "slice": 256,
+        "hardware_concurrency": 4, "deterministic": True,
+        "configs": [
+            {"workers": 1, "timing": {"wall_seconds": 0.4,
+                                      "execs_per_sec": 70000.0,
+                                      "speedup_vs_sequential": 1.0}},
+            {"workers": 2, "timing": {"wall_seconds": 0.22,
+                                      "execs_per_sec": 127000.0,
+                                      "speedup_vs_sequential": 1.8}},
+            {"workers": 4, "timing": {"wall_seconds": 0.13,
+                                      "execs_per_sec": 215000.0,
+                                      "speedup_vs_sequential": 3.1}},
+        ],
+    }
+
+
 def _campaign_fixture():
     return {
         "campaign": {"example": "fleet_campaign", "seed": 3},
@@ -669,6 +745,48 @@ def self_test():
     doc = _campaign_fixture()
     doc["stats"]["devices"][0]["state_coverage"] = _state_coverage_fixture()
     expect_ok("campaign stats with state coverage", doc)
+
+    doc = _bench_fixture()
+    doc["fleet_parallel"] = _fleet_parallel_fixture()
+    expect_ok("bench doc with fleet_parallel section", doc)
+
+    doc = _bench_fixture()
+    doc["fleet_parallel"] = _fleet_parallel_fixture()
+    doc["fleet_parallel"]["deterministic"] = False
+    expect_fail("non-deterministic fleet run", doc)
+
+    doc = _bench_fixture()
+    doc["fleet_parallel"] = _fleet_parallel_fixture()
+    doc["fleet_parallel"]["configs"] = []
+    expect_fail("fleet_parallel without configs", doc)
+
+    doc = _bench_fixture()
+    doc["fleet_parallel"] = _fleet_parallel_fixture()
+    doc["fleet_parallel"]["configs"][0]["workers"] = 2
+    expect_fail("fleet_parallel missing the sequential baseline", doc)
+
+    doc = _bench_fixture()
+    doc["fleet_parallel"] = _fleet_parallel_fixture()
+    doc["fleet_parallel"]["configs"][2]["workers"] = 2
+    expect_fail("fleet_parallel workers not strictly increasing", doc)
+
+    doc = _bench_fixture()
+    doc["fleet_parallel"] = _fleet_parallel_fixture()
+    doc["fleet_parallel"]["configs"][1]["speedup"] = 1.8
+    expect_fail("fleet_parallel speedup outside 'timing'", doc)
+
+    doc = _campaign_fixture()
+    doc["fleet"] = {"workers": 4, "devices": 7,
+                    "timing": {"wall_ms": 130.0, "execs_per_sec": 215000.0}}
+    expect_ok("campaign doc with fleet section", doc)
+
+    doc = _campaign_fixture()
+    doc["fleet"] = {"workers": 0, "devices": 7}
+    expect_fail("campaign fleet with zero workers", doc)
+
+    doc = _campaign_fixture()
+    doc["fleet"] = {"workers": 4, "devices": 7, "wall_ms": 130.0}
+    expect_fail("campaign fleet wall-clock outside 'timing'", doc)
 
     expect_ok("valid chrome trace", _chrome_fixture())
 

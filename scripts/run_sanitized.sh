@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Build and run the full test suite under each sanitizer.
 #
-#   scripts/run_sanitized.sh [address|undefined]...
+#   scripts/run_sanitized.sh [address|undefined|thread]...
 #
-# With no arguments both sanitizers run in sequence. Each sanitizer gets its
-# own build tree (build-asan / build-ubsan) so the instrumented objects never
-# mix with the regular build/ directory.
+# With no arguments address and undefined run in sequence (thread is opt-in:
+# TSan instrumented binaries are ~5-10x slower, so the race gate for the
+# parallel fleet executor is requested explicitly). Each sanitizer gets its
+# own build tree (build-asan / build-ubsan / build-tsan) so the instrumented
+# objects never mix with the regular build/ directory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,16 +21,19 @@ for san in "${sanitizers[@]}"; do
   case "$san" in
     address) dir=build-asan ;;
     undefined) dir=build-ubsan ;;
+    thread) dir=build-tsan ;;
     *)
-      echo "unknown sanitizer '$san' (want: address, undefined)" >&2
+      echo "unknown sanitizer '$san' (want: address, undefined, thread)" >&2
       exit 2
       ;;
   esac
   echo "== $san sanitizer ($dir) =="
   cmake -B "$dir" -S . -DDF_SANITIZE="$san" -DDF_WERROR=ON >/dev/null
   cmake --build "$dir" -j "$(nproc)"
-  # halt_on_error makes UBSan findings fail the test run instead of logging.
+  # halt_on_error makes sanitizer findings fail the test run instead of
+  # logging; any TSan race report aborts the parallel daemon tests.
   UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   ASAN_OPTIONS=detect_leaks=1 \
+  TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
     ctest --test-dir "$dir" --output-on-failure
 done

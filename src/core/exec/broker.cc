@@ -216,12 +216,12 @@ ExecResult Broker::execute(const dsl::Program& prog, const ExecOptions& opt) {
     if (k.panicked()) break;  // device is wedged; stop the program
   }
 
-  // Collect bonded feedback.
+  // Collect bonded feedback. The append-into variant drains every task's
+  // kcov straight into out.features — one buffer, no per-task vectors.
   if (opt.collect_cov) {
-    out.features = k.kcov_collect(native_task_);
+    k.kcov_collect_into(native_task_, out.features);
     for (const auto& svc : dev_.services()) {
-      auto halcov = k.kcov_collect(svc->task());
-      out.features.insert(out.features.end(), halcov.begin(), halcov.end());
+      k.kcov_collect_into(svc->task(), out.features);
       k.kcov_disable(svc->task());
     }
     k.kcov_disable(native_task_);

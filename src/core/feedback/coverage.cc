@@ -8,7 +8,7 @@ std::vector<uint64_t> FeatureSet::add_new(
     const std::vector<uint64_t>& features) {
   std::vector<uint64_t> fresh;
   for (uint64_t f : features) {
-    if (set_.insert(f).second) {
+    if (set_.insert(f)) {
       fresh.push_back(f);
       if (!trace::is_hal_feature(f)) ++kernel_count_;
     }
@@ -18,7 +18,7 @@ std::vector<uint64_t> FeatureSet::add_new(
 
 bool Corpus::add(Seed seed) {
   const uint64_t h = dsl::program_hash(seed.prog);
-  if (!hashes_.insert(h).second) return false;
+  if (!hashes_.insert(h)) return false;
   seeds_.push_back(std::move(seed));
   return true;
 }

@@ -9,20 +9,24 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
 #include "dsl/prog.h"
 #include "trace/syscall_trace.h"
 #include "util/rng.h"
+#include "util/u64_set.h"
 
 namespace df::core {
 
+// Cumulative feature set on the feedback hot path: every execution's
+// collected features funnel through add_new(), so the store is the flat
+// open-addressing util::U64Set rather than std::unordered_set (see
+// BM_FeatureSetAddNew in bench_micro.cc for the measured difference).
 class FeatureSet {
  public:
   // Inserts all features; returns the ones that were new.
   std::vector<uint64_t> add_new(const std::vector<uint64_t>& features);
-  bool contains(uint64_t f) const { return set_.count(f) != 0; }
+  bool contains(uint64_t f) const { return set_.contains(f); }
 
   size_t size() const { return set_.size(); }
   // Kernel-only count (excludes HAL directional features) — the paper's
@@ -31,7 +35,7 @@ class FeatureSet {
   size_t hal_size() const { return set_.size() - kernel_count_; }
 
  private:
-  std::unordered_set<uint64_t> set_;
+  util::U64Set set_;
   size_t kernel_count_ = 0;
 };
 
@@ -61,7 +65,7 @@ class Corpus {
   double energy(const Seed& s) const;
 
   std::vector<Seed> seeds_;
-  std::unordered_set<uint64_t> hashes_;
+  util::U64Set hashes_;
   uint64_t picks_ = 0;
 };
 

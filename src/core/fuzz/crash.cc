@@ -3,6 +3,7 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 
 #include "core/descriptions.h"
 #include "obs/json.h"
@@ -186,8 +187,11 @@ std::string CrashLog::provenance_json(const BugRecord& bug,
   w.field("recorded", fr != nullptr ? fr->recorded() : 0);
   w.key("records").begin_array();
   if (fr != nullptr) {
-    for (size_t i = 0; i < fr->size(); ++i) {
-      write_flight_record(w, fr->at(i), ctx);
+    // snapshot(): the ring is shared across fleet workers, so iterate a
+    // consistent copy rather than live at() references another engine's
+    // push could overwrite mid-dump.
+    for (const auto& rec : fr->snapshot()) {
+      write_flight_record(w, rec, ctx);
     }
   }
   w.end_array();
@@ -202,6 +206,11 @@ std::string CrashLog::provenance_json(const BugRecord& bug,
 std::string CrashLog::write_provenance(const BugRecord& bug,
                                        const CrashContext& ctx) {
   if (!provenance_enabled()) return {};
+  // Process-wide: the report path is derived from the *title* hash, so two
+  // devices hitting the same deduped bug on different fleet workers target
+  // the same file — serialize so neither sees a torn report.
+  static std::mutex write_mu;
+  std::lock_guard<std::mutex> lock(write_mu);
   std::error_code ec;
   std::filesystem::create_directories(provenance_dir_, ec);
   const std::string path =

@@ -1,5 +1,8 @@
 #include "core/fuzz/daemon.h"
 
+#include <algorithm>
+
+#include "core/fuzz/fleet.h"
 #include "dsl/fmt.h"
 #include "dsl/parse.h"
 #include "util/log.h"
@@ -51,22 +54,30 @@ void Daemon::run(uint64_t executions_per_device, uint64_t slice) {
   obs::SpanTracer* spans =
       obs_ != nullptr && obs_->spans.enabled() ? &obs_->spans : nullptr;
   const obs::ScopedSpan campaign_span(spans, "campaign");
+  // Setup stays on the daemon thread regardless of worker count, so probe
+  // events and probe-created metrics keep a deterministic order.
   for (auto& s : engines_) s.eng->setup();
   // Baseline stats point for a fresh campaign (skipped when resuming so a
   // second run() does not duplicate the previous final point).
   if (reporter_ != nullptr && reporter_->empty()) sample_stats();
-  uint64_t done = 0;
+  std::vector<Engine*> engines;
+  engines.reserve(engines_.size());
+  for (auto& s : engines_) engines.push_back(s.eng.get());
+  // The slice callback runs between rounds — at the barrier, while every
+  // worker is parked, in parallel mode — preserving the exact sampling
+  // cadence of the historical sequential loop.
+  uint64_t last_done = 0;
   uint64_t since_sample = 0;
-  while (done < executions_per_device) {
-    const uint64_t step = std::min(slice, executions_per_device - done);
-    for (auto& s : engines_) s.eng->run(step);
-    done += step;
-    since_sample += step;
-    if (reporter_ != nullptr && since_sample >= reporter_->interval()) {
-      sample_stats();
-      since_sample = 0;
-    }
-  }
+  FleetExecutor::run(
+      engines, executions_per_device, slice, cfg_.workers,
+      [&](uint64_t done) {
+        since_sample += done - last_done;
+        last_done = done;
+        if (reporter_ != nullptr && since_sample >= reporter_->interval()) {
+          sample_stats();
+          since_sample = 0;
+        }
+      });
   if (reporter_ != nullptr && since_sample > 0) sample_stats();
 }
 
@@ -77,11 +88,20 @@ Engine* Daemon::engine(std::string_view device_id) {
   return nullptr;
 }
 
+std::vector<const Daemon::Slot*> Daemon::slots_by_id() const {
+  std::vector<const Slot*> out;
+  out.reserve(engines_.size());
+  for (const auto& s : engines_) out.push_back(&s);
+  std::sort(out.begin(), out.end(),
+            [](const Slot* a, const Slot* b) { return a->id < b->id; });
+  return out;
+}
+
 std::vector<CampaignBug> Daemon::all_bugs() const {
   std::vector<CampaignBug> out;
-  for (const auto& s : engines_) {
-    for (const auto& b : s.eng->crashes().bugs()) {
-      out.push_back({s.id, b});
+  for (const Slot* s : slots_by_id()) {
+    for (const auto& b : s->eng->crashes().bugs()) {
+      out.push_back({s->id, b});
     }
   }
   return out;
@@ -101,10 +121,10 @@ uint64_t Daemon::total_executions() const {
 
 std::string Daemon::save_corpus() const {
   std::string out;
-  for (const auto& s : engines_) {
-    const Corpus& corpus = s.eng->corpus();
+  for (const Slot* s : slots_by_id()) {
+    const Corpus& corpus = s->eng->corpus();
     for (size_t i = 0; i < corpus.size(); ++i) {
-      out += "# device " + s.id + "\n";
+      out += "# device " + s->id + "\n";
       out += dsl::format_program(corpus.at(i).prog);
       out += "# end\n";
     }

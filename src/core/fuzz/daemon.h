@@ -1,8 +1,11 @@
 // The DroidFuzz Daemon (paper §IV-A): the root process. Spawns one Fuzzing
-// Engine per target device, coordinates their progress round-robin (the
-// simulated analogue of per-device host processes), and maintains the
+// Engine per target device, coordinates their progress in slice-sized
+// rounds — sequentially by default, or on one worker thread per device via
+// FleetExecutor (DaemonConfig::workers, DESIGN.md §8) — and maintains the
 // persistent data: seed corpus snapshots, overall coverage statistics, and
-// the relation table.
+// the relation table. Per-device results are bit-identical across worker
+// counts for the same seed; aggregation (all_bugs/save_corpus) is ordered
+// by device id, never by completion order.
 #pragma once
 
 #include <memory>
@@ -22,6 +25,11 @@ struct DaemonConfig {
   // Directory for crash_<hash>.json provenance reports ("" disables).
   // Applied to every engine, present and future.
   std::string crash_dir;
+  // Fleet worker threads for run(): 1 (default) = the historical sequential
+  // path, 0 = hardware_concurrency, N = at most N threads (capped at the
+  // device count). Engines are partitioned statically across workers, so
+  // per-device results do not depend on this value.
+  size_t workers = 1;
 };
 
 struct CampaignBug {
@@ -37,9 +45,11 @@ class Daemon {
   bool add_device(std::string_view id);
 
   // Runs every engine for `executions_per_device`, interleaving in
-  // `slice`-sized rounds (the daemon's synchronization granularity).
-  // With a reporter attached, every engine is sampled on the reporter's
-  // execution interval (plus a baseline point and a final point).
+  // `slice`-sized rounds (the daemon's synchronization granularity) across
+  // `cfg.workers` threads. Reporter sampling happens between rounds — at
+  // the slice barrier in parallel mode — on the reporter's execution
+  // interval (plus a baseline point and a final point), so the sampling
+  // cadence is identical for every worker count.
   void run(uint64_t executions_per_device, uint64_t slice = 256);
 
   // --- aggregated observability ----------------------------------------------
@@ -55,12 +65,14 @@ class Daemon {
   void set_crash_dir(std::string dir);
   size_t device_count() const { return engines_.size(); }
   Engine* engine(std::string_view device_id);
+  // Stably ordered by device id (not insertion or completion order).
   std::vector<CampaignBug> all_bugs() const;
   size_t total_kernel_coverage() const;
   uint64_t total_executions() const;
 
   // Persistent corpus: serialize every engine's corpus as DSL text
-  // ("# device <id>" sections), and reload it into fresh engines.
+  // ("# device <id>" sections, ordered by device id), and reload it into
+  // fresh engines.
   std::string save_corpus() const;
   size_t load_corpus(const std::string& text);
 
@@ -70,6 +82,9 @@ class Daemon {
     std::unique_ptr<device::Device> dev;
     std::unique_ptr<Engine> eng;
   };
+
+  // Slots sorted by device id — the stable aggregation order.
+  std::vector<const Slot*> slots_by_id() const;
 
   DaemonConfig cfg_;
   util::Rng rng_;

@@ -1,0 +1,74 @@
+#include "core/fuzz/fleet.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <thread>
+
+#include "core/fuzz/engine.h"
+
+namespace df::core {
+
+size_t FleetExecutor::resolve_workers(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+void FleetExecutor::run(const std::vector<Engine*>& engines,
+                        uint64_t executions_per_engine, uint64_t slice,
+                        size_t workers,
+                        const std::function<void(uint64_t done)>& on_slice) {
+  if (engines.empty() || executions_per_engine == 0) return;
+  if (slice == 0) slice = 1;
+  workers = std::min(resolve_workers(workers), engines.size());
+
+  const uint64_t total = executions_per_engine;
+  if (workers <= 1) {
+    // Sequential path — byte-for-byte the daemon's historical loop.
+    uint64_t done = 0;
+    while (done < total) {
+      const uint64_t step = std::min(slice, total - done);
+      for (Engine* e : engines) e->run(step);
+      done += step;
+      on_slice(done);
+    }
+    return;
+  }
+
+  // Parallel path. `step` is the round size every worker executes next; the
+  // barrier's completion function — which runs on exactly one thread while
+  // all workers are parked — advances `done`, runs the daemon-granularity
+  // callback, and publishes the next round size (0 = campaign finished).
+  // The barrier phase transition happens-before the workers' return from
+  // arrive_and_wait, so the relaxed accesses below are ordered by it.
+  uint64_t done = 0;
+  std::atomic<uint64_t> step{std::min(slice, total)};
+  auto completion = [&]() noexcept {
+    done += step.load(std::memory_order_relaxed);
+    on_slice(done);
+    step.store(done < total ? std::min(slice, total - done) : 0,
+               std::memory_order_relaxed);
+  };
+  std::barrier bar(static_cast<std::ptrdiff_t>(workers), completion);
+
+  // Static slot partition: engine i always belongs to worker i % workers,
+  // so each engine's execution sequence is independent of scheduling.
+  auto worker = [&](size_t wi) {
+    while (true) {
+      const uint64_t s = step.load(std::memory_order_relaxed);
+      if (s == 0) return;
+      for (size_t ei = wi; ei < engines.size(); ei += workers) {
+        engines[ei]->run(s);
+      }
+      bar.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t wi = 0; wi < workers; ++wi) threads.emplace_back(worker, wi);
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace df::core

@@ -1,0 +1,42 @@
+// Parallel fleet execution (paper §IV-A, DESIGN.md §8): drives one worker
+// thread per device engine through slice-sized rounds separated by a
+// barrier, so daemon-granularity work (reporter sampling, corpus snapshots,
+// relation decay observation) keeps a single-threaded view of the fleet.
+//
+// Determinism: slots are partitioned statically (engine i -> worker
+// i % workers) and every engine executes the same sequence of run(step)
+// calls in every mode, so each engine's results — coverage, corpus, bug
+// titles — are bit-identical between workers=1 and workers=N for the same
+// seed. Only cross-device interleaving (trace event order, span ids) is
+// scheduling-dependent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace df::core {
+
+class Engine;
+
+class FleetExecutor {
+ public:
+  // Maps the DaemonConfig::workers convention to a concrete thread count:
+  // 0 = std::thread::hardware_concurrency() (at least 1), otherwise the
+  // requested value.
+  static size_t resolve_workers(size_t requested);
+
+  // Runs every engine for `executions_per_engine` executions in rounds of
+  // at most `slice`. After each round — while every worker is parked at the
+  // barrier — `on_slice(done)` is invoked with the cumulative per-engine
+  // execution count; it may touch any engine safely but must not throw.
+  // `workers` <= 1 (after resolve_workers) or a single engine takes the
+  // exact sequential path the daemon has always used.
+  static void run(const std::vector<Engine*>& engines,
+                  uint64_t executions_per_engine, uint64_t slice,
+                  size_t workers,
+                  const std::function<void(uint64_t done)>& on_slice);
+};
+
+}  // namespace df::core

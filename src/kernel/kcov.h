@@ -5,12 +5,19 @@
 // attribution (used by the paper's per-driver coverage claim) is a mask away.
 // Like real kcov, collection is per-task and drained by the executor after
 // each program; unlike real kcov we deduplicate at insertion for efficiency.
+//
+// Hot-path note: hit() runs for every covered basic block of every
+// execution, so the dedup set is an open-addressing util::U64Set and both
+// it and the hit buffer retain their capacity across executions — a
+// steady-state collect() does no allocator work (BM_KcovRecord in
+// bench_micro.cc measures this against the old unordered_set shape).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
+
+#include "util/u64_set.h"
 
 namespace df::kernel {
 
@@ -30,22 +37,34 @@ class Kcov {
 
   void hit(uint64_t feature) {
     if (!enabled_) return;
-    if (seen_.insert(feature).second) buf_.push_back(feature);
+    if (seen_.insert(feature)) buf_.push_back(feature);
   }
 
-  // Drains the per-exec buffer (ordered by first hit).
+  // Drains the per-exec buffer (ordered by first hit) into a fresh vector.
+  // The internal buffer and dedup set keep their capacity.
   std::vector<uint64_t> collect() {
-    std::vector<uint64_t> out;
-    out.swap(buf_);
-    seen_.clear();
+    std::vector<uint64_t> out(buf_.begin(), buf_.end());
+    reset();
     return out;
+  }
+
+  // Allocation-free drain: appends the pending features to `out` (callers
+  // owning a reusable buffer avoid the per-exec vector).
+  void collect_into(std::vector<uint64_t>& out) {
+    out.insert(out.end(), buf_.begin(), buf_.end());
+    reset();
   }
 
   size_t pending() const { return buf_.size(); }
 
  private:
+  void reset() {
+    buf_.clear();
+    seen_.clear();
+  }
+
   bool enabled_ = false;
-  std::unordered_set<uint64_t> seen_;
+  util::U64Set seen_;
   std::vector<uint64_t> buf_;
 };
 

@@ -113,6 +113,10 @@ std::vector<uint64_t> Kernel::kcov_collect(TaskId tid) {
   return t ? t->kcov.collect() : std::vector<uint64_t>{};
 }
 
+void Kernel::kcov_collect_into(TaskId tid, std::vector<uint64_t>& out) {
+  if (Task* t = task(tid)) t->kcov.collect_into(out);
+}
+
 int Kernel::attach_tracepoint(Tracepoint hook) {
   const int id = next_tp_++;
   tracepoints_.emplace(id, std::move(hook));

@@ -78,6 +78,9 @@ class Kernel {
   void kcov_enable(TaskId tid);
   void kcov_disable(TaskId tid);
   std::vector<uint64_t> kcov_collect(TaskId tid);
+  // Allocation-free variant: appends the task's pending features to `out`
+  // (the broker reuses one buffer across tasks and executions).
+  void kcov_collect_into(TaskId tid, std::vector<uint64_t>& out);
 
   // --- tracepoints (eBPF attach surface) --------------------------------------
   // Hook invoked after every syscall completes. Returns an id for detach.

@@ -8,6 +8,7 @@ void FlightRecorder::enable(size_t capacity) {
 }
 
 void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   if (capacity_ > 0) ring_.reserve(capacity_);
   head_ = 0;
@@ -15,8 +16,19 @@ void FlightRecorder::clear() {
   recorded_ = 0;
 }
 
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
 void FlightRecorder::push(ExecutionRecord rec) {
   if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
   ++recorded_;
   if (count_ < capacity_) {
     ring_.push_back(std::move(rec));
@@ -28,7 +40,18 @@ void FlightRecorder::push(ExecutionRecord rec) {
 }
 
 const ExecutionRecord& FlightRecorder::at(size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return ring_[(head_ + i) % count_];
+}
+
+std::vector<ExecutionRecord> FlightRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ExecutionRecord> out;
+  out.reserve(count_);
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(head_ + i) % count_]);
+  }
+  return out;
 }
 
 }  // namespace df::obs

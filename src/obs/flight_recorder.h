@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace df::obs {
@@ -32,6 +33,10 @@ struct ExecutionRecord {
   std::vector<uint8_t> states_after;
 };
 
+// Thread model: the ring is shared by every engine in the fleet, so push()
+// and the readers are serialized by an internal mutex. Crash dumps use
+// snapshot() — a consistent copy taken under the lock — because at()'s
+// reference is only stable while no other worker pushes (DESIGN.md §8).
 class FlightRecorder {
  public:
   FlightRecorder() = default;
@@ -44,15 +49,20 @@ class FlightRecorder {
   void enable(size_t capacity);
 
   size_t capacity() const { return capacity_; }
-  size_t size() const { return count_; }
-  uint64_t recorded() const { return recorded_; }
+  size_t size() const;
+  uint64_t recorded() const;
 
   void push(ExecutionRecord rec);
-  // i = 0 is the oldest retained record.
+  // i = 0 is the oldest retained record. Single-threaded use only — under
+  // concurrent push() the returned reference can be overwritten; parallel
+  // readers want snapshot().
   const ExecutionRecord& at(size_t i) const;
+  // Consistent copy of the retained window, oldest first.
+  std::vector<ExecutionRecord> snapshot() const;
   void clear();
 
  private:
+  mutable std::mutex mu_;
   size_t capacity_ = 0;
   std::vector<ExecutionRecord> ring_;
   size_t head_ = 0;   // index of the oldest record

@@ -21,46 +21,80 @@ uint64_t bucket_mid(size_t i) {
   return lo + (hi - lo) / 2;
 }
 
+// Monotone CAS update: keeps the stored value the min/max of itself and `v`.
+void store_min(std::atomic<uint64_t>& slot, uint64_t v) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void store_max(std::atomic<uint64_t>& slot, uint64_t v) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 void Histogram::record(uint64_t v) {
-  ++buckets_[bucket_index(v)];
-  ++count_;
-  sum_ += v;
-  min_ = std::min(min_, v);
-  max_ = std::max(max_, v);
+  buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  store_min(min_, v);
+  store_max(max_, v);
 }
 
-void Histogram::reset() { *this = Histogram(); }
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::array<uint64_t, Histogram::kBucketCount> Histogram::buckets() const {
+  std::array<uint64_t, kBucketCount> out;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
 
 uint64_t Histogram::quantile(double q) const {
-  if (count_ == 0) return 0;
+  const uint64_t total = count();
+  if (total == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const uint64_t target =
-      std::max<uint64_t>(1, static_cast<uint64_t>(q * static_cast<double>(count_) + 0.5));
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
   uint64_t seen = 0;
   for (size_t i = 0; i < kBucketCount; ++i) {
-    seen += buckets_[i];
+    seen += buckets_[i].load(std::memory_order_relaxed);
     if (seen >= target) {
       return std::clamp<uint64_t>(bucket_mid(i), min(), max());
     }
   }
-  return max_;
+  return max();
 }
 
 Counter& Registry::counter(std::string_view name, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
   return counters_[Key(std::string(name), std::string(label))];
 }
 
 Gauge& Registry::gauge(std::string_view name, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
   return gauges_[Key(std::string(name), std::string(label))];
 }
 
 Histogram& Registry::histogram(std::string_view name, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
   return histograms_[Key(std::string(name), std::string(label))];
 }
 
 Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Snapshot s;
   for (const auto& [key, c] : counters_) {
     s.counters.push_back({key.first, key.second, c.value()});
@@ -85,6 +119,7 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -1,5 +1,7 @@
 #include "obs/span.h"
 
+#include <utility>
+
 namespace df::obs {
 
 namespace {
@@ -18,22 +20,39 @@ uint64_t SpanTracer::begin(std::string_view name, std::string_view track,
                            uint64_t exec) {
   if (!enabled_) return 0;
   Open o;
-  o.id = next_id_++;
-  o.parent = open_.empty() ? 0 : open_.back().id;
+  o.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   o.name = std::string(name);
   o.track = std::string(track);
   o.exec = exec;
   o.start = std::chrono::steady_clock::now();
-  open_.push_back(std::move(o));
-  return open_.back().id;
+  const uint64_t id = o.id;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& stack = open_[std::this_thread::get_id()];
+  o.parent = stack.empty() ? 0 : stack.back().id;
+  stack.push_back(std::move(o));
+  return id;
 }
 
 void SpanTracer::end(uint64_t id) {
   if (id == 0) return;
-  while (!open_.empty()) {
-    Open o = std::move(open_.back());
-    open_.pop_back();
-    const auto now = std::chrono::steady_clock::now();
+  // Pop under the lock, emit outside it (TraceSink has its own mutex).
+  std::vector<Open> closed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = open_.find(std::this_thread::get_id());
+    if (it == open_.end()) return;
+    auto& stack = it->second;
+    while (!stack.empty()) {
+      Open o = std::move(stack.back());
+      stack.pop_back();
+      const bool done = o.id == id;
+      closed.push_back(std::move(o));
+      if (done) break;
+    }
+    if (stack.empty()) open_.erase(it);
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& o : closed) {
     TraceEvent ev;
     ev.kind = EventKind::kSpan;
     ev.device = std::move(o.track);
@@ -44,8 +63,13 @@ void SpanTracer::end(uint64_t id) {
         .with("ts_ns", to_ns(o.start - epoch_))
         .with("dur_ns", to_ns(now - o.start));
     sink_.emit(std::move(ev));
-    if (o.id == id) return;
   }
+}
+
+size_t SpanTracer::open_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = open_.find(std::this_thread::get_id());
+  return it == open_.end() ? 0 : it->second.size();
 }
 
 }  // namespace df::obs

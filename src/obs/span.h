@@ -1,22 +1,34 @@
 // Hierarchical execution spans: campaign → engine iteration → phase →
-// per-syscall → driver-handler. The fuzz loop is single-threaded, so spans
-// nest strictly; SpanTracer keeps the open-span stack and records each
-// completed span into the bounded TraceSink as one kSpan event carrying its
-// id, parent id, track, and (timing-quarantined) ts_ns/dur_ns fields.
+// per-syscall → driver-handler. Spans nest strictly *per thread*: each
+// fleet worker gets its own open-span stack (keyed by std::thread::id), so
+// engines running on parallel workers trace independently. Completed spans
+// are recorded into the bounded TraceSink as one kSpan event carrying id,
+// parent id, track, and (timing-quarantined) ts_ns/dur_ns fields.
 //
-// Determinism contract: span names, ids, parents, tracks and exec indices
-// are pure functions of the executed work; only the `_ns` fields carry
-// wall-clock and are stripped by determinism comparisons.
+// Thread model (DESIGN.md §8): span ids come from one atomic counter —
+// unique across threads, but *allocation order* between threads is
+// scheduling-dependent in parallel mode, so span ids/interleaving are only
+// deterministic at workers=1. A span opened on a worker thread has no
+// parent on another thread (parent = 0 at stack bottom), which the chrome
+// exporter treats as a root span on that track.
+//
+// Determinism contract (workers=1): span names, ids, parents, tracks and
+// exec indices are pure functions of the executed work; only the `_ns`
+// fields carry wall-clock and are stripped by determinism comparisons.
 //
 // Tracing is opt-in (`set_enabled(true)` before components attach): when
 // disabled, begin() returns 0 and ScopedSpan is a null-check, preserving
 // the <5% attached-instrumentation budget of the default configuration.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "obs/trace.h"
@@ -33,17 +45,21 @@ class SpanTracer {
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
 
-  // Opens a span nested under the innermost open span. `track` groups spans
-  // into one timeline row for the Chrome exporter (device id, or "" for the
-  // root process track). Returns the span id, 0 when disabled.
+  // Opens a span nested under the calling thread's innermost open span.
+  // `track` groups spans into one timeline row for the Chrome exporter
+  // (device id, or "" for the root process track). Returns the span id,
+  // 0 when disabled.
   uint64_t begin(std::string_view name, std::string_view track = {},
                  uint64_t exec = 0);
-  // Closes span `id` — and, defensively, any deeper span left open — and
-  // emits one kSpan event per closed span. end(0) is a no-op.
+  // Closes span `id` — and, defensively, any deeper span left open on this
+  // thread — and emits one kSpan event per closed span. end(0) is a no-op.
   void end(uint64_t id);
 
-  uint64_t spans_started() const { return next_id_ - 1; }
-  size_t open_depth() const { return open_.size(); }
+  uint64_t spans_started() const {
+    return next_id_.load(std::memory_order_relaxed) - 1;
+  }
+  // Open-span depth of the *calling* thread's stack.
+  size_t open_depth() const;
 
  private:
   struct Open {
@@ -57,8 +73,11 @@ class SpanTracer {
 
   TraceSink& sink_;
   bool enabled_ = false;
-  uint64_t next_id_ = 1;
-  std::vector<Open> open_;
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  // Per-thread open stacks; an entry is erased once its stack drains, so
+  // the map stays bounded by the number of concurrently-tracing threads.
+  std::map<std::thread::id, std::vector<Open>> open_;
   std::chrono::steady_clock::time_point epoch_;
 };
 

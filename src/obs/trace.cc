@@ -21,9 +21,7 @@ const char* kind_name(EventKind kind) {
 }
 
 TraceSink::TraceSink(size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {
-  ring_.reserve(capacity_);
-}
+    : capacity_(capacity == 0 ? 1 : capacity) {}
 
 TraceSink::~TraceSink() { close_file(); }
 
@@ -31,30 +29,57 @@ void TraceSink::emit(TraceEvent ev) {
   // Callers on the hot path check record_execs() before even constructing
   // the event; this keeps the flag authoritative for direct emitters too.
   if (ev.kind == EventKind::kExec && !record_execs_) return;
+  std::lock_guard<std::mutex> lock(mu_);
   ++emitted_;
   if (file_ != nullptr) *file_ << to_json(ev) << '\n';
-  if (count_ < capacity_) {
-    ring_.push_back(std::move(ev));
-    ++count_;
+  Ring& ring = rings_[ev.device];
+  if (ring.count < capacity_) {
+    ring.events.push_back(std::move(ev));
+    ++ring.count;
+    ++retained_;
     return;
   }
-  // Full: overwrite the oldest slot and advance the ring head.
-  ring_[head_] = std::move(ev);
-  head_ = (head_ + 1) % capacity_;
+  // Full: overwrite the device's oldest slot and advance its ring head.
+  ring.events[ring.head] = std::move(ev);
+  ring.head = (ring.head + 1) % capacity_;
+}
+
+size_t TraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_;
+}
+
+uint64_t TraceSink::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+uint64_t TraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_ - retained_;
 }
 
 const TraceEvent& TraceSink::at(size_t i) const {
-  return ring_[(head_ + i) % count_];
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [device, ring] : rings_) {
+    if (i < ring.count) return ring.events[(ring.head + i) % ring.count];
+    i -= ring.count;
+  }
+  // Out of range: keep the historical UB-free-ish contract of indexing the
+  // first ring rather than throwing (callers iterate [0, size())).
+  return rings_.begin()->second.events.front();
 }
 
 bool TraceSink::open_file(const std::string& path) {
   auto f = std::make_unique<std::ofstream>(path, std::ios::trunc);
   if (!f->is_open()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
   file_ = std::move(f);
   return true;
 }
 
 void TraceSink::close_file() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (file_ != nullptr) {
     file_->flush();
     file_.reset();
@@ -62,10 +87,13 @@ void TraceSink::close_file() {
 }
 
 std::string TraceSink::to_jsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
-  for (size_t i = 0; i < count_; ++i) {
-    out += to_json(at(i));
-    out += '\n';
+  for (const auto& [device, ring] : rings_) {
+    for (size_t i = 0; i < ring.count; ++i) {
+      out += to_json(ring.events[(ring.head + i) % ring.count]);
+      out += '\n';
+    }
   }
   return out;
 }

@@ -2,16 +2,23 @@
 // relation-learn events, crash/bug events, corpus adds, decay ticks, probe
 // completions, and device reboots, each serializable as one JSONL record.
 //
-// Events are held in a bounded in-memory ring (oldest evicted first) and
-// optionally mirrored line-by-line to a file. Determinism contract: event
-// *content* carries no wall-clock — ordering and the `exec` field use
-// execution counts, so two identically-seeded campaigns emit identical
-// JSONL.
+// Events are held in bounded in-memory rings — one ring of `capacity`
+// events *per device*, oldest evicted first — and optionally mirrored
+// line-by-line to a file. Determinism contract: event *content* carries no
+// wall-clock (ordering and the `exec` field use execution counts), and the
+// per-device partition makes the retained set and the export order
+// (devices in id order, chronological within a device) independent of
+// thread scheduling — two identically-seeded campaigns emit identical
+// JSONL at any worker count (DESIGN.md §8). The file mirror is the one
+// arrival-ordered surface: it streams events as they happen, so its line
+// order is scheduling-dependent under parallel workers.
 #pragma once
 
 #include <cstdint>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -56,6 +63,12 @@ struct TraceEvent {
   }
 };
 
+// Thread model: emit() (and the file mirror it feeds) is serialized by an
+// internal mutex, so engines on different fleet workers can emit
+// concurrently — ring slots never tear and mirrored JSONL lines never
+// interleave. Readers (at()/to_jsonl()) take the same mutex but hand out
+// references/copies that are only stable while no emit runs — read at
+// slice barriers or after the campaign, as all callers in-tree do.
 class TraceSink {
  public:
   explicit TraceSink(size_t capacity = 4096);
@@ -71,11 +84,14 @@ class TraceSink {
 
   void emit(TraceEvent ev);
 
+  // Retained events per device.
   size_t capacity() const { return capacity_; }
-  size_t size() const { return count_; }
-  uint64_t emitted() const { return emitted_; }
-  uint64_t dropped() const { return emitted_ - count_; }
-  // i = 0 is the oldest retained event.
+  // Total retained events across all device rings.
+  size_t size() const;
+  uint64_t emitted() const;
+  uint64_t dropped() const;
+  // Retained events in export order: devices in id order, oldest first
+  // within a device. i = 0 is the first device's oldest event.
   const TraceEvent& at(size_t i) const;
 
   // Mirrors every subsequent event to `path` as one JSON object per line.
@@ -83,15 +99,22 @@ class TraceSink {
   void close_file();
   bool file_open() const { return file_ != nullptr; }
 
-  // The retained ring as JSONL, oldest first.
+  // The retained events as JSONL in export order (devices in id order,
+  // chronological within a device).
   std::string to_jsonl() const;
   static std::string to_json(const TraceEvent& ev);
 
  private:
-  size_t capacity_;
-  std::vector<TraceEvent> ring_;
-  size_t head_ = 0;   // index of the oldest event
-  size_t count_ = 0;  // events currently retained
+  struct Ring {
+    std::vector<TraceEvent> events;
+    size_t head = 0;   // index of the oldest event
+    size_t count = 0;  // events currently retained
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;  // per device
+  std::map<std::string, Ring> rings_;  // device id -> ring, id-ordered
+  size_t retained_ = 0;  // sum of ring counts
   uint64_t emitted_ = 0;
   bool record_execs_ = true;
   std::unique_ptr<std::ofstream> file_;

@@ -1,5 +1,6 @@
 #include "util/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -11,7 +12,10 @@ namespace {
 
 LogLevel g_level = LogLevel::kWarn;
 LogSink g_sink;  // empty => default stderr sink
-LogCounters g_counters;
+// Atomic: fleet worker threads log concurrently (the sink itself is stderr,
+// which the C library serializes per call). Level/sink/override state is
+// configured before workers start and only read during the run.
+std::atomic<uint64_t> g_emitted[4] = {};
 std::vector<std::pair<std::string, LogLevel>> g_overrides;
 
 bool parse_level(std::string_view s, LogLevel& out) {
@@ -90,12 +94,22 @@ void init_log_from_env() {
 
 void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
 
-const LogCounters& log_counters() { return g_counters; }
-void reset_log_counters() { g_counters = LogCounters(); }
+LogCounters log_counters() {
+  LogCounters c;
+  for (size_t i = 0; i < 4; ++i) {
+    c.emitted[i] = g_emitted[i].load(std::memory_order_relaxed);
+  }
+  return c;
+}
+
+void reset_log_counters() {
+  for (auto& e : g_emitted) e.store(0, std::memory_order_relaxed);
+}
 
 void log_message(LogLevel level, const std::string& msg) {
   if (level < g_level) return;
-  ++g_counters.emitted[static_cast<size_t>(level)];
+  g_emitted[static_cast<size_t>(level)].fetch_add(1,
+                                                  std::memory_order_relaxed);
   if (g_sink) {
     g_sink(level, msg);
     return;
@@ -106,7 +120,8 @@ void log_message(LogLevel level, const std::string& msg) {
 void log_message_for(std::string_view component, LogLevel level,
                      const std::string& msg) {
   if (level < component_level(component)) return;
-  ++g_counters.emitted[static_cast<size_t>(level)];
+  g_emitted[static_cast<size_t>(level)].fetch_add(1,
+                                                  std::memory_order_relaxed);
   if (g_sink) {
     g_sink(level, msg);
     return;

@@ -50,14 +50,16 @@ void log_message_for(std::string_view component, LogLevel level,
 
 // Per-level count of messages that passed the level filter, so log volume
 // is itself observable (mirrored into the obs registry by
-// obs::capture_log_metrics).
+// obs::capture_log_metrics). Returned by value: the live counters are
+// atomics (fleet workers log concurrently), and this is a coherent-enough
+// copy of them.
 struct LogCounters {
   uint64_t emitted[4] = {0, 0, 0, 0};  // indexed by LogLevel
   uint64_t total() const {
     return emitted[0] + emitted[1] + emitted[2] + emitted[3];
   }
 };
-const LogCounters& log_counters();
+LogCounters log_counters();
 void reset_log_counters();
 
 namespace detail {

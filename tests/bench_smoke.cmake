@@ -1,0 +1,29 @@
+# Fleet bench smoke test (run via cmake -P from ctest): run
+# bench_fleet_parallel at a tiny per-device budget, then validate the
+# emitted BENCH_fleet_parallel.json (including the fleet_parallel scaling
+# section and its determinism flag) with scripts/check_bench_json.py.
+# Inputs: BENCH, PYTHON, CHECKER, OUTDIR.
+
+file(MAKE_DIRECTORY ${OUTDIR})
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          DF_FLEET_EXECS=256 DF_REPS=1 DF_BENCH_JSON_DIR=${OUTDIR}
+          ${BENCH}
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_fleet_parallel failed (rc=${bench_rc}): "
+                      "non-deterministic fleet run or JSON write failure")
+endif()
+
+set(OUT ${OUTDIR}/BENCH_fleet_parallel.json)
+if(NOT EXISTS ${OUT})
+  message(FATAL_ERROR "bench_fleet_parallel did not write ${OUT}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${OUT}
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_bench_json.py rejected ${OUT} (rc=${check_rc})")
+endif()

@@ -1,0 +1,186 @@
+// Parallel fleet execution (DESIGN.md §8): FleetExecutor worker resolution
+// and the daemon-level determinism contract — per-device results are
+// bit-identical for any worker count, and aggregation is ordered by device
+// id rather than completion order. df_core_test runs under
+// -DDF_SANITIZE=thread in the TSan recipe (scripts/run_sanitized.sh), which
+// makes these tests the race detector for the whole telemetry layer.
+#include "core/fuzz/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/fuzz/daemon.h"
+#include "obs/obs.h"
+#include "obs/stats_reporter.h"
+
+namespace df::core {
+namespace {
+
+// Everything a device campaign produces, as one comparable string:
+// executions, coverage, corpus contents (via save_corpus below), learned
+// relations, and the deduped bug list with first-occurrence indices.
+std::string fleet_fingerprint(Daemon& d,
+                              const std::vector<std::string>& ids) {
+  std::string out;
+  for (const auto& id : ids) {
+    Engine* e = d.engine(id);
+    out += id;
+    out += ":execs=" + std::to_string(e->executions());
+    out += ",kcov=" + std::to_string(e->kernel_coverage());
+    out += ",cov=" + std::to_string(e->total_coverage());
+    out += ",corpus=" + std::to_string(e->corpus().size());
+    out += ",edges=" + std::to_string(e->relations().edge_count());
+    for (const auto& b : e->crashes().bugs()) {
+      out += ",bug=" + b.title + "@" + std::to_string(b.first_exec);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(FleetExecutor, ResolvesWorkerConvention) {
+  EXPECT_EQ(FleetExecutor::resolve_workers(1), 1u);
+  EXPECT_EQ(FleetExecutor::resolve_workers(4), 4u);
+  EXPECT_GE(FleetExecutor::resolve_workers(0), 1u);  // hardware_concurrency
+}
+
+TEST(FleetExecutor, EmptyFleetAndZeroBudgetAreSafe) {
+  std::vector<Engine*> none;
+  size_t calls = 0;
+  FleetExecutor::run(none, 100, 16, 4, [&](uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST(FleetExecutor, SliceCallbackSeesCumulativeCounts) {
+  DaemonConfig cfg;
+  cfg.seed = 11;
+  Daemon d(cfg);
+  d.add_device("A1");
+  d.add_device("B");
+  std::vector<Engine*> engines{d.engine("A1"), d.engine("B")};
+  for (Engine* e : engines) e->setup();
+  std::vector<uint64_t> seen;
+  FleetExecutor::run(engines, 300, 128, 2,
+                     [&](uint64_t done) { seen.push_back(done); });
+  EXPECT_EQ(seen, (std::vector<uint64_t>{128, 256, 300}));
+  EXPECT_EQ(d.engine("A1")->executions(), 300u);
+  EXPECT_EQ(d.engine("B")->executions(), 300u);
+}
+
+// The tentpole contract: same seed, workers=4 per-engine results byte-
+// identical to workers=1 — coverage, corpus (via save_corpus), relations,
+// and bug titles with first_exec indices.
+TEST(Daemon, ParallelRunMatchesSequentialPerDevice) {
+  const std::vector<std::string> ids{"A1", "B", "C1", "E"};
+  auto campaign = [&](size_t workers, std::string* fp, std::string* corpus) {
+    DaemonConfig cfg;
+    cfg.seed = 9;
+    cfg.workers = workers;
+    Daemon d(cfg);
+    for (const auto& id : ids) ASSERT_TRUE(d.add_device(id));
+    d.run(1500, 128);
+    *fp = fleet_fingerprint(d, ids);
+    *corpus = d.save_corpus();
+  };
+  std::string fp_seq, corpus_seq, fp_par, corpus_par;
+  campaign(1, &fp_seq, &corpus_seq);
+  campaign(4, &fp_par, &corpus_par);
+  EXPECT_FALSE(fp_seq.empty());
+  EXPECT_EQ(fp_seq, fp_par);
+  EXPECT_EQ(corpus_seq, corpus_par);
+}
+
+TEST(Daemon, AggregationIsOrderedByDeviceIdNotInsertionOrder) {
+  DaemonConfig cfg;
+  cfg.seed = 3;
+  cfg.workers = 2;
+  Daemon d(cfg);
+  // Insert out of id order: aggregation must still come out sorted.
+  ASSERT_TRUE(d.add_device("E"));
+  ASSERT_TRUE(d.add_device("A1"));
+  ASSERT_TRUE(d.add_device("B"));
+  d.run(4000, 256);
+
+  const auto bugs = d.all_bugs();
+  ASSERT_FALSE(bugs.empty());
+  for (size_t i = 1; i < bugs.size(); ++i) {
+    EXPECT_LE(bugs[i - 1].device_id, bugs[i].device_id);
+  }
+
+  const std::string corpus = d.save_corpus();
+  const size_t pos_a = corpus.find("# device A1");
+  const size_t pos_b = corpus.find("# device B");
+  const size_t pos_e = corpus.find("# device E");
+  ASSERT_NE(pos_a, std::string::npos);
+  ASSERT_NE(pos_b, std::string::npos);
+  ASSERT_NE(pos_e, std::string::npos);
+  EXPECT_LT(pos_a, pos_b);
+  EXPECT_LT(pos_b, pos_e);
+}
+
+// Reporter sampling happens at slice barriers: the cadence (baseline, every
+// interval, final partial point) must be identical to the sequential
+// daemon's regardless of worker count.
+TEST(Daemon, ParallelSamplingKeepsTheSequentialCadence) {
+  DaemonConfig cfg;
+  cfg.seed = 5;
+  cfg.workers = 4;
+  Daemon d(cfg);
+  obs::StatsReporter rep(128);
+  d.attach_reporter(&rep);
+  d.add_device("A1");
+  d.add_device("B");
+  d.run(600, 64);
+  ASSERT_EQ(rep.devices().size(), 2u);
+  for (const auto& dev : rep.devices()) {
+    const auto& pts = rep.series(dev);
+    ASSERT_EQ(pts.size(), 6u);
+    EXPECT_EQ(pts.front().sample.executions, 0u);
+    EXPECT_EQ(pts[1].sample.executions, 128u);
+    EXPECT_EQ(pts.back().sample.executions, 600u);
+  }
+}
+
+// Full telemetry attached across worker threads: per-device counters must
+// come out exact (atomics), and milestone traces non-empty. Under the TSan
+// build this is the race test for Registry/TraceSink/FlightRecorder.
+TEST(Daemon, ParallelTelemetryCountsAreExact) {
+  DaemonConfig cfg;
+  cfg.seed = 7;
+  cfg.workers = 3;
+  Daemon d(cfg);
+  obs::Observability obs;
+  obs.trace.set_record_execs(false);
+  obs.flight.enable(16);
+  obs::StatsReporter rep(256);
+  d.attach_observability(&obs);
+  d.attach_reporter(&rep);
+  const std::vector<std::string> ids{"A1", "C1", "D"};
+  for (const auto& id : ids) ASSERT_TRUE(d.add_device(id));
+  d.run(900, 128);
+  const auto snap = obs.registry.snapshot();
+  for (const auto& id : ids) {
+    const auto* execs = snap.find_counter("engine.executions", id);
+    ASSERT_NE(execs, nullptr) << id;
+    EXPECT_EQ(execs->value, 900u) << id;
+  }
+  EXPECT_GT(obs.trace.size(), 0u);
+  EXPECT_GT(obs.flight.recorded(), 0u);
+}
+
+TEST(Daemon, WorkersZeroResolvesToHardwareConcurrency) {
+  DaemonConfig cfg;
+  cfg.seed = 2;
+  cfg.workers = 0;
+  Daemon d(cfg);
+  d.add_device("C2");
+  d.add_device("D");
+  d.run(200, 64);
+  EXPECT_EQ(d.engine("C2")->executions(), 200u);
+  EXPECT_EQ(d.engine("D")->executions(), 200u);
+}
+
+}  // namespace
+}  // namespace df::core

@@ -48,15 +48,17 @@ TEST(SpanTracer, NestsStrictlyAndRecordsParents) {
   spans.end(phase);
   spans.end(iter);
   spans.end(campaign);
-  ASSERT_EQ(sink.size(), 3u);  // innermost closes first
-  EXPECT_EQ(str_field(sink.at(0), "span"), "phase:execute");
-  EXPECT_EQ(num_field(sink.at(0), "parent"), iter);
-  EXPECT_EQ(str_field(sink.at(1), "span"), "iteration");
-  EXPECT_EQ(num_field(sink.at(1), "parent"), campaign);
-  EXPECT_EQ(str_field(sink.at(2), "span"), "campaign");
-  EXPECT_EQ(num_field(sink.at(2), "parent"), 0u);
-  EXPECT_EQ(sink.at(0).device, "A1");
-  EXPECT_EQ(sink.at(0).exec_index, 1u);
+  // Export order groups by device id: the device-less campaign span ("")
+  // sorts first, then A1's spans chronologically (innermost closed first).
+  ASSERT_EQ(sink.size(), 3u);
+  EXPECT_EQ(str_field(sink.at(0), "span"), "campaign");
+  EXPECT_EQ(num_field(sink.at(0), "parent"), 0u);
+  EXPECT_EQ(str_field(sink.at(1), "span"), "phase:execute");
+  EXPECT_EQ(num_field(sink.at(1), "parent"), iter);
+  EXPECT_EQ(str_field(sink.at(2), "span"), "iteration");
+  EXPECT_EQ(num_field(sink.at(2), "parent"), campaign);
+  EXPECT_EQ(sink.at(1).device, "A1");
+  EXPECT_EQ(sink.at(1).exec_index, 1u);
   EXPECT_EQ(spans.open_depth(), 0u);
 }
 

@@ -30,6 +30,36 @@ TEST(TraceSink, RingRetainsNewestAndCountsDropped) {
   }
 }
 
+// Parallel fleet workers interleave (and, on overflow, evict) events in
+// scheduling order. The per-device ring partition must make the retained
+// set and the export order independent of that interleaving: same
+// per-device subsequences => same export, devices in id order.
+TEST(TraceSink, ExportIsIndependentOfCrossDeviceInterleaving) {
+  const auto dev_event = [](const char* dev, uint64_t exec) {
+    return TraceEvent{EventKind::kNewCoverage, dev, exec, {}};
+  };
+  TraceSink run1(2);
+  TraceSink run2(2);
+  // Run 1: device B races ahead; run 2: strict alternation. Both overflow
+  // the per-device capacity of 2, evicting each device's oldest event.
+  for (uint64_t i = 1; i <= 3; ++i) run1.emit(dev_event("B", i));
+  for (uint64_t i = 1; i <= 3; ++i) run1.emit(dev_event("A", i));
+  for (uint64_t i = 1; i <= 3; ++i) {
+    run2.emit(dev_event("A", i));
+    run2.emit(dev_event("B", i));
+  }
+  EXPECT_EQ(run1.to_jsonl(), run2.to_jsonl());
+  EXPECT_EQ(run1.size(), 4u);
+  EXPECT_EQ(run1.dropped(), 2u);
+  // Export order: device ids ascending, chronological within a device.
+  EXPECT_EQ(run1.at(0).device, "A");
+  EXPECT_EQ(run1.at(0).exec_index, 2u);
+  EXPECT_EQ(run1.at(1).exec_index, 3u);
+  EXPECT_EQ(run1.at(2).device, "B");
+  EXPECT_EQ(run1.at(2).exec_index, 2u);
+  EXPECT_EQ(run1.at(3).exec_index, 3u);
+}
+
 TEST(TraceSink, ExecEventsGatedByFlag) {
   TraceSink sink(16);
   EXPECT_TRUE(sink.record_execs());

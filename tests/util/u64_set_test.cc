@@ -1,0 +1,94 @@
+#include "util/u64_set.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace df::util {
+namespace {
+
+TEST(U64Set, InsertAndContains) {
+  U64Set s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(42));
+  EXPECT_TRUE(s.insert(42));
+  EXPECT_FALSE(s.insert(42));
+  EXPECT_TRUE(s.contains(42));
+  EXPECT_FALSE(s.contains(43));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(U64Set, ZeroKeyIsAValidMember) {
+  U64Set s;
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_TRUE(s.insert(0));
+  EXPECT_FALSE(s.insert(0));
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_EQ(s.size(), 1u);
+  s.clear();
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_TRUE(s.insert(0));
+}
+
+TEST(U64Set, GrowsPastInitialCapacity) {
+  U64Set s;
+  for (uint64_t i = 1; i <= 10000; ++i) EXPECT_TRUE(s.insert(i * 0x9e37));
+  EXPECT_EQ(s.size(), 10000u);
+  for (uint64_t i = 1; i <= 10000; ++i) EXPECT_TRUE(s.contains(i * 0x9e37));
+  EXPECT_FALSE(s.contains(7));
+}
+
+TEST(U64Set, ClearRetainsCapacity) {
+  U64Set s;
+  for (uint64_t i = 1; i <= 1000; ++i) s.insert(i);
+  const size_t cap = s.capacity();
+  EXPECT_GT(cap, 1000u);
+  s.clear();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.capacity(), cap);  // the per-execution reset frees nothing
+  for (uint64_t i = 1; i <= 1000; ++i) EXPECT_FALSE(s.contains(i));
+  for (uint64_t i = 1; i <= 1000; ++i) EXPECT_TRUE(s.insert(i));
+  EXPECT_EQ(s.capacity(), cap);
+}
+
+TEST(U64Set, ReservePreventsGrowth) {
+  U64Set s;
+  s.reserve(5000);
+  const size_t cap = s.capacity();
+  for (uint64_t i = 1; i <= 5000; ++i) s.insert(i);
+  EXPECT_EQ(s.capacity(), cap);
+}
+
+// Coverage features cluster in the high bits ((driver_id << 48) | block);
+// the mixer must keep probe chains functional for exactly that shape.
+TEST(U64Set, HandlesClusteredCoverageFeatureKeys) {
+  U64Set s;
+  for (uint16_t driver = 1; driver <= 12; ++driver) {
+    for (uint64_t block = 0; block < 512; ++block) {
+      EXPECT_TRUE(s.insert((uint64_t{driver} << 48) | block));
+    }
+  }
+  EXPECT_EQ(s.size(), 12u * 512u);
+  EXPECT_TRUE(s.contains((uint64_t{3} << 48) | 17));
+  EXPECT_FALSE(s.contains((uint64_t{13} << 48) | 17));
+}
+
+TEST(U64Set, MatchesUnorderedSetOracle) {
+  U64Set s;
+  std::unordered_set<uint64_t> oracle;
+  Rng rng(1234);
+  for (int i = 0; i < 20000; ++i) {
+    // Narrow key space forces duplicate inserts and both outcomes.
+    const uint64_t key = rng.next() & 0xfff;
+    EXPECT_EQ(s.insert(key), oracle.insert(key).second);
+  }
+  EXPECT_EQ(s.size(), oracle.size());
+  for (uint64_t key = 0; key <= 0xfff; ++key) {
+    EXPECT_EQ(s.contains(key), oracle.count(key) != 0) << key;
+  }
+}
+
+}  // namespace
+}  // namespace df::util
