@@ -5,7 +5,9 @@
 // then save and reload the corpus to show warm-start behaviour.
 //
 //   ./examples/fleet_campaign [execs-per-device] [seed]
-//                             [--workers <n>]
+//                             [--workers <n>] [--fault-rate <p>]
+//                             [--checkpoint-dir <dir>]
+//                             [--checkpoint-every <execs>] [--resume <file>]
 //                             [--stats-json <path>] [--trace-out <path>]
 //                             [--crash-dir <dir>] [--stall-window <execs>]
 //                             [--quiet]
@@ -13,6 +15,14 @@
 // --workers drives the fleet with N threads (0 = one per hardware core,
 // default 1 = sequential); per-device results are identical for any worker
 // count (DESIGN.md §8), only the wall clock changes.
+//
+// --fault-rate injects transport faults (hangs, dropped programs,
+// spontaneous reboots) at probability p per execution attempt (DESIGN.md
+// §9); 0 (the default) is bit-identical to a build without the fault layer.
+// --checkpoint-dir + --checkpoint-every periodically serialize the whole
+// campaign to <dir>/checkpoint.json; --resume <file> restores one and
+// continues to the same total budget, bit-identical to the uninterrupted
+// same-seed run (compare with scripts/check_bench_json.py --compare).
 //
 // --stats-json writes the full campaign telemetry (per-device + aggregate
 // time series, metric snapshot, milestone trace events) as one JSON
@@ -29,6 +39,7 @@
 #include <fstream>
 #include <string>
 
+#include "core/fuzz/checkpoint.h"
 #include "core/fuzz/daemon.h"
 #include "core/fuzz/fleet.h"
 #include "device/catalog.h"
@@ -45,6 +56,10 @@ int main(int argc, char** argv) {
   std::string stats_path;
   std::string trace_path;
   std::string crash_dir;
+  std::string checkpoint_dir;
+  std::string resume_path;
+  uint64_t checkpoint_every = 4096;
+  double fault_rate = 0.0;
   uint64_t stall_window = 5000;
   size_t workers = 1;
   bool quiet = false;
@@ -65,6 +80,15 @@ int main(int argc, char** argv) {
       trace_path = flag_value(i, "--trace-out");
     } else if (std::strcmp(argv[i], "--crash-dir") == 0) {
       crash_dir = flag_value(i, "--crash-dir");
+    } else if (std::strcmp(argv[i], "--fault-rate") == 0) {
+      fault_rate = std::strtod(flag_value(i, "--fault-rate"), nullptr);
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0) {
+      checkpoint_dir = flag_value(i, "--checkpoint-dir");
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+      checkpoint_every =
+          std::strtoull(flag_value(i, "--checkpoint-every"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume_path = flag_value(i, "--resume");
     } else if (std::strcmp(argv[i], "--stall-window") == 0) {
       stall_window = std::strtoull(flag_value(i, "--stall-window"), nullptr,
                                    10);
@@ -78,7 +102,9 @@ int main(int argc, char** argv) {
       ++pos;
     } else {
       std::fprintf(stderr, "usage: %s [execs-per-device] [seed] "
-                   "[--workers <n>] [--stats-json <path>] "
+                   "[--workers <n>] [--fault-rate <p>] "
+                   "[--checkpoint-dir <dir>] [--checkpoint-every <execs>] "
+                   "[--resume <file>] [--stats-json <path>] "
                    "[--trace-out <path>] [--crash-dir <dir>] "
                    "[--stall-window <execs>] [--quiet]\n",
                    argv[0]);
@@ -90,6 +116,9 @@ int main(int argc, char** argv) {
   cfg.seed = seed;
   cfg.workers = workers;
   cfg.crash_dir = crash_dir;
+  cfg.engine.fault.rate = fault_rate;
+  cfg.checkpoint_dir = checkpoint_dir;
+  cfg.checkpoint_every = checkpoint_dir.empty() ? 0 : checkpoint_every;
   const size_t resolved_workers =
       df::core::FleetExecutor::resolve_workers(workers);
   df::core::Daemon daemon(cfg);
@@ -108,6 +137,22 @@ int main(int argc, char** argv) {
   daemon.attach_reporter(&reporter);
   for (const auto& spec : df::device::device_table()) {
     daemon.add_device(spec.id);
+  }
+  if (!resume_path.empty()) {
+    std::string text;
+    std::string error;
+    if (!df::core::CampaignCheckpoint::read_file(resume_path, &text,
+                                                 &error) ||
+        !daemon.resume(text, &error)) {
+      std::fprintf(stderr, "--resume %s: %s\n", resume_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    if (!quiet) {
+      std::printf("resumed from %s at %llu execs/device\n",
+                  resume_path.c_str(),
+                  static_cast<unsigned long long>(daemon.progress()));
+    }
   }
   if (!quiet) {
     std::printf("== fleet campaign: %zu devices x %llu execs, %zu "

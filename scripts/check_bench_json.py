@@ -248,6 +248,81 @@ def check_fleet_parallel(fp, where="fleet_parallel"):
             f"(workers=1)")
 
 
+FAULT_COUNTERS = ("injected", "hangs", "transport_errors", "reboots",
+                  "kasan_reboots", "retries", "lost_execs")
+
+
+def check_fault_recovery(fr, where="fault_recovery"):
+    """Fault-recovery section written by bench_fault_recovery.
+
+    Content contract: the seeded fault schedule makes every rate
+    configuration deterministic, and the faulty campaigns lose no bugs
+    against the fault-free baseline at the same budget. Recovery latency
+    is virtual (deterministic) time and therefore content; wall-clock
+    throughput lives under per-config "timing" objects.
+    """
+    require(isinstance(fr, dict), f"{where} must be an object")
+    for key in ("devices", "execs_per_device", "slice"):
+        require(isinstance(fr.get(key), int) and fr[key] > 0,
+                f"{where}.{key} must be a positive int")
+    require(fr.get("deterministic") is True,
+            f"{where}.deterministic must be true: the fault schedule is a "
+            f"seeded plan, so per-rate results must be bit-identical")
+    require(isinstance(fr.get("budget_saturated"), bool),
+            f"{where}.budget_saturated must be a bool")
+    require(isinstance(fr.get("lost_bugs"), int) and fr["lost_bugs"] >= 0,
+            f"{where}.lost_bugs must be a non-negative int")
+    if fr["budget_saturated"]:
+        require(fr["lost_bugs"] == 0,
+                f"{where}.lost_bugs must be 0 at a saturation budget: "
+                f"faults may cost throughput but never bugs")
+    configs = fr.get("configs")
+    require(isinstance(configs, list) and configs,
+            f"{where}.configs must be a non-empty array")
+    last = -1
+    for i, c in enumerate(configs):
+        cwhere = f"{where}.configs[{i}]"
+        require(isinstance(c, dict), f"{cwhere} must be an object")
+        ppm = c.get("fault_rate_ppm")
+        require(isinstance(ppm, int) and ppm >= 0,
+                f"{cwhere}.fault_rate_ppm must be a non-negative int")
+        require(ppm > last,
+                f"{cwhere}.fault_rate_ppm must be strictly increasing")
+        last = ppm
+        require(isinstance(c.get("bugs"), int) and c["bugs"] >= 0,
+                f"{cwhere}.bugs must be a non-negative int")
+        faults = c.get("faults")
+        require(isinstance(faults, dict), f"{cwhere}.faults must be an object")
+        for key in FAULT_COUNTERS:
+            require(isinstance(faults.get(key), int) and faults[key] >= 0,
+                    f"{cwhere}.faults.{key} must be a non-negative int")
+        require(faults["reboots"] >= faults["hangs"],
+                f"{cwhere}.faults: every hang forces a reboot, so reboots "
+                f"must be >= hangs")
+        recovery = c.get("recovery")
+        require(isinstance(recovery, dict),
+                f"{cwhere}.recovery must be an object")
+        for key in ("virtual_us", "mean_us_per_event"):
+            require(isinstance(recovery.get(key), int) and recovery[key] >= 0,
+                    f"{cwhere}.recovery.{key} must be a non-negative int")
+        if ppm == 0:
+            require(all(faults[key] == 0 for key in FAULT_COUNTERS)
+                    and recovery["virtual_us"] == 0,
+                    f"{cwhere}: the fault-free baseline cannot report "
+                    f"injected faults or recovery time")
+        require(isinstance(c.get("timing"), dict),
+                f"{cwhere}.timing must carry the wall-clock throughput")
+        for key in c:
+            if key in ("fault_rate_ppm", "bugs", "faults", "recovery"):
+                continue
+            require(is_timing_key(key),
+                    f"{cwhere}.{key}: throughput fields must live under "
+                    f"'timing'")
+    require(configs[0]["fault_rate_ppm"] == 0,
+            f"{where}.configs must start with the fault-free baseline "
+            f"(fault_rate_ppm=0)")
+
+
 def check_fleet(fleet, where="fleet"):
     """Campaign-level fleet section (--workers in fleet_campaign)."""
     require(isinstance(fleet, dict), f"{where} must be an object")
@@ -277,6 +352,8 @@ def check_bench_doc(doc):
         check_metrics(doc["metrics"])
     if "fleet_parallel" in doc:
         check_fleet_parallel(doc["fleet_parallel"])
+    if "fault_recovery" in doc:
+        check_fault_recovery(doc["fault_recovery"])
     timing = doc.get("timing")
     require(isinstance(timing, dict)
             and isinstance(timing.get("wall_seconds"), (int, float)),
@@ -645,6 +722,32 @@ def _fleet_parallel_fixture():
     }
 
 
+def _fault_recovery_fixture():
+    def config(ppm, bugs, injected, hangs, transport, reboots, retries,
+               lost, virtual_us):
+        events = reboots + retries
+        return {
+            "fault_rate_ppm": ppm, "bugs": bugs,
+            "faults": {"injected": injected, "hangs": hangs,
+                       "transport_errors": transport, "reboots": reboots,
+                       "kasan_reboots": 0, "retries": retries,
+                       "lost_execs": lost},
+            "recovery": {"virtual_us": virtual_us,
+                         "mean_us_per_event":
+                             virtual_us // events if events else 0},
+            "timing": {"wall_seconds": 0.4, "execs_per_sec": 70000.0},
+        }
+    return {
+        "devices": 7, "execs_per_device": 30000, "slice": 256,
+        "deterministic": True, "budget_saturated": True, "lost_bugs": 0,
+        "configs": [
+            config(0, 10, 0, 0, 0, 0, 0, 0, 0),
+            config(1000, 11, 222, 62, 113, 109, 113, 109, 30361300),
+            config(10000, 11, 2573, 644, 1312, 1261, 1312, 1261, 347581800),
+        ],
+    }
+
+
 def _campaign_fixture():
     return {
         "campaign": {"example": "fleet_campaign", "seed": 3},
@@ -774,6 +877,51 @@ def self_test():
     doc["fleet_parallel"] = _fleet_parallel_fixture()
     doc["fleet_parallel"]["configs"][1]["speedup"] = 1.8
     expect_fail("fleet_parallel speedup outside 'timing'", doc)
+
+    doc = _bench_fixture()
+    doc["fault_recovery"] = _fault_recovery_fixture()
+    expect_ok("bench doc with fault_recovery section", doc)
+
+    doc = _bench_fixture()
+    doc["fault_recovery"] = _fault_recovery_fixture()
+    doc["fault_recovery"]["deterministic"] = False
+    expect_fail("non-deterministic fault campaign", doc)
+
+    doc = _bench_fixture()
+    doc["fault_recovery"] = _fault_recovery_fixture()
+    doc["fault_recovery"]["lost_bugs"] = 2
+    expect_fail("saturated fault campaign losing bugs", doc)
+
+    doc = _bench_fixture()
+    doc["fault_recovery"] = _fault_recovery_fixture()
+    doc["fault_recovery"]["budget_saturated"] = False
+    doc["fault_recovery"]["lost_bugs"] = 2
+    expect_ok("unsaturated smoke budget may report lost bugs", doc)
+
+    doc = _bench_fixture()
+    doc["fault_recovery"] = _fault_recovery_fixture()
+    doc["fault_recovery"]["configs"][0]["fault_rate_ppm"] = 500
+    expect_fail("fault_recovery missing the fault-free baseline", doc)
+
+    doc = _bench_fixture()
+    doc["fault_recovery"] = _fault_recovery_fixture()
+    doc["fault_recovery"]["configs"][2]["fault_rate_ppm"] = 1000
+    expect_fail("fault_recovery rates not strictly increasing", doc)
+
+    doc = _bench_fixture()
+    doc["fault_recovery"] = _fault_recovery_fixture()
+    doc["fault_recovery"]["configs"][0]["faults"]["reboots"] = 3
+    expect_fail("fault-free baseline reporting injected faults", doc)
+
+    doc = _bench_fixture()
+    doc["fault_recovery"] = _fault_recovery_fixture()
+    doc["fault_recovery"]["configs"][1]["faults"]["reboots"] = 1
+    expect_fail("fewer reboots than hangs", doc)
+
+    doc = _bench_fixture()
+    doc["fault_recovery"] = _fault_recovery_fixture()
+    doc["fault_recovery"]["configs"][1]["throughput"] = 70000.0
+    expect_fail("fault_recovery throughput outside 'timing'", doc)
 
     doc = _campaign_fixture()
     doc["fleet"] = {"workers": 4, "devices": 7,

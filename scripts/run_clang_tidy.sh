@@ -3,7 +3,12 @@
 # profile at the repo root: bugprone-*, performance-*, readability-container
 # checks, warnings-as-errors).
 #
-#   scripts/run_clang_tidy.sh [build-dir]
+#   scripts/run_clang_tidy.sh [build-dir]              # src/analysis + src/dsl
+#   scripts/run_clang_tidy.sh [build-dir] --changed [base-ref]
+#
+# --changed lints only the in-repo .cc files touched since base-ref
+# (default: origin/main, falling back to HEAD~1) — the mode the CI lint job
+# uses so a PR pays for its own diff, not the whole tree.
 #
 # Needs a configured build dir for compile_commands.json (the top-level
 # CMakeLists exports it unconditionally). Exits 0 when clang-tidy is not
@@ -12,6 +17,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 build_dir="${1:-build}"
+mode="${2:-}"
+base_ref="${3:-}"
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "clang-tidy not installed; skipping"
@@ -23,7 +30,26 @@ if [ ! -f "$build_dir/compile_commands.json" ]; then
   exit 2
 fi
 
-mapfile -t sources < <(ls src/analysis/*.cc src/dsl/*.cc)
-echo "clang-tidy over ${#sources[@]} files (src/analysis, src/dsl)"
+if [ "$mode" = "--changed" ]; then
+  if [ -z "$base_ref" ]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+      base_ref=origin/main
+    else
+      base_ref=HEAD~1
+    fi
+  fi
+  # Only files clang-tidy has compile commands for: sources under src/.
+  mapfile -t sources < <(git diff --name-only --diff-filter=d \
+                           "$base_ref"...HEAD -- 'src/*.cc' || true)
+  if [ ${#sources[@]} -eq 0 ]; then
+    echo "clang-tidy: no changed src/*.cc files vs $base_ref"
+    exit 0
+  fi
+  echo "clang-tidy over ${#sources[@]} changed files (vs $base_ref)"
+else
+  mapfile -t sources < <(ls src/analysis/*.cc src/dsl/*.cc)
+  echo "clang-tidy over ${#sources[@]} files (src/analysis, src/dsl)"
+fi
+
 clang-tidy -p "$build_dir" --quiet "${sources[@]}"
 echo "clang-tidy clean"

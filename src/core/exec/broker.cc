@@ -177,7 +177,71 @@ int64_t Broker::run_hal(const dsl::Call& call,
   return res.status;
 }
 
+std::vector<obs::DriverStateCoverage> snapshot_driver_states(
+    const kernel::Kernel& k) {
+  std::vector<obs::DriverStateCoverage> out;
+  for (const auto& d : k.drivers()) {
+    obs::DriverStateCoverage c;
+    c.driver = std::string(d->name());
+    c.states = d->state_names();
+    c.current = d->current_state();
+    c.visits = d->state_visits();
+    c.matrix = d->state_matrix();
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
 ExecResult Broker::execute(const dsl::Program& prog, const ExecOptions& opt) {
+  if (fault_ == nullptr) return execute_attempt(prog, opt);
+
+  // Resilient transport loop: one fault decision per attempt. Transport
+  // errors are retried with exponential (virtual) backoff up to the policy
+  // bound; hangs blow the per-call deadline and spontaneous reboots kill
+  // the device outright — both wipe kernel + HAL state, invalidate fds,
+  // reset coverage buffers, and lose the execution.
+  FaultTotals& t = fault_->totals();
+  for (uint32_t attempt = 0;; ++attempt) {
+    const device::FaultKind f = fault_->plan().next();
+    if (f == device::FaultKind::kNone) {
+      ExecResult out = execute_attempt(prog, opt);
+      out.retries = attempt;
+      if (attempt > 0) out.fault = device::FaultKind::kTransportError;
+      return out;
+    }
+    ++t.injected;
+    if (f == device::FaultKind::kTransportError &&
+        attempt < fault_->policy().max_retries) {
+      ++t.transport_errors;
+      ++t.retries;
+      t.recovery_virtual_us += fault_->backoff_us(attempt);
+      continue;
+    }
+    // Lost execution: retries exhausted, or the device died under us.
+    ExecResult out;
+    out.fault = f;
+    out.transport_error = true;
+    out.retries = attempt;
+    ++t.lost_execs;
+    if (f == device::FaultKind::kTransportError) {
+      ++t.transport_errors;
+    } else {
+      if (f == device::FaultKind::kHang) {
+        ++t.hangs;
+        t.recovery_virtual_us += fault_->policy().hang_timeout_us;
+      }
+      ++t.reboots;
+      t.recovery_virtual_us += fault_->policy().reboot_cost_us;
+      dev_.reboot();
+      out.rebooted = true;
+      if (obs_ != nullptr) c_reboots_->inc();
+    }
+    return out;
+  }
+}
+
+ExecResult Broker::execute_attempt(const dsl::Program& prog,
+                                   const ExecOptions& opt) {
   const obs::ScopedTimer timer(h_execute_);
   ExecResult out;
   ++executions_;
@@ -243,17 +307,36 @@ ExecResult Broker::execute(const dsl::Program& prog, const ExecOptions& opt) {
     }
   }
 
-  if (opt.reboot_on_bug && out.any_bug()) {
+  // The reboot-after-KASAN policy (fault layer): on a real device a KASAN
+  // splat wedges the kernel, so the harness reboots even when the fuzzer's
+  // own reboot_on_bug is off.
+  bool kasan_reboot = false;
+  if (fault_ != nullptr && fault_->reboot_on_kasan() &&
+      !(opt.reboot_on_bug && out.any_bug())) {
+    for (const auto& rep : out.kernel_reports) {
+      if (rep.kind == kernel::ReportKind::kKasan) {
+        kasan_reboot = true;
+        break;
+      }
+    }
+  }
+  if ((opt.reboot_on_bug && out.any_bug()) || kasan_reboot ||
+      k.panicked()) {
+    // Snapshot crash-time driver states before the reboot wipes them —
+    // crash_<hash>.json must record where the state machines *were*, not
+    // the post-boot reset.
+    out.states_at_crash = snapshot_driver_states(k);
     dev_.reboot();
     out.rebooted = true;
-  } else if (out.hal_crash || k.panicked()) {
-    // At minimum restore a usable state.
-    if (k.panicked()) {
-      dev_.reboot();
-      out.rebooted = true;
-    } else {
-      dev_.restart_dead_services();
+    if (kasan_reboot && fault_ != nullptr) {
+      FaultTotals& t = fault_->totals();
+      ++t.kasan_reboots;
+      ++t.reboots;
+      t.recovery_virtual_us += fault_->policy().reboot_cost_us;
     }
+  } else if (out.hal_crash) {
+    // At minimum restore a usable state.
+    dev_.restart_dead_services();
   }
   if (obs_ != nullptr) {
     c_programs_->inc();

@@ -9,10 +9,12 @@
 #include <string>
 #include <vector>
 
+#include "core/exec/faults.h"
 #include "device/device.h"
 #include "dsl/prog.h"
 #include "kernel/dmesg.h"
 #include "obs/obs.h"
+#include "obs/stats_reporter.h"
 #include "trace/syscall_trace.h"
 
 namespace df::core {
@@ -36,6 +38,17 @@ struct ExecResult {
   bool hal_crash = false;
   bool rebooted = false;
 
+  // Fault-injection outcome (device::FaultKind::kNone without an injector).
+  // transport_error marks a *lost* execution: the program never completed
+  // and produced no feedback (retries exhausted, hang, or reboot).
+  device::FaultKind fault = device::FaultKind::kNone;
+  bool transport_error = false;
+  uint32_t retries = 0;
+  // Driver-state coverage captured *before* any reboot policy ran, so crash
+  // provenance records crash-time states instead of wiped post-reboot ones.
+  // Empty when the execution did not reboot the device.
+  std::vector<obs::DriverStateCoverage> states_at_crash;
+
   bool any_bug() const { return kernel_bug || hal_crash; }
 };
 
@@ -49,6 +62,15 @@ class Broker {
 
   ExecResult execute(const dsl::Program& prog, const ExecOptions& opt = {});
 
+  // Fault injection (null = reliable transport, the default). With an
+  // injector attached, execute() becomes the resilient transport loop:
+  // per-attempt fault decision, bounded retry with exponential backoff on
+  // transport errors, forced reboot on hangs/spontaneous reboots, and the
+  // reboot-after-KASAN policy. At plan rate 0 the loop is bit-identical to
+  // the reliable path. The injector must outlive the broker.
+  void set_fault_injector(FaultInjector* injector) { fault_ = injector; }
+  FaultInjector* fault_injector() { return fault_; }
+
   // Attach/detach campaign telemetry (null = off). Caches metric pointers
   // (phase.execute latency, broker.programs/calls/reboots counters labeled
   // with `label`) so execute() pays only null-checks when detached. When the
@@ -58,6 +80,7 @@ class Broker {
 
   device::Device& device() { return dev_; }
   uint64_t executions() const { return executions_; }
+  kernel::TaskId native_task() const { return native_task_; }
 
   // Per-description execution statistics: (times executed, times ret >= 0).
   struct CallStat {
@@ -69,6 +92,11 @@ class Broker {
   }
 
  private:
+  friend class CampaignCheckpoint;
+
+  // One reliable-transport execution (the pre-fault-layer execute()).
+  ExecResult execute_attempt(const dsl::Program& prog,
+                             const ExecOptions& opt);
   // Resolves a handle arg to its runtime value (0 when unresolved).
   static uint64_t resolve(const std::vector<uint64_t>& results,
                           const dsl::Value& v);
@@ -80,6 +108,7 @@ class Broker {
 
   device::Device& dev_;
   trace::DirectionalTracer tracer_;
+  FaultInjector* fault_ = nullptr;
   kernel::TaskId native_task_ = 0;
   std::map<const hal::HalService*, size_t> crash_marks_;
   std::map<std::string, CallStat> call_stats_;
@@ -94,5 +123,11 @@ class Broker {
   std::string label_;
   std::vector<uint64_t> op_spans_;  // open driver-handler span ids
 };
+
+// Driver-state coverage matrices for every kernel driver, in registration
+// order — the crash-provenance snapshot shape (Engine::state_coverage
+// delegates here).
+std::vector<obs::DriverStateCoverage> snapshot_driver_states(
+    const kernel::Kernel& k);
 
 }  // namespace df::core

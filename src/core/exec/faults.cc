@@ -1,0 +1,16 @@
+#include "core/exec/faults.h"
+
+namespace df::core {
+
+// Fault streams must be independent of the engine's generation stream (a
+// zero-rate plan must not shift generation, and enabling faults must not
+// re-seed the generator), so the plan seed is *derived* from the engine
+// seed by a splitmix64 step rather than drawn from the engine Rng.
+uint64_t derive_fault_seed(uint64_t engine_seed) {
+  uint64_t z = engine_seed + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return (z ^ (z >> 31)) ^ 0x5fa3ull;
+}
+
+}  // namespace df::core

@@ -1,0 +1,66 @@
+// Broker-side fault handling (paper §V harness robustness): wraps a
+// device::FaultPlan with the transport policy a real campaign runner needs
+// — a per-call deadline for hangs, bounded retry with exponential backoff
+// for transport errors, and the accounting the engine surfaces as
+// campaign.reboots / campaign.retries / campaign.lost_execs.
+//
+// Time here is *virtual*: the in-process device has no real transport, so
+// deadlines, backoff waits, and reboot latency are modeled as deterministic
+// microsecond charges (recovery_virtual_us). That keeps fault campaigns
+// replayable while still producing a meaningful recovery-latency number
+// for BENCH_fault_recovery.json.
+#pragma once
+
+#include <cstdint>
+
+#include "device/fault_plan.h"
+
+namespace df::core {
+
+struct TransportPolicy {
+  uint32_t max_retries = 3;           // transport-error retries per execute()
+  uint64_t backoff_base_us = 100;     // first retry wait; doubles per retry
+  uint64_t hang_timeout_us = 50000;   // per-call deadline before forced reboot
+  uint64_t reboot_cost_us = 250000;   // modeled device reboot latency
+};
+
+struct FaultTotals {
+  uint64_t injected = 0;          // fault decisions that fired
+  uint64_t hangs = 0;             // deadline expiries (each forces a reboot)
+  uint64_t transport_errors = 0;  // dropped attempts (retried or lost)
+  uint64_t reboots = 0;           // fault-induced reboots (hang + spontaneous)
+  uint64_t kasan_reboots = 0;     // reboot-after-KASAN policy firings
+  uint64_t retries = 0;           // attempts re-sent after a transport error
+  uint64_t lost_execs = 0;        // executions that produced no feedback
+  uint64_t recovery_virtual_us = 0;  // modeled time spent recovering
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(device::FaultPlan plan, TransportPolicy policy = {})
+      : plan_(std::move(plan)), policy_(policy) {}
+
+  device::FaultPlan& plan() { return plan_; }
+  const device::FaultPlan& plan() const { return plan_; }
+  const TransportPolicy& policy() const { return policy_; }
+  bool reboot_on_kasan() const { return plan_.reboot_on_kasan(); }
+
+  // Backoff wait (virtual us) before retry number `retry` (0-based).
+  uint64_t backoff_us(uint32_t retry) const {
+    return policy_.backoff_base_us << retry;
+  }
+
+  FaultTotals& totals() { return totals_; }
+  const FaultTotals& totals() const { return totals_; }
+
+ private:
+  device::FaultPlan plan_;
+  TransportPolicy policy_;
+  FaultTotals totals_;
+};
+
+// Deterministic per-engine fault-plan seed, derived (not drawn) from the
+// engine seed so attaching a fault plan never perturbs generation.
+uint64_t derive_fault_seed(uint64_t engine_seed);
+
+}  // namespace df::core

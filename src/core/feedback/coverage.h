@@ -34,6 +34,11 @@ class FeatureSet {
   size_t kernel_size() const { return kernel_count_; }
   size_t hal_size() const { return set_.size() - kernel_count_; }
 
+  // Checkpoint support: every stored feature, ascending. Feeding the result
+  // back through add_new() reproduces this set exactly (the underlying
+  // U64Set layout is value-dependent, not insertion-order-dependent).
+  std::vector<uint64_t> values() const { return set_.values(); }
+
  private:
   util::U64Set set_;
   size_t kernel_count_ = 0;
@@ -60,6 +65,9 @@ class Corpus {
   const Seed& at(size_t i) const { return seeds_[i]; }
 
   uint64_t total_picks() const { return picks_; }
+  // Checkpoint support: restores the cumulative pick counter (it feeds the
+  // recency term of energy(), so a resumed run must not restart it at 0).
+  void restore_picks(uint64_t picks) { picks_ = picks; }
 
  private:
   double energy(const Seed& s) const;

@@ -1,0 +1,70 @@
+// Campaign checkpoint/resume (DESIGN.md §9): periodically serializes a
+// whole fleet campaign — per-device RNG streams, corpora, feature sets,
+// relation graphs, crash logs, kernel cursors, fault-plan positions, the
+// metrics registry, the trace rings, and the stats-reporter series — into
+// one versioned JSON document, and restores it into a freshly constructed
+// Daemon for bit-identical continuation.
+//
+// The serialization point is a *barrier reboot*: live kernel/HAL state
+// (open fds, driver protocol positions, heap contents) is deliberately not
+// serialized. Instead the daemon reboots every device immediately before
+// checkpointing, so both the saved and the resumed campaign continue from
+// the same freshly booted substrate plus the restored campaign-cumulative
+// state. The determinism contract is therefore: a run that checkpoints at
+// execution K, is killed, and resumes produces per-device results
+// bit-identical to the same-seed run that checkpoints at K and keeps going
+// (check_bench_json.py --compare on the stats export). With checkpointing
+// disabled nothing here runs and campaigns behave exactly as before.
+//
+// Corrupted or truncated checkpoint files are rejected with a descriptive
+// error (obs/json_parse.h), never a crash.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace df::obs {
+class JsonWriter;
+struct JsonValue;
+}  // namespace df::obs
+
+namespace df::core {
+
+class Daemon;
+class Engine;
+
+class CampaignCheckpoint {
+ public:
+  // Bump when the schema changes; restore() rejects other versions.
+  static constexpr uint64_t kVersion = 1;
+
+  // Serializes `daemon` right now. The caller must have barrier-rebooted
+  // every device first (Daemon::checkpoint_json does both).
+  static std::string serialize(Daemon& daemon);
+
+  // Restores a document produced by serialize() into `daemon`, which must
+  // have been constructed with the same seed and the same add_device()
+  // sequence (observability/reporter attached as in the original run).
+  // Returns false and fills `error` (if non-null) on malformed input,
+  // version/seed/device mismatch, or unparsable programs.
+  static bool restore(Daemon& daemon, const std::string& json,
+                      std::string* error);
+
+  // Atomic-ish file write: temp file + rename, creating the directory if
+  // needed. Returns false and fills `error` on I/O failure.
+  static bool write_file(const std::string& path, const std::string& json,
+                         std::string* error);
+  // Whole-file read; returns false and fills `error` when unreadable.
+  static bool read_file(const std::string& path, std::string* out,
+                        std::string* error);
+
+ private:
+  // Per-device halves; private members so the Engine/Broker friend grants
+  // apply (checkpoint.cc).
+  static void serialize_device(obs::JsonWriter& w, const std::string& id,
+                               Engine& eng);
+  static bool restore_device(const obs::JsonValue& d, const std::string& id,
+                             Engine& eng, std::string* error);
+};
+
+}  // namespace df::core

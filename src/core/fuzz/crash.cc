@@ -130,6 +130,8 @@ void write_flight_record(obs::JsonWriter& w, const obs::ExecutionRecord& rec,
   w.field("new_features", rec.new_features);
   w.field("kernel_bug", rec.kernel_bug);
   w.field("hal_crash", rec.hal_crash);
+  // Only present when set, keeping fault-free reports byte-stable.
+  if (rec.transport_fault) w.field("transport_fault", true);
   w.key("states_before");
   write_state_snapshot(w, rec.states_before, ctx.state_coverage);
   w.key("states_after");

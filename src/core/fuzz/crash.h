@@ -84,6 +84,13 @@ class CrashLog {
   // The 16-hex-digit filename hash of a normalized title.
   static std::string title_hash(std::string_view title);
 
+  // --- checkpoint support -------------------------------------------------
+  // Re-adds a bug record verbatim and restores the raw report tally
+  // (core/fuzz/checkpoint.h resume path). Provenance files are not
+  // restored: a resumed campaign re-writes reports only for new bugs.
+  void restore_bug(BugRecord bug) { bugs_.push_back(std::move(bug)); }
+  void set_total_reports(uint64_t n) { total_ = n; }
+
  private:
   BugRecord* upsert(std::string title, const dsl::Program& repro,
                     uint64_t exec_index, bool& fresh);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/fuzz/checkpoint.h"
 #include "core/fuzz/fleet.h"
 #include "dsl/fmt.h"
 #include "dsl/parse.h"
@@ -63,22 +64,65 @@ void Daemon::run(uint64_t executions_per_device, uint64_t slice) {
   std::vector<Engine*> engines;
   engines.reserve(engines_.size());
   for (auto& s : engines_) engines.push_back(s.eng.get());
+  // Resume offset: a restored campaign already ran progress_ executions per
+  // device; run() completes the remaining budget with the same slice grid.
+  if (executions_per_device <= progress_) return;
+  const uint64_t base = progress_;
+  const uint64_t remaining = executions_per_device - base;
+  const bool checkpointing =
+      !cfg_.checkpoint_dir.empty() && cfg_.checkpoint_every != 0;
   // The slice callback runs between rounds — at the barrier, while every
   // worker is parked, in parallel mode — preserving the exact sampling
-  // cadence of the historical sequential loop.
+  // cadence of the historical sequential loop. Checkpoints piggyback on the
+  // same barrier: sampling first (a checkpoint captures any point taken at
+  // its own barrier), then the barrier reboot + serialization.
   uint64_t last_done = 0;
-  uint64_t since_sample = 0;
+  uint64_t since_sample = pending_sample_;
+  uint64_t since_checkpoint = 0;
   FleetExecutor::run(
-      engines, executions_per_device, slice, cfg_.workers,
+      engines, remaining, slice, cfg_.workers,
       [&](uint64_t done) {
         since_sample += done - last_done;
+        since_checkpoint += done - last_done;
         last_done = done;
         if (reporter_ != nullptr && since_sample >= reporter_->interval()) {
           sample_stats();
           since_sample = 0;
         }
+        if (checkpointing && since_checkpoint >= cfg_.checkpoint_every &&
+            done < remaining) {
+          since_checkpoint = 0;
+          progress_ = base + done;
+          pending_sample_ = since_sample;
+          const std::string path = cfg_.checkpoint_dir + "/checkpoint.json";
+          std::string error;
+          if (CampaignCheckpoint::write_file(path, checkpoint_json(),
+                                             &error)) {
+            checkpoints_written_.push_back(path);
+          } else {
+            DF_CLOG("daemon", kWarn) << error;
+          }
+        }
       });
-  if (reporter_ != nullptr && since_sample > 0) sample_stats();
+  progress_ = base + remaining;
+  pending_sample_ = since_sample;
+  if (reporter_ != nullptr && since_sample > 0) {
+    sample_stats();
+    pending_sample_ = 0;
+  }
+}
+
+std::string Daemon::checkpoint_json() {
+  // Barrier reboot: live kernel/HAL state is not serializable, so every
+  // device restarts from a fresh boot on both the save and the resume side
+  // (core/fuzz/checkpoint.h). Campaign-cumulative state survives in the
+  // checkpoint itself.
+  for (auto& s : engines_) s.dev->reboot();
+  return CampaignCheckpoint::serialize(*this);
+}
+
+bool Daemon::resume(const std::string& json, std::string* error) {
+  return CampaignCheckpoint::restore(*this, json, error);
 }
 
 Engine* Daemon::engine(std::string_view device_id) {

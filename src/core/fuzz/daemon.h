@@ -30,6 +30,13 @@ struct DaemonConfig {
   // device count). Engines are partitioned statically across workers, so
   // per-device results do not depend on this value.
   size_t workers = 1;
+  // Campaign checkpointing ("" / 0 disables, the default — a campaign
+  // without it behaves exactly as before). Every `checkpoint_every`
+  // per-device executions run() barrier-reboots the whole fleet at a slice
+  // boundary and writes a version-1 checkpoint to
+  // <checkpoint_dir>/checkpoint.json (core/fuzz/checkpoint.h).
+  std::string checkpoint_dir;
+  uint64_t checkpoint_every = 0;
 };
 
 struct CampaignBug {
@@ -44,12 +51,16 @@ class Daemon {
   // Builds the device and its engine. Returns false for unknown ids.
   bool add_device(std::string_view id);
 
-  // Runs every engine for `executions_per_device`, interleaving in
-  // `slice`-sized rounds (the daemon's synchronization granularity) across
-  // `cfg.workers` threads. Reporter sampling happens between rounds — at
-  // the slice barrier in parallel mode — on the reporter's execution
-  // interval (plus a baseline point and a final point), so the sampling
-  // cadence is identical for every worker count.
+  // Runs every engine up to `executions_per_device` total campaign
+  // executions, interleaving in `slice`-sized rounds (the daemon's
+  // synchronization granularity) across `cfg.workers` threads. A resumed
+  // daemon (resume()) completes only the remaining budget. Reporter
+  // sampling happens between rounds — at the slice barrier in parallel
+  // mode — on the reporter's execution interval (plus a baseline point and
+  // a final point), so the sampling cadence is identical for every worker
+  // count. With checkpointing configured, every `checkpoint_every`
+  // executions the fleet is barrier-rebooted and serialized at the same
+  // kind of barrier.
   void run(uint64_t executions_per_device, uint64_t slice = 256);
 
   // --- aggregated observability ----------------------------------------------
@@ -76,7 +87,25 @@ class Daemon {
   std::string save_corpus() const;
   size_t load_corpus(const std::string& text);
 
+  // --- checkpoint/resume ----------------------------------------------------
+  // Serializes the campaign right now: barrier-reboots every device, then
+  // returns the version-1 checkpoint document (core/fuzz/checkpoint.h).
+  std::string checkpoint_json();
+  // Restores a checkpoint into this daemon. Must be called on a freshly
+  // constructed daemon with the same seed and add_device() sequence,
+  // observability/reporter already attached, before run(). Returns false
+  // and fills `error` (if non-null) on malformed or mismatched input.
+  bool resume(const std::string& json, std::string* error = nullptr);
+  // Per-device executions already completed (restored by resume(); run()
+  // executes only the remaining budget).
+  uint64_t progress() const { return progress_; }
+  // Checkpoint files written by run(), in order.
+  const std::vector<std::string>& checkpoints_written() const {
+    return checkpoints_written_;
+  }
+
  private:
+  friend class CampaignCheckpoint;
   struct Slot {
     std::string id;
     std::unique_ptr<device::Device> dev;
@@ -91,6 +120,9 @@ class Daemon {
   std::vector<Slot> engines_;
   obs::Observability* obs_ = nullptr;
   obs::StatsReporter* reporter_ = nullptr;
+  uint64_t progress_ = 0;        // per-device executions completed so far
+  uint64_t pending_sample_ = 0;  // sampling remainder carried across resume
+  std::vector<std::string> checkpoints_written_;
 };
 
 }  // namespace df::core

@@ -53,6 +53,12 @@ void Engine::setup() {
 
   broker_ = std::make_unique<Broker>(dev_, spec_);
   if (obs_ != nullptr) broker_->attach_observability(obs_, dev_.spec().id);
+  if (cfg_.fault.rate > 0) {
+    device::FaultPlan plan(cfg_.fault, derive_fault_seed(cfg_.seed));
+    fault_ = std::make_unique<FaultInjector>(std::move(plan),
+                                             cfg_.transport);
+    broker_->set_fault_injector(fault_.get());
+  }
   gen_ = std::make_unique<Generator>(table_, rel_, corpus_, rng_,
                                      cfg_.gen);
   if (cfg_.lint_programs) {
@@ -82,6 +88,7 @@ void Engine::attach_observability(obs::Observability* o) {
     c_execs_ = c_new_features_ = c_corpus_adds_ = c_bugs_ = nullptr;
     c_decays_ = c_min_oracle_ = c_relations_ = nullptr;
     c_lint_rejected_ = c_lint_repaired_ = c_plans_injected_ = nullptr;
+    c_f_reboots_ = c_f_retries_ = c_f_lost_ = nullptr;
     if (gen_ != nullptr && cfg_.lint_programs) {
       gen_->set_lint(&lint_, nullptr, nullptr);
     }
@@ -106,6 +113,11 @@ void Engine::attach_observability(obs::Observability* o) {
   c_lint_rejected_ = &reg.counter("analysis.rejected", id);
   c_lint_repaired_ = &reg.counter("analysis.repaired", id);
   c_plans_injected_ = &reg.counter("analysis.plans_injected", id);
+  if (cfg_.fault.rate > 0) {
+    c_f_reboots_ = &reg.counter("campaign.reboots", id);
+    c_f_retries_ = &reg.counter("campaign.retries", id);
+    c_f_lost_ = &reg.counter("campaign.lost_execs", id);
+  }
   // attach can run before or after setup(); re-thread the generator's lint
   // counters when it already exists.
   if (gen_ != nullptr && cfg_.lint_programs) {
@@ -135,17 +147,7 @@ std::vector<uint8_t> Engine::driver_state_snapshot() const {
 }
 
 std::vector<obs::DriverStateCoverage> Engine::state_coverage() const {
-  std::vector<obs::DriverStateCoverage> out;
-  for (const auto& d : dev_.kernel().drivers()) {
-    obs::DriverStateCoverage c;
-    c.driver = std::string(d->name());
-    c.states = d->state_names();
-    c.current = d->current_state();
-    c.visits = d->state_visits();
-    c.matrix = d->state_matrix();
-    out.push_back(std::move(c));
-  }
-  return out;
+  return snapshot_driver_states(dev_.kernel());
 }
 
 CrashContext Engine::make_crash_context(const ExecResult& res) const {
@@ -154,7 +156,11 @@ CrashContext Engine::make_crash_context(const ExecResult& res) const {
   ctx.seed = cfg_.seed;
   ctx.exec_index = exec_count_;
   ctx.flight = flight_;
-  ctx.state_coverage = state_coverage();
+  // Crash-time driver states: when the reboot policy already ran, the live
+  // kernel is freshly booted and its state machines are wiped — use the
+  // pre-reboot snapshot the broker took instead.
+  ctx.state_coverage =
+      res.states_at_crash.empty() ? state_coverage() : res.states_at_crash;
   for (const auto& rep : res.kernel_reports) {
     std::string line = rep.title;
     if (!rep.detail.empty()) {
@@ -342,11 +348,32 @@ StepStats Engine::step() {
   if (flight_ != nullptr) states_before = driver_state_snapshot();
   const size_t bugs_before = crash_log_.unique_bugs();
   const ExecResult res = broker_->execute(prog, exec_options());
-  {
+  stats.lost_exec = res.transport_error;
+  if (!res.transport_error) {
     const obs::ScopedTimer t(h_analyze_);
     const obs::ScopedSpan s(spans_, "phase:analyze", dev_.spec().id,
                             exec_count_);
     analyze(prog, res, stats);
+  }
+  if (fault_ != nullptr) {
+    if (obs_ != nullptr && res.retries > 0) c_f_retries_->inc(res.retries);
+    if (obs_ != nullptr && res.transport_error) c_f_lost_->inc();
+    if (obs_ != nullptr && res.fault != device::FaultKind::kNone) {
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kFault;
+      ev.device = dev_.spec().id;
+      ev.exec_index = exec_count_;
+      ev.with("kind", std::string(device::fault_kind_name(res.fault)))
+          .with("retries", static_cast<uint64_t>(res.retries))
+          .with("lost", static_cast<uint64_t>(res.transport_error ? 1 : 0));
+      obs_->trace.emit(std::move(ev));
+    }
+    // A fault-induced reboot wiped kernel + HAL state; re-establish the
+    // device before the next generated input runs against it.
+    if (res.rebooted && (res.fault == device::FaultKind::kHang ||
+                         res.fault == device::FaultKind::kReboot)) {
+      reestablish(res);
+    }
   }
 
   if (flight_ != nullptr) {
@@ -357,6 +384,7 @@ StepStats Engine::step() {
     rec.new_features = stats.new_features;
     rec.kernel_bug = stats.kernel_bug;
     rec.hal_crash = stats.hal_crash;
+    rec.transport_fault = res.transport_error;
     rec.states_before = std::move(states_before);
     // Post-reboot when the execution rebooted: the recovery state is what
     // the next execution actually starts from.
@@ -415,6 +443,32 @@ std::vector<Engine::UnvisitedStatePlan> Engine::unvisited_state_plans()
     }
   }
   return out;
+}
+
+void Engine::reestablish(const ExecResult& res) {
+  // Device nodes reopen lazily (runtime fds are program-positional), so
+  // re-establishment is about campaign state: replay reachability plans
+  // for the wiped driver state machines, then re-warm corpus triage by
+  // re-queuing the most recent seeds so the protocol state the corpus
+  // encodes is re-derived on the fresh kernel.
+  const size_t queued_before = plan_queue_.size();
+  if (cfg_.use_reachability_plans) refill_plan_queue();
+  constexpr size_t kRewarmSeeds = 4;
+  const size_t n = std::min(corpus_.size(), kRewarmSeeds);
+  for (size_t i = corpus_.size() - n; i < corpus_.size(); ++i) {
+    plan_queue_.push_back(corpus_.at(i).prog);
+  }
+  if (obs_ != nullptr) {
+    c_f_reboots_->inc();
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kRecovery;
+    ev.device = dev_.spec().id;
+    ev.exec_index = exec_count_;
+    ev.with("cause", std::string(device::fault_kind_name(res.fault)))
+        .with("replayed",
+              static_cast<uint64_t>(plan_queue_.size() - queued_before));
+    obs_->trace.emit(std::move(ev));
+  }
 }
 
 void Engine::refill_plan_queue() {

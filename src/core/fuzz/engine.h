@@ -47,6 +47,11 @@ struct EngineConfig {
   bool lint_programs = true;
   bool use_reachability_plans = true;
   uint64_t plan_every = 512;
+  // Substrate fault injection (fault.rate == 0 disables; a disabled layer
+  // is bit-identical to no layer at all). The plan's RNG stream is derived
+  // from `seed` unless fault.seed overrides it.
+  device::FaultPlanConfig fault;
+  TransportPolicy transport;
 };
 
 struct StepStats {
@@ -55,6 +60,7 @@ struct StepStats {
   bool kernel_bug = false;
   bool hal_crash = false;
   size_t new_bugs = 0;
+  bool lost_exec = false;  // transport fault ate the execution
 };
 
 class Engine {
@@ -121,10 +127,19 @@ class Engine {
   };
   std::vector<UnvisitedStatePlan> unvisited_state_plans() const;
 
+  // The engine's fault injector (null when cfg.fault.rate == 0).
+  FaultInjector* fault_injector() { return fault_.get(); }
+
  private:
+  friend class CampaignCheckpoint;
+
   void analyze(const dsl::Program& prog, const ExecResult& res,
                StepStats& stats);
   void learn_from(const dsl::Program& prog);
+  // Device re-establishment after a fault-induced reboot: replay
+  // reachability plans for the wiped driver states and re-warm the corpus
+  // protocol state by re-queuing the most recent seeds.
+  void reestablish(const ExecResult& res);
   // Materializes plans for zero-visit states into the injection queue.
   void refill_plan_queue();
   ExecOptions exec_options() const;
@@ -146,6 +161,7 @@ class Engine {
   std::optional<ProbeResult> probed_;
   std::unique_ptr<Broker> broker_;
   std::unique_ptr<Generator> gen_;
+  std::unique_ptr<FaultInjector> fault_;
   uint64_t exec_count_ = 0;
 
   // Pipeline gate: structural validity only (resolvable refs + declared
@@ -181,6 +197,11 @@ class Engine {
   obs::Counter* c_lint_rejected_ = nullptr;
   obs::Counter* c_lint_repaired_ = nullptr;
   obs::Counter* c_plans_injected_ = nullptr;
+  // Fault-campaign counters; created only when cfg.fault.rate > 0 so a
+  // fault-free campaign's metrics snapshot is byte-identical to before.
+  obs::Counter* c_f_reboots_ = nullptr;
+  obs::Counter* c_f_retries_ = nullptr;
+  obs::Counter* c_f_lost_ = nullptr;
 };
 
 }  // namespace df::core

@@ -99,6 +99,25 @@ void RelationGraph::decay(double factor) {
   }
 }
 
+std::vector<RelationGraph::Edge> RelationGraph::edges() const {
+  std::vector<Edge> result;
+  result.reserve(edge_count_);
+  for (size_t src = 0; src < out_.size(); ++src) {
+    for (const auto& [dst, w] : out_[src]) {
+      result.push_back({src, dst, w});
+    }
+  }
+  return result;
+}
+
+void RelationGraph::restore_edge(size_t from, size_t to, double weight) {
+  if (from >= out_.size() || to >= in_.size()) return;
+  const bool fresh = out_[from].find(to) == out_[from].end();
+  out_[from][to] = weight;
+  in_[to][from] = weight;
+  if (fresh) ++edge_count_;
+}
+
 const dsl::CallDesc* RelationGraph::pick_base(util::Rng& rng) const {
   if (vertices_.empty()) return nullptr;
   return vertices_[rng.weighted(weights_)];

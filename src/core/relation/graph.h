@@ -50,6 +50,20 @@ class RelationGraph {
   // reduction). Edges decayed below epsilon are dropped.
   void decay(double factor);
 
+  // --- checkpoint support ---------------------------------------------------
+  // Every edge as (src index, dst index, weight), ordered by src insertion
+  // index then dst index. Indices are stable across a resume because
+  // Engine::setup() re-adds vertices in the same table order.
+  struct Edge {
+    size_t from = 0;
+    size_t to = 0;
+    double weight = 0;
+  };
+  std::vector<Edge> edges() const;
+  // Reinstalls one edge verbatim (no Eq. (1) rebalancing). Out-of-range
+  // indices are ignored.
+  void restore_edge(size_t from, size_t to, double weight);
+
   // Weighted choice of a base invocation by vertex weight.
   const dsl::CallDesc* pick_base(util::Rng& rng) const;
   // Follows an out-edge of `from` with probability proportional to edge

@@ -1,0 +1,37 @@
+#include "device/fault_plan.h"
+
+namespace df::device {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kHang:
+      return "hang";
+    case FaultKind::kTransportError:
+      return "transport_error";
+    case FaultKind::kReboot:
+      return "reboot";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(const FaultPlanConfig& cfg, uint64_t fallback_seed)
+    : cfg_(cfg), rng_(cfg.seed != 0 ? cfg.seed : fallback_seed) {}
+
+FaultKind FaultPlan::next() {
+  ++decisions_;
+  if (!rng_.prob(cfg_.rate)) return FaultKind::kNone;
+  const double hang = cfg_.hang_weight > 0 ? cfg_.hang_weight : 0;
+  const double transport =
+      cfg_.transport_weight > 0 ? cfg_.transport_weight : 0;
+  const double reboot = cfg_.reboot_weight > 0 ? cfg_.reboot_weight : 0;
+  const double total = hang + transport + reboot;
+  if (total <= 0) return FaultKind::kTransportError;
+  const double pick = rng_.uniform() * total;
+  if (pick < hang) return FaultKind::kHang;
+  if (pick < hang + transport) return FaultKind::kTransportError;
+  return FaultKind::kReboot;
+}
+
+}  // namespace df::device

@@ -1,0 +1,73 @@
+// Substrate fault model (paper §V operational reality): physical embedded
+// devices hang, drop the ADB transport mid-program, and reboot themselves
+// on KASAN splats. Our in-process device::Device is perfectly reliable, so
+// the failure modes are injected here instead: a FaultPlan is a seeded,
+// deterministic schedule of transport-level faults, one decision per
+// execute() attempt.
+//
+// Determinism contract: the plan owns a private RNG stream (derived from
+// the engine seed, never a shared stream), and at rate == 0 a decision
+// consumes *nothing* from it — attaching a zero-rate plan is bit-identical
+// to no plan at all. The stream + decision count are checkpointable so a
+// resumed campaign replays the same fault schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace df::device {
+
+enum class FaultKind : uint8_t {
+  kNone,            // attempt proceeds normally
+  kHang,            // device stops responding; deadline expires, forced reboot
+  kTransportError,  // transport drops the program; retryable
+  kReboot,          // spontaneous device reboot (kernel + HAL state wiped)
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultPlanConfig {
+  double rate = 0.0;    // per-attempt fault probability (0 disables)
+  uint64_t seed = 0;    // 0 = derive from the owning engine's seed
+  // Relative weights of the three fault kinds when a fault fires. The
+  // defaults mirror the paper's field experience: transport drops dominate,
+  // hangs and spontaneous reboots are rarer and equally likely.
+  double hang_weight = 1.0;
+  double transport_weight = 2.0;
+  double reboot_weight = 1.0;
+  // Paper-realistic policy: a KASAN report wedges the real device's kernel,
+  // so the harness reboots after collecting it even when the fuzzer itself
+  // did not ask for reboot_on_bug.
+  bool reboot_on_kasan = true;
+};
+
+class FaultPlan {
+ public:
+  // `fallback_seed` is used when cfg.seed == 0 — callers pass a value
+  // derived from the engine seed so fleets stay per-device deterministic.
+  FaultPlan(const FaultPlanConfig& cfg, uint64_t fallback_seed);
+
+  // One fault decision. At rate <= 0 this returns kNone without drawing
+  // from the stream (Rng::prob short-circuits), so a disabled plan never
+  // perturbs anything downstream.
+  FaultKind next();
+
+  const FaultPlanConfig& config() const { return cfg_; }
+  bool reboot_on_kasan() const { return cfg_.reboot_on_kasan; }
+  uint64_t decisions() const { return decisions_; }
+
+  // Checkpoint support.
+  util::RngState rng_state() const { return rng_.state(); }
+  void restore(const util::RngState& st, uint64_t decisions) {
+    rng_.set_state(st);
+    decisions_ = decisions;
+  }
+
+ private:
+  FaultPlanConfig cfg_;
+  util::Rng rng_;
+  uint64_t decisions_ = 0;
+};
+
+}  // namespace df::device

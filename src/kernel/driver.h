@@ -264,6 +264,20 @@ class Driver {
     return {};
   }
 
+  // Checkpoint support: restores the campaign-cumulative tallies verbatim
+  // (core/fuzz/checkpoint.h). Sizes must match state_names(); mismatched
+  // vectors are ignored so a stale checkpoint cannot corrupt the tallies.
+  void restore_state_tallies(size_t cur, std::vector<uint64_t> visits,
+                             std::vector<uint64_t> matrix) {
+    if (visits.size() != state_visits_.size() ||
+        matrix.size() != state_matrix_.size()) {
+      return;
+    }
+    if (cur < visits.size()) cur_state_ = cur;
+    state_visits_ = std::move(visits);
+    state_matrix_ = std::move(matrix);
+  }
+
  protected:
   // Driver code calls this whenever the protocol state machine moves (or
   // re-enters a state). No-op before state_machine_boot() or for out-of-

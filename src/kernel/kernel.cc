@@ -144,6 +144,26 @@ void Kernel::record_cov(uint16_t driver_id, uint64_t block, Task& task) {
   cumulative_cov_.insert(feature);
 }
 
+Kernel::Cursors Kernel::cursors() const {
+  Cursors c;
+  c.rng = rng_.state();
+  c.reboot_count = reboot_count_;
+  c.syscall_count = syscall_count_;
+  c.next_map = next_map_;
+  c.next_task = next_task_;
+  c.heap_next = kasan_.heap().next_handle();
+  return c;
+}
+
+void Kernel::restore_cursors(const Cursors& c) {
+  rng_.set_state(c.rng);
+  reboot_count_ = c.reboot_count;
+  syscall_count_ = c.syscall_count;
+  next_map_ = c.next_map;
+  next_task_ = c.next_task;
+  kasan_.heap().set_next_handle(c.heap_next);
+}
+
 void Kernel::close_file(Task& task, const std::shared_ptr<File>& f) {
   if (f && f->drv) {
     DriverCtx ctx(*this, task, *f->drv);

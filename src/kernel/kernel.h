@@ -125,6 +125,23 @@ class Kernel {
   size_t loop_budget() const { return cfg_.loop_budget; }
   util::Rng& rng() { return rng_; }
 
+  // --- checkpoint support -----------------------------------------------------
+  // The kernel-side cursors a campaign checkpoint must carry so a resumed
+  // run hands out the same ids/addresses the uninterrupted run would have.
+  // Live driver/HAL state is deliberately NOT here — checkpoints are taken
+  // right after a barrier reboot, when that state is freshly reset on both
+  // sides (core/fuzz/checkpoint.h).
+  struct Cursors {
+    util::RngState rng;
+    uint64_t reboot_count = 0;
+    uint64_t syscall_count = 0;
+    uint64_t next_map = 0;
+    uint32_t next_task = 0;
+    uint64_t heap_next = 0;
+  };
+  Cursors cursors() const;
+  void restore_cursors(const Cursors& c);
+
  private:
   friend class DriverCtx;
   void record_cov(uint16_t driver_id, uint64_t block, Task& task);

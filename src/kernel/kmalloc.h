@@ -47,6 +47,12 @@ class Heap {
   // Drop quarantined metadata (device reboot).
   void reset();
 
+  // Checkpoint support: handles are never reused, so the cursor must be
+  // restored for a resumed run to mint the same handle values (they appear
+  // in KASAN report details).
+  HeapPtr next_handle() const { return next_; }
+  void set_next_handle(HeapPtr p) { next_ = p; }
+
  private:
   HeapPtr next_ = 1;
   size_t live_count_ = 0;

@@ -43,6 +43,12 @@ class FdTable {
   std::vector<std::shared_ptr<File>> clear();
   size_t size() const { return table_.size(); }
 
+  // Checkpoint support: the fd cursor survives clear() (fds are never
+  // reused within a task), so a resumed run must restore it to hand out
+  // the same fd values the uninterrupted run would.
+  int32_t next_fd() const { return next_fd_; }
+  void set_next_fd(int32_t fd) { next_fd_ = fd; }
+
  private:
   int32_t next_fd_ = 3;  // 0..2 reserved, as on a real system
   std::map<int32_t, std::shared_ptr<File>> table_;

@@ -26,6 +26,8 @@ struct ExecutionRecord {
   uint64_t new_features = 0;
   bool kernel_bug = false;
   bool hal_crash = false;
+  // The transport lost this execution (fault injection, core/exec/faults.h).
+  bool transport_fault = false;
   // Per-driver state-machine position (state index) in kernel driver
   // registration order, captured before and after the execution. The
   // `after` snapshot is post-reboot when the execution rebooted the device.

@@ -1,0 +1,294 @@
+#include "obs/json_parse.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace df::obs {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> run() {
+    JsonValue v;
+    if (!value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing garbage after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const char* what) {
+    if (error_ != nullptr && error_->empty()) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "offset %zu: %s", pos_, what);
+      *error_ = buf;
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    if (++depth_ > kMaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    bool ok = false;
+    switch (text_[pos_]) {
+      case '{':
+        ok = object(out);
+        break;
+      case '[':
+        ok = array(out);
+        break;
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        ok = string(out.scalar);
+        break;
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        ok = literal("true");
+        if (!ok) fail("bad literal");
+        break;
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        ok = literal("false");
+        if (!ok) fail("bad literal");
+        break;
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        ok = literal("null");
+        if (!ok) fail("bad literal");
+        break;
+      default:
+        ok = number(out);
+        break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected object key string");
+        return false;
+      }
+      std::string key;
+      if (!string(key)) return false;
+      if (!eat(':')) {
+        fail("expected ':' after object key");
+        return false;
+      }
+      JsonValue member;
+      if (!value(member)) return false;
+      out.members.emplace_back(std::move(key), std::move(member));
+      if (eat(',')) continue;
+      if (eat('}')) return true;
+      fail("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      JsonValue item;
+      if (!value(item)) return false;
+      out.items.push_back(std::move(item));
+      if (eat(',')) continue;
+      if (eat(']')) return true;
+      fail("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          if (!hex4(cp)) return false;
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("bad string escape");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool hex4(uint32_t& out) {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      uint32_t d;
+      if (c >= '0' && c <= '9') {
+        d = static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        d = static_cast<uint32_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        d = static_cast<uint32_t>(c - 'A') + 10;
+      } else {
+        fail("bad \\u escape digit");
+        return false;
+      }
+      out = out * 16 + d;
+    }
+    return true;
+  }
+
+  // BMP-only UTF-8 encode; the writer only emits \u for control characters,
+  // so surrogate pairs never occur in well-formed checkpoints.
+  static void append_utf8(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  bool number(JsonValue& out) {
+    out.kind = JsonValue::Kind::kNumber;
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const size_t digits = pos_;
+    while (pos_ < text_.size() &&
+           text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == digits) {
+      fail("expected a value");
+      return false;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    out.scalar.assign(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+uint64_t JsonValue::as_u64() const {
+  if (kind == Kind::kString && scalar.size() > 2 && scalar[0] == '0' &&
+      (scalar[1] == 'x' || scalar[1] == 'X')) {
+    return std::strtoull(scalar.c_str() + 2, nullptr, 16);
+  }
+  if (kind != Kind::kNumber && kind != Kind::kString) return 0;
+  return std::strtoull(scalar.c_str(), nullptr, 10);
+}
+
+double JsonValue::as_double() const {
+  if (kind != Kind::kNumber && kind != Kind::kString) return 0.0;
+  return std::strtod(scalar.c_str(), nullptr);
+}
+
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error) {
+  if (error != nullptr) error->clear();
+  Parser p(text, error);
+  return p.run();
+}
+
+}  // namespace df::obs

@@ -1,0 +1,53 @@
+// Minimal recursive-descent JSON parser for checkpoint restore
+// (core/fuzz/checkpoint.h). The repo serializes everything through
+// obs::JsonWriter but until checkpoints never needed to read JSON back;
+// this is the read side, sized for that one job:
+//
+//  - numbers keep their *raw token* in `scalar` — callers re-parse with the
+//    width they expect (u64 cursor values round-trip exactly; no silent
+//    double conversion),
+//  - object member order is preserved (vector of pairs, not a map), which
+//    the trace-event restore path relies on,
+//  - corrupted or truncated input is rejected with a position-tagged error
+//    message, never a crash — the checkpoint resume contract.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace df::obs {
+
+struct JsonValue {
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string scalar;  // raw token for numbers, decoded text for strings
+  std::vector<JsonValue> items;                              // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;    // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  // First member with `key`, or nullptr. Object-kind only.
+  const JsonValue* find(std::string_view key) const;
+
+  // Scalar accessors; return 0/0.0 on kind mismatch. as_u64 also decodes
+  // "0x..." hex strings (the writer stores 64-bit cursors and double bit
+  // patterns that way to round-trip exactly).
+  uint64_t as_u64() const;
+  double as_double() const;
+};
+
+// Parses one JSON document (trailing whitespace allowed, trailing garbage
+// rejected). Returns nullopt and fills `error` (if non-null) with a
+// human-readable "offset N: what went wrong" message on malformed input.
+std::optional<JsonValue> json_parse(std::string_view text, std::string* error);
+
+}  // namespace df::obs

@@ -96,6 +96,13 @@ class Histogram {
   uint64_t quantile(double q) const;
   std::array<uint64_t, kBucketCount> buckets() const;
 
+  // Checkpoint support: restores the deterministic record count only. The
+  // timing fields (sum/min/max/buckets) are wall-dependent and excluded
+  // from determinism comparisons, so a resume restarts them at zero.
+  void restore_count(uint64_t n) {
+    count_.store(n, std::memory_order_relaxed);
+  }
+
  private:
   std::array<std::atomic<uint64_t>, kBucketCount> buckets_{};
   std::atomic<uint64_t> count_{0};

@@ -62,6 +62,15 @@ void StatsReporter::record(const std::string& device, const EngineSample& s) {
   if (stall_window_ != 0) run_watchdog(device, s);
 }
 
+void StatsReporter::restore_point(const std::string& device, const Point& p) {
+  auto it = series_.find(device);
+  if (it == series_.end()) {
+    order_.push_back(device);
+    it = series_.emplace(device, std::vector<Point>()).first;
+  }
+  it->second.push_back(p);
+}
+
 void StatsReporter::run_watchdog(const std::string& device,
                                  const EngineSample& s) {
   Watch& wd = watch_[device];
@@ -92,6 +101,24 @@ void StatsReporter::run_watchdog(const std::string& device,
         .with("coverage", s.total_coverage);
     watch_obs_->trace.emit(std::move(ev));
   }
+}
+
+std::vector<StatsReporter::WatchState> StatsReporter::watch_states() const {
+  std::vector<WatchState> out;
+  out.reserve(watch_.size());
+  for (const auto& [device, wd] : watch_) {
+    out.push_back({device, wd.best_coverage, wd.last_progress_exec, wd.seeded,
+                   wd.stalled});
+  }
+  return out;
+}
+
+void StatsReporter::restore_watch(const WatchState& w) {
+  Watch& wd = watch_[w.device];
+  wd.best_coverage = w.best_coverage;
+  wd.last_progress_exec = w.last_progress_exec;
+  wd.seeded = w.seeded;
+  wd.stalled = w.stalled;
 }
 
 bool StatsReporter::stalled(std::string_view device) const {

@@ -72,6 +72,12 @@ class StatsReporter {
 
   void record(const std::string& device, const EngineSample& s);
 
+  // Checkpoint support: appends a previously recorded point verbatim —
+  // no fresh timestamp, no stall-watchdog pass. The watchdog re-seeds from
+  // live record() calls after the resume, which only delays (never fakes)
+  // a stall verdict.
+  void restore_point(const std::string& device, const Point& p);
+
   bool empty() const { return series_.empty(); }
   // Devices in first-seen order.
   const std::vector<std::string>& devices() const { return order_; }
@@ -94,6 +100,19 @@ class StatsReporter {
   // trace events. Null detaches (detection itself keeps running).
   void attach_observability(Observability* o) { watch_obs_ = o; }
   bool stalled(std::string_view device) const;
+
+  // Checkpoint support: stall-watchdog state round-trip, so a resumed
+  // campaign reaches (or clears) stall verdicts at the same executions the
+  // uninterrupted run would. Devices come back in name order.
+  struct WatchState {
+    std::string device;
+    uint64_t best_coverage = 0;
+    uint64_t last_progress_exec = 0;
+    bool seeded = false;
+    bool stalled = false;
+  };
+  std::vector<WatchState> watch_states() const;
+  void restore_watch(const WatchState& w);
 
   // {"sample_every":..,"devices":[{...per-device arrays...}],
   //  "aggregate":{...summed arrays + execs/sec...}}

@@ -16,8 +16,21 @@ const char* kind_name(EventKind kind) {
     case EventKind::kReboot: return "reboot";
     case EventKind::kSpan: return "span";
     case EventKind::kStall: return "stall";
+    case EventKind::kFault: return "fault";
+    case EventKind::kRecovery: return "recovery";
   }
   return "?";
+}
+
+bool kind_from_name(std::string_view name, EventKind* out) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(EventKind::kRecovery); ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (name == kind_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
 }
 
 TraceSink::TraceSink(size_t capacity)
@@ -57,6 +70,13 @@ uint64_t TraceSink::emitted() const {
 uint64_t TraceSink::dropped() const {
   std::lock_guard<std::mutex> lock(mu_);
   return emitted_ - retained_;
+}
+
+void TraceSink::reset_retained(uint64_t emitted_base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.clear();
+  retained_ = 0;
+  emitted_ = emitted_base;
 }
 
 const TraceEvent& TraceSink::at(size_t i) const {

@@ -36,9 +36,13 @@ enum class EventKind : uint8_t {
   kReboot,         // device rebooted
   kSpan,           // completed hierarchical execution span (obs/span.h)
   kStall,          // coverage-plateau watchdog fired for a device
+  kFault,          // injected transport fault (hang/error/reboot)
+  kRecovery,       // device re-established after a fault-induced reboot
 };
 
 const char* kind_name(EventKind kind);
+// Reverse lookup for checkpoint restore; returns false for unknown names.
+bool kind_from_name(std::string_view name, EventKind* out);
 
 struct TraceEvent {
   EventKind kind = EventKind::kExec;
@@ -93,6 +97,13 @@ class TraceSink {
   // Retained events in export order: devices in id order, oldest first
   // within a device. i = 0 is the first device's oldest event.
   const TraceEvent& at(size_t i) const;
+
+  // Checkpoint support: drops every retained event and pins the emitted
+  // tally to `emitted_base` (the saved total minus the events about to be
+  // replayed); the caller then re-emits the restored stream so the rings,
+  // emitted() and dropped() all match the saved sink. The file mirror is
+  // untouched — a resumed campaign streams only its own new events.
+  void reset_retained(uint64_t emitted_base);
 
   // Mirrors every subsequent event to `path` as one JSON object per line.
   bool open_file(const std::string& path);

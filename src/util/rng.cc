@@ -89,4 +89,15 @@ std::vector<size_t> Rng::permutation(size_t n) {
 
 Rng Rng::fork() { return Rng(next() ^ 0xa0761d6478bd642full); }
 
+RngState Rng::state() const {
+  RngState st;
+  for (size_t i = 0; i < 4; ++i) st.s[i] = s_[i];
+  return st;
+}
+
+void Rng::set_state(const RngState& st) {
+  for (size_t i = 0; i < 4; ++i) s_[i] = st.s[i];
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
 }  // namespace df::util

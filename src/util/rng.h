@@ -11,6 +11,12 @@
 
 namespace df::util {
 
+// Raw xoshiro256** state, exposed so campaign checkpoints can persist and
+// restore a stream mid-sequence (core/fuzz/checkpoint.h).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+};
+
 // xoshiro256** seeded via splitmix64. Small, fast, and good enough
 // statistical quality for fuzzing workloads; not cryptographic.
 class Rng {
@@ -44,6 +50,11 @@ class Rng {
 
   // Derive an independent child stream (e.g. one per device/engine).
   Rng fork();
+
+  // Checkpoint support: capture / restore the generator state verbatim.
+  // A restored Rng continues the original stream exactly.
+  RngState state() const;
+  void set_state(const RngState& st);
 
  private:
   uint64_t s_[4];

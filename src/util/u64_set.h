@@ -74,6 +74,19 @@ class U64Set {
     has_zero_ = false;
   }
 
+  // The stored keys in ascending order. Checkpoint-path only: allocates and
+  // sorts, so never call from a per-execution loop.
+  std::vector<uint64_t> values() const {
+    std::vector<uint64_t> out;
+    out.reserve(size_);
+    if (has_zero_) out.push_back(0);
+    for (const uint64_t s : slots_) {
+      if (s != 0) out.push_back(s);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
   // Ensures at least `n` keys fit without growing.
   void reserve(size_t n) {
     size_t cap = 16;

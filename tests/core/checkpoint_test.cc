@@ -1,0 +1,273 @@
+// Tests for campaign checkpoint/resume: a resumed campaign must be
+// bit-identical to the uninterrupted same-seed run (per device, for any
+// worker count), and corrupted or mismatched checkpoints must be rejected
+// with a descriptive error instead of a crash.
+#include "core/fuzz/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/fuzz/daemon.h"
+#include "obs/obs.h"
+#include "obs/stats_reporter.h"
+
+namespace df::core {
+namespace {
+
+// Everything that must match between an interrupted+resumed campaign and
+// the uninterrupted one, per device, timing excluded.
+struct Fingerprint {
+  std::string stats_json;   // reporter series (include_timing = false)
+  std::string trace_jsonl;  // milestone event trace
+  std::string corpus;       // every engine's corpus as DSL text
+  std::string bugs;         // device:title:dup per bug, aggregation order
+  uint64_t total_execs = 0;
+  size_t total_coverage = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+struct CampaignSetup {
+  DaemonConfig cfg;
+  std::vector<std::string> devices;
+};
+
+CampaignSetup make_setup(size_t workers, double fault_rate,
+                         const std::string& checkpoint_dir) {
+  CampaignSetup s;
+  s.cfg.seed = 3;
+  s.cfg.workers = workers;
+  s.cfg.engine.fault.rate = fault_rate;
+  s.cfg.checkpoint_dir = checkpoint_dir;
+  s.cfg.checkpoint_every = 1024;
+  s.devices = {"A1", "B", "C2", "E"};
+  return s;
+}
+
+Fingerprint fingerprint(Daemon& d, obs::Observability& obs,
+                        obs::StatsReporter& rep) {
+  Fingerprint fp;
+  fp.stats_json = rep.to_json(/*include_timing=*/false);
+  fp.trace_jsonl = obs.trace.to_jsonl();
+  fp.corpus = d.save_corpus();
+  for (const auto& b : d.all_bugs()) {
+    fp.bugs += b.device_id + ":" + b.bug.title + ":" +
+               std::to_string(b.bug.dup_count) + "\n";
+  }
+  fp.total_execs = d.total_executions();
+  fp.total_coverage = d.total_kernel_coverage();
+  return fp;
+}
+
+// Builds the daemon for `setup` with observability + reporter attached the
+// same way on both the save and the resume side.
+struct Campaign {
+  explicit Campaign(const CampaignSetup& setup) : daemon(setup.cfg) {
+    obs.trace.set_record_execs(false);
+    daemon.attach_observability(&obs);
+    daemon.attach_reporter(&rep);
+    for (const auto& id : setup.devices) {
+      EXPECT_TRUE(daemon.add_device(id));
+    }
+  }
+  obs::Observability obs;
+  obs::StatsReporter rep{512};
+  Daemon daemon;
+};
+
+void expect_roundtrip(size_t workers, double fault_rate) {
+  const std::string dir = ::testing::TempDir() + "df_checkpoint_" +
+                          std::to_string(workers) + "_" +
+                          std::to_string(fault_rate != 0.0);
+  const CampaignSetup setup = make_setup(workers, fault_rate, dir);
+  constexpr uint64_t kBudget = 3000;  // checkpoints at 1024 and 2048
+
+  // Uninterrupted run (checkpointing on, same barrier-reboot grid).
+  Campaign full(setup);
+  full.daemon.run(kBudget, 128);
+  ASSERT_EQ(full.daemon.checkpoints_written().size(), 2u);
+  const Fingerprint want = fingerprint(full.daemon, full.obs, full.rep);
+
+  // "Interrupted" run: a fresh process restores the last checkpoint (exec
+  // 2048) and completes only the remaining budget.
+  std::string text, error;
+  ASSERT_TRUE(CampaignCheckpoint::read_file(dir + "/checkpoint.json", &text,
+                                            &error))
+      << error;
+  Campaign resumed(setup);
+  ASSERT_TRUE(resumed.daemon.resume(text, &error)) << error;
+  EXPECT_EQ(resumed.daemon.progress(), 2048u);
+  resumed.daemon.run(kBudget, 128);
+
+  const Fingerprint got =
+      fingerprint(resumed.daemon, resumed.obs, resumed.rep);
+  EXPECT_EQ(want.total_execs, got.total_execs);
+  EXPECT_EQ(want.total_coverage, got.total_coverage);
+  EXPECT_EQ(want.bugs, got.bugs);
+  EXPECT_EQ(want.corpus, got.corpus);
+  EXPECT_EQ(want.stats_json, got.stats_json);
+  EXPECT_EQ(want.trace_jsonl, got.trace_jsonl);
+}
+
+TEST(Checkpoint, ResumeMatchesUninterruptedRunSequential) {
+  expect_roundtrip(/*workers=*/1, /*fault_rate=*/0.0);
+}
+
+TEST(Checkpoint, ResumeMatchesUninterruptedRunParallel) {
+  expect_roundtrip(/*workers=*/4, /*fault_rate=*/0.0);
+}
+
+TEST(Checkpoint, ResumeReplaysTheFaultScheduleToo) {
+  expect_roundtrip(/*workers=*/1, /*fault_rate=*/0.01);
+}
+
+TEST(Checkpoint, DisabledConfigWritesNothing) {
+  DaemonConfig cfg;  // checkpoint_dir empty
+  Daemon d(cfg);
+  d.add_device("E");
+  d.run(300, 64);
+  EXPECT_TRUE(d.checkpoints_written().empty());
+}
+
+TEST(Checkpoint, ResumedBudgetAlreadySpentIsANoOp) {
+  DaemonConfig cfg;
+  cfg.seed = 5;
+  Daemon a(cfg);
+  a.add_device("E");
+  a.run(500, 64);
+  const std::string json = a.checkpoint_json();
+
+  Daemon b(cfg);
+  b.add_device("E");
+  std::string error;
+  ASSERT_TRUE(b.resume(json, &error)) << error;
+  EXPECT_EQ(b.progress(), 500u);
+  b.run(500, 64);  // nothing left to do
+  EXPECT_EQ(b.engine("E")->executions(), 500u);
+}
+
+// --- rejection: corrupted / mismatched checkpoints -------------------------
+
+class CheckpointRejectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_.seed = 5;
+    Daemon source(cfg_);
+    source.add_device("A1");
+    source.add_device("B");
+    source.run(600, 64);
+    valid_ = source.checkpoint_json();
+    ASSERT_FALSE(valid_.empty());
+  }
+
+  // A daemon shaped like the checkpoint's author.
+  Daemon matching_daemon() {
+    Daemon d(cfg_);
+    d.add_device("A1");
+    d.add_device("B");
+    return d;
+  }
+
+  void expect_rejected(Daemon&& d, const std::string& doc) {
+    std::string error;
+    EXPECT_FALSE(d.resume(doc, &error));
+    EXPECT_FALSE(error.empty());
+  }
+
+  DaemonConfig cfg_;
+  std::string valid_;
+};
+
+TEST_F(CheckpointRejectTest, GarbageIsRejectedNotCrashed) {
+  expect_rejected(matching_daemon(), "not json at all {{{");
+  expect_rejected(matching_daemon(), "");
+  expect_rejected(matching_daemon(), "[1, 2, 3]");
+  expect_rejected(matching_daemon(), "{\"checkpoint\": 7}");
+}
+
+TEST_F(CheckpointRejectTest, TruncatedDocumentIsRejected) {
+  // Every prefix must fail cleanly; step through a few.
+  for (const size_t cut : {valid_.size() / 4, valid_.size() / 2,
+                           valid_.size() - 2}) {
+    expect_rejected(matching_daemon(), valid_.substr(0, cut));
+  }
+}
+
+TEST_F(CheckpointRejectTest, BitFlippedFieldIsRejected) {
+  // Corrupt a structural field: progress becomes a string.
+  std::string doc = valid_;
+  const size_t pos = doc.find("\"progress\":");
+  ASSERT_NE(pos, std::string::npos);
+  doc.insert(pos + strlen("\"progress\":"), "\"oops");
+  expect_rejected(matching_daemon(), doc);
+}
+
+TEST_F(CheckpointRejectTest, WrongVersionIsRejected) {
+  std::string doc = valid_;
+  const size_t pos = doc.find("\"version\":1");
+  ASSERT_NE(pos, std::string::npos);
+  doc.replace(pos, strlen("\"version\":1"), "\"version\":999");
+  std::string error;
+  Daemon d = matching_daemon();
+  EXPECT_FALSE(d.resume(doc, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST_F(CheckpointRejectTest, SeedMismatchIsRejected) {
+  DaemonConfig other = cfg_;
+  other.seed = 6;
+  Daemon d(other);
+  d.add_device("A1");
+  d.add_device("B");
+  std::string error;
+  EXPECT_FALSE(d.resume(valid_, &error));
+  EXPECT_NE(error.find("seed"), std::string::npos) << error;
+}
+
+TEST_F(CheckpointRejectTest, DeviceSetMismatchIsRejected) {
+  Daemon missing(cfg_);
+  missing.add_device("A1");
+  expect_rejected(std::move(missing), valid_);
+
+  Daemon reordered(cfg_);
+  reordered.add_device("B");
+  reordered.add_device("A1");
+  expect_rejected(std::move(reordered), valid_);
+}
+
+TEST_F(CheckpointRejectTest, FaultConfigMismatchIsRejected) {
+  // The checkpoint was taken without a fault plan; a resume-side engine
+  // with one would diverge, so it must be refused.
+  DaemonConfig other = cfg_;
+  other.engine.fault.rate = 0.01;
+  Daemon d(other);
+  d.add_device("A1");
+  d.add_device("B");
+  expect_rejected(std::move(d), valid_);
+}
+
+// --- file I/O --------------------------------------------------------------
+
+TEST(CheckpointFiles, WriteReadRoundTripCreatingDirectories) {
+  const std::string dir = ::testing::TempDir() + "df_checkpoint_io/nested";
+  const std::string path = dir + "/checkpoint.json";
+  std::string error;
+  ASSERT_TRUE(CampaignCheckpoint::write_file(path, "{\"x\": 1}\n", &error))
+      << error;
+  std::string text;
+  ASSERT_TRUE(CampaignCheckpoint::read_file(path, &text, &error)) << error;
+  EXPECT_EQ(text, "{\"x\": 1}\n");
+}
+
+TEST(CheckpointFiles, MissingFileReadFails) {
+  std::string text, error;
+  EXPECT_FALSE(CampaignCheckpoint::read_file(
+      ::testing::TempDir() + "df_no_such_checkpoint.json", &text, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace df::core

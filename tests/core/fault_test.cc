@@ -1,0 +1,324 @@
+// Tests for the fault-injection layer: FaultPlan determinism and the
+// rate-0 no-op contract, the broker's resilient transport loop (retry,
+// hang deadline, spontaneous reboot, reboot-after-KASAN), engine-level
+// fault accounting, and the crash-time driver-state snapshot regression
+// (provenance must not capture wiped post-reboot states).
+#include "core/exec/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/descriptions.h"
+#include "core/exec/broker.h"
+#include "core/fuzz/engine.h"
+#include "device/catalog.h"
+#include "device/fault_plan.h"
+#include "dsl/parse.h"
+
+namespace df::core {
+namespace {
+
+using device::FaultKind;
+using device::FaultPlan;
+using device::FaultPlanConfig;
+
+// --- FaultPlan -------------------------------------------------------------
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  FaultPlanConfig cfg;
+  cfg.rate = 0.3;
+  FaultPlan a(cfg, /*fallback_seed=*/42);
+  FaultPlan b(cfg, /*fallback_seed=*/42);
+  for (int i = 0; i < 2000; ++i) EXPECT_EQ(a.next(), b.next());
+  EXPECT_EQ(a.decisions(), 2000u);
+}
+
+TEST(FaultPlan, ZeroRateDrawsNothingFromTheStream) {
+  FaultPlanConfig cfg;  // rate = 0
+  FaultPlan plan(cfg, 7);
+  const util::RngState before = plan.rng_state();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(plan.next(), FaultKind::kNone);
+  const util::RngState after = plan.rng_state();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(before.s[i], after.s[i]);
+  EXPECT_EQ(plan.decisions(), 100u);
+}
+
+TEST(FaultPlan, WeightsSelectKinds) {
+  // Rate 1 + a single positive weight pins every decision to that kind.
+  for (const auto& [want, hang, transport, reboot] :
+       {std::tuple{FaultKind::kHang, 1.0, 0.0, 0.0},
+        std::tuple{FaultKind::kTransportError, 0.0, 1.0, 0.0},
+        std::tuple{FaultKind::kReboot, 0.0, 0.0, 1.0}}) {
+    FaultPlanConfig cfg;
+    cfg.rate = 1.0;
+    cfg.hang_weight = hang;
+    cfg.transport_weight = transport;
+    cfg.reboot_weight = reboot;
+    FaultPlan plan(cfg, 9);
+    for (int i = 0; i < 50; ++i) EXPECT_EQ(plan.next(), want);
+  }
+}
+
+TEST(FaultPlan, DefaultWeightsFavorTransportErrors) {
+  FaultPlanConfig cfg;
+  cfg.rate = 1.0;  // defaults: transport 2x, hang == reboot
+  FaultPlan plan(cfg, 11);
+  std::map<FaultKind, int> hist;
+  for (int i = 0; i < 4000; ++i) ++hist[plan.next()];
+  EXPECT_GT(hist[FaultKind::kTransportError], hist[FaultKind::kHang]);
+  EXPECT_GT(hist[FaultKind::kTransportError], hist[FaultKind::kReboot]);
+  EXPECT_GT(hist[FaultKind::kHang], 0);
+  EXPECT_GT(hist[FaultKind::kReboot], 0);
+}
+
+TEST(FaultPlan, RestoreReplaysTheSchedule) {
+  FaultPlanConfig cfg;
+  cfg.rate = 0.4;
+  FaultPlan a(cfg, 13);
+  for (int i = 0; i < 500; ++i) a.next();
+  const util::RngState st = a.rng_state();
+  const uint64_t n = a.decisions();
+  std::vector<FaultKind> tail;
+  for (int i = 0; i < 200; ++i) tail.push_back(a.next());
+
+  FaultPlan b(cfg, 13);
+  b.restore(st, n);
+  EXPECT_EQ(b.decisions(), 500u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(b.next(), tail[i]);
+}
+
+TEST(FaultSeed, DerivedNotEqualToEngineSeed) {
+  EXPECT_NE(derive_fault_seed(1), 1u);
+  EXPECT_NE(derive_fault_seed(1), derive_fault_seed(2));
+  EXPECT_EQ(derive_fault_seed(5), derive_fault_seed(5));
+}
+
+// --- Broker transport loop -------------------------------------------------
+
+class FaultBrokerTest : public ::testing::Test {
+ protected:
+  void use_device(const char* id) {
+    broker_.reset();
+    dev_ = device::make_device(id, 1);
+    table_ = dsl::CallTable();
+    add_syscall_descriptions(table_, *dev_);
+    for (const auto& svc : dev_->services()) {
+      std::vector<std::pair<uint32_t, double>> w;
+      for (const auto& uw : svc->app_usage_profile()) {
+        w.emplace_back(uw.code, uw.weight);
+      }
+      add_hal_interface(table_, svc->descriptor(), svc->interface(), w);
+    }
+    spec_ = make_spec_table(table_);
+    broker_ = std::make_unique<Broker>(*dev_, spec_);
+  }
+
+  dsl::Program parse(const std::string& text) {
+    std::string err;
+    auto prog = dsl::parse_program(text, table_, &err);
+    EXPECT_TRUE(prog.has_value()) << err;
+    return *prog;
+  }
+
+  std::unique_ptr<device::Device> dev_;
+  dsl::CallTable table_;
+  trace::SpecTable spec_;
+  std::unique_ptr<Broker> broker_;
+};
+
+TEST_F(FaultBrokerTest, ZeroRateInjectorIsBitIdenticalToNoInjector) {
+  const std::string text =
+      "r0 = openat$rt1711()\n"
+      "ioctl$RT1711_GET_STATUS(r0)\n"
+      "hal$graphics.composite()\n";
+
+  use_device("A1");
+  const ExecResult plain = broker_->execute(parse(text));
+
+  use_device("A1");
+  FaultPlanConfig cfg;  // rate = 0
+  FaultInjector inj(FaultPlan(cfg, derive_fault_seed(1)));
+  broker_->set_fault_injector(&inj);
+  const ExecResult faulted = broker_->execute(parse(text));
+
+  EXPECT_EQ(plain.rets, faulted.rets);
+  EXPECT_EQ(plain.features, faulted.features);
+  EXPECT_EQ(plain.calls_executed, faulted.calls_executed);
+  EXPECT_EQ(faulted.fault, FaultKind::kNone);
+  EXPECT_FALSE(faulted.transport_error);
+  EXPECT_EQ(faulted.retries, 0u);
+  EXPECT_EQ(inj.totals().injected, 0u);
+}
+
+TEST_F(FaultBrokerTest, HangBlowsDeadlineAndForcesReboot) {
+  use_device("A1");
+  FaultPlanConfig cfg;
+  cfg.rate = 1.0;
+  cfg.hang_weight = 1.0;
+  cfg.transport_weight = 0.0;
+  cfg.reboot_weight = 0.0;
+  FaultInjector inj(FaultPlan(cfg, 1));
+  broker_->set_fault_injector(&inj);
+
+  const ExecResult res = broker_->execute(parse("r0 = openat$rt1711()\n"));
+  EXPECT_EQ(res.fault, FaultKind::kHang);
+  EXPECT_TRUE(res.transport_error);
+  EXPECT_TRUE(res.rebooted);
+  EXPECT_TRUE(res.features.empty());
+
+  const FaultTotals& t = inj.totals();
+  EXPECT_EQ(t.hangs, 1u);
+  EXPECT_EQ(t.reboots, 1u);  // every hang is also a reboot
+  EXPECT_EQ(t.lost_execs, 1u);
+  const TransportPolicy& p = inj.policy();
+  EXPECT_EQ(t.recovery_virtual_us, p.hang_timeout_us + p.reboot_cost_us);
+}
+
+TEST_F(FaultBrokerTest, TransportErrorsRetryThenLose) {
+  use_device("A1");
+  FaultPlanConfig cfg;
+  cfg.rate = 1.0;
+  cfg.hang_weight = 0.0;
+  cfg.transport_weight = 1.0;
+  cfg.reboot_weight = 0.0;
+  FaultInjector inj(FaultPlan(cfg, 1));
+  broker_->set_fault_injector(&inj);
+
+  const ExecResult res = broker_->execute(parse("r0 = openat$rt1711()\n"));
+  const TransportPolicy& p = inj.policy();
+  EXPECT_EQ(res.fault, FaultKind::kTransportError);
+  EXPECT_TRUE(res.transport_error);
+  EXPECT_EQ(res.retries, p.max_retries);
+  EXPECT_FALSE(res.rebooted);  // transport loss does not wipe the device
+
+  const FaultTotals& t = inj.totals();
+  EXPECT_EQ(t.retries, p.max_retries);
+  EXPECT_EQ(t.transport_errors, uint64_t{p.max_retries} + 1);
+  EXPECT_EQ(t.lost_execs, 1u);
+  // Exponential backoff: base + 2*base + 4*base for the three retries.
+  EXPECT_EQ(t.recovery_virtual_us, p.backoff_base_us * 7);
+}
+
+TEST_F(FaultBrokerTest, RetriedExecutionCanStillSucceed) {
+  use_device("A1");
+  FaultPlanConfig cfg;
+  cfg.rate = 0.5;
+  cfg.hang_weight = 0.0;
+  cfg.transport_weight = 1.0;
+  cfg.reboot_weight = 0.0;
+  FaultInjector inj(FaultPlan(cfg, 3));
+  broker_->set_fault_injector(&inj);
+
+  // At 50% transport-error rate some executions complete after >= 1 retry:
+  // fault records the recovered error but the program still ran.
+  bool saw_recovered = false;
+  for (int i = 0; i < 200 && !saw_recovered; ++i) {
+    const ExecResult res = broker_->execute(parse("r0 = openat$rt1711()\n"));
+    if (res.retries > 0 && !res.transport_error) {
+      EXPECT_EQ(res.fault, FaultKind::kTransportError);
+      EXPECT_EQ(res.calls_executed, 1u);
+      saw_recovered = true;
+    }
+  }
+  EXPECT_TRUE(saw_recovered);
+  EXPECT_GT(inj.totals().retries, 0u);
+}
+
+TEST_F(FaultBrokerTest, KasanReportTriggersPolicyReboot) {
+  use_device("A2");
+  FaultPlanConfig cfg;  // rate 0: only the KASAN policy is active
+  FaultInjector inj(FaultPlan(cfg, 1));
+  broker_->set_fault_injector(&inj);
+
+  // Table II #7: KASAN invalid-access in hci_read_supported_codecs.
+  ExecOptions opt;
+  opt.reboot_on_bug = false;  // the fuzzer did not ask for a reboot...
+  const ExecResult res = broker_->execute(
+      parse("hal$bluetooth.enable()\n"
+            "hal$bluetooth.setCodecs(0x28, blob\"\")\n"
+            "hal$bluetooth.readCodecs()\n"),
+      opt);
+  ASSERT_TRUE(res.kernel_bug);
+  EXPECT_TRUE(res.rebooted);  // ...but the KASAN policy rebooted anyway
+  EXPECT_EQ(inj.totals().kasan_reboots, 1u);
+  EXPECT_EQ(inj.totals().reboots, 1u);
+}
+
+// Regression (crash provenance vs reboot policy): the driver-state snapshot
+// in ExecResult must be taken *before* the reboot wipes kernel state, so
+// crash_<hash>.json records crash-time states, not freshly-booted ones.
+TEST_F(FaultBrokerTest, CrashSnapshotTakenBeforeRebootWipesStates) {
+  use_device("A1");
+  // Table II #1: the rt1711 probe WARN. ATTACH advances the rt1711 state
+  // machine before the bug fires, so crash-time state is distinguishable
+  // from the post-reboot initial state.
+  ExecOptions opt;
+  opt.reboot_on_bug = true;
+  const ExecResult res = broker_->execute(
+      parse("r0 = openat$rt1711()\n"
+            "ioctl$RT1711_ATTACH(r0, 0x2)\n"
+            "ioctl$RT1711_RESET(r0)\n"),
+      opt);
+  ASSERT_TRUE(res.kernel_bug);
+  ASSERT_TRUE(res.rebooted);
+  ASSERT_FALSE(res.states_at_crash.empty());
+
+  // Crash-time evidence survived the wipe: at least one stateful driver is
+  // away from its initial state or shows recorded transitions.
+  bool crash_state_visible = false;
+  for (const auto& d : res.states_at_crash) {
+    if (d.states.empty()) continue;
+    uint64_t transitions = 0;
+    for (const uint64_t m : d.matrix) transitions += m;
+    if (d.current != 0 || transitions > 0) crash_state_visible = true;
+  }
+  EXPECT_TRUE(crash_state_visible);
+}
+
+// --- Engine-level accounting ----------------------------------------------
+
+TEST(EngineFaults, RateZeroCreatesNoInjector) {
+  auto dev = device::make_device("A1", 1);
+  Engine eng(*dev, EngineConfig{});
+  eng.setup();
+  EXPECT_EQ(eng.fault_injector(), nullptr);
+}
+
+TEST(EngineFaults, FaultCampaignAccountsAndStillMakesProgress) {
+  auto dev = device::make_device("A1", 1);
+  EngineConfig cfg;
+  cfg.seed = 3;
+  cfg.fault.rate = 0.02;
+  Engine eng(*dev, cfg);
+  eng.run(3000);
+  ASSERT_NE(eng.fault_injector(), nullptr);
+  const FaultTotals& t = eng.fault_injector()->totals();
+  EXPECT_GT(t.injected, 0u);
+  EXPECT_GT(t.lost_execs, 0u);
+  EXPECT_GT(t.recovery_virtual_us, 0u);
+  // Every lost execution still counts against the budget.
+  EXPECT_EQ(eng.executions(), 3000u);
+  // The campaign survives faults: coverage and corpus keep growing.
+  EXPECT_GT(eng.kernel_coverage(), 50u);
+  EXPECT_GT(eng.corpus().size(), 10u);
+}
+
+TEST(EngineFaults, FaultCampaignIsDeterministic) {
+  auto run_once = [] {
+    auto dev = device::make_device("B", 1);
+    EngineConfig cfg;
+    cfg.seed = 7;
+    cfg.fault.rate = 0.01;
+    Engine eng(*dev, cfg);
+    eng.run(2000);
+    const FaultTotals& t = eng.fault_injector()->totals();
+    return std::tuple{eng.kernel_coverage(), eng.corpus().size(),
+                      eng.crashes().unique_bugs(), t.injected,
+                      t.lost_execs, t.reboots, t.recovery_virtual_us};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace df::core

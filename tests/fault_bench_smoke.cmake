@@ -1,0 +1,33 @@
+# Fault-recovery bench smoke test (run via cmake -P from ctest): run
+# bench_fault_recovery at a tiny per-device budget, then validate the
+# emitted BENCH_fault_recovery.json (including the fault_recovery section:
+# per-rate determinism, fault accounting, recovery latency) with
+# scripts/check_bench_json.py. The tiny budget is below saturation, so the
+# zero-lost-bugs contract is reported but not enforced here — the full
+# default-budget bench run enforces it.
+# Inputs: BENCH, PYTHON, CHECKER, OUTDIR.
+
+file(MAKE_DIRECTORY ${OUTDIR})
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          DF_FLEET_EXECS=512 DF_BENCH_JSON_DIR=${OUTDIR}
+          ${BENCH}
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_fault_recovery failed (rc=${bench_rc}): "
+                      "non-deterministic fault campaign or JSON write "
+                      "failure")
+endif()
+
+set(OUT ${OUTDIR}/BENCH_fault_recovery.json)
+if(NOT EXISTS ${OUT})
+  message(FATAL_ERROR "bench_fault_recovery did not write ${OUT}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${OUT}
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_bench_json.py rejected ${OUT} (rc=${check_rc})")
+endif()
