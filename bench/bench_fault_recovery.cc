@@ -56,6 +56,8 @@ struct RateRun {
   size_t bug_count = 0;
   std::vector<BenchSeries> series;
   std::unique_ptr<obs::Observability> obs;
+  std::string velocity_json;  // coverage-velocity section, rendered pre-exit
+  core::FleetUtilization util;
 };
 
 RateRun run_fleet(uint64_t seed, uint64_t execs, uint64_t rate_ppm,
@@ -113,6 +115,8 @@ RateRun run_fleet(uint64_t seed, uint64_t execs, uint64_t rate_ppm,
   for (const auto& id : ids) {
     out.series.push_back({id, config, rep, reporter.series(id), {}});
   }
+  out.velocity_json = d.velocity().to_json(&reporter);
+  out.util = d.utilization();
   return out;
 }
 
@@ -154,6 +158,7 @@ int main() {
     double execs_per_sec = 0;
     core::FaultTotals totals;
     size_t bug_count = 0;
+    core::FleetUtilization util;  // rep-0 per-worker accounting
   };
   std::vector<RateResult> results;
   std::vector<BenchSeries> exported;
@@ -183,6 +188,7 @@ int main() {
       if (rep == 0) {
         r.totals = run.totals;
         r.bug_count = run.bug_count;
+        r.util = run.util;
         // Export the fault-free and the faultiest trajectories.
         if (rate_ppm == 0 || rate_ppm == kRatesPpm[2]) {
           for (auto& s : run.series) exported.push_back(std::move(s));
@@ -258,11 +264,15 @@ int main() {
           w.key("timing").begin_object();
           w.field("wall_seconds", r.best_wall);
           w.field("execs_per_sec", r.execs_per_sec);
+          write_utilization_fields(w, r.util);
           w.end_object();
           w.end_object();
         }
         w.end_array();
         w.end_object();
+        if (baseline != nullptr && !baseline->velocity_json.empty()) {
+          w.key("velocity").raw(baseline->velocity_json);
+        }
       });
 
   return deterministic && wrote && (lost == 0 || !saturated) ? 0 : 1;

@@ -47,6 +47,8 @@ struct FleetRun {
   std::string fingerprint;  // per-device results, comparable across configs
   std::vector<BenchSeries> series;
   std::unique_ptr<obs::Observability> obs;
+  std::string velocity_json;  // coverage-velocity section, rendered pre-exit
+  core::FleetUtilization util;
 };
 
 FleetRun run_fleet(uint64_t seed, uint64_t execs, size_t workers, size_t rep,
@@ -91,6 +93,8 @@ FleetRun run_fleet(uint64_t seed, uint64_t execs, size_t workers, size_t rep,
   for (const auto& id : ids) {
     out.series.push_back({id, config, rep, reporter.series(id), {}});
   }
+  out.velocity_json = d.velocity().to_json(&reporter);
+  out.util = d.utilization();
   return out;
 }
 
@@ -122,10 +126,12 @@ int main() {
     size_t workers = 0;
     double best_wall = 0;  // fastest rep
     double execs_per_sec = 0;
+    core::FleetUtilization util;  // rep-0 per-worker accounting
   };
   std::vector<ConfigResult> results;
   std::vector<BenchSeries> exported;
   std::unique_ptr<obs::Observability> exported_obs;
+  std::string exported_velocity;
   std::string baseline_fp;
   bool deterministic = true;
 
@@ -147,8 +153,12 @@ int main() {
         // series content across the two configs is the determinism contract
         // made visible in the JSON itself.
         for (auto& s : run.series) exported.push_back(std::move(s));
-        if (workers == 1) exported_obs = std::move(run.obs);
+        if (workers == 1) {
+          exported_obs = std::move(run.obs);
+          exported_velocity = std::move(run.velocity_json);
+        }
       }
+      if (rep == 0) r.util = std::move(run.util);
       if (r.best_wall == 0 || run.wall_seconds < r.best_wall) {
         r.best_wall = run.wall_seconds;
       }
@@ -185,11 +195,15 @@ int main() {
           w.field("wall_seconds", r.best_wall);
           w.field("execs_per_sec", r.execs_per_sec);
           w.field("speedup_vs_sequential", r.execs_per_sec / seq_rate);
+          write_utilization_fields(w, r.util);
           w.end_object();
           w.end_object();
         }
         w.end_array();
         w.end_object();
+        if (!exported_velocity.empty()) {
+          w.key("velocity").raw(exported_velocity);
+        }
       });
 
   return deterministic && wrote ? 0 : 1;

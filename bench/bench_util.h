@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/fuzz/engine.h"
+#include "core/fuzz/fleet.h"
 #include "device/catalog.h"
 #include "obs/json.h"
 #include "obs/obs.h"
@@ -136,6 +137,27 @@ struct BenchSeries {
   std::vector<obs::StatsReporter::Point> points;
   std::vector<obs::DriverStateCoverage> states;
 };
+
+// Per-worker busy/idle/barrier accounting as JSON fields (an "utilization"
+// array plus "busy_imbalance_ms"), written into an already-open "timing"
+// object — everything here is wall-dependent by definition (DESIGN.md §10).
+inline void write_utilization_fields(obs::JsonWriter& w,
+                                     const core::FleetUtilization& util) {
+  w.key("utilization").begin_array();
+  for (size_t i = 0; i < util.workers.size(); ++i) {
+    const core::WorkerUtilization& u = util.workers[i];
+    w.begin_object();
+    w.field("worker", static_cast<uint64_t>(i));
+    w.field("rounds", u.rounds);
+    w.field("busy_ms", static_cast<double>(u.busy_ns) / 1e6);
+    w.field("idle_ms", static_cast<double>(u.idle_ns) / 1e6);
+    w.field("barrier_ms", static_cast<double>(u.barrier_ns) / 1e6);
+    w.end_object();
+  }
+  w.end_array();
+  w.field("busy_imbalance_ms",
+          static_cast<double>(util.busy_imbalance_ns()) / 1e6);
+}
 
 // Wall clock for the whole bench run (a timing-only field in the JSON).
 class WallTimer {

@@ -10,6 +10,7 @@
 //                             [--checkpoint-every <execs>] [--resume <file>]
 //                             [--stats-json <path>] [--trace-out <path>]
 //                             [--crash-dir <dir>] [--stall-window <execs>]
+//                             [--serve-port <p>] [--serve-linger-ms <ms>]
 //                             [--quiet]
 //
 // --workers drives the fleet with N threads (0 = one per hardware core,
@@ -32,12 +33,19 @@
 // crash_<hash>.json provenance report per unique bug; --stall-window sets
 // the coverage-plateau watchdog (default 5000 execs, 0 disables); --quiet
 // suppresses the dashboard, leaving only the final one-line summary.
+//
+// --serve-port starts the live introspection server on 127.0.0.1 (0 = pick
+// a free port; the bound port is announced on stdout) serving /metrics,
+// /status, /healthz, and /coverage (DESIGN.md §10); --serve-linger-ms keeps
+// the process (and the server) alive that long after the campaign so
+// scrapers can collect the final state.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "core/fuzz/checkpoint.h"
 #include "core/fuzz/daemon.h"
@@ -62,6 +70,8 @@ int main(int argc, char** argv) {
   double fault_rate = 0.0;
   uint64_t stall_window = 5000;
   size_t workers = 1;
+  int serve_port = -1;
+  uint64_t serve_linger_ms = 0;
   bool quiet = false;
   int pos = 0;
   const auto flag_value = [&](int& i, const char* flag) -> const char* {
@@ -94,6 +104,13 @@ int main(int argc, char** argv) {
                                    10);
     } else if (std::strcmp(argv[i], "--workers") == 0) {
       workers = std::strtoull(flag_value(i, "--workers"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--serve-port") == 0) {
+      serve_port =
+          static_cast<int>(std::strtol(flag_value(i, "--serve-port"),
+                                       nullptr, 10));
+    } else if (std::strcmp(argv[i], "--serve-linger-ms") == 0) {
+      serve_linger_ms =
+          std::strtoull(flag_value(i, "--serve-linger-ms"), nullptr, 10);
     } else if (pos == 0) {
       execs = std::strtoull(argv[i], nullptr, 10);
       ++pos;
@@ -106,7 +123,8 @@ int main(int argc, char** argv) {
                    "[--checkpoint-dir <dir>] [--checkpoint-every <execs>] "
                    "[--resume <file>] [--stats-json <path>] "
                    "[--trace-out <path>] [--crash-dir <dir>] "
-                   "[--stall-window <execs>] [--quiet]\n",
+                   "[--stall-window <execs>] [--serve-port <p>] "
+                   "[--serve-linger-ms <ms>] [--quiet]\n",
                    argv[0]);
       return 1;
     }
@@ -119,9 +137,22 @@ int main(int argc, char** argv) {
   cfg.engine.fault.rate = fault_rate;
   cfg.checkpoint_dir = checkpoint_dir;
   cfg.checkpoint_every = checkpoint_dir.empty() ? 0 : checkpoint_every;
+  cfg.serve_port = serve_port;
   const size_t resolved_workers =
       df::core::FleetExecutor::resolve_workers(workers);
   df::core::Daemon daemon(cfg);
+  if (serve_port >= 0) {
+    if (daemon.server() == nullptr) {
+      std::fprintf(stderr, "--serve-port %d: bind failed\n", serve_port);
+      return 1;
+    }
+    // Printed (and flushed) even with --quiet: scrapers parse this line to
+    // discover an ephemeral port.
+    std::printf("serving live introspection on http://127.0.0.1:%d/ "
+                "(/metrics /status /healthz /coverage)\n",
+                daemon.serve_port());
+    std::fflush(stdout);
+  }
   // Span tracing needs a deeper event ring than the default: one span per
   // iteration/phase/syscall/driver-op survives until export.
   df::obs::Observability obs(trace_path.empty() ? 4096 : 1 << 16);
@@ -203,8 +234,11 @@ int main(int argc, char** argv) {
   }
 
   // Persist and warm-start: a fresh daemon reloads the distilled corpus.
+  // The warm daemon never serves (the campaign daemon owns the port).
   const std::string snapshot = daemon.save_corpus();
-  df::core::Daemon warm(cfg);
+  df::core::DaemonConfig warm_cfg = cfg;
+  warm_cfg.serve_port = -1;
+  df::core::Daemon warm(warm_cfg);
   for (const auto& spec : df::device::device_table()) {
     warm.add_device(spec.id);
   }
@@ -235,8 +269,27 @@ int main(int argc, char** argv) {
     w.key("timing").begin_object();
     w.field("wall_ms", wall_ms);
     w.field("execs_per_sec", execs_per_sec);
+    // Per-worker utilization (DESIGN.md §10) — the same numbers /status
+    // serves live, so offline output matches the introspection endpoint.
+    const auto& util = daemon.utilization();
+    w.key("utilization").begin_array();
+    for (size_t i = 0; i < util.workers.size(); ++i) {
+      const auto& u = util.workers[i];
+      w.begin_object();
+      w.field("worker", static_cast<uint64_t>(i));
+      w.field("rounds", u.rounds);
+      w.field("busy_ms", static_cast<double>(u.busy_ns) / 1e6);
+      w.field("idle_ms", static_cast<double>(u.idle_ns) / 1e6);
+      w.field("barrier_ms", static_cast<double>(u.barrier_ns) / 1e6);
+      w.end_object();
+    }
+    w.end_array();
+    w.field("busy_imbalance_ms",
+            static_cast<double>(util.busy_imbalance_ns()) / 1e6);
     w.end_object();
     w.end_object();
+    w.key("velocity");
+    daemon.velocity().write_json(w, &reporter);
     w.key("stats");
     reporter.write_json(w);
     w.key("metrics");
@@ -294,5 +347,9 @@ int main(int argc, char** argv) {
               fleet_coverage, fleet_corpus, bugs.size(),
               static_cast<unsigned long long>(seed), resolved_workers,
               execs_per_sec);
+  std::fflush(stdout);
+  if (serve_port >= 0 && serve_linger_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(serve_linger_ms));
+  }
   return 0;
 }

@@ -1,0 +1,302 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json exports (or directories of them) for
+performance regressions and content drift.
+
+The determinism contract (scripts/check_bench_json.py) splits every bench
+document into two halves:
+
+  content  - everything outside "timing"/"secs"/"wall_seconds"/"ts"/"dur"
+             keys and *_ns/*_per_sec suffixes. Identically-seeded runs must
+             agree byte-for-byte here; any difference is reported as
+             CONTENT drift (and fails the diff unless --allow-content).
+
+  timing   - wall-dependent leaves. These are compared direction-aware:
+             *_per_sec and *speedup* leaves are higher-is-better, while
+             duration leaves (wall_seconds, secs, *_ns, *_ms, *_us, ts,
+             dur) are lower-is-better. A leaf that moves in the bad direction
+             by more than --threshold percent is a REGRESSION.
+
+Usage:
+  bench_diff.py BASELINE CANDIDATE [--threshold PCT] [--allow-content]
+      BASELINE/CANDIDATE are two files, or two directories that are
+      matched by BENCH_*.json basename.
+  bench_diff.py --self-test
+
+Exit status: 0 clean, 1 regression (or content drift), 2 usage error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TIMING_KEYS = {"timing", "wall_seconds", "secs", "ts", "dur"}
+TIMING_SUFFIXES = ("_ns", "_per_sec")
+
+# Leaf-name patterns deciding which direction is an improvement.
+HIGHER_BETTER_SUFFIXES = ("_per_sec",)
+HIGHER_BETTER_SUBSTRINGS = ("speedup",)
+LOWER_BETTER_KEYS = {"wall_seconds", "secs", "ts", "dur"}
+LOWER_BETTER_SUFFIXES = ("_ns", "_ms", "_us")
+
+
+def is_timing_key(key):
+    return key in TIMING_KEYS or key.endswith(TIMING_SUFFIXES)
+
+
+def direction(leaf):
+    """+1 higher-is-better, -1 lower-is-better, 0 informational only."""
+    if leaf.endswith(HIGHER_BETTER_SUFFIXES):
+        return 1
+    if any(s in leaf for s in HIGHER_BETTER_SUBSTRINGS):
+        return 1
+    if leaf in LOWER_BETTER_KEYS or leaf.endswith(LOWER_BETTER_SUFFIXES):
+        return -1
+    return 0
+
+
+def _flatten(doc, path, in_timing, out):
+    """Numeric leaves as {dotted.path: (value, is_timing_leaf)}."""
+    if isinstance(doc, dict):
+        for key, val in doc.items():
+            sub = f"{path}.{key}" if path else key
+            _flatten(val, sub, in_timing or is_timing_key(key), out)
+    elif isinstance(doc, list):
+        for i, val in enumerate(doc):
+            _flatten(val, f"{path}[{i}]", in_timing, out)
+    elif isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        out[path] = (float(doc), in_timing)
+
+
+def numeric_leaves(doc):
+    out = {}
+    _flatten(doc, "", False, out)
+    return out
+
+
+def strip_timing(doc):
+    if isinstance(doc, dict):
+        return {k: strip_timing(v) for k, v in doc.items()
+                if not is_timing_key(k)}
+    if isinstance(doc, list):
+        return [strip_timing(v) for v in doc]
+    return doc
+
+
+def leaf_name(path):
+    """Last key segment of a dotted path, with array indices dropped."""
+    last = path.rsplit(".", 1)[-1]
+    return last.split("[", 1)[0]
+
+
+class Report:
+    def __init__(self):
+        self.regressions = []   # (path, base, cand, pct)
+        self.improvements = []  # (path, base, cand, pct)
+        self.content = []       # human-readable drift lines
+
+    def clean(self, allow_content):
+        return not self.regressions and (allow_content or not self.content)
+
+
+def diff_docs(base, cand, threshold_pct, report, label=""):
+    tag = f"{label}: " if label else ""
+
+    if strip_timing(base) != strip_timing(cand):
+        report.content.append(
+            f"{tag}content differs after stripping timing fields "
+            f"(identically-seeded runs must agree)")
+
+    base_leaves = numeric_leaves(base)
+    cand_leaves = numeric_leaves(cand)
+    for path in sorted(base_leaves.keys() & cand_leaves.keys()):
+        bval, btiming = base_leaves[path]
+        cval, _ = cand_leaves[path]
+        if not btiming:
+            continue  # content equality already enforced above
+        sign = direction(leaf_name(path))
+        if sign == 0 or bval == 0:
+            continue
+        pct = (cval - bval) / abs(bval) * 100.0
+        if sign * pct < -threshold_pct:
+            report.regressions.append((f"{tag}{path}", bval, cval, pct))
+        elif sign * pct > threshold_pct:
+            report.improvements.append((f"{tag}{path}", bval, cval, pct))
+
+    only_base = base_leaves.keys() - cand_leaves.keys()
+    only_cand = cand_leaves.keys() - base_leaves.keys()
+    for path in sorted(only_base):
+        if base_leaves[path][1]:
+            report.content.append(f"{tag}timing leaf only in baseline: "
+                                  f"{path}")
+    for path in sorted(only_cand):
+        if cand_leaves[path][1]:
+            report.content.append(f"{tag}timing leaf only in candidate: "
+                                  f"{path}")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def pair_paths(a, b):
+    """(label, base_path, cand_path) pairs for files or directories."""
+    if os.path.isdir(a) != os.path.isdir(b):
+        raise ValueError("BASELINE and CANDIDATE must both be files or "
+                         "both be directories")
+    if not os.path.isdir(a):
+        return [(os.path.basename(a), a, b)]
+    names_a = {n for n in os.listdir(a)
+               if n.startswith("BENCH_") and n.endswith(".json")}
+    names_b = {n for n in os.listdir(b)
+               if n.startswith("BENCH_") and n.endswith(".json")}
+    common = sorted(names_a & names_b)
+    if not common:
+        raise ValueError("no common BENCH_*.json files to compare")
+    pairs = [(n, os.path.join(a, n), os.path.join(b, n)) for n in common]
+    for n in sorted(names_a ^ names_b):
+        side = "baseline" if n in names_a else "candidate"
+        print(f"note: {n} only present in {side}; skipped")
+    return pairs
+
+
+def run_diff(baseline, candidate, threshold_pct, allow_content):
+    try:
+        pairs = pair_paths(baseline, candidate)
+    except ValueError as e:
+        print(f"error: {e}")
+        return 2
+    report = Report()
+    for label, pa, pb in pairs:
+        try:
+            diff_docs(load(pa), load(pb), threshold_pct, report, label)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"error: {label}: {e}")
+            return 2
+
+    for path, bval, cval, pct in report.regressions:
+        print(f"REGRESSION {path}: {bval:g} -> {cval:g} ({pct:+.1f}%)")
+    for path, bval, cval, pct in report.improvements:
+        print(f"improved   {path}: {bval:g} -> {cval:g} ({pct:+.1f}%)")
+    for line in report.content:
+        print(f"CONTENT    {line}")
+    if report.clean(allow_content):
+        print(f"OK: no timing regressions beyond {threshold_pct:g}% "
+              f"across {len(pairs)} file(s)")
+        return 0
+    return 1
+
+
+# --- self-test ---------------------------------------------------------------
+
+def _doc(execs_per_sec=1000.0, wall=2.0, coverage=40):
+    return {
+        "bench": "fig4_coverage", "seed": 1, "reps": 1,
+        "series": [{
+            "device": "A1", "config": "droidfuzz", "rep": 0,
+            "executions": [0, 100], "kernel_coverage": [0, coverage],
+            "timing": {"secs": [0.0, wall]},
+        }],
+        "fleet_parallel": {
+            "configs": [{"workers": 1,
+                         "timing": {"wall_seconds": wall,
+                                    "execs_per_sec": execs_per_sec,
+                                    "speedup_vs_sequential": 1.0}}],
+        },
+        "timing": {"wall_seconds": wall},
+    }
+
+
+def self_test():
+    failures = 0
+
+    def case(name, ok):
+        nonlocal failures
+        if not ok:
+            failures += 1
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+
+    r = Report()
+    diff_docs(_doc(), _doc(), 5.0, r)
+    case("identical docs are clean", r.clean(allow_content=False))
+
+    r = Report()
+    diff_docs(_doc(execs_per_sec=1000.0), _doc(execs_per_sec=900.0), 5.0, r)
+    case("throughput drop beyond threshold regresses",
+         len(r.regressions) == 1 and not r.content)
+
+    r = Report()
+    diff_docs(_doc(execs_per_sec=1000.0), _doc(execs_per_sec=980.0), 5.0, r)
+    case("throughput drop inside threshold passes",
+         r.clean(allow_content=False))
+
+    r = Report()
+    diff_docs(_doc(wall=2.0), _doc(wall=3.0), 5.0, r)
+    case("wall-clock growth regresses (lower is better)",
+         any("wall_seconds" in p for p, *_ in r.regressions))
+
+    r = Report()
+    diff_docs(_doc(wall=3.0), _doc(wall=2.0), 5.0, r)
+    case("wall-clock shrink is an improvement, not a regression",
+         not r.regressions and r.improvements)
+
+    r = Report()
+    diff_docs(_doc(execs_per_sec=1000.0), _doc(execs_per_sec=1200.0), 5.0, r)
+    case("throughput gain is an improvement",
+         not r.regressions and r.improvements)
+
+    r = Report()
+    diff_docs(_doc(coverage=40), _doc(coverage=41), 5.0, r)
+    case("content drift is flagged", len(r.content) == 1)
+    case("content drift fails by default", not r.clean(allow_content=False))
+    case("--allow-content downgrades drift", r.clean(allow_content=True))
+
+    r = Report()
+    a, b = _doc(), _doc()
+    del b["fleet_parallel"]["configs"][0]["timing"]["execs_per_sec"]
+    diff_docs(a, b, 5.0, r)
+    case("missing timing leaf is reported",
+         any("only in baseline" in line for line in r.content))
+
+    case("direction: *_per_sec is higher-better",
+         direction("execs_per_sec") == 1)
+    case("direction: speedup is higher-better",
+         direction("speedup_vs_sequential") == 1)
+    case("direction: *_ms is lower-better", direction("busy_imbalance_ms")
+         == -1)
+    case("direction: plain counters are informational",
+         direction("executions") == 0)
+
+    print(f"self-test: {'PASS' if failures == 0 else 'FAIL'}")
+    return failures == 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json exports for regressions.")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("candidate", nargs="?")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        metavar="PCT",
+                        help="allowed timing movement in percent "
+                             "(default 10)")
+    parser.add_argument("--allow-content", action="store_true",
+                        help="report content drift without failing "
+                             "(for runs with different seeds/budgets)")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return 0 if self_test() else 1
+    if args.baseline is None or args.candidate is None:
+        parser.print_usage()
+        return 2
+    if args.threshold < 0:
+        print("error: --threshold must be >= 0")
+        return 2
+    return run_diff(args.baseline, args.candidate, args.threshold,
+                    args.allow_content)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

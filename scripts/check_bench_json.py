@@ -32,7 +32,10 @@ Determinism contract (DESIGN.md "Observability"): everything wall-dependent
 lives under keys named "timing", "wall_seconds", "secs", or ending in "_ns"
 or "_per_sec"; Chrome traces additionally quarantine wall-clock under the
 format's "ts"/"dur" fields. Stripping those keys must make two
-identically-seeded runs byte-identical.
+identically-seeded runs byte-identical. Counters/gauges whose *metric name*
+ends in "_ns" or "_per_sec" carry wall-dependent values, so the snapshot
+serializes them under "value_ns"/"value_per_sec" instead of "value" — the
+checker enforces the key choice matches the name.
 """
 
 import json
@@ -52,6 +55,15 @@ STATS_ARRAYS = SERIES_ARRAYS[:2] + ("total_coverage", "corpus", "bugs",
 
 def is_timing_key(key):
     return key in TIMING_KEYS or key.endswith(TIMING_SUFFIXES)
+
+
+def metric_value_key(name):
+    """Snapshot key a counter/gauge named `name` must serialize under."""
+    if name.endswith("_ns"):
+        return "value_ns"
+    if name.endswith("_per_sec"):
+        return "value_per_sec"
+    return "value"
 
 
 def strip_timing(doc):
@@ -138,6 +150,22 @@ def check_series_entry(i, entry):
                              f"{where}.state_coverage")
 
 
+def check_metric_value(entry, where, integer):
+    """Counter/gauge value: under the key the metric *name* dictates."""
+    key = metric_value_key(entry["name"])
+    for other in ("value", "value_ns", "value_per_sec"):
+        if other != key:
+            require(other not in entry,
+                    f"{where}.{other}: metric {entry['name']!r} must "
+                    f"serialize under {key!r}")
+    if integer:
+        require(isinstance(entry.get(key), int) and entry[key] >= 0,
+                f"{where}.{key} must be a non-negative int")
+    else:
+        require(isinstance(entry.get(key), (int, float)),
+                f"{where}.{key} must be a number")
+
+
 def check_metrics(metrics, where="metrics"):
     require(isinstance(metrics, dict), f"{where} must be an object")
     for section in ("counters", "gauges", "histograms"):
@@ -146,8 +174,11 @@ def check_metrics(metrics, where="metrics"):
     for i, c in enumerate(metrics["counters"]):
         require(isinstance(c.get("name"), str) and c["name"],
                 f"{where}.counters[{i}].name must be a non-empty string")
-        require(isinstance(c.get("value"), int) and c["value"] >= 0,
-                f"{where}.counters[{i}].value must be a non-negative int")
+        check_metric_value(c, f"{where}.counters[{i}]", integer=True)
+    for i, g in enumerate(metrics["gauges"]):
+        require(isinstance(g.get("name"), str) and g["name"],
+                f"{where}.gauges[{i}].name must be a non-empty string")
+        check_metric_value(g, f"{where}.gauges[{i}]", integer=False)
     for i, h in enumerate(metrics["histograms"]):
         require(isinstance(h.get("name"), str) and h["name"],
                 f"{where}.histograms[{i}].name must be a non-empty string")
@@ -208,6 +239,109 @@ def check_events(events, where="events"):
                 f"{where}[{i}].exec must be a non-negative int")
 
 
+def check_worker_utilization(util, where):
+    """Per-worker busy/idle/barrier accounting (an "utilization" array
+    inside a "timing" object, DESIGN.md §10). Everything here is
+    wall-dependent; the checker only enforces the shape."""
+    require(isinstance(util, list) and util,
+            f"{where} must be a non-empty array")
+    for i, u in enumerate(util):
+        uwhere = f"{where}[{i}]"
+        require(isinstance(u, dict), f"{uwhere} must be an object")
+        require(u.get("worker") == i,
+                f"{uwhere}.worker must be the worker index {i}")
+        require(isinstance(u.get("rounds"), int) and u["rounds"] >= 0,
+                f"{uwhere}.rounds must be a non-negative int")
+        for key in ("busy_ms", "idle_ms", "barrier_ms"):
+            require(isinstance(u.get(key), (int, float)) and u[key] >= 0,
+                    f"{uwhere}.{key} must be a non-negative number")
+
+
+def check_timing_utilization(timing, where):
+    """Validates timing.utilization / timing.busy_imbalance_ms if present."""
+    if not isinstance(timing, dict):
+        return
+    if "utilization" in timing:
+        check_worker_utilization(timing["utilization"],
+                                 f"{where}.utilization")
+        require(isinstance(timing.get("busy_imbalance_ms"), (int, float))
+                and timing["busy_imbalance_ms"] >= 0,
+                f"{where}.busy_imbalance_ms must accompany utilization")
+
+
+def check_milestones(ladder, where):
+    """The deterministic time-to-coverage ladder (obs::VelocityTracker)."""
+    require(isinstance(ladder, list), f"{where} must be an array")
+    last_frac, last_target, last_execs = 0.0, 0, 0
+    for i, m in enumerate(ladder):
+        mwhere = f"{where}[{i}]"
+        require(isinstance(m, dict), f"{mwhere} must be an object")
+        frac = m.get("fraction")
+        require(isinstance(frac, (int, float)) and 0 < frac <= 1,
+                f"{mwhere}.fraction must be in (0, 1]")
+        require(frac > last_frac,
+                f"{mwhere}.fraction must be strictly increasing")
+        last_frac = frac
+        target = m.get("target_coverage")
+        require(isinstance(target, int) and target >= 1,
+                f"{mwhere}.target_coverage must be a positive int")
+        require(target >= last_target,
+                f"{mwhere}.target_coverage must be non-decreasing")
+        last_target = target
+        execs = m.get("executions")
+        require(isinstance(execs, int) and execs >= 0,
+                f"{mwhere}.executions must be a non-negative int")
+        require(execs >= last_execs,
+                f"{mwhere}.executions must be non-decreasing")
+        last_execs = execs
+        for key in m:
+            if key in ("fraction", "target_coverage", "executions"):
+                continue
+            require(is_timing_key(key),
+                    f"{mwhere}.{key}: milestone wall-clock must live "
+                    f"under 'timing'")
+
+
+def check_velocity(vel, where="velocity"):
+    """Coverage-velocity section (obs::VelocityTracker::write_json).
+
+    The milestone ladder (fraction / target_coverage / executions) is
+    deterministic content; the EWMA rates are wall-dependent and live under
+    per-device "timing" objects.
+    """
+    require(isinstance(vel, dict), f"{where} must be an object")
+    require(isinstance(vel.get("half_life_secs"), (int, float))
+            and vel["half_life_secs"] > 0,
+            f"{where}.half_life_secs must be a positive number")
+    devices = vel.get("devices")
+    require(isinstance(devices, list), f"{where}.devices must be an array")
+    for i, dev in enumerate(devices):
+        dwhere = f"{where}.devices[{i}]"
+        require(isinstance(dev, dict), f"{dwhere} must be an object")
+        require(isinstance(dev.get("device"), str) and dev["device"],
+                f"{dwhere}.device must be a non-empty string")
+        if "time_to_coverage" in dev:
+            check_milestones(dev["time_to_coverage"],
+                             f"{dwhere}.time_to_coverage")
+        for key in dev:
+            if key in ("device", "time_to_coverage"):
+                continue
+            require(is_timing_key(key),
+                    f"{dwhere}.{key}: velocity rates must live under "
+                    f"'timing'")
+    agg = vel.get("aggregate")
+    require(isinstance(agg, dict), f"{where}.aggregate must be an object")
+    if "time_to_coverage" in agg:
+        check_milestones(agg["time_to_coverage"],
+                         f"{where}.aggregate.time_to_coverage")
+    for key in agg:
+        if key == "time_to_coverage":
+            continue
+        require(is_timing_key(key),
+                f"{where}.aggregate.{key}: velocity rates must live under "
+                f"'timing'")
+
+
 def check_fleet_parallel(fp, where="fleet_parallel"):
     """Parallel-scaling section written by bench_fleet_parallel.
 
@@ -243,6 +377,7 @@ def check_fleet_parallel(fp, where="fleet_parallel"):
             require(is_timing_key(key),
                     f"{cwhere}.{key}: throughput/speedup fields must live "
                     f"under 'timing'")
+        check_timing_utilization(c.get("timing"), f"{cwhere}.timing")
     require(configs[0]["workers"] == 1,
             f"{where}.configs must start with the sequential baseline "
             f"(workers=1)")
@@ -312,6 +447,7 @@ def check_fault_recovery(fr, where="fault_recovery"):
                     f"injected faults or recovery time")
         require(isinstance(c.get("timing"), dict),
                 f"{cwhere}.timing must carry the wall-clock throughput")
+        check_timing_utilization(c["timing"], f"{cwhere}.timing")
         for key in c:
             if key in ("fault_rate_ppm", "bugs", "faults", "recovery"):
                 continue
@@ -335,6 +471,7 @@ def check_fleet(fleet, where="fleet"):
         require(is_timing_key(key),
                 f"{where}.{key}: wall-dependent fleet fields must live "
                 f"under 'timing'")
+    check_timing_utilization(fleet.get("timing"), f"{where}.timing")
 
 
 def check_bench_doc(doc):
@@ -354,6 +491,8 @@ def check_bench_doc(doc):
         check_fleet_parallel(doc["fleet_parallel"])
     if "fault_recovery" in doc:
         check_fault_recovery(doc["fault_recovery"])
+    if "velocity" in doc:
+        check_velocity(doc["velocity"])
     timing = doc.get("timing")
     require(isinstance(timing, dict)
             and isinstance(timing.get("wall_seconds"), (int, float)),
@@ -370,6 +509,8 @@ def check_campaign_doc(doc):
     check_stats(doc.get("stats"))
     if "fleet" in doc:
         check_fleet(doc["fleet"])
+    if "velocity" in doc:
+        check_velocity(doc["velocity"])
     if "metrics" in doc:
         check_metrics(doc["metrics"])
     if "events" in doc:
@@ -748,6 +889,36 @@ def _fault_recovery_fixture():
     }
 
 
+def _velocity_fixture():
+    def milestones(scale):
+        return [
+            {"fraction": f, "target_coverage": int(50 * f * scale) or 1,
+             "executions": int(100 * f * scale),
+             "timing": {"secs": 0.1 * f}}
+            for f in (0.25, 0.5, 0.75, 0.9, 1.0)
+        ]
+    rates = {"execs_per_sec": 1000.0, "features_per_sec": 12.0,
+             "kernel_features_per_sec": 9.0, "states_per_sec": 0.5,
+             "crashes_per_sec": 0.01}
+    return {
+        "half_life_secs": 30.0,
+        "devices": [{"device": "A1",
+                     "time_to_coverage": milestones(1),
+                     "timing": dict(rates)}],
+        "aggregate": {"time_to_coverage": milestones(1),
+                      "timing": dict(rates)},
+    }
+
+
+def _utilization_fixture():
+    return [
+        {"worker": 0, "rounds": 8, "busy_ms": 120.0, "idle_ms": 3.0,
+         "barrier_ms": 1.5},
+        {"worker": 1, "rounds": 8, "busy_ms": 118.0, "idle_ms": 5.0,
+         "barrier_ms": 1.4},
+    ]
+
+
 def _campaign_fixture():
     return {
         "campaign": {"example": "fleet_campaign", "seed": 3},
@@ -935,6 +1106,77 @@ def self_test():
     doc = _campaign_fixture()
     doc["fleet"] = {"workers": 4, "devices": 7, "wall_ms": 130.0}
     expect_fail("campaign fleet wall-clock outside 'timing'", doc)
+
+    doc = _bench_fixture()
+    doc["velocity"] = _velocity_fixture()
+    expect_ok("bench doc with velocity section", doc)
+
+    doc = _campaign_fixture()
+    doc["velocity"] = _velocity_fixture()
+    expect_ok("campaign doc with velocity section", doc)
+
+    doc = _bench_fixture()
+    doc["velocity"] = _velocity_fixture()
+    doc["velocity"]["devices"][0]["execs_per_hour"] = 9.0
+    expect_fail("velocity device rate outside 'timing'", doc)
+
+    doc = _bench_fixture()
+    doc["velocity"] = _velocity_fixture()
+    doc["velocity"]["devices"][0]["time_to_coverage"][2]["executions"] = 1
+    expect_fail("velocity milestone executions not monotone", doc)
+
+    doc = _bench_fixture()
+    doc["velocity"] = _velocity_fixture()
+    doc["velocity"]["aggregate"]["time_to_coverage"][1]["fraction"] = 0.25
+    expect_fail("velocity milestone fractions not strictly increasing", doc)
+
+    doc = _bench_fixture()
+    doc["velocity"] = _velocity_fixture()
+    del doc["velocity"]["half_life_secs"]
+    expect_fail("velocity without half_life_secs", doc)
+
+    doc = _bench_fixture()
+    doc["metrics"]["counters"].append(
+        {"name": "fleet.worker.busy_ns", "label": "w0", "value_ns": 120})
+    doc["metrics"]["gauges"].append(
+        {"name": "fleet.worker.imbalance_ns", "value_ns": 2.0})
+    expect_ok("wall-dependent metric under its suffixed value key", doc)
+
+    doc = _bench_fixture()
+    doc["metrics"]["counters"].append(
+        {"name": "fleet.worker.busy_ns", "label": "w0", "value": 120})
+    expect_fail("counter named *_ns hiding under plain 'value'", doc)
+
+    doc = _bench_fixture()
+    doc["metrics"]["counters"][0]["value_ns"] = 120
+    del doc["metrics"]["counters"][0]["value"]
+    expect_fail("unsuffixed counter under 'value_ns'", doc)
+
+    doc = _campaign_fixture()
+    doc["fleet"] = {"workers": 2, "devices": 7,
+                    "timing": {"wall_ms": 130.0, "execs_per_sec": 2e5,
+                               "utilization": _utilization_fixture(),
+                               "busy_imbalance_ms": 2.0}}
+    expect_ok("campaign fleet with worker utilization", doc)
+
+    doc = _campaign_fixture()
+    doc["fleet"] = {"workers": 2, "devices": 7,
+                    "timing": {"utilization": _utilization_fixture(),
+                               "busy_imbalance_ms": 2.0}}
+    doc["fleet"]["timing"]["utilization"][1]["worker"] = 7
+    expect_fail("utilization worker ids out of order", doc)
+
+    doc = _campaign_fixture()
+    doc["fleet"] = {"workers": 2, "devices": 7,
+                    "timing": {"utilization": _utilization_fixture(),
+                               "busy_imbalance_ms": 2.0}}
+    del doc["fleet"]["timing"]["utilization"][0]["busy_ms"]
+    expect_fail("utilization entry missing busy_ms", doc)
+
+    doc = _campaign_fixture()
+    doc["fleet"] = {"workers": 2, "devices": 7,
+                    "timing": {"utilization": _utilization_fixture()}}
+    expect_fail("utilization without busy_imbalance_ms", doc)
 
     expect_ok("valid chrome trace", _chrome_fixture())
 

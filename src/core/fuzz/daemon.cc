@@ -2,15 +2,20 @@
 
 #include <algorithm>
 
+#include "core/exec/faults.h"
 #include "core/fuzz/checkpoint.h"
 #include "core/fuzz/fleet.h"
 #include "dsl/fmt.h"
 #include "dsl/parse.h"
+#include "obs/json.h"
+#include "obs/prom.h"
 #include "util/log.h"
 
 namespace df::core {
 
-Daemon::Daemon(DaemonConfig cfg) : cfg_(cfg), rng_(cfg.seed) {}
+Daemon::Daemon(DaemonConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  if (cfg_.serve_port >= 0) start_server();
+}
 
 bool Daemon::add_device(std::string_view id) {
   auto dev = device::make_device(id, rng_.next());
@@ -34,19 +39,28 @@ void Daemon::set_crash_dir(std::string dir) {
 
 void Daemon::attach_observability(obs::Observability* o) {
   obs_ = o;
+  if (introspect_ != nullptr) {
+    // The /metrics handler reads the mirror from the server thread.
+    std::lock_guard<std::mutex> lock(introspect_->mu);
+    introspect_->obs = o;
+  }
   for (auto& s : engines_) s.eng->attach_observability(o);
 }
 
 void Daemon::attach_reporter(obs::StatsReporter* reporter) {
   reporter_ = reporter;
+  if (server_ != nullptr) publish_introspection();
 }
 
 void Daemon::sample_stats() {
   if (reporter_ == nullptr) return;
   for (auto& s : engines_) {
     reporter_->set_state_coverage(s.id, s.eng->state_coverage());
-    reporter_->record(s.id, s.eng->sample());
+    const obs::EngineSample sample = s.eng->sample();
+    reporter_->record(s.id, sample);
+    velocity_.observe(s.id, sample);
   }
+  if (server_ != nullptr) publish_introspection();
 }
 
 void Daemon::run(uint64_t executions_per_device, uint64_t slice) {
@@ -79,6 +93,7 @@ void Daemon::run(uint64_t executions_per_device, uint64_t slice) {
   uint64_t last_done = 0;
   uint64_t since_sample = pending_sample_;
   uint64_t since_checkpoint = 0;
+  FleetUtilization run_util;
   FleetExecutor::run(
       engines, remaining, slice, cfg_.workers,
       [&](uint64_t done) {
@@ -103,13 +118,177 @@ void Daemon::run(uint64_t executions_per_device, uint64_t slice) {
             DF_CLOG("daemon", kWarn) << error;
           }
         }
-      });
+      },
+      obs_, &run_util);
+  util_.merge(run_util);
   progress_ = base + remaining;
   pending_sample_ = since_sample;
   if (reporter_ != nullptr && since_sample > 0) {
     sample_stats();
     pending_sample_ = 0;
   }
+  if (server_ != nullptr) publish_introspection();
+}
+
+void Daemon::start_server() {
+  introspect_ = std::make_shared<IntrospectionState>();
+  introspect_->obs = obs_;
+  server_ = std::make_unique<obs::HttpServer>();
+  const std::shared_ptr<IntrospectionState> st = introspect_;
+  server_->handle("/metrics", [st] {
+    obs::HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    obs::Observability* o = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(st->mu);
+      o = st->obs;
+    }
+    r.body = o != nullptr ? obs::render_prometheus(o->registry.snapshot())
+                          : "# no metrics registry attached\n";
+    return r;
+  });
+  server_->handle("/status", [st] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    std::lock_guard<std::mutex> lock(st->mu);
+    r.body = st->status;
+    return r;
+  });
+  server_->handle("/coverage", [st] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    std::lock_guard<std::mutex> lock(st->mu);
+    r.body = st->coverage;
+    return r;
+  });
+  server_->handle("/healthz", [st] {
+    obs::HttpResponse r;
+    std::lock_guard<std::mutex> lock(st->mu);
+    r.status = st->healthy ? 200 : 503;
+    r.body = st->healthy ? "ok\n" : "stalled: " + st->health_detail + "\n";
+    return r;
+  });
+  std::string error;
+  if (!server_->start(static_cast<uint16_t>(cfg_.serve_port), &error)) {
+    DF_CLOG("daemon", kWarn) << "serve_port " << cfg_.serve_port
+                             << " unavailable: " << error;
+    server_.reset();
+    return;
+  }
+  publish_introspection();
+}
+
+std::string Daemon::build_status_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("campaign").begin_object();
+  w.field("seed", cfg_.seed);
+  w.field("devices", static_cast<uint64_t>(engines_.size()));
+  w.field("workers",
+          static_cast<uint64_t>(FleetExecutor::resolve_workers(cfg_.workers)));
+  w.field("progress", progress_);
+  w.field("checkpoint_epoch",
+          static_cast<uint64_t>(checkpoints_written_.size()));
+  w.end_object();
+  w.key("devices").begin_array();
+  for (const auto& s : engines_) {
+    const obs::EngineSample sample = s.eng->sample();
+    w.begin_object();
+    w.field("device", s.id);
+    w.field("executions", sample.executions);
+    w.field("kernel_coverage", sample.kernel_coverage);
+    w.field("total_coverage", sample.total_coverage);
+    w.field("corpus", sample.corpus_size);
+    w.field("bugs", sample.unique_bugs);
+    w.field("relation_edges", sample.relation_edges);
+    w.field("reboots", sample.reboots);
+    w.field("states_visited", sample.states_visited);
+    w.field("stalled", reporter_ != nullptr && reporter_->stalled(s.id));
+    if (const FaultInjector* f = s.eng->fault_injector(); f != nullptr) {
+      const FaultTotals& t = f->totals();
+      w.key("faults").begin_object();
+      w.field("injected", t.injected);
+      w.field("reboots", t.reboots);
+      w.field("retries", t.retries);
+      w.field("lost_execs", t.lost_execs);
+      w.end_object();
+    }
+    const obs::VelocityRates r = velocity_.rates(s.id);
+    w.key("timing").begin_object();
+    w.field("execs_per_sec", r.execs_per_sec);
+    w.field("features_per_sec", r.features_per_sec);
+    w.field("crashes_per_sec", r.crashes_per_sec);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("fleet").begin_object();
+  w.field("workers", static_cast<uint64_t>(util_.workers.size()));
+  w.key("timing").begin_object();
+  w.key("utilization").begin_array();
+  for (size_t i = 0; i < util_.workers.size(); ++i) {
+    const WorkerUtilization& u = util_.workers[i];
+    w.begin_object();
+    w.field("worker", static_cast<uint64_t>(i));
+    w.field("rounds", u.rounds);
+    w.field("busy_ms", static_cast<double>(u.busy_ns) / 1e6);
+    w.field("idle_ms", static_cast<double>(u.idle_ns) / 1e6);
+    w.field("barrier_ms", static_cast<double>(u.barrier_ns) / 1e6);
+    w.end_object();
+  }
+  w.end_array();
+  w.field("busy_imbalance_ms",
+          static_cast<double>(util_.busy_imbalance_ns()) / 1e6);
+  w.end_object();
+  w.end_object();
+  w.key("velocity");
+  velocity_.write_json(w, reporter_);
+  const bool healthy = reporter_ == nullptr || !reporter_->any_stalled();
+  w.field("healthy", healthy);
+  w.key("stalled_devices").begin_array();
+  if (reporter_ != nullptr) {
+    for (const auto& dev : reporter_->stalled_devices()) w.value(dev);
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+std::string Daemon::build_coverage_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("devices").begin_array();
+  for (const auto& s : engines_) {
+    w.begin_object();
+    w.field("device", s.id);
+    w.key("state_coverage").begin_array();
+    for (const auto& d : s.eng->state_coverage()) {
+      if (!d.states.empty()) d.write_json(w);
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+void Daemon::publish_introspection() {
+  if (introspect_ == nullptr) return;
+  std::string status = build_status_json();
+  std::string coverage = build_coverage_json();
+  std::string detail;
+  if (reporter_ != nullptr) {
+    for (const auto& dev : reporter_->stalled_devices()) {
+      if (!detail.empty()) detail += ' ';
+      detail += dev;
+    }
+  }
+  std::lock_guard<std::mutex> lock(introspect_->mu);
+  introspect_->status = std::move(status);
+  introspect_->coverage = std::move(coverage);
+  introspect_->healthy = detail.empty();
+  introspect_->health_detail = std::move(detail);
 }
 
 std::string Daemon::checkpoint_json() {

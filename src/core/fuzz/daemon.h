@@ -9,13 +9,17 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/fuzz/engine.h"
+#include "core/fuzz/fleet.h"
 #include "device/catalog.h"
 #include "obs/obs.h"
+#include "obs/serve.h"
 #include "obs/stats_reporter.h"
+#include "obs/velocity.h"
 
 namespace df::core {
 
@@ -37,6 +41,11 @@ struct DaemonConfig {
   // <checkpoint_dir>/checkpoint.json (core/fuzz/checkpoint.h).
   std::string checkpoint_dir;
   uint64_t checkpoint_every = 0;
+  // Live introspection HTTP server on 127.0.0.1 (DESIGN.md §10): -1 (the
+  // default) disables, 0 binds a free ephemeral port (Daemon::serve_port()
+  // reports it), otherwise the given port. Serving is read-only and does
+  // not affect per-device results.
+  int serve_port = -1;
 };
 
 struct CampaignBug {
@@ -74,6 +83,25 @@ class Daemon {
   void sample_stats();
   // Re-points every engine's provenance output ("" disables).
   void set_crash_dir(std::string dir);
+
+  // --- live introspection (DESIGN.md §10) ------------------------------------
+  // The embedded HTTP server (null when cfg.serve_port < 0 or bind failed).
+  const obs::HttpServer* server() const { return server_.get(); }
+  // Bound port, or -1 when not serving.
+  int serve_port() const {
+    return server_ != nullptr ? static_cast<int>(server_->port()) : -1;
+  }
+  // Rebuilds the /status, /coverage, and /healthz documents from current
+  // engine state and swaps them in under the publish lock. Must run while
+  // no worker owns the engines — run() calls it at every sample barrier and
+  // at campaign end; call it manually after out-of-band mutations. The
+  // /metrics endpoint needs no publishing: it renders live from the
+  // (thread-safe) registry.
+  void publish_introspection();
+  // Coverage-velocity analytics fed at the sampling cadence.
+  const obs::VelocityTracker& velocity() const { return velocity_; }
+  // Accumulated per-worker busy/idle/barrier accounting across run() calls.
+  const FleetUtilization& utilization() const { return util_; }
   size_t device_count() const { return engines_.size(); }
   Engine* engine(std::string_view device_id);
   // Stably ordered by device id (not insertion or completion order).
@@ -115,6 +143,10 @@ class Daemon {
   // Slots sorted by device id — the stable aggregation order.
   std::vector<const Slot*> slots_by_id() const;
 
+  void start_server();
+  std::string build_status_json() const;
+  std::string build_coverage_json() const;
+
   DaemonConfig cfg_;
   util::Rng rng_;
   std::vector<Slot> engines_;
@@ -123,6 +155,23 @@ class Daemon {
   uint64_t progress_ = 0;        // per-device executions completed so far
   uint64_t pending_sample_ = 0;  // sampling remainder carried across resume
   std::vector<std::string> checkpoints_written_;
+
+  obs::VelocityTracker velocity_;
+  FleetUtilization util_;
+  // Engine state is single-threaded; the server thread only ever sees the
+  // pre-rendered documents below, swapped in by publish_introspection().
+  // Heap-allocated and captured by the handlers as a shared_ptr so the
+  // Daemon stays movable and handler lifetimes are independent of it.
+  struct IntrospectionState {
+    std::mutex mu;
+    obs::Observability* obs = nullptr;  // mirror of obs_ for /metrics
+    std::string status = "{}";
+    std::string coverage = "{}";
+    bool healthy = true;
+    std::string health_detail;
+  };
+  std::shared_ptr<IntrospectionState> introspect_;
+  std::unique_ptr<obs::HttpServer> server_;
 };
 
 }  // namespace df::core

@@ -185,6 +185,9 @@ obs::EngineSample Engine::sample() const {
   s.unique_bugs = crash_log_.unique_bugs();
   s.relation_edges = rel_.edge_count();
   s.reboots = dev_.kernel().reboot_count();
+  for (const auto& cov : state_coverage()) {
+    s.states_visited += cov.states_visited();
+  }
   return s;
 }
 

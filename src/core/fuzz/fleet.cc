@@ -3,11 +3,83 @@
 #include <algorithm>
 #include <atomic>
 #include <barrier>
+#include <chrono>
+#include <string>
 #include <thread>
 
 #include "core/fuzz/engine.h"
+#include "obs/obs.h"
 
 namespace df::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ns_between(Clock::time_point from, Clock::time_point to) {
+  return to <= from
+             ? 0
+             : static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(to -
+                                                                        from)
+                       .count());
+}
+
+// Cached per-worker utilization counters, created up-front on the caller's
+// thread so registry insertion order is deterministic (w0..wN) regardless
+// of worker scheduling.
+struct UtilCounters {
+  obs::Counter* busy = nullptr;
+  obs::Counter* idle = nullptr;
+  obs::Counter* barrier = nullptr;
+};
+
+std::vector<UtilCounters> make_util_counters(obs::Observability* obs,
+                                             size_t workers) {
+  std::vector<UtilCounters> out(workers);
+  if (obs == nullptr) return out;
+  for (size_t wi = 0; wi < workers; ++wi) {
+    std::string label = "w";
+    label += std::to_string(wi);
+    out[wi].busy = &obs->registry.counter("fleet.worker.busy_ns", label);
+    out[wi].idle = &obs->registry.counter("fleet.worker.idle_ns", label);
+    out[wi].barrier = &obs->registry.counter("fleet.worker.barrier_ns", label);
+  }
+  return out;
+}
+
+void publish_round(const UtilCounters& c, uint64_t busy, uint64_t idle,
+                   uint64_t barrier) {
+  if (c.busy == nullptr) return;
+  c.busy->inc(busy);
+  c.idle->inc(idle);
+  c.barrier->inc(barrier);
+}
+
+}  // namespace
+
+uint64_t FleetUtilization::busy_imbalance_ns() const {
+  if (workers.empty()) return 0;
+  uint64_t lo = UINT64_MAX;
+  uint64_t hi = 0;
+  for (const auto& w : workers) {
+    lo = std::min(lo, w.busy_ns);
+    hi = std::max(hi, w.busy_ns);
+  }
+  return hi - lo;
+}
+
+void FleetUtilization::merge(const FleetUtilization& other) {
+  if (workers.size() < other.workers.size()) {
+    workers.resize(other.workers.size());
+  }
+  for (size_t i = 0; i < other.workers.size(); ++i) {
+    workers[i].busy_ns += other.workers[i].busy_ns;
+    workers[i].idle_ns += other.workers[i].idle_ns;
+    workers[i].barrier_ns += other.workers[i].barrier_ns;
+    workers[i].rounds += other.workers[i].rounds;
+  }
+}
 
 size_t FleetExecutor::resolve_workers(size_t requested) {
   if (requested != 0) return requested;
@@ -18,21 +90,43 @@ size_t FleetExecutor::resolve_workers(size_t requested) {
 void FleetExecutor::run(const std::vector<Engine*>& engines,
                         uint64_t executions_per_engine, uint64_t slice,
                         size_t workers,
-                        const std::function<void(uint64_t done)>& on_slice) {
+                        const std::function<void(uint64_t done)>& on_slice,
+                        obs::Observability* obs, FleetUtilization* util) {
   if (engines.empty() || executions_per_engine == 0) return;
   if (slice == 0) slice = 1;
   workers = std::min(resolve_workers(workers), engines.size());
+  const bool profiling = obs != nullptr || util != nullptr;
 
   const uint64_t total = executions_per_engine;
   if (workers <= 1) {
-    // Sequential path — byte-for-byte the daemon's historical loop.
+    // Sequential path — byte-for-byte the daemon's historical loop. The
+    // profiler accounts it as a single worker: the engine loop is busy
+    // time, the slice callback is barrier time (it is the same daemon-
+    // granularity work the parallel completion function runs).
+    const auto counters = make_util_counters(obs, profiling ? 1 : 0);
+    WorkerUtilization u;
     uint64_t done = 0;
     while (done < total) {
       const uint64_t step = std::min(slice, total - done);
+      const auto t0 = profiling ? Clock::now() : Clock::time_point{};
       for (Engine* e : engines) e->run(step);
+      const auto t1 = profiling ? Clock::now() : Clock::time_point{};
       done += step;
       on_slice(done);
+      if (profiling) {
+        const auto t2 = Clock::now();
+        const uint64_t busy = ns_between(t0, t1);
+        const uint64_t barrier = ns_between(t1, t2);
+        u.busy_ns += busy;
+        u.barrier_ns += barrier;
+        ++u.rounds;
+        if (obs != nullptr) {
+          publish_round(counters[0], busy, 0, barrier);
+          obs->registry.gauge("fleet.worker.imbalance_ns").set(0);
+        }
+      }
     }
+    if (util != nullptr) util->workers.assign(1, u);
     return;
   }
 
@@ -44,24 +138,61 @@ void FleetExecutor::run(const std::vector<Engine*>& engines,
   // arrive_and_wait, so the relaxed accesses below are ordered by it.
   uint64_t done = 0;
   std::atomic<uint64_t> step{std::min(slice, total)};
+  const auto counters = make_util_counters(obs, workers);
+  std::vector<WorkerUtilization> locals(workers);
+  // Per-worker cumulative busy time, published round-by-round so the
+  // completion function can refresh the imbalance gauge while workers park.
+  std::vector<std::atomic<uint64_t>> busy_totals(workers);
   auto completion = [&]() noexcept {
     done += step.load(std::memory_order_relaxed);
     on_slice(done);
     step.store(done < total ? std::min(slice, total - done) : 0,
                std::memory_order_relaxed);
+    if (obs != nullptr) {
+      uint64_t lo = UINT64_MAX;
+      uint64_t hi = 0;
+      for (const auto& b : busy_totals) {
+        const uint64_t v = b.load(std::memory_order_relaxed);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      obs->registry.gauge("fleet.worker.imbalance_ns")
+          .set(static_cast<double>(hi - lo));
+    }
   };
   std::barrier bar(static_cast<std::ptrdiff_t>(workers), completion);
 
   // Static slot partition: engine i always belongs to worker i % workers,
   // so each engine's execution sequence is independent of scheduling.
+  // Utilization clocks tick only at round boundaries: busy is the engine
+  // loop, barrier is arrive_and_wait (completion included), idle is the
+  // remaining loop overhead between rounds.
   auto worker = [&](size_t wi) {
+    WorkerUtilization& u = locals[wi];
+    auto mark = profiling ? Clock::now() : Clock::time_point{};
     while (true) {
       const uint64_t s = step.load(std::memory_order_relaxed);
       if (s == 0) return;
+      const auto t0 = profiling ? Clock::now() : Clock::time_point{};
       for (size_t ei = wi; ei < engines.size(); ei += workers) {
         engines[ei]->run(s);
       }
+      if (!profiling) {
+        bar.arrive_and_wait();
+        continue;
+      }
+      const auto t1 = Clock::now();
+      const uint64_t busy = ns_between(t0, t1);
+      const uint64_t idle = ns_between(mark, t0);
+      u.busy_ns += busy;
+      u.idle_ns += idle;
+      busy_totals[wi].store(u.busy_ns, std::memory_order_relaxed);
       bar.arrive_and_wait();
+      mark = Clock::now();
+      const uint64_t barrier = ns_between(t1, mark);
+      u.barrier_ns += barrier;
+      ++u.rounds;
+      publish_round(counters[wi], busy, idle, barrier);
     }
   };
 
@@ -69,6 +200,7 @@ void FleetExecutor::run(const std::vector<Engine*>& engines,
   threads.reserve(workers);
   for (size_t wi = 0; wi < workers; ++wi) threads.emplace_back(worker, wi);
   for (auto& t : threads) t.join();
+  if (util != nullptr) util->workers = std::move(locals);
 }
 
 }  // namespace df::core

@@ -16,9 +16,35 @@
 #include <functional>
 #include <vector>
 
+namespace df::obs {
+struct Observability;
+}
+
 namespace df::core {
 
 class Engine;
+
+// Per-worker wall-time accounting for one run(): where each worker thread's
+// nanoseconds went. `busy` is engine execution, `barrier` is waiting at the
+// round barrier (including the completion callback), `idle` is everything
+// else (round bookkeeping; on the sequential path, effectively zero).
+// Clock reads happen once per round boundary — never inside the engine hot
+// path — so the bench_micro attached-vs-detached overhead contract holds.
+struct WorkerUtilization {
+  uint64_t busy_ns = 0;
+  uint64_t idle_ns = 0;
+  uint64_t barrier_ns = 0;
+  uint64_t rounds = 0;
+};
+
+struct FleetUtilization {
+  std::vector<WorkerUtilization> workers;
+
+  // Load-imbalance signal: max minus min per-worker busy time.
+  uint64_t busy_imbalance_ns() const;
+  // Index-wise accumulation (for daemons that call run() repeatedly).
+  void merge(const FleetUtilization& other);
+};
 
 class FleetExecutor {
  public:
@@ -33,10 +59,18 @@ class FleetExecutor {
   // execution count; it may touch any engine safely but must not throw.
   // `workers` <= 1 (after resolve_workers) or a single engine takes the
   // exact sequential path the daemon has always used.
+  //
+  // With `obs` attached the utilization profiler publishes per-round
+  // counters `fleet.worker.{busy,idle,barrier}_ns` (labeled w0..wN) and the
+  // gauge `fleet.worker.imbalance_ns`, all relaxed atomics; with `util`
+  // non-null the totals are also returned by value. Neither affects engine
+  // execution, so per-device results stay bit-identical across settings.
   static void run(const std::vector<Engine*>& engines,
                   uint64_t executions_per_engine, uint64_t slice,
                   size_t workers,
-                  const std::function<void(uint64_t done)>& on_slice);
+                  const std::function<void(uint64_t done)>& on_slice,
+                  obs::Observability* obs = nullptr,
+                  FleetUtilization* util = nullptr);
 };
 
 }  // namespace df::core

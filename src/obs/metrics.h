@@ -21,7 +21,11 @@
 // Determinism contract: counter/gauge values and histogram *counts* are pure
 // functions of the executed work; histogram time fields (sum/min/max/
 // quantiles, always nanoseconds, always `*_ns` in JSON) are wall-dependent
-// and excluded from determinism comparisons.
+// and excluded from determinism comparisons. Counters and gauges whose
+// *name* ends in `_ns` or `_per_sec` (the fleet utilization profiler,
+// DESIGN.md §10) are wall-dependent too: Snapshot::write_json serializes
+// their value under "value_ns" / "value_per_sec" so the checker's timing
+// suffix rule strips them from same-seed comparisons.
 #pragma once
 
 #include <array>
@@ -149,6 +153,9 @@ struct Snapshot {
     uint64_t count = 0;
     uint64_t sum_ns = 0, min_ns = 0, max_ns = 0;
     uint64_t p50_ns = 0, p90_ns = 0, p99_ns = 0;
+    // Raw per-bucket counts (log2 layout, Histogram::kBucketCount). Consumed
+    // by the Prometheus renderer (obs/prom.h); not part of the JSON shape.
+    std::array<uint64_t, Histogram::kBucketCount> buckets{};
   };
 
   std::vector<CounterValue> counters;

@@ -1,0 +1,175 @@
+#include "obs/prom.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace df::obs {
+
+namespace {
+
+void append_u64(std::string& out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+// `{label="..."}` for a non-empty label, optionally merged with an `le`
+// bucket bound ("" = no le label).
+std::string label_set(std::string_view label, std::string_view le = {}) {
+  if (label.empty() && le.empty()) return "";
+  std::string out = "{";
+  if (!label.empty()) {
+    out += "label=\"";
+    out += prom_escape_label(label);
+    out += '"';
+    if (!le.empty()) out += ',';
+  }
+  if (!le.empty()) {
+    out += "le=\"";
+    out += le;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void type_line(std::string& out, const std::string& name,
+               std::string_view type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+// Inclusive upper bound of log2 bucket `i` as an exposition string: "0" for
+// the zero bucket, 2^i - 1 for bucket i in [1, 63]. Bucket 64 (values with
+// the top bit set) has no finite bound and is covered by +Inf.
+std::string bucket_bound(size_t i) {
+  if (i == 0) return "0";
+  std::string out;
+  append_u64(out, (uint64_t{1} << i) - 1);
+  return out;
+}
+
+}  // namespace
+
+std::string prom_metric_name(std::string_view name, std::string_view prefix) {
+  std::string out(prefix);
+  if (!name.empty() && std::isdigit(static_cast<unsigned char>(name[0])) &&
+      out.empty()) {
+    out += '_';
+  }
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prom_escape_label(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus(const Snapshot& s, std::string_view prefix) {
+  std::string out;
+  // Counters and gauges: one # TYPE line per family (consecutive snapshot
+  // entries sharing a name), one sample per label.
+  const std::string* family = nullptr;
+  for (const auto& c : s.counters) {
+    const std::string name = prom_metric_name(c.name, prefix);
+    if (family == nullptr || *family != c.name) {
+      type_line(out, name, "counter");
+      family = &c.name;
+    }
+    out += name;
+    out += label_set(c.label);
+    out += ' ';
+    append_u64(out, c.value);
+    out += '\n';
+  }
+  family = nullptr;
+  for (const auto& g : s.gauges) {
+    const std::string name = prom_metric_name(g.name, prefix);
+    if (family == nullptr || *family != g.name) {
+      type_line(out, name, "gauge");
+      family = &g.name;
+    }
+    out += name;
+    out += label_set(g.label);
+    out += ' ';
+    append_double(out, g.value);
+    out += '\n';
+  }
+  family = nullptr;
+  for (const auto& h : s.histograms) {
+    const std::string name = prom_metric_name(h.name, prefix);
+    if (family == nullptr || *family != h.name) {
+      type_line(out, name, "histogram");
+      family = &h.name;
+    }
+    // Cumulative buckets up to the highest non-empty finite bucket; +Inf
+    // always equals the total count.
+    size_t last = 0;
+    for (size_t i = 0; i + 1 < h.buckets.size(); ++i) {
+      if (h.buckets[i] != 0) last = i;
+    }
+    uint64_t cum = 0;
+    for (size_t i = 0; i <= last; ++i) {
+      cum += h.buckets[i];
+      out += name;
+      out += "_bucket";
+      out += label_set(h.label, bucket_bound(i));
+      out += ' ';
+      append_u64(out, cum);
+      out += '\n';
+    }
+    out += name;
+    out += "_bucket";
+    out += label_set(h.label, "+Inf");
+    out += ' ';
+    append_u64(out, h.count);
+    out += '\n';
+    out += name;
+    out += "_sum";
+    out += label_set(h.label);
+    out += ' ';
+    append_u64(out, h.sum_ns);
+    out += '\n';
+    out += name;
+    out += "_count";
+    out += label_set(h.label);
+    out += ' ';
+    append_u64(out, h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace df::obs

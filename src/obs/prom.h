@@ -1,0 +1,35 @@
+// Prometheus text exposition (format version 0.0.4) rendered from a metrics
+// Snapshot — the wire format behind `GET /metrics` on the embedded
+// introspection server (obs/serve.h, DESIGN.md §10).
+//
+// Mapping from the registry's naming scheme:
+//  - metric names are sanitized ("engine.executions" -> "df_engine_executions":
+//    every character outside [a-zA-Z0-9_] becomes '_', a configurable prefix
+//    is prepended, and a leading digit gets an extra '_'),
+//  - the registry's single free-form label is exposed as `label="..."` with
+//    backslash / quote / newline escaping,
+//  - log2 histograms become native Prometheus histograms: cumulative
+//    `_bucket{le="..."}` samples (le = upper bound of each power-of-two
+//    bucket, inclusive, so bucket i covers [2^(i-1), 2^i - 1] and gets
+//    le = 2^i - 1; bucket 0 holds the value 0 and gets le="0"), a final
+//    `le="+Inf"` equal to `_count`, plus `_sum` and `_count`.
+//
+// Families are emitted in snapshot order (sorted by name then label, the
+// registry map order) with one `# TYPE` line per family.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace df::obs {
+
+struct Snapshot;
+
+std::string prom_metric_name(std::string_view name,
+                             std::string_view prefix = "df_");
+std::string prom_escape_label(std::string_view v);
+
+std::string render_prometheus(const Snapshot& s,
+                              std::string_view prefix = "df_");
+
+}  // namespace df::obs

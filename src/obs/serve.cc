@@ -1,0 +1,182 @@
+#include "obs/serve.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace df::obs {
+
+namespace {
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Status";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone; nothing to recover
+    off += static_cast<size_t>(n);
+  }
+}
+
+void send_response(int fd, const HttpResponse& r,
+                   const std::string& extra_headers = {}) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(r.status);
+  out += ' ';
+  out += reason_phrase(r.status);
+  out += "\r\nContent-Type: ";
+  out += r.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(r.body.size());
+  out += "\r\nConnection: close\r\n";
+  out += extra_headers;
+  out += "\r\n";
+  out += r.body;
+  send_all(fd, out);
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, Handler fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[std::move(path)] = std::move(fn);
+}
+
+bool HttpServer::start(uint16_t port, std::string* error) {
+  if (running()) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 16) < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  } else {
+    port_ = port;
+  }
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpServer::loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd p{};
+    p.fd = listen_fd_;
+    p.events = POLLIN;
+    const int r = ::poll(&p, 1, /*timeout_ms=*/100);
+    if (r <= 0 || (p.revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    // A stuck peer must not wedge the accept loop.
+    timeval tv{};
+    tv.tv_sec = 2;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    serve_client(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::serve_client(int fd) {
+  // Read until the end of the request head; the body (if any) is ignored.
+  std::string req;
+  char buf[2048];
+  while (req.size() < 16 * 1024 && req.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<size_t>(n));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  const size_t line_end = req.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? req : req.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    HttpResponse r;
+    r.status = 400;
+    r.body = "bad request\n";
+    send_response(fd, r);
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (method != "GET") {
+    HttpResponse r;
+    r.status = 405;
+    r.body = "method not allowed\n";
+    send_response(fd, r, "Allow: GET\r\n");
+    return;
+  }
+
+  Handler fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = handlers_.find(path);
+    if (it != handlers_.end()) fn = it->second;
+  }
+  if (!fn) {
+    HttpResponse r;
+    r.status = 404;
+    r.body = "not found\n";
+    send_response(fd, r);
+    return;
+  }
+  send_response(fd, fn());
+}
+
+}  // namespace df::obs

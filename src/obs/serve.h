@@ -1,0 +1,76 @@
+// Embedded introspection HTTP server (DESIGN.md §10): a dependency-free
+// HTTP/1.1 endpoint bound to 127.0.0.1 that serves registered GET handlers
+// from a dedicated accept-loop thread. This is the read-only precursor to
+// the campaign control plane (ROADMAP item 2): operators scrape /metrics
+// (Prometheus exposition), /status, /healthz, and /coverage from a live
+// campaign without touching its output files.
+//
+// Scope is deliberately tiny: GET only (anything else is 405), one request
+// per connection (`Connection: close`), no TLS, no keep-alive, no
+// chunked encoding. Handlers run on the server thread — they must only
+// touch thread-safe state (the metrics Registry) or data published for them
+// under a lock (Daemon::publish_introspection).
+//
+// Port 0 asks the kernel for a free ephemeral port; port() reports the
+// bound one. The accept loop polls with a 100 ms timeout so stop() (also
+// called by the destructor) converges quickly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace df::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse()>;
+
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers (or replaces) the handler for an exact request path. The
+  // query string is stripped before matching. Safe while running.
+  void handle(std::string path, Handler fn);
+
+  // Binds 127.0.0.1:`port` and starts the accept thread. Returns false and
+  // fills `error` (if non-null) on bind/listen failure; the server is then
+  // inert and start() may be retried.
+  bool start(uint16_t port, std::string* error = nullptr);
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (meaningful after a successful start()).
+  uint16_t port() const { return port_; }
+  // Requests answered so far (any status).
+  uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+  void serve_client(int fd);
+
+  mutable std::mutex mu_;  // guards handlers_
+  std::map<std::string, Handler> handlers_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace df::obs

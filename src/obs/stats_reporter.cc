@@ -126,6 +126,21 @@ bool StatsReporter::stalled(std::string_view device) const {
   return it != watch_.end() && it->second.stalled;
 }
 
+std::vector<std::string> StatsReporter::stalled_devices() const {
+  std::vector<std::string> out;
+  for (const auto& [device, wd] : watch_) {
+    if (wd.stalled) out.push_back(device);
+  }
+  return out;
+}
+
+bool StatsReporter::any_stalled() const {
+  for (const auto& [device, wd] : watch_) {
+    if (wd.stalled) return true;
+  }
+  return false;
+}
+
 void StatsReporter::set_state_coverage(
     const std::string& device, std::vector<DriverStateCoverage> coverage) {
   state_cov_[device] = std::move(coverage);

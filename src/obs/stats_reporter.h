@@ -39,6 +39,11 @@ struct EngineSample {
   uint64_t unique_bugs = 0;
   uint64_t relation_edges = 0;
   uint64_t reboots = 0;
+  // Distinct driver state-machine states entered so far (summed across the
+  // device's drivers). Feeds the velocity tracker's states/sec rate; not
+  // part of the checkpointed Point serialization (the matrices themselves
+  // are the durable record).
+  uint64_t states_visited = 0;
 };
 
 // Campaign-cumulative state-machine coverage of one driver: which protocol
@@ -100,6 +105,10 @@ class StatsReporter {
   // trace events. Null detaches (detection itself keeps running).
   void attach_observability(Observability* o) { watch_obs_ = o; }
   bool stalled(std::string_view device) const;
+  // Currently stalled devices in name order, and the fleet-level verdict —
+  // what /healthz serves (obs/serve.h) without parsing the event stream.
+  std::vector<std::string> stalled_devices() const;
+  bool any_stalled() const;
 
   // Checkpoint support: stall-watchdog state round-trip, so a resumed
   // campaign reaches (or clears) stall verdicts at the same executions the

@@ -1,0 +1,196 @@
+#include "obs/velocity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace df::obs {
+
+namespace {
+
+// Milestone fractions of the campaign's final total coverage.
+constexpr double kFractions[] = {0.25, 0.5, 0.75, 0.9, 1.0};
+
+double rate(uint64_t cur, uint64_t prev, double dt) {
+  return cur > prev ? static_cast<double>(cur - prev) / dt : 0.0;
+}
+
+void fold(double& ewma, double inst, double alpha, bool seeded) {
+  ewma = seeded ? ewma + alpha * (inst - ewma) : inst;
+}
+
+void write_rates(JsonWriter& w, const VelocityRates& r) {
+  w.key("timing").begin_object();
+  w.field("execs_per_sec", r.execs_per_sec);
+  w.field("features_per_sec", r.features_per_sec);
+  w.field("kernel_features_per_sec", r.kernel_features_per_sec);
+  w.field("states_per_sec", r.states_per_sec);
+  w.field("crashes_per_sec", r.crashes_per_sec);
+  w.end_object();
+}
+
+// One series point for milestone scanning: cumulative executions/coverage
+// plus the wall timestamp.
+struct MilestonePoint {
+  uint64_t executions = 0;
+  uint64_t total_coverage = 0;
+  double secs = 0;
+};
+
+// The deterministic time-to-coverage ladder: for each fraction of the
+// series' final coverage, the first point at or past that target. Content
+// fields (fraction, target, executions) are determinism-comparable; the
+// wall clock stays under "timing".
+void write_milestones(JsonWriter& w,
+                      const std::vector<MilestonePoint>& pts) {
+  w.key("time_to_coverage").begin_array();
+  if (!pts.empty() && pts.back().total_coverage > 0) {
+    const auto final_cov = static_cast<double>(pts.back().total_coverage);
+    for (double frac : kFractions) {
+      const auto target = std::max<uint64_t>(
+          1, static_cast<uint64_t>(std::ceil(frac * final_cov)));
+      const auto hit =
+          std::find_if(pts.begin(), pts.end(), [&](const MilestonePoint& p) {
+            return p.total_coverage >= target;
+          });
+      if (hit == pts.end()) continue;
+      w.begin_object();
+      w.field("fraction", frac);
+      w.field("target_coverage", target);
+      w.field("executions", hit->executions);
+      w.key("timing").begin_object().field("secs", hit->secs).end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+}
+
+std::vector<MilestonePoint> device_points(
+    const std::vector<StatsReporter::Point>& series) {
+  std::vector<MilestonePoint> out;
+  out.reserve(series.size());
+  for (const auto& p : series) {
+    out.push_back({p.sample.executions, p.sample.total_coverage, p.secs});
+  }
+  return out;
+}
+
+}  // namespace
+
+VelocityTracker::VelocityTracker(VelocityConfig cfg)
+    : cfg_(cfg), start_(std::chrono::steady_clock::now()) {
+  if (cfg_.half_life_secs <= 0) cfg_.half_life_secs = 1.0;
+}
+
+double VelocityTracker::now_secs() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+void VelocityTracker::observe(const std::string& device,
+                              const EngineSample& s) {
+  observe_at(device, now_secs(), s);
+}
+
+void VelocityTracker::observe_at(const std::string& device, double secs,
+                                 const EngineSample& s) {
+  auto it = state_.find(device);
+  if (it == state_.end()) {
+    order_.push_back(device);
+    it = state_.emplace(device, State()).first;
+  }
+  State& st = it->second;
+  const double dt = secs - st.last_secs;
+  if (st.seeded && dt <= 0) {
+    st.last = s;
+    return;
+  }
+  // First observation: rates seed from campaign-start deltas over `secs`.
+  const double span = st.seeded ? dt : std::max(secs, 1e-9);
+  const EngineSample prev = st.seeded ? st.last : EngineSample{};
+  const double alpha =
+      1.0 - std::exp2(-span / cfg_.half_life_secs);
+  fold(st.rates.execs_per_sec, rate(s.executions, prev.executions, span),
+       alpha, st.seeded);
+  fold(st.rates.features_per_sec,
+       rate(s.total_coverage, prev.total_coverage, span), alpha, st.seeded);
+  fold(st.rates.kernel_features_per_sec,
+       rate(s.kernel_coverage, prev.kernel_coverage, span), alpha, st.seeded);
+  fold(st.rates.states_per_sec,
+       rate(s.states_visited, prev.states_visited, span), alpha, st.seeded);
+  fold(st.rates.crashes_per_sec, rate(s.unique_bugs, prev.unique_bugs, span),
+       alpha, st.seeded);
+  st.seeded = true;
+  st.last = s;
+  st.last_secs = secs;
+}
+
+VelocityRates VelocityTracker::rates(std::string_view device) const {
+  const auto it = state_.find(device);
+  return it == state_.end() ? VelocityRates{} : it->second.rates;
+}
+
+VelocityRates VelocityTracker::aggregate_rates() const {
+  VelocityRates out;
+  for (const auto& [device, st] : state_) {
+    out.execs_per_sec += st.rates.execs_per_sec;
+    out.features_per_sec += st.rates.features_per_sec;
+    out.kernel_features_per_sec += st.rates.kernel_features_per_sec;
+    out.states_per_sec += st.rates.states_per_sec;
+    out.crashes_per_sec += st.rates.crashes_per_sec;
+  }
+  return out;
+}
+
+void VelocityTracker::write_json(JsonWriter& w,
+                                 const StatsReporter* reporter) const {
+  // Device universe: the reporter's (checkpoint-stable) order when
+  // available, the tracker's first-observed order otherwise.
+  const std::vector<std::string>& devs =
+      reporter != nullptr && !reporter->devices().empty() ? reporter->devices()
+                                                          : order_;
+  w.begin_object();
+  w.field("half_life_secs", cfg_.half_life_secs);
+  w.key("devices").begin_array();
+  for (const auto& dev : devs) {
+    w.begin_object();
+    w.field("device", dev);
+    if (reporter != nullptr) {
+      write_milestones(w, device_points(reporter->series(dev)));
+    }
+    write_rates(w, rates(dev));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("aggregate").begin_object();
+  if (reporter != nullptr && !devs.empty()) {
+    // Index-wise fleet sums truncated to the shortest series, mirroring the
+    // reporter's aggregate section; the timestamp of a fleet point is the
+    // latest device timestamp at that index.
+    size_t n = SIZE_MAX;
+    for (const auto& dev : devs) n = std::min(n, reporter->series(dev).size());
+    std::vector<MilestonePoint> pts(n == SIZE_MAX ? 0 : n);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      for (const auto& dev : devs) {
+        const auto& p = reporter->series(dev)[i];
+        pts[i].executions += p.sample.executions;
+        pts[i].total_coverage += p.sample.total_coverage;
+        pts[i].secs = std::max(pts[i].secs, p.secs);
+      }
+    }
+    write_milestones(w, pts);
+  }
+  write_rates(w, aggregate_rates());
+  w.end_object();
+  w.end_object();
+}
+
+std::string VelocityTracker::to_json(const StatsReporter* reporter) const {
+  JsonWriter w;
+  write_json(w, reporter);
+  return w.take();
+}
+
+}  // namespace df::obs

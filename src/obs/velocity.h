@@ -1,0 +1,93 @@
+// Coverage-velocity analytics (DESIGN.md §10): windowed rates of campaign
+// progress — executions, new coverage features, new driver states, crashes
+// per second — smoothed with an exponentially decaying moving average so a
+// live operator (or a bench's time-to-coverage axis) sees "how fast right
+// now", not a campaign-lifetime mean.
+//
+// The EWMA: each observation computes the instantaneous rate over the delta
+// since the previous sample and folds it in with
+//   alpha = 1 - 2^(-dt / half_life)
+// so a rate change decays to half its weight after `half_life_secs` of wall
+// time regardless of the sampling cadence. The first observation of a
+// device seeds the rates with its instantaneous values.
+//
+// Determinism contract: every rate is wall-dependent, so write_json puts
+// them all under "timing" keys. The deterministic part of the export — the
+// time-to-coverage milestone ladder — is derived from the StatsReporter
+// series (which checkpoint/resume restores verbatim), not from tracker
+// history, so a resumed campaign exports the same milestone content as the
+// uninterrupted run.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/stats_reporter.h"
+
+namespace df::obs {
+
+class JsonWriter;
+
+struct VelocityConfig {
+  double half_life_secs = 30.0;
+};
+
+struct VelocityRates {
+  double execs_per_sec = 0;
+  double features_per_sec = 0;         // total (kernel + HAL) coverage
+  double kernel_features_per_sec = 0;  // the paper's coverage proxy
+  double states_per_sec = 0;           // driver state-machine coverage
+  double crashes_per_sec = 0;
+};
+
+class VelocityTracker {
+ public:
+  explicit VelocityTracker(VelocityConfig cfg = {});
+
+  const VelocityConfig& config() const { return cfg_; }
+
+  // Folds one observation in at the current steady-clock time. `sample`
+  // carries cumulative counters; rates come from deltas between calls.
+  void observe(const std::string& device, const EngineSample& s);
+  // Same, at an explicit campaign-relative timestamp (testing and replay).
+  // Out-of-order timestamps (dt <= 0) update the cumulative baselines but
+  // leave the rates untouched.
+  void observe_at(const std::string& device, double secs,
+                  const EngineSample& s);
+
+  // Devices in first-observed order.
+  const std::vector<std::string>& devices() const { return order_; }
+  // Current smoothed rates (zero-valued for unknown devices).
+  VelocityRates rates(std::string_view device) const;
+  // Fleet-wide rates: sum of the per-device EWMAs.
+  VelocityRates aggregate_rates() const;
+
+  // {"half_life_secs":..,"devices":[{"device":..,"time_to_coverage":[..],
+  //  "timing":{rates}}],"aggregate":{..}}. With a reporter the export gains
+  // the deterministic time-to-coverage ladder (executions to reach 25/50/
+  // 75/90/100% of the series' final total coverage); rates always live
+  // under "timing".
+  void write_json(JsonWriter& w, const StatsReporter* reporter = nullptr) const;
+  std::string to_json(const StatsReporter* reporter = nullptr) const;
+
+ private:
+  struct State {
+    bool seeded = false;
+    double last_secs = 0;
+    EngineSample last;
+    VelocityRates rates;
+  };
+
+  double now_secs() const;
+
+  VelocityConfig cfg_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::string> order_;
+  std::map<std::string, State, std::less<>> state_;
+};
+
+}  // namespace df::obs

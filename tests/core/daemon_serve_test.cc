@@ -1,0 +1,178 @@
+// Live introspection end to end (DESIGN.md §10): a daemon with
+// serve_port=0 runs a small campaign, then the four endpoints are scraped
+// over a real socket and their shapes validated with obs/json_parse. The
+// /healthz flip test drives the stall watchdog by hand.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/fuzz/daemon.h"
+#include "obs/json_parse.h"
+#include "obs/obs.h"
+#include "obs/stats_reporter.h"
+#include "tests/obs/http_test_util.h"
+
+namespace df::core {
+namespace {
+
+using df::test::http_get;
+
+TEST(DaemonServe, DisabledByDefault) {
+  DaemonConfig cfg;
+  cfg.seed = 1;
+  Daemon d(cfg);
+  EXPECT_EQ(d.server(), nullptr);
+  EXPECT_EQ(d.serve_port(), -1);
+  d.publish_introspection();  // no-op without a server
+}
+
+TEST(DaemonServe, StatusCoverageMetricsAndHealthz) {
+  DaemonConfig cfg;
+  cfg.seed = 9;
+  cfg.serve_port = 0;
+  Daemon d(cfg);
+  ASSERT_NE(d.server(), nullptr);
+  const int port = d.serve_port();
+  ASSERT_GT(port, 0);
+
+  obs::Observability obs;
+  obs.trace.set_record_execs(false);
+  obs::StatsReporter rep(256);
+  d.attach_observability(&obs);
+  d.attach_reporter(&rep);
+  ASSERT_TRUE(d.add_device("A1"));
+  ASSERT_TRUE(d.add_device("B"));
+  d.run(600, 128);
+
+  // /status: campaign header, per-device samples, fleet utilization,
+  // velocity, health verdict.
+  auto res = http_get(static_cast<uint16_t>(port), "/status");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.content_type, "application/json");
+  std::string error;
+  auto doc = obs::json_parse(res.body, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const obs::JsonValue* campaign = doc->find("campaign");
+  ASSERT_NE(campaign, nullptr);
+  EXPECT_EQ(campaign->find("seed")->as_u64(), 9u);
+  EXPECT_EQ(campaign->find("devices")->as_u64(), 2u);
+  EXPECT_EQ(campaign->find("progress")->as_u64(), 600u);
+  const obs::JsonValue* devices = doc->find("devices");
+  ASSERT_NE(devices, nullptr);
+  ASSERT_EQ(devices->items.size(), 2u);
+  for (const auto& dev : devices->items) {
+    EXPECT_EQ(dev.find("executions")->as_u64(), 600u);
+    ASSERT_NE(dev.find("timing"), nullptr);
+    ASSERT_NE(dev.find("timing")->find("execs_per_sec"), nullptr);
+  }
+  const obs::JsonValue* fleet = doc->find("fleet");
+  ASSERT_NE(fleet, nullptr);
+  ASSERT_NE(fleet->find("timing"), nullptr);
+  EXPECT_FALSE(fleet->find("timing")->find("utilization")->items.empty());
+  ASSERT_NE(doc->find("velocity"), nullptr);
+  ASSERT_NE(doc->find("velocity")->find("aggregate"), nullptr);
+  EXPECT_TRUE(doc->find("healthy")->boolean);
+
+  // /coverage: per-device driver-state matrices.
+  res = http_get(static_cast<uint16_t>(port), "/coverage");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 200);
+  doc = obs::json_parse(res.body, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_NE(doc->find("devices"), nullptr);
+  ASSERT_EQ(doc->find("devices")->items.size(), 2u);
+  const obs::JsonValue* cov =
+      doc->find("devices")->items[0].find("state_coverage");
+  ASSERT_NE(cov, nullptr);
+  ASSERT_FALSE(cov->items.empty());
+  EXPECT_NE(cov->items[0].find("matrix"), nullptr);
+
+  // /metrics: live Prometheus exposition straight off the registry.
+  res = http_get(static_cast<uint16_t>(port), "/metrics");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 200);
+  EXPECT_NE(res.content_type.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(res.body.find("# TYPE df_engine_executions counter"),
+            std::string::npos);
+  EXPECT_NE(res.body.find("df_engine_executions{label=\"A1\"} 600"),
+            std::string::npos);
+
+  // /healthz: no stalls in this campaign.
+  res = http_get(static_cast<uint16_t>(port), "/healthz");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.body, "ok\n");
+}
+
+TEST(DaemonServe, HealthzFlipsWithStallWatchdog) {
+  DaemonConfig cfg;
+  cfg.seed = 3;
+  cfg.serve_port = 0;
+  Daemon d(cfg);
+  ASSERT_NE(d.server(), nullptr);
+  const auto port = static_cast<uint16_t>(d.serve_port());
+
+  obs::StatsReporter rep(64);
+  rep.set_stall_window(1);
+  d.attach_reporter(&rep);
+  ASSERT_TRUE(d.add_device("A1"));
+
+  // Coverage plateau: two records with no total-coverage growth past the
+  // window flag the device.
+  obs::EngineSample s;
+  s.executions = 100;
+  s.total_coverage = 50;
+  rep.record("A1", s);
+  s.executions = 200;
+  rep.record("A1", s);
+  ASSERT_TRUE(rep.stalled("A1"));
+  d.publish_introspection();
+  auto res = http_get(port, "/healthz");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 503);
+  EXPECT_EQ(res.body, "stalled: A1\n");
+
+  // /status mirrors the verdict.
+  res = http_get(port, "/status");
+  ASSERT_TRUE(res.ok);
+  std::string error;
+  auto doc = obs::json_parse(res.body, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_FALSE(doc->find("healthy")->boolean);
+  ASSERT_EQ(doc->find("stalled_devices")->items.size(), 1u);
+  EXPECT_EQ(doc->find("stalled_devices")->items[0].scalar, "A1");
+
+  // New coverage clears the stall and health recovers.
+  s.executions = 300;
+  s.total_coverage = 60;
+  rep.record("A1", s);
+  ASSERT_FALSE(rep.stalled("A1"));
+  d.publish_introspection();
+  res = http_get(port, "/healthz");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.body, "ok\n");
+}
+
+TEST(DaemonServe, MovedDaemonKeepsServing) {
+  DaemonConfig cfg;
+  cfg.seed = 5;
+  cfg.serve_port = 0;
+  Daemon a(cfg);
+  ASSERT_NE(a.server(), nullptr);
+  const auto port = static_cast<uint16_t>(a.serve_port());
+  ASSERT_TRUE(a.add_device("A1"));
+  Daemon b(std::move(a));  // handlers capture shared state, not `this`
+  b.run(200, 64);
+  const auto res = http_get(port, "/status");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 200);
+  std::string error;
+  const auto doc = obs::json_parse(res.body, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("campaign")->find("progress")->as_u64(), 200u);
+}
+
+}  // namespace
+}  // namespace df::core

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -71,13 +72,16 @@ TEST(FleetExecutor, SliceCallbackSeesCumulativeCounts) {
 
 // The tentpole contract: same seed, workers=4 per-engine results byte-
 // identical to workers=1 — coverage, corpus (via save_corpus), relations,
-// and bug titles with first_exec indices.
+// and bug titles with first_exec indices. Both campaigns run with the
+// introspection server live (serve_port=0): serving is read-only and must
+// not perturb results at any worker count.
 TEST(Daemon, ParallelRunMatchesSequentialPerDevice) {
   const std::vector<std::string> ids{"A1", "B", "C1", "E"};
   auto campaign = [&](size_t workers, std::string* fp, std::string* corpus) {
     DaemonConfig cfg;
     cfg.seed = 9;
     cfg.workers = workers;
+    cfg.serve_port = 0;
     Daemon d(cfg);
     for (const auto& id : ids) ASSERT_TRUE(d.add_device(id));
     d.run(1500, 128);
@@ -168,6 +172,76 @@ TEST(Daemon, ParallelTelemetryCountsAreExact) {
   }
   EXPECT_GT(obs.trace.size(), 0u);
   EXPECT_GT(obs.flight.recorded(), 0u);
+}
+
+// Utilization profiler (DESIGN.md §10): per-worker busy/idle/barrier
+// accounting accumulates across run() with one entry per worker, and the
+// relaxed-atomic counters surface in the registry under fleet.worker.*.
+TEST(Daemon, UtilizationProfilerCoversEveryWorker) {
+  DaemonConfig cfg;
+  cfg.seed = 13;
+  cfg.workers = 2;
+  Daemon d(cfg);
+  obs::Observability obs;
+  obs.trace.set_record_execs(false);
+  d.attach_observability(&obs);
+  ASSERT_TRUE(d.add_device("A1"));
+  ASSERT_TRUE(d.add_device("B"));
+  ASSERT_TRUE(d.add_device("C1"));
+  d.run(600, 128);
+
+  const FleetUtilization& util = d.utilization();
+  ASSERT_EQ(util.workers.size(), 2u);
+  for (const auto& w : util.workers) {
+    EXPECT_GT(w.rounds, 0u);
+    EXPECT_GT(w.busy_ns, 0u);
+  }
+  // max - min of per-worker busy time; with both workers busy it cannot
+  // exceed the busier worker's total.
+  EXPECT_LE(util.busy_imbalance_ns(),
+            std::max(util.workers[0].busy_ns, util.workers[1].busy_ns));
+
+  const auto snap = obs.registry.snapshot();
+  const auto* busy = snap.find_counter("fleet.worker.busy_ns", "w0");
+  ASSERT_NE(busy, nullptr);
+  EXPECT_GT(busy->value, 0u);
+  ASSERT_NE(snap.find_counter("fleet.worker.idle_ns", "w1"), nullptr);
+  ASSERT_NE(snap.find_counter("fleet.worker.barrier_ns", "w1"), nullptr);
+  bool found_imbalance = false;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "fleet.worker.imbalance_ns") found_imbalance = true;
+  }
+  EXPECT_TRUE(found_imbalance);
+}
+
+TEST(Daemon, SequentialUtilizationHasOneWorker) {
+  DaemonConfig cfg;
+  cfg.seed = 4;
+  cfg.workers = 1;
+  Daemon d(cfg);
+  ASSERT_TRUE(d.add_device("A1"));
+  d.run(300, 128);
+  const FleetUtilization& util = d.utilization();
+  ASSERT_EQ(util.workers.size(), 1u);
+  EXPECT_GT(util.workers[0].rounds, 0u);
+  EXPECT_GT(util.workers[0].busy_ns, 0u);
+  EXPECT_EQ(util.busy_imbalance_ns(), 0u);
+}
+
+TEST(FleetUtilization, MergeAddsIndexWise) {
+  FleetUtilization a;
+  a.workers = {{100, 10, 1, 2}, {50, 5, 2, 2}};
+  FleetUtilization b;
+  b.workers = {{20, 1, 1, 1}};
+  a.merge(b);
+  ASSERT_EQ(a.workers.size(), 2u);
+  EXPECT_EQ(a.workers[0].busy_ns, 120u);
+  EXPECT_EQ(a.workers[0].idle_ns, 11u);
+  EXPECT_EQ(a.workers[0].rounds, 3u);
+  EXPECT_EQ(a.workers[1].busy_ns, 50u);
+  EXPECT_EQ(a.busy_imbalance_ns(), 70u);
+  FleetUtilization empty;
+  EXPECT_EQ(empty.busy_imbalance_ns(), 0u);
 }
 
 TEST(Daemon, WorkersZeroResolvesToHardwareConcurrency) {

@@ -1,0 +1,131 @@
+#include "obs/prom.h"
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace df::obs {
+namespace {
+
+TEST(PromName, PrefixesAndSanitizes) {
+  EXPECT_EQ(prom_metric_name("engine.executions"), "df_engine_executions");
+  EXPECT_EQ(prom_metric_name("fleet.worker.busy_ns"),
+            "df_fleet_worker_busy_ns");
+  EXPECT_EQ(prom_metric_name("a-b/c d"), "df_a_b_c_d");
+  EXPECT_EQ(prom_metric_name("already_fine", ""), "already_fine");
+  // Without a prefix a leading digit is not a valid metric start.
+  EXPECT_EQ(prom_metric_name("9lives", ""), "_9lives");
+}
+
+TEST(PromEscape, LabelEscaping) {
+  EXPECT_EQ(prom_escape_label("plain"), "plain");
+  EXPECT_EQ(prom_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(prom_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_label("a\nb"), "a\\nb");
+}
+
+// The full exposition for a small registry, byte for byte: families in
+// snapshot (name, label) order, one # TYPE line per family, cumulative
+// histogram buckets, `_sum`/`_count` last.
+TEST(PromRender, GoldenExposition) {
+  Registry reg;
+  reg.counter("engine.executions", "A1").inc(100);
+  reg.counter("engine.executions", "B2").inc(50);
+  reg.gauge("campaign.progress").set(0.5);
+  Histogram& h = reg.histogram("phase.execute", "A1");
+  h.record(0);  // bucket 0 (le="0")
+  h.record(1);  // bucket 1 (le="1")
+  h.record(3);  // bucket 2 (le="3")
+
+  const std::string want =
+      "# TYPE df_engine_executions counter\n"
+      "df_engine_executions{label=\"A1\"} 100\n"
+      "df_engine_executions{label=\"B2\"} 50\n"
+      "# TYPE df_campaign_progress gauge\n"
+      "df_campaign_progress 0.5\n"
+      "# TYPE df_phase_execute histogram\n"
+      "df_phase_execute_bucket{label=\"A1\",le=\"0\"} 1\n"
+      "df_phase_execute_bucket{label=\"A1\",le=\"1\"} 2\n"
+      "df_phase_execute_bucket{label=\"A1\",le=\"3\"} 3\n"
+      "df_phase_execute_bucket{label=\"A1\",le=\"+Inf\"} 3\n"
+      "df_phase_execute_sum{label=\"A1\"} 4\n"
+      "df_phase_execute_count{label=\"A1\"} 3\n";
+  EXPECT_EQ(render_prometheus(reg.snapshot()), want);
+}
+
+TEST(PromRender, UnlabeledMetricHasNoBraces) {
+  Registry reg;
+  reg.counter("campaign.rounds").inc(7);
+  EXPECT_EQ(render_prometheus(reg.snapshot()),
+            "# TYPE df_campaign_rounds counter\ndf_campaign_rounds 7\n");
+}
+
+TEST(PromRender, LabelValuesAreEscaped) {
+  Registry reg;
+  reg.counter("c", "dev\"1\"\n").inc(1);
+  const std::string out = render_prometheus(reg.snapshot());
+  EXPECT_NE(out.find("df_c{label=\"dev\\\"1\\\"\\n\"} 1\n"),
+            std::string::npos)
+      << out;
+}
+
+// Histogram buckets must be cumulative (non-decreasing in le order) with
+// the +Inf sample equal to _count — the property Prometheus itself
+// enforces on scrape.
+TEST(PromRender, HistogramBucketsAreCumulative) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", "");
+  const uint64_t values[] = {0, 1, 1, 5, 9, 100, 5000, 1 << 20};
+  uint64_t sum = 0;
+  for (uint64_t v : values) {
+    h.record(v);
+    sum += v;
+  }
+  const std::string out = render_prometheus(reg.snapshot());
+
+  std::istringstream lines(out);
+  std::string line;
+  std::vector<uint64_t> cumulative;
+  uint64_t inf = 0, count = 0, total = 0;
+  while (std::getline(lines, line)) {
+    uint64_t v = 0;
+    if (std::sscanf(line.c_str(), "df_lat_bucket{le=\"+Inf\"} %" SCNu64,
+                    &inf) == 1) {
+      continue;
+    }
+    if (line.rfind("df_lat_bucket{le=", 0) == 0) {
+      const size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos);
+      v = std::strtoull(line.c_str() + space + 1, nullptr, 10);
+      cumulative.push_back(v);
+    } else if (std::sscanf(line.c_str(), "df_lat_count %" SCNu64, &count) ==
+               1) {
+    } else if (std::sscanf(line.c_str(), "df_lat_sum %" SCNu64, &total) ==
+               1) {
+    }
+  }
+  ASSERT_FALSE(cumulative.empty());
+  for (size_t i = 1; i < cumulative.size(); ++i) {
+    EXPECT_GE(cumulative[i], cumulative[i - 1]);
+  }
+  EXPECT_EQ(count, std::size(values));
+  EXPECT_EQ(inf, count);
+  EXPECT_GE(inf, cumulative.back());
+  EXPECT_EQ(total, sum);
+}
+
+TEST(PromRender, EmptySnapshotIsEmptyText) {
+  Registry reg;
+  EXPECT_EQ(render_prometheus(reg.snapshot()), "");
+}
+
+}  // namespace
+}  // namespace df::obs

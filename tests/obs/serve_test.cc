@@ -1,0 +1,129 @@
+#include "obs/serve.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/json_parse.h"
+#include "tests/obs/http_test_util.h"
+
+namespace df::obs {
+namespace {
+
+using df::test::http_get;
+using df::test::http_request;
+
+TEST(HttpServer, BindsEphemeralPortAndStops) {
+  HttpServer srv;
+  std::string error;
+  ASSERT_TRUE(srv.start(0, &error)) << error;
+  EXPECT_TRUE(srv.running());
+  EXPECT_GT(srv.port(), 0);
+  srv.stop();
+  EXPECT_FALSE(srv.running());
+  srv.stop();  // idempotent
+  EXPECT_FALSE(srv.running());
+}
+
+TEST(HttpServer, ServesRegisteredHandler) {
+  HttpServer srv;
+  srv.handle("/status", [] {
+    HttpResponse r;
+    r.content_type = "application/json";
+    JsonWriter w;
+    w.begin_object().field("healthy", true).field("devices", uint64_t{7});
+    w.end_object();
+    r.body = w.take();
+    return r;
+  });
+  ASSERT_TRUE(srv.start(0));
+
+  const auto res = http_get(srv.port(), "/status");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.content_type, "application/json");
+  std::string error;
+  const auto doc = json_parse(res.body, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_NE(doc->find("devices"), nullptr);
+  EXPECT_EQ(doc->find("devices")->as_u64(), 7u);
+  EXPECT_GE(srv.requests(), 1u);
+}
+
+TEST(HttpServer, QueryStringIsStrippedBeforeMatching) {
+  HttpServer srv;
+  srv.handle("/metrics", [] {
+    HttpResponse r;
+    r.body = "ok";
+    return r;
+  });
+  ASSERT_TRUE(srv.start(0));
+  const auto res = http_get(srv.port(), "/metrics?window=5m");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.body, "ok");
+}
+
+TEST(HttpServer, UnknownPathIs404) {
+  HttpServer srv;
+  srv.handle("/known", [] { return HttpResponse{}; });
+  ASSERT_TRUE(srv.start(0));
+  const auto res = http_get(srv.port(), "/unknown");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 404);
+}
+
+TEST(HttpServer, NonGetIs405) {
+  HttpServer srv;
+  srv.handle("/status", [] { return HttpResponse{}; });
+  ASSERT_TRUE(srv.start(0));
+  const auto res = http_request(srv.port(), "POST", "/status");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 405);
+}
+
+TEST(HttpServer, HandlerStatusCodePropagates) {
+  HttpServer srv;
+  srv.handle("/healthz", [] {
+    HttpResponse r;
+    r.status = 503;
+    r.body = "stalled: A1\n";
+    return r;
+  });
+  ASSERT_TRUE(srv.start(0));
+  const auto res = http_get(srv.port(), "/healthz");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 503);
+  EXPECT_EQ(res.body, "stalled: A1\n");
+}
+
+TEST(HttpServer, HandlersReplaceableWhileRunning) {
+  HttpServer srv;
+  srv.handle("/v", [] {
+    HttpResponse r;
+    r.body = "one";
+    return r;
+  });
+  ASSERT_TRUE(srv.start(0));
+  EXPECT_EQ(http_get(srv.port(), "/v").body, "one");
+  srv.handle("/v", [] {
+    HttpResponse r;
+    r.body = "two";
+    return r;
+  });
+  EXPECT_EQ(http_get(srv.port(), "/v").body, "two");
+}
+
+TEST(HttpServer, PortInUseFailsWithError) {
+  HttpServer a;
+  ASSERT_TRUE(a.start(0));
+  HttpServer b;
+  std::string error;
+  EXPECT_FALSE(b.start(a.port(), &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(b.running());
+}
+
+}  // namespace
+}  // namespace df::obs

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "obs/obs.h"
 
@@ -155,6 +156,29 @@ TEST(StatsReporter, WatchdogTracksDevicesIndependently) {
   rep.record("B", flat_sample(600, 9));
   EXPECT_TRUE(rep.stalled("A1"));
   EXPECT_FALSE(rep.stalled("B"));
+}
+
+// The aggregate accessors behind /healthz (obs/serve.h): name-ordered
+// stalled list and the fleet-level verdict.
+TEST(StatsReporter, StalledDevicesAndAnyStalled) {
+  StatsReporter rep(100);
+  rep.set_stall_window(500);
+  EXPECT_FALSE(rep.any_stalled());
+  EXPECT_TRUE(rep.stalled_devices().empty());
+  // Insert out of name order; the stalled list must come back sorted.
+  rep.record("C1", flat_sample(0, 5));
+  rep.record("A1", flat_sample(0, 5));
+  rep.record("B", flat_sample(0, 5));
+  rep.record("C1", flat_sample(600, 5));
+  rep.record("A1", flat_sample(600, 5));
+  rep.record("B", flat_sample(600, 9));
+  EXPECT_TRUE(rep.any_stalled());
+  EXPECT_EQ(rep.stalled_devices(), (std::vector<std::string>{"A1", "C1"}));
+  // Progress on one device shrinks the list; on both, clears the verdict.
+  rep.record("A1", flat_sample(700, 6));
+  EXPECT_EQ(rep.stalled_devices(), (std::vector<std::string>{"C1"}));
+  rep.record("C1", flat_sample(700, 6));
+  EXPECT_FALSE(rep.any_stalled());
 }
 
 }  // namespace

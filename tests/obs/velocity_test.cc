@@ -1,0 +1,158 @@
+#include "obs/velocity.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json_parse.h"
+#include "obs/stats_reporter.h"
+
+namespace df::obs {
+namespace {
+
+EngineSample sample(uint64_t execs, uint64_t total_cov = 0,
+                    uint64_t kernel_cov = 0, uint64_t states = 0,
+                    uint64_t bugs = 0) {
+  EngineSample s;
+  s.executions = execs;
+  s.total_coverage = total_cov;
+  s.kernel_coverage = kernel_cov;
+  s.states_visited = states;
+  s.unique_bugs = bugs;
+  return s;
+}
+
+TEST(VelocityTracker, FirstObservationSeedsInstantaneousRates) {
+  VelocityTracker t({.half_life_secs = 1.0});
+  t.observe_at("A1", 2.0, sample(100, 20, 10, 4, 2));
+  const VelocityRates r = t.rates("A1");
+  EXPECT_DOUBLE_EQ(r.execs_per_sec, 50.0);
+  EXPECT_DOUBLE_EQ(r.features_per_sec, 10.0);
+  EXPECT_DOUBLE_EQ(r.kernel_features_per_sec, 5.0);
+  EXPECT_DOUBLE_EQ(r.states_per_sec, 2.0);
+  EXPECT_DOUBLE_EQ(r.crashes_per_sec, 1.0);
+}
+
+// dt == half_life gives alpha = 1 - 2^-1 = 0.5: the EWMA lands exactly
+// halfway between the previous estimate and the instantaneous rate.
+TEST(VelocityTracker, EwmaFoldsWithHalfLifeAlpha) {
+  VelocityTracker t({.half_life_secs = 1.0});
+  t.observe_at("A1", 1.0, sample(100));  // seeds at 100 execs/sec
+  t.observe_at("A1", 2.0, sample(300));  // instantaneous 200 execs/sec
+  EXPECT_DOUBLE_EQ(t.rates("A1").execs_per_sec, 150.0);
+}
+
+TEST(VelocityTracker, RatesDecayWhenProgressStops) {
+  VelocityTracker t({.half_life_secs = 1.0});
+  t.observe_at("A1", 1.0, sample(1000, 100));
+  const double before = t.rates("A1").features_per_sec;
+  t.observe_at("A1", 2.0, sample(2000, 100));  // no new coverage
+  const double after = t.rates("A1").features_per_sec;
+  EXPECT_LT(after, before);
+  EXPECT_GT(t.rates("A1").execs_per_sec, 0.0);
+}
+
+TEST(VelocityTracker, NonPositiveDtLeavesRatesUntouched) {
+  VelocityTracker t({.half_life_secs = 1.0});
+  t.observe_at("A1", 1.0, sample(100));
+  const double rate = t.rates("A1").execs_per_sec;
+  t.observe_at("A1", 1.0, sample(500));  // same timestamp: baselines only
+  EXPECT_DOUBLE_EQ(t.rates("A1").execs_per_sec, rate);
+  t.observe_at("A1", 0.5, sample(600));  // out of order
+  EXPECT_DOUBLE_EQ(t.rates("A1").execs_per_sec, rate);
+}
+
+TEST(VelocityTracker, UnknownDeviceHasZeroRates) {
+  VelocityTracker t;
+  EXPECT_DOUBLE_EQ(t.rates("nope").execs_per_sec, 0.0);
+}
+
+TEST(VelocityTracker, AggregateSumsDevices) {
+  VelocityTracker t({.half_life_secs = 1.0});
+  t.observe_at("A1", 1.0, sample(100, 10));
+  t.observe_at("B", 1.0, sample(300, 30));
+  const VelocityRates agg = t.aggregate_rates();
+  EXPECT_DOUBLE_EQ(agg.execs_per_sec, 400.0);
+  EXPECT_DOUBLE_EQ(agg.features_per_sec, 40.0);
+  EXPECT_EQ(t.devices().size(), 2u);
+}
+
+// Milestone ladder comes from the reporter's (checkpoint-restorable)
+// series, not tracker state: fractions of the final total coverage with
+// the first executions count that reached each target.
+TEST(VelocityTracker, MilestoneLadderFromReporterSeries) {
+  StatsReporter rep(100);
+  const uint64_t execs[] = {0, 100, 200, 300, 400};
+  const uint64_t cov[] = {0, 10, 20, 30, 40};
+  for (size_t i = 0; i < 5; ++i) {
+    StatsReporter::Point p;
+    p.sample = sample(execs[i], cov[i]);
+    p.secs = 0.1 * static_cast<double>(i);
+    rep.restore_point("A1", p);
+  }
+  VelocityTracker t;
+  std::string error;
+  const auto doc = json_parse(t.to_json(&rep), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+
+  const JsonValue* devices = doc->find("devices");
+  ASSERT_NE(devices, nullptr);
+  ASSERT_EQ(devices->items.size(), 1u);
+  const JsonValue& dev = devices->items[0];
+  EXPECT_EQ(dev.find("device")->scalar, "A1");
+
+  const JsonValue* ladder = dev.find("time_to_coverage");
+  ASSERT_NE(ladder, nullptr);
+  ASSERT_EQ(ladder->items.size(), 5u);  // 25/50/75/90/100%
+  const uint64_t want_target[] = {10, 20, 30, 36, 40};
+  const uint64_t want_execs[] = {100, 200, 300, 400, 400};
+  for (size_t i = 0; i < 5; ++i) {
+    const JsonValue& m = ladder->items[i];
+    EXPECT_EQ(m.find("target_coverage")->as_u64(), want_target[i]) << i;
+    EXPECT_EQ(m.find("executions")->as_u64(), want_execs[i]) << i;
+    ASSERT_NE(m.find("timing"), nullptr);
+    ASSERT_NE(m.find("timing")->find("secs"), nullptr);
+  }
+
+  // Aggregate mirrors the single device here.
+  const JsonValue* agg = doc->find("aggregate");
+  ASSERT_NE(agg, nullptr);
+  const JsonValue* agg_ladder = agg->find("time_to_coverage");
+  ASSERT_NE(agg_ladder, nullptr);
+  EXPECT_EQ(agg_ladder->items.size(), 5u);
+}
+
+TEST(VelocityTracker, ExportWithoutReporterStillParses) {
+  VelocityTracker t({.half_life_secs = 30.0});
+  t.observe_at("A1", 1.0, sample(100, 10));
+  std::string error;
+  const auto doc = json_parse(t.to_json(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_DOUBLE_EQ(doc->find("half_life_secs")->as_double(), 30.0);
+  const JsonValue* devices = doc->find("devices");
+  ASSERT_NE(devices, nullptr);
+  ASSERT_EQ(devices->items.size(), 1u);
+  // Without a reporter there is no milestone ladder, only rates.
+  EXPECT_EQ(devices->items[0].find("time_to_coverage"), nullptr);
+  const JsonValue* timing = devices->items[0].find("timing");
+  ASSERT_NE(timing, nullptr);
+  EXPECT_DOUBLE_EQ(timing->find("execs_per_sec")->as_double(), 100.0);
+}
+
+TEST(VelocityTracker, EmptyCoverageSeriesYieldsEmptyLadder) {
+  StatsReporter rep(10);
+  StatsReporter::Point p;
+  p.sample = sample(100, 0);  // campaign found nothing
+  rep.restore_point("A1", p);
+  VelocityTracker t;
+  std::string error;
+  const auto doc = json_parse(t.to_json(&rep), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* ladder =
+      doc->find("devices")->items[0].find("time_to_coverage");
+  ASSERT_NE(ladder, nullptr);
+  EXPECT_TRUE(ladder->items.empty());
+}
+
+}  // namespace
+}  // namespace df::obs

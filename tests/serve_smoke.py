@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the live introspection server (DESIGN.md §10).
+
+Launches fleet_campaign with --serve-port 0 and a linger window, parses the
+announce line for the ephemeral port, waits for the final summary line, then
+scrapes /healthz, /metrics, /status, and /coverage while the process lingers
+and validates shapes:
+
+  - /healthz answers 200 "ok" (no stall at this tiny budget),
+  - /metrics is Prometheus exposition carrying the engine execution
+    counters,
+  - /status and /coverage parse as JSON with the full device table.
+
+Usage: serve_smoke.py <path-to-fleet_campaign>
+"""
+
+import json
+import re
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+
+ANNOUNCE = re.compile(
+    r"serving live introspection on http://127\.0\.0\.1:(\d+)/")
+FLEET = {"A1", "A2", "B", "C1", "C2", "D", "E"}
+EXECS = 600
+
+
+def fail(proc, msg):
+    proc.kill()
+    proc.wait()
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def scrape(port, path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}",
+                                timeout=10) as res:
+        return res.status, res.read().decode("utf-8")
+
+
+def main(argv):
+    if len(argv) != 1:
+        print(__doc__)
+        return 2
+    cmd = [argv[0], str(EXECS), "7", "--serve-port", "0",
+           "--serve-linger-ms", "30000", "--quiet"]
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.DEVNULL, text=True)
+    try:
+        line = proc.stdout.readline()
+        m = ANNOUNCE.search(line)
+        if m is None:
+            return fail(proc, f"no announce line, got {line!r}")
+        port = int(m.group(1))
+
+        # Wait for the one-line summary (printed even under --quiet) so the
+        # campaign is finished and /status reflects the final state; the
+        # process then lingers with the server up.
+        done = False
+        for line in proc.stdout:
+            if line.startswith("fleet_campaign:"):
+                done = True
+                break
+        if not done:
+            return fail(proc, "campaign exited without a summary line")
+
+        status, body = scrape(port, "/healthz")
+        if status != 200 or body.strip() != "ok":
+            return fail(proc, f"/healthz: {status} {body!r}")
+
+        status, body = scrape(port, "/metrics")
+        if status != 200 or not body:
+            return fail(proc, f"/metrics: {status}, empty body")
+        if "# TYPE df_engine_executions counter" not in body:
+            return fail(proc, "/metrics missing engine execution counters")
+
+        status, body = scrape(port, "/status")
+        if status != 200:
+            return fail(proc, f"/status: {status}")
+        doc = json.loads(body)
+        devices = {d["device"] for d in doc["devices"]}
+        if devices != FLEET:
+            return fail(proc, f"/status devices: {sorted(devices)}")
+        if not all(d["executions"] == EXECS for d in doc["devices"]):
+            return fail(proc, "/status executions incomplete")
+        if doc["healthy"] is not True:
+            return fail(proc, "/status healthy must be true")
+        if "velocity" not in doc or "fleet" not in doc:
+            return fail(proc, "/status missing velocity/fleet sections")
+
+        status, body = scrape(port, "/coverage")
+        if status != 200:
+            return fail(proc, f"/coverage: {status}")
+        doc = json.loads(body)
+        if len(doc["devices"]) != len(FLEET):
+            return fail(proc, "/coverage must list the whole fleet")
+        if not doc["devices"][0]["state_coverage"]:
+            return fail(proc, "/coverage state_coverage empty")
+    except (urllib.error.URLError, OSError, KeyError,
+            json.JSONDecodeError) as e:
+        return fail(proc, f"{type(e).__name__}: {e}")
+
+    proc.terminate()
+    proc.wait(timeout=10)
+    print("OK: serve smoke (announce, /healthz, /metrics, /status, "
+          "/coverage)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
