@@ -114,6 +114,7 @@ RateRun run_fleet(uint64_t seed, uint64_t execs, uint64_t rate_ppm,
   const std::string config = "rate" + std::to_string(rate_ppm) + "ppm";
   for (const auto& id : ids) {
     out.series.push_back({id, config, rep, reporter.series(id), {}});
+    capture_analytics(out.series.back(), *d.engine(id));
   }
   out.velocity_json = d.velocity().to_json(&reporter);
   out.util = d.utilization();

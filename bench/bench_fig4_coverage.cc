@@ -63,6 +63,7 @@ int main() {
         df_final.push_back(static_cast<double>(eng.kernel_coverage()));
         BenchSeries series{id, "droidfuzz", r, std::move(points), {}};
         series.states = eng.state_coverage();
+        capture_analytics(series, eng);
         exported.push_back(std::move(series));
         for (const auto& [drv, n] : dev->kernel().per_driver_coverage()) {
           driver_cov[drv].first += static_cast<double>(n);
@@ -77,7 +78,9 @@ int main() {
         auto points = run_sampled_points(syz.engine(), k48h, kStep);
         syz_runs.push_back(to_series(points));
         syz_final.push_back(static_cast<double>(syz.kernel_coverage()));
-        exported.push_back({id, "syzkaller", r, std::move(points), {}});
+        BenchSeries series{id, "syzkaller", r, std::move(points), {}};
+        capture_analytics(series, syz.engine());
+        exported.push_back(std::move(series));
         for (const auto& [drv, n] : dev->kernel().per_driver_coverage()) {
           driver_cov[drv].second += static_cast<double>(n);
         }

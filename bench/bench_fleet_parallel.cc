@@ -92,6 +92,7 @@ FleetRun run_fleet(uint64_t seed, uint64_t execs, size_t workers, size_t rep,
   const std::string config = "workers" + std::to_string(workers);
   for (const auto& id : ids) {
     out.series.push_back({id, config, rep, reporter.series(id), {}});
+    capture_analytics(out.series.back(), *d.engine(id));
   }
   out.velocity_json = d.velocity().to_json(&reporter);
   out.util = d.utilization();

@@ -377,8 +377,10 @@ void run_obs_overhead_probe() {
     core::EngineConfig cfg;
     cfg.seed = seed;
     core::Engine eng(*dev, cfg);
-    exported.push_back(
-        {"A2", "detached", 0, run_sampled_points(eng, kMeasure, kStep), {}});
+    BenchSeries series{"A2", "detached", 0,
+                       run_sampled_points(eng, kMeasure, kStep), {}};
+    capture_analytics(series, eng);
+    exported.push_back(std::move(series));
   }
   {
     auto dev = device::make_device("A2", seed);
@@ -386,8 +388,10 @@ void run_obs_overhead_probe() {
     cfg.seed = seed;
     core::Engine eng(*dev, cfg);
     eng.attach_observability(&obs);
-    exported.push_back(
-        {"A2", "attached", 0, run_sampled_points(eng, kMeasure, kStep), {}});
+    BenchSeries series{"A2", "attached", 0,
+                       run_sampled_points(eng, kMeasure, kStep), {}};
+    capture_analytics(series, eng);
+    exported.push_back(std::move(series));
   }
 
   const double detached =

@@ -64,6 +64,7 @@ int main() {
     BenchSeries series{spec.id, "droidfuzz", 0,
                        run_sampled_points(eng, k144h, kSampleStep), {}};
     series.states = eng.state_coverage();
+    capture_analytics(series, eng);
     exported.push_back(std::move(series));
     for (const auto& bug : eng.crashes().bugs()) {
       found.push_back({spec.id, bug});
@@ -119,6 +120,7 @@ int main() {
                        run_sampled_points(syz.engine(), k48h, kSampleStep),
                        {}};
     series.states = syz.engine().state_coverage();
+    capture_analytics(series, syz.engine());
     exported.push_back(std::move(series));
     for (const auto& bug : syz.crashes().bugs()) {
       ++syz_total;
@@ -143,8 +145,11 @@ int main() {
           .field("origin", f.bug.origin)
           .field("class", f.bug.bug_class)
           .field("first_exec", f.bug.first_exec)
-          .field("dup_count", f.bug.dup_count)
-          .end_object();
+          .field("dup_count", f.bug.dup_count);
+      // Derivation chain of the triggering program, root corpus seed first.
+      w.key("lineage");
+      obs::write_lineage_json(w, f.bug.lineage);
+      w.end_object();
     }
     w.end_array();
   };

@@ -38,6 +38,7 @@ std::vector<double> run_config(const char* id, core::EngineConfig cfg,
     BenchSeries series{id, config_name, r,
                        run_sampled_points(eng, k48h, kSampleStep), {}};
     series.states = eng.state_coverage();
+    capture_analytics(series, eng);
     exported.push_back(std::move(series));
     finals.push_back(static_cast<double>(eng.kernel_coverage()));
   }
@@ -52,9 +53,11 @@ std::vector<double> run_syzkaller(const char* id, size_t reps,
     const uint64_t seed = base_seed + r * 101;
     auto dev = device::make_device(id, seed);
     baseline::SyzkallerFuzzer syz(*dev, seed);
-    exported.push_back({id, "syzkaller", r,
-                        run_sampled_points(syz.engine(), k48h, kSampleStep),
-                        {}});
+    BenchSeries series{id, "syzkaller", r,
+                       run_sampled_points(syz.engine(), k48h, kSampleStep),
+                       {}};
+    capture_analytics(series, syz.engine());
+    exported.push_back(std::move(series));
     finals.push_back(static_cast<double>(syz.kernel_coverage()));
   }
   return finals;

@@ -23,9 +23,12 @@
 #include <string>
 #include <vector>
 
+#include "core/fuzz/checkpoint.h"
 #include "core/fuzz/engine.h"
 #include "core/fuzz/fleet.h"
 #include "device/catalog.h"
+#include "obs/analytics.h"
+#include "obs/buildinfo.h"
 #include "obs/json.h"
 #include "obs/obs.h"
 #include "obs/stats_reporter.h"
@@ -136,7 +139,17 @@ struct BenchSeries {
   size_t rep = 0;
   std::vector<obs::StatsReporter::Point> points;
   std::vector<obs::DriverStateCoverage> states;
+  // Attribution/lineage/frontier analytics at campaign end (DESIGN.md §11);
+  // exported as the series' "analytics" section when captured.
+  bool has_analytics = false;
+  obs::AnalyticsSnapshot analytics;
 };
+
+// Snapshots the engine's campaign analytics into the series.
+inline void capture_analytics(BenchSeries& s, const core::Engine& eng) {
+  s.analytics = eng.analytics_snapshot();
+  s.has_analytics = true;
+}
 
 // Per-worker busy/idle/barrier accounting as JSON fields (an "utilization"
 // array plus "busy_imbalance_ms"), written into an already-open "timing"
@@ -215,6 +228,10 @@ inline bool write_bench_json(
       }
       w.end_array();
     }
+    if (s.has_analytics) {
+      w.key("analytics");
+      s.analytics.write_json(w, &s.points);
+    }
     w.key("timing").begin_object();
     w.key("secs").begin_array();
     for (const auto& p : s.points) w.value(p.secs);
@@ -229,6 +246,9 @@ inline bool write_bench_json(
     w.key("metrics");
     obs->registry.snapshot().write_json(w);
   }
+  w.key("build");
+  w.raw(obs::build_json({{"checkpoint", core::CampaignCheckpoint::kVersion},
+                         {"analytics", obs::kAnalyticsSchemaVersion}}));
   if (extra) extra(w);
   w.key("timing").begin_object();
   w.field("wall_seconds", wall_seconds);

@@ -1,0 +1,198 @@
+// df_explain: campaign attribution and coverage-frontier explainer
+// (DESIGN.md §11).
+//
+//   ./examples/df_explain [execs-per-device] [seed] [--json <path>]
+//                         [--quiet]
+//
+// Runs a short campaign over the whole device catalog, then explains where
+// the coverage came from and where it stopped:
+//   * the per-operator yield table — attempts, accepts, new features, new
+//     driver states, and bugs credited to each generation/mutation origin;
+//   * the corpus lineage digest — roots, generation depth histogram, and
+//     the highest-yield ancestor seeds;
+//   * the coverage frontier — every declared-but-unvisited driver state,
+//     classified as unreachable-from-frontier (no declared route),
+//     planned-but-failed (plans ran, state never entered — with the
+//     failure-reason counters), or never-attempted.
+// --json writes the same report machine-readably (validated by
+// scripts/check_bench_json.py); --quiet suppresses the tables.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/fuzz/checkpoint.h"
+#include "core/fuzz/daemon.h"
+#include "device/catalog.h"
+#include "obs/analytics.h"
+#include "obs/buildinfo.h"
+#include "obs/json.h"
+#include "util/log.h"
+
+namespace {
+
+void print_operator_table(const df::obs::OperatorAttribution& attr) {
+  std::printf("  %-16s %8s %8s %8s %8s %6s %9s\n", "origin", "attempts",
+              "accepts", "features", "states", "bugs", "mean_cost");
+  for (size_t i = 0; i < df::obs::kProgramOriginCount; ++i) {
+    const auto origin = static_cast<df::obs::ProgramOrigin>(i);
+    const df::obs::OperatorYield& y = attr.row(origin);
+    if (y.attempts == 0 && y.accepts == 0 && y.new_features == 0 &&
+        y.new_states == 0 && y.bugs == 0) {
+      continue;
+    }
+    const double mean_cost =
+        y.attempts == 0 ? 0.0
+                        : static_cast<double>(y.total_calls) /
+                              static_cast<double>(y.attempts);
+    std::printf("  %-16s %8llu %8llu %8llu %8llu %6llu %9.2f\n",
+                std::string(df::obs::origin_name(origin)).c_str(),
+                static_cast<unsigned long long>(y.attempts),
+                static_cast<unsigned long long>(y.accepts),
+                static_cast<unsigned long long>(y.new_features),
+                static_cast<unsigned long long>(y.new_states),
+                static_cast<unsigned long long>(y.bugs), mean_cost);
+  }
+}
+
+void print_lineage(const df::obs::LineageSummary& lin) {
+  std::printf("  corpus: %llu seeds, %llu roots, max depth %llu\n",
+              static_cast<unsigned long long>(lin.seeds),
+              static_cast<unsigned long long>(lin.roots),
+              static_cast<unsigned long long>(lin.max_depth));
+  std::printf("  depth histogram:");
+  for (size_t d = 0; d < lin.depth_histogram.size(); ++d) {
+    std::printf(" %zu:%llu", d,
+                static_cast<unsigned long long>(lin.depth_histogram[d]));
+  }
+  std::printf("\n");
+  for (const df::obs::AncestorYield& a : lin.top_ancestors) {
+    std::printf("  ancestor %016llx: %llu descendants, %llu subtree "
+                "features\n",
+                static_cast<unsigned long long>(a.hash),
+                static_cast<unsigned long long>(a.descendants),
+                static_cast<unsigned long long>(a.subtree_new_features));
+  }
+}
+
+void print_frontier(const df::obs::FrontierReport& fr) {
+  std::printf("  frontier: %llu/%llu declared states visited\n",
+              static_cast<unsigned long long>(fr.states_visited),
+              static_cast<unsigned long long>(fr.states_total));
+  for (const df::obs::FrontierState& s : fr.unvisited) {
+    std::printf("    %s/%s: %s (plan length %llu",
+                s.driver.c_str(), s.state.c_str(),
+                std::string(df::obs::frontier_class_name(s.cls)).c_str(),
+                static_cast<unsigned long long>(s.plan_length));
+    if (s.cls == df::obs::FrontierClass::kPlannedButFailed) {
+      std::printf("; injected %llu, materialize_failed %llu, "
+                  "executed_no_visit %llu",
+                  static_cast<unsigned long long>(s.plans_injected),
+                  static_cast<unsigned long long>(s.materialize_failed),
+                  static_cast<unsigned long long>(s.executed_no_visit));
+    }
+    std::printf(")\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  df::util::init_log_from_env();
+  uint64_t execs = 4000;
+  uint64_t seed = 3;
+  std::string json_path;
+  bool quiet = false;
+  int pos = 0;
+  const auto flag_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", flag);
+      std::exit(1);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = flag_value(i, "--json");
+    } else if (pos == 0) {
+      execs = std::strtoull(argv[i], nullptr, 10);
+      ++pos;
+    } else if (pos == 1) {
+      seed = std::strtoull(argv[i], nullptr, 10);
+      ++pos;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [execs-per-device] [seed] [--json <path>] "
+                   "[--quiet]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  df::core::DaemonConfig cfg;
+  cfg.seed = seed;
+  df::core::Daemon daemon(cfg);
+  for (const auto& spec : df::device::device_table()) {
+    daemon.add_device(spec.id);
+  }
+  daemon.run(execs);
+
+  uint64_t total_unvisited = 0;
+  for (const auto& spec : df::device::device_table()) {
+    df::core::Engine* eng = daemon.engine(spec.id);
+    const df::obs::AnalyticsSnapshot snap = eng->analytics_snapshot();
+    total_unvisited += snap.frontier.unvisited.size();
+    if (quiet) continue;
+    std::printf("== %s: %llu execs, %zu features, %zu bugs ==\n",
+                spec.id.c_str(),
+                static_cast<unsigned long long>(eng->executions()),
+                eng->kernel_coverage(), eng->crashes().unique_bugs());
+    print_operator_table(snap.operators);
+    print_lineage(snap.lineage);
+    print_frontier(snap.frontier);
+    std::printf("\n");
+  }
+
+  if (!json_path.empty()) {
+    df::obs::JsonWriter w;
+    w.begin_object();
+    w.key("report").begin_object();
+    w.field("example", "df_explain");
+    w.field("seed", seed);
+    w.field("execs_per_device", execs);
+    w.field("devices", static_cast<uint64_t>(daemon.device_count()));
+    w.end_object();
+    w.key("devices").begin_array();
+    for (const auto& spec : df::device::device_table()) {
+      df::core::Engine* eng = daemon.engine(spec.id);
+      w.begin_object();
+      w.field("device", spec.id);
+      w.key("analytics");
+      eng->analytics_snapshot().write_json(w);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("build");
+    w.raw(df::obs::build_json(
+        {{"checkpoint", df::core::CampaignCheckpoint::kVersion},
+         {"analytics", df::obs::kAnalyticsSchemaVersion}}));
+    w.end_object();
+    std::ofstream out(json_path, std::ios::trunc);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << w.str() << '\n';
+    if (!quiet) std::printf("report written to %s\n", json_path.c_str());
+  }
+
+  std::printf("df_explain: %zu devices, %llu execs/device, %llu unvisited "
+              "states classified, seed %llu\n",
+              daemon.device_count(), static_cast<unsigned long long>(execs),
+              static_cast<unsigned long long>(total_unvisited),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}

@@ -36,7 +36,8 @@
 //
 // --serve-port starts the live introspection server on 127.0.0.1 (0 = pick
 // a free port; the bound port is announced on stdout) serving /metrics,
-// /status, /healthz, and /coverage (DESIGN.md §10); --serve-linger-ms keeps
+// /status, /healthz, /coverage, /frontier, and /buildz (DESIGN.md §10–11);
+// --serve-linger-ms keeps
 // the process (and the server) alive that long after the campaign so
 // scrapers can collect the final state.
 #include <chrono>
@@ -51,6 +52,7 @@
 #include "core/fuzz/daemon.h"
 #include "core/fuzz/fleet.h"
 #include "device/catalog.h"
+#include "obs/buildinfo.h"
 #include "obs/chrome_trace.h"
 #include "obs/json.h"
 #include "obs/obs.h"
@@ -149,7 +151,7 @@ int main(int argc, char** argv) {
     // Printed (and flushed) even with --quiet: scrapers parse this line to
     // discover an ephemeral port.
     std::printf("serving live introspection on http://127.0.0.1:%d/ "
-                "(/metrics /status /healthz /coverage)\n",
+                "(/metrics /status /healthz /coverage /frontier /buildz)\n",
                 daemon.serve_port());
     std::fflush(stdout);
   }
@@ -290,6 +292,24 @@ int main(int argc, char** argv) {
     w.end_object();
     w.key("velocity");
     daemon.velocity().write_json(w, &reporter);
+    // Per-device attribution/lineage/frontier analytics (DESIGN.md §11),
+    // with the downsampled coverage series for plotting.
+    w.key("analytics").begin_object();
+    w.key("devices").begin_array();
+    for (const auto& spec : df::device::device_table()) {
+      df::core::Engine* eng = daemon.engine(spec.id);
+      w.begin_object();
+      w.field("device", spec.id);
+      w.key("analytics");
+      eng->analytics_snapshot().write_json(w, &reporter.series(spec.id));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.key("build");
+    w.raw(df::obs::build_json(
+        {{"checkpoint", df::core::CampaignCheckpoint::kVersion},
+         {"analytics", df::obs::kAnalyticsSchemaVersion}}));
     w.key("stats");
     reporter.write_json(w);
     w.key("metrics");

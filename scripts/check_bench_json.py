@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate DroidFuzz telemetry JSON and compare runs for determinism.
 
-Five document shapes are understood:
+Six document shapes are understood:
 
   BENCH_*.json           (written by the bench binaries via write_bench_json)
       {"bench": ..., "seed": ..., "reps": ..., "series": [...],
@@ -21,6 +21,17 @@ Five document shapes are understood:
   lint report            (written by examples/df_lint via --json)
       {"lint": {"tool": "df_lint", "device": ..., "files": [...],
                 "summary": {...}, "plans": [...]}}
+
+  explain report         (written by examples/df_explain via --json)
+      {"report": {"example": "df_explain", ...},
+       "devices": [{"device": ..., "analytics": {...}}, ...],
+       "build": {...}}
+
+Bench and campaign documents may additionally carry "analytics" sections
+(per-operator yield table, seed lineage summary, coverage-frontier
+classification; obs::AnalyticsSnapshot, schema version 1) and a "build"
+block (toolchain self-identification plus schema versions). Both are
+validated whenever present; bench documents require "build".
 
 Usage:
   check_bench_json.py FILE...            validate each document
@@ -51,6 +62,17 @@ LINT_PASSES = ("use-after-close", "dangling-ref", "type-width",
 LINT_SEVERITIES = ("error", "warning")
 STATS_ARRAYS = SERIES_ARRAYS[:2] + ("total_coverage", "corpus", "bugs",
                                     "relation_edges", "reboots")
+
+# ProgramOrigin wire names in enum order (obs/analytics.h); the exported
+# operator table must carry exactly these rows, in this order.
+ORIGINS = ("generate", "mutate_arg", "mutate_insert", "mutate_remove",
+           "mutate_duplicate", "mutate_splice", "mutate_rewire",
+           "plan_injected", "minimized", "replay")
+FRONTIER_CLASSES = ("unreachable-from-frontier", "planned-but-failed",
+                    "never-attempted")
+ANALYTICS_SCHEMA_VERSION = 1
+SERIES_POINT_FIELDS = ("executions", "kernel_coverage", "total_coverage",
+                       "corpus_size", "unique_bugs", "states_visited")
 
 
 def is_timing_key(key):
@@ -127,6 +149,226 @@ def check_state_coverage(entries, where):
                 f"non-zero matrix cells ({transitions})")
 
 
+def check_operators(ops, where):
+    """Per-operator yield table (obs::OperatorAttribution::write_json)."""
+    require(isinstance(ops, list) and len(ops) == len(ORIGINS),
+            f"{where} must be an array of exactly {len(ORIGINS)} rows")
+    for i, row in enumerate(ops):
+        rwhere = f"{where}[{i}]"
+        require(isinstance(row, dict), f"{rwhere} must be an object")
+        require(row.get("origin") == ORIGINS[i],
+                f"{rwhere}.origin must be {ORIGINS[i]!r} (enum order), "
+                f"got {row.get('origin')!r}")
+        for key in ("attempts", "total_calls", "accepts", "new_features",
+                    "new_states", "bugs"):
+            require(isinstance(row.get(key), int) and row[key] >= 0,
+                    f"{rwhere}.{key} must be a non-negative int")
+        require(row["accepts"] <= row["attempts"],
+                f"{rwhere}: accepts ({row['accepts']}) cannot exceed "
+                f"attempts ({row['attempts']})")
+        require(isinstance(row.get("mean_cost"), (int, float))
+                and row["mean_cost"] >= 0,
+                f"{rwhere}.mean_cost must be a non-negative number")
+        if row["attempts"] == 0:
+            require(row["mean_cost"] == 0,
+                    f"{rwhere}.mean_cost must be 0 with no attempts")
+
+
+def check_lineage_link(link, where, last_depth):
+    """One LineageLink of a derivation chain; returns its depth."""
+    require(isinstance(link, dict), f"{where} must be an object")
+    h = link.get("hash")
+    require(isinstance(h, str) and len(h) == 16
+            and all(c in "0123456789abcdef" for c in h),
+            f"{where}.hash must be 16 lowercase hex digits")
+    require(link.get("origin") in ORIGINS,
+            f"{where}.origin must be a ProgramOrigin wire name, "
+            f"got {link.get('origin')!r}")
+    for key in ("exec_index", "depth"):
+        require(isinstance(link.get(key), int) and link[key] >= 0,
+                f"{where}.{key} must be a non-negative int")
+    if last_depth is not None:
+        require(link["depth"] > last_depth,
+                f"{where}.depth must be strictly increasing along the "
+                f"chain (root first)")
+    return link["depth"]
+
+
+def check_lineage_chain(chain, where):
+    require(isinstance(chain, list), f"{where} must be an array")
+    depth = None
+    for i, link in enumerate(chain):
+        depth = check_lineage_link(link, f"{where}[{i}]", depth)
+
+
+def check_lineage_summary(lin, where):
+    """Corpus lineage digest (obs::LineageSummary::write_json)."""
+    require(isinstance(lin, dict), f"{where} must be an object")
+    for key in ("seeds", "roots", "max_depth"):
+        require(isinstance(lin.get(key), int) and lin[key] >= 0,
+                f"{where}.{key} must be a non-negative int")
+    require(lin["roots"] <= lin["seeds"],
+            f"{where}.roots ({lin['roots']}) cannot exceed seeds "
+            f"({lin['seeds']})")
+    hist = lin.get("depth_histogram")
+    require(isinstance(hist, list)
+            and all(isinstance(v, int) and v >= 0 for v in hist),
+            f"{where}.depth_histogram must be an array of non-negative ints")
+    require(sum(hist) == lin["seeds"],
+            f"{where}.depth_histogram must sum to seeds ({lin['seeds']})")
+    if lin["seeds"] > 0:
+        require(len(hist) == lin["max_depth"] + 1,
+                f"{where}.depth_histogram must have max_depth+1 "
+                f"({lin['max_depth'] + 1}) buckets")
+    ancestors = lin.get("top_ancestors")
+    require(isinstance(ancestors, list),
+            f"{where}.top_ancestors must be an array")
+    for i, a in enumerate(ancestors):
+        awhere = f"{where}.top_ancestors[{i}]"
+        require(isinstance(a, dict), f"{awhere} must be an object")
+        h = a.get("hash")
+        require(isinstance(h, str) and len(h) == 16
+                and all(c in "0123456789abcdef" for c in h),
+                f"{awhere}.hash must be 16 lowercase hex digits")
+        for key in ("exec_index", "descendants", "subtree_new_features"):
+            require(isinstance(a.get(key), int) and a[key] >= 0,
+                    f"{awhere}.{key} must be a non-negative int")
+
+
+def check_frontier(fr, where):
+    """Coverage-frontier report (obs::FrontierReport::write_json): every
+    declared-but-unvisited state classified into exactly one of the three
+    classes, with counters consistent with the class."""
+    require(isinstance(fr, dict), f"{where} must be an object")
+    for key in ("states_total", "states_visited"):
+        require(isinstance(fr.get(key), int) and fr[key] >= 0,
+                f"{where}.{key} must be a non-negative int")
+    require(fr["states_visited"] <= fr["states_total"],
+            f"{where}.states_visited cannot exceed states_total")
+    unvisited = fr.get("unvisited")
+    require(isinstance(unvisited, list),
+            f"{where}.unvisited must be an array")
+    want = fr["states_total"] - fr["states_visited"]
+    require(len(unvisited) == want,
+            f"{where}.unvisited must classify every unvisited state "
+            f"({want} entries, got {len(unvisited)})")
+    for i, s in enumerate(unvisited):
+        swhere = f"{where}.unvisited[{i}]"
+        require(isinstance(s, dict), f"{swhere} must be an object")
+        for key in ("driver", "state"):
+            require(isinstance(s.get(key), str) and s[key],
+                    f"{swhere}.{key} must be a non-empty string")
+        for key in ("state_index", "plan_length", "plans_injected",
+                    "materialize_failed", "executed_no_visit"):
+            require(isinstance(s.get(key), int) and s[key] >= 0,
+                    f"{swhere}.{key} must be a non-negative int")
+        cls = s.get("class")
+        require(cls in FRONTIER_CLASSES,
+                f"{swhere}.class must be one of {FRONTIER_CLASSES}, "
+                f"got {cls!r}")
+        attempts = (s["plans_injected"] + s["materialize_failed"]
+                    + s["executed_no_visit"])
+        if cls == "never-attempted":
+            require(attempts == 0,
+                    f"{swhere}: never-attempted cannot carry plan-attempt "
+                    f"counters")
+        elif cls == "planned-but-failed":
+            require(attempts > 0,
+                    f"{swhere}: planned-but-failed must carry at least one "
+                    f"plan-attempt counter")
+        else:  # unreachable-from-frontier
+            require(s["plan_length"] == 0,
+                    f"{swhere}: unreachable state cannot carry a plan")
+
+
+def check_analytics_series(points, where):
+    """Downsampled campaign time series inside an analytics snapshot."""
+    require(isinstance(points, list), f"{where} must be an array")
+    last_execs = 0
+    last_secs = 0.0
+    for i, p in enumerate(points):
+        pwhere = f"{where}[{i}]"
+        require(isinstance(p, dict), f"{pwhere} must be an object")
+        for key in SERIES_POINT_FIELDS:
+            require(isinstance(p.get(key), int) and p[key] >= 0,
+                    f"{pwhere}.{key} must be a non-negative int")
+        require(p["executions"] >= last_execs,
+                f"{pwhere}.executions must be non-decreasing")
+        last_execs = p["executions"]
+        timing = p.get("timing")
+        require(isinstance(timing, dict)
+                and isinstance(timing.get("secs"), (int, float)),
+                f"{pwhere}.timing.secs must be a number")
+        require(timing["secs"] >= last_secs,
+                f"{pwhere}.timing.secs must be non-decreasing")
+        last_secs = timing["secs"]
+
+
+def check_analytics(a, where="analytics"):
+    """One obs::AnalyticsSnapshot (operators + lineage + frontier)."""
+    require(isinstance(a, dict), f"{where} must be an object")
+    require(a.get("schema_version") == ANALYTICS_SCHEMA_VERSION,
+            f"{where}.schema_version must be {ANALYTICS_SCHEMA_VERSION}, "
+            f"got {a.get('schema_version')!r}")
+    check_operators(a.get("operators"), f"{where}.operators")
+    check_lineage_summary(a.get("lineage"), f"{where}.lineage")
+    check_frontier(a.get("frontier"), f"{where}.frontier")
+    if "series" in a:
+        check_analytics_series(a["series"], f"{where}.series")
+
+
+def check_device_analytics(section, where="analytics"):
+    """Top-level per-device analytics array (--stats-json, df_explain)."""
+    require(isinstance(section, dict), f"{where} must be an object")
+    devices = section.get("devices")
+    require(isinstance(devices, list) and devices,
+            f"{where}.devices must be a non-empty array")
+    for i, dev in enumerate(devices):
+        dwhere = f"{where}.devices[{i}]"
+        require(isinstance(dev, dict), f"{dwhere} must be an object")
+        require(isinstance(dev.get("device"), str) and dev["device"],
+                f"{dwhere}.device must be a non-empty string")
+        check_analytics(dev.get("analytics"), f"{dwhere}.analytics")
+
+
+def check_build(b, where="build"):
+    """Build self-identification block (obs::write_build_json)."""
+    require(isinstance(b, dict), f"{where} must be an object")
+    require(isinstance(b.get("compiler"), str) and b["compiler"],
+            f"{where}.compiler must be a non-empty string")
+    for key in ("compiler_version", "build_type", "sanitizer", "flags"):
+        require(isinstance(b.get(key), str),
+                f"{where}.{key} must be a string")
+    require(isinstance(b.get("cxx_standard"), int) and b["cxx_standard"] > 0,
+            f"{where}.cxx_standard must be a positive int")
+    require(isinstance(b.get("assertions"), bool),
+            f"{where}.assertions must be a bool")
+    schema = b.get("schema")
+    require(isinstance(schema, dict), f"{where}.schema must be an object")
+    for name, version in schema.items():
+        require(isinstance(version, int) and version >= 1,
+                f"{where}.schema.{name} must be a positive int version")
+
+
+def check_bug_list(bugs, where):
+    """Named-bug list with lineage chains (bench_table2_bugs)."""
+    require(isinstance(bugs, list), f"{where} must be an array")
+    for i, b in enumerate(bugs):
+        bwhere = f"{where}[{i}]"
+        require(isinstance(b, dict), f"{bwhere} must be an object")
+        for key in ("device", "title", "component", "origin", "class"):
+            require(isinstance(b.get(key), str) and b[key],
+                    f"{bwhere}.{key} must be a non-empty string")
+        for key in ("first_exec", "dup_count"):
+            require(isinstance(b.get(key), int) and b[key] >= 0,
+                    f"{bwhere}.{key} must be a non-negative int")
+        chain = b.get("lineage")
+        require(isinstance(chain, list) and chain,
+                f"{bwhere}.lineage must be a non-empty derivation chain "
+                f"ending in the triggering program")
+        check_lineage_chain(chain, f"{bwhere}.lineage")
+
+
 def check_series_entry(i, entry):
     where = f"series[{i}]"
     require(isinstance(entry, dict), f"{where} must be an object")
@@ -148,6 +390,8 @@ def check_series_entry(i, entry):
     if "state_coverage" in entry:
         check_state_coverage(entry["state_coverage"],
                              f"{where}.state_coverage")
+    if "analytics" in entry:
+        check_analytics(entry["analytics"], f"{where}.analytics")
 
 
 def check_metric_value(entry, where, integer):
@@ -493,6 +737,11 @@ def check_bench_doc(doc):
         check_fault_recovery(doc["fault_recovery"])
     if "velocity" in doc:
         check_velocity(doc["velocity"])
+    if "bugs" in doc:
+        check_bug_list(doc["bugs"], "bugs")
+    if "syzkaller_bugs" in doc:
+        check_bug_list(doc["syzkaller_bugs"], "syzkaller_bugs")
+    check_build(doc.get("build"))
     timing = doc.get("timing")
     require(isinstance(timing, dict)
             and isinstance(timing.get("wall_seconds"), (int, float)),
@@ -511,6 +760,10 @@ def check_campaign_doc(doc):
         check_fleet(doc["fleet"])
     if "velocity" in doc:
         check_velocity(doc["velocity"])
+    if "analytics" in doc:
+        check_device_analytics(doc["analytics"])
+    if "build" in doc:
+        check_build(doc["build"])
     if "metrics" in doc:
         check_metrics(doc["metrics"])
     if "events" in doc:
@@ -596,6 +849,7 @@ def check_crash_doc(doc):
             "repro.calls must be a positive int")
     require(isinstance(repro.get("dsl"), str) and repro["dsl"].strip(),
             "repro.dsl must be a non-empty program")
+    check_lineage_chain(doc.get("lineage"), "lineage")
     check_state_coverage(doc.get("driver_states"), "driver_states")
     kasan = doc.get("kasan_context")
     require(isinstance(kasan, dict), "kasan_context must be an object")
@@ -719,6 +973,29 @@ def check_lint_doc(doc):
                         f"{ewhere}: unreachable state cannot carry a plan")
 
 
+def check_explain_doc(doc):
+    report = doc.get("report")
+    require(isinstance(report, dict), "report must be an object")
+    require(isinstance(report.get("example"), str) and report["example"],
+            "report.example must be a non-empty string")
+    require(isinstance(report.get("seed"), int), "report.seed must be an int")
+    require(isinstance(report.get("execs_per_device"), int)
+            and report["execs_per_device"] > 0,
+            "report.execs_per_device must be a positive int")
+    devices = doc.get("devices")
+    require(isinstance(devices, list) and devices,
+            "devices must be a non-empty array")
+    require(report.get("devices") == len(devices),
+            f"report.devices must equal len(devices) ({len(devices)})")
+    for i, dev in enumerate(devices):
+        dwhere = f"devices[{i}]"
+        require(isinstance(dev, dict), f"{dwhere} must be an object")
+        require(isinstance(dev.get("device"), str) and dev["device"],
+                f"{dwhere}.device must be a non-empty string")
+        check_analytics(dev.get("analytics"), f"{dwhere}.analytics")
+    check_build(doc.get("build"))
+
+
 def check_document(doc):
     if "bench" in doc:
         check_bench_doc(doc)
@@ -730,10 +1007,12 @@ def check_document(doc):
         check_campaign_doc(doc)
     elif "lint" in doc:
         check_lint_doc(doc)
+    elif "report" in doc:
+        check_explain_doc(doc)
     else:
         raise CheckError("unknown document: expected a 'bench', "
-                         "'traceEvents', 'crash', 'campaign', or 'lint' "
-                         "top-level key")
+                         "'traceEvents', 'crash', 'campaign', 'lint', or "
+                         "'report' top-level key")
 
 
 def load(path):
@@ -783,7 +1062,89 @@ def _bench_fixture():
             "histograms": [{"name": "phase.execute", "label": "A1",
                             "count": 100, "sum_ns": 5, "p50_ns": 1}],
         },
+        "build": _build_fixture(),
         "timing": {"wall_seconds": 0.5},
+    }
+
+
+def _build_fixture():
+    return {
+        "compiler": "gcc", "compiler_version": "13.2.0",
+        "build_type": "Release", "sanitizer": "", "flags": "-O2",
+        "cxx_standard": 202002, "assertions": False,
+        "schema": {"checkpoint": 2, "analytics": 1},
+    }
+
+
+def _operator_row(origin, attempts=0, total_calls=0, accepts=0,
+                  new_features=0, new_states=0, bugs=0):
+    mean = total_calls / attempts if attempts else 0
+    return {"origin": origin, "attempts": attempts,
+            "total_calls": total_calls, "accepts": accepts,
+            "new_features": new_features, "new_states": new_states,
+            "bugs": bugs, "mean_cost": mean}
+
+
+def _analytics_fixture():
+    ops = [_operator_row(o) for o in ORIGINS]
+    ops[0] = _operator_row("generate", attempts=100, total_calls=420,
+                           accepts=20, new_features=80, new_states=3,
+                           bugs=1)
+    ops[7] = _operator_row("plan_injected", attempts=4, total_calls=12,
+                           accepts=4, new_states=4)
+    return {
+        "schema_version": 1,
+        "operators": ops,
+        "lineage": {
+            "seeds": 5, "roots": 2, "max_depth": 2,
+            "depth_histogram": [2, 2, 1],
+            "top_ancestors": [{"hash": "00000000deadbeef", "exec_index": 3,
+                               "descendants": 3,
+                               "subtree_new_features": 40}],
+        },
+        "frontier": {
+            "states_total": 6, "states_visited": 3,
+            "unvisited": [
+                {"driver": "rt1711_i2c", "state": "error",
+                 "state_index": 3, "class": "unreachable-from-frontier",
+                 "plan_length": 0, "plans_injected": 0,
+                 "materialize_failed": 0, "executed_no_visit": 0},
+                {"driver": "rt1711_i2c", "state": "pd_contract",
+                 "state_index": 4, "class": "planned-but-failed",
+                 "plan_length": 3, "plans_injected": 2,
+                 "materialize_failed": 0, "executed_no_visit": 2},
+                {"driver": "rt1711_i2c", "state": "alerting",
+                 "state_index": 5, "class": "never-attempted",
+                 "plan_length": 2, "plans_injected": 0,
+                 "materialize_failed": 0, "executed_no_visit": 0},
+            ],
+        },
+        "series": [
+            {"executions": 0, "kernel_coverage": 0, "total_coverage": 0,
+             "corpus_size": 0, "unique_bugs": 0, "states_visited": 0,
+             "timing": {"secs": 0.0}},
+            {"executions": 100, "kernel_coverage": 40, "total_coverage": 50,
+             "corpus_size": 4, "unique_bugs": 1, "states_visited": 3,
+             "timing": {"secs": 0.5}},
+        ],
+    }
+
+
+def _lineage_chain_fixture():
+    return [
+        {"hash": "0000000000001234", "origin": "generate",
+         "exec_index": 7, "depth": 0},
+        {"hash": "000000000000abcd", "origin": "mutate_arg",
+         "exec_index": 120, "depth": 1},
+    ]
+
+
+def _explain_fixture():
+    return {
+        "report": {"example": "df_explain", "seed": 3,
+                   "execs_per_device": 4000, "devices": 1},
+        "devices": [{"device": "A1", "analytics": _analytics_fixture()}],
+        "build": _build_fixture(),
     }
 
 
@@ -828,6 +1189,7 @@ def _crash_fixture():
                   "first_exec": 40, "dup_count": 1},
         "campaign": {"device": "A1", "seed": 3, "exec": 40},
         "repro": {"calls": 2, "dsl": "r0 = openat$ion()\nclose(r0)\n"},
+        "lineage": _lineage_chain_fixture(),
         "driver_states": _state_coverage_fixture(),
         "kasan_context": {
             "kernel_reports": ["KASAN: use-after-free in ion_free | ..."],
@@ -1213,6 +1575,130 @@ def self_test():
     doc = _crash_fixture()
     doc["kasan_context"]["kernel_reports"] = []
     expect_fail("crash report without any kernel/HAL context", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["analytics"] = _analytics_fixture()
+    expect_ok("bench series with analytics snapshot", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["analytics"] = _analytics_fixture()
+    doc["series"][0]["analytics"]["schema_version"] = 99
+    expect_fail("analytics schema version mismatch", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["analytics"] = _analytics_fixture()
+    doc["series"][0]["analytics"]["operators"].pop()
+    expect_fail("operator table missing a row", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["analytics"] = _analytics_fixture()
+    ops = doc["series"][0]["analytics"]["operators"]
+    ops[1], ops[2] = ops[2], ops[1]
+    expect_fail("operator rows out of enum order", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["analytics"] = _analytics_fixture()
+    doc["series"][0]["analytics"]["operators"][0]["accepts"] = 999
+    expect_fail("operator accepts exceeding attempts", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["analytics"] = _analytics_fixture()
+    doc["series"][0]["analytics"]["lineage"]["depth_histogram"] = [1, 1, 1]
+    expect_fail("lineage histogram not summing to seeds", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["analytics"] = _analytics_fixture()
+    doc["series"][0]["analytics"]["lineage"]["roots"] = 9
+    expect_fail("lineage roots exceeding seeds", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["analytics"] = _analytics_fixture()
+    doc["series"][0]["analytics"]["frontier"]["unvisited"][0]["class"] = \
+        "lost-in-space"
+    expect_fail("unknown frontier class", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["analytics"] = _analytics_fixture()
+    doc["series"][0]["analytics"]["frontier"]["unvisited"].pop()
+    expect_fail("frontier not classifying every unvisited state", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["analytics"] = _analytics_fixture()
+    doc["series"][0]["analytics"]["frontier"]["unvisited"][2][
+        "plans_injected"] = 1
+    expect_fail("never-attempted state carrying plan attempts", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["analytics"] = _analytics_fixture()
+    doc["series"][0]["analytics"]["frontier"]["unvisited"][1][
+        "plans_injected"] = 0
+    doc["series"][0]["analytics"]["frontier"]["unvisited"][1][
+        "executed_no_visit"] = 0
+    expect_fail("planned-but-failed state without attempt counters", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["analytics"] = _analytics_fixture()
+    doc["series"][0]["analytics"]["series"][1]["executions"] = 0
+    doc["series"][0]["analytics"]["series"][0]["executions"] = 100
+    expect_fail("analytics series executions not monotone", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["analytics"] = _analytics_fixture()
+    doc["series"][0]["analytics"]["series"][0]["timing"]["secs"] = 9.0
+    expect_fail("analytics series timestamps not monotone", doc)
+
+    doc = _bench_fixture()
+    del doc["build"]
+    expect_fail("bench doc without build block", doc)
+
+    doc = _bench_fixture()
+    doc["build"]["compiler"] = ""
+    expect_fail("build block with empty compiler", doc)
+
+    doc = _bench_fixture()
+    doc["build"]["schema"]["analytics"] = 0
+    expect_fail("build schema version below 1", doc)
+
+    doc = _bench_fixture()
+    doc["bugs"] = [{"device": "A1", "title": "KASAN: uaf", "component":
+                    "Kernel", "origin": "ion", "class": "KASAN",
+                    "first_exec": 40, "dup_count": 0,
+                    "lineage": _lineage_chain_fixture()}]
+    expect_ok("bench bug list with lineage chains", doc)
+
+    doc = _bench_fixture()
+    doc["bugs"] = [{"device": "A1", "title": "KASAN: uaf", "component":
+                    "Kernel", "origin": "ion", "class": "KASAN",
+                    "first_exec": 40, "dup_count": 0, "lineage": []}]
+    expect_fail("bench bug without a lineage chain", doc)
+
+    doc = _campaign_fixture()
+    doc["analytics"] = {"devices": [{"device": "A1",
+                                     "analytics": _analytics_fixture()}]}
+    doc["build"] = _build_fixture()
+    expect_ok("campaign doc with analytics and build sections", doc)
+
+    doc = _campaign_fixture()
+    doc["analytics"] = {"devices": []}
+    expect_fail("campaign analytics without devices", doc)
+
+    expect_ok("valid explain report", _explain_fixture())
+
+    doc = _explain_fixture()
+    doc["report"]["devices"] = 7
+    expect_fail("explain report device count mismatch", doc)
+
+    doc = _explain_fixture()
+    del doc["build"]
+    expect_fail("explain report without build block", doc)
+
+    doc = _crash_fixture()
+    doc["lineage"][1]["depth"] = 0
+    expect_fail("crash lineage depths not increasing", doc)
+
+    doc = _crash_fixture()
+    doc["lineage"][0]["origin"] = "teleported"
+    expect_fail("crash lineage with unknown origin", doc)
 
     expect_ok("valid lint report", _lint_fixture())
 

@@ -1,5 +1,6 @@
 #include "core/feedback/coverage.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace df::core {
@@ -19,8 +20,94 @@ std::vector<uint64_t> FeatureSet::add_new(
 bool Corpus::add(Seed seed) {
   const uint64_t h = dsl::program_hash(seed.prog);
   if (!hashes_.insert(h)) return false;
+  seed.hash = h;
+  // Generation depth derives from the parent edge rather than being caller
+  // supplied, so checkpoint restore (which replays adds in insertion order)
+  // reproduces it exactly.
+  if (seed.parent_hash != 0) {
+    if (const Seed* parent = find_by_hash(seed.parent_hash);
+        parent != nullptr) {
+      seed.depth = parent->depth + 1;
+    } else {
+      seed.parent_hash = 0;  // parent never made the corpus: a root
+    }
+  }
   seeds_.push_back(std::move(seed));
   return true;
+}
+
+const Seed* Corpus::find_by_hash(uint64_t hash) const {
+  if (hash == 0) return nullptr;
+  for (const Seed& s : seeds_) {
+    if (s.hash == hash) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<obs::LineageLink> Corpus::ancestor_chain(uint64_t hash) const {
+  std::vector<obs::LineageLink> chain;
+  const Seed* s = find_by_hash(hash);
+  while (s != nullptr) {
+    obs::LineageLink link;
+    link.hash = s->hash;
+    link.origin = s->origin;
+    link.exec_index = s->exec_index;
+    link.depth = s->depth;
+    chain.push_back(link);
+    if (s->parent_hash == 0 || chain.size() > static_cast<size_t>(s->depth)) {
+      break;  // root reached (or inconsistent edges: stop, never loop)
+    }
+    s = find_by_hash(s->parent_hash);
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+obs::LineageSummary Corpus::lineage_summary(size_t top_n) const {
+  obs::LineageSummary out;
+  out.seeds = seeds_.size();
+  // Root index by hash, in insertion order (the deterministic tie-break).
+  std::vector<obs::AncestorYield> roots;
+  std::vector<uint64_t> root_hashes;
+  for (const Seed& s : seeds_) {
+    out.max_depth = std::max<uint64_t>(out.max_depth, s.depth);
+    if (s.depth >= out.depth_histogram.size()) {
+      out.depth_histogram.resize(s.depth + 1, 0);
+    }
+    ++out.depth_histogram[s.depth];
+    // Walk to the root, bounded by the recorded depth.
+    const Seed* cur = &s;
+    for (uint32_t hop = 0; hop < s.depth && cur->parent_hash != 0; ++hop) {
+      const Seed* parent = find_by_hash(cur->parent_hash);
+      if (parent == nullptr) break;
+      cur = parent;
+    }
+    size_t idx = root_hashes.size();
+    for (size_t i = 0; i < root_hashes.size(); ++i) {
+      if (root_hashes[i] == cur->hash) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == root_hashes.size()) {
+      root_hashes.push_back(cur->hash);
+      obs::AncestorYield a;
+      a.hash = cur->hash;
+      a.exec_index = cur->exec_index;
+      roots.push_back(a);
+    }
+    ++roots[idx].descendants;  // counts the root itself as generation 0
+    roots[idx].subtree_new_features += s.new_features;
+  }
+  out.roots = roots.size();
+  std::stable_sort(roots.begin(), roots.end(),
+                   [](const obs::AncestorYield& a,
+                      const obs::AncestorYield& b) {
+                     return a.subtree_new_features > b.subtree_new_features;
+                   });
+  if (roots.size() > top_n) roots.resize(top_n);
+  out.top_ancestors = std::move(roots);
+  return out;
 }
 
 double Corpus::energy(const Seed& s) const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "dsl/prog.h"
+#include "obs/analytics.h"
 #include "trace/syscall_trace.h"
 #include "util/rng.h"
 #include "util/u64_set.h"
@@ -49,13 +50,22 @@ struct Seed {
   size_t new_features = 0;   // features this seed contributed when added
   uint64_t exec_index = 0;   // when it was found (for recency weighting)
   uint64_t hits = 0;         // times picked for mutation
+  // --- lineage (DESIGN.md §11) --------------------------------------------
+  uint64_t hash = 0;         // dsl::program_hash(prog); filled by Corpus::add
+  uint64_t parent_hash = 0;  // hash of the corpus seed it mutated (0 = root)
+  uint32_t depth = 0;        // generations from a root; derived by add()
+  obs::ProgramOrigin origin = obs::ProgramOrigin::kGenerate;
 };
 
 // Seed corpus with energy-weighted selection: fresh, feature-rich seeds are
-// mutated more; stale, over-fuzzed seeds fade.
+// mutated more; stale, over-fuzzed seeds fade. Every seed carries its
+// lineage (parent edge, origin, generation depth) so campaigns can explain
+// where coverage came from.
 class Corpus {
  public:
   // Adds a seed if its program hash is unseen. Returns true when added.
+  // Fills seed.hash and derives seed.depth from the parent (parent edges
+  // pointing outside the corpus make the seed a root).
   bool add(Seed seed);
   bool empty() const { return seeds_.empty(); }
   size_t size() const { return seeds_.size(); }
@@ -63,6 +73,17 @@ class Corpus {
   // Energy-weighted pick; increments the seed's hit counter.
   const Seed& pick(util::Rng& rng);
   const Seed& at(size_t i) const { return seeds_[i]; }
+
+  // Lineage lookups. find_by_hash is a linear scan — adds are rare relative
+  // to executions, and callers are on cold paths (crash triage, export).
+  const Seed* find_by_hash(uint64_t hash) const;
+  // Root-first derivation chain ending at the seed with `hash` (empty when
+  // the hash is not in the corpus). Bounded by the recorded depths, so a
+  // corrupted parent edge cannot loop.
+  std::vector<obs::LineageLink> ancestor_chain(uint64_t hash) const;
+  // Corpus-wide digest: depth histogram plus the `top_n` ancestors ranked
+  // by subtree feature yield (deterministic tie-break on insertion order).
+  obs::LineageSummary lineage_summary(size_t top_n = 5) const;
 
   uint64_t total_picks() const { return picks_; }
   // Checkpoint support: restores the cumulative pick counter (it feeds the

@@ -9,6 +9,7 @@
 #include "core/fuzz/daemon.h"
 #include "dsl/fmt.h"
 #include "dsl/parse.h"
+#include "obs/analytics.h"
 #include "obs/json.h"
 #include "obs/json_parse.h"
 #include "util/log.h"
@@ -154,6 +155,8 @@ void CampaignCheckpoint::serialize_device(obs::JsonWriter& w,
     w.field("new_features", static_cast<uint64_t>(s.new_features));
     w.field("exec_index", s.exec_index);
     w.field("hits", s.hits);
+    w.field("origin", std::string(obs::origin_name(s.origin)));
+    w.field("parent", hex64(s.parent_hash));
     w.end_object();
   }
   w.end_array();
@@ -181,14 +184,61 @@ void CampaignCheckpoint::serialize_device(obs::JsonWriter& w,
     w.field("first_exec", b.first_exec);
     w.field("dup_count", b.dup_count);
     w.field("repro", b.repro_text);
+    w.key("lineage").begin_array();
+    for (const obs::LineageLink& l : b.lineage) {
+      w.begin_object();
+      w.field("hash", hex64(l.hash));
+      w.field("origin", std::string(obs::origin_name(l.origin)));
+      w.field("exec", l.exec_index);
+      w.field("depth", l.depth);
+      w.end_object();
+    }
+    w.end_array();
     w.end_object();
   }
   w.end_array();
   w.end_object();
 
   w.key("plan_queue").begin_array();
-  for (const dsl::Program& p : eng.plan_queue_) {
-    w.value(dsl::format_program(p));
+  for (const Engine::QueuedProgram& q : eng.plan_queue_) {
+    w.begin_object();
+    w.field("prog", dsl::format_program(q.prog));
+    w.field("origin", std::string(obs::origin_name(q.origin)));
+    w.field("parent", hex64(q.parent_hash));
+    w.field("has_target", q.has_target);
+    w.field("target_driver", static_cast<uint64_t>(q.target_driver));
+    w.field("target_state", static_cast<uint64_t>(q.target_state));
+    w.end_object();
+  }
+  w.end_array();
+
+  // Per-operator yield table, rows in ProgramOrigin enum order, each row
+  // [attempts, total_calls, accepts, new_features, new_states, bugs].
+  w.key("attribution").begin_array();
+  for (size_t i = 0; i < obs::kProgramOriginCount; ++i) {
+    const obs::OperatorYield& y =
+        eng.attribution_.row(static_cast<obs::ProgramOrigin>(i));
+    w.begin_array();
+    w.value(y.attempts);
+    w.value(y.total_calls);
+    w.value(y.accepts);
+    w.value(y.new_features);
+    w.value(y.new_states);
+    w.value(y.bugs);
+    w.end_array();
+  }
+  w.end_array();
+
+  // std::map iteration order is sorted, so this block is deterministic.
+  w.key("plan_attempts").begin_array();
+  for (const auto& [key, pa] : eng.plan_attempts_) {
+    w.begin_object();
+    w.field("driver", static_cast<uint64_t>(key.first));
+    w.field("state", static_cast<uint64_t>(key.second));
+    w.field("injected", pa.injected);
+    w.field("materialize_failed", pa.materialize_failed);
+    w.field("executed_no_visit", pa.executed_no_visit);
+    w.end_object();
   }
   w.end_array();
 
@@ -318,14 +368,25 @@ bool CampaignCheckpoint::restore_device(const obs::JsonValue& d,
   for (const auto& sv : seeds->items) {
     Seed seed;
     uint64_t nf = 0;
+    std::string origin;
     if (!parse_program_field(sv, "prog", eng, &seed.prog, error,
                              ctx.c_str()) ||
         !get_u64(sv, "new_features", &nf, error, ctx.c_str()) ||
         !get_u64(sv, "exec_index", &seed.exec_index, error, ctx.c_str()) ||
-        !get_u64(sv, "hits", &seed.hits, error, ctx.c_str())) {
+        !get_u64(sv, "hits", &seed.hits, error, ctx.c_str()) ||
+        !get_str(sv, "origin", &origin, error, ctx.c_str()) ||
+        !get_u64(sv, "parent", &seed.parent_hash, error, ctx.c_str())) {
       return false;
     }
+    const auto o = obs::origin_from_name(origin);
+    if (!o.has_value()) {
+      return fail(error, ctx + ": unknown seed origin '" + origin + "'");
+    }
+    seed.origin = *o;
     seed.new_features = static_cast<size_t>(nf);
+    // Corpus::add recomputes hash and generation depth; seeds restore in
+    // insertion order, so every parent is present before its children and
+    // the derived depths match the saved campaign exactly.
     eng.corpus_.add(std::move(seed));
   }
   eng.corpus_.restore_picks(picks);
@@ -370,6 +431,26 @@ bool CampaignCheckpoint::restore_device(const obs::JsonValue& d,
       return fail(error, ctx + ": unparsable bug reproducer");
     }
     b.repro = std::move(*prog);
+    const obs::JsonValue* lv = member(bv2, "lineage");
+    if (lv == nullptr || !lv->is_array()) {
+      return fail(error, ctx + ": bug record without 'lineage'");
+    }
+    for (const auto& linkv : lv->items) {
+      obs::LineageLink l;
+      std::string oname;
+      if (!get_u64(linkv, "hash", &l.hash, error, ctx.c_str()) ||
+          !get_str(linkv, "origin", &oname, error, ctx.c_str()) ||
+          !get_u64(linkv, "exec", &l.exec_index, error, ctx.c_str()) ||
+          !get_u64(linkv, "depth", &l.depth, error, ctx.c_str())) {
+        return false;
+      }
+      const auto lo = obs::origin_from_name(oname);
+      if (!lo.has_value()) {
+        return fail(error, ctx + ": unknown lineage origin '" + oname + "'");
+      }
+      l.origin = *lo;
+      b.lineage.push_back(l);
+    }
     eng.crash_log_.restore_bug(std::move(b));
   }
   eng.crash_log_.set_total_reports(total_reports);
@@ -379,14 +460,71 @@ bool CampaignCheckpoint::restore_device(const obs::JsonValue& d,
     return fail(error, ctx + ": missing 'plan_queue'");
   }
   for (const auto& pv : pq->items) {
-    if (!pv.is_string()) {
-      return fail(error, ctx + ": malformed plan_queue entry");
+    Engine::QueuedProgram q;
+    std::string oname;
+    uint64_t td = 0;
+    uint64_t ts = 0;
+    const obs::JsonValue* ht = member(pv, "has_target");
+    if (!parse_program_field(pv, "prog", eng, &q.prog, error, ctx.c_str()) ||
+        !get_str(pv, "origin", &oname, error, ctx.c_str()) ||
+        !get_u64(pv, "parent", &q.parent_hash, error, ctx.c_str()) ||
+        !get_u64(pv, "target_driver", &td, error, ctx.c_str()) ||
+        !get_u64(pv, "target_state", &ts, error, ctx.c_str())) {
+      return false;
     }
-    auto prog = dsl::parse_program(pv.scalar, eng.calls());
-    if (!prog.has_value()) {
-      return fail(error, ctx + ": unparsable plan_queue program");
+    if (ht == nullptr) {
+      return fail(error, ctx + ": plan_queue entry without 'has_target'");
     }
-    eng.plan_queue_.push_back(std::move(*prog));
+    const auto qo = obs::origin_from_name(oname);
+    if (!qo.has_value()) {
+      return fail(error, ctx + ": unknown plan_queue origin '" + oname + "'");
+    }
+    q.origin = *qo;
+    q.has_target = ht->boolean;
+    q.target_driver = static_cast<size_t>(td);
+    q.target_state = static_cast<size_t>(ts);
+    eng.plan_queue_.push_back(std::move(q));
+  }
+
+  const obs::JsonValue* av = member(d, "attribution");
+  if (av == nullptr || !av->is_array() ||
+      av->items.size() != obs::kProgramOriginCount) {
+    return fail(error, ctx + ": missing or malformed 'attribution'");
+  }
+  for (size_t i = 0; i < av->items.size(); ++i) {
+    const obs::JsonValue& rowv = av->items[i];
+    if (!rowv.is_array() || rowv.items.size() != 6) {
+      return fail(error, ctx + ": malformed attribution row");
+    }
+    obs::OperatorYield y;
+    y.attempts = rowv.items[0].as_u64();
+    y.total_calls = rowv.items[1].as_u64();
+    y.accepts = rowv.items[2].as_u64();
+    y.new_features = rowv.items[3].as_u64();
+    y.new_states = rowv.items[4].as_u64();
+    y.bugs = rowv.items[5].as_u64();
+    eng.attribution_.restore_row(static_cast<obs::ProgramOrigin>(i), y);
+  }
+
+  const obs::JsonValue* pav = member(d, "plan_attempts");
+  if (pav == nullptr || !pav->is_array()) {
+    return fail(error, ctx + ": missing 'plan_attempts'");
+  }
+  for (const auto& pv : pav->items) {
+    uint64_t di = 0;
+    uint64_t st = 0;
+    Engine::PlanAttempt pa;
+    if (!get_u64(pv, "driver", &di, error, ctx.c_str()) ||
+        !get_u64(pv, "state", &st, error, ctx.c_str()) ||
+        !get_u64(pv, "injected", &pa.injected, error, ctx.c_str()) ||
+        !get_u64(pv, "materialize_failed", &pa.materialize_failed, error,
+                 ctx.c_str()) ||
+        !get_u64(pv, "executed_no_visit", &pa.executed_no_visit, error,
+                 ctx.c_str())) {
+      return false;
+    }
+    eng.plan_attempts_[{static_cast<size_t>(di), static_cast<size_t>(st)}] =
+        pa;
   }
 
   const obs::JsonValue* dv = member(d, "drivers");

@@ -36,7 +36,9 @@ class Engine;
 class CampaignCheckpoint {
  public:
   // Bump when the schema changes; restore() rejects other versions.
-  static constexpr uint64_t kVersion = 1;
+  // v2: seed lineage (origin/parent), attributed plan-queue entries,
+  // per-operator yield table, plan-attempt counters, bug lineage chains.
+  static constexpr uint64_t kVersion = 2;
 
   // Serializes `daemon` right now. The caller must have barrier-rebooted
   // every device first (Daemon::checkpoint_json does both).

@@ -167,6 +167,11 @@ std::string CrashLog::provenance_json(const BugRecord& bug,
   w.field("dsl", bug.repro_text);
   w.end_object();
 
+  // Seed ancestry of the triggering program (root first). Empty only for
+  // records restored from pre-analytics artifacts.
+  w.key("lineage");
+  obs::write_lineage_json(w, bug.lineage);
+
   w.key("driver_states").begin_array();
   for (const auto& c : ctx.state_coverage) {
     if (c.states.empty()) continue;

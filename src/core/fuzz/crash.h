@@ -13,6 +13,7 @@
 #include "dsl/prog.h"
 #include "hal/hal_service.h"
 #include "kernel/dmesg.h"
+#include "obs/analytics.h"
 #include "obs/flight_recorder.h"
 #include "obs/stats_reporter.h"
 
@@ -27,6 +28,11 @@ struct BugRecord {
   uint64_t dup_count = 0;
   dsl::Program repro;       // first (optionally minimized) reproducer
   std::string repro_text;   // DSL text of the reproducer
+  // Derivation chain of the triggering program, root corpus seed first and
+  // the triggering execution last (DESIGN.md §11). Filled by the engine
+  // when the bug is first recorded; always ends in the triggering program,
+  // so a recorded bug's chain is never empty.
+  std::vector<obs::LineageLink> lineage;
 };
 
 // Strips instance-specific suffixes so equivalent reports dedup together
@@ -61,6 +67,9 @@ class CrashLog {
                   uint64_t exec_index);
 
   const std::vector<BugRecord>& bugs() const { return bugs_; }
+  // Mutable access for post-record enrichment (the engine attaches the
+  // lineage chain right after a fresh record_kernel/record_hal).
+  std::vector<BugRecord>& bugs_mutable() { return bugs_; }
   const BugRecord* find(std::string_view title) const;
   BugRecord* find_mutable(std::string_view title);
   size_t unique_bugs() const { return bugs_.size(); }

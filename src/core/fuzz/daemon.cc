@@ -7,6 +7,7 @@
 #include "core/fuzz/fleet.h"
 #include "dsl/fmt.h"
 #include "dsl/parse.h"
+#include "obs/buildinfo.h"
 #include "obs/json.h"
 #include "obs/prom.h"
 #include "util/log.h"
@@ -161,6 +162,23 @@ void Daemon::start_server() {
     r.body = st->coverage;
     return r;
   });
+  server_->handle("/frontier", [st] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    std::lock_guard<std::mutex> lock(st->mu);
+    r.body = st->frontier;
+    return r;
+  });
+  // Build provenance is process-constant: render once, serve forever.
+  server_->handle("/buildz", [body = obs::build_json(
+                                 {{"checkpoint", CampaignCheckpoint::kVersion},
+                                  {"analytics",
+                                   obs::kAnalyticsSchemaVersion}})] {
+    obs::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = body;
+    return r;
+  });
   server_->handle("/healthz", [st] {
     obs::HttpResponse r;
     std::lock_guard<std::mutex> lock(st->mu);
@@ -219,6 +237,10 @@ std::string Daemon::build_status_json() const {
     w.field("features_per_sec", r.features_per_sec);
     w.field("crashes_per_sec", r.crashes_per_sec);
     w.end_object();
+    w.key("analytics");
+    const std::vector<obs::StatsReporter::Point>* series =
+        reporter_ != nullptr ? &reporter_->series(s.id) : nullptr;
+    s.eng->analytics_snapshot().write_json(w, series);
     w.end_object();
   }
   w.end_array();
@@ -273,10 +295,27 @@ std::string Daemon::build_coverage_json() const {
   return w.take();
 }
 
+std::string Daemon::build_frontier_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("devices").begin_array();
+  for (const auto& s : engines_) {
+    w.begin_object();
+    w.field("device", s.id);
+    w.key("frontier");
+    s.eng->frontier_report().write_json(w);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
 void Daemon::publish_introspection() {
   if (introspect_ == nullptr) return;
   std::string status = build_status_json();
   std::string coverage = build_coverage_json();
+  std::string frontier = build_frontier_json();
   std::string detail;
   if (reporter_ != nullptr) {
     for (const auto& dev : reporter_->stalled_devices()) {
@@ -287,6 +326,7 @@ void Daemon::publish_introspection() {
   std::lock_guard<std::mutex> lock(introspect_->mu);
   introspect_->status = std::move(status);
   introspect_->coverage = std::move(coverage);
+  introspect_->frontier = std::move(frontier);
   introspect_->healthy = detail.empty();
   introspect_->health_detail = std::move(detail);
 }

@@ -37,7 +37,7 @@ struct DaemonConfig {
   // Campaign checkpointing ("" / 0 disables, the default — a campaign
   // without it behaves exactly as before). Every `checkpoint_every`
   // per-device executions run() barrier-reboots the whole fleet at a slice
-  // boundary and writes a version-1 checkpoint to
+  // boundary and writes a versioned checkpoint to
   // <checkpoint_dir>/checkpoint.json (core/fuzz/checkpoint.h).
   std::string checkpoint_dir;
   uint64_t checkpoint_every = 0;
@@ -91,8 +91,8 @@ class Daemon {
   int serve_port() const {
     return server_ != nullptr ? static_cast<int>(server_->port()) : -1;
   }
-  // Rebuilds the /status, /coverage, and /healthz documents from current
-  // engine state and swaps them in under the publish lock. Must run while
+  // Rebuilds the /status, /coverage, /frontier, and /healthz documents from
+  // current engine state and swaps them in under the publish lock. Must run while
   // no worker owns the engines — run() calls it at every sample barrier and
   // at campaign end; call it manually after out-of-band mutations. The
   // /metrics endpoint needs no publishing: it renders live from the
@@ -117,7 +117,7 @@ class Daemon {
 
   // --- checkpoint/resume ----------------------------------------------------
   // Serializes the campaign right now: barrier-reboots every device, then
-  // returns the version-1 checkpoint document (core/fuzz/checkpoint.h).
+  // returns the versioned checkpoint document (core/fuzz/checkpoint.h).
   std::string checkpoint_json();
   // Restores a checkpoint into this daemon. Must be called on a freshly
   // constructed daemon with the same seed and add_device() sequence,
@@ -146,6 +146,7 @@ class Daemon {
   void start_server();
   std::string build_status_json() const;
   std::string build_coverage_json() const;
+  std::string build_frontier_json() const;
 
   DaemonConfig cfg_;
   util::Rng rng_;
@@ -167,6 +168,7 @@ class Daemon {
     obs::Observability* obs = nullptr;  // mirror of obs_ for /metrics
     std::string status = "{}";
     std::string coverage = "{}";
+    std::string frontier = "{}";
     bool healthy = true;
     std::string health_detail;
   };

@@ -278,6 +278,7 @@ void Engine::analyze(const dsl::Program& prog, const ExecResult& res,
   for (const auto& rep : res.kernel_reports) {
     if (crash_log_.record_kernel(rep, prog, exec_count_)) {
       ++stats.new_bugs;
+      record_bug_lineage(prog);
       if (obs_ != nullptr) record_bug(crash_log_.bugs().back());
     }
     stats.kernel_bug = true;
@@ -285,6 +286,7 @@ void Engine::analyze(const dsl::Program& prog, const ExecResult& res,
   for (const auto& crash : res.hal_crashes) {
     if (crash_log_.record_hal(crash, prog, exec_count_)) {
       ++stats.new_bugs;
+      record_bug_lineage(prog);
       if (obs_ != nullptr) record_bug(crash_log_.bugs().back());
     }
     stats.hal_crash = true;
@@ -297,6 +299,7 @@ void Engine::analyze(const dsl::Program& prog, const ExecResult& res,
   // Minimize to the essential calls (§IV-C), then learn relations from the
   // minimized program's adjacencies and keep it as a seed.
   dsl::Program seed_prog = prog;
+  bool minimized = false;
   if (cfg_.minimize_new_seeds && prog.calls.size() > 1) {
     std::unordered_set<uint64_t> wanted(fresh.begin(), fresh.end());
     auto oracle = [&](const dsl::Program& cand) {
@@ -310,6 +313,10 @@ void Engine::analyze(const dsl::Program& prog, const ExecResult& res,
     seed_prog = minimize(prog, oracle, cfg_.minimize_budget, &mstats,
                          h_minimize_, cfg_.lint_programs ? &lint_ : nullptr);
     if (obs_ != nullptr) c_min_oracle_->inc(mstats.oracle_calls);
+    minimized = mstats.calls_removed > 0 || mstats.args_simplified > 0;
+    if (cfg_.analytics) {
+      attribution_.record_minimize(mstats.oracle_calls, minimized);
+    }
   }
   if (cfg_.learn_relations) learn_from(seed_prog);
 
@@ -317,7 +324,23 @@ void Engine::analyze(const dsl::Program& prog, const ExecResult& res,
   seed.prog = std::move(seed_prog);
   seed.new_features = fresh.size();
   seed.exec_index = exec_count_;
+  // Lineage: the stored program descends from the step's corpus parent; a
+  // minimizer rewrite is its own derivation step in the origin tag.
+  seed.parent_hash = step_parent_hash_;
+  seed.origin =
+      minimized ? obs::ProgramOrigin::kMinimized : step_origin_;
   stats.added_to_corpus = corpus_.add(std::move(seed));
+}
+
+void Engine::record_bug_lineage(const dsl::Program& prog) {
+  BugRecord& bug = crash_log_.bugs_mutable().back();
+  bug.lineage = corpus_.ancestor_chain(step_parent_hash_);
+  obs::LineageLink trigger;
+  trigger.hash = dsl::program_hash(prog);
+  trigger.origin = step_origin_;
+  trigger.exec_index = exec_count_;
+  trigger.depth = bug.lineage.empty() ? 0 : bug.lineage.back().depth + 1;
+  bug.lineage.push_back(trigger);
 }
 
 StepStats Engine::step() {
@@ -334,15 +357,27 @@ StepStats Engine::step() {
     refill_plan_queue();
   }
   dsl::Program prog;
+  bool step_has_target = false;
+  size_t step_target_driver = 0;
+  size_t step_target_state = 0;
   {
     const obs::ScopedTimer t(h_generate_);
     const obs::ScopedSpan s(spans_, "phase:generate", dev_.spec().id,
                             exec_count_ + 1);
     if (!plan_queue_.empty()) {
-      prog = std::move(plan_queue_.front());
+      QueuedProgram q = std::move(plan_queue_.front());
       plan_queue_.pop_front();
+      prog = std::move(q.prog);
+      step_origin_ = q.origin;
+      step_parent_hash_ = q.parent_hash;
+      step_has_target = q.has_target;
+      step_target_driver = q.target_driver;
+      step_target_state = q.target_state;
     } else {
-      prog = gen_->next();
+      Generator::Candidate cand = gen_->next_candidate();
+      prog = std::move(cand.prog);
+      step_origin_ = cand.origin;
+      step_parent_hash_ = cand.parent_hash;
     }
   }
   if (prog.empty()) return stats;
@@ -350,6 +385,8 @@ StepStats Engine::step() {
   std::vector<uint8_t> states_before;
   if (flight_ != nullptr) states_before = driver_state_snapshot();
   const size_t bugs_before = crash_log_.unique_bugs();
+  const uint64_t states_visited_before =
+      cfg_.analytics ? count_states_visited() : 0;
   const ExecResult res = broker_->execute(prog, exec_options());
   stats.lost_exec = res.transport_error;
   if (!res.transport_error) {
@@ -357,6 +394,28 @@ StepStats Engine::step() {
     const obs::ScopedSpan s(spans_, "phase:analyze", dev_.spec().id,
                             exec_count_);
     analyze(prog, res, stats);
+  }
+  // Plan outcome tracking: an injected plan that ran without its target
+  // state being entered is the planned-but-failed frontier signal.
+  if (step_has_target) {
+    const auto& drvs = dev_.kernel().drivers();
+    const auto& visits = drvs[step_target_driver]->state_visits();
+    if (step_target_state >= visits.size() ||
+        visits[step_target_state] == 0) {
+      ++plan_attempts_[{step_target_driver, step_target_state}]
+            .executed_no_visit;
+    }
+  }
+  // Operator attribution (purely observational; see DESIGN.md §11).
+  if (cfg_.analytics) {
+    attribution_.record_attempt(step_origin_,
+                                static_cast<uint64_t>(prog.calls.size()));
+    const uint64_t states_delta =
+        count_states_visited() - states_visited_before;
+    attribution_.credit(step_origin_,
+                        static_cast<uint64_t>(stats.new_features),
+                        states_delta, static_cast<uint64_t>(stats.new_bugs),
+                        stats.added_to_corpus);
   }
   if (fault_ != nullptr) {
     if (obs_ != nullptr && res.retries > 0) c_f_retries_->inc(res.retries);
@@ -433,6 +492,62 @@ dsl::Program Engine::minimize_crash(const BugRecord& bug, size_t budget) {
                   cfg_.lint_programs ? &lint_ : nullptr);
 }
 
+uint64_t Engine::count_states_visited() const {
+  uint64_t total = 0;
+  for (const auto& d : dev_.kernel().drivers()) total += d->states_visited();
+  return total;
+}
+
+obs::FrontierReport Engine::frontier_report() const {
+  obs::FrontierReport out;
+  const auto& drvs = dev_.kernel().drivers();
+  for (const auto& [di, planner] : planners_) {
+    const auto& visits = drvs[di]->state_visits();
+    const analysis::StateGraph& g = planner.graph();
+    out.states_total += g.states.size();
+    for (size_t s = 0; s < g.states.size(); ++s) {
+      if (s < visits.size() && visits[s] > 0) {
+        ++out.states_visited;
+        continue;
+      }
+      const analysis::StatePlan& plan = planner.plans()[s];
+      obs::FrontierState f;
+      f.driver = g.driver;
+      f.state = g.states[s];
+      f.state_index = s;
+      f.plan_length = plan.steps.size();
+      const auto it = plan_attempts_.find({di, s});
+      if (it != plan_attempts_.end()) {
+        f.plans_injected = it->second.injected;
+        f.materialize_failed = it->second.materialize_failed;
+        f.executed_no_visit = it->second.executed_no_visit;
+      }
+      // Exactly one class per unvisited state: no declared route beats
+      // everything; any recorded plan attempt (queued, failed to
+      // materialize, or executed without a visit) means we tried and
+      // failed; otherwise the planner simply never got to it.
+      if (!plan.reachable) {
+        f.cls = obs::FrontierClass::kUnreachableFromFrontier;
+      } else if (f.plans_injected > 0 || f.materialize_failed > 0 ||
+                 f.executed_no_visit > 0) {
+        f.cls = obs::FrontierClass::kPlannedButFailed;
+      } else {
+        f.cls = obs::FrontierClass::kNeverAttempted;
+      }
+      out.unvisited.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+obs::AnalyticsSnapshot Engine::analytics_snapshot() const {
+  obs::AnalyticsSnapshot snap;
+  snap.operators = attribution_;
+  snap.lineage = corpus_.lineage_summary();
+  snap.frontier = frontier_report();
+  return snap;
+}
+
 std::vector<Engine::UnvisitedStatePlan> Engine::unvisited_state_plans()
     const {
   std::vector<UnvisitedStatePlan> out;
@@ -459,7 +574,11 @@ void Engine::reestablish(const ExecResult& res) {
   constexpr size_t kRewarmSeeds = 4;
   const size_t n = std::min(corpus_.size(), kRewarmSeeds);
   for (size_t i = corpus_.size() - n; i < corpus_.size(); ++i) {
-    plan_queue_.push_back(corpus_.at(i).prog);
+    QueuedProgram q;
+    q.prog = corpus_.at(i).prog;
+    q.origin = obs::ProgramOrigin::kReplay;
+    q.parent_hash = corpus_.at(i).hash;
+    plan_queue_.push_back(std::move(q));
   }
   if (obs_ != nullptr) {
     c_f_reboots_->inc();
@@ -483,12 +602,24 @@ void Engine::refill_plan_queue() {
       if (plan_queue_.size() >= kMaxQueue) return;
       if (!p.reachable || p.steps.empty()) continue;
       auto prog = analysis::materialize_plan(p, table_);
-      if (!prog.has_value()) continue;
+      if (!prog.has_value()) {
+        // Declared route exists but this table cannot instantiate it — a
+        // planned-but-failed frontier outcome.
+        ++plan_attempts_[{di, p.state}].materialize_failed;
+        continue;
+      }
       // The plan leaves handle args unresolved; splice in producers the
       // same way generated programs get them.
       gen_->resolve_producers(*prog);
       if (c_plans_injected_ != nullptr) c_plans_injected_->inc();
-      plan_queue_.push_back(std::move(*prog));
+      ++plan_attempts_[{di, p.state}].injected;
+      QueuedProgram q;
+      q.prog = std::move(*prog);
+      q.origin = obs::ProgramOrigin::kPlanInjected;
+      q.has_target = true;
+      q.target_driver = di;
+      q.target_state = p.state;
+      plan_queue_.push_back(std::move(q));
     }
   }
 }

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "analysis/reachability.h"
 #include "analysis/semantic.h"
@@ -24,6 +26,7 @@
 #include "core/relation/graph.h"
 #include "device/device.h"
 #include "dsl/descr.h"
+#include "obs/analytics.h"
 #include "obs/obs.h"
 #include "obs/stats_reporter.h"
 
@@ -47,6 +50,12 @@ struct EngineConfig {
   bool lint_programs = true;
   bool use_reachability_plans = true;
   uint64_t plan_every = 512;
+  // Campaign analytics (DESIGN.md §11): per-operator yield attribution and
+  // per-step new-state accounting. Purely observational — per-device
+  // results are bit-identical with this on or off (lineage edges and plan
+  // outcome counters are always recorded; they cost nothing on the hot
+  // path and crash provenance depends on them).
+  bool analytics = true;
   // Substrate fault injection (fault.rate == 0 disables; a disabled layer
   // is bit-identical to no layer at all). The plan's RNG stream is derived
   // from `seed` unless fault.seed overrides it.
@@ -127,14 +136,47 @@ class Engine {
   };
   std::vector<UnvisitedStatePlan> unvisited_state_plans() const;
 
+  // --- campaign analytics (DESIGN.md §11) ------------------------------------
+  // The per-operator yield table (empty rows when cfg.analytics is off).
+  const obs::OperatorAttribution& attribution() const { return attribution_; }
+  // Coverage-frontier explainer: every declared-but-unvisited driver state
+  // classified as unreachable-from-frontier / planned-but-failed /
+  // never-attempted, joined with the plan-outcome counters.
+  obs::FrontierReport frontier_report() const;
+  // Operators + corpus lineage digest + frontier, ready for export.
+  obs::AnalyticsSnapshot analytics_snapshot() const;
+
   // The engine's fault injector (null when cfg.fault.rate == 0).
   FaultInjector* fault_injector() { return fault_.get(); }
 
  private:
   friend class CampaignCheckpoint;
 
+  // A queued injection-or-replay program with its attribution tag and, for
+  // reachability plans, the (driver index, state) it targets so the
+  // frontier report can count executed-but-no-visit outcomes.
+  struct QueuedProgram {
+    dsl::Program prog;
+    obs::ProgramOrigin origin = obs::ProgramOrigin::kPlanInjected;
+    uint64_t parent_hash = 0;
+    bool has_target = false;
+    size_t target_driver = 0;  // kernel driver registration index
+    size_t target_state = 0;
+  };
+  // Plan outcomes per (driver index, state): how often the engine injected
+  // a plan for the state, failed to materialize one, or ran one without the
+  // state being entered. Feeds the planned-but-failed frontier class.
+  struct PlanAttempt {
+    uint64_t injected = 0;
+    uint64_t materialize_failed = 0;
+    uint64_t executed_no_visit = 0;
+  };
+
   void analyze(const dsl::Program& prog, const ExecResult& res,
                StepStats& stats);
+  // Attaches the derivation chain (corpus ancestry + the triggering
+  // program) to the bug record just appended by the crash log.
+  void record_bug_lineage(const dsl::Program& prog);
   void learn_from(const dsl::Program& prog);
   // Device re-establishment after a fault-induced reboot: replay
   // reachability plans for the wiped driver states and re-warm the corpus
@@ -179,7 +221,17 @@ class Engine {
   analysis::ProgramLint lint_{gate_lint_options()};
   // (kernel driver index, planner over its declared graph)
   std::vector<std::pair<size_t, analysis::ReachabilityPlanner>> planners_;
-  std::deque<dsl::Program> plan_queue_;
+  std::deque<QueuedProgram> plan_queue_;
+
+  // --- analytics state (DESIGN.md §11) --------------------------------------
+  // Total driver states ever entered (cheap recount over visit tallies).
+  uint64_t count_states_visited() const;
+  obs::OperatorAttribution attribution_;
+  std::map<std::pair<size_t, size_t>, PlanAttempt> plan_attempts_;
+  // Attribution tag of the program the current step() is executing; set
+  // before analyze() so corpus/bug bookkeeping can consume it.
+  obs::ProgramOrigin step_origin_ = obs::ProgramOrigin::kGenerate;
+  uint64_t step_parent_hash_ = 0;
 
   obs::Observability* obs_ = nullptr;
   obs::SpanTracer* spans_ = nullptr;       // cached only when enabled

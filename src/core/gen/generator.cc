@@ -194,7 +194,7 @@ void Generator::resolve_producers(Program& prog) {
   }
 }
 
-void Generator::mutate_once(Program& prog) {
+obs::ProgramOrigin Generator::mutate_once(Program& prog) {
   enum { kArgMutate, kInsert, kRemove, kDuplicate, kSplice, kRewire };
   const int op = static_cast<int>(rng_.below(6));
   switch (op) {
@@ -291,12 +291,23 @@ void Generator::mutate_once(Program& prog) {
     default:
       break;
   }
+  // The attribution tag reports the operator *drawn*, even when it no-ops
+  // on this particular program (e.g. kRemove on a one-call program) — the
+  // yield table measures what each operator draw earns, not what it edits.
+  static constexpr obs::ProgramOrigin kOpOrigin[6] = {
+      obs::ProgramOrigin::kMutateArg,       obs::ProgramOrigin::kMutateInsert,
+      obs::ProgramOrigin::kMutateRemove,    obs::ProgramOrigin::kMutateDuplicate,
+      obs::ProgramOrigin::kMutateSplice,    obs::ProgramOrigin::kMutateRewire,
+  };
+  return kOpOrigin[op];
 }
 
-Program Generator::mutate(const Program& seed) {
+Program Generator::mutate(const Program& seed, obs::ProgramOrigin* origin) {
   Program prog = dsl::clone(seed);
   const size_t rounds = 1 + rng_.below(3);
-  for (size_t r = 0; r < rounds; ++r) mutate_once(prog);
+  obs::ProgramOrigin last = obs::ProgramOrigin::kMutateArg;
+  for (size_t r = 0; r < rounds; ++r) last = mutate_once(prog);
+  if (origin != nullptr) *origin = last;
   prog.repair_refs();
   resolve_producers(prog);
   return prog;
@@ -309,27 +320,34 @@ void Generator::set_lint(const analysis::ProgramLint* lint,
   c_repaired_ = repaired;
 }
 
-Program Generator::next() {
+Generator::Candidate Generator::next_candidate() {
   constexpr int kLintRetries = 4;
-  Program prog;
+  Candidate cand;
   for (int tries = 0; tries < kLintRetries; ++tries) {
     if (!corpus_.empty() && rng_.chance(cfg_.mutate_percent, 100)) {
-      prog = mutate(corpus_.pick(rng_).prog);
+      const Seed& seed = corpus_.pick(rng_);
+      // Read the parent identity before mutate(): kSplice may pick again
+      // and the corpus vector is stable, but the reference discipline is
+      // clearer this way.
+      cand.parent_hash = seed.hash;
+      cand.prog = mutate(seed.prog, &cand.origin);
     } else {
-      prog = generate_fresh();
+      cand.parent_hash = 0;
+      cand.origin = obs::ProgramOrigin::kGenerate;
+      cand.prog = generate_fresh();
     }
-    if (lint_ == nullptr || lint_->analyze(prog).clean()) return prog;
-    lint_->repair(prog);
-    if (lint_->analyze(prog).clean()) {
+    if (lint_ == nullptr || lint_->analyze(cand.prog).clean()) return cand;
+    lint_->repair(cand.prog);
+    if (lint_->analyze(cand.prog).clean()) {
       if (c_repaired_ != nullptr) c_repaired_->inc();
-      return prog;
+      return cand;
     }
     // Unrepairable: discard and regenerate.
     if (c_rejected_ != nullptr) c_rejected_->inc();
   }
   // Every retry failed lint — return the last (repaired) candidate rather
   // than starving the fuzz loop; the executor tolerates it.
-  return prog;
+  return cand;
 }
 
 }  // namespace df::core

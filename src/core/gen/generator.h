@@ -15,6 +15,7 @@
 #include "core/relation/graph.h"
 #include "dsl/descr.h"
 #include "dsl/prog.h"
+#include "obs/analytics.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
 
@@ -37,11 +38,26 @@ class Generator {
   Generator(const dsl::CallTable& table, RelationGraph& rel, Corpus& corpus,
             util::Rng& rng, GenConfig cfg);
 
+  // One candidate program plus its attribution tag: the origin (fresh
+  // generation or the last mutation operator applied) and, for mutations,
+  // the hash of the corpus seed it derives from. Collecting the tag draws
+  // no extra randomness — next_candidate() is byte-for-byte the historical
+  // next() with bookkeeping on the side.
+  struct Candidate {
+    dsl::Program prog;
+    obs::ProgramOrigin origin = obs::ProgramOrigin::kGenerate;
+    uint64_t parent_hash = 0;  // 0 = no corpus parent
+  };
+  Candidate next_candidate();
+
   // One input payload: historical mutation or fresh relational generation.
-  dsl::Program next();
+  dsl::Program next() { return next_candidate().prog; }
 
   dsl::Program generate_fresh();
-  dsl::Program mutate(const dsl::Program& seed);
+  // Mutates `seed`; when `origin` is non-null it receives the tag of the
+  // last operator applied.
+  dsl::Program mutate(const dsl::Program& seed,
+                      obs::ProgramOrigin* origin = nullptr);
 
   // Inserts producer calls for unresolved handle args (public: the
   // minimizer and tests reuse it).
@@ -67,7 +83,8 @@ class Generator {
   const dsl::CallDesc* pick_related_or_random(const dsl::Program& prog);
   const dsl::CallDesc* choose_producer(std::string_view type);
   dsl::Call instantiate(const dsl::CallDesc* d);
-  void mutate_once(dsl::Program& prog);
+  // Applies one mutation operator; returns its origin tag.
+  obs::ProgramOrigin mutate_once(dsl::Program& prog);
 
   const dsl::CallTable& table_;
   RelationGraph& rel_;

@@ -1,0 +1,210 @@
+#include "obs/analytics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace df::obs {
+
+namespace {
+
+constexpr std::string_view kOriginNames[kProgramOriginCount] = {
+    "generate",         "mutate_arg",   "mutate_insert", "mutate_remove",
+    "mutate_duplicate", "mutate_splice", "mutate_rewire", "plan_injected",
+    "minimized",        "replay",
+};
+
+constexpr std::string_view kFrontierNames[kFrontierClassCount] = {
+    "unreachable-from-frontier",
+    "planned-but-failed",
+    "never-attempted",
+};
+
+// 16 lowercase hex digits, matching CrashLog::title_hash's filename style.
+std::string hex16(uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view origin_name(ProgramOrigin o) {
+  const auto i = static_cast<size_t>(o);
+  return i < kProgramOriginCount ? kOriginNames[i] : "unknown";
+}
+
+std::optional<ProgramOrigin> origin_from_name(std::string_view name) {
+  for (size_t i = 0; i < kProgramOriginCount; ++i) {
+    if (kOriginNames[i] == name) return static_cast<ProgramOrigin>(i);
+  }
+  return std::nullopt;
+}
+
+std::string_view frontier_class_name(FrontierClass c) {
+  const auto i = static_cast<size_t>(c);
+  return i < kFrontierClassCount ? kFrontierNames[i] : "unknown";
+}
+
+void OperatorAttribution::record_attempt(ProgramOrigin o, uint64_t calls) {
+  OperatorYield& r = rows_[static_cast<size_t>(o)];
+  ++r.attempts;
+  r.total_calls += calls;
+}
+
+void OperatorAttribution::credit(ProgramOrigin o, uint64_t new_features,
+                                 uint64_t new_states, uint64_t bugs,
+                                 bool accepted) {
+  OperatorYield& r = rows_[static_cast<size_t>(o)];
+  r.new_features += new_features;
+  r.new_states += new_states;
+  r.bugs += bugs;
+  if (accepted) ++r.accepts;
+}
+
+void OperatorAttribution::record_minimize(uint64_t oracle_calls,
+                                          bool shrunk) {
+  OperatorYield& r = rows_[static_cast<size_t>(ProgramOrigin::kMinimized)];
+  ++r.attempts;
+  r.total_calls += oracle_calls;
+  if (shrunk) ++r.accepts;
+}
+
+bool OperatorAttribution::any() const {
+  for (const OperatorYield& r : rows_) {
+    if (r.attempts != 0 || r.accepts != 0 || r.new_features != 0 ||
+        r.new_states != 0 || r.bugs != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void OperatorAttribution::write_json(JsonWriter& w) const {
+  w.begin_array();
+  for (size_t i = 0; i < kProgramOriginCount; ++i) {
+    const OperatorYield& r = rows_[i];
+    w.begin_object();
+    w.field("origin", kOriginNames[i]);
+    w.field("attempts", r.attempts);
+    w.field("total_calls", r.total_calls);
+    w.field("accepts", r.accepts);
+    w.field("new_features", r.new_features);
+    w.field("new_states", r.new_states);
+    w.field("bugs", r.bugs);
+    w.field("mean_cost",
+            r.attempts == 0 ? 0.0
+                            : static_cast<double>(r.total_calls) /
+                                  static_cast<double>(r.attempts));
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void write_lineage_json(JsonWriter& w,
+                        const std::vector<LineageLink>& chain) {
+  w.begin_array();
+  for (const LineageLink& l : chain) {
+    w.begin_object();
+    w.field("hash", hex16(l.hash));
+    w.field("origin", origin_name(l.origin));
+    w.field("exec_index", l.exec_index);
+    w.field("depth", l.depth);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void LineageSummary::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.field("seeds", seeds);
+  w.field("roots", roots);
+  w.field("max_depth", max_depth);
+  w.key("depth_histogram").begin_array();
+  for (uint64_t n : depth_histogram) w.value(n);
+  w.end_array();
+  w.key("top_ancestors").begin_array();
+  for (const AncestorYield& a : top_ancestors) {
+    w.begin_object();
+    w.field("hash", hex16(a.hash));
+    w.field("exec_index", a.exec_index);
+    w.field("descendants", a.descendants);
+    w.field("subtree_new_features", a.subtree_new_features);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void FrontierReport::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.field("states_total", states_total);
+  w.field("states_visited", states_visited);
+  w.key("unvisited").begin_array();
+  for (const FrontierState& s : unvisited) {
+    w.begin_object();
+    w.field("driver", s.driver);
+    w.field("state", s.state);
+    w.field("state_index", s.state_index);
+    w.field("class", frontier_class_name(s.cls));
+    w.field("plan_length", s.plan_length);
+    w.field("plans_injected", s.plans_injected);
+    w.field("materialize_failed", s.materialize_failed);
+    w.field("executed_no_visit", s.executed_no_visit);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_downsampled_series(JsonWriter& w,
+                              const std::vector<StatsReporter::Point>& points,
+                              size_t max_points) {
+  w.begin_array();
+  const size_t n = points.size();
+  if (max_points < 2) max_points = 2;
+  for (size_t i = 0; i < n; ++i) {
+    if (n > max_points) {
+      // Deterministic index grid: keep point i only when it is the chosen
+      // representative of its grid slot (first and last always qualify).
+      const size_t slot = i * (max_points - 1) / (n - 1);
+      const size_t representative = slot * (n - 1) / (max_points - 1);
+      if (i != representative && i != n - 1) continue;
+    }
+    const StatsReporter::Point& p = points[i];
+    w.begin_object();
+    w.field("executions", p.sample.executions);
+    w.field("kernel_coverage", p.sample.kernel_coverage);
+    w.field("total_coverage", p.sample.total_coverage);
+    w.field("corpus_size", p.sample.corpus_size);
+    w.field("unique_bugs", p.sample.unique_bugs);
+    w.field("states_visited", p.sample.states_visited);
+    w.key("timing").begin_object().field("secs", p.secs).end_object();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+void AnalyticsSnapshot::write_json(
+    JsonWriter& w, const std::vector<StatsReporter::Point>* series,
+    size_t max_series_points) const {
+  w.begin_object();
+  w.field("schema_version", kAnalyticsSchemaVersion);
+  w.key("operators");
+  operators.write_json(w);
+  w.key("lineage");
+  lineage.write_json(w);
+  w.key("frontier");
+  frontier.write_json(w);
+  if (series != nullptr) {
+    w.key("series");
+    write_downsampled_series(w, *series, max_series_points);
+  }
+  w.end_object();
+}
+
+}  // namespace df::obs

@@ -1,0 +1,195 @@
+// Campaign analytics: attribution and explainability (DESIGN.md §11).
+//
+// Three plain-data families, all produced by the core layer and exported
+// everywhere campaign state is exported (/status, /frontier, --stats-json,
+// BENCH_*.json):
+//  * Operator attribution — every candidate program carries a ProgramOrigin
+//    tag; on new-coverage/new-state/new-bug events the engine credits the
+//    origin, yielding a syzkaller-style per-operator yield table.
+//  * Seed lineage — parent→child edges over corpus seeds (LineageLink
+//    chains, depth histogram, top-yield ancestors).
+//  * Coverage frontier — every declared-but-unvisited driver state
+//    classified as unreachable-from-frontier, planned-but-failed (with
+//    failure-reason counters), or never-attempted.
+//
+// Everything here is observational bookkeeping: collecting it draws no
+// randomness and changes no control flow, so per-device campaign results
+// are bit-identical with analytics on or off (the determinism tests hold
+// the engine to that).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/stats_reporter.h"
+
+namespace df::obs {
+
+class JsonWriter;
+
+// Bumped when the exported "analytics" JSON shape changes
+// (scripts/check_bench_json.py validates against it).
+inline constexpr uint64_t kAnalyticsSchemaVersion = 1;
+
+// Where a candidate program came from. Mutation operators mirror
+// Generator::mutate_once; kPlanInjected marks reachability-plan programs,
+// kMinimized marks seeds the minimizer shrank before corpus insertion, and
+// kReplay marks post-reboot re-warm executions of existing seeds.
+enum class ProgramOrigin : uint8_t {
+  kGenerate = 0,
+  kMutateArg,
+  kMutateInsert,
+  kMutateRemove,
+  kMutateDuplicate,
+  kMutateSplice,
+  kMutateRewire,
+  kPlanInjected,
+  kMinimized,
+  kReplay,
+};
+inline constexpr size_t kProgramOriginCount = 10;
+
+// Stable wire names ("generate", "mutate_arg", ... "replay"); round-trips
+// through origin_from_name for checkpoint restore.
+std::string_view origin_name(ProgramOrigin o);
+std::optional<ProgramOrigin> origin_from_name(std::string_view name);
+
+// One row of the per-operator yield table. `total_calls` is the summed
+// program length of every attempt, so mean cost (calls per attempt) is
+// total_calls / attempts. For the kMinimized row the semantics shift to
+// minimization work: attempts = minimizations run, total_calls = oracle
+// executions spent, accepts = seeds actually shrunk.
+struct OperatorYield {
+  uint64_t attempts = 0;
+  uint64_t total_calls = 0;
+  uint64_t accepts = 0;       // corpus insertions credited to this origin
+  uint64_t new_features = 0;  // coverage features first seen under it
+  uint64_t new_states = 0;    // driver states first entered under it
+  uint64_t bugs = 0;          // unique bugs first triggered under it
+
+  bool operator==(const OperatorYield&) const = default;
+};
+
+// The full yield table, indexed by ProgramOrigin. Copyable plain data;
+// the engine owns one and updates it on the step path.
+class OperatorAttribution {
+ public:
+  void record_attempt(ProgramOrigin o, uint64_t calls);
+  void credit(ProgramOrigin o, uint64_t new_features, uint64_t new_states,
+              uint64_t bugs, bool accepted);
+  // kMinimized-row bookkeeping (see OperatorYield).
+  void record_minimize(uint64_t oracle_calls, bool shrunk);
+
+  const OperatorYield& row(ProgramOrigin o) const {
+    return rows_[static_cast<size_t>(o)];
+  }
+  bool any() const;
+  bool operator==(const OperatorAttribution&) const = default;
+
+  // Checkpoint round-trip.
+  void restore_row(ProgramOrigin o, const OperatorYield& y) {
+    rows_[static_cast<size_t>(o)] = y;
+  }
+
+  // Array of all rows in enum order:
+  // [{"origin":"generate","attempts":..,"total_calls":..,"accepts":..,
+  //   "new_features":..,"new_states":..,"bugs":..,"mean_cost":..}, ...]
+  void write_json(JsonWriter& w) const;
+
+ private:
+  std::array<OperatorYield, kProgramOriginCount> rows_{};
+};
+
+// One ancestor step in a seed's (or bug reproducer's) derivation chain,
+// root first. `hash` is the structural dsl::program_hash of the program at
+// that step; `exec_index` is when it entered the corpus (or, for the final
+// link of a bug chain, when the reproducer executed).
+struct LineageLink {
+  uint64_t hash = 0;
+  ProgramOrigin origin = ProgramOrigin::kGenerate;
+  uint64_t exec_index = 0;
+  uint64_t depth = 0;
+};
+
+void write_lineage_json(JsonWriter& w, const std::vector<LineageLink>& chain);
+
+// A high-yield root/ancestor: how many corpus descendants it spawned and
+// how many new features its whole subtree contributed.
+struct AncestorYield {
+  uint64_t hash = 0;
+  uint64_t exec_index = 0;
+  uint64_t descendants = 0;
+  uint64_t subtree_new_features = 0;
+};
+
+// Corpus-wide lineage digest (Corpus::lineage_summary).
+struct LineageSummary {
+  uint64_t seeds = 0;
+  uint64_t roots = 0;  // seeds with no corpus parent
+  uint64_t max_depth = 0;
+  std::vector<uint64_t> depth_histogram;  // index == generation depth
+  std::vector<AncestorYield> top_ancestors;
+
+  void write_json(JsonWriter& w) const;
+};
+
+// Why a declared driver state has never been visited.
+enum class FrontierClass : uint8_t {
+  kUnreachableFromFrontier = 0,  // no declared route from the boot state
+  kPlannedButFailed,             // plans attempted, state still unvisited
+  kNeverAttempted,               // reachable, but no plan ever injected
+};
+inline constexpr size_t kFrontierClassCount = 3;
+
+std::string_view frontier_class_name(FrontierClass c);
+
+struct FrontierState {
+  std::string driver;
+  std::string state;
+  uint64_t state_index = 0;
+  FrontierClass cls = FrontierClass::kNeverAttempted;
+  uint64_t plan_length = 0;  // declared shortest-route calls (0: no route)
+  // Failure-reason counters for kPlannedButFailed (zero otherwise):
+  uint64_t plans_injected = 0;     // materialized programs queued
+  uint64_t materialize_failed = 0; // plans the table could not instantiate
+  uint64_t executed_no_visit = 0;  // injected programs run, state not entered
+};
+
+// Per-device frontier report (Engine::frontier_report): joins
+// Engine::state_coverage with declared_transitions() and the
+// ReachabilityPlanner verdicts.
+struct FrontierReport {
+  uint64_t states_total = 0;    // declared states across planned drivers
+  uint64_t states_visited = 0;  // of those, entered at least once
+  std::vector<FrontierState> unvisited;
+
+  void write_json(JsonWriter& w) const;
+};
+
+// AFL-plot-style downsampled coverage time series: at most `max_points`
+// reporter points, first and last always kept, interior points picked on a
+// deterministic index grid. Content axes (executions, coverage, corpus,
+// bugs, states) are determinism-comparable; wall seconds stay under
+// "timing".
+void write_downsampled_series(JsonWriter& w,
+                              const std::vector<StatsReporter::Point>& points,
+                              size_t max_points = 32);
+
+// Everything the "analytics" export section holds for one device.
+struct AnalyticsSnapshot {
+  OperatorAttribution operators;
+  LineageSummary lineage;
+  FrontierReport frontier;
+
+  // {"schema_version":..,"operators":[..],"lineage":{..},"frontier":{..}}
+  // plus a "series" array when `series` is non-null.
+  void write_json(JsonWriter& w,
+                  const std::vector<StatsReporter::Point>* series = nullptr,
+                  size_t max_series_points = 32) const;
+};
+
+}  // namespace df::obs

@@ -1,0 +1,94 @@
+#include "obs/buildinfo.h"
+
+#include "obs/json.h"
+
+// CMake injects DF_BUILD_TYPE / DF_SANITIZE_CFG / DF_CXX_FLAGS as
+// per-source compile definitions on this file (src/CMakeLists.txt); plain
+// compiler invocations (e.g. IDE preview builds) fall back to empty.
+#ifndef DF_BUILD_TYPE
+#define DF_BUILD_TYPE ""
+#endif
+#ifndef DF_SANITIZE_CFG
+#define DF_SANITIZE_CFG ""
+#endif
+#ifndef DF_CXX_FLAGS
+#define DF_CXX_FLAGS ""
+#endif
+
+namespace df::obs {
+
+namespace {
+
+BuildInfo make_build_info() {
+  BuildInfo b;
+#if defined(__clang__)
+  b.compiler = "clang";
+#elif defined(__GNUC__)
+  b.compiler = "gcc";
+#else
+  b.compiler = "unknown";
+#endif
+#if defined(__VERSION__)
+  b.compiler_version = __VERSION__;
+#endif
+  b.build_type = DF_BUILD_TYPE;
+  b.sanitizer = DF_SANITIZE_CFG;
+  // The configured sanitizer normally reaches us via CMake; detect the
+  // common ones directly as a fallback so a hand-built binary still
+  // self-identifies.
+  if (b.sanitizer.empty()) {
+#if defined(__SANITIZE_ADDRESS__)
+    b.sanitizer = "address";
+#elif defined(__SANITIZE_THREAD__)
+    b.sanitizer = "thread";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+    b.sanitizer = "address";
+#elif __has_feature(thread_sanitizer)
+    b.sanitizer = "thread";
+#endif
+#endif
+  }
+  b.flags = DF_CXX_FLAGS;
+  b.cxx_standard = __cplusplus;
+#if defined(NDEBUG)
+  b.assertions = false;
+#else
+  b.assertions = true;
+#endif
+  return b;
+}
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info = make_build_info();
+  return info;
+}
+
+void write_build_json(
+    JsonWriter& w,
+    const std::vector<std::pair<std::string, uint64_t>>& schemas) {
+  const BuildInfo& b = build_info();
+  w.begin_object();
+  w.field("compiler", b.compiler);
+  w.field("compiler_version", b.compiler_version);
+  w.field("build_type", b.build_type);
+  w.field("sanitizer", b.sanitizer);
+  w.field("flags", b.flags);
+  w.field("cxx_standard", b.cxx_standard);
+  w.field("assertions", b.assertions);
+  w.key("schema").begin_object();
+  for (const auto& [name, version] : schemas) w.field(name, version);
+  w.end_object();
+  w.end_object();
+}
+
+std::string build_json(
+    const std::vector<std::pair<std::string, uint64_t>>& schemas) {
+  JsonWriter w;
+  write_build_json(w, schemas);
+  return w.take();
+}
+
+}  // namespace df::obs

@@ -1,0 +1,41 @@
+// Build self-identification for exported artifacts: the /buildz endpoint
+// and the "build" block in --stats-json and BENCH_*.json. Everything is
+// captured at compile time (compiler macros plus CMake-injected definitions
+// on buildinfo.cc), so any exported document names the toolchain, flags,
+// and sanitizer configuration that produced it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace df::obs {
+
+class JsonWriter;
+
+struct BuildInfo {
+  std::string compiler;          // "clang" / "gcc" / "unknown"
+  std::string compiler_version;  // __VERSION__
+  std::string build_type;        // CMAKE_BUILD_TYPE ("" when unset)
+  std::string sanitizer;         // DF_SANITIZE cache value ("" = none)
+  std::string flags;             // CMAKE_CXX_FLAGS as configured
+  uint64_t cxx_standard = 0;     // __cplusplus
+  bool assertions = false;       // NDEBUG not defined
+};
+
+// The compile-time-constant build description of this binary.
+const BuildInfo& build_info();
+
+// {"compiler":..,"compiler_version":..,"build_type":..,"sanitizer":..,
+//  "flags":..,"cxx_standard":..,"assertions":..,"schema":{name:version,..}}
+// `schemas` lets callers attach the schema versions of the documents they
+// export (analytics, checkpoint, ...) — obs cannot see core's constants.
+void write_build_json(
+    JsonWriter& w,
+    const std::vector<std::pair<std::string, uint64_t>>& schemas = {});
+
+std::string build_json(
+    const std::vector<std::pair<std::string, uint64_t>>& schemas = {});
+
+}  // namespace df::obs

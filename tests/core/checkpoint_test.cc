@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "core/fuzz/daemon.h"
+#include "obs/analytics.h"
+#include "obs/json.h"
 #include "obs/obs.h"
 #include "obs/stats_reporter.h"
 
@@ -24,6 +26,7 @@ struct Fingerprint {
   std::string trace_jsonl;  // milestone event trace
   std::string corpus;       // every engine's corpus as DSL text
   std::string bugs;         // device:title:dup per bug, aggregation order
+  std::string analytics;    // per-device attribution/lineage/frontier JSON
   uint64_t total_execs = 0;
   size_t total_coverage = 0;
 
@@ -59,6 +62,14 @@ Fingerprint fingerprint(Daemon& d, obs::Observability& obs,
   }
   fp.total_execs = d.total_executions();
   fp.total_coverage = d.total_kernel_coverage();
+  // Analytics round-trips through the checkpoint too: the yield table,
+  // lineage digest, and plan-attempt counters behind the frontier report
+  // must restore exactly (no wall-clock series, pure content).
+  for (const auto& id : rep.devices()) {
+    obs::JsonWriter w;
+    d.engine(id)->analytics_snapshot().write_json(w);
+    fp.analytics += id + ":" + w.take() + "\n";
+  }
   return fp;
 }
 
@@ -110,6 +121,9 @@ void expect_roundtrip(size_t workers, double fault_rate) {
   EXPECT_EQ(want.corpus, got.corpus);
   EXPECT_EQ(want.stats_json, got.stats_json);
   EXPECT_EQ(want.trace_jsonl, got.trace_jsonl);
+  EXPECT_EQ(want.analytics, got.analytics);
+  EXPECT_NE(got.analytics.find("\"origin\":\"generate\""),
+            std::string::npos);
 }
 
 TEST(Checkpoint, ResumeMatchesUninterruptedRunSequential) {
@@ -207,9 +221,9 @@ TEST_F(CheckpointRejectTest, BitFlippedFieldIsRejected) {
 
 TEST_F(CheckpointRejectTest, WrongVersionIsRejected) {
   std::string doc = valid_;
-  const size_t pos = doc.find("\"version\":1");
+  const size_t pos = doc.find("\"version\":2");
   ASSERT_NE(pos, std::string::npos);
-  doc.replace(pos, strlen("\"version\":1"), "\"version\":999");
+  doc.replace(pos, strlen("\"version\":2"), "\"version\":999");
   std::string error;
   Daemon d = matching_daemon();
   EXPECT_FALSE(d.resume(doc, &error));

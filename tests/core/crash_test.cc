@@ -187,6 +187,17 @@ struct ProvenanceFixture {
     bug.bug_class = "WARNING";
     bug.first_exec = 120;
     bug.dup_count = 1;
+    obs::LineageLink root;
+    root.hash = 0x1234;
+    root.origin = obs::ProgramOrigin::kGenerate;
+    root.exec_index = 7;
+    root.depth = 0;
+    obs::LineageLink trigger;
+    trigger.hash = 0xabcd;
+    trigger.origin = obs::ProgramOrigin::kMutateArg;
+    trigger.exec_index = 120;
+    trigger.depth = 1;
+    bug.lineage = {root, trigger};
 
     obs::DriverStateCoverage cov;
     cov.driver = "rt1711_i2c";
@@ -237,6 +248,10 @@ TEST(CrashLog, ProvenanceJsonMatchesGolden) {
       "\"bug_class\":\"WARNING\",\"first_exec\":120,\"dup_count\":1},"
       "\"campaign\":{\"device\":\"A1\",\"seed\":42,\"exec\":120},"
       "\"repro\":{\"calls\":1,\"dsl\":\"openat$video()\\n\"},"
+      "\"lineage\":[{\"hash\":\"0000000000001234\",\"origin\":\"generate\","
+      "\"exec_index\":7,\"depth\":0},"
+      "{\"hash\":\"000000000000abcd\",\"origin\":\"mutate_arg\","
+      "\"exec_index\":120,\"depth\":1}],"
       "\"driver_states\":[{\"driver\":\"rt1711_i2c\","
       "\"states\":[\"idle\",\"attached\",\"alerting\"],"
       "\"current\":\"attached\",\"visits\":[2,1,0],"

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "core/fuzz/daemon.h"
+#include "obs/analytics.h"
+#include "obs/json.h"
 #include "obs/obs.h"
 #include "obs/stats_reporter.h"
 
@@ -39,6 +41,16 @@ std::string fleet_fingerprint(Daemon& d,
     out += "\n";
   }
   return out;
+}
+
+// Per-device analytics (operator attribution, lineage, frontier) rendered
+// without the wall-clock series: pure content, comparable across runs.
+std::string analytics_json(Daemon& d, const std::vector<std::string>& ids) {
+  obs::JsonWriter w;
+  w.begin_array();
+  for (const auto& id : ids) d.engine(id)->analytics_snapshot().write_json(w);
+  w.end_array();
+  return w.take();
 }
 
 TEST(FleetExecutor, ResolvesWorkerConvention) {
@@ -94,6 +106,63 @@ TEST(Daemon, ParallelRunMatchesSequentialPerDevice) {
   EXPECT_FALSE(fp_seq.empty());
   EXPECT_EQ(fp_seq, fp_par);
   EXPECT_EQ(corpus_seq, corpus_par);
+}
+
+// Attribution is part of the determinism contract too: the per-operator
+// yield tables, lineage digests, and frontier reports must come out
+// identical whether the fleet ran on one worker or several — worker
+// scheduling may interleave devices but never changes what any engine did.
+TEST(Daemon, AttributionTablesIdenticalAcrossWorkerCounts) {
+  const std::vector<std::string> ids{"A1", "B", "E"};
+  auto campaign = [&](size_t workers) {
+    DaemonConfig cfg;
+    cfg.seed = 17;
+    cfg.workers = workers;
+    Daemon d(cfg);
+    for (const auto& id : ids) EXPECT_TRUE(d.add_device(id));
+    d.run(1500, 128);
+    return analytics_json(d, ids);
+  };
+  const std::string seq = campaign(1);
+  const std::string par = campaign(4);
+  EXPECT_FALSE(seq.empty());
+  EXPECT_EQ(seq, par);
+  // The campaign must actually have produced attribution to compare.
+  EXPECT_NE(seq.find("\"attempts\":"), std::string::npos);
+  EXPECT_NE(seq.find("\"origin\":\"generate\""), std::string::npos);
+}
+
+// EngineConfig::analytics gates only the yield-table bookkeeping: turning
+// it off must change no per-device result (coverage, corpus, bugs), and
+// turning it on must not either — collection draws no randomness and
+// changes no control flow.
+TEST(Daemon, AnalyticsToggleChangesNoDeviceResult) {
+  const std::vector<std::string> ids{"A1", "C1"};
+  auto campaign = [&](bool analytics, std::string* fp, std::string* corpus,
+                      bool* attributed) {
+    DaemonConfig cfg;
+    cfg.seed = 21;
+    cfg.engine.analytics = analytics;
+    Daemon d(cfg);
+    for (const auto& id : ids) EXPECT_TRUE(d.add_device(id));
+    d.run(1200, 128);
+    *fp = fleet_fingerprint(d, ids);
+    *corpus = d.save_corpus();
+    *attributed = false;
+    for (const auto& id : ids) {
+      if (d.engine(id)->analytics_snapshot().operators.any()) {
+        *attributed = true;
+      }
+    }
+  };
+  std::string fp_on, corpus_on, fp_off, corpus_off;
+  bool attributed_on = false, attributed_off = false;
+  campaign(true, &fp_on, &corpus_on, &attributed_on);
+  campaign(false, &fp_off, &corpus_off, &attributed_off);
+  EXPECT_EQ(fp_on, fp_off);
+  EXPECT_EQ(corpus_on, corpus_off);
+  EXPECT_TRUE(attributed_on);
+  EXPECT_FALSE(attributed_off);  // the toggle gates the yield table
 }
 
 TEST(Daemon, AggregationIsOrderedByDeviceIdNotInsertionOrder) {

@@ -1,0 +1,243 @@
+#include "obs/analytics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/json_parse.h"
+
+namespace df::obs {
+namespace {
+
+TEST(ProgramOrigin, NamesRoundTripThroughParser) {
+  for (size_t i = 0; i < kProgramOriginCount; ++i) {
+    const auto o = static_cast<ProgramOrigin>(i);
+    const std::string_view name = origin_name(o);
+    EXPECT_FALSE(name.empty());
+    const auto parsed = origin_from_name(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, o) << name;
+  }
+  EXPECT_FALSE(origin_from_name("teleported").has_value());
+  EXPECT_FALSE(origin_from_name("").has_value());
+}
+
+TEST(ProgramOrigin, WireNamesAreStable) {
+  // Checkpoints and the JSON checker depend on these exact strings.
+  EXPECT_EQ(origin_name(ProgramOrigin::kGenerate), "generate");
+  EXPECT_EQ(origin_name(ProgramOrigin::kMutateSplice), "mutate_splice");
+  EXPECT_EQ(origin_name(ProgramOrigin::kPlanInjected), "plan_injected");
+  EXPECT_EQ(origin_name(ProgramOrigin::kMinimized), "minimized");
+  EXPECT_EQ(origin_name(ProgramOrigin::kReplay), "replay");
+}
+
+TEST(OperatorAttribution, CreditsAccumulatePerOrigin) {
+  OperatorAttribution a;
+  EXPECT_FALSE(a.any());
+  a.record_attempt(ProgramOrigin::kGenerate, 5);
+  a.record_attempt(ProgramOrigin::kGenerate, 3);
+  a.credit(ProgramOrigin::kGenerate, /*new_features=*/7, /*new_states=*/1,
+           /*bugs=*/0, /*accepted=*/true);
+  a.credit(ProgramOrigin::kGenerate, 0, 0, 1, false);
+  a.record_attempt(ProgramOrigin::kMutateArg, 4);
+  EXPECT_TRUE(a.any());
+
+  const OperatorYield& gen = a.row(ProgramOrigin::kGenerate);
+  EXPECT_EQ(gen.attempts, 2u);
+  EXPECT_EQ(gen.total_calls, 8u);
+  EXPECT_EQ(gen.accepts, 1u);
+  EXPECT_EQ(gen.new_features, 7u);
+  EXPECT_EQ(gen.new_states, 1u);
+  EXPECT_EQ(gen.bugs, 1u);
+  EXPECT_EQ(a.row(ProgramOrigin::kMutateArg).attempts, 1u);
+  EXPECT_EQ(a.row(ProgramOrigin::kReplay).attempts, 0u);
+}
+
+TEST(OperatorAttribution, MinimizeRowTracksOracleWork) {
+  OperatorAttribution a;
+  a.record_minimize(/*oracle_calls=*/12, /*shrunk=*/true);
+  a.record_minimize(6, false);
+  const OperatorYield& m = a.row(ProgramOrigin::kMinimized);
+  EXPECT_EQ(m.attempts, 2u);
+  EXPECT_EQ(m.total_calls, 18u);
+  EXPECT_EQ(m.accepts, 1u);
+}
+
+TEST(OperatorAttribution, RestoreRowRoundTripsEquality) {
+  OperatorAttribution a;
+  a.record_attempt(ProgramOrigin::kMutateSplice, 9);
+  a.credit(ProgramOrigin::kMutateSplice, 3, 0, 0, true);
+
+  OperatorAttribution b;
+  for (size_t i = 0; i < kProgramOriginCount; ++i) {
+    const auto o = static_cast<ProgramOrigin>(i);
+    b.restore_row(o, a.row(o));
+  }
+  EXPECT_EQ(a, b);
+  b.record_attempt(ProgramOrigin::kGenerate, 1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(OperatorAttribution, JsonCarriesAllRowsInEnumOrder) {
+  OperatorAttribution a;
+  a.record_attempt(ProgramOrigin::kGenerate, 6);
+  a.record_attempt(ProgramOrigin::kGenerate, 2);
+  JsonWriter w;
+  a.write_json(w);
+  std::string error;
+  const auto doc = json_parse(w.take(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_EQ(doc->items.size(), kProgramOriginCount);
+  for (size_t i = 0; i < kProgramOriginCount; ++i) {
+    EXPECT_EQ(doc->items[i].find("origin")->scalar,
+              origin_name(static_cast<ProgramOrigin>(i)));
+  }
+  // mean_cost = total_calls / attempts = 8 / 2.
+  EXPECT_DOUBLE_EQ(doc->items[0].find("mean_cost")->as_double(), 4.0);
+  EXPECT_DOUBLE_EQ(doc->items[1].find("mean_cost")->as_double(), 0.0);
+}
+
+TEST(Lineage, ChainJsonUsesHexHashesAndWireNames) {
+  std::vector<LineageLink> chain;
+  chain.push_back({0x1234, ProgramOrigin::kGenerate, 7, 0});
+  chain.push_back({0xabcd, ProgramOrigin::kMutateArg, 120, 1});
+  JsonWriter w;
+  write_lineage_json(w, chain);
+  std::string error;
+  const auto doc = json_parse(w.take(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_EQ(doc->items.size(), 2u);
+  EXPECT_EQ(doc->items[0].find("hash")->scalar, "0000000000001234");
+  EXPECT_EQ(doc->items[0].find("origin")->scalar, "generate");
+  EXPECT_EQ(doc->items[1].find("hash")->scalar, "000000000000abcd");
+  EXPECT_EQ(doc->items[1].find("depth")->as_u64(), 1u);
+}
+
+TEST(Lineage, SummaryJsonShape) {
+  LineageSummary s;
+  s.seeds = 5;
+  s.roots = 2;
+  s.max_depth = 2;
+  s.depth_histogram = {2, 2, 1};
+  s.top_ancestors.push_back({0xdeadbeef, 3, 3, 40});
+  JsonWriter w;
+  s.write_json(w);
+  std::string error;
+  const auto doc = json_parse(w.take(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("seeds")->as_u64(), 5u);
+  EXPECT_EQ(doc->find("roots")->as_u64(), 2u);
+  ASSERT_EQ(doc->find("depth_histogram")->items.size(), 3u);
+  const JsonValue& a = doc->find("top_ancestors")->items[0];
+  EXPECT_EQ(a.find("hash")->scalar, "00000000deadbeef");
+  EXPECT_EQ(a.find("descendants")->as_u64(), 3u);
+}
+
+TEST(Frontier, ClassNamesAreTheCheckerEnum) {
+  EXPECT_EQ(frontier_class_name(FrontierClass::kUnreachableFromFrontier),
+            "unreachable-from-frontier");
+  EXPECT_EQ(frontier_class_name(FrontierClass::kPlannedButFailed),
+            "planned-but-failed");
+  EXPECT_EQ(frontier_class_name(FrontierClass::kNeverAttempted),
+            "never-attempted");
+}
+
+TEST(Frontier, ReportJsonShape) {
+  FrontierReport r;
+  r.states_total = 4;
+  r.states_visited = 3;
+  FrontierState f;
+  f.driver = "rt1711_i2c";
+  f.state = "pd_contract";
+  f.state_index = 3;
+  f.cls = FrontierClass::kPlannedButFailed;
+  f.plan_length = 3;
+  f.plans_injected = 2;
+  f.executed_no_visit = 2;
+  r.unvisited.push_back(f);
+  JsonWriter w;
+  r.write_json(w);
+  std::string error;
+  const auto doc = json_parse(w.take(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("states_total")->as_u64(), 4u);
+  ASSERT_EQ(doc->find("unvisited")->items.size(), 1u);
+  const JsonValue& u = doc->find("unvisited")->items[0];
+  EXPECT_EQ(u.find("class")->scalar, "planned-but-failed");
+  EXPECT_EQ(u.find("plans_injected")->as_u64(), 2u);
+}
+
+std::vector<StatsReporter::Point> make_points(size_t n) {
+  std::vector<StatsReporter::Point> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts[i].sample.executions = 100 * i;
+    pts[i].sample.total_coverage = 10 * i;
+    pts[i].secs = 0.1 * static_cast<double>(i);
+  }
+  return pts;
+}
+
+std::vector<uint64_t> downsampled_execs(
+    const std::vector<StatsReporter::Point>& pts, size_t max_points) {
+  JsonWriter w;
+  write_downsampled_series(w, pts, max_points);
+  std::string error;
+  const auto doc = json_parse(w.take(), &error);
+  EXPECT_TRUE(doc.has_value()) << error;
+  std::vector<uint64_t> out;
+  for (const JsonValue& p : doc->items) {
+    out.push_back(p.find("executions")->as_u64());
+  }
+  return out;
+}
+
+TEST(DownsampledSeries, ShortSeriesPassesThroughUnchanged) {
+  const auto execs = downsampled_execs(make_points(5), 32);
+  EXPECT_EQ(execs, (std::vector<uint64_t>{0, 100, 200, 300, 400}));
+}
+
+TEST(DownsampledSeries, LongSeriesBoundedKeepsEndpointsAndOrder) {
+  const auto execs = downsampled_execs(make_points(500), 32);
+  EXPECT_LE(execs.size(), 32u);
+  EXPECT_GE(execs.size(), 2u);
+  EXPECT_EQ(execs.front(), 0u);
+  EXPECT_EQ(execs.back(), 100u * 499);
+  for (size_t i = 1; i < execs.size(); ++i) {
+    EXPECT_GT(execs[i], execs[i - 1]) << i;
+  }
+}
+
+TEST(DownsampledSeries, GridIsDeterministic) {
+  const auto a = downsampled_execs(make_points(257), 32);
+  const auto b = downsampled_execs(make_points(257), 32);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AnalyticsSnapshot, JsonCarriesSchemaVersionAndSections) {
+  AnalyticsSnapshot snap;
+  snap.operators.record_attempt(ProgramOrigin::kGenerate, 4);
+  const auto pts = make_points(3);
+  JsonWriter w;
+  snap.write_json(w, &pts);
+  std::string error;
+  const auto doc = json_parse(w.take(), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(doc->find("schema_version")->as_u64(), kAnalyticsSchemaVersion);
+  ASSERT_NE(doc->find("operators"), nullptr);
+  ASSERT_NE(doc->find("lineage"), nullptr);
+  ASSERT_NE(doc->find("frontier"), nullptr);
+  ASSERT_NE(doc->find("series"), nullptr);
+  EXPECT_EQ(doc->find("series")->items.size(), 3u);
+
+  // Without a series pointer the "series" key is omitted entirely.
+  JsonWriter w2;
+  snap.write_json(w2);
+  const auto doc2 = json_parse(w2.take(), &error);
+  ASSERT_TRUE(doc2.has_value()) << error;
+  EXPECT_EQ(doc2->find("series"), nullptr);
+}
+
+}  // namespace
+}  // namespace df::obs

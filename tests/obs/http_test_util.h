@@ -20,6 +20,7 @@ struct HttpTestResponse {
   bool ok = false;  // transport-level success (connect + parseable response)
   int status = 0;
   std::string content_type;
+  std::string allow;  // the Allow header on 405 responses
   std::string body;
 };
 
@@ -71,6 +72,10 @@ inline HttpTestResponse http_request(uint16_t port, const std::string& method,
     constexpr const char kCt[] = "Content-Type: ";
     if (line.rfind(kCt, 0) == 0) {
       out.content_type = line.substr(sizeof(kCt) - 1);
+    }
+    constexpr const char kAllow[] = "Allow: ";
+    if (line.rfind(kAllow, 0) == 0) {
+      out.allow = line.substr(sizeof(kAllow) - 1);
     }
     pos = eol;
   }

@@ -74,13 +74,19 @@ TEST(HttpServer, UnknownPathIs404) {
   EXPECT_EQ(res.status, 404);
 }
 
-TEST(HttpServer, NonGetIs405) {
+// The server is read-only: every non-GET method — even on a registered
+// path — gets 405 with an Allow header naming the one accepted method
+// (RFC 9110 requires Allow on 405 responses).
+TEST(HttpServer, NonGetIs405WithAllowHeader) {
   HttpServer srv;
   srv.handle("/status", [] { return HttpResponse{}; });
   ASSERT_TRUE(srv.start(0));
-  const auto res = http_request(srv.port(), "POST", "/status");
-  ASSERT_TRUE(res.ok);
-  EXPECT_EQ(res.status, 405);
+  for (const char* method : {"POST", "PUT", "DELETE", "HEAD"}) {
+    const auto res = http_request(srv.port(), method, "/status");
+    ASSERT_TRUE(res.ok) << method;
+    EXPECT_EQ(res.status, 405) << method;
+    EXPECT_EQ(res.allow, "GET") << method;
+  }
 }
 
 TEST(HttpServer, HandlerStatusCodePropagates) {

@@ -62,6 +62,60 @@ TEST(VelocityTracker, NonPositiveDtLeavesRatesUntouched) {
   EXPECT_DOUBLE_EQ(t.rates("A1").execs_per_sec, rate);
 }
 
+// A zero-elapsed observation must not fold into the EWMA (division by
+// dt), but it MUST advance the baseline sample: the next positive-dt
+// observation computes its instantaneous rate against the newest sample,
+// not the one from before the zero-dt fold.
+TEST(VelocityTracker, ZeroElapsedFoldAdvancesBaselineSample) {
+  VelocityTracker t({.half_life_secs = 1.0});
+  t.observe_at("A1", 1.0, sample(100));  // seeds at 100 execs/sec
+  t.observe_at("A1", 1.0, sample(500));  // dt == 0: baseline only
+  EXPECT_DOUBLE_EQ(t.rates("A1").execs_per_sec, 100.0);
+  // dt = 1, alpha = 0.5. Instantaneous rate is (500-500)/1 = 0 against the
+  // advanced baseline, so the EWMA halves; against a stale baseline of 100
+  // it would be (500-100)/1 = 400 and the EWMA would jump to 250.
+  t.observe_at("A1", 2.0, sample(500));
+  EXPECT_DOUBLE_EQ(t.rates("A1").execs_per_sec, 50.0);
+}
+
+// Checkpoint resume restarts the process wall clock: restored reporter
+// points keep their original (pre-checkpoint) secs while post-resume
+// samples start again near zero. The milestone ladder must stay monotone
+// in its content fields (target coverage, executions) regardless, because
+// it scans the series in point order, not by timestamp.
+TEST(VelocityTracker, MilestoneLadderMonotoneAcrossCheckpointResume) {
+  StatsReporter rep(100);
+  const uint64_t execs[] = {0, 100, 200, 300, 400};
+  const uint64_t cov[] = {0, 10, 20, 30, 40};
+  // First three points restored from a checkpoint (original wall clock),
+  // last two sampled after resume (wall clock restarted).
+  const double secs[] = {0.0, 1.0, 2.0, 0.1, 0.2};
+  for (size_t i = 0; i < 5; ++i) {
+    StatsReporter::Point p;
+    p.sample = sample(execs[i], cov[i]);
+    p.secs = secs[i];
+    rep.restore_point("A1", p);
+  }
+  VelocityTracker t;
+  std::string error;
+  const auto doc = json_parse(t.to_json(&rep), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const JsonValue* ladder =
+      doc->find("devices")->items[0].find("time_to_coverage");
+  ASSERT_NE(ladder, nullptr);
+  ASSERT_EQ(ladder->items.size(), 5u);
+  uint64_t last_target = 0, last_execs = 0;
+  for (const JsonValue& m : ladder->items) {
+    const uint64_t target = m.find("target_coverage")->as_u64();
+    const uint64_t e = m.find("executions")->as_u64();
+    EXPECT_GE(target, last_target);
+    EXPECT_GE(e, last_execs);
+    last_target = target;
+    last_execs = e;
+  }
+  EXPECT_EQ(last_execs, 400u);
+}
+
 TEST(VelocityTracker, UnknownDeviceHasZeroRates) {
   VelocityTracker t;
   EXPECT_DOUBLE_EQ(t.rates("nope").execs_per_sec, 0.0);

@@ -3,13 +3,16 @@
 
 Launches fleet_campaign with --serve-port 0 and a linger window, parses the
 announce line for the ephemeral port, waits for the final summary line, then
-scrapes /healthz, /metrics, /status, and /coverage while the process lingers
-and validates shapes:
+scrapes /healthz, /metrics, /status, /coverage, /frontier, and /buildz
+while the process lingers and validates shapes:
 
   - /healthz answers 200 "ok" (no stall at this tiny budget),
   - /metrics is Prometheus exposition carrying the engine execution
     counters,
-  - /status and /coverage parse as JSON with the full device table.
+  - /status and /coverage parse as JSON with the full device table,
+  - /frontier carries a per-device frontier report whose every unvisited
+    state is classified (DESIGN.md §11),
+  - /buildz reports the binary's compiler and telemetry schema versions.
 
 Usage: serve_smoke.py <path-to-fleet_campaign>
 """
@@ -98,6 +101,33 @@ def main(argv):
             return fail(proc, "/coverage must list the whole fleet")
         if not doc["devices"][0]["state_coverage"]:
             return fail(proc, "/coverage state_coverage empty")
+
+        status, body = scrape(port, "/frontier")
+        if status != 200:
+            return fail(proc, f"/frontier: {status}")
+        doc = json.loads(body)
+        if len(doc["devices"]) != len(FLEET):
+            return fail(proc, "/frontier must list the whole fleet")
+        classes = {"unreachable-from-frontier", "planned-but-failed",
+                   "never-attempted"}
+        for dev in doc["devices"]:
+            rep = dev["frontier"]
+            if len(rep["unvisited"]) != \
+                    rep["states_total"] - rep["states_visited"]:
+                return fail(proc, f"/frontier incomplete on {dev['device']}")
+            for state in rep["unvisited"]:
+                if state["class"] not in classes:
+                    return fail(proc,
+                                f"/frontier bad class {state['class']!r}")
+
+        status, body = scrape(port, "/buildz")
+        if status != 200:
+            return fail(proc, f"/buildz: {status}")
+        doc = json.loads(body)
+        if not doc["compiler"]:
+            return fail(proc, "/buildz compiler empty")
+        if "analytics" not in doc["schema"]:
+            return fail(proc, "/buildz missing analytics schema version")
     except (urllib.error.URLError, OSError, KeyError,
             json.JSONDecodeError) as e:
         return fail(proc, f"{type(e).__name__}: {e}")
@@ -105,7 +135,7 @@ def main(argv):
     proc.terminate()
     proc.wait(timeout=10)
     print("OK: serve smoke (announce, /healthz, /metrics, /status, "
-          "/coverage)")
+          "/coverage, /frontier, /buildz)")
     return 0
 
 
