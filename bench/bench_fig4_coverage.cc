@@ -64,6 +64,7 @@ int main() {
         BenchSeries series{id, "droidfuzz", r, std::move(points), {}};
         series.states = eng.state_coverage();
         capture_analytics(series, eng);
+        capture_distill(series, eng);
         exported.push_back(std::move(series));
         for (const auto& [drv, n] : dev->kernel().per_driver_coverage()) {
           driver_cov[drv].first += static_cast<double>(n);

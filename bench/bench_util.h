@@ -142,13 +142,24 @@ struct BenchSeries {
   // Attribution/lineage/frontier analytics at campaign end (DESIGN.md §11);
   // exported as the series' "analytics" section when captured.
   bool has_analytics = false;
-  obs::AnalyticsSnapshot analytics;
+  obs::AnalyticsSnapshot analytics{};
+  // Corpus-distillation stats at campaign end (DESIGN.md §12); exported as
+  // the series' "distill" section when captured.
+  bool has_distill = false;
+  core::DistillStats distill{};
 };
 
 // Snapshots the engine's campaign analytics into the series.
 inline void capture_analytics(BenchSeries& s, const core::Engine& eng) {
   s.analytics = eng.analytics_snapshot();
   s.has_analytics = true;
+}
+
+// Runs a dry-run distillation pass (scratch-device replay; the campaign
+// state is untouched) and records the stats into the series.
+inline void capture_distill(BenchSeries& s, core::Engine& eng) {
+  s.distill = eng.distill_corpus(/*dry_run=*/true);
+  s.has_distill = true;
 }
 
 // Per-worker busy/idle/barrier accounting as JSON fields (an "utilization"
@@ -231,6 +242,19 @@ inline bool write_bench_json(
     if (s.has_analytics) {
       w.key("analytics");
       s.analytics.write_json(w, &s.points);
+    }
+    if (s.has_distill) {
+      const core::DistillStats& d = s.distill;
+      w.key("distill").begin_object();
+      w.field("before", static_cast<uint64_t>(d.before));
+      w.field("after", static_cast<uint64_t>(d.after));
+      w.field("dropped_static", static_cast<uint64_t>(d.dropped_static));
+      w.field("dropped_covered", static_cast<uint64_t>(d.dropped_covered));
+      w.field("footprint_union", static_cast<uint64_t>(d.footprint_union));
+      w.field("fraction_dropped", d.fraction_dropped());
+      w.field("verified", d.verified);
+      w.field("dry_run", d.dry_run);
+      w.end_object();
     }
     w.key("timing").begin_object();
     w.key("secs").begin_array();

@@ -1,0 +1,130 @@
+// df_distill: subsumption-based corpus distillation (DESIGN.md §12).
+//
+//   ./examples/df_distill [--device <id>] [--execs N] [--seed S]
+//                         [--json <path>] [--quiet]
+//
+// Runs a short campaign per device (all Table I devices by default), then
+// destructively distills each corpus: seeds whose replayed coverage
+// footprint — execution features plus driver state-transitions, replayed on
+// a scratch device — is already covered by the kept set are dropped, and a
+// second replay of the kept set re-verifies that the distilled corpus
+// reproduces bit-identical coverage. --json writes a machine-readable
+// report (validated by scripts/check_bench_json.py). Exit code is non-zero
+// when any device's distillation fails replay verification.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/fuzz/engine.h"
+#include "device/catalog.h"
+#include "obs/json.h"
+#include "util/log.h"
+
+namespace {
+
+struct DeviceResult {
+  std::string device;
+  uint64_t executions = 0;
+  df::core::DistillStats stats;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  df::util::init_log_from_env();
+  std::string only_device;
+  std::string json_path;
+  uint64_t execs = 2000;
+  uint64_t seed = 1;
+  bool quiet = false;
+  const auto flag_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", flag);
+      std::exit(1);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--device") == 0) {
+      only_device = flag_value(i, "--device");
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = flag_value(i, "--json");
+    } else if (std::strcmp(argv[i], "--execs") == 0) {
+      execs = std::strtoull(flag_value(i, "--execs"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(flag_value(i, "--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--device <id>] [--execs N] [--seed S] "
+                   "[--json <path>] [--quiet]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  std::vector<DeviceResult> results;
+  bool all_verified = true;
+  for (const auto& spec : df::device::device_table()) {
+    if (!only_device.empty() && spec.id != only_device) continue;
+    auto dev = df::device::make_device(spec.id, seed);
+    df::core::EngineConfig cfg;
+    cfg.seed = seed;
+    df::core::Engine eng(*dev, cfg);
+    eng.run(execs);
+    DeviceResult r;
+    r.device = spec.id;
+    r.executions = eng.executions();
+    r.stats = eng.distill_corpus(/*dry_run=*/false);
+    all_verified = all_verified && r.stats.verified;
+    if (!quiet) {
+      std::printf("%s: corpus %zu -> %zu seeds (%.0f%% dropped: %zu "
+                  "statically subsumed, %zu replay-covered), footprint "
+                  "union %zu, replay %s\n",
+                  r.device.c_str(), r.stats.before, r.stats.after,
+                  100.0 * r.stats.fraction_dropped(), r.stats.dropped_static,
+                  r.stats.dropped_covered, r.stats.footprint_union,
+                  r.stats.verified ? "verified" : "MISMATCH");
+    }
+    results.push_back(std::move(r));
+  }
+  if (results.empty()) {
+    std::fprintf(stderr, "unknown device '%s'\n", only_device.c_str());
+    return 1;
+  }
+
+  if (!json_path.empty()) {
+    df::obs::JsonWriter w;
+    w.begin_object().key("distill").begin_object();
+    w.field("tool", "df_distill");
+    w.field("seed", seed);
+    w.field("execs", execs);
+    w.key("devices").begin_array();
+    for (const DeviceResult& r : results) {
+      const df::core::DistillStats& d = r.stats;
+      w.begin_object()
+          .field("device", r.device)
+          .field("executions", r.executions)
+          .field("before", static_cast<uint64_t>(d.before))
+          .field("after", static_cast<uint64_t>(d.after))
+          .field("dropped_static", static_cast<uint64_t>(d.dropped_static))
+          .field("dropped_covered", static_cast<uint64_t>(d.dropped_covered))
+          .field("footprint_union", static_cast<uint64_t>(d.footprint_union))
+          .field("fraction_dropped", d.fraction_dropped())
+          .field("verified", d.verified)
+          .end_object();
+    }
+    w.end_array();
+    w.end_object().end_object();
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << w.str() << "\n";
+  }
+  return all_verified ? 0 : 2;
+}

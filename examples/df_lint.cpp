@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/dataflow.h"
 #include "analysis/reachability.h"
 #include "analysis/semantic.h"
 #include "core/descriptions.h"
@@ -36,6 +37,16 @@ struct FileReport {
   std::string parse_error;
   df::analysis::LintReport report;
   bool repairable = false;
+  // Dataflow facts (analysis/dataflow.h): argument classification against
+  // the device's declared transition guards, handle-lifetime lattice, and
+  // after-close uses.
+  size_t guard_args = 0;
+  size_t shape_args = 0;
+  size_t dead_args = 0;
+  size_t live = 0;
+  size_t closed = 0;
+  size_t leaked = 0;
+  size_t stale_uses = 0;
 };
 
 bool read_file(const std::string& path, std::string& out) {
@@ -88,6 +99,8 @@ int main(int argc, char** argv) {
   }
   df::dsl::CallTable table;
   df::core::add_syscall_descriptions(table, *dev);
+  df::analysis::GuardIndex guards;
+  for (const auto& drv : dev->kernel().drivers()) guards.add_driver(*drv);
 
   // Expand directories into their *.dsl files, sorted for stable output.
   std::vector<std::string> files;
@@ -148,6 +161,32 @@ int main(int argc, char** argv) {
           ++rejected;
         }
       }
+      const df::analysis::ProgramDataflow flow(*prog);
+      fr.stale_uses = flow.stale_use_count();
+      for (const auto& def : flow.defs()) {
+        switch (def.end_state) {
+          case df::analysis::Lifetime::kLive: ++fr.live; break;
+          case df::analysis::Lifetime::kClosed: ++fr.closed; break;
+          case df::analysis::Lifetime::kLeaked: ++fr.leaked; break;
+          case df::analysis::Lifetime::kUnknown: break;
+        }
+      }
+      for (const auto& c : prog->calls) {
+        if (c.desc == nullptr) continue;
+        for (size_t a = 0; a < c.desc->params.size(); ++a) {
+          switch (guards.classify_arg(*c.desc, a)) {
+            case df::analysis::ArgClass::kGuardRelevant:
+              ++fr.guard_args;
+              break;
+            case df::analysis::ArgClass::kShapeRelevant:
+              ++fr.shape_args;
+              break;
+            case df::analysis::ArgClass::kDead:
+              ++fr.dead_args;
+              break;
+          }
+        }
+      }
     }
     reports.push_back(std::move(fr));
   }
@@ -169,6 +208,13 @@ int main(int argc, char** argv) {
                     std::string(severity_name(f.severity)).c_str(),
                     std::string(pass_name(f.pass)).c_str(), f.call,
                     f.message.c_str());
+      }
+      if (fr.parse_error.empty() && fr.calls > 0) {
+        std::printf("  dataflow: args %zu guard / %zu shape / %zu dead; "
+                    "handles %zu live / %zu closed / %zu leaked; "
+                    "%zu stale uses\n",
+                    fr.guard_args, fr.shape_args, fr.dead_args, fr.live,
+                    fr.closed, fr.leaked, fr.stale_uses);
       }
     }
     std::printf("summary: %zu files, %zu programs, %zu findings "
@@ -236,7 +282,23 @@ int main(int argc, char** argv) {
             .field("message", f.message)
             .end_object();
       }
-      w.end_array().field("repairable", fr.repairable).end_object();
+      w.end_array();
+      w.key("dataflow").begin_object();
+      w.key("arg_classes")
+          .begin_object()
+          .field("guard_relevant", static_cast<uint64_t>(fr.guard_args))
+          .field("shape_relevant", static_cast<uint64_t>(fr.shape_args))
+          .field("dead", static_cast<uint64_t>(fr.dead_args))
+          .end_object();
+      w.key("lifetimes")
+          .begin_object()
+          .field("live", static_cast<uint64_t>(fr.live))
+          .field("closed", static_cast<uint64_t>(fr.closed))
+          .field("leaked", static_cast<uint64_t>(fr.leaked))
+          .end_object();
+      w.field("stale_uses", static_cast<uint64_t>(fr.stale_uses));
+      w.end_object();
+      w.field("repairable", fr.repairable).end_object();
     }
     w.end_array();
     w.key("summary")

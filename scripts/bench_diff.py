@@ -16,6 +16,12 @@ document into two halves:
              dur) are lower-is-better. A leaf that moves in the bad direction
              by more than --threshold percent is a REGRESSION.
 
+Corpus-size leaves ("corpus" series arrays and the before/after counts of
+"distill" stats objects) get direction-aware warn-only tracking on top:
+distillation makes lower better, so growth beyond --threshold prints a
+WARN line and a shrink prints as an improvement, but neither ever fails
+the diff — corpus size is a quality signal, not a contract.
+
 Usage:
   bench_diff.py BASELINE CANDIDATE [--threshold PCT] [--allow-content]
       BASELINE/CANDIDATE are two files, or two directories that are
@@ -42,6 +48,19 @@ LOWER_BETTER_SUFFIXES = ("_ns", "_ms", "_us")
 
 def is_timing_key(key):
     return key in TIMING_KEYS or key.endswith(TIMING_SUFFIXES)
+
+
+def is_corpus_leaf(path):
+    """Corpus-size leaves tracked warn-only, lower-is-better: "corpus"
+    series arrays anywhere, plus before/after counts directly inside a
+    "distill" stats object."""
+    leaf = leaf_name(path)
+    if leaf == "corpus":
+        return True
+    if leaf in ("before", "after"):
+        parts = path.rsplit(".", 2)
+        return len(parts) >= 2 and leaf_name(parts[-2]) == "distill"
+    return False
 
 
 def direction(leaf):
@@ -93,6 +112,7 @@ class Report:
     def __init__(self):
         self.regressions = []   # (path, base, cand, pct)
         self.improvements = []  # (path, base, cand, pct)
+        self.warnings = []      # (path, base, cand, pct), never fail
         self.content = []       # human-readable drift lines
 
     def clean(self, allow_content):
@@ -113,7 +133,17 @@ def diff_docs(base, cand, threshold_pct, report, label=""):
         bval, btiming = base_leaves[path]
         cval, _ = cand_leaves[path]
         if not btiming:
-            continue  # content equality already enforced above
+            # Content equality is already enforced above; corpus sizes get
+            # an extra warn-only direction check (growth is suspicious once
+            # distillation is on, but not automatically wrong).
+            if is_corpus_leaf(path) and bval != 0:
+                pct = (cval - bval) / abs(bval) * 100.0
+                if pct > threshold_pct:
+                    report.warnings.append((f"{tag}{path}", bval, cval, pct))
+                elif -pct > threshold_pct:
+                    report.improvements.append(
+                        (f"{tag}{path}", bval, cval, pct))
+            continue
         sign = direction(leaf_name(path))
         if sign == 0 or bval == 0:
             continue
@@ -179,6 +209,9 @@ def run_diff(baseline, candidate, threshold_pct, allow_content):
         print(f"REGRESSION {path}: {bval:g} -> {cval:g} ({pct:+.1f}%)")
     for path, bval, cval, pct in report.improvements:
         print(f"improved   {path}: {bval:g} -> {cval:g} ({pct:+.1f}%)")
+    for path, bval, cval, pct in report.warnings:
+        print(f"WARN       {path}: corpus grew {bval:g} -> {cval:g} "
+              f"({pct:+.1f}%)")
     for line in report.content:
         print(f"CONTENT    {line}")
     if report.clean(allow_content):
@@ -190,12 +223,16 @@ def run_diff(baseline, candidate, threshold_pct, allow_content):
 
 # --- self-test ---------------------------------------------------------------
 
-def _doc(execs_per_sec=1000.0, wall=2.0, coverage=40):
+def _doc(execs_per_sec=1000.0, wall=2.0, coverage=40, corpus=20,
+         distilled=10):
     return {
         "bench": "fig4_coverage", "seed": 1, "reps": 1,
         "series": [{
             "device": "A1", "config": "droidfuzz", "rep": 0,
             "executions": [0, 100], "kernel_coverage": [0, coverage],
+            "corpus": [0, corpus],
+            "distill": {"before": corpus, "after": distilled,
+                        "verified": True, "dry_run": True},
             "timing": {"secs": [0.0, wall]},
         }],
         "fleet_parallel": {
@@ -258,6 +295,29 @@ def self_test():
     diff_docs(a, b, 5.0, r)
     case("missing timing leaf is reported",
          any("only in baseline" in line for line in r.content))
+
+    r = Report()
+    diff_docs(_doc(corpus=20), _doc(corpus=30), 5.0, r)
+    case("corpus growth warns without failing",  # corpus[] + distill.before
+         len(r.warnings) == 2 and not r.regressions
+         and r.clean(allow_content=True))
+
+    r = Report()
+    diff_docs(_doc(distilled=10), _doc(distilled=6), 5.0, r)
+    case("distilled corpus shrink is an improvement",
+         not r.warnings and not r.regressions
+         and any("distill.after" in p for p, *_ in r.improvements))
+
+    r = Report()
+    diff_docs(_doc(distilled=10), _doc(distilled=14), 5.0, r)
+    case("distill.after growth warns",
+         any("distill.after" in p for p, *_ in r.warnings))
+
+    case("corpus leaf: series corpus arrays",
+         is_corpus_leaf("series[0].corpus[1]"))
+    case("corpus leaf: distill before/after only under distill",
+         is_corpus_leaf("series[0].distill.after")
+         and not is_corpus_leaf("fault_recovery.before"))
 
     case("direction: *_per_sec is higher-better",
          direction("execs_per_sec") == 1)

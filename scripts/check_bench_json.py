@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate DroidFuzz telemetry JSON and compare runs for determinism.
 
-Six document shapes are understood:
+Seven document shapes are understood:
 
   BENCH_*.json           (written by the bench binaries via write_bench_json)
       {"bench": ..., "seed": ..., "reps": ..., "series": [...],
@@ -26,6 +26,17 @@ Six document shapes are understood:
       {"report": {"example": "df_explain", ...},
        "devices": [{"device": ..., "analytics": {...}}, ...],
        "build": {...}}
+
+  distill report         (written by examples/df_distill via --json)
+      {"distill": {"tool": "df_distill", "seed": ..., "execs": ...,
+                   "devices": [{"device": ..., "before": ...,
+                                "after": ..., "verified": true}, ...]}}
+
+Bench series and lint files may additionally carry "distill" / "dataflow"
+sections (DESIGN.md §12): corpus-distillation stats with the
+after + dropped == before invariant, and per-file dataflow fact counts
+(argument classes, handle lifetimes, stale uses). Both are validated
+whenever present.
 
 Bench and campaign documents may additionally carry "analytics" sections
 (per-operator yield table, seed lineage summary, coverage-frontier
@@ -350,6 +361,90 @@ def check_build(b, where="build"):
                 f"{where}.schema.{name} must be a positive int version")
 
 
+DISTILL_COUNTS = ("before", "after", "dropped_static", "dropped_covered",
+                  "footprint_union")
+
+
+def check_distill_counts(d, where):
+    """Shared distillation-stat invariants (core::DistillStats)."""
+    require(isinstance(d, dict), f"{where} must be an object")
+    for key in DISTILL_COUNTS:
+        require(isinstance(d.get(key), int) and d[key] >= 0,
+                f"{where}.{key} must be a non-negative int")
+    require(d["after"] + d["dropped_static"] + d["dropped_covered"]
+            == d["before"],
+            f"{where}: after + dropped_static + dropped_covered must equal "
+            f"before ({d['before']})")
+    frac = d.get("fraction_dropped")
+    require(isinstance(frac, (int, float)) and 0 <= frac <= 1,
+            f"{where}.fraction_dropped must be a number in [0, 1]")
+    want = ((d["before"] - d["after"]) / d["before"]) if d["before"] else 0.0
+    # The emitter prints doubles at 6 significant digits (%.6g).
+    require(abs(frac - want) < 1e-6,
+            f"{where}.fraction_dropped must equal (before - after) / before "
+            f"({want})")
+    require(isinstance(d.get("verified"), bool),
+            f"{where}.verified must be a bool")
+    if d["verified"]:
+        require(d["footprint_union"] > 0,
+                f"{where}: replay verification implies a non-empty "
+                f"footprint union")
+
+
+def check_distill_stats(d, where="distill"):
+    """One "distill" block inside a bench series or /status device."""
+    check_distill_counts(d, where)
+    require(isinstance(d.get("dry_run"), bool),
+            f"{where}.dry_run must be a bool")
+
+
+def check_distill_doc(doc):
+    """df_distill --json report: per-device destructive distillation with a
+    mandatory replay-verification pass (the bit-identical-coverage
+    contract; df_distill itself exits non-zero on a mismatch)."""
+    rep = doc.get("distill")
+    require(isinstance(rep, dict), "distill must be an object")
+    require(rep.get("tool") == "df_distill",
+            "distill.tool must be 'df_distill'")
+    require(isinstance(rep.get("seed"), int), "distill.seed must be an int")
+    require(isinstance(rep.get("execs"), int) and rep["execs"] > 0,
+            "distill.execs must be a positive int")
+    devices = rep.get("devices")
+    require(isinstance(devices, list) and devices,
+            "distill.devices must be a non-empty array")
+    for i, dev in enumerate(devices):
+        dwhere = f"distill.devices[{i}]"
+        require(isinstance(dev, dict), f"{dwhere} must be an object")
+        require(isinstance(dev.get("device"), str) and dev["device"],
+                f"{dwhere}.device must be a non-empty string")
+        require(isinstance(dev.get("executions"), int)
+                and dev["executions"] >= 0,
+                f"{dwhere}.executions must be a non-negative int")
+        check_distill_counts(dev, dwhere)
+        require(dev["verified"] is True,
+                f"{dwhere}.verified must be true: the distilled corpus must "
+                f"replay to bit-identical coverage")
+
+
+def check_lint_dataflow(df, where):
+    """Per-file dataflow fact counts (analysis/dataflow.h via df_lint)."""
+    require(isinstance(df, dict), f"{where} must be an object")
+    classes = df.get("arg_classes")
+    require(isinstance(classes, dict),
+            f"{where}.arg_classes must be an object")
+    for key in ("guard_relevant", "shape_relevant", "dead"):
+        require(isinstance(classes.get(key), int) and classes[key] >= 0,
+                f"{where}.arg_classes.{key} must be a non-negative int")
+    lifetimes = df.get("lifetimes")
+    require(isinstance(lifetimes, dict),
+            f"{where}.lifetimes must be an object")
+    for key in ("live", "closed", "leaked"):
+        require(isinstance(lifetimes.get(key), int) and lifetimes[key] >= 0,
+                f"{where}.lifetimes.{key} must be a non-negative int")
+    require(isinstance(df.get("stale_uses"), int) and df["stale_uses"] >= 0,
+            f"{where}.stale_uses must be a non-negative int")
+
+
 def check_bug_list(bugs, where):
     """Named-bug list with lineage chains (bench_table2_bugs)."""
     require(isinstance(bugs, list), f"{where} must be an array")
@@ -392,6 +487,8 @@ def check_series_entry(i, entry):
                              f"{where}.state_coverage")
     if "analytics" in entry:
         check_analytics(entry["analytics"], f"{where}.analytics")
+    if "distill" in entry:
+        check_distill_stats(entry["distill"], f"{where}.distill")
 
 
 def check_metric_value(entry, where, integer):
@@ -910,6 +1007,8 @@ def check_lint_doc(doc):
         findings = f.get("findings")
         require(isinstance(findings, list),
                 f"{fwhere}.findings must be an array")
+        if "dataflow" in f:
+            check_lint_dataflow(f["dataflow"], f"{fwhere}.dataflow")
         for j, fd in enumerate(findings):
             dwhere = f"{fwhere}.findings[{j}]"
             require(isinstance(fd, dict), f"{dwhere} must be an object")
@@ -1009,10 +1108,12 @@ def check_document(doc):
         check_lint_doc(doc)
     elif "report" in doc:
         check_explain_doc(doc)
+    elif "distill" in doc:
+        check_distill_doc(doc)
     else:
         raise CheckError("unknown document: expected a 'bench', "
-                         "'traceEvents', 'crash', 'campaign', 'lint', or "
-                         "'report' top-level key")
+                         "'traceEvents', 'crash', 'campaign', 'lint', "
+                         "'report', or 'distill' top-level key")
 
 
 def load(path):
@@ -1306,7 +1407,14 @@ def _lint_fixture():
             "tool": "df_lint", "device": "A1",
             "files": [{
                 "path": "tests/fixtures/lint/use_after_close.dsl",
-                "calls": 3, "parse_error": "", "repairable": True,
+                "calls": 3, "parse_error": "",
+                "dataflow": {
+                    "arg_classes": {"guard_relevant": 1, "shape_relevant": 2,
+                                    "dead": 0},
+                    "lifetimes": {"live": 0, "closed": 1, "leaked": 0},
+                    "stale_uses": 1,
+                },
+                "repairable": True,
                 "findings": [{
                     "pass": "use-after-close", "severity": "error",
                     "call": 2, "arg": 0,
@@ -1330,6 +1438,22 @@ def _lint_fixture():
             }],
         },
     }
+
+
+def _distill_stats(dry_run=None):
+    d = {"before": 12, "after": 7, "dropped_static": 3, "dropped_covered": 2,
+         "footprint_union": 41, "fraction_dropped": 5 / 12,
+         "verified": True}
+    if dry_run is not None:
+        d["dry_run"] = dry_run
+    return d
+
+
+def _distill_fixture():
+    dev = _distill_stats()
+    dev.update({"device": "A1", "executions": 600})
+    return {"distill": {"tool": "df_distill", "seed": 1, "execs": 600,
+                        "devices": [dev]}}
 
 
 def self_test():
@@ -1718,6 +1842,51 @@ def self_test():
     doc = _lint_fixture()
     doc["lint"]["plans"][0]["plans"].pop()
     expect_fail("lint plans missing a state entry", doc)
+
+    doc = _lint_fixture()
+    doc["lint"]["files"][0]["dataflow"]["stale_uses"] = -1
+    expect_fail("lint dataflow with negative stale_uses", doc)
+
+    doc = _lint_fixture()
+    del doc["lint"]["files"][0]["dataflow"]["lifetimes"]
+    expect_fail("lint dataflow missing lifetimes", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["distill"] = _distill_stats(dry_run=True)
+    expect_ok("bench series with distill stats", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["distill"] = _distill_stats(dry_run=True)
+    doc["series"][0]["distill"]["dropped_static"] = 4
+    expect_fail("distill counts not summing to before", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["distill"] = _distill_stats(dry_run=True)
+    doc["series"][0]["distill"]["fraction_dropped"] = 0.25
+    expect_fail("distill fraction inconsistent with counts", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["distill"] = _distill_stats(dry_run=True)
+    doc["series"][0]["distill"]["footprint_union"] = 0
+    expect_fail("verified distill with empty footprint union", doc)
+
+    doc = _bench_fixture()
+    doc["series"][0]["distill"] = _distill_stats()
+    expect_fail("bench distill stats without dry_run flag", doc)
+
+    expect_ok("valid distill report", _distill_fixture())
+
+    doc = _distill_fixture()
+    doc["distill"]["devices"][0]["verified"] = False
+    expect_fail("distill report breaking the replay contract", doc)
+
+    doc = _distill_fixture()
+    doc["distill"]["devices"] = []
+    expect_fail("distill report without devices", doc)
+
+    doc = _distill_fixture()
+    doc["distill"]["tool"] = "df_lint"
+    expect_fail("distill report from the wrong tool", doc)
 
     expect_fail("unknown shape", {"something": 1})
 

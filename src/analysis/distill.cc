@@ -1,0 +1,75 @@
+#include "analysis/distill.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace df::analysis {
+
+using dsl::Call;
+using dsl::Program;
+using dsl::Value;
+
+size_t canonicalize(Program& prog) {
+  size_t elided = 0;
+  // Fixpoint: dropping a dead consumer can orphan the producer it was the
+  // only reference to.
+  for (;;) {
+    const size_t n = prog.calls.size();
+    std::vector<bool> referenced(n, false);
+    for (const Call& c : prog.calls) {
+      for (const Value& v : c.args) {
+        if (v.ref >= 0 && static_cast<size_t>(v.ref) < n) {
+          referenced[static_cast<size_t>(v.ref)] = true;
+        }
+      }
+    }
+    std::vector<bool> drop(n, false);
+    size_t dropped = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const Call& c = prog.calls[i];
+      // Dead: produces a resource nothing references, destroys nothing.
+      // Calls without a produced resource are kept — they have effects.
+      if (c.desc != nullptr && !c.desc->produces.empty() &&
+          c.desc->destroys.empty() && !referenced[i]) {
+        drop[i] = true;
+        ++dropped;
+      }
+    }
+    if (dropped == 0) break;
+    prog.remove_calls(drop);
+    elided += dropped;
+  }
+  return elided;
+}
+
+std::vector<uint64_t> static_footprint(const Program& prog) {
+  Program canon = prog;
+  canonicalize(canon);
+  std::vector<uint64_t> tokens;
+  tokens.reserve(canon.calls.size() * 2);
+  uint64_t prev = 0;
+  for (size_t i = 0; i < canon.calls.size(); ++i) {
+    const uint64_t name =
+        util::fnv1a(canon.calls[i].desc ? canon.calls[i].desc->name : "?");
+    tokens.push_back(name);
+    if (i > 0) tokens.push_back(util::hash_combine(prev, name));
+    prev = name;
+  }
+  std::sort(tokens.begin(), tokens.end());
+  return tokens;
+}
+
+bool subsumes(const std::vector<uint64_t>& small,
+              const std::vector<uint64_t>& big) {
+  // Two-pointer merge over sorted multisets.
+  size_t j = 0;
+  for (const uint64_t t : small) {
+    while (j < big.size() && big[j] < t) ++j;
+    if (j >= big.size() || big[j] != t) return false;
+    ++j;
+  }
+  return true;
+}
+
+}  // namespace df::analysis

@@ -1,0 +1,38 @@
+// Program canonicalization and semantic subsumption for corpus distillation.
+//
+// canonicalize() rewrites a program into a stable normal form: dead calls
+// (producers whose result nothing consumes and that destroy nothing) are
+// elided to a fixpoint, and the surviving handle refs are renumbered by the
+// deterministic bulk-removal remapping (dsl::Program::remove_calls). On a
+// program with no dead producers it is the identity, so canonical forms are
+// structural-hash stable.
+//
+// static_footprint() abstracts a canonical program into a sorted multiset
+// of call and adjacent-pair tokens; subsumes(A, B) is multiset inclusion —
+// canon(A) ⊑ canon(B) when every call and call-pair of A also appears in B
+// at least as often. This is the static half of Corpus::distill()'s
+// subsumption rule; the dynamic half (replayed coverage footprints) is the
+// Engine's job because only it owns an executor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsl/prog.h"
+
+namespace df::analysis {
+
+// Dead-call elision + ref renumbering, in place. Returns calls elided.
+// Identity (returns 0, program bit-unchanged) when nothing is dead.
+size_t canonicalize(dsl::Program& prog);
+
+// Sorted token multiset of canon(prog): one token per call name, one per
+// adjacent call pair. Canonicalizes a copy; `prog` is not modified.
+std::vector<uint64_t> static_footprint(const dsl::Program& prog);
+
+// Multiset inclusion over sorted token vectors: every token of `small`
+// appears in `big` with at least the same multiplicity.
+bool subsumes(const std::vector<uint64_t>& small,
+              const std::vector<uint64_t>& big);
+
+}  // namespace df::analysis

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "analysis/dataflow.h"
+
 namespace df::analysis {
 
 namespace {
@@ -69,26 +71,15 @@ std::string hex(uint64_t v) {
   return buf;
 }
 
-// The argument index whose handle the call destroys: the first handle param
-// of the declared `destroys` type.
-size_t destroyed_arg(const CallDesc& d) {
-  for (size_t a = 0; a < d.params.size(); ++a) {
-    if (d.params[a].kind == ArgKind::kHandle &&
-        d.params[a].handle_type == d.destroys) {
-      return a;
-    }
-  }
-  return Finding::kNoArg;
-}
-
-// Producer indices destroyed before statement `upto` (exclusive).
+// Producer indices destroyed before statement `upto` (exclusive), using
+// the shared destroyed_arg() convention from the dataflow engine.
 std::vector<bool> closed_before(const Program& prog, size_t upto) {
   std::vector<bool> closed(prog.calls.size(), false);
   for (size_t i = 0; i < upto && i < prog.calls.size(); ++i) {
     const CallDesc* d = prog.calls[i].desc;
     if (d == nullptr || d->destroys.empty()) continue;
     const size_t a = destroyed_arg(*d);
-    if (a == Finding::kNoArg || a >= prog.calls[i].args.size()) continue;
+    if (a == kNoIndex || a >= prog.calls[i].args.size()) continue;
     const int32_t ref = prog.calls[i].args[a].ref;
     if (ref >= 0 && static_cast<size_t>(ref) < prog.calls.size() &&
         !closed[static_cast<size_t>(ref)]) {
@@ -136,11 +127,11 @@ LintReport ProgramLint::analyze(const Program& prog) const {
   LintReport rep;
   const size_t n = prog.calls.size();
 
-  // Live-resource tracking for the use-after-close pass: closed[j] is set
-  // once a destroying call has consumed producer j.
-  std::vector<bool> closed(n, false);
-  // consumed[j]: some later call references producer j (dead-statement pass).
-  std::vector<bool> consumed(n, false);
+  // One forward dataflow pass computes the def-use/lifetime facts; the
+  // four passes below are pure clients reading them off in program order.
+  const ProgramDataflow flow(prog);
+  // After-close uses seen so far, for the stale-handle allowance.
+  size_t stale_seen = 0;
 
   auto add = [&rep](Pass pass, Severity sev, size_t call, size_t arg,
                     std::string msg) {
@@ -177,7 +168,8 @@ LintReport ProgramLint::analyze(const Program& prog) const {
       const Value& v = c.args[a];
 
       if (p.kind == ArgKind::kHandle) {
-        if (v.ref == Value::kNoRef) {
+        const UseFact& u = flow.use(i, a);
+        if (u.unresolved) {
           if (opts_.dangling_refs) {
             add(Pass::kDanglingRef, Severity::kWarning, i, a,
                 d->name + "." + p.name + ": unresolved " + p.handle_type +
@@ -185,14 +177,11 @@ LintReport ProgramLint::analyze(const Program& prog) const {
           }
           continue;
         }
-        const auto ref = static_cast<size_t>(v.ref);
-        const CallDesc* producer =
-            v.ref >= 0 && ref < n ? prog.calls[ref].desc : nullptr;
-        const bool structurally_ok = v.ref >= 0 && ref < i &&
-                                     producer != nullptr &&
-                                     producer->produces == p.handle_type;
-        if (!structurally_ok) {
+        if (!u.structural_ok) {
           if (opts_.dangling_refs) {
+            const auto ref = static_cast<size_t>(v.ref);
+            const CallDesc* producer =
+                v.ref >= 0 && ref < n ? prog.calls[ref].desc : nullptr;
             add(Pass::kDanglingRef, Severity::kError, i, a,
                 d->name + "." + p.name + ": dangling result reference r" +
                     std::to_string(v.ref) +
@@ -203,17 +192,22 @@ LintReport ProgramLint::analyze(const Program& prog) const {
           }
           continue;
         }
-        if (opts_.use_after_close && closed[ref]) {
-          const bool is_second_destroy =
-              !d->destroys.empty() && destroyed_arg(*d) == a;
-          add(Pass::kUseAfterClose, Severity::kError, i, a,
-              d->name + "." + p.name + ": " +
-                  (is_second_destroy ? "double close of r" : "use of r") +
-                  std::to_string(v.ref) + " after " + producer->produces +
-                  " was destroyed");
+        if (u.after_close) {
+          ++stale_seen;
+          if (opts_.use_after_close) {
+            // The first `stale_handle_allowance` stale uses are advisory
+            // probes; anything beyond is an error.
+            const Severity sev = stale_seen <= opts_.stale_handle_allowance
+                                     ? Severity::kWarning
+                                     : Severity::kError;
+            add(Pass::kUseAfterClose, sev, i, a,
+                d->name + "." + p.name + ": " +
+                    (u.second_destroy ? "double close of r" : "use of r") +
+                    std::to_string(v.ref) + " after " +
+                    prog.calls[u.def].desc->produces + " was destroyed");
+          }
           continue;
         }
-        consumed[ref] = true;
         continue;
       }
 
@@ -261,28 +255,21 @@ LintReport ProgramLint::analyze(const Program& prog) const {
       }
     }
 
-    // Record the destroy *after* checking the call's own args, so closing a
-    // live resource is legal but anything later touching it is flagged.
-    if (!d->destroys.empty()) {
-      const size_t a = destroyed_arg(*d);
-      if (a != Finding::kNoArg && a < c.args.size()) {
-        const int32_t ref = c.args[a].ref;
-        if (ref >= 0 && static_cast<size_t>(ref) < n) {
-          closed[static_cast<size_t>(ref)] = true;
-        }
-      }
-    }
   }
 
   if (opts_.dead_statements) {
-    for (size_t i = 0; i < n; ++i) {
-      const CallDesc* d = prog.calls[i].desc;
-      if (d == nullptr || d->produces.empty()) continue;
-      if (!consumed[i]) {
-        add(Pass::kDeadStatement, Severity::kWarning, i, Finding::kNoArg,
-            d->name + ": produced " + d->produces +
-                " is never consumed by a later call");
-      }
+    // Dead-statement pass off the lifetime lattice: a def nothing consumed.
+    // When the use-after-close pass is off, stale uses count as consumption
+    // (the historical relaxed-gate behaviour).
+    for (const DefInfo& def : flow.defs()) {
+      const bool consumed =
+          !def.uses.empty() ||
+          (!opts_.use_after_close && !def.stale_uses.empty());
+      if (consumed) continue;
+      const CallDesc* d = prog.calls[def.call].desc;
+      add(Pass::kDeadStatement, Severity::kWarning, def.call, Finding::kNoArg,
+          d->name + ": produced " + d->produces +
+              " is never consumed by a later call");
     }
   }
   return rep;
@@ -291,8 +278,15 @@ LintReport ProgramLint::analyze(const Program& prog) const {
 size_t ProgramLint::repair(Program& prog) const {
   // Structural rot first — repair_refs rebinds to the nearest earlier
   // producer and clears hopeless refs, which the passes below build on.
-  size_t fixes = prog.repair_refs();
+  // Unresolved refs stay unresolved: the stale-use pass below severs to
+  // kNoRef as its fallback, and rebinding those here would undo that fix on
+  // the next repair() call (breaking idempotence).
+  size_t fixes = prog.repair_refs(/*rebind_unresolved=*/false);
   const size_t n = prog.calls.size();
+  // Stale uses kept as probes under the allowance (in program order, the
+  // same order analyze() grants warnings in — repair and analyze agree on
+  // which uses survive, which is what makes repair idempotent).
+  size_t stale_kept = 0;
 
   for (size_t i = 0; i < n; ++i) {
     dsl::Call& c = prog.calls[i];
@@ -311,6 +305,10 @@ size_t ProgramLint::repair(Program& prog) const {
         if (v.ref == Value::kNoRef) continue;
         const auto ref = static_cast<size_t>(v.ref);
         if (ref >= n || !closed[ref]) continue;
+        if (stale_kept < opts_.stale_handle_allowance) {
+          ++stale_kept;  // keep this stale use as a probe
+          continue;
+        }
         // Use after close: rebind to the nearest *live* earlier producer of
         // the same type, else fall back to unresolved.
         int32_t live = Value::kNoRef;

@@ -7,10 +7,11 @@
 // its description declares, a producer whose result nothing ever consumes.
 // Each such program wastes one device execution on a guaranteed error path.
 //
-// ProgramLint runs four dataflow passes over a program against its call
-// descriptions (core/descriptions.cc authored these, probing discovered the
-// HAL ones) and either reports findings or deterministically repairs them.
-// The engine counts the outcomes as analysis.rejected / analysis.repaired.
+// ProgramLint runs four passes over a program as clients of the forward
+// dataflow engine (analysis/dataflow.h): def-use chains and the
+// handle-lifetime lattice are computed once per program, and each pass
+// reads facts off it. The engine counts the outcomes as analysis.rejected /
+// analysis.repaired.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/dataflow.h"
 #include "dsl/prog.h"
 
 namespace df::analysis {
@@ -61,6 +63,13 @@ struct LintOptions {
   bool dangling_refs = true;
   bool type_width = true;
   bool dead_statements = true;
+  // Stale-handle allowance for the use-after-close pass: the first N
+  // after-close uses (in program order) are warnings, not errors, and
+  // repair() leaves them in place. Operating on one destroyed handle is a
+  // deliberate probe — stale-handle error paths are where use-after-free
+  // bugs live (bt_accept_unlink) — while a pile of them is just a rotten
+  // program. 0 (the default) flags every stale use as an error.
+  size_t stale_handle_allowance = 0;
 };
 
 class ProgramLint {

@@ -18,6 +18,10 @@ core::EngineConfig SyzkallerFuzzer::config(uint64_t seed) {
   // lint gate nor a driver protocol-state model to plan against.
   cfg.lint_programs = false;
   cfg.use_reachability_plans = false;
+  // No declared-transition model either: dataflow-targeted mutation stays
+  // off so the baseline keeps its historical uniform arg choice.
+  cfg.gen.dataflow_bias = false;
+  cfg.distill_at_checkpoint = false;
   return cfg;
 }
 

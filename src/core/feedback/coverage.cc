@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
+
+#include "analysis/distill.h"
 
 namespace df::core {
 
@@ -108,6 +111,94 @@ obs::LineageSummary Corpus::lineage_summary(size_t top_n) const {
   if (roots.size() > top_n) roots.resize(top_n);
   out.top_ancestors = std::move(roots);
   return out;
+}
+
+DistillStats Corpus::distill(const FootprintFn& footprint, bool dry_run) {
+  DistillStats stats;
+  stats.before = seeds_.size();
+  stats.dry_run = dry_run;
+  const size_t n = seeds_.size();
+  if (n == 0) {
+    stats.after = 0;
+    return stats;
+  }
+
+  // Static canonical footprints drive the greedy order; dynamic replay
+  // footprints (when an oracle is given) are the coverage ground truth.
+  std::vector<std::vector<uint64_t>> stat(n);
+  std::vector<std::vector<uint64_t>> dyn(n);
+  for (size_t i = 0; i < n; ++i) {
+    stat[i] = analysis::static_footprint(seeds_[i].prog);
+    if (footprint) {
+      dyn[i] = footprint(seeds_[i].prog);
+      std::sort(dyn[i].begin(), dyn[i].end());
+      dyn[i].erase(std::unique(dyn[i].begin(), dyn[i].end()), dyn[i].end());
+    }
+  }
+  // Largest canonical footprint first; insertion order breaks ties, so the
+  // result is a pure function of corpus content.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return stat[a].size() > stat[b].size();
+  });
+
+  util::U64Set covered;
+  std::vector<size_t> kept_idx;
+  std::vector<bool> drop(n, false);
+  for (const size_t i : order) {
+    bool redundant = false;
+    bool statically_subsumed = false;
+    for (const size_t k : kept_idx) {
+      if (analysis::subsumes(stat[i], stat[k])) {
+        statically_subsumed = true;
+        break;
+      }
+    }
+    if (footprint) {
+      redundant = std::all_of(dyn[i].begin(), dyn[i].end(), [&](uint64_t f) {
+        return covered.contains(f);
+      });
+    } else {
+      redundant = statically_subsumed;
+    }
+    if (redundant) {
+      drop[i] = true;
+      if (statically_subsumed) {
+        ++stats.dropped_static;
+      } else {
+        ++stats.dropped_covered;
+      }
+    } else {
+      kept_idx.push_back(i);
+      for (const uint64_t f : dyn[i]) covered.insert(f);
+    }
+  }
+  stats.after = n - stats.dropped_static - stats.dropped_covered;
+  if (footprint) {
+    stats.footprint_union = covered.size();
+    // The hard contract, re-checked end to end: replaying the kept seeds a
+    // second time must reproduce the full union bit-identically.
+    util::U64Set replayed;
+    for (const size_t k : kept_idx) {
+      for (const uint64_t f : footprint(seeds_[k].prog)) replayed.insert(f);
+    }
+    const std::vector<uint64_t> union_values = covered.values();
+    stats.verified =
+        replayed.size() == covered.size() &&
+        std::all_of(union_values.begin(), union_values.end(),
+                    [&](uint64_t f) { return replayed.contains(f); });
+  }
+
+  if (!dry_run && stats.after < n) {
+    std::vector<Seed> kept;
+    kept.reserve(stats.after);
+    for (size_t i = 0; i < n; ++i) {
+      if (!drop[i]) kept.push_back(std::move(seeds_[i]));
+    }
+    seeds_ = std::move(kept);
+  }
+  return stats;
 }
 
 double Corpus::energy(const Seed& s) const {

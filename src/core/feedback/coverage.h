@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "dsl/prog.h"
@@ -57,6 +58,27 @@ struct Seed {
   obs::ProgramOrigin origin = obs::ProgramOrigin::kGenerate;
 };
 
+// Outcome of one Corpus::distill() run (exported to BENCH_*.json and
+// /status as the "distill" block).
+struct DistillStats {
+  size_t before = 0;           // seeds before distillation
+  size_t after = 0;            // seeds kept
+  size_t dropped_static = 0;   // statically subsumed by a single kept seed
+  size_t dropped_covered = 0;  // replay footprint covered by the kept union
+  size_t footprint_union = 0;  // distinct replay features+transitions (0 =
+                               // static-only mode, no replay oracle given)
+  bool verified = false;       // kept-set re-replay reproduced the union
+                               // bit-identically (always false static-only)
+  bool dry_run = false;
+
+  double fraction_dropped() const {
+    return before == 0
+               ? 0.0
+               : static_cast<double>(before - after) /
+                     static_cast<double>(before);
+  }
+};
+
 // Seed corpus with energy-weighted selection: fresh, feature-rich seeds are
 // mutated more; stale, over-fuzzed seeds fade. Every seed carries its
 // lineage (parent edge, origin, generation depth) so campaigns can explain
@@ -84,6 +106,28 @@ class Corpus {
   // Corpus-wide digest: depth histogram plus the `top_n` ancestors ranked
   // by subtree feature yield (deterministic tie-break on insertion order).
   obs::LineageSummary lineage_summary(size_t top_n = 5) const;
+
+  // --- subsumption-based distillation (DESIGN.md §12) ----------------------
+  // Replay oracle: the seed's dynamic coverage footprint (features plus
+  // driver state-transition tokens), replayed on a scratch device so the
+  // campaign is untouched. Must be deterministic per program.
+  using FootprintFn =
+      std::function<std::vector<uint64_t>(const dsl::Program&)>;
+
+  // Drops semantically redundant seeds. Seeds are processed in a
+  // deterministic greedy order (static canonical-footprint size descending,
+  // insertion order as the tie-break) and a seed is dropped only when it
+  // cannot contribute coverage the kept set does not already have:
+  //  * with a `footprint` oracle, when its replayed footprint is a subset
+  //    of the kept seeds' union — so union(kept) == union(all) and a full
+  //    replay of the distilled corpus reproduces bit-identical coverage
+  //    (re-verified by a second replay of the kept set; `verified`);
+  //  * without one (static-only mode), only when a single kept seed's
+  //    canonical footprint subsumes its own (analysis::subsumes).
+  // `dry_run` computes the stats without erasing anything. Hashes of
+  // dropped seeds stay registered, so re-encountering a distilled-away
+  // program never re-adds it.
+  DistillStats distill(const FootprintFn& footprint, bool dry_run = false);
 
   uint64_t total_picks() const { return picks_; }
   // Checkpoint support: restores the cumulative pick counter (it feeds the

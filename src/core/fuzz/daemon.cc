@@ -241,6 +241,19 @@ std::string Daemon::build_status_json() const {
     const std::vector<obs::StatsReporter::Point>* series =
         reporter_ != nullptr ? &reporter_->series(s.id) : nullptr;
     s.eng->analytics_snapshot().write_json(w, series);
+    if (s.eng->has_distill_stats()) {
+      const DistillStats& d = s.eng->distill_stats();
+      w.key("distill").begin_object();
+      w.field("before", static_cast<uint64_t>(d.before));
+      w.field("after", static_cast<uint64_t>(d.after));
+      w.field("dropped_static", static_cast<uint64_t>(d.dropped_static));
+      w.field("dropped_covered", static_cast<uint64_t>(d.dropped_covered));
+      w.field("footprint_union", static_cast<uint64_t>(d.footprint_union));
+      w.field("fraction_dropped", d.fraction_dropped());
+      w.field("verified", d.verified);
+      w.field("dry_run", d.dry_run);
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
@@ -332,12 +345,28 @@ void Daemon::publish_introspection() {
 }
 
 std::string Daemon::checkpoint_json() {
+  // Dry-run distill stats at the checkpoint boundary: purely observational
+  // (scratch-device replay; no campaign state is touched), surfaced through
+  // the /status "distill" blocks and bench exports.
+  if (cfg_.engine.distill_at_checkpoint) {
+    for (auto& s : engines_) s.eng->distill_corpus(/*dry_run=*/true);
+  }
   // Barrier reboot: live kernel/HAL state is not serializable, so every
   // device restarts from a fresh boot on both the save and the resume side
   // (core/fuzz/checkpoint.h). Campaign-cumulative state survives in the
   // checkpoint itself.
   for (auto& s : engines_) s.dev->reboot();
   return CampaignCheckpoint::serialize(*this);
+}
+
+std::vector<std::pair<std::string, DistillStats>> Daemon::distill_corpora(
+    bool dry_run) {
+  std::vector<std::pair<std::string, DistillStats>> out;
+  for (const Slot* s : slots_by_id()) {
+    out.emplace_back(s->id, s->eng->distill_corpus(dry_run));
+  }
+  if (server_ != nullptr) publish_introspection();
+  return out;
 }
 
 bool Daemon::resume(const std::string& json, std::string* error) {

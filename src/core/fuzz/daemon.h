@@ -11,6 +11,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/fuzz/engine.h"
@@ -108,6 +109,17 @@ class Daemon {
   std::vector<CampaignBug> all_bugs() const;
   size_t total_kernel_coverage() const;
   uint64_t total_executions() const;
+
+  // --- corpus distillation (DESIGN.md §12) -----------------------------------
+  // Runs Engine::distill_corpus on every engine, ordered by device id, and
+  // refreshes the introspection documents (/status "distill" blocks).
+  // dry_run=true only reports what distillation would drop — the mode the
+  // checkpoint boundary uses (see EngineConfig::distill_at_checkpoint).
+  // dry_run=false destructively shrinks each corpus; do that at campaign
+  // end, not mid-run (it changes corpus pick indices and therefore the
+  // remaining trajectory).
+  std::vector<std::pair<std::string, DistillStats>> distill_corpora(
+      bool dry_run = false);
 
   // Persistent corpus: serialize every engine's corpus as DSL text
   // ("# device <id>" sections, ordered by device id), and reload it into

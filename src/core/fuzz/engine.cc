@@ -5,6 +5,7 @@
 
 #include "core/descriptions.h"
 #include "core/gen/minimize.h"
+#include "device/catalog.h"
 #include "util/log.h"
 
 namespace df::core {
@@ -63,6 +64,14 @@ void Engine::setup() {
                                      cfg_.gen);
   if (cfg_.lint_programs) {
     gen_->set_lint(&lint_, c_lint_rejected_, c_lint_repaired_);
+  }
+  // Dataflow-targeted mutation: index every driver's declared transition
+  // guards once; the mutator biases arg edits toward guard-relevant
+  // parameters. Baselines set gen.dataflow_bias = false and keep the
+  // historical uniform arg choice (and RNG stream).
+  if (cfg_.gen.dataflow_bias) {
+    for (const auto& d : dev_.kernel().drivers()) guards_.add_driver(*d);
+    if (!guards_.empty()) gen_->set_guard_index(&guards_);
   }
 
   // Reachability planners over each driver's declared transition graph
@@ -490,6 +499,84 @@ dsl::Program Engine::minimize_crash(const BugRecord& bug, size_t budget) {
   };
   return minimize(bug.repro, oracle, budget, nullptr, h_minimize_,
                   cfg_.lint_programs ? &lint_ : nullptr);
+}
+
+namespace {
+
+// One replay's coverage footprint on a scratch device: the execution's
+// features plus a token per driver state-transition it exercised. The
+// state matrices are campaign-cumulative (they survive the pre-replay
+// reboot), so transitions are read as before/after deltas. Transition
+// tokens live under pseudo-driver 0xFFFE — below the HAL 0xFFFF namespace
+// and above every real driver id, so they can never collide with kcov or
+// directional features.
+std::vector<uint64_t> footprint_on(device::Device& scratch, Broker& broker,
+                                   const ExecOptions& opt,
+                                   const dsl::Program& prog) {
+  scratch.reboot();
+  const auto& drvs = scratch.kernel().drivers();
+  std::vector<std::vector<uint64_t>> before;
+  before.reserve(drvs.size());
+  for (const auto& d : drvs) before.push_back(d->state_matrix());
+  const ExecResult res = broker.execute(prog, opt);
+  std::vector<uint64_t> fp = res.features;
+  for (size_t di = 0; di < drvs.size(); ++di) {
+    const auto& after = drvs[di]->state_matrix();
+    const size_t n = drvs[di]->state_names().size();
+    if (n == 0) continue;
+    for (size_t cell = 0; cell < after.size(); ++cell) {
+      const uint64_t prev =
+          cell < before[di].size() ? before[di][cell] : 0;
+      if (after[cell] > prev) {
+        fp.push_back((0xFFFEull << 48) |
+                     (static_cast<uint64_t>(di) << 32) |
+                     (static_cast<uint64_t>(cell / n) << 16) |
+                     static_cast<uint64_t>(cell % n));
+      }
+    }
+  }
+  return fp;
+}
+
+}  // namespace
+
+std::vector<uint64_t> Engine::replay_footprint(const dsl::Program& prog) {
+  if (!ready()) setup();
+  auto scratch = device::make_device(dev_.spec().id, dev_.seed());
+  Broker broker(*scratch, spec_);
+  ExecOptions opt = exec_options();
+  opt.reboot_on_bug = false;  // scratch state is disposable; keep replaying
+  return footprint_on(*scratch, broker, opt, prog);
+}
+
+DistillStats Engine::distill_corpus(bool dry_run) {
+  if (!ready()) setup();
+  // A fresh scratch device per replay, not one shared across the pass:
+  // drivers keep per-boot state a reboot deliberately does not erase
+  // (rt1711's vendor-init retry coverage varies with its probe count), so
+  // on a shared device a program's footprint would depend on its position
+  // in the replay sequence — and the verification pass, which replays the
+  // kept seeds at different positions, would see spurious drift. Per-replay
+  // devices make the footprint a pure function of the program, which the
+  // bit-identical-replay contract requires. The campaign device never sees
+  // any of this.
+  const DistillStats stats = corpus_.distill(
+      [&](const dsl::Program& prog) { return replay_footprint(prog); },
+      dry_run);
+  last_distill_ = stats;
+  has_distill_stats_ = true;
+  if (obs_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kDistill;
+    ev.device = dev_.spec().id;
+    ev.exec_index = exec_count_;
+    ev.with("before", static_cast<uint64_t>(stats.before))
+        .with("after", static_cast<uint64_t>(stats.after))
+        .with("dry_run", static_cast<uint64_t>(stats.dry_run ? 1 : 0))
+        .with("verified", static_cast<uint64_t>(stats.verified ? 1 : 0));
+    obs_->trace.emit(std::move(ev));
+  }
+  return stats;
 }
 
 uint64_t Engine::count_states_visited() const {

@@ -16,6 +16,7 @@
 #include <optional>
 #include <utility>
 
+#include "analysis/dataflow.h"
 #include "analysis/reachability.h"
 #include "analysis/semantic.h"
 #include "core/exec/broker.h"
@@ -56,6 +57,14 @@ struct EngineConfig {
   // outcome counters are always recorded; they cost nothing on the hot
   // path and crash provenance depends on them).
   bool analytics = true;
+  // Subsumption-based corpus distillation (DESIGN.md §12): when true, the
+  // daemon computes dry-run distill stats at every checkpoint boundary and
+  // exports them (BENCH_*.json "distill", /status "distill"). Dry-run only
+  // — a destructive distill mid-campaign would change corpus pick indices
+  // and break the checkpoint-resume == uninterrupted-run contract; use
+  // Engine::distill_corpus(false) / Daemon::distill_corpora(false) for the
+  // real thing at campaign end.
+  bool distill_at_checkpoint = true;
   // Substrate fault injection (fault.rate == 0 disables; a disabled layer
   // is bit-identical to no layer at all). The plan's RNG stream is derived
   // from `seed` unless fault.seed overrides it.
@@ -127,6 +136,25 @@ class Engine {
 
   // --- static analysis -------------------------------------------------------
   const analysis::ProgramLint& lint() const { return lint_; }
+  // The guard index driving dataflow-targeted mutation (empty when
+  // cfg.gen.dataflow_bias is off or no driver declares transitions).
+  const analysis::GuardIndex& guard_index() const { return guards_; }
+
+  // --- corpus distillation (DESIGN.md §12) -----------------------------------
+  // Dynamic coverage footprint of `prog`, replayed on a *scratch* device
+  // built from the same catalog spec and seed — the campaign device, RNG
+  // and feature set are untouched. The footprint is the execution's feature
+  // set plus one token per driver state-transition the replay exercised,
+  // so two programs with equal footprints drive identical coverage.
+  std::vector<uint64_t> replay_footprint(const dsl::Program& prog);
+  // Runs Corpus::distill with the scratch-replay oracle. `dry_run` reports
+  // what distillation would drop without touching the corpus (the only mode
+  // safe mid-campaign; see EngineConfig::distill_at_checkpoint).
+  DistillStats distill_corpus(bool dry_run = false);
+  // Stats of the most recent distill_corpus() call on this engine.
+  bool has_distill_stats() const { return has_distill_stats_; }
+  const DistillStats& distill_stats() const { return last_distill_; }
+
   // Reachability diagnostics: for every driver state with zero campaign
   // visits, the declared-graph plan that would reach it (if any). This is
   // the "states never visited + a candidate plan" report from the planner.
@@ -206,19 +234,28 @@ class Engine {
   std::unique_ptr<FaultInjector> fault_;
   uint64_t exec_count_ = 0;
 
-  // Pipeline gate: structural validity only (resolvable refs + declared
-  // typing). Use-after-close is deliberately NOT gated — operating on a
-  // destroyed handle is a core fuzzing behaviour (stale-handle error paths
-  // are exactly where use-after-free bugs live), and repairing it away
-  // would hide those bugs. Dead statements are advisory and left to the
-  // minimizer. df_lint keeps all four passes on for offline analysis.
+  // Pipeline gate: structural validity plus a *bounded* use-after-close
+  // pass. The dataflow engine's lifetime lattice is precise enough to gate
+  // on, but one stale-handle use per program is still allowed through —
+  // operating on a destroyed handle is a core fuzzing behaviour (stale
+  // error paths are exactly where use-after-free bugs live, e.g.
+  // bt_accept_unlink) — while programs piling up stale uses are repaired.
+  // Dead statements are advisory and left to the minimizer. df_lint keeps
+  // all four passes strict (allowance 0) for offline analysis.
   static analysis::LintOptions gate_lint_options() {
     analysis::LintOptions o;
-    o.use_after_close = false;
+    o.use_after_close = true;
+    o.stale_handle_allowance = 1;
     o.dead_statements = false;
     return o;
   }
   analysis::ProgramLint lint_{gate_lint_options()};
+  // Declared-transition guard index for dataflow-targeted mutation; built
+  // once in setup() when cfg.gen.dataflow_bias is on.
+  analysis::GuardIndex guards_;
+  // Most recent distill_corpus() outcome (for /status + bench export).
+  DistillStats last_distill_;
+  bool has_distill_stats_ = false;
   // (kernel driver index, planner over its declared graph)
   std::vector<std::pair<size_t, analysis::ReachabilityPlanner>> planners_;
   std::deque<QueuedProgram> plan_queue_;

@@ -202,7 +202,38 @@ obs::ProgramOrigin Generator::mutate_once(Program& prog) {
       if (prog.calls.empty()) break;
       Call& c = prog.calls[rng_.below(prog.calls.size())];
       if (c.desc == nullptr || c.desc->params.empty()) break;
-      const size_t a = rng_.below(c.desc->params.size());
+      size_t a = rng_.below(c.desc->params.size());
+      // Handle args keep their historical mutation rate: rewiring which
+      // resource a protocol call operates on is what assembles the
+      // multi-instance topologies (second socket connecting to a listener)
+      // that guard hints cannot express, so the bias never steals an edit
+      // that landed on one.
+      const bool handle_edit =
+          a < c.desc->params.size() &&
+          c.desc->params[a].kind == dsl::ArgKind::kHandle;
+      if (!handle_edit && guards_ != nullptr && !guards_->empty() &&
+          rng_.prob(0.5)) {
+        // Dataflow bias: redirect the edit to a guard-relevant argument —
+        // one a driver's declared transition guard branches on — and half
+        // the time pin it straight to a declared hint value, landing the
+        // program on a state-machine edge instead of fuzzing around it.
+        std::vector<size_t> relevant;
+        for (size_t g = 0; g < c.desc->params.size(); ++g) {
+          if (guards_->classify_arg(*c.desc, g) ==
+              analysis::ArgClass::kGuardRelevant) {
+            relevant.push_back(g);
+          }
+        }
+        if (!relevant.empty()) {
+          a = relevant[rng_.below(relevant.size())];
+          const auto& hints =
+              guards_->hint_values(c.desc->name, c.desc->params[a].name);
+          if (!hints.empty() && a < c.args.size() && rng_.prob(0.5)) {
+            c.args[a].scalar = hints[rng_.below(hints.size())];
+            break;
+          }
+        }
+      }
       if (a < c.args.size()) {
         dsl::mutate_value(c.desc->params[a], c.args[a], rng_);
       }
@@ -337,6 +368,12 @@ Generator::Candidate Generator::next_candidate() {
       cand.prog = generate_fresh();
     }
     if (lint_ == nullptr || lint_->analyze(cand.prog).clean()) return cand;
+    // Mutation-side normalization first: rebind unresolved handle refs to
+    // the nearest earlier producer so mutated fragments re-link into the
+    // program. ProgramLint::repair deliberately leaves kNoRef alone (its
+    // stale-use pass severs to kNoRef, and rebinding there would break its
+    // idempotence), so the gate owns this step.
+    cand.prog.repair_refs();
     lint_->repair(cand.prog);
     if (lint_->analyze(cand.prog).clean()) {
       if (c_repaired_ != nullptr) c_repaired_->inc();

@@ -31,6 +31,13 @@ struct GenConfig {
   unsigned mutate_percent = 60;   // corpus mutation vs fresh generation
   double random_continue = 0.45;  // continuation prob. when no edge fires
   double related_bias = 0.5;      // resource-aware call-choice probability
+  // Dataflow-targeted mutation: when a GuardIndex is attached (see
+  // set_guard_index), the arg-mutate operator prefers guard-relevant
+  // arguments — those the drivers' declared_transitions() guards actually
+  // branch on — and sometimes pins them to a declared hint value. false
+  // restores the uniform arg choice (baselines opt out so their RNG
+  // streams are untouched).
+  bool dataflow_bias = true;
 };
 
 class Generator {
@@ -71,6 +78,14 @@ class Generator {
   void set_lint(const analysis::ProgramLint* lint, obs::Counter* rejected,
                 obs::Counter* repaired);
 
+  // Attaches the guard index that drives dataflow-targeted mutation.
+  // nullptr (the default) disables the bias; extra randomness is drawn
+  // only while an index is attached, so detached generators keep their
+  // historical RNG streams byte-for-byte.
+  void set_guard_index(const analysis::GuardIndex* guards) {
+    guards_ = guards;
+  }
+
   const GenConfig& config() const { return cfg_; }
 
  private:
@@ -93,6 +108,7 @@ class Generator {
   GenConfig cfg_;
   std::vector<const dsl::CallDesc*> allowed_cache_;
   const analysis::ProgramLint* lint_ = nullptr;
+  const analysis::GuardIndex* guards_ = nullptr;
   obs::Counter* c_rejected_ = nullptr;
   obs::Counter* c_repaired_ = nullptr;
 };

@@ -24,7 +24,7 @@ bool Program::valid() const {
   return true;
 }
 
-size_t Program::repair_refs() {
+size_t Program::repair_refs(bool rebind_unresolved) {
   size_t changed = 0;
   for (size_t i = 0; i < calls.size(); ++i) {
     Call& c = calls[i];
@@ -33,6 +33,7 @@ size_t Program::repair_refs() {
       const ParamDesc& p = c.desc->params[a];
       if (p.kind != ArgKind::kHandle) continue;
       Value& v = c.args[a];
+      if (v.ref == Value::kNoRef && !rebind_unresolved) continue;
       const bool ok =
           v.ref != Value::kNoRef && v.ref >= 0 &&
           static_cast<size_t>(v.ref) < i &&
@@ -72,6 +73,35 @@ void Program::remove_call(size_t idx) {
     }
   }
   repair_refs();
+}
+
+size_t Program::remove_calls(const std::vector<bool>& drop) {
+  const size_t n = calls.size();
+  // Old index -> new index, or kNoRef for dropped calls.
+  std::vector<int32_t> remap(n, Value::kNoRef);
+  size_t kept = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i >= drop.size() || !drop[i]) {
+      remap[i] = static_cast<int32_t>(kept++);
+    }
+  }
+  if (kept == n) return 0;
+  std::vector<Call> out;
+  out.reserve(kept);
+  for (size_t i = 0; i < n; ++i) {
+    if (remap[i] == Value::kNoRef) continue;
+    Call c = std::move(calls[i]);
+    for (Value& v : c.args) {
+      if (v.ref >= 0 && static_cast<size_t>(v.ref) < n) {
+        v.ref = remap[static_cast<size_t>(v.ref)];
+      } else {
+        v.ref = Value::kNoRef;
+      }
+    }
+    out.push_back(std::move(c));
+  }
+  calls = std::move(out);
+  return n - kept;
 }
 
 uint64_t program_hash(const Program& p) {

@@ -27,10 +27,21 @@ struct Program {
   // Fixes dangling/forward refs after call removal or reordering: each
   // handle ref is rebound to the nearest earlier producer of its type, or
   // cleared to kNoRef if none exists. Returns the number of refs changed.
-  size_t repair_refs();
+  // With rebind_unresolved=false, refs already cleared to kNoRef are left
+  // alone — unresolved is a legal (warning-only) state, and the semantic
+  // repair pass severs stale uses to it, so re-resurrecting them here would
+  // make the two passes oscillate.
+  size_t repair_refs(bool rebind_unresolved = true);
 
   // Removes call `idx`, repairing refs. Safe for out-of-range (no-op).
   void remove_call(size_t idx);
+
+  // Bulk removal: drops every call where `drop[i]` is true and remaps the
+  // surviving refs (refs into dropped calls are cleared to kNoRef; no
+  // repair_refs rebinding, so the result is a pure deterministic function
+  // of the input — the canonicalizer depends on that). Returns calls
+  // removed. `drop` may be shorter than calls (missing entries are kept).
+  size_t remove_calls(const std::vector<bool>& drop);
 };
 
 // Deep-copy helper (Programs are cheap value types, but an explicit name at

@@ -18,12 +18,13 @@ const char* kind_name(EventKind kind) {
     case EventKind::kStall: return "stall";
     case EventKind::kFault: return "fault";
     case EventKind::kRecovery: return "recovery";
+    case EventKind::kDistill: return "distill";
   }
   return "?";
 }
 
 bool kind_from_name(std::string_view name, EventKind* out) {
-  for (uint8_t k = 0; k <= static_cast<uint8_t>(EventKind::kRecovery); ++k) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(EventKind::kDistill); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (name == kind_name(kind)) {
       *out = kind;

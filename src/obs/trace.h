@@ -38,6 +38,7 @@ enum class EventKind : uint8_t {
   kStall,          // coverage-plateau watchdog fired for a device
   kFault,          // injected transport fault (hang/error/reboot)
   kRecovery,       // device re-established after a fault-induced reboot
+  kDistill,        // corpus distillation pass completed (dry-run or real)
 };
 
 const char* kind_name(EventKind kind);

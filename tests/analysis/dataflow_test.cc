@@ -1,0 +1,222 @@
+// Unit tests for the forward dataflow engine: def-use chains, the
+// handle-lifetime lattice, scalar-argument facts, and the declared-guard
+// index that drives dataflow-targeted mutation.
+#include "analysis/dataflow.h"
+
+#include <gtest/gtest.h>
+
+#include "core/descriptions.h"
+#include "device/catalog.h"
+
+namespace df::analysis {
+namespace {
+
+class DataflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dsl::CallDesc open;
+    open.name = "open";
+    open.produces = "fd";
+    open_ = table_.add(std::move(open));
+
+    dsl::CallDesc close;
+    close.name = "close";
+    close.destroys = "fd";
+    close.params = {handle("fd")};
+    close_ = table_.add(std::move(close));
+
+    dsl::CallDesc use;
+    use.name = "use";
+    use.params = {handle("fd"), scalar(dsl::ArgKind::kU8, 0, 200)};
+    use_ = table_.add(std::move(use));
+
+    dsl::CallDesc dup;
+    dup.name = "dup";
+    dup.produces = "fd";
+    dup.params = {handle("fd")};
+    dup_ = table_.add(std::move(dup));
+
+    dsl::CallDesc fixed;
+    fixed.name = "fixed";
+    fixed.params = {scalar(dsl::ArgKind::kU32, 7, 7)};
+    dsl::ParamDesc one_choice;
+    one_choice.kind = dsl::ArgKind::kEnum;
+    one_choice.name = "only";
+    one_choice.choices = {3};
+    fixed.params.push_back(one_choice);
+    fixed_ = table_.add(std::move(fixed));
+  }
+
+  static dsl::ParamDesc handle(std::string type) {
+    dsl::ParamDesc p;
+    p.kind = dsl::ArgKind::kHandle;
+    p.name = "fd";
+    p.handle_type = std::move(type);
+    return p;
+  }
+
+  static dsl::ParamDesc scalar(dsl::ArgKind kind, uint64_t min,
+                               uint64_t max) {
+    dsl::ParamDesc p;
+    p.kind = kind;
+    p.name = "val";
+    p.min = min;
+    p.max = max;
+    return p;
+  }
+
+  static dsl::Call call(const dsl::CallDesc* d,
+                        std::vector<dsl::Value> args = {}) {
+    dsl::Call c;
+    c.desc = d;
+    c.args = std::move(args);
+    return c;
+  }
+
+  static dsl::Value ref(int32_t idx) {
+    dsl::Value v;
+    v.ref = idx;
+    return v;
+  }
+
+  static dsl::Value num(uint64_t s) {
+    dsl::Value v;
+    v.scalar = s;
+    return v;
+  }
+
+  dsl::CallTable table_;
+  const dsl::CallDesc* open_ = nullptr;
+  const dsl::CallDesc* close_ = nullptr;
+  const dsl::CallDesc* use_ = nullptr;
+  const dsl::CallDesc* dup_ = nullptr;
+  const dsl::CallDesc* fixed_ = nullptr;
+};
+
+TEST_F(DataflowTest, DefUseChainEndsClosed) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));
+  p.calls.push_back(call(use_, {ref(0), num(7)}));
+  p.calls.push_back(call(close_, {ref(0)}));
+  const ProgramDataflow flow(p);
+  const DefInfo* def = flow.def(0);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->type, "fd");
+  EXPECT_EQ(def->uses, (std::vector<size_t>{1, 2}));
+  EXPECT_TRUE(def->stale_uses.empty());
+  EXPECT_EQ(def->destroyed_at, 2u);
+  EXPECT_EQ(def->end_state, Lifetime::kClosed);
+  EXPECT_EQ(flow.stale_use_count(), 0u);
+}
+
+TEST_F(DataflowTest, LiveAndLeakedLifetimes) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));  // consumed below: live
+  p.calls.push_back(call(open_));  // never consumed: leaked
+  p.calls.push_back(call(use_, {ref(0), num(7)}));
+  const ProgramDataflow flow(p);
+  EXPECT_EQ(flow.def(0)->end_state, Lifetime::kLive);
+  EXPECT_EQ(flow.def(1)->end_state, Lifetime::kLeaked);
+  EXPECT_EQ(flow.def(2), nullptr);  // use produces nothing
+}
+
+TEST_F(DataflowTest, StaleUseRecordsCloseSite) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));
+  p.calls.push_back(call(close_, {ref(0)}));
+  p.calls.push_back(call(use_, {ref(0), num(7)}));
+  const ProgramDataflow flow(p);
+  const UseFact& u = flow.use(2, 0);
+  EXPECT_TRUE(u.is_handle);
+  EXPECT_TRUE(u.structural_ok);
+  EXPECT_TRUE(u.after_close);
+  EXPECT_EQ(u.def, 0u);
+  EXPECT_EQ(u.close_site, 1u);
+  EXPECT_FALSE(u.second_destroy);
+  EXPECT_EQ(flow.stale_use_count(), 1u);
+  EXPECT_EQ(flow.def(0)->stale_uses, (std::vector<size_t>{2}));
+  // A stale-but-consumed handle still ended the program closed.
+  EXPECT_EQ(flow.def(0)->end_state, Lifetime::kClosed);
+}
+
+TEST_F(DataflowTest, DoubleDestroyIsASecondDestroy) {
+  dsl::Program p;
+  p.calls.push_back(call(open_));
+  p.calls.push_back(call(close_, {ref(0)}));
+  p.calls.push_back(call(close_, {ref(0)}));
+  const ProgramDataflow flow(p);
+  EXPECT_TRUE(flow.use(2, 0).after_close);
+  EXPECT_TRUE(flow.use(2, 0).second_destroy);
+  // First destroy wins: the recorded close site stays the first close.
+  EXPECT_EQ(flow.def(0)->destroyed_at, 1u);
+}
+
+TEST_F(DataflowTest, UnresolvedAndRottenRefs) {
+  dsl::Program p;
+  p.calls.push_back(call(use_, {ref(dsl::Value::kNoRef), num(7)}));
+  p.calls.push_back(call(use_, {ref(0), num(7)}));  // r0 produces nothing
+  const ProgramDataflow flow(p);
+  EXPECT_TRUE(flow.use(0, 0).unresolved);
+  EXPECT_FALSE(flow.use(0, 0).structural_ok);
+  EXPECT_FALSE(flow.use(1, 0).unresolved);
+  EXPECT_FALSE(flow.use(1, 0).structural_ok);
+  // Non-handle args and out-of-range lookups are zero-valued facts.
+  EXPECT_FALSE(flow.use(0, 1).is_handle);
+  EXPECT_FALSE(flow.use(9, 9).is_handle);
+}
+
+TEST_F(DataflowTest, ScalarFacts) {
+  EXPECT_EQ(ProgramDataflow::scalar_fact(*use_, 0),
+            ScalarFact::kResultDerived);
+  EXPECT_EQ(ProgramDataflow::scalar_fact(*use_, 1), ScalarFact::kFree);
+  EXPECT_EQ(ProgramDataflow::scalar_fact(*fixed_, 0),
+            ScalarFact::kConstant);  // min == max
+  EXPECT_EQ(ProgramDataflow::scalar_fact(*fixed_, 1),
+            ScalarFact::kConstant);  // single enum choice
+}
+
+TEST_F(DataflowTest, DestroyedArgHelper) {
+  EXPECT_EQ(destroyed_arg(*close_), 0u);
+  EXPECT_EQ(destroyed_arg(*use_), kNoIndex);
+  EXPECT_EQ(destroyed_arg(*open_), kNoIndex);
+}
+
+TEST_F(DataflowTest, GuardIndexFromDeviceDrivers) {
+  auto dev = device::make_device("A1", 1);
+  ASSERT_NE(dev, nullptr);
+  GuardIndex guards;
+  for (const auto& d : dev->kernel().drivers()) guards.add_driver(*d);
+  ASSERT_FALSE(guards.empty());
+  // rt1711 declares {0 -> 1 via ioctl$RT1711_ATTACH(mode=1)}.
+  EXPECT_TRUE(guards.guard_relevant("ioctl$RT1711_ATTACH", "mode"));
+  const auto& hints = guards.hint_values("ioctl$RT1711_ATTACH", "mode");
+  ASSERT_FALSE(hints.empty());
+  EXPECT_NE(std::find(hints.begin(), hints.end(), 1u), hints.end());
+  EXPECT_FALSE(guards.guard_relevant("ioctl$RT1711_ATTACH", "no_such"));
+  EXPECT_TRUE(guards.hint_values("nope", "mode").empty());
+}
+
+TEST_F(DataflowTest, ClassifyArgAgainstRealDescriptions) {
+  auto dev = device::make_device("A1", 1);
+  ASSERT_NE(dev, nullptr);
+  GuardIndex guards;
+  for (const auto& d : dev->kernel().drivers()) guards.add_driver(*d);
+  dsl::CallTable table;
+  core::add_syscall_descriptions(table, *dev);
+  const dsl::CallDesc* attach = table.find("ioctl$RT1711_ATTACH");
+  ASSERT_NE(attach, nullptr);
+  // arg0 is the fd handle (shape), arg1 the guarded "mode" enum.
+  EXPECT_EQ(guards.classify_arg(*attach, 0), ArgClass::kShapeRelevant);
+  EXPECT_EQ(guards.classify_arg(*attach, 1), ArgClass::kGuardRelevant);
+  EXPECT_EQ(guards.classify_arg(*attach, 99), ArgClass::kDead);
+}
+
+TEST_F(DataflowTest, ClassifyArgWithoutGuardsFallsBackToShape) {
+  const GuardIndex empty;
+  EXPECT_EQ(empty.classify_arg(*use_, 0), ArgClass::kShapeRelevant);
+  EXPECT_EQ(empty.classify_arg(*use_, 1), ArgClass::kDead);
+  EXPECT_EQ(empty.classify_arg(*fixed_, 0), ArgClass::kDead);
+}
+
+}  // namespace
+}  // namespace df::analysis

@@ -165,6 +165,82 @@ TEST(Daemon, AnalyticsToggleChangesNoDeviceResult) {
   EXPECT_FALSE(attributed_off);  // the toggle gates the yield table
 }
 
+// Distillation side of the determinism contract (DESIGN.md §12): the
+// checkpoint-boundary dry-run distill replays seeds on scratch devices
+// only, so toggling it must change no per-device result — same fingerprint,
+// same corpus text, whether the checkpoint pass analyzed the corpora or not.
+TEST(Daemon, DistillAtCheckpointChangesNoDeviceResult) {
+  const std::vector<std::string> ids{"A1", "C1"};
+  auto campaign = [&](bool distill, std::string* fp, std::string* corpus) {
+    DaemonConfig cfg;
+    cfg.seed = 25;
+    cfg.engine.distill_at_checkpoint = distill;
+    Daemon d(cfg);
+    for (const auto& id : ids) EXPECT_TRUE(d.add_device(id));
+    d.run(800, 128);
+    // A manual checkpoint mid-campaign: with the toggle on this runs the
+    // dry-run distill pass on every engine; either way the rest of the
+    // campaign must be bit-identical.
+    const std::string ckpt = d.checkpoint_json();
+    EXPECT_FALSE(ckpt.empty());
+    d.run(1400, 128);
+    *fp = fleet_fingerprint(d, ids);
+    *corpus = d.save_corpus();
+    // The toggle gates whether checkpointing left distill stats behind.
+    for (const auto& id : ids) {
+      EXPECT_EQ(d.engine(id)->has_distill_stats(), distill) << id;
+    }
+  };
+  std::string fp_on, corpus_on, fp_off, corpus_off;
+  campaign(true, &fp_on, &corpus_on);
+  campaign(false, &fp_off, &corpus_off);
+  EXPECT_FALSE(fp_on.empty());
+  EXPECT_EQ(fp_on, fp_off);
+  EXPECT_EQ(corpus_on, corpus_off);
+}
+
+// Distill stats are themselves part of the per-device contract: the same
+// campaign distilled on one worker or four reports identical drop counts
+// and footprint unions, dry-run and destructive alike — and the campaign
+// results stay worker-count invariant with the checkpoint pass enabled.
+TEST(Daemon, DistillResultsIdenticalAcrossWorkerCounts) {
+  const std::vector<std::string> ids{"A1", "B"};
+  struct Outcome {
+    std::string fp;
+    std::string stats;
+  };
+  auto campaign = [&](size_t workers) {
+    DaemonConfig cfg;
+    cfg.seed = 29;
+    cfg.workers = workers;
+    cfg.engine.distill_at_checkpoint = true;
+    Daemon d(cfg);
+    for (const auto& id : ids) EXPECT_TRUE(d.add_device(id));
+    d.run(1200, 128);
+    Outcome out;
+    for (const auto& [id, s] : d.distill_corpora(/*dry_run=*/true)) {
+      out.stats += id + ":dry:" + std::to_string(s.before) + "->" +
+                   std::to_string(s.after) + "/union=" +
+                   std::to_string(s.footprint_union) +
+                   (s.verified ? "/ok;" : "/BAD;");
+      EXPECT_TRUE(s.verified) << id;
+    }
+    for (const auto& [id, s] : d.distill_corpora(/*dry_run=*/false)) {
+      out.stats += id + ":real:" + std::to_string(s.before) + "->" +
+                   std::to_string(s.after) +
+                   (s.verified ? "/ok;" : "/BAD;");
+      EXPECT_TRUE(s.verified) << id;
+    }
+    out.fp = fleet_fingerprint(d, ids);
+    return out;
+  };
+  const Outcome seq = campaign(1);
+  const Outcome par = campaign(4);
+  EXPECT_FALSE(seq.stats.empty());
+  EXPECT_EQ(seq.fp, par.fp);
+  EXPECT_EQ(seq.stats, par.stats);
+}
+
 TEST(Daemon, AggregationIsOrderedByDeviceIdNotInsertionOrder) {
   DaemonConfig cfg;
   cfg.seed = 3;

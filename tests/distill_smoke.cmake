@@ -1,0 +1,28 @@
+# df_distill smoke test (run via cmake -P from ctest): distill one device's
+# corpus after a tiny campaign, validate the JSON report with
+# scripts/check_bench_json.py, and require replay verification (rc 0 —
+# df_distill exits 2 on a coverage mismatch after distillation).
+# Inputs: DISTILL, PYTHON, CHECKER, OUT.
+
+execute_process(
+  COMMAND ${DISTILL} --device A1 --execs 600 --seed 1 --json ${OUT}
+  OUTPUT_VARIABLE distill_out
+  RESULT_VARIABLE distill_rc)
+if(NOT distill_rc EQUAL 0)
+  message(FATAL_ERROR
+          "df_distill failed or replay mismatch (rc=${distill_rc}):\n"
+          "${distill_out}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${OUT}
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_bench_json.py rejected ${OUT} (rc=${check_rc})")
+endif()
+
+string(FIND "${distill_out}" "replay verified" at)
+if(at EQUAL -1)
+  message(FATAL_ERROR "distill output lacks replay verification:\n"
+          "${distill_out}")
+endif()

@@ -2,6 +2,8 @@
 // structural invariants of the core data structures under randomized use.
 #include <gtest/gtest.h>
 
+#include "analysis/distill.h"
+#include "analysis/semantic.h"
 #include "core/descriptions.h"
 #include "core/gen/generator.h"
 #include "core/relation/graph.h"
@@ -109,6 +111,78 @@ TEST_P(SeededProperty, ProgramSurgeryPreservesValidity) {
       ASSERT_TRUE(p.valid());
     }
   }
+}
+
+// --- Static analysis: repair and canonicalize are idempotent fixpoint
+// operators that preserve structural validity --------------------------------
+
+TEST_P(SeededProperty, RepairAndCanonicalizeAreIdempotent) {
+  auto dev = device::make_device("A1", GetParam());
+  dsl::CallTable table;
+  core::add_syscall_descriptions(table, *dev);
+  core::RelationGraph rel;
+  for (const auto* d : table.all()) rel.add_vertex(d, d->weight);
+  core::Corpus corpus;
+  util::Rng rng(GetParam() * 17 + 3);
+  core::Generator gen(table, rel, corpus, rng, {});
+  const analysis::ProgramLint lint;  // strict offline options
+
+  for (int round = 0; round < 40; ++round) {
+    dsl::Program p = gen.generate_fresh();
+    // Dirty some handle refs so repair has real work: retarget to an
+    // arbitrary earlier call or sever entirely (both structurally valid).
+    for (size_t i = 0; i < p.calls.size(); ++i) {
+      for (auto& v : p.calls[i].args) {
+        if (v.ref >= 0 && rng.chance(1, 3)) {
+          v.ref = (i > 0 && rng.chance(1, 2))
+                      ? static_cast<int32_t>(rng.below(i))
+                      : dsl::Value::kNoRef;
+        }
+      }
+    }
+    lint.repair(p);
+    ASSERT_TRUE(p.valid()) << dsl::format_program(p);
+    const uint64_t repaired = dsl::program_hash(p);
+    ASSERT_EQ(lint.repair(p), 0u);  // second repair finds nothing
+    ASSERT_EQ(dsl::program_hash(p), repaired);
+
+    dsl::Program canon = dsl::clone(p);
+    analysis::canonicalize(canon);
+    ASSERT_TRUE(canon.valid()) << dsl::format_program(canon);
+    const uint64_t canonical = dsl::program_hash(canon);
+    ASSERT_EQ(analysis::canonicalize(canon), 0u);  // fixpoint reached
+    ASSERT_EQ(dsl::program_hash(canon), canonical);
+    // Canonicalization only removes dead producers, so the static
+    // footprint of a program and its canonical form are identical.
+    ASSERT_EQ(analysis::static_footprint(p), analysis::static_footprint(canon));
+    // A canonical program has no dead-statement findings left.
+    ASSERT_FALSE(lint.analyze(canon).has(analysis::Pass::kDeadStatement))
+        << dsl::format_program(canon);
+  }
+}
+
+TEST_P(SeededProperty, CleanProgramsAreRepairFixpoints) {
+  auto dev = device::make_device("A2", GetParam());
+  dsl::CallTable table;
+  core::add_syscall_descriptions(table, *dev);
+  core::RelationGraph rel;
+  for (const auto* d : table.all()) rel.add_vertex(d, d->weight);
+  core::Corpus corpus;
+  util::Rng rng(GetParam() * 13 + 7);
+  core::Generator gen(table, rel, corpus, rng, {});
+  const analysis::ProgramLint lint;
+
+  size_t clean_seen = 0;
+  for (int round = 0; round < 60; ++round) {
+    dsl::Program p = gen.generate_fresh();
+    if (!lint.analyze(p).clean()) continue;
+    ++clean_seen;
+    // Hash stability: repair must be the identity on a clean program.
+    const uint64_t before = dsl::program_hash(p);
+    ASSERT_EQ(lint.repair(p), 0u) << dsl::format_program(p);
+    ASSERT_EQ(dsl::program_hash(p), before);
+  }
+  ASSERT_GT(clean_seen, 0u);  // the generator's gate keeps most programs clean
 }
 
 // --- Parcel: arbitrary byte strings never crash the readers -------------------
