@@ -58,13 +58,17 @@ struct RateRun {
   std::unique_ptr<obs::Observability> obs;
   std::string velocity_json;  // coverage-velocity section, rendered pre-exit
   core::FleetUtilization util;
+  core::SnapshotStats snap;   // summed across the fleet
+  uint64_t replay_execs = 0;  // kReplay attempts: budget spent re-warming
 };
 
 RateRun run_fleet(uint64_t seed, uint64_t execs, uint64_t rate_ppm,
-                  size_t rep, const std::vector<std::string>& ids) {
+                  size_t rep, const std::vector<std::string>& ids,
+                  bool use_snapshots = true) {
   RateRun out;
   core::DaemonConfig cfg;
   cfg.seed = seed;
+  cfg.engine.use_snapshots = use_snapshots;
   cfg.engine.fault.rate = static_cast<double>(rate_ppm) / 1e6;
   core::Daemon d(cfg);
   out.obs = std::make_unique<obs::Observability>();
@@ -100,6 +104,23 @@ RateRun run_fleet(uint64_t seed, uint64_t execs, uint64_t rate_ppm,
                          std::to_string(ft.lost_execs) + "/" +
                          std::to_string(ft.recovery_virtual_us);
     }
+    const core::SnapshotStats& ss = e->snapshot_stats();
+    out.snap.captures += ss.captures;
+    out.snap.restores += ss.restores;
+    out.snap.forks += ss.forks;
+    out.snap.fault_recoveries += ss.fault_recoveries;
+    out.snap.prefix_execs_saved += ss.prefix_execs_saved;
+    out.snap.prefix_calls_saved += ss.prefix_calls_saved;
+    out.snap.sections_total += ss.sections_total;
+    out.snap.sections_shared += ss.sections_shared;
+    out.snap.bytes_total += ss.bytes_total;
+    out.snap.bytes_shared += ss.bytes_shared;
+    out.replay_execs +=
+        e->attribution().row(obs::ProgramOrigin::kReplay).attempts;
+    out.fingerprint += ",snap=" + std::to_string(ss.captures) + "/" +
+                       std::to_string(ss.restores) + "/" +
+                       std::to_string(ss.forks) + "/" +
+                       std::to_string(ss.fault_recoveries);
     for (const auto& b : e->crashes().bugs()) {
       out.fingerprint += ",bug=" + b.title + "@" +
                          std::to_string(b.first_exec);
@@ -208,6 +229,44 @@ int main() {
     results.push_back(r);
   }
 
+  // Snapshots on-vs-off at the faultiest rate: same budget, snapshots off
+  // means fault recovery falls back to the reestablish() replay, spending
+  // budget re-warming instead of fuzzing. Two reps for the off-trajectory's
+  // own determinism; min wall for throughput.
+  double off_wall = 0;
+  std::unique_ptr<RateRun> off_run;
+  bool off_deterministic = true;
+  for (size_t rep = 0; rep < kRepsPerRate; ++rep) {
+    RateRun run = run_fleet(seed, execs, kRatesPpm[2], rep, ids,
+                            /*use_snapshots=*/false);
+    if (off_run != nullptr && run.fingerprint != off_run->fingerprint) {
+      off_deterministic = false;
+      deterministic = false;
+      std::fprintf(stderr,
+                   "fault_recovery: NON-DETERMINISTIC snapshots-off results "
+                   "at rep=%zu\n",
+                   rep);
+    }
+    if (off_wall == 0 || run.wall_seconds < off_wall) {
+      off_wall = run.wall_seconds;
+    }
+    if (off_run == nullptr) off_run = std::make_unique<RateRun>(std::move(run));
+  }
+  const double fleet_execs_total =
+      static_cast<double>(execs) * static_cast<double>(ids.size());
+  const double on_rate = results.back().execs_per_sec;
+  const double off_rate = fleet_execs_total / off_wall;
+  // Useful-throughput uplift: replay re-warm executions spend budget without
+  // fuzzing anything new; snapshot recovery removes them. Both fractions are
+  // content (deterministic), unlike the wall-clock rates.
+  const double useful_on =
+      (fleet_execs_total - static_cast<double>(faultiest->replay_execs)) /
+      fleet_execs_total;
+  const double useful_off =
+      (fleet_execs_total - static_cast<double>(off_run->replay_execs)) /
+      fleet_execs_total;
+  const double useful_uplift_pct = 100.0 * (useful_on / useful_off - 1.0);
+
   const size_t lost = lost_bugs(*baseline, *faultiest);
   // The zero-lost-bugs contract is a saturation claim: both campaigns must
   // have had time to find every bug this seed reaches. Below the 48h
@@ -227,10 +286,23 @@ int main() {
         static_cast<unsigned long long>(
             events == 0 ? 0 : r.totals.recovery_virtual_us / events));
   }
-  std::printf("  per-rate results: %s, lost bugs vs fault-free: %zu\n\n",
+  std::printf("  per-rate results: %s, lost bugs vs fault-free: %zu\n",
               deterministic ? "bit-identical across reps"
                             : "MISMATCH (bug!)",
               lost);
+  std::printf(
+      "  snapshots at rate=%llu ppm: %llu captures, %llu forks, %llu fault "
+      "recoveries, %llu prefix execs saved\n",
+      static_cast<unsigned long long>(kRatesPpm[2]),
+      static_cast<unsigned long long>(faultiest->snap.captures),
+      static_cast<unsigned long long>(faultiest->snap.forks),
+      static_cast<unsigned long long>(faultiest->snap.fault_recoveries),
+      static_cast<unsigned long long>(faultiest->snap.prefix_execs_saved));
+  std::printf(
+      "  snapshots on: %.0f execs/sec (%.2f%% useful)  off: %.0f execs/sec "
+      "(%.2f%% useful)  useful-throughput uplift %+.2f%%\n\n",
+      on_rate, 100.0 * useful_on, off_rate, 100.0 * useful_off,
+      useful_uplift_pct);
 
   const bool wrote = write_bench_json(
       "fault_recovery", seed, kRepsPerRate, exported, exported_obs.get(),
@@ -270,6 +342,36 @@ int main() {
           w.end_object();
         }
         w.end_array();
+        w.end_object();
+        // Snapshot layer (DESIGN.md §13) at the faultiest rate: fork/restore
+        // counters and delta-sharing totals are content; wall-clock rates
+        // live under "timing". useful_* fractions are content too — replay
+        // counts are part of the deterministic trajectory.
+        const core::SnapshotStats& ss = faultiest->snap;
+        w.key("snapshot").begin_object();
+        w.field("fault_rate_ppm", kRatesPpm[2]);
+        w.field("captures", ss.captures);
+        w.field("restores", ss.restores);
+        w.field("forks", ss.forks);
+        w.field("fault_recoveries", ss.fault_recoveries);
+        w.field("prefix_execs_saved", ss.prefix_execs_saved);
+        w.field("prefix_calls_saved", ss.prefix_calls_saved);
+        w.field("sections_total", ss.sections_total);
+        w.field("sections_shared", ss.sections_shared);
+        w.field("bytes_total", ss.bytes_total);
+        w.field("bytes_shared", ss.bytes_shared);
+        w.field("replay_execs_on", faultiest->replay_execs);
+        w.field("replay_execs_off", off_run->replay_execs);
+        w.field("useful_fraction_on", useful_on);
+        w.field("useful_fraction_off", useful_off);
+        w.field("useful_uplift_percent", useful_uplift_pct);
+        w.field("off_deterministic", off_deterministic);
+        w.key("timing").begin_object();
+        w.field("on_execs_per_sec", on_rate);
+        w.field("off_execs_per_sec", off_rate);
+        w.field("execs_per_sec_uplift_percent",
+                100.0 * (on_rate / off_rate - 1.0));
+        w.end_object();
         w.end_object();
         if (baseline != nullptr && !baseline->velocity_json.empty()) {
           w.key("velocity").raw(baseline->velocity_json);

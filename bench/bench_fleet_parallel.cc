@@ -49,14 +49,17 @@ struct FleetRun {
   std::unique_ptr<obs::Observability> obs;
   std::string velocity_json;  // coverage-velocity section, rendered pre-exit
   core::FleetUtilization util;
+  core::SnapshotStats snap;  // summed across the fleet
 };
 
 FleetRun run_fleet(uint64_t seed, uint64_t execs, size_t workers, size_t rep,
-                   const std::vector<std::string>& ids) {
+                   const std::vector<std::string>& ids,
+                   bool use_snapshots = true) {
   FleetRun out;
   core::DaemonConfig cfg;
   cfg.seed = seed;
   cfg.workers = workers;
+  cfg.engine.use_snapshots = use_snapshots;
   core::Daemon d(cfg);
   out.obs = std::make_unique<obs::Observability>();
   out.obs->trace.set_record_execs(false);
@@ -84,6 +87,20 @@ FleetRun run_fleet(uint64_t seed, uint64_t execs, size_t workers, size_t rep,
       out.fingerprint += ",bug=" + b.title + "@" +
                          std::to_string(b.first_exec);
     }
+    const core::SnapshotStats& ss = e->snapshot_stats();
+    out.snap.captures += ss.captures;
+    out.snap.restores += ss.restores;
+    out.snap.forks += ss.forks;
+    out.snap.fault_recoveries += ss.fault_recoveries;
+    out.snap.prefix_execs_saved += ss.prefix_execs_saved;
+    out.snap.prefix_calls_saved += ss.prefix_calls_saved;
+    out.snap.sections_total += ss.sections_total;
+    out.snap.sections_shared += ss.sections_shared;
+    out.snap.bytes_total += ss.bytes_total;
+    out.snap.bytes_shared += ss.bytes_shared;
+    out.fingerprint += ",snap=" + std::to_string(ss.captures) + "/" +
+                       std::to_string(ss.restores) + "/" +
+                       std::to_string(ss.forks);
     out.fingerprint += "\n";
   }
   out.fingerprint +=
@@ -135,12 +152,14 @@ int main() {
   std::string exported_velocity;
   std::string baseline_fp;
   bool deterministic = true;
+  core::SnapshotStats snap_on;  // rep-0 workers-1 run; identical across configs
 
   for (const size_t workers : worker_configs) {
     ConfigResult r;
     r.workers = workers;
     for (size_t rep = 0; rep < reps; ++rep) {
       FleetRun run = run_fleet(seed, execs, workers, rep, ids);
+      if (workers == 1 && rep == 0) snap_on = run.snap;
       if (baseline_fp.empty()) {
         baseline_fp = run.fingerprint;
       } else if (run.fingerprint != baseline_fp) {
@@ -170,14 +189,51 @@ int main() {
     results.push_back(r);
   }
 
+  // Snapshots-off comparison at the widest configuration: same budget, no
+  // frontier captures / forks. Two runs — one for the off-trajectory's own
+  // determinism check, min wall for throughput.
+  double off_wall = 0;
+  std::string off_fp;
+  bool off_deterministic = true;
+  for (size_t rep = 0; rep < 2; ++rep) {
+    FleetRun run = run_fleet(seed, execs, worker_configs.back(), rep, ids,
+                             /*use_snapshots=*/false);
+    if (off_fp.empty()) {
+      off_fp = run.fingerprint;
+    } else if (run.fingerprint != off_fp) {
+      off_deterministic = false;
+      deterministic = false;
+      std::fprintf(stderr,
+                   "fleet: NON-DETERMINISTIC snapshots-off results at "
+                   "rep=%zu\n",
+                   rep);
+    }
+    if (off_wall == 0 || run.wall_seconds < off_wall) {
+      off_wall = run.wall_seconds;
+    }
+  }
+  const double fleet_execs_total =
+      static_cast<double>(execs) * static_cast<double>(ids.size());
+  const double on_rate = results.back().execs_per_sec;
+  const double off_rate = fleet_execs_total / off_wall;
+
   const double seq_rate = results.front().execs_per_sec;
   for (const auto& r : results) {
     std::printf("  workers=%-2zu  %10.0f execs/sec   speedup %.2fx\n",
                 r.workers, r.execs_per_sec, r.execs_per_sec / seq_rate);
   }
-  std::printf("  per-device results: %s\n\n",
+  std::printf("  per-device results: %s\n",
               deterministic ? "bit-identical across all configurations"
                             : "MISMATCH (bug!)");
+  std::printf(
+      "  snapshots: %llu captures, %llu forks, %llu prefix execs saved, "
+      "%llu/%llu sections shared; on %0.f execs/sec vs off %0.f\n\n",
+      static_cast<unsigned long long>(snap_on.captures),
+      static_cast<unsigned long long>(snap_on.forks),
+      static_cast<unsigned long long>(snap_on.prefix_execs_saved),
+      static_cast<unsigned long long>(snap_on.sections_shared),
+      static_cast<unsigned long long>(snap_on.sections_total), on_rate,
+      off_rate);
 
   const bool wrote = write_bench_json(
       "fleet_parallel", seed, reps, exported, exported_obs.get(),
@@ -201,6 +257,28 @@ int main() {
           w.end_object();
         }
         w.end_array();
+        w.end_object();
+        // Snapshot layer (DESIGN.md §13): fork/restore counters and
+        // delta-sharing totals are content (identical across worker
+        // configurations); on-vs-off wall rates live under "timing".
+        w.key("snapshot").begin_object();
+        w.field("captures", snap_on.captures);
+        w.field("restores", snap_on.restores);
+        w.field("forks", snap_on.forks);
+        w.field("fault_recoveries", snap_on.fault_recoveries);
+        w.field("prefix_execs_saved", snap_on.prefix_execs_saved);
+        w.field("prefix_calls_saved", snap_on.prefix_calls_saved);
+        w.field("sections_total", snap_on.sections_total);
+        w.field("sections_shared", snap_on.sections_shared);
+        w.field("bytes_total", snap_on.bytes_total);
+        w.field("bytes_shared", snap_on.bytes_shared);
+        w.field("off_deterministic", off_deterministic);
+        w.key("timing").begin_object();
+        w.field("on_execs_per_sec", on_rate);
+        w.field("off_execs_per_sec", off_rate);
+        w.field("execs_per_sec_uplift_percent",
+                100.0 * (on_rate / off_rate - 1.0));
+        w.end_object();
         w.end_object();
         if (!exported_velocity.empty()) {
           w.key("velocity").raw(exported_velocity);

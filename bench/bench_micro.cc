@@ -21,6 +21,7 @@
 #include "core/gen/generator.h"
 #include "core/probe/hal_probe.h"
 #include "device/catalog.h"
+#include "device/snapshot.h"
 #include "dsl/fmt.h"
 #include "dsl/parse.h"
 #include "hal/parcel.h"
@@ -192,6 +193,68 @@ void BM_DeviceReboot(benchmark::State& state) {
 }
 BENCHMARK(BM_DeviceReboot);
 
+// --- snapshot layer (DESIGN.md §13) -----------------------------------------
+// Capture/restore cost vs the full reestablish path they replace: a reboot
+// plus re-executing the programs that established the state. The
+// BENCH_micro.json "snapshot" section exports the same three costs.
+
+// Warms `dev` through `broker` with `total` generated programs and returns
+// the last `keep` of them (the establishment prefix a fork would skip).
+std::vector<dsl::Program> warm_device(core::Broker& broker, uint64_t seed,
+                                      int total, int keep) {
+  auto& f = fixture();
+  util::Rng rng(seed);
+  core::Generator gen(f.table, f.rel, f.corpus, rng, {});
+  std::vector<dsl::Program> kept;
+  for (int i = 0; i < total; ++i) {
+    dsl::Program p = gen.generate_fresh();
+    broker.execute(p);
+    if (i >= total - keep) kept.push_back(std::move(p));
+  }
+  return kept;
+}
+
+void BM_SnapshotCapture(benchmark::State& state) {
+  auto& f = fixture();
+  core::Broker broker(*f.dev, f.spec);
+  warm_device(broker, 31, 50, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        device::capture_snapshot(*f.dev, broker.native_task()));
+  }
+}
+BENCHMARK(BM_SnapshotCapture);
+
+void BM_SnapshotRestore(benchmark::State& state) {
+  auto& f = fixture();
+  core::Broker broker(*f.dev, f.spec);
+  warm_device(broker, 32, 50, 0);
+  const device::StateSnapshot snap =
+      device::capture_snapshot(*f.dev, broker.native_task());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        device::restore_snapshot(*f.dev, broker.native_task(), snap));
+  }
+}
+BENCHMARK(BM_SnapshotRestore);
+
+// What re-materializing the captured state costs without a snapshot:
+// reboot, then re-execute the full establishment history since boot (the
+// 50 programs that built the state). Snapshot restore is O(state bytes);
+// replay is O(history length) — the asymmetry snapshot forking exploits.
+// (The engine's reestablish() replays only a 4-seed rewarm suffix, which
+// is cheaper but *loses* the deep state instead of recovering it.)
+void BM_FullReestablish(benchmark::State& state) {
+  auto& f = fixture();
+  core::Broker broker(*f.dev, f.spec);
+  const std::vector<dsl::Program> est = warm_device(broker, 33, 50, 50);
+  for (auto _ : state) {
+    f.dev->reboot();
+    for (const dsl::Program& p : est) broker.execute(p);
+  }
+}
+BENCHMARK(BM_FullReestablish);
+
 // Ablation microbench for the decay design choice (DESIGN.md SS4): cost of
 // a full decay sweep at a realistic learned-edge count.
 void BM_RelationDecay(benchmark::State& state) {
@@ -359,6 +422,63 @@ double steps_per_sec(uint64_t seed, obs::Observability* obs,
   return static_cast<double>(measure) / t.seconds();
 }
 
+// Snapshot micro-costs for BENCH_micro.json: the same capture / restore /
+// reboot-and-replay loop the google-benchmark triple times, measured once
+// so the checker can hold the restore-vs-reestablish ratio.
+struct SnapProbe {
+  double capture_us = 0;
+  double restore_us = 0;
+  double reestablish_us = 0;
+  uint64_t snapshot_bytes = 0;
+  uint64_t snapshot_sections = 0;
+};
+
+SnapProbe run_snapshot_probe(uint64_t seed) {
+  auto& f = fixture();
+  core::Broker broker(*f.dev, f.spec);
+  util::Rng rng(seed + 101);
+  core::Generator gen(f.table, f.rel, f.corpus, rng, {});
+  // The full establishment history since boot: what replay-based recovery
+  // re-executes to land on the same state the snapshot stores.
+  std::vector<dsl::Program> est;
+  for (int i = 0; i < 50; ++i) {
+    dsl::Program p = gen.generate_fresh();
+    broker.execute(p);
+    est.push_back(std::move(p));
+  }
+  constexpr int kIters = 400;
+  SnapProbe out;
+  {
+    const WallTimer t;
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(
+          device::capture_snapshot(*f.dev, broker.native_task()));
+    }
+    out.capture_us = t.seconds() * 1e6 / kIters;
+  }
+  const device::StateSnapshot snap =
+      device::capture_snapshot(*f.dev, broker.native_task());
+  out.snapshot_bytes = snap.total_bytes();
+  out.snapshot_sections = snap.sections.size();
+  {
+    const WallTimer t;
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(
+          device::restore_snapshot(*f.dev, broker.native_task(), snap));
+    }
+    out.restore_us = t.seconds() * 1e6 / kIters;
+  }
+  {
+    const WallTimer t;
+    for (int i = 0; i < kIters; ++i) {
+      f.dev->reboot();
+      for (const dsl::Program& p : est) broker.execute(p);
+    }
+    out.reestablish_us = t.seconds() * 1e6 / kIters;
+  }
+  return out;
+}
+
 void run_obs_overhead_probe() {
   const WallTimer wall;
   const uint64_t seed = seed_from_env();
@@ -421,6 +541,17 @@ void run_obs_overhead_probe() {
   std::printf("  spans+flight:    %12.0f execs/sec  (%+.2f%%)\n\n", provenance,
               provenance_pct);
 
+  const SnapProbe sp = run_snapshot_probe(seed);
+  std::printf("=== snapshot micro probe (device A1, warmed broker) ===\n");
+  std::printf("  capture:      %10.2f us  (%llu bytes, %llu sections)\n",
+              sp.capture_us, static_cast<unsigned long long>(sp.snapshot_bytes),
+              static_cast<unsigned long long>(sp.snapshot_sections));
+  std::printf("  restore:      %10.2f us\n", sp.restore_us);
+  std::printf("  reestablish:  %10.2f us  (reboot + replay)\n",
+              sp.reestablish_us);
+  std::printf("  restore speedup over reestablish: %.1fx\n\n",
+              sp.restore_us > 0 ? sp.reestablish_us / sp.restore_us : 0.0);
+
   write_bench_json(
       "micro", seed, 1, exported, &obs, wall.seconds(),
       [&](obs::JsonWriter& w) {
@@ -437,6 +568,20 @@ void run_obs_overhead_probe() {
         w.field("attached_overhead_percent", attached_pct);
         w.field("attached_trace_overhead_percent", traced_pct);
         w.field("provenance_overhead_percent", provenance_pct);
+        w.end_object();
+        w.end_object();
+        w.key("snapshot").begin_object();
+        w.field("device", "A1");
+        w.field("snapshot_bytes", sp.snapshot_bytes);
+        w.field("snapshot_sections", sp.snapshot_sections);
+        // Micro-costs are wall-dependent; the checker only holds the
+        // restore-vs-reestablish ratio, not absolute numbers.
+        w.key("timing").begin_object();
+        w.field("capture_us", sp.capture_us);
+        w.field("restore_us", sp.restore_us);
+        w.field("reestablish_us", sp.reestablish_us);
+        w.field("restore_speedup",
+                sp.restore_us > 0 ? sp.reestablish_us / sp.restore_us : 0.0);
         w.end_object();
         w.end_object();
       });

@@ -6,6 +6,7 @@
 //
 //   ./examples/fleet_campaign [execs-per-device] [seed]
 //                             [--workers <n>] [--fault-rate <p>]
+//                             [--snapshots <0|1>]
 //                             [--checkpoint-dir <dir>]
 //                             [--checkpoint-every <execs>] [--resume <file>]
 //                             [--stats-json <path>] [--trace-out <path>]
@@ -20,6 +21,12 @@
 // --fault-rate injects transport faults (hangs, dropped programs,
 // spontaneous reboots) at probability p per execution attempt (DESIGN.md
 // §9); 0 (the default) is bit-identical to a build without the fault layer.
+//
+// --snapshots toggles the copy-on-write state snapshot layer (DESIGN.md
+// §13; default 1): frontier forks and fault recovery restore a captured
+// device state instead of replaying the establishing corpus. Per-device
+// results are deterministic either way; 0 is the baseline opt-out used for
+// A/B throughput comparisons.
 // --checkpoint-dir + --checkpoint-every periodically serialize the whole
 // campaign to <dir>/checkpoint.json; --resume <file> restores one and
 // continues to the same total budget, bit-identical to the uninterrupted
@@ -70,6 +77,7 @@ int main(int argc, char** argv) {
   std::string resume_path;
   uint64_t checkpoint_every = 4096;
   double fault_rate = 0.0;
+  bool use_snapshots = true;
   uint64_t stall_window = 5000;
   size_t workers = 1;
   int serve_port = -1;
@@ -94,6 +102,9 @@ int main(int argc, char** argv) {
       crash_dir = flag_value(i, "--crash-dir");
     } else if (std::strcmp(argv[i], "--fault-rate") == 0) {
       fault_rate = std::strtod(flag_value(i, "--fault-rate"), nullptr);
+    } else if (std::strcmp(argv[i], "--snapshots") == 0) {
+      use_snapshots =
+          std::strtoull(flag_value(i, "--snapshots"), nullptr, 10) != 0;
     } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0) {
       checkpoint_dir = flag_value(i, "--checkpoint-dir");
     } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
@@ -121,7 +132,7 @@ int main(int argc, char** argv) {
       ++pos;
     } else {
       std::fprintf(stderr, "usage: %s [execs-per-device] [seed] "
-                   "[--workers <n>] [--fault-rate <p>] "
+                   "[--workers <n>] [--fault-rate <p>] [--snapshots <0|1>] "
                    "[--checkpoint-dir <dir>] [--checkpoint-every <execs>] "
                    "[--resume <file>] [--stats-json <path>] "
                    "[--trace-out <path>] [--crash-dir <dir>] "
@@ -137,6 +148,7 @@ int main(int argc, char** argv) {
   cfg.workers = workers;
   cfg.crash_dir = crash_dir;
   cfg.engine.fault.rate = fault_rate;
+  cfg.engine.use_snapshots = use_snapshots;
   cfg.checkpoint_dir = checkpoint_dir;
   cfg.checkpoint_every = checkpoint_dir.empty() ? 0 : checkpoint_every;
   cfg.serve_port = serve_port;

@@ -11,10 +11,13 @@ document into two halves:
              CONTENT drift (and fails the diff unless --allow-content).
 
   timing   - wall-dependent leaves. These are compared direction-aware:
-             *_per_sec and *speedup* leaves are higher-is-better, while
-             duration leaves (wall_seconds, secs, *_ns, *_ms, *_us, ts,
-             dur) are lower-is-better. A leaf that moves in the bad direction
-             by more than --threshold percent is a REGRESSION.
+             *_per_sec, *speedup* and *uplift* leaves are higher-is-better
+             (the snapshot layer's restore_speedup and
+             execs_per_sec_uplift_percent land here), while duration leaves
+             (wall_seconds, secs, *_ns, *_ms, *_us, ts, dur — including the
+             snapshot capture_us / restore_us / reestablish_us probe) are
+             lower-is-better. A leaf that moves in the bad direction by
+             more than --threshold percent is a REGRESSION.
 
 Corpus-size leaves ("corpus" series arrays and the before/after counts of
 "distill" stats objects) get direction-aware warn-only tracking on top:
@@ -41,7 +44,7 @@ TIMING_SUFFIXES = ("_ns", "_per_sec")
 
 # Leaf-name patterns deciding which direction is an improvement.
 HIGHER_BETTER_SUFFIXES = ("_per_sec",)
-HIGHER_BETTER_SUBSTRINGS = ("speedup",)
+HIGHER_BETTER_SUBSTRINGS = ("speedup", "uplift")
 LOWER_BETTER_KEYS = {"wall_seconds", "secs", "ts", "dur"}
 LOWER_BETTER_SUFFIXES = ("_ns", "_ms", "_us")
 
@@ -323,10 +326,28 @@ def self_test():
          direction("execs_per_sec") == 1)
     case("direction: speedup is higher-better",
          direction("speedup_vs_sequential") == 1)
+    case("direction: snapshot restore_speedup is higher-better",
+         direction("restore_speedup") == 1)
+    case("direction: snapshot uplift is higher-better",
+         direction("execs_per_sec_uplift_percent") == 1)
+    case("direction: snapshot latencies are lower-better",
+         direction("restore_us") == -1 and direction("reestablish_us") == -1)
     case("direction: *_ms is lower-better", direction("busy_imbalance_ms")
          == -1)
     case("direction: plain counters are informational",
          direction("executions") == 0)
+
+    r = Report()
+    a, b = _doc(), _doc()
+    a["snapshot"] = {"captures": 5, "off_deterministic": True,
+                     "timing": {"on_execs_per_sec": 70000.0,
+                                "execs_per_sec_uplift_percent": 4.0}}
+    b["snapshot"] = {"captures": 5, "off_deterministic": True,
+                     "timing": {"on_execs_per_sec": 70000.0,
+                                "execs_per_sec_uplift_percent": 2.0}}
+    diff_docs(a, b, 5.0, r)
+    case("snapshot uplift drop beyond threshold regresses",
+         any("uplift" in p for p, *_ in r.regressions) and not r.content)
 
     print(f"self-test: {'PASS' if failures == 0 else 'FAIL'}")
     return failures == 0

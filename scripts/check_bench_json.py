@@ -40,9 +40,19 @@ whenever present.
 
 Bench and campaign documents may additionally carry "analytics" sections
 (per-operator yield table, seed lineage summary, coverage-frontier
-classification; obs::AnalyticsSnapshot, schema version 1) and a "build"
-block (toolchain self-identification plus schema versions). Both are
-validated whenever present; bench documents require "build".
+classification; obs::AnalyticsSnapshot, schema version 2 — v2 added the
+snapshot_fork operator row) and a "build" block (toolchain
+self-identification plus schema versions). Both are validated whenever
+present; bench documents require "build".
+
+Bench documents may also carry a top-level "snapshot" section (DESIGN.md
+§13) in one of two shapes: the micro shape written by bench_micro
+(snapshot_bytes / snapshot_sections plus capture/restore/reestablish
+latencies under "timing") and the campaign shape written by
+bench_fleet_parallel / bench_fault_recovery (the ten SnapshotStats
+counters, the snapshots-off determinism flag, and on-vs-off wall rates
+under "timing"). Counter identities — restores == forks +
+fault_recoveries, shared <= total — are enforced as content.
 
 Usage:
   check_bench_json.py FILE...            validate each document
@@ -78,10 +88,11 @@ STATS_ARRAYS = SERIES_ARRAYS[:2] + ("total_coverage", "corpus", "bugs",
 # operator table must carry exactly these rows, in this order.
 ORIGINS = ("generate", "mutate_arg", "mutate_insert", "mutate_remove",
            "mutate_duplicate", "mutate_splice", "mutate_rewire",
-           "plan_injected", "minimized", "replay")
+           "plan_injected", "minimized", "replay", "snapshot_fork")
 FRONTIER_CLASSES = ("unreachable-from-frontier", "planned-but-failed",
                     "never-attempted")
-ANALYTICS_SCHEMA_VERSION = 1
+# v2 added the snapshot_fork operator row (DESIGN.md §13).
+ANALYTICS_SCHEMA_VERSION = 2
 SERIES_POINT_FIELDS = ("executions", "kernel_coverage", "total_coverage",
                        "corpus_size", "unique_bugs", "states_visited")
 
@@ -800,6 +811,113 @@ def check_fault_recovery(fr, where="fault_recovery"):
             f"(fault_rate_ppm=0)")
 
 
+SNAPSHOT_COUNTERS = ("captures", "restores", "forks", "fault_recoveries",
+                     "prefix_execs_saved", "prefix_calls_saved",
+                     "sections_total", "sections_shared", "bytes_total",
+                     "bytes_shared")
+SNAPSHOT_MICRO_TIMING = ("capture_us", "restore_us", "reestablish_us",
+                         "restore_speedup")
+
+
+def check_snapshot_micro(sn, where):
+    """bench_micro shape: one captured snapshot's size plus the
+    capture / restore / full-reestablish latency probe."""
+    require(isinstance(sn.get("device"), str) and sn["device"],
+            f"{where}.device must be a non-empty string")
+    for key in ("snapshot_bytes", "snapshot_sections"):
+        require(isinstance(sn.get(key), int) and sn[key] > 0,
+                f"{where}.{key} must be a positive int")
+    for key in sn:
+        if key in ("device", "snapshot_bytes", "snapshot_sections"):
+            continue
+        require(is_timing_key(key),
+                f"{where}.{key}: snapshot latencies must live under "
+                f"'timing'")
+    timing = sn.get("timing")
+    require(isinstance(timing, dict),
+            f"{where}.timing must carry the latency probe")
+    for key in SNAPSHOT_MICRO_TIMING:
+        require(isinstance(timing.get(key), (int, float)) and timing[key] > 0,
+                f"{where}.timing.{key} must be a positive number")
+    want = timing["reestablish_us"] / timing["restore_us"]
+    require(abs(timing["restore_speedup"] - want) <= 0.01 * want,
+            f"{where}.timing.restore_speedup must equal reestablish_us / "
+            f"restore_us ({want:.2f})")
+
+
+def check_snapshot_campaign(sn, where):
+    """bench_fleet_parallel / bench_fault_recovery shape: summed
+    SnapshotStats counters plus the snapshots-on-vs-off comparison.
+
+    The counters and the useful-throughput fields derive from seeded
+    execution counts, so they are content; only the raw wall rates live
+    under "timing". Counter identities come from the engine: every restore
+    is either a frontier fork or a fault recovery, and the delta-sharing
+    stats can never exceed their totals.
+    """
+    for key in SNAPSHOT_COUNTERS:
+        require(isinstance(sn.get(key), int) and sn[key] >= 0,
+                f"{where}.{key} must be a non-negative int")
+    require(sn["restores"] == sn["forks"] + sn["fault_recoveries"],
+            f"{where}: restores ({sn['restores']}) must equal forks + "
+            f"fault_recoveries ({sn['forks'] + sn['fault_recoveries']})")
+    require(sn["sections_shared"] <= sn["sections_total"],
+            f"{where}.sections_shared cannot exceed sections_total")
+    require(sn["bytes_shared"] <= sn["bytes_total"],
+            f"{where}.bytes_shared cannot exceed bytes_total")
+    require(isinstance(sn.get("off_deterministic"), bool),
+            f"{where}.off_deterministic must be a bool")
+    require(sn["off_deterministic"] is True,
+            f"{where}.off_deterministic must be true: the snapshots-off "
+            f"trajectory must also be bit-identical across reps")
+    content_keys = set(SNAPSHOT_COUNTERS) | {"off_deterministic"}
+    if "replay_execs_on" in sn:  # bench_fault_recovery extras
+        for key in ("fault_rate_ppm", "replay_execs_on", "replay_execs_off"):
+            require(isinstance(sn.get(key), int) and sn[key] >= 0,
+                    f"{where}.{key} must be a non-negative int")
+        for key in ("useful_fraction_on", "useful_fraction_off"):
+            require(isinstance(sn.get(key), (int, float))
+                    and 0 <= sn[key] <= 1,
+                    f"{where}.{key} must be a number in [0, 1]")
+        require(isinstance(sn.get("useful_uplift_percent"), (int, float)),
+                f"{where}.useful_uplift_percent must be a number")
+        if sn["useful_fraction_off"] > 0:
+            want = 100.0 * (sn["useful_fraction_on"]
+                            / sn["useful_fraction_off"] - 1.0)
+            require(abs(sn["useful_uplift_percent"] - want) <= 1e-4
+                    + 0.01 * abs(want),
+                    f"{where}.useful_uplift_percent must equal "
+                    f"100 * (useful_fraction_on / useful_fraction_off - 1) "
+                    f"({want:.4f})")
+        content_keys |= {"fault_rate_ppm", "replay_execs_on",
+                         "replay_execs_off", "useful_fraction_on",
+                         "useful_fraction_off", "useful_uplift_percent"}
+    for key in sn:
+        if key in content_keys:
+            continue
+        require(is_timing_key(key),
+                f"{where}.{key}: snapshot wall rates must live under "
+                f"'timing'")
+    timing = sn.get("timing")
+    require(isinstance(timing, dict),
+            f"{where}.timing must carry the on-vs-off wall rates")
+    for key in ("on_execs_per_sec", "off_execs_per_sec"):
+        require(isinstance(timing.get(key), (int, float)) and timing[key] > 0,
+                f"{where}.timing.{key} must be a positive number")
+    require(isinstance(timing.get("execs_per_sec_uplift_percent"),
+                       (int, float)),
+            f"{where}.timing.execs_per_sec_uplift_percent must be a number")
+
+
+def check_snapshot(sn, where="snapshot"):
+    """Snapshot-layer section (DESIGN.md §13), micro or campaign shape."""
+    require(isinstance(sn, dict), f"{where} must be an object")
+    if "snapshot_bytes" in sn:
+        check_snapshot_micro(sn, where)
+    else:
+        check_snapshot_campaign(sn, where)
+
+
 def check_fleet(fleet, where="fleet"):
     """Campaign-level fleet section (--workers in fleet_campaign)."""
     require(isinstance(fleet, dict), f"{where} must be an object")
@@ -832,6 +950,8 @@ def check_bench_doc(doc):
         check_fleet_parallel(doc["fleet_parallel"])
     if "fault_recovery" in doc:
         check_fault_recovery(doc["fault_recovery"])
+    if "snapshot" in doc:
+        check_snapshot(doc["snapshot"])
     if "velocity" in doc:
         check_velocity(doc["velocity"])
     if "bugs" in doc:
@@ -1173,7 +1293,7 @@ def _build_fixture():
         "compiler": "gcc", "compiler_version": "13.2.0",
         "build_type": "Release", "sanitizer": "", "flags": "-O2",
         "cxx_standard": 202002, "assertions": False,
-        "schema": {"checkpoint": 2, "analytics": 1},
+        "schema": {"checkpoint": 3, "analytics": 2},
     }
 
 
@@ -1194,7 +1314,7 @@ def _analytics_fixture():
     ops[7] = _operator_row("plan_injected", attempts=4, total_calls=12,
                            accepts=4, new_states=4)
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "operators": ops,
         "lineage": {
             "seeds": 5, "roots": 2, "max_depth": 2,
@@ -1350,6 +1470,34 @@ def _fault_recovery_fixture():
             config(10000, 11, 2573, 644, 1312, 1261, 1312, 1261, 347581800),
         ],
     }
+
+
+def _snapshot_micro_fixture():
+    return {
+        "device": "A1", "snapshot_bytes": 2502, "snapshot_sections": 24,
+        "timing": {"capture_us": 11.2, "restore_us": 4.3,
+                   "reestablish_us": 70.0, "restore_speedup": 70.0 / 4.3},
+    }
+
+
+def _snapshot_campaign_fixture(fault=False):
+    sn = {
+        "captures": 25, "restores": 150, "forks": 49,
+        "fault_recoveries": 101, "prefix_execs_saved": 150,
+        "prefix_calls_saved": 600, "sections_total": 600,
+        "sections_shared": 420, "bytes_total": 62550,
+        "bytes_shared": 40000, "off_deterministic": True,
+        "timing": {"on_execs_per_sec": 66000.0, "off_execs_per_sec": 75000.0,
+                   "execs_per_sec_uplift_percent": -12.0},
+    }
+    if fault:
+        sn.update({
+            "fault_rate_ppm": 10000, "replay_execs_on": 40,
+            "replay_execs_off": 4870, "useful_fraction_on": 0.9998,
+            "useful_fraction_off": 0.9768,
+            "useful_uplift_percent": 100.0 * (0.9998 / 0.9768 - 1.0),
+        })
+    return sn
 
 
 def _velocity_fixture():
@@ -1579,6 +1727,63 @@ def self_test():
     doc["fault_recovery"] = _fault_recovery_fixture()
     doc["fault_recovery"]["configs"][1]["throughput"] = 70000.0
     expect_fail("fault_recovery throughput outside 'timing'", doc)
+
+    doc = _bench_fixture()
+    doc["snapshot"] = _snapshot_micro_fixture()
+    expect_ok("bench doc with micro snapshot section", doc)
+
+    doc = _bench_fixture()
+    doc["snapshot"] = _snapshot_micro_fixture()
+    doc["snapshot"]["timing"]["restore_speedup"] = 2.0
+    expect_fail("snapshot restore_speedup inconsistent with latencies", doc)
+
+    doc = _bench_fixture()
+    doc["snapshot"] = _snapshot_micro_fixture()
+    del doc["snapshot"]["timing"]["restore_us"]
+    expect_fail("micro snapshot missing restore latency", doc)
+
+    doc = _bench_fixture()
+    doc["snapshot"] = _snapshot_micro_fixture()
+    doc["snapshot"]["capture_us"] = 11.2
+    expect_fail("snapshot latency outside 'timing'", doc)
+
+    doc = _bench_fixture()
+    doc["snapshot"] = _snapshot_campaign_fixture()
+    expect_ok("bench doc with campaign snapshot section", doc)
+
+    doc = _bench_fixture()
+    doc["snapshot"] = _snapshot_campaign_fixture(fault=True)
+    expect_ok("bench doc with fault-recovery snapshot section", doc)
+
+    doc = _bench_fixture()
+    doc["snapshot"] = _snapshot_campaign_fixture()
+    doc["snapshot"]["restores"] = 151
+    expect_fail("snapshot restores not forks + fault_recoveries", doc)
+
+    doc = _bench_fixture()
+    doc["snapshot"] = _snapshot_campaign_fixture()
+    doc["snapshot"]["bytes_shared"] = doc["snapshot"]["bytes_total"] + 1
+    expect_fail("snapshot bytes_shared exceeding bytes_total", doc)
+
+    doc = _bench_fixture()
+    doc["snapshot"] = _snapshot_campaign_fixture()
+    doc["snapshot"]["off_deterministic"] = False
+    expect_fail("non-deterministic snapshots-off trajectory", doc)
+
+    doc = _bench_fixture()
+    doc["snapshot"] = _snapshot_campaign_fixture()
+    doc["snapshot"]["on_rate"] = 66000.0
+    expect_fail("snapshot wall rate outside 'timing'", doc)
+
+    doc = _bench_fixture()
+    doc["snapshot"] = _snapshot_campaign_fixture(fault=True)
+    doc["snapshot"]["useful_fraction_on"] = 1.5
+    expect_fail("snapshot useful fraction outside [0, 1]", doc)
+
+    doc = _bench_fixture()
+    doc["snapshot"] = _snapshot_campaign_fixture(fault=True)
+    doc["snapshot"]["useful_uplift_percent"] = 99.0
+    expect_fail("snapshot useful uplift inconsistent with fractions", doc)
 
     doc = _campaign_fixture()
     doc["fleet"] = {"workers": 4, "devices": 7,

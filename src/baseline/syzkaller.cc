@@ -22,6 +22,9 @@ core::EngineConfig SyzkallerFuzzer::config(uint64_t seed) {
   // off so the baseline keeps its historical uniform arg choice.
   cfg.gen.dataflow_bias = false;
   cfg.distill_at_checkpoint = false;
+  // No snapshot/fork execution model: syzkaller re-materializes state by
+  // re-running programs (the cost DESIGN.md §13 removes for DroidFuzz).
+  cfg.use_snapshots = false;
   return cfg;
 }
 

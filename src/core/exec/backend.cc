@@ -1,0 +1,35 @@
+#include "core/exec/backend.h"
+
+namespace df::core {
+
+ExecResult InProcessBackend::run(const dsl::Program& prog,
+                                 const ExecOptions& opt) {
+  return broker_.execute_attempt(prog, opt);
+}
+
+device::StateSnapshot InProcessBackend::capture(
+    const device::StateSnapshot* parent) {
+  return device::capture_snapshot(broker_.device(), broker_.native_task(),
+                                  parent);
+}
+
+bool InProcessBackend::restore(const device::StateSnapshot& snap,
+                               std::string* error) {
+  return device::restore_snapshot(broker_.device(), broker_.native_task(),
+                                  snap, error);
+}
+
+ExecResult SnapshotForkBackend::run(const dsl::Program& prog,
+                                    const ExecOptions& opt) {
+  ++forks_;
+  if (std::string err; !inner_.restore(base_, &err)) {
+    // A shape mismatch means the base snapshot is unusable; surface the
+    // run as a lost execution rather than running from an undefined state.
+    ExecResult out;
+    out.transport_error = true;
+    return out;
+  }
+  return inner_.run(prog, opt);
+}
+
+}  // namespace df::core

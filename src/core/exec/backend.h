@@ -1,0 +1,75 @@
+// Execution backend seam (DESIGN.md §13).
+//
+// The Broker routes every *attempt* (the unit below the fault-injection
+// retry loop) through an ExecBackend, so the mechanism that materializes a
+// program's effects on the device is swappable: the default InProcessBackend
+// dispatches straight into the simulated kernel, while SnapshotForkBackend
+// rewinds the device to a captured StateSnapshot before every run — the
+// "fork from a deep state" execution model. The seam also owns snapshot
+// capture/restore so callers never reach around the Broker to the device.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/exec/broker.h"
+#include "device/snapshot.h"
+
+namespace df::core {
+
+class ExecBackend {
+ public:
+  virtual ~ExecBackend() = default;
+
+  virtual std::string_view name() const = 0;
+  // One reliable-transport execution of `prog` on the device.
+  virtual ExecResult run(const dsl::Program& prog, const ExecOptions& opt) = 0;
+  // Captures the device's live state (COW against `parent` when non-null).
+  virtual device::StateSnapshot capture(
+      const device::StateSnapshot* parent) = 0;
+  // Rewinds the device to `snap`. False (+ `error`) on shape mismatch.
+  virtual bool restore(const device::StateSnapshot& snap,
+                       std::string* error) = 0;
+};
+
+// Dispatches directly into the simulated kernel + HAL (the classic path).
+class InProcessBackend final : public ExecBackend {
+ public:
+  explicit InProcessBackend(Broker& broker) : broker_(broker) {}
+
+  std::string_view name() const override { return "in-process"; }
+  ExecResult run(const dsl::Program& prog, const ExecOptions& opt) override;
+  device::StateSnapshot capture(const device::StateSnapshot* parent) override;
+  bool restore(const device::StateSnapshot& snap, std::string* error) override;
+
+ private:
+  Broker& broker_;
+};
+
+// Rewinds the device to `base` before every run, so each program executes
+// from the same deep state without re-running the establishing prefix.
+class SnapshotForkBackend final : public ExecBackend {
+ public:
+  SnapshotForkBackend(ExecBackend& inner, device::StateSnapshot base)
+      : inner_(inner), base_(std::move(base)) {}
+
+  std::string_view name() const override { return "snapshot-forked"; }
+  ExecResult run(const dsl::Program& prog, const ExecOptions& opt) override;
+  device::StateSnapshot capture(const device::StateSnapshot* parent) override {
+    return inner_.capture(parent);
+  }
+  bool restore(const device::StateSnapshot& snap,
+               std::string* error) override {
+    return inner_.restore(snap, error);
+  }
+
+  const device::StateSnapshot& base() const { return base_; }
+  uint64_t forks() const { return forks_; }
+
+ private:
+  ExecBackend& inner_;
+  device::StateSnapshot base_;
+  uint64_t forks_ = 0;
+};
+
+}  // namespace df::core

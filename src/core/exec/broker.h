@@ -6,11 +6,13 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/exec/faults.h"
 #include "device/device.h"
+#include "device/snapshot.h"
 #include "dsl/prog.h"
 #include "kernel/dmesg.h"
 #include "obs/obs.h"
@@ -18,6 +20,8 @@
 #include "trace/syscall_trace.h"
 
 namespace df::core {
+
+class ExecBackend;
 
 struct ExecOptions {
   bool collect_cov = true;
@@ -82,6 +86,21 @@ class Broker {
   uint64_t executions() const { return executions_; }
   kernel::TaskId native_task() const { return native_task_; }
 
+  // --- ExecBackend seam + snapshots (DESIGN.md §13) -------------------------
+  // Every execution attempt (the unit below the fault retry loop) routes
+  // through the backend; the default InProcessBackend dispatches into the
+  // simulated kernel. Swapping in a SnapshotForkBackend makes each attempt
+  // run from a rewound deep state. The backend must keep targeting this
+  // broker's device.
+  ExecBackend& backend() { return *backend_; }
+  void set_backend(std::unique_ptr<ExecBackend> backend);
+  // Snapshot capture/restore of this broker's device, keyed to its native
+  // task (routed through the backend).
+  device::StateSnapshot capture_snapshot(
+      const device::StateSnapshot* parent = nullptr);
+  bool restore_snapshot(const device::StateSnapshot& snap,
+                        std::string* error = nullptr);
+
   // Per-description execution statistics: (times executed, times ret >= 0).
   struct CallStat {
     uint64_t count = 0;
@@ -93,6 +112,7 @@ class Broker {
 
  private:
   friend class CampaignCheckpoint;
+  friend class InProcessBackend;
 
   // One reliable-transport execution (the pre-fault-layer execute()).
   ExecResult execute_attempt(const dsl::Program& prog,
@@ -108,6 +128,7 @@ class Broker {
 
   device::Device& dev_;
   trace::DirectionalTracer tracer_;
+  std::unique_ptr<ExecBackend> backend_;
   FaultInjector* fault_ = nullptr;
   kernel::TaskId native_task_ = 0;
   std::map<const hal::HalService*, size_t> crash_marks_;

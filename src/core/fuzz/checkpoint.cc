@@ -4,9 +4,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "core/fuzz/daemon.h"
+#include "device/snapshot.h"
 #include "dsl/fmt.h"
 #include "dsl/parse.h"
 #include "obs/analytics.h"
@@ -29,6 +31,37 @@ std::string hex64(uint64_t v) {
 }
 
 std::string bits_of(double d) { return hex64(std::bit_cast<uint64_t>(d)); }
+
+// Snapshot byte images travel as lowercase hex strings: JSON has no byte
+// type, and base64 would need a decoder json_parse.h does not have.
+std::string hex_bytes(const std::vector<uint8_t>& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+bool bytes_from_hex(const std::string& hex, std::vector<uint8_t>* out) {
+  if (hex.size() % 2 != 0) return false;
+  const auto nib = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  out->clear();
+  out->reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nib(hex[i]);
+    const int lo = nib(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out->push_back(static_cast<uint8_t>(hi << 4 | lo));
+  }
+  return true;
+}
 
 void write_rng(obs::JsonWriter& w, std::string_view key,
                const util::RngState& st) {
@@ -208,9 +241,56 @@ void CampaignCheckpoint::serialize_device(obs::JsonWriter& w,
     w.field("has_target", q.has_target);
     w.field("target_driver", static_cast<uint64_t>(q.target_driver));
     w.field("target_state", static_cast<uint64_t>(q.target_state));
+    w.field("snapshot", q.snapshot != nullptr ? q.snapshot->seq : 0);
     w.end_object();
   }
   w.end_array();
+
+  // Live snapshot state (DESIGN.md §13): every distinct snapshot referenced
+  // by the COW pool, the fault-recovery anchor, or a queued fork, keyed by
+  // capture sequence id (seq 0 is reserved for "none"). Byte images re-own
+  // their sections on restore — delta sharing is a capture-time
+  // optimization, so flattening it here changes nothing observable.
+  std::map<uint64_t, const device::StateSnapshot*> images;
+  for (const auto& s : eng.snap_pool_) {
+    if (s != nullptr) images[s->seq] = s.get();
+  }
+  if (eng.last_good_ != nullptr) images[eng.last_good_->seq] =
+      eng.last_good_.get();
+  for (const Engine::QueuedProgram& q : eng.plan_queue_) {
+    if (q.snapshot != nullptr) images[q.snapshot->seq] = q.snapshot.get();
+  }
+  w.key("snapshots").begin_object();
+  // Config that shapes the snapshot trajectory: a resume-side engine with a
+  // different toggle or cadence would fork/capture on a different schedule
+  // and silently diverge from the author's continuation, so both are
+  // validated on restore (like the fault configuration).
+  w.field("enabled", static_cast<uint64_t>(eng.cfg_.use_snapshots ? 1 : 0));
+  w.field("every", eng.cfg_.snapshot_every);
+  w.field("seq", eng.snap_seq_);
+  const SnapshotStats& st = eng.snap_stats_;
+  w.key("stats").begin_array();
+  w.value(st.captures);
+  w.value(st.restores);
+  w.value(st.forks);
+  w.value(st.fault_recoveries);
+  w.value(st.prefix_execs_saved);
+  w.value(st.prefix_calls_saved);
+  w.value(st.sections_total);
+  w.value(st.sections_shared);
+  w.value(st.bytes_total);
+  w.value(st.bytes_shared);
+  w.end_array();
+  w.key("images").begin_array();
+  for (const auto& [seq, snap] : images) {
+    w.value(hex_bytes(device::snapshot_to_bytes(*snap)));
+  }
+  w.end_array();
+  w.key("pool").begin_array();
+  for (const auto& s : eng.snap_pool_) w.value(s != nullptr ? s->seq : 0);
+  w.end_array();
+  w.field("last_good", eng.last_good_ != nullptr ? eng.last_good_->seq : 0);
+  w.end_object();
 
   // Per-operator yield table, rows in ProgramOrigin enum order, each row
   // [attempts, total_calls, accepts, new_features, new_states, bugs].
@@ -455,6 +535,94 @@ bool CampaignCheckpoint::restore_device(const obs::JsonValue& d,
   }
   eng.crash_log_.set_total_reports(total_reports);
 
+  // Snapshots first: plan_queue entries reference them by seq.
+  const obs::JsonValue* snv = member(d, "snapshots");
+  if (snv == nullptr) return fail(error, ctx + ": missing 'snapshots'");
+  uint64_t snap_enabled = 0;
+  uint64_t snap_every = 0;
+  if (!get_u64(*snv, "enabled", &snap_enabled, error, ctx.c_str()) ||
+      !get_u64(*snv, "every", &snap_every, error, ctx.c_str())) {
+    return false;
+  }
+  if ((snap_enabled != 0) != eng.cfg_.use_snapshots ||
+      (snap_enabled != 0 && snap_every != eng.cfg_.snapshot_every)) {
+    return fail(error, ctx +
+                           ": snapshot configuration mismatch (checkpoint "
+                           "enabled=" +
+                           std::to_string(snap_enabled) + " every=" +
+                           std::to_string(snap_every) + ", engine enabled=" +
+                           std::to_string(eng.cfg_.use_snapshots ? 1 : 0) +
+                           " every=" +
+                           std::to_string(eng.cfg_.snapshot_every) + ")");
+  }
+  if (!get_u64(*snv, "seq", &eng.snap_seq_, error, ctx.c_str())) {
+    return false;
+  }
+  const obs::JsonValue* stats = member(*snv, "stats");
+  if (stats == nullptr || !stats->is_array() || stats->items.size() != 10) {
+    return fail(error, ctx + ": missing or malformed 'snapshots.stats'");
+  }
+  SnapshotStats& st = eng.snap_stats_;
+  st.captures = stats->items[0].as_u64();
+  st.restores = stats->items[1].as_u64();
+  st.forks = stats->items[2].as_u64();
+  st.fault_recoveries = stats->items[3].as_u64();
+  st.prefix_execs_saved = stats->items[4].as_u64();
+  st.prefix_calls_saved = stats->items[5].as_u64();
+  st.sections_total = stats->items[6].as_u64();
+  st.sections_shared = stats->items[7].as_u64();
+  st.bytes_total = stats->items[8].as_u64();
+  st.bytes_shared = stats->items[9].as_u64();
+  const obs::JsonValue* imgs = member(*snv, "images");
+  if (imgs == nullptr || !imgs->is_array()) {
+    return fail(error, ctx + ": missing 'snapshots.images'");
+  }
+  // Rebuild shared_ptr identity by seq: the pool, the fault-recovery
+  // anchor, and queue entries that referenced the same snapshot on the
+  // save side share one object again after restore.
+  std::map<uint64_t, std::shared_ptr<const device::StateSnapshot>> by_seq;
+  for (const auto& iv : imgs->items) {
+    if (!iv.is_string()) {
+      return fail(error, ctx + ": snapshot image is not a hex string");
+    }
+    std::vector<uint8_t> bytes;
+    if (!bytes_from_hex(iv.scalar, &bytes)) {
+      return fail(error, ctx + ": snapshot image is not valid hex");
+    }
+    device::StateSnapshot snap;
+    std::string snap_error;
+    if (!device::snapshot_from_bytes(bytes, &snap, &snap_error)) {
+      return fail(error, ctx + ": snapshot image (" + snap_error + ")");
+    }
+    const uint64_t seq = snap.seq;
+    by_seq[seq] =
+        std::make_shared<const device::StateSnapshot>(std::move(snap));
+  }
+  std::vector<uint64_t> pool_seqs;
+  if (!get_u64_array(*snv, "pool", &pool_seqs, error, ctx.c_str())) {
+    return false;
+  }
+  for (uint64_t seq : pool_seqs) {
+    const auto it = by_seq.find(seq);
+    if (it == by_seq.end()) {
+      return fail(error, ctx + ": pool references missing snapshot " +
+                             std::to_string(seq));
+    }
+    eng.snap_pool_.push_back(it->second);
+  }
+  uint64_t last_good = 0;
+  if (!get_u64(*snv, "last_good", &last_good, error, ctx.c_str())) {
+    return false;
+  }
+  if (last_good != 0) {
+    const auto it = by_seq.find(last_good);
+    if (it == by_seq.end()) {
+      return fail(error, ctx + ": last_good references missing snapshot " +
+                             std::to_string(last_good));
+    }
+    eng.last_good_ = it->second;
+  }
+
   const obs::JsonValue* pq = member(d, "plan_queue");
   if (pq == nullptr || !pq->is_array()) {
     return fail(error, ctx + ": missing 'plan_queue'");
@@ -464,12 +632,14 @@ bool CampaignCheckpoint::restore_device(const obs::JsonValue& d,
     std::string oname;
     uint64_t td = 0;
     uint64_t ts = 0;
+    uint64_t qsnap = 0;
     const obs::JsonValue* ht = member(pv, "has_target");
     if (!parse_program_field(pv, "prog", eng, &q.prog, error, ctx.c_str()) ||
         !get_str(pv, "origin", &oname, error, ctx.c_str()) ||
         !get_u64(pv, "parent", &q.parent_hash, error, ctx.c_str()) ||
         !get_u64(pv, "target_driver", &td, error, ctx.c_str()) ||
-        !get_u64(pv, "target_state", &ts, error, ctx.c_str())) {
+        !get_u64(pv, "target_state", &ts, error, ctx.c_str()) ||
+        !get_u64(pv, "snapshot", &qsnap, error, ctx.c_str())) {
       return false;
     }
     if (ht == nullptr) {
@@ -483,6 +653,14 @@ bool CampaignCheckpoint::restore_device(const obs::JsonValue& d,
     q.has_target = ht->boolean;
     q.target_driver = static_cast<size_t>(td);
     q.target_state = static_cast<size_t>(ts);
+    if (qsnap != 0) {
+      const auto it = by_seq.find(qsnap);
+      if (it == by_seq.end()) {
+        return fail(error, ctx + ": plan_queue references missing snapshot " +
+                               std::to_string(qsnap));
+      }
+      q.snapshot = it->second;
+    }
     eng.plan_queue_.push_back(std::move(q));
   }
 

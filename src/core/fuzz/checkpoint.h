@@ -5,12 +5,15 @@
 // one versioned JSON document, and restores it into a freshly constructed
 // Daemon for bit-identical continuation.
 //
-// The serialization point is a *barrier reboot*: live kernel/HAL state
-// (open fds, driver protocol positions, heap contents) is deliberately not
-// serialized. Instead the daemon reboots every device immediately before
-// checkpointing, so both the saved and the resumed campaign continue from
-// the same freshly booted substrate plus the restored campaign-cumulative
-// state. The determinism contract is therefore: a run that checkpoints at
+// The serialization point is a *barrier reboot*: the device's current live
+// kernel/HAL state (open fds, driver protocol positions, heap contents) is
+// deliberately not serialized. Instead the daemon reboots every device
+// immediately before checkpointing, so both the saved and the resumed
+// campaign continue from the same freshly booted substrate plus the
+// restored campaign-cumulative state. Captured StateSnapshots (DESIGN.md
+// §13) are campaign assets, not live state: they ride along as flat byte
+// images so fault recovery and snapshot forks continue identically after
+// a resume. The determinism contract is therefore: a run that checkpoints at
 // execution K, is killed, and resumes produces per-device results
 // bit-identical to the same-seed run that checkpoints at K and keeps going
 // (check_bench_json.py --compare on the stats export). With checkpointing
@@ -38,7 +41,10 @@ class CampaignCheckpoint {
   // Bump when the schema changes; restore() rejects other versions.
   // v2: seed lineage (origin/parent), attributed plan-queue entries,
   // per-operator yield table, plan-attempt counters, bug lineage chains.
-  static constexpr uint64_t kVersion = 2;
+  // v3: live snapshot state (DESIGN.md §13) — snapshot byte images, the
+  // COW pool, the fault-recovery anchor, snapshot-forked queue entries,
+  // and the SnapshotStats counters; plus the snapshot_fork operator row.
+  static constexpr uint64_t kVersion = 3;
 
   // Serializes `daemon` right now. The caller must have barrier-rebooted
   // every device first (Daemon::checkpoint_json does both).

@@ -365,10 +365,18 @@ StepStats Engine::step() {
       plan_queue_.empty()) {
     refill_plan_queue();
   }
+  // Snapshot forks (DESIGN.md §13): periodically run one generated program
+  // from a restored deep-state snapshot instead of the rolling state.
+  if (cfg_.use_snapshots && cfg_.snapshot_every != 0 && exec_count_ != 0 &&
+      exec_count_ % cfg_.snapshot_every == 0 && !snap_pool_.empty() &&
+      plan_queue_.empty()) {
+    enqueue_snapshot_fork();
+  }
   dsl::Program prog;
   bool step_has_target = false;
   size_t step_target_driver = 0;
   size_t step_target_state = 0;
+  std::shared_ptr<const device::StateSnapshot> step_snapshot;
   {
     const obs::ScopedTimer t(h_generate_);
     const obs::ScopedSpan s(spans_, "phase:generate", dev_.spec().id,
@@ -382,6 +390,7 @@ StepStats Engine::step() {
       step_has_target = q.has_target;
       step_target_driver = q.target_driver;
       step_target_state = q.target_state;
+      step_snapshot = std::move(q.snapshot);
     } else {
       Generator::Candidate cand = gen_->next_candidate();
       prog = std::move(cand.prog);
@@ -391,11 +400,22 @@ StepStats Engine::step() {
   }
   if (prog.empty()) return stats;
   ++exec_count_;
+  if (step_snapshot != nullptr) {
+    // Rewind to the fork's deep state; the restore replaces the prefix
+    // executions that established it. A shape mismatch (cannot happen for
+    // same-campaign snapshots) just runs the program from the rolling state.
+    if (broker_->restore_snapshot(*step_snapshot)) {
+      ++snap_stats_.restores;
+      ++snap_stats_.forks;
+      ++snap_stats_.prefix_execs_saved;
+      snap_stats_.prefix_calls_saved += step_snapshot->estab_calls;
+    }
+  }
   std::vector<uint8_t> states_before;
   if (flight_ != nullptr) states_before = driver_state_snapshot();
   const size_t bugs_before = crash_log_.unique_bugs();
   const uint64_t states_visited_before =
-      cfg_.analytics ? count_states_visited() : 0;
+      (cfg_.analytics || cfg_.use_snapshots) ? count_states_visited() : 0;
   const ExecResult res = broker_->execute(prog, exec_options());
   stats.lost_exec = res.transport_error;
   if (!res.transport_error) {
@@ -439,12 +459,19 @@ StepStats Engine::step() {
           .with("lost", static_cast<uint64_t>(res.transport_error ? 1 : 0));
       obs_->trace.emit(std::move(ev));
     }
-    // A fault-induced reboot wiped kernel + HAL state; re-establish the
-    // device before the next generated input runs against it.
+    // A fault-induced reboot wiped kernel + HAL state; recover the device
+    // before the next generated input runs against it (snapshot restore
+    // when the layer is on, full reestablish otherwise).
     if (res.rebooted && (res.fault == device::FaultKind::kHang ||
                          res.fault == device::FaultKind::kReboot)) {
-      reestablish(res);
+      recover_from_fault(res);
     }
+  }
+  // Frontier capture (DESIGN.md §13): a clean execution that pushed the
+  // driver-state frontier left the device in a state worth forking from.
+  if (cfg_.use_snapshots && !res.transport_error && !res.rebooted &&
+      !res.any_bug() && count_states_visited() > states_visited_before) {
+    capture_frontier_snapshot(prog);
   }
 
   if (flight_ != nullptr) {
@@ -678,6 +705,66 @@ void Engine::reestablish(const ExecResult& res) {
               static_cast<uint64_t>(plan_queue_.size() - queued_before));
     obs_->trace.emit(std::move(ev));
   }
+}
+
+void Engine::recover_from_fault(const ExecResult& res) {
+  // Restore-from-last-good-snapshot (DESIGN.md §13): one restore call puts
+  // the device back into the deepest known-good state, instead of a clean
+  // boot followed by reestablish()'s plan/seed replay executions.
+  if (cfg_.use_snapshots && last_good_ != nullptr &&
+      broker_->restore_snapshot(*last_good_)) {
+    ++snap_stats_.restores;
+    ++snap_stats_.fault_recoveries;
+    ++snap_stats_.prefix_execs_saved;
+    snap_stats_.prefix_calls_saved += last_good_->estab_calls;
+    if (obs_ != nullptr) {
+      c_f_reboots_->inc();
+      obs::TraceEvent ev;
+      ev.kind = obs::EventKind::kRecovery;
+      ev.device = dev_.spec().id;
+      ev.exec_index = exec_count_;
+      ev.with("cause", std::string(device::fault_kind_name(res.fault)))
+          .with("mode", std::string("snapshot"))
+          .with("snapshot_seq", last_good_->seq);
+      obs_->trace.emit(std::move(ev));
+    }
+    return;
+  }
+  reestablish(res);
+}
+
+void Engine::capture_frontier_snapshot(const dsl::Program& prog) {
+  const device::StateSnapshot* parent =
+      snap_pool_.empty() ? nullptr : snap_pool_.back().get();
+  auto snap =
+      std::make_shared<device::StateSnapshot>(broker_->capture_snapshot(parent));
+  snap->seq = ++snap_seq_;
+  snap->estab_calls = static_cast<uint64_t>(prog.calls.size());
+  ++snap_stats_.captures;
+  snap_stats_.sections_total += snap->sections.size();
+  snap_stats_.sections_shared += snap->sections_shared;
+  snap_stats_.bytes_total += snap->total_bytes();
+  snap_stats_.bytes_shared += snap->bytes_shared;
+  snap_pool_.push_back(std::move(snap));
+  if (snap_pool_.size() > cfg_.snapshot_pool) {
+    snap_pool_.erase(snap_pool_.begin());
+  }
+  last_good_ = snap_pool_.back();
+}
+
+void Engine::enqueue_snapshot_fork() {
+  // Deterministic round-robin over the pool keyed by the boundary index, so
+  // the same campaign point always forks from the same snapshot.
+  const size_t idx = static_cast<size_t>(
+      (exec_count_ / cfg_.snapshot_every) % snap_pool_.size());
+  Generator::Candidate cand = gen_->next_candidate();
+  if (cand.prog.empty()) return;
+  QueuedProgram q;
+  q.prog = std::move(cand.prog);
+  q.origin = obs::ProgramOrigin::kSnapshotFork;
+  q.parent_hash = cand.parent_hash;
+  q.snapshot = snap_pool_[idx];
+  plan_queue_.push_back(std::move(q));
 }
 
 void Engine::refill_plan_queue() {

@@ -70,6 +70,41 @@ struct EngineConfig {
   // from `seed` unless fault.seed overrides it.
   device::FaultPlanConfig fault;
   TransportPolicy transport;
+  // Copy-on-write snapshot layer (DESIGN.md §13). When on, the engine
+  // captures a snapshot whenever an execution pushes the driver-state
+  // frontier (a state tally goes from zero to nonzero), keeps the most
+  // recent `snapshot_pool` of them, and every `snapshot_every` executions
+  // injects one generated program that runs *from a restored snapshot*
+  // (origin snapshot_fork) instead of the device's rolling state. Fault
+  // recovery after a hang/reboot restores the last good snapshot instead
+  // of the full reestablish() replay. Per-device results stay bit-identical
+  // across worker counts and checkpoint-resume for a fixed setting;
+  // toggling snapshots (like lint/plans) selects a different — equally
+  // deterministic — trajectory. Baselines (syzkaller/difuze) opt out.
+  // snapshot_every trades exploration styles: small values fork (and thus
+  // rewind the rolling device state) often, large values mostly let the
+  // campaign roll and only dip back into deep states occasionally. 384
+  // keeps shallow-bug discovery times close to the no-fork trajectory
+  // while still forking a few hundred times per full campaign.
+  bool use_snapshots = true;
+  uint64_t snapshot_every = 384;
+  size_t snapshot_pool = 4;
+};
+
+// Counters for the snapshot layer (exported under "snapshot" in the bench
+// JSON; all zero when use_snapshots is off).
+struct SnapshotStats {
+  uint64_t captures = 0;
+  uint64_t restores = 0;          // forks + fault recoveries
+  uint64_t forks = 0;             // snapshot-forked programs executed
+  uint64_t fault_recoveries = 0;  // restore-instead-of-reestablish events
+  uint64_t prefix_execs_saved = 0;  // establishment executions not re-run
+  uint64_t prefix_calls_saved = 0;  // calls in those establishment prefixes
+  // Dirty-struct delta totals across all captures.
+  uint64_t sections_total = 0;
+  uint64_t sections_shared = 0;
+  uint64_t bytes_total = 0;
+  uint64_t bytes_shared = 0;
 };
 
 struct StepStats {
@@ -177,6 +212,14 @@ class Engine {
   // The engine's fault injector (null when cfg.fault.rate == 0).
   FaultInjector* fault_injector() { return fault_.get(); }
 
+  // --- snapshot layer (DESIGN.md §13) ----------------------------------------
+  const SnapshotStats& snapshot_stats() const { return snap_stats_; }
+  size_t snapshot_pool_size() const { return snap_pool_.size(); }
+  const std::shared_ptr<const device::StateSnapshot>& last_good_snapshot()
+      const {
+    return last_good_;
+  }
+
  private:
   friend class CampaignCheckpoint;
 
@@ -190,6 +233,9 @@ class Engine {
     bool has_target = false;
     size_t target_driver = 0;  // kernel driver registration index
     size_t target_state = 0;
+    // Non-null for snapshot forks: the deep state to restore before
+    // executing `prog` (DESIGN.md §13).
+    std::shared_ptr<const device::StateSnapshot> snapshot;
   };
   // Plan outcomes per (driver index, state): how often the engine injected
   // a plan for the state, failed to materialize one, or ran one without the
@@ -210,6 +256,14 @@ class Engine {
   // reachability plans for the wiped driver states and re-warm the corpus
   // protocol state by re-queuing the most recent seeds.
   void reestablish(const ExecResult& res);
+  // Fault recovery dispatch: restore the last good snapshot when the layer
+  // is on (falling back to reestablish() if none exists or it fails).
+  void recover_from_fault(const ExecResult& res);
+  // Captures the current device state into the snapshot pool (COW against
+  // the previous capture); `prog` is the program that established it.
+  void capture_frontier_snapshot(const dsl::Program& prog);
+  // Enqueues one generated program to run from a pooled snapshot.
+  void enqueue_snapshot_fork();
   // Materializes plans for zero-visit states into the injection queue.
   void refill_plan_queue();
   ExecOptions exec_options() const;
@@ -259,6 +313,16 @@ class Engine {
   // (kernel driver index, planner over its declared graph)
   std::vector<std::pair<size_t, analysis::ReachabilityPlanner>> planners_;
   std::deque<QueuedProgram> plan_queue_;
+
+  // --- snapshot layer state (DESIGN.md §13) ---------------------------------
+  // Pool of frontier snapshots, oldest first; each is COW against its
+  // predecessor. last_good_ is the most recent capture (fault-recovery
+  // target). snap_seq_ is campaign-cumulative and survives checkpoints so
+  // resumed runs mint the same sequence ids.
+  std::vector<std::shared_ptr<const device::StateSnapshot>> snap_pool_;
+  std::shared_ptr<const device::StateSnapshot> last_good_;
+  uint64_t snap_seq_ = 0;
+  SnapshotStats snap_stats_;
 
   // --- analytics state (DESIGN.md §11) --------------------------------------
   // Total driver states ever entered (cheap recount over visit tallies).

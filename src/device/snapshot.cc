@@ -1,0 +1,204 @@
+#include "device/snapshot.h"
+
+namespace df::device {
+
+namespace {
+
+using kernel::StateBuf;
+using kernel::StateReader;
+
+std::shared_ptr<const std::vector<uint8_t>> own(StateBuf&& buf) {
+  return std::make_shared<const std::vector<uint8_t>>(buf.take());
+}
+
+// Appends `name` with image `buf`, aliasing the parent's buffer when the
+// bytes are identical (the dirty-struct delta).
+void add_section(StateSnapshot& snap, const StateSnapshot* parent,
+                 std::string name, StateBuf&& buf) {
+  if (parent != nullptr) {
+    if (const StateSnapshot::Section* p = parent->find(name)) {
+      if (p->bytes != nullptr && *p->bytes == buf.bytes()) {
+        ++snap.sections_shared;
+        snap.bytes_shared += p->bytes->size();
+        snap.sections.push_back({std::move(name), p->bytes});
+        return;
+      }
+    }
+  }
+  snap.sections.push_back({std::move(name), own(std::move(buf))});
+}
+
+bool fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = "snapshot: " + what;
+  return false;
+}
+
+}  // namespace
+
+StateSnapshot capture_snapshot(Device& dev, kernel::TaskId native_task,
+                               const StateSnapshot* parent) {
+  kernel::Kernel& k = dev.kernel();
+  StateSnapshot snap;
+
+  {
+    StateBuf b;
+    k.save_live(b);
+    add_section(snap, parent, "kernel", std::move(b));
+  }
+  {
+    StateBuf b;
+    k.kasan().heap().save(b);
+    add_section(snap, parent, "heap", std::move(b));
+  }
+  // Drivers before fd tables, mirroring the restore order (load_file_state
+  // may re-link driver side tables that load_state cleared).
+  for (const auto& d : k.drivers()) {
+    StateBuf b;
+    b.u64(d->current_state());
+    d->save_state(b);
+    add_section(snap, parent, "drv/" + std::string(d->name()), std::move(b));
+  }
+  {
+    StateBuf b;
+    k.save_task_files(native_task, b);
+    add_section(snap, parent, "fds/native", std::move(b));
+  }
+  const auto& services = dev.services();
+  for (size_t i = 0; i < services.size(); ++i) {
+    StateBuf b;
+    k.save_task_files(services[i]->task(), b);
+    add_section(snap, parent, "fds/svc" + std::to_string(i), std::move(b));
+  }
+  for (size_t i = 0; i < services.size(); ++i) {
+    StateBuf b;
+    b.b(services[i]->dead());
+    services[i]->save_native(b);
+    add_section(snap, parent, "hal/" + std::to_string(i), std::move(b));
+  }
+  return snap;
+}
+
+bool restore_snapshot(Device& dev, kernel::TaskId native_task,
+                      const StateSnapshot& snap, std::string* error) {
+  kernel::Kernel& k = dev.kernel();
+  const auto& services = dev.services();
+
+  // Shape check up front so a mismatched snapshot never half-applies.
+  const size_t expect =
+      2 + k.drivers().size() + 1 + 2 * services.size();
+  if (snap.sections.size() != expect) {
+    return fail(error, "section count mismatch (snapshot " +
+                           std::to_string(snap.sections.size()) +
+                           ", device " + std::to_string(expect) + ")");
+  }
+  for (const auto& d : k.drivers()) {
+    if (snap.find("drv/" + std::string(d->name())) == nullptr) {
+      return fail(error,
+                  "missing driver section '" + std::string(d->name()) + "'");
+    }
+  }
+
+  // 1. Revive dead services first: restart() mints the fresh kernel task
+  //    whose fd table the snapshot is about to repopulate.
+  for (const auto& svc : services) {
+    if (svc->dead()) svc->restart();
+  }
+  k.clear_panic();
+
+  // 2. Drivers: wholesale reset, then reload. Reset before load so stale
+  //    side tables (l2cap's listener map) never survive into the restored
+  //    state; per-file reload below re-links them.
+  for (const auto& d : k.drivers()) {
+    const StateSnapshot::Section* s =
+        snap.find("drv/" + std::string(d->name()));
+    d->reset();
+    StateReader r(*s->bytes);
+    const size_t cur = static_cast<size_t>(r.u64());
+    d->load_state(r);
+    if (!r.done()) {
+      return fail(error, "driver section '" + std::string(d->name()) +
+                             "' did not parse cleanly");
+    }
+    d->restore_current_state(cur);
+  }
+
+  // 3. Heap + kernel cursors/mappings/RNG.
+  {
+    StateReader r(*snap.find("heap")->bytes);
+    k.kasan().heap().load(r);
+    if (!r.done()) return fail(error, "heap section did not parse cleanly");
+  }
+  {
+    StateReader r(*snap.find("kernel")->bytes);
+    k.load_live(r);
+    if (!r.done()) return fail(error, "kernel section did not parse cleanly");
+  }
+
+  // 4. Fd tables (driver per-open state reloads inside, which may re-link
+  //    the driver side tables cleared in step 2).
+  {
+    StateReader r(*snap.find("fds/native")->bytes);
+    if (!k.load_task_files(native_task, r) || !r.done()) {
+      return fail(error, "native fd table did not parse cleanly");
+    }
+  }
+  for (size_t i = 0; i < services.size(); ++i) {
+    StateReader r(*snap.find("fds/svc" + std::to_string(i))->bytes);
+    if (!k.load_task_files(services[i]->task(), r) || !r.done()) {
+      return fail(error,
+                  "service " + std::to_string(i) + " fd table did not parse");
+    }
+  }
+
+  // 5. HAL native state last: the fds it caches now refer to the restored
+  //    tables.
+  for (size_t i = 0; i < services.size(); ++i) {
+    StateReader r(*snap.find("hal/" + std::to_string(i))->bytes);
+    const bool dead = r.b();
+    services[i]->reset_native_for_snapshot();
+    services[i]->load_native(r);
+    if (!r.done()) {
+      return fail(error, "service " + std::to_string(i) +
+                             " native section did not parse cleanly");
+    }
+    services[i]->restore_dead(dead);
+  }
+  return true;
+}
+
+std::vector<uint8_t> snapshot_to_bytes(const StateSnapshot& snap) {
+  StateBuf b;
+  b.u64(snap.seq);
+  b.u64(snap.estab_calls);
+  b.u64(snap.sections_shared);
+  b.u64(snap.bytes_shared);
+  b.u32(static_cast<uint32_t>(snap.sections.size()));
+  for (const auto& s : snap.sections) {
+    b.str(s.name);
+    static const std::vector<uint8_t> kEmpty;
+    b.blob(s.bytes ? *s.bytes : kEmpty);
+  }
+  return b.take();
+}
+
+bool snapshot_from_bytes(std::span<const uint8_t> data, StateSnapshot* out,
+                         std::string* error) {
+  StateReader r(data);
+  StateSnapshot snap;
+  snap.seq = r.u64();
+  snap.estab_calls = r.u64();
+  snap.sections_shared = static_cast<size_t>(r.u64());
+  snap.bytes_shared = static_cast<size_t>(r.u64());
+  const uint32_t n = r.u32();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    StateSnapshot::Section s;
+    s.name = r.str();
+    s.bytes = std::make_shared<const std::vector<uint8_t>>(r.blob());
+    snap.sections.push_back(std::move(s));
+  }
+  if (!r.done()) return fail(error, "byte image did not parse cleanly");
+  *out = std::move(snap);
+  return true;
+}
+
+}  // namespace df::device

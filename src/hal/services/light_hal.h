@@ -22,6 +22,19 @@ class LightHal final : public HalService {
   InterfaceDesc interface() const override;
   std::vector<UsageWeight> app_usage_profile() const override;
 
+  void save_native(kernel::StateBuf& b) const override {
+    for (const auto& l : lights_) {
+      b.u32(l.argb);
+      b.u32(l.mode);
+    }
+  }
+  void load_native(kernel::StateReader& r) override {
+    for (auto& l : lights_) {
+      l.argb = r.u32();
+      l.mode = r.u32();
+    }
+  }
+
  protected:
   TxResult on_transact(uint32_t code, Parcel& data) override;
   void reset_native() override;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "kernel/kasan.h"
+#include "kernel/snapshot.h"
 #include "kernel/syscall.h"
 #include "util/rng.h"
 
@@ -263,6 +264,28 @@ class Driver {
   virtual std::vector<DeclaredTransition> declared_transitions() const {
     return {};
   }
+
+  // --- snapshot support (DESIGN.md §13) -------------------------------------
+  // Serializes/restores the driver's *live* protocol state: every field
+  // reset() would wipe, plus per-boot fields a reboot keeps (rt1711's probe
+  // counter). load_state() runs right after reset(), so a driver only needs
+  // to write back what save_state() recorded. Campaign-cumulative tallies
+  // (state_visits/state_matrix) and cur_state_ are handled by the snapshot
+  // layer itself — do not write them here. The per-driver property test
+  // (tests/property) catches implementations that forget a field.
+  virtual void save_state(StateBuf&) const {}
+  virtual void load_state(StateReader&) {}
+  // Per-open-file private state (File::priv): called once per unique File
+  // owned by this driver. Drivers without per-open state (plain ioctl
+  // devices) keep the no-op defaults. load_file_state() may also re-link
+  // global side tables that point into File priv (l2cap's listener map).
+  virtual void save_file_state(const File&, StateBuf&) const {}
+  virtual void load_file_state(File&, StateReader&) {}
+
+  // Snapshot support: repositions the live state machine without touching
+  // the campaign-cumulative tallies (a restore is not a protocol
+  // transition, exactly like a reboot is not one).
+  void restore_current_state(size_t s) { cur_state_ = s; }
 
   // Checkpoint support: restores the campaign-cumulative tallies verbatim
   // (core/fuzz/checkpoint.h). Sizes must match state_names(); mismatched

@@ -41,6 +41,21 @@ class AudioPcmDriver final : public Driver {
   void probe(DriverCtx& ctx) override;
   void reset() override;
 
+  void save_state(StateBuf& b) const override {
+    b.u32(static_cast<uint32_t>(st_));
+    b.u32(rate_);
+    b.u32(channels_);
+    b.u32(fmt_);
+    b.u64(frames_written_);
+  }
+  void load_state(StateReader& r) override {
+    st_ = static_cast<St>(r.u32());
+    rate_ = r.u32();
+    channels_ = r.u32();
+    fmt_ = r.u32();
+    frames_written_ = r.u64();
+  }
+
   int64_t ioctl(DriverCtx& ctx, File& f, uint64_t req,
                 std::span<const uint8_t> in,
                 std::vector<uint8_t>& out) override;

@@ -50,6 +50,23 @@ class SensorHubDriver final : public Driver {
   void probe(DriverCtx& ctx) override;
   void reset() override;
 
+  void save_state(StateBuf& b) const override {
+    for (const auto& s : sensors_) {
+      b.b(s.enabled);
+      b.u32(s.rate_hz);
+      b.u32(s.batch_depth);
+      b.u32(s.sample_seq);
+    }
+  }
+  void load_state(StateReader& r) override {
+    for (auto& s : sensors_) {
+      s.enabled = r.b();
+      s.rate_hz = r.u32();
+      s.batch_depth = r.u32();
+      s.sample_seq = r.u32();
+    }
+  }
+
   int64_t ioctl(DriverCtx& ctx, File& f, uint64_t req,
                 std::span<const uint8_t> in,
                 std::vector<uint8_t>& out) override {

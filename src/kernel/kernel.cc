@@ -164,6 +164,122 @@ void Kernel::restore_cursors(const Cursors& c) {
   kasan_.heap().set_next_handle(c.heap_next);
 }
 
+void Kernel::save_live(StateBuf& out) const {
+  const util::RngState rs = rng_.state();
+  for (uint64_t word : rs.s) out.u64(word);
+  out.u64(next_map_);
+  // mappings_ is an unordered_map; emit in handle order for a
+  // byte-deterministic section image.
+  std::vector<uint64_t> handles;
+  handles.reserve(mappings_.size());
+  for (const auto& [h, v] : mappings_) handles.push_back(h);
+  std::sort(handles.begin(), handles.end());
+  out.u32(static_cast<uint32_t>(handles.size()));
+  for (const uint64_t h : handles) {
+    out.u64(h);
+    out.u64(mappings_.at(h));
+  }
+}
+
+void Kernel::load_live(StateReader& in) {
+  util::RngState rs;
+  for (uint64_t& word : rs.s) word = in.u64();
+  rng_.set_state(rs);
+  next_map_ = in.u64();
+  mappings_.clear();
+  const uint32_t n = in.u32();
+  for (uint32_t i = 0; i < n && in.ok(); ++i) {
+    const uint64_t h = in.u64();
+    mappings_.emplace(h, in.u64());
+  }
+}
+
+void Kernel::save_task_files(TaskId tid, StateBuf& out) const {
+  auto it = tasks_.find(tid);
+  if (it == tasks_.end()) {
+    out.u32(0);
+    out.u32(0);
+    out.i32(3);
+    return;
+  }
+  const Task& t = *it->second;
+  // Unique File descriptions in first-appearance fd order (fds() iterates
+  // the sorted fd map, so this order is deterministic).
+  std::vector<const File*> uniq;
+  std::vector<std::pair<int32_t, uint32_t>> table;
+  for (const int32_t fd : t.fds.fds()) {
+    const std::shared_ptr<File> f = t.fds.get(fd);
+    uint32_t idx = 0;
+    for (; idx < uniq.size(); ++idx) {
+      if (uniq[idx] == f.get()) break;
+    }
+    if (idx == uniq.size()) uniq.push_back(f.get());
+    table.emplace_back(fd, idx);
+  }
+  out.u32(static_cast<uint32_t>(uniq.size()));
+  for (const File* f : uniq) {
+    uint16_t didx = 0xFFFF;
+    for (size_t i = 0; i < drivers_.size(); ++i) {
+      if (drivers_[i].get() == f->drv) {
+        didx = static_cast<uint16_t>(i);
+        break;
+      }
+    }
+    out.u16(didx);
+    out.str(f->path);
+    out.u64(f->flags);
+    out.u64(f->pos);
+    out.b(f->is_sock);
+    out.u64(f->sock_type);
+    out.u64(f->sock_proto);
+    StateBuf priv;
+    if (f->drv != nullptr) f->drv->save_file_state(*f, priv);
+    out.blob(priv.bytes());
+  }
+  out.u32(static_cast<uint32_t>(table.size()));
+  for (const auto& [fd, idx] : table) {
+    out.i32(fd);
+    out.u32(idx);
+  }
+  out.i32(t.fds.next_fd());
+}
+
+bool Kernel::load_task_files(TaskId tid, StateReader& in) {
+  Task* t = task(tid);
+  if (t == nullptr) return false;
+  // Drop the current table without release hooks (the drivers are restored
+  // wholesale by the same snapshot, exactly as in reboot()).
+  t->fds.clear();
+  const uint32_t nfiles = in.u32();
+  std::vector<std::shared_ptr<File>> files;
+  files.reserve(nfiles);
+  for (uint32_t i = 0; i < nfiles && in.ok(); ++i) {
+    auto f = std::make_shared<File>();
+    const uint16_t didx = in.u16();
+    f->drv = didx < drivers_.size() ? drivers_[didx].get() : nullptr;
+    f->path = in.str();
+    f->flags = in.u64();
+    f->pos = in.u64();
+    f->is_sock = in.b();
+    f->sock_type = in.u64();
+    f->sock_proto = in.u64();
+    const std::vector<uint8_t> priv = in.blob();
+    if (f->drv != nullptr) {
+      StateReader pr(priv);
+      f->drv->load_file_state(*f, pr);
+    }
+    files.push_back(std::move(f));
+  }
+  const uint32_t nfds = in.u32();
+  for (uint32_t i = 0; i < nfds && in.ok(); ++i) {
+    const int32_t fd = in.i32();
+    const uint32_t idx = in.u32();
+    if (idx < files.size()) t->fds.restore_install(fd, files[idx]);
+  }
+  t->fds.set_next_fd(in.i32());
+  return in.ok();
+}
+
 void Kernel::close_file(Task& task, const std::shared_ptr<File>& f) {
   if (f && f->drv) {
     DriverCtx ctx(*this, task, *f->drv);

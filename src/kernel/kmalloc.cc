@@ -1,5 +1,7 @@
 #include "kernel/kmalloc.h"
 
+#include <algorithm>
+
 namespace df::kernel {
 
 HeapPtr Heap::alloc(size_t size, std::string_view tag) {
@@ -45,6 +47,47 @@ void Heap::reset() {
   live_count_ = 0;
   live_bytes_ = 0;
   // next_ keeps increasing: handles stay unique across reboots.
+}
+
+void Heap::save(StateBuf& out) const {
+  out.u64(next_);
+  // slabs_ is an unordered_map; serialize in handle order so identical
+  // heaps always produce identical section bytes (the delta check relies
+  // on byte equality).
+  std::vector<HeapPtr> handles;
+  handles.reserve(slabs_.size());
+  for (const auto& [p, s] : slabs_) handles.push_back(p);
+  std::sort(handles.begin(), handles.end());
+  out.u32(static_cast<uint32_t>(handles.size()));
+  for (const HeapPtr p : handles) {
+    const Slab& s = slabs_.at(p);
+    out.u64(p);
+    out.u64(s.size);
+    out.str(s.tag);
+    out.b(s.live);
+    out.blob(s.bytes);
+  }
+}
+
+void Heap::load(StateReader& in) {
+  slabs_.clear();
+  live_count_ = 0;
+  live_bytes_ = 0;
+  next_ = in.u64();
+  const uint32_t n = in.u32();
+  for (uint32_t i = 0; i < n && in.ok(); ++i) {
+    const HeapPtr p = in.u64();
+    Slab s;
+    s.size = static_cast<size_t>(in.u64());
+    s.tag = in.str();
+    s.live = in.b();
+    s.bytes = in.blob();
+    if (s.live) {
+      ++live_count_;
+      live_bytes_ += s.size;
+    }
+    slabs_.emplace(p, std::move(s));
+  }
 }
 
 }  // namespace df::kernel

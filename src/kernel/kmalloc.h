@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "kernel/snapshot.h"
+
 namespace df::kernel {
 
 using HeapPtr = uint64_t;  // 0 == null
@@ -52,6 +54,13 @@ class Heap {
   // in KASAN report details).
   HeapPtr next_handle() const { return next_; }
   void set_next_handle(HeapPtr p) { next_ = p; }
+
+  // Snapshot support (DESIGN.md §13): full slab image including the
+  // KASAN quarantine (freed slabs keep their metadata) and the handle
+  // cursor, serialized in handle order so the section image is
+  // deterministic. load() replaces the entire heap.
+  void save(StateBuf& out) const;
+  void load(StateReader& in);
 
  private:
   HeapPtr next_ = 1;

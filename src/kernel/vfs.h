@@ -49,6 +49,12 @@ class FdTable {
   int32_t next_fd() const { return next_fd_; }
   void set_next_fd(int32_t fd) { next_fd_ = fd; }
 
+  // Snapshot support: reinstates a file at its original fd (bypassing the
+  // cursor) when a StateSnapshot rebuilds the table.
+  void restore_install(int32_t fd, std::shared_ptr<File> f) {
+    table_[fd] = std::move(f);
+  }
+
  private:
   int32_t next_fd_ = 3;  // 0..2 reserved, as on a real system
   std::map<int32_t, std::shared_ptr<File>> table_;

@@ -9,9 +9,9 @@ namespace df::obs {
 namespace {
 
 constexpr std::string_view kOriginNames[kProgramOriginCount] = {
-    "generate",         "mutate_arg",   "mutate_insert", "mutate_remove",
+    "generate",         "mutate_arg",    "mutate_insert", "mutate_remove",
     "mutate_duplicate", "mutate_splice", "mutate_rewire", "plan_injected",
-    "minimized",        "replay",
+    "minimized",        "replay",        "snapshot_fork",
 };
 
 constexpr std::string_view kFrontierNames[kFrontierClassCount] = {

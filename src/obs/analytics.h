@@ -33,12 +33,14 @@ class JsonWriter;
 
 // Bumped when the exported "analytics" JSON shape changes
 // (scripts/check_bench_json.py validates against it).
-inline constexpr uint64_t kAnalyticsSchemaVersion = 1;
+inline constexpr uint64_t kAnalyticsSchemaVersion = 2;
 
 // Where a candidate program came from. Mutation operators mirror
 // Generator::mutate_once; kPlanInjected marks reachability-plan programs,
-// kMinimized marks seeds the minimizer shrank before corpus insertion, and
-// kReplay marks post-reboot re-warm executions of existing seeds.
+// kMinimized marks seeds the minimizer shrank before corpus insertion,
+// kReplay marks post-reboot re-warm executions of existing seeds, and
+// kSnapshotFork marks programs executed from a restored deep-state
+// snapshot (DESIGN.md §13) instead of the device's rolling state.
 enum class ProgramOrigin : uint8_t {
   kGenerate = 0,
   kMutateArg,
@@ -50,8 +52,9 @@ enum class ProgramOrigin : uint8_t {
   kPlanInjected,
   kMinimized,
   kReplay,
+  kSnapshotFork,
 };
-inline constexpr size_t kProgramOriginCount = 10;
+inline constexpr size_t kProgramOriginCount = 11;
 
 // Stable wire names ("generate", "mutate_arg", ... "replay"); round-trips
 // through origin_from_name for checkpoint restore.

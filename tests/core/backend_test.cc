@@ -1,0 +1,112 @@
+// ExecBackend seam (DESIGN.md §13): the in-process default, the
+// snapshot-fork backend that rewinds the device before every run, and the
+// transport-error surface when a fork base no longer matches the device.
+#include "core/exec/backend.h"
+
+#include <gtest/gtest.h>
+
+#include "core/descriptions.h"
+#include "device/catalog.h"
+#include "dsl/parse.h"
+
+namespace df::core {
+namespace {
+
+class BackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override { use_device("A1"); }
+
+  void use_device(const char* id) {
+    inner_.reset();   // references broker_, drop first
+    broker_.reset();  // the broker unwinds into dev_'s kernel on destruction
+    dev_ = device::make_device(id, 1);
+    table_ = dsl::CallTable();
+    add_syscall_descriptions(table_, *dev_);
+    for (const auto& svc : dev_->services()) {
+      std::vector<std::pair<uint32_t, double>> w;
+      for (const auto& uw : svc->app_usage_profile()) {
+        w.emplace_back(uw.code, uw.weight);
+      }
+      add_hal_interface(table_, svc->descriptor(), svc->interface(), w);
+    }
+    spec_ = make_spec_table(table_);
+    broker_ = std::make_unique<Broker>(*dev_, spec_);
+  }
+
+  ExecResult run(const std::string& text) {
+    std::string err;
+    auto prog = dsl::parse_program(text, table_, &err);
+    EXPECT_TRUE(prog.has_value()) << err;
+    return broker_->execute(*prog, {});
+  }
+
+  // Installs a SnapshotForkBackend over a test-owned in-process inner
+  // backend (SnapshotForkBackend holds a reference, not ownership).
+  SnapshotForkBackend* install_fork(device::StateSnapshot base) {
+    inner_ = std::make_unique<InProcessBackend>(*broker_);
+    auto fork =
+        std::make_unique<SnapshotForkBackend>(*inner_, std::move(base));
+    SnapshotForkBackend* raw = fork.get();
+    broker_->set_backend(std::move(fork));
+    return raw;
+  }
+
+  std::unique_ptr<device::Device> dev_;
+  dsl::CallTable table_;
+  trace::SpecTable spec_;
+  std::unique_ptr<Broker> broker_;
+  std::unique_ptr<InProcessBackend> inner_;
+};
+
+TEST_F(BackendTest, DefaultBackendIsInProcess) {
+  EXPECT_EQ(broker_->backend().name(), "in-process");
+  const auto res = run("r0 = openat$rt1711()\n");
+  ASSERT_EQ(res.rets.size(), 1u);
+  EXPECT_GE(res.rets[0], 3);
+}
+
+TEST_F(BackendTest, InProcessRunsAccumulateState) {
+  const auto first = run("r0 = openat$rt1711()\n");
+  const auto second = run("r0 = openat$rt1711()\n");
+  // Each run leaves its fd open: the numbers march upward.
+  EXPECT_LT(first.rets[0], second.rets[0]);
+}
+
+TEST_F(BackendTest, SnapshotForkRewindsTheDeviceBeforeEveryRun) {
+  // Establish some state, then pin it as the fork base.
+  run("r0 = openat$rt1711()\nioctl$RT1711_ATTACH(r0, 0x2)\n");
+  SnapshotForkBackend* fork = install_fork(broker_->capture_snapshot());
+  EXPECT_EQ(broker_->backend().name(), "snapshot-forked");
+
+  // Every run starts from the base: the fresh fd number repeats instead of
+  // marching upward as it does in-process.
+  const auto first = run("r0 = openat$rt1711()\n");
+  const auto second = run("r0 = openat$rt1711()\n");
+  ASSERT_EQ(first.rets.size(), 1u);
+  ASSERT_EQ(second.rets.size(), 1u);
+  EXPECT_EQ(first.rets[0], second.rets[0]);
+  EXPECT_EQ(fork->forks(), 2u);
+}
+
+TEST_F(BackendTest, MismatchedBaseSurfacesAsTransportError) {
+  run("r0 = openat$rt1711()\n");
+  device::StateSnapshot foreign = broker_->capture_snapshot();
+  use_device("A2");  // different shape: the A1 base cannot restore here
+  install_fork(std::move(foreign));
+  const auto res = run("r0 = openat$mali()\n");
+  EXPECT_TRUE(res.transport_error);
+  EXPECT_EQ(res.calls_executed, 0u);
+}
+
+TEST_F(BackendTest, NullBackendResetsToInProcess) {
+  run("r0 = openat$rt1711()\n");
+  install_fork(broker_->capture_snapshot());
+  broker_->set_backend(nullptr);
+  EXPECT_EQ(broker_->backend().name(), "in-process");
+  const auto first = run("r0 = openat$rt1711()\n");
+  const auto second = run("r0 = openat$rt1711()\n");
+  EXPECT_LT(first.rets[0], second.rets[0]);  // no more rewinding
+}
+
+}  // namespace
+}  // namespace df::core

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/fuzz/daemon.h"
+#include "device/snapshot.h"
 #include "obs/analytics.h"
 #include "obs/json.h"
 #include "obs/obs.h"
@@ -27,6 +28,7 @@ struct Fingerprint {
   std::string corpus;       // every engine's corpus as DSL text
   std::string bugs;         // device:title:dup per bug, aggregation order
   std::string analytics;    // per-device attribution/lineage/frontier JSON
+  std::string snapshots;    // per-device snapshot counters + pool shape
   uint64_t total_execs = 0;
   size_t total_coverage = 0;
 
@@ -69,6 +71,22 @@ Fingerprint fingerprint(Daemon& d, obs::Observability& obs,
     obs::JsonWriter w;
     d.engine(id)->analytics_snapshot().write_json(w);
     fp.analytics += id + ":" + w.take() + "\n";
+  }
+  // The snapshot layer rides the checkpoint too (DESIGN.md §13): fork and
+  // recovery counters, the capture pool, and the last-good capture must all
+  // come back exactly, or the resumed campaign would fork from different
+  // states than the uninterrupted one.
+  for (const auto& id : rep.devices()) {
+    Engine* e = d.engine(id);
+    const SnapshotStats& s = e->snapshot_stats();
+    fp.snapshots +=
+        id + ":" + std::to_string(s.captures) + "/" +
+        std::to_string(s.restores) + "/" + std::to_string(s.forks) + "/" +
+        std::to_string(s.fault_recoveries) + "/pool=" +
+        std::to_string(e->snapshot_pool_size()) + "/good=" +
+        std::to_string(e->last_good_snapshot() ? e->last_good_snapshot()->seq
+                                               : 0) +
+        "\n";
   }
   return fp;
 }
@@ -122,6 +140,7 @@ void expect_roundtrip(size_t workers, double fault_rate) {
   EXPECT_EQ(want.stats_json, got.stats_json);
   EXPECT_EQ(want.trace_jsonl, got.trace_jsonl);
   EXPECT_EQ(want.analytics, got.analytics);
+  EXPECT_EQ(want.snapshots, got.snapshots);
   EXPECT_NE(got.analytics.find("\"origin\":\"generate\""),
             std::string::npos);
 }
@@ -136,6 +155,44 @@ TEST(Checkpoint, ResumeMatchesUninterruptedRunParallel) {
 
 TEST(Checkpoint, ResumeReplaysTheFaultScheduleToo) {
   expect_roundtrip(/*workers=*/1, /*fault_rate=*/0.01);
+}
+
+// A mid-campaign checkpoint carries the live snapshot images; every daemon
+// resumed from the same document holds the same pool and the same
+// last-good capture, byte for byte.
+TEST(Checkpoint, CarriesLiveSnapshotsAcrossResume) {
+  DaemonConfig cfg;
+  cfg.seed = 7;
+  Daemon source(cfg);
+  source.add_device("A1");
+  source.run(1200, 128);  // past the capture cadence: pool is non-empty
+  ASSERT_GT(source.engine("A1")->snapshot_pool_size(), 0u);
+  ASSERT_NE(source.engine("A1")->last_good_snapshot(), nullptr);
+  const std::string json = source.checkpoint_json();
+  EXPECT_NE(json.find("\"snapshots\""), std::string::npos);
+  EXPECT_NE(json.find("\"images\""), std::string::npos);
+
+  auto resumed = [&] {
+    auto d = std::make_unique<Daemon>(cfg);
+    d->add_device("A1");
+    std::string error;
+    EXPECT_TRUE(d->resume(json, &error)) << error;
+    return d;
+  };
+  const auto a = resumed();
+  const auto b = resumed();
+  Engine* ea = a->engine("A1");
+  Engine* eb = b->engine("A1");
+  EXPECT_EQ(ea->snapshot_pool_size(),
+            source.engine("A1")->snapshot_pool_size());
+  ASSERT_NE(ea->last_good_snapshot(), nullptr);
+  ASSERT_NE(eb->last_good_snapshot(), nullptr);
+  EXPECT_EQ(ea->last_good_snapshot()->seq, eb->last_good_snapshot()->seq);
+  EXPECT_EQ(device::snapshot_to_bytes(*ea->last_good_snapshot()),
+            device::snapshot_to_bytes(*eb->last_good_snapshot()));
+  EXPECT_EQ(device::snapshot_to_bytes(*ea->last_good_snapshot()),
+            device::snapshot_to_bytes(
+                *source.engine("A1")->last_good_snapshot()));
 }
 
 TEST(Checkpoint, DisabledConfigWritesNothing) {
@@ -221,9 +278,9 @@ TEST_F(CheckpointRejectTest, BitFlippedFieldIsRejected) {
 
 TEST_F(CheckpointRejectTest, WrongVersionIsRejected) {
   std::string doc = valid_;
-  const size_t pos = doc.find("\"version\":2");
+  const size_t pos = doc.find("\"version\":3");
   ASSERT_NE(pos, std::string::npos);
-  doc.replace(pos, strlen("\"version\":2"), "\"version\":999");
+  doc.replace(pos, strlen("\"version\":3"), "\"version\":999");
   std::string error;
   Daemon d = matching_daemon();
   EXPECT_FALSE(d.resume(doc, &error));
@@ -261,6 +318,41 @@ TEST_F(CheckpointRejectTest, FaultConfigMismatchIsRejected) {
   d.add_device("A1");
   d.add_device("B");
   expect_rejected(std::move(d), valid_);
+}
+
+TEST_F(CheckpointRejectTest, SnapshotConfigMismatchIsRejected) {
+  // The checkpoint was taken with the default snapshot config; a resume-side
+  // engine with the layer off (or on a different cadence) would capture and
+  // fork on a different schedule and silently diverge.
+  DaemonConfig off = cfg_;
+  off.engine.use_snapshots = false;
+  Daemon d_off(off);
+  d_off.add_device("A1");
+  d_off.add_device("B");
+  std::string error;
+  EXPECT_FALSE(d_off.resume(valid_, &error));
+  EXPECT_NE(error.find("snapshot configuration"), std::string::npos) << error;
+
+  DaemonConfig cadence = cfg_;
+  cadence.engine.snapshot_every = 128;
+  Daemon d_cadence(cadence);
+  d_cadence.add_device("A1");
+  d_cadence.add_device("B");
+  error.clear();
+  EXPECT_FALSE(d_cadence.resume(valid_, &error));
+  EXPECT_NE(error.find("snapshot configuration"), std::string::npos) << error;
+}
+
+TEST_F(CheckpointRejectTest, SnapshotPoolReferencingMissingImageIsRejected) {
+  std::string doc = valid_;
+  const size_t pos = doc.find("\"pool\":[");
+  ASSERT_NE(pos, std::string::npos);
+  // Point the pool at a capture seq that has no serialized image.
+  doc.insert(pos + strlen("\"pool\":["), "424242,");
+  std::string error;
+  Daemon d = matching_daemon();
+  EXPECT_FALSE(d.resume(doc, &error));
+  EXPECT_NE(error.find("snapshot"), std::string::npos) << error;
 }
 
 // --- file I/O --------------------------------------------------------------

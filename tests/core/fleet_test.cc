@@ -108,6 +108,52 @@ TEST(Daemon, ParallelRunMatchesSequentialPerDevice) {
   EXPECT_EQ(corpus_seq, corpus_par);
 }
 
+// Snapshot layer (DESIGN.md §13) under the same contract: for every
+// combination of snapshots on/off, fault injection on/off, and worker
+// count, per-device results are bit-identical — with the snapshot counters
+// themselves part of the compared fingerprint, since a worker-dependent
+// capture or fork schedule would be a determinism bug even if the coverage
+// happened to come out the same.
+TEST(Daemon, SnapshotGridKeepsPerDeviceDeterminism) {
+  const std::vector<std::string> ids{"A1", "B", "E"};
+  struct Outcome {
+    std::string fp;
+    uint64_t captures = 0;
+  };
+  auto campaign = [&](bool snapshots, double fault_rate, size_t workers) {
+    DaemonConfig cfg;
+    cfg.seed = 21;
+    cfg.workers = workers;
+    cfg.engine.use_snapshots = snapshots;
+    cfg.engine.fault.rate = fault_rate;
+    Daemon d(cfg);
+    for (const auto& id : ids) EXPECT_TRUE(d.add_device(id));
+    d.run(1500, 128);
+    Outcome out;
+    out.fp = fleet_fingerprint(d, ids);
+    for (const auto& id : ids) {
+      const SnapshotStats& s = d.engine(id)->snapshot_stats();
+      out.fp += id + ":snap=" + std::to_string(s.captures) + "/" +
+                std::to_string(s.restores) + "/" + std::to_string(s.forks) +
+                "/" + std::to_string(s.fault_recoveries) + "\n";
+      out.captures += s.captures;
+    }
+    out.fp += d.save_corpus();
+    return out;
+  };
+  for (const bool snapshots : {false, true}) {
+    for (const double fault_rate : {0.0, 0.01}) {
+      const Outcome seq = campaign(snapshots, fault_rate, 1);
+      const Outcome par = campaign(snapshots, fault_rate, 4);
+      EXPECT_EQ(seq.fp, par.fp)
+          << "snapshots=" << snapshots << " fault_rate=" << fault_rate;
+      // The toggle really gates the layer: captures happen iff it is on.
+      EXPECT_EQ(seq.captures > 0, snapshots)
+          << "snapshots=" << snapshots << " fault_rate=" << fault_rate;
+    }
+  }
+}
+
 // Attribution is part of the determinism contract too: the per-operator
 // yield tables, lineage digests, and frontier reports must come out
 // identical whether the fleet ran on one worker or several — worker

@@ -1,0 +1,170 @@
+// Device state snapshots (DESIGN.md §13): capture/restore round-trips,
+// dirty-struct delta sharing against a parent, shape validation, and the
+// flat byte image used by checkpoints.
+#include "device/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "device/catalog.h"
+#include "kernel/syscall.h"
+
+namespace df::device {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = make_device("A1", 1);
+    task_ = dev_->kernel().create_task(kernel::TaskOrigin::kNative, "snap");
+  }
+
+  int32_t open_path(const char* path) {
+    kernel::SyscallReq req;
+    req.nr = kernel::Sys::kOpenAt;
+    req.path = path;
+    return static_cast<int32_t>(dev_->kernel().syscall(task_, req).ret);
+  }
+
+  int64_t ioctl(int32_t fd, uint64_t code, uint32_t val = 2) {
+    kernel::SyscallReq req;
+    req.nr = kernel::Sys::kIoctl;
+    req.fd = fd;
+    req.arg = code;
+    kernel::put_u32(req.data, val);
+    return dev_->kernel().syscall(task_, req).ret;
+  }
+
+  // Drives the TCPC port controller through a few protocol steps so the
+  // snapshot has real driver + fd state to carry.
+  int32_t warm() {
+    const int32_t fd = open_path("/dev/tcpc");
+    EXPECT_GE(fd, 3);
+    for (const uint64_t code : {0x5470ull, 0x5471ull, 0x5472ull}) {
+      ioctl(fd, code);
+    }
+    return fd;
+  }
+
+  std::unique_ptr<Device> dev_;
+  kernel::TaskId task_{};
+};
+
+// The core round-trip property the engine's fork/recovery paths lean on:
+// restoring a snapshot and re-capturing yields the same byte image, no
+// matter what happened in between.
+TEST_F(SnapshotTest, CaptureAfterRestoreIsByteIdentical) {
+  const int32_t fd = warm();
+  const StateSnapshot snap1 = capture_snapshot(*dev_, task_);
+  // Perturb everything the snapshot covers: driver state machines, the fd
+  // table, and (via the allocations behind open) the slab heap.
+  ioctl(fd, 0x5476);
+  open_path("/dev/tcpc");
+  std::string error;
+  ASSERT_TRUE(restore_snapshot(*dev_, task_, snap1, &error)) << error;
+  const StateSnapshot snap2 = capture_snapshot(*dev_, task_);
+  EXPECT_EQ(snapshot_to_bytes(snap1), snapshot_to_bytes(snap2));
+}
+
+TEST_F(SnapshotTest, RestoreRewindsFdNumbering) {
+  warm();
+  const StateSnapshot snap = capture_snapshot(*dev_, task_);
+  const int32_t after_capture = open_path("/dev/tcpc");
+  ASSERT_TRUE(restore_snapshot(*dev_, task_, snap, nullptr));
+  // The fd cursor was rewound with the table: the same number comes back.
+  EXPECT_EQ(open_path("/dev/tcpc"), after_capture);
+}
+
+TEST_F(SnapshotTest, RestoredStateReplaysIdentically) {
+  const int32_t fd = warm();
+  const StateSnapshot snap = capture_snapshot(*dev_, task_);
+  auto probe = [&] {
+    std::string log;
+    for (const uint64_t code : {0x5470ull, 0x5472ull, 0x5476ull, 0x5471ull}) {
+      log += std::to_string(ioctl(fd, code)) + ";";
+    }
+    return log;
+  };
+  const std::string first = probe();  // advances the driver state machine
+  ASSERT_TRUE(restore_snapshot(*dev_, task_, snap, nullptr));
+  EXPECT_EQ(probe(), first);  // same state -> same returns
+}
+
+TEST_F(SnapshotTest, DeltaCaptureSharesUnchangedSections) {
+  warm();
+  const StateSnapshot base = capture_snapshot(*dev_, task_);
+  EXPECT_EQ(base.sections_shared, 0u);  // no parent, nothing to share
+  open_path("/dev/tcpc");  // dirties the fd table + heap, not the drivers
+  const StateSnapshot delta = capture_snapshot(*dev_, task_, &base);
+  EXPECT_GT(delta.sections_shared, 0u);
+  EXPECT_LT(delta.sections_shared, delta.sections.size());
+  EXPECT_GT(delta.bytes_shared, 0u);
+  EXPECT_LE(delta.bytes_shared, delta.total_bytes());
+  // Sharing is pure aliasing: exactly sections_shared sections point at the
+  // parent's buffers.
+  size_t aliased = 0;
+  for (const auto& s : delta.sections) {
+    const StateSnapshot::Section* p = base.find(s.name);
+    ASSERT_NE(p, nullptr) << s.name;
+    if (p->bytes == s.bytes) ++aliased;
+  }
+  EXPECT_EQ(aliased, delta.sections_shared);
+  // A delta restores on its own; sharing never changes restore semantics.
+  ASSERT_TRUE(restore_snapshot(*dev_, task_, delta, nullptr));
+}
+
+TEST_F(SnapshotTest, WrongDeviceShapeIsRejected) {
+  warm();
+  const StateSnapshot foreign = capture_snapshot(*dev_, task_);
+  auto other = make_device("B", 1);
+  const auto other_task =
+      other->kernel().create_task(kernel::TaskOrigin::kNative, "snap");
+  std::string error;
+  EXPECT_FALSE(restore_snapshot(*other, other_task, foreign, &error));
+  EXPECT_NE(error.find("snapshot"), std::string::npos) << error;
+  // The shape check runs before any mutation: B still captures and restores
+  // its own state cleanly.
+  const StateSnapshot own = capture_snapshot(*other, other_task);
+  EXPECT_TRUE(restore_snapshot(*other, other_task, own, nullptr));
+}
+
+TEST_F(SnapshotTest, ByteImageRoundTrips) {
+  warm();
+  StateSnapshot snap = capture_snapshot(*dev_, task_);
+  snap.seq = 7;
+  snap.estab_calls = 3;
+  const std::vector<uint8_t> bytes = snapshot_to_bytes(snap);
+  StateSnapshot out;
+  std::string error;
+  ASSERT_TRUE(snapshot_from_bytes(bytes, &out, &error)) << error;
+  EXPECT_EQ(out.seq, 7u);
+  EXPECT_EQ(out.estab_calls, 3u);
+  ASSERT_EQ(out.sections.size(), snap.sections.size());
+  for (size_t i = 0; i < out.sections.size(); ++i) {
+    EXPECT_EQ(out.sections[i].name, snap.sections[i].name);
+    EXPECT_EQ(*out.sections[i].bytes, *snap.sections[i].bytes);
+  }
+  EXPECT_EQ(snapshot_to_bytes(out), bytes);
+  // The deserialized image is a full working snapshot.
+  ASSERT_TRUE(restore_snapshot(*dev_, task_, out, &error)) << error;
+}
+
+TEST_F(SnapshotTest, TruncatedByteImageIsRejected) {
+  warm();
+  const std::vector<uint8_t> bytes =
+      snapshot_to_bytes(capture_snapshot(*dev_, task_));
+  for (const size_t cut : {size_t{0}, bytes.size() / 2, bytes.size() - 1}) {
+    StateSnapshot out;
+    std::string error;
+    EXPECT_FALSE(snapshot_from_bytes(
+        std::span<const uint8_t>(bytes.data(), cut), &out, &error))
+        << "cut=" << cut;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+}  // namespace
+}  // namespace df::device

@@ -2,12 +2,17 @@
 // structural invariants of the core data structures under randomized use.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "analysis/distill.h"
 #include "analysis/semantic.h"
 #include "core/descriptions.h"
+#include "core/exec/broker.h"
 #include "core/gen/generator.h"
 #include "core/relation/graph.h"
 #include "device/catalog.h"
+#include "device/snapshot.h"
 #include "dsl/fmt.h"
 #include "dsl/parse.h"
 #include "hal/parcel.h"
@@ -266,6 +271,100 @@ TEST_P(SeededProperty, RandomSyscallStormIsMemorySafe) {
     if (k.panicked()) dev->reboot();
   }
   SUCCEED();  // no crash / sanitizer violation
+}
+
+// --- Snapshots: every driver's save_state/load_state round-trips under a
+// randomized warm-up, across the whole device catalog (DESIGN.md §13) -------
+
+TEST_P(SeededProperty, DriverStateSaveLoadRoundTripsAcrossCatalog) {
+  std::set<std::string> seen_drivers;
+  for (const auto& spec : device::device_table()) {
+    auto dev = device::make_device(spec.id, GetParam());
+    dsl::CallTable table;
+    core::add_syscall_descriptions(table, *dev);
+    for (const auto& svc : dev->services()) {
+      std::vector<std::pair<uint32_t, double>> w;
+      for (const auto& uw : svc->app_usage_profile()) {
+        w.emplace_back(uw.code, uw.weight);
+      }
+      core::add_hal_interface(table, svc->descriptor(), svc->interface(), w);
+    }
+    const trace::SpecTable spec_table = core::make_spec_table(table);
+    core::Broker broker(*dev, spec_table);
+    core::RelationGraph rel;
+    for (const auto* d : table.all()) rel.add_vertex(d, d->weight);
+    core::Corpus corpus;
+    util::Rng rng(GetParam() * 101 + 7);
+    core::Generator gen(table, rel, corpus, rng, {});
+
+    // Randomized warm-up: drive the drivers into arbitrary live states.
+    for (int i = 0; i < 25; ++i) broker.execute(gen.generate_fresh());
+
+    // Pin the state, remember what every driver looked like at the pin.
+    const device::StateSnapshot snap = broker.capture_snapshot();
+    struct Saved {
+      size_t state = 0;
+      std::string bytes;
+    };
+    std::map<std::string, Saved> want;
+    for (const auto& d : dev->kernel().drivers()) {
+      kernel::StateBuf b;
+      d->save_state(b);
+      want[std::string(d->name())] = {
+          d->current_state(), std::string(b.bytes().begin(), b.bytes().end())};
+      seen_drivers.insert(std::string(d->name()));
+    }
+
+    auto run_probes = [&](const std::vector<dsl::Program>& probes) {
+      std::string fp;
+      for (const auto& p : probes) {
+        const core::ExecResult r = broker.execute(p);
+        for (const int64_t v : r.rets) fp += std::to_string(v) + ",";
+        fp += "|" + std::to_string(r.features.size()) + ";";
+      }
+      return fp;
+    };
+    std::vector<dsl::Program> probes;
+    for (int i = 0; i < 4; ++i) probes.push_back(gen.generate_fresh());
+    const std::string replay_want = run_probes(probes);
+
+    // Perturb well past the pin, then rewind.
+    for (int i = 0; i < 15; ++i) broker.execute(gen.generate_fresh());
+    // Restore must be dmesg-silent and must not rewind campaign-cumulative
+    // tallies (state-visit counts and transition matrices survive as they
+    // stood just before the restore).
+    const uint64_t dmesg_before = dev->kernel().dmesg().next_seq();
+    std::map<std::string, std::pair<std::vector<uint64_t>,
+                                    std::vector<uint64_t>>> tallies;
+    for (const auto& d : dev->kernel().drivers()) {
+      tallies[std::string(d->name())] = {d->state_visits(), d->state_matrix()};
+    }
+    std::string error;
+    ASSERT_TRUE(broker.restore_snapshot(snap, &error))
+        << spec.id << ": " << error;
+    EXPECT_EQ(dev->kernel().dmesg().next_seq(), dmesg_before) << spec.id;
+    for (const auto& d : dev->kernel().drivers()) {
+      const auto& t = tallies.at(std::string(d->name()));
+      EXPECT_EQ(d->state_visits(), t.first) << spec.id << "/" << d->name();
+      EXPECT_EQ(d->state_matrix(), t.second) << spec.id << "/" << d->name();
+    }
+
+    // Byte-level check: every driver reports exactly the pinned state. This
+    // alone can't catch a field *both* save and load forgot, hence the
+    // behavioral replay below.
+    for (const auto& d : dev->kernel().drivers()) {
+      const Saved& w = want.at(std::string(d->name()));
+      EXPECT_EQ(d->current_state(), w.state) << spec.id << "/" << d->name();
+      kernel::StateBuf b;
+      d->save_state(b);
+      EXPECT_EQ(std::string(b.bytes().begin(), b.bytes().end()), w.bytes)
+          << spec.id << "/" << d->name();
+    }
+    // Behavioral check: the same probes produce the same returns/features.
+    EXPECT_EQ(run_probes(probes), replay_want) << spec.id;
+  }
+  // The catalog exercises the full driver roster.
+  EXPECT_GE(seen_drivers.size(), 11u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
