@@ -16,5 +16,6 @@ df_add_bench(bench_fig5_difuze ${CMAKE_SOURCE_DIR}/bench/bench_fig5_difuze.cc)
 df_add_bench(bench_table3_ablation ${CMAKE_SOURCE_DIR}/bench/bench_table3_ablation.cc)
 df_add_bench(bench_fleet_parallel ${CMAKE_SOURCE_DIR}/bench/bench_fleet_parallel.cc)
 df_add_bench(bench_fault_recovery ${CMAKE_SOURCE_DIR}/bench/bench_fault_recovery.cc)
+df_add_bench(bench_service_throughput ${CMAKE_SOURCE_DIR}/bench/bench_service_throughput.cc)
 df_add_bench(bench_micro ${CMAKE_SOURCE_DIR}/bench/bench_micro.cc)
 target_link_libraries(bench_micro PRIVATE benchmark::benchmark)

@@ -1,0 +1,261 @@
+// Campaign-service scheduling bench (DESIGN.md §14): submits a batch of
+// small campaigns to a CampaignService and drains the queue with the
+// production preemption cadence (one checkpoint period per quantum), then
+// runs every spec once more uninterrupted through the determinism oracle
+// (CampaignService::run_reference).
+//
+// Three things are measured:
+//   - jobs/hour through the preempting scheduler (timing);
+//   - preemption overhead: preempted wall time vs the uninterrupted
+//     references, same specs, same worker budget (timing);
+//   - queue latency: per-job wait_ticks percentiles. The tick counts are
+//     content (the scheduler is deterministic); their millisecond
+//     equivalents live under "timing".
+//
+// The content contract, validated by scripts/check_bench_json.py: every
+// preempted job's result document is byte-identical to its uninterrupted
+// reference ("deterministic": true), and the per-job preemption counts sum
+// to the reported total.
+//
+// Env knobs: DF_SERVICE_JOBS (default 6), DF_SERVICE_BUDGET (per-job
+// executions, default 2560), DF_SEED.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/fuzz/daemon.h"
+#include "core/service/job.h"
+#include "core/service/service.h"
+#include "device/catalog.h"
+
+namespace {
+
+using namespace df;
+using namespace df::bench;
+
+constexpr uint64_t kSlice = 64;
+constexpr uint64_t kSampleEvery = 128;
+constexpr uint64_t kCheckpointEvery = 256;
+
+uint64_t env_u64(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  const uint64_t v = std::strtoull(env, nullptr, 10);
+  return v > 0 ? v : fallback;
+}
+
+// Nearest-rank percentile of an unsorted sample.
+uint64_t percentile(std::vector<uint64_t> v, int p) {
+  std::sort(v.begin(), v.end());
+  size_t rank = (v.size() * static_cast<size_t>(p) + 99) / 100;
+  if (rank == 0) rank = 1;
+  return v[rank - 1];
+}
+
+}  // namespace
+
+int main() {
+  const WallTimer wall;
+  const uint64_t seed = seed_from_env();
+  const uint64_t n_jobs = env_u64("DF_SERVICE_JOBS", 6);
+  // Per-job budget, rounded up to the checkpoint grid so every job ends
+  // exactly on a quantum barrier.
+  const uint64_t raw_budget = env_u64("DF_SERVICE_BUDGET",
+                                      10 * kCheckpointEvery);
+  const uint64_t budget =
+      (raw_budget + kCheckpointEvery - 1) / kCheckpointEvery *
+      kCheckpointEvery;
+
+  std::string root = "df_bench_service_root";
+  if (const char* dir = std::getenv("DF_BENCH_JSON_DIR")) {
+    root = std::string(dir) + "/" + root;
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(root, ec);
+
+  // One single-device spec per job, rotating through the catalog with
+  // varied seeds and priorities so the queue actually reorders.
+  const auto& table = device::device_table();
+  std::vector<core::JobSpec> specs;
+  for (uint64_t i = 0; i < n_jobs; ++i) {
+    core::JobSpec spec;
+    spec.name = "svc-" + std::to_string(i);
+    spec.devices = {table[i % table.size()].id};
+    spec.seed = seed + i;
+    spec.budget = budget;
+    spec.priority = (i * 3) % 5;
+    spec.slice = kSlice;
+    spec.sample_every = kSampleEvery;
+    spec.checkpoint_every = kCheckpointEvery;
+    specs.push_back(std::move(spec));
+  }
+
+  std::printf(
+      "=== service throughput: %llu jobs x %llu execs, quantum %llu, "
+      "slice %llu ===\n",
+      static_cast<unsigned long long>(n_jobs),
+      static_cast<unsigned long long>(budget),
+      static_cast<unsigned long long>(kCheckpointEvery),
+      static_cast<unsigned long long>(kSlice));
+
+  // Phase 1: the preempting scheduler. One checkpoint period per quantum —
+  // the tightest (most preemption-heavy) production cadence.
+  core::ServiceConfig cfg;
+  cfg.root_dir = root + "/service";
+  cfg.workers = 1;
+  cfg.quantum_barriers = 1;
+  cfg.serve_port = -1;
+  core::CampaignService svc(cfg);
+  std::string error;
+  if (!svc.boot(&error)) {
+    std::fprintf(stderr, "bench_service: boot failed: %s\n", error.c_str());
+    return 1;
+  }
+  for (const auto& spec : specs) {
+    if (svc.submit(spec, &error) == 0) {
+      std::fprintf(stderr, "bench_service: submit failed: %s\n",
+                   error.c_str());
+      return 1;
+    }
+  }
+  const WallTimer preempted_timer;
+  svc.run_until_idle();
+  const double preempted_wall = preempted_timer.seconds();
+
+  const auto records = svc.jobs();
+  bool all_done = true;
+  for (const auto& rec : records) {
+    if (rec.state != core::JobState::kDone) {
+      all_done = false;
+      std::fprintf(stderr, "bench_service: job %llu ended %s: %s\n",
+                   static_cast<unsigned long long>(rec.id),
+                   std::string(core::to_string(rec.state)).c_str(),
+                   rec.error.c_str());
+    }
+  }
+
+  // Phase 2: the uninterrupted references (same specs, same worker budget,
+  // same checkpoint grid — the determinism oracle).
+  const WallTimer reference_timer;
+  std::vector<std::string> references;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    references.push_back(core::CampaignService::run_reference(
+        specs[i], cfg.workers, root + "/ref" + std::to_string(i)));
+  }
+  const double uninterrupted_wall = reference_timer.seconds();
+
+  bool deterministic = all_done;
+  for (size_t i = 0; i < records.size() && i < references.size(); ++i) {
+    if (records[i].result != references[i]) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "bench_service: job %llu DIVERGED from its "
+                   "uninterrupted reference\n",
+                   static_cast<unsigned long long>(records[i].id));
+    }
+  }
+
+  // Phase 3: instrumented re-runs on the same grid, for the exported
+  // per-job trajectory series (the service does not keep reporter points).
+  std::vector<BenchSeries> exported;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const core::JobSpec& spec = specs[i];
+    core::DaemonConfig dc;
+    dc.seed = spec.seed;
+    dc.workers = cfg.workers;
+    dc.engine.fault.rate = spec.fault_rate;
+    dc.checkpoint_dir = root + "/series" + std::to_string(i);
+    dc.checkpoint_every = spec.checkpoint_every;
+    core::Daemon d(dc);
+    obs::StatsReporter rep(spec.sample_every);
+    d.attach_reporter(&rep);
+    for (const auto& id : spec.devices) d.add_device(id);
+    d.run(spec.budget, spec.slice);
+    for (const auto& id : spec.devices) {
+      exported.push_back({id, "service", i, rep.series(id), {}});
+      capture_analytics(exported.back(), *d.engine(id));
+    }
+  }
+
+  // Queue latency and preemption accounting.
+  std::vector<uint64_t> waits;
+  uint64_t preemptions_total = 0;
+  for (const auto& rec : records) {
+    waits.push_back(rec.wait_ticks);
+    preemptions_total += rec.preemptions;
+  }
+  const uint64_t wait_p50 = percentile(waits, 50);
+  const uint64_t wait_p90 = percentile(waits, 90);
+  const uint64_t wait_max = percentile(waits, 100);
+  const uint64_t ticks = svc.scheduler_ticks();
+  const double tick_ms =
+      ticks == 0 ? 0.0 : preempted_wall * 1000.0 / static_cast<double>(ticks);
+  const double jobs_per_hour =
+      preempted_wall > 0
+          ? static_cast<double>(records.size()) * 3600.0 / preempted_wall
+          : 0.0;
+  const double overhead_pct =
+      uninterrupted_wall > 0
+          ? 100.0 * (preempted_wall / uninterrupted_wall - 1.0)
+          : 0.0;
+
+  std::printf("  %zu jobs in %.3fs (%.0f jobs/hour), %llu scheduler ticks\n",
+              records.size(), preempted_wall, jobs_per_hour,
+              static_cast<unsigned long long>(ticks));
+  std::printf(
+      "  preemptions %llu, wait ticks p50/p90/max %llu/%llu/%llu, "
+      "preemption overhead %+.2f%% vs uninterrupted\n",
+      static_cast<unsigned long long>(preemptions_total),
+      static_cast<unsigned long long>(wait_p50),
+      static_cast<unsigned long long>(wait_p90),
+      static_cast<unsigned long long>(wait_max), overhead_pct);
+  std::printf("  results vs references: %s\n\n",
+              deterministic ? "bit-identical" : "MISMATCH (bug!)");
+
+  const bool wrote = write_bench_json(
+      "service", seed, /*reps=*/1, exported, nullptr, wall.seconds(),
+      [&](obs::JsonWriter& w) {
+        w.key("service").begin_object();
+        w.field("jobs", static_cast<uint64_t>(records.size()));
+        w.field("workers", static_cast<uint64_t>(cfg.workers));
+        w.field("quantum_barriers", cfg.quantum_barriers);
+        w.field("checkpoint_every", kCheckpointEvery);
+        w.field("budget_per_job", budget);
+        w.field("deterministic", deterministic);
+        w.field("scheduler_ticks", ticks);
+        w.field("preemptions_total", preemptions_total);
+        w.key("wait_ticks").begin_object();
+        w.field("p50", wait_p50);
+        w.field("p90", wait_p90);
+        w.field("max", wait_max);
+        w.end_object();
+        w.key("per_job").begin_array();
+        for (const auto& rec : records) {
+          w.begin_object();
+          w.field("id", rec.id);
+          w.field("device", rec.spec.devices.front());
+          w.field("seed", rec.spec.seed);
+          w.field("priority", rec.spec.priority);
+          w.field("preemptions", rec.preemptions);
+          w.field("wait_ticks", rec.wait_ticks);
+          w.end_object();
+        }
+        w.end_array();
+        w.key("timing").begin_object();
+        w.field("preempted_wall_seconds", preempted_wall);
+        w.field("uninterrupted_wall_seconds", uninterrupted_wall);
+        w.field("jobs_per_hour", jobs_per_hour);
+        w.field("preemption_overhead_percent", overhead_pct);
+        w.field("queue_wait_p50_ms", static_cast<double>(wait_p50) * tick_ms);
+        w.field("queue_wait_p90_ms", static_cast<double>(wait_p90) * tick_ms);
+        w.field("queue_wait_max_ms", static_cast<double>(wait_max) * tick_ms);
+        w.end_object();
+        w.end_object();
+      });
+
+  return deterministic && wrote ? 0 : 1;
+}

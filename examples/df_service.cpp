@@ -1,0 +1,188 @@
+// Campaign service daemon (DESIGN.md §14): the multi-tenant control plane
+// over the fleet daemon. Boots the job table from <root>/service.json (crash
+// recovery), serves the HTTP job API, and runs the scheduler loop — one
+// preemption quantum per pass — until POST /shutdown.
+//
+//   ./examples/df_service --root <dir> [--port <p>] [--workers <n>]
+//                         [--quantum-barriers <n>] [--age-every <n>]
+//                         [--idle-exit-ms <ms>]
+//   ./examples/df_service --oneshot <spec.json> [--workers <n>]
+//                         [--scratch <dir>]
+//
+// Service mode announces the bound port on stdout:
+//
+//   df_service: serving job API on http://127.0.0.1:<port>/
+//
+// and then schedules until a POST /shutdown arrives (or, with
+// --idle-exit-ms, until the queue has been empty that long — the CI e2e
+// harness's safety net). Endpoints: GET /healthz, POST /jobs (JobSpec
+// document), GET /jobs, GET /jobs/<id>, POST /jobs/<id>/{pause,resume,
+// cancel}, GET /jobs/<id>/{status,coverage,frontier}.
+//
+// --oneshot runs the spec uninterrupted (same checkpoint grid the service
+// uses) and prints the result document — the byte-exact reference a service
+// job with the same spec must reproduce (the scheduler determinism
+// contract). The e2e test diffs the two.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "core/service/job.h"
+#include "core/service/service.h"
+#include "obs/serve.h"
+#include "util/log.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: df_service --root <dir> [--port <p>] [--workers <n>]\n"
+               "                  [--quantum-barriers <n>] [--age-every <n>]\n"
+               "                  [--idle-exit-ms <ms>]\n"
+               "       df_service --oneshot <spec.json> [--workers <n>]\n"
+               "                  [--scratch <dir>]\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.is_open()) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  df::util::init_log_from_env();
+
+  std::string root;
+  std::string oneshot_path;
+  std::string scratch = "/tmp/df_service_oneshot";
+  int port = 0;
+  size_t workers = 1;
+  uint64_t quantum_barriers = 1;
+  uint64_t age_every = 4;
+  uint64_t idle_exit_ms = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto has_value = [&](const char* flag) {
+      return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+    };
+    if (has_value("--root")) {
+      root = argv[++i];
+    } else if (has_value("--oneshot")) {
+      oneshot_path = argv[++i];
+    } else if (has_value("--scratch")) {
+      scratch = argv[++i];
+    } else if (has_value("--port")) {
+      port = std::atoi(argv[++i]);
+    } else if (has_value("--workers")) {
+      workers = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (has_value("--quantum-barriers")) {
+      quantum_barriers = std::strtoull(argv[++i], nullptr, 10);
+    } else if (has_value("--age-every")) {
+      age_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (has_value("--idle-exit-ms")) {
+      idle_exit_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      return usage();
+    }
+  }
+
+  // Reference mode: run the spec uninterrupted, print the result document.
+  if (!oneshot_path.empty()) {
+    std::string text;
+    if (!read_file(oneshot_path, &text)) {
+      std::fprintf(stderr, "df_service: cannot read %s\n",
+                   oneshot_path.c_str());
+      return 1;
+    }
+    df::core::JobSpec spec;
+    std::string error;
+    if (!df::core::JobSpec::from_json(text, &spec, &error)) {
+      std::fprintf(stderr, "df_service: bad spec: %s\n", error.c_str());
+      return 1;
+    }
+    const std::string result =
+        df::core::CampaignService::run_reference(spec, workers, scratch);
+    std::printf("%s\n", result.c_str());
+    return 0;
+  }
+
+  if (root.empty() || port < 0) return usage();
+
+  df::core::ServiceConfig cfg;
+  cfg.root_dir = root;
+  cfg.workers = workers;
+  cfg.quantum_barriers = quantum_barriers;
+  cfg.age_every = age_every;
+  cfg.serve_port = port;
+  df::core::CampaignService svc(cfg);
+
+  std::string error;
+  if (!svc.boot(&error)) {
+    std::fprintf(stderr, "df_service: boot failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (svc.server() == nullptr) {
+    std::fprintf(stderr, "df_service: cannot bind port %d\n", port);
+    return 1;
+  }
+  svc.server()->handle_route(
+      "/shutdown", [&svc](const df::obs::HttpRequest& req) {
+        df::obs::HttpResponse r;
+        if (req.method != "POST") {
+          r.status = 405;
+          r.body = "{\"error\":\"use POST to shut down\"}\n";
+          r.content_type = "application/json";
+          return r;
+        }
+        svc.request_shutdown();
+        r.body = "shutting down\n";
+        return r;
+      });
+
+  std::printf("df_service: serving job API on http://127.0.0.1:%d/\n",
+              svc.serve_port());
+  std::fflush(stdout);
+
+  // The scheduler loop: one quantum per pass; idle passes sleep briefly so
+  // freshly submitted jobs are picked up within a few milliseconds.
+  auto idle_since = std::chrono::steady_clock::now();
+  bool idle = false;
+  while (!svc.shutdown_requested()) {
+    if (svc.run_one_quantum()) {
+      idle = false;
+      continue;
+    }
+    if (!idle) {
+      idle = true;
+      idle_since = std::chrono::steady_clock::now();
+    } else if (idle_exit_ms != 0) {
+      const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - idle_since);
+      if (waited.count() >= static_cast<int64_t>(idle_exit_ms)) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  size_t done = 0;
+  size_t failed = 0;
+  const auto jobs = svc.jobs();
+  for (const auto& rec : jobs) {
+    if (rec.state == df::core::JobState::kDone) ++done;
+    if (rec.state == df::core::JobState::kFailed) ++failed;
+  }
+  std::printf("df_service: exiting after %llu quanta: %zu jobs, %zu done, "
+              "%zu failed\n",
+              static_cast<unsigned long long>(svc.scheduler_ticks()),
+              jobs.size(), done, failed);
+  return 0;
+}

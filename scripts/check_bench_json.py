@@ -45,6 +45,14 @@ snapshot_fork operator row) and a "build" block (toolchain
 self-identification plus schema versions). Both are validated whenever
 present; bench documents require "build".
 
+Bench documents may also carry a top-level "service" section (DESIGN.md
+§14, written by bench_service_throughput): the preempting scheduler's job
+batch with per-job preemption and queue-wait accounting. The content
+contract is that every preempted job reproduced its uninterrupted
+reference byte-for-byte ("deterministic": true); jobs/hour, preemption
+overhead, and the millisecond queue-wait percentiles are wall-dependent
+and live under "timing".
+
 Bench documents may also carry a top-level "snapshot" section (DESIGN.md
 §13) in one of two shapes: the micro shape written by bench_micro
 (snapshot_bytes / snapshot_sections plus capture/restore/reestablish
@@ -918,6 +926,82 @@ def check_snapshot(sn, where="snapshot"):
         check_snapshot_campaign(sn, where)
 
 
+SERVICE_TIMING = ("preempted_wall_seconds", "uninterrupted_wall_seconds",
+                  "jobs_per_hour", "preemption_overhead_percent",
+                  "queue_wait_p50_ms", "queue_wait_p90_ms",
+                  "queue_wait_max_ms")
+
+
+def check_service(sv, where="service"):
+    """Campaign-service scheduling section written by
+    bench_service_throughput (DESIGN.md §14).
+
+    Content contract: the preempting scheduler is deterministic — every
+    job's result document matched its uninterrupted reference — and the
+    per-job preemption counts sum to the reported total. Tick counts are
+    content (scheduler passes, not wall clock); jobs/hour, preemption
+    overhead, and millisecond wait percentiles live under "timing".
+    """
+    require(isinstance(sv, dict), f"{where} must be an object")
+    for key in ("jobs", "workers", "quantum_barriers", "checkpoint_every",
+                "budget_per_job"):
+        require(isinstance(sv.get(key), int) and sv[key] > 0,
+                f"{where}.{key} must be a positive int")
+    require(sv.get("deterministic") is True,
+            f"{where}.deterministic must be true: every preempted job must "
+            f"reproduce its uninterrupted reference byte-for-byte")
+    for key in ("scheduler_ticks", "preemptions_total"):
+        require(isinstance(sv.get(key), int) and sv[key] >= 0,
+                f"{where}.{key} must be a non-negative int")
+    require(sv["scheduler_ticks"] >= sv["jobs"],
+            f"{where}.scheduler_ticks must be at least one quantum per job")
+    waits = sv.get("wait_ticks")
+    require(isinstance(waits, dict), f"{where}.wait_ticks must be an object")
+    for key in ("p50", "p90", "max"):
+        require(isinstance(waits.get(key), int) and waits[key] >= 0,
+                f"{where}.wait_ticks.{key} must be a non-negative int")
+    require(waits["p50"] <= waits["p90"] <= waits["max"],
+            f"{where}.wait_ticks percentiles must be ordered "
+            f"(p50 <= p90 <= max)")
+    per_job = sv.get("per_job")
+    require(isinstance(per_job, list) and len(per_job) == sv["jobs"],
+            f"{where}.per_job must have one entry per job ({sv['jobs']})")
+    last_id = 0
+    preemptions = 0
+    for i, j in enumerate(per_job):
+        jwhere = f"{where}.per_job[{i}]"
+        require(isinstance(j, dict), f"{jwhere} must be an object")
+        require(isinstance(j.get("id"), int) and j["id"] > last_id,
+                f"{jwhere}.id must be a strictly increasing positive int")
+        last_id = j["id"]
+        require(isinstance(j.get("device"), str) and j["device"],
+                f"{jwhere}.device must be a non-empty string")
+        for key in ("seed", "priority", "preemptions", "wait_ticks"):
+            require(isinstance(j.get(key), int) and j[key] >= 0,
+                    f"{jwhere}.{key} must be a non-negative int")
+        preemptions += j["preemptions"]
+    require(preemptions == sv["preemptions_total"],
+            f"{where}.preemptions_total must equal the per-job sum "
+            f"({preemptions})")
+    content_keys = {"jobs", "workers", "quantum_barriers", "checkpoint_every",
+                    "budget_per_job", "deterministic", "scheduler_ticks",
+                    "preemptions_total", "wait_ticks", "per_job"}
+    for key in sv:
+        if key in content_keys:
+            continue
+        require(is_timing_key(key),
+                f"{where}.{key}: scheduler wall rates must live under "
+                f"'timing'")
+    timing = sv.get("timing")
+    require(isinstance(timing, dict),
+            f"{where}.timing must carry the throughput and wait latencies")
+    for key in SERVICE_TIMING:
+        require(isinstance(timing.get(key), (int, float)),
+                f"{where}.timing.{key} must be a number")
+    require(timing["jobs_per_hour"] >= 0,
+            f"{where}.timing.jobs_per_hour must be non-negative")
+
+
 def check_fleet(fleet, where="fleet"):
     """Campaign-level fleet section (--workers in fleet_campaign)."""
     require(isinstance(fleet, dict), f"{where} must be an object")
@@ -952,6 +1036,8 @@ def check_bench_doc(doc):
         check_fault_recovery(doc["fault_recovery"])
     if "snapshot" in doc:
         check_snapshot(doc["snapshot"])
+    if "service" in doc:
+        check_service(doc["service"])
     if "velocity" in doc:
         check_velocity(doc["velocity"])
     if "bugs" in doc:
@@ -1472,6 +1558,32 @@ def _fault_recovery_fixture():
     }
 
 
+def _service_fixture():
+    def job(jid, device, seed, priority, preemptions, wait_ticks):
+        return {"id": jid, "device": device, "seed": seed,
+                "priority": priority, "preemptions": preemptions,
+                "wait_ticks": wait_ticks}
+    return {
+        "jobs": 3, "workers": 1, "quantum_barriers": 1,
+        "checkpoint_every": 256, "budget_per_job": 2560,
+        "deterministic": True, "scheduler_ticks": 30,
+        "preemptions_total": 27,
+        "wait_ticks": {"p50": 10, "p90": 19, "max": 21},
+        "per_job": [
+            job(1, "A1", 1, 0, 9, 10),
+            job(2, "B", 2, 3, 9, 19),
+            job(3, "C1", 3, 1, 9, 21),
+        ],
+        "timing": {"preempted_wall_seconds": 0.8,
+                   "uninterrupted_wall_seconds": 0.7,
+                   "jobs_per_hour": 13500.0,
+                   "preemption_overhead_percent": 14.3,
+                   "queue_wait_p50_ms": 266.0,
+                   "queue_wait_p90_ms": 506.0,
+                   "queue_wait_max_ms": 560.0},
+    }
+
+
 def _snapshot_micro_fixture():
     return {
         "device": "A1", "snapshot_bytes": 2502, "snapshot_sections": 24,
@@ -1727,6 +1839,45 @@ def self_test():
     doc["fault_recovery"] = _fault_recovery_fixture()
     doc["fault_recovery"]["configs"][1]["throughput"] = 70000.0
     expect_fail("fault_recovery throughput outside 'timing'", doc)
+
+    doc = _bench_fixture()
+    doc["service"] = _service_fixture()
+    expect_ok("bench doc with service section", doc)
+
+    doc = _bench_fixture()
+    doc["service"] = _service_fixture()
+    doc["service"]["deterministic"] = False
+    expect_fail("non-deterministic service scheduler", doc)
+
+    doc = _bench_fixture()
+    doc["service"] = _service_fixture()
+    doc["service"]["per_job"].pop()
+    expect_fail("service per_job not covering every job", doc)
+
+    doc = _bench_fixture()
+    doc["service"] = _service_fixture()
+    doc["service"]["preemptions_total"] = 5
+    expect_fail("service preemptions_total not the per-job sum", doc)
+
+    doc = _bench_fixture()
+    doc["service"] = _service_fixture()
+    doc["service"]["wait_ticks"]["p90"] = 25
+    expect_fail("service wait percentiles out of order", doc)
+
+    doc = _bench_fixture()
+    doc["service"] = _service_fixture()
+    doc["service"]["jobs_per_hour"] = 13500.0
+    expect_fail("service throughput outside 'timing'", doc)
+
+    doc = _bench_fixture()
+    doc["service"] = _service_fixture()
+    del doc["service"]["timing"]["jobs_per_hour"]
+    expect_fail("service timing missing jobs_per_hour", doc)
+
+    doc = _bench_fixture()
+    doc["service"] = _service_fixture()
+    doc["service"]["scheduler_ticks"] = 2
+    expect_fail("service with fewer ticks than jobs", doc)
 
     doc = _bench_fixture()
     doc["snapshot"] = _snapshot_micro_fixture()

@@ -17,6 +17,16 @@ if [ ${#sanitizers[@]} -eq 0 ]; then
   sanitizers=(address undefined)
 fi
 
+# Optional compiler launcher (CI sets DF_CMAKE_LAUNCHER=ccache so the
+# instrumented rebuilds hit the per-sanitizer cache); empty means none.
+launcher_args=()
+if [ -n "${DF_CMAKE_LAUNCHER:-}" ]; then
+  launcher_args=(
+    -DCMAKE_C_COMPILER_LAUNCHER="$DF_CMAKE_LAUNCHER"
+    -DCMAKE_CXX_COMPILER_LAUNCHER="$DF_CMAKE_LAUNCHER"
+  )
+fi
+
 for san in "${sanitizers[@]}"; do
   case "$san" in
     address) dir=build-asan ;;
@@ -28,7 +38,8 @@ for san in "${sanitizers[@]}"; do
       ;;
   esac
   echo "== $san sanitizer ($dir) =="
-  cmake -B "$dir" -S . -DDF_SANITIZE="$san" -DDF_WERROR=ON >/dev/null
+  cmake -B "$dir" -S . -DDF_SANITIZE="$san" -DDF_WERROR=ON \
+    "${launcher_args[@]}" >/dev/null
   cmake --build "$dir" -j "$(nproc)"
   # halt_on_error makes sanitizer findings fail the test run instead of
   # logging; any TSan race report aborts the parallel daemon tests.

@@ -10,6 +10,7 @@
 #include "core/fuzz/daemon.h"
 #include "device/snapshot.h"
 #include "dsl/fmt.h"
+#include "kernel/snapshot.h"
 #include "dsl/parse.h"
 #include "obs/analytics.h"
 #include "obs/json.h"
@@ -324,7 +325,10 @@ void CampaignCheckpoint::serialize_device(obs::JsonWriter& w,
 
   // Campaign-cumulative state-machine tallies, in driver registration order
   // (they survive the barrier reboot on the save side, so they must be
-  // carried over the fresh boot on the resume side).
+  // carried over the fresh boot on the resume side). The live-state blob
+  // rides along too: reboot-persistent fields (rt1711's probe counter)
+  // influence coverage emitted on later boots, and a fresh restore-side
+  // boot would re-derive them from zero instead of the campaign's history.
   w.key("drivers").begin_array();
   for (const auto& d : k.drivers()) {
     w.begin_object();
@@ -335,6 +339,9 @@ void CampaignCheckpoint::serialize_device(obs::JsonWriter& w,
     w.key("matrix").begin_array();
     for (uint64_t v : d->state_matrix()) w.value(v);
     w.end_array();
+    kernel::StateBuf sb;
+    d->save_state(sb);
+    w.field("state", hex_bytes(sb.bytes()));
     w.end_object();
   }
   w.end_array();
@@ -715,10 +722,24 @@ bool CampaignCheckpoint::restore_device(const obs::JsonValue& d,
     uint64_t cur = 0;
     std::vector<uint64_t> visits;
     std::vector<uint64_t> matrix;
+    std::string state_hex;
     if (!get_u64(tv, "current", &cur, error, ctx.c_str()) ||
         !get_u64_array(tv, "visits", &visits, error, ctx.c_str()) ||
-        !get_u64_array(tv, "matrix", &matrix, error, ctx.c_str())) {
+        !get_u64_array(tv, "matrix", &matrix, error, ctx.c_str()) ||
+        !get_str(tv, "state", &state_hex, error, ctx.c_str())) {
       return false;
+    }
+    std::vector<uint8_t> state_bytes;
+    if (!bytes_from_hex(state_hex, &state_bytes)) {
+      return fail(error, ctx + ": driver state blob is not valid hex");
+    }
+    // Overwrites the post-reboot live fields with the save side's — both
+    // sides are freshly barrier-rebooted here, so only the
+    // reboot-persistent fields actually change.
+    kernel::StateReader sr(state_bytes);
+    k.drivers()[i]->load_state(sr);
+    if (!sr.done()) {
+      return fail(error, ctx + ": driver state blob does not match driver");
     }
     k.drivers()[i]->restore_state_tallies(static_cast<size_t>(cur),
                                           std::move(visits),

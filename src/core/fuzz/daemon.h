@@ -99,6 +99,13 @@ class Daemon {
   // /metrics endpoint needs no publishing: it renders live from the
   // (thread-safe) registry.
   void publish_introspection();
+  // The same rendered documents publish_introspection() swaps into the
+  // embedded server, for callers that serve them from their own endpoint
+  // (the campaign service re-exposes them per job under /jobs/<id>/...).
+  // Must run while no worker owns the engines — between run() calls.
+  std::string status_json() const { return build_status_json(); }
+  std::string coverage_json() const { return build_coverage_json(); }
+  std::string frontier_json() const { return build_frontier_json(); }
   // Coverage-velocity analytics fed at the sampling cadence.
   const obs::VelocityTracker& velocity() const { return velocity_; }
   // Accumulated per-worker busy/idle/barrier accounting across run() calls.

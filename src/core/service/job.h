@@ -1,0 +1,94 @@
+// Campaign service job model (DESIGN.md §14): one fuzzing campaign as a
+// schedulable value. A JobSpec is the serializable description a client
+// POSTs to /jobs — device catalog, budget, seed, priority, and the
+// checkpoint grid — and a JobRecord is the service's bookkeeping around it
+// (state machine, progress, preemption and queue-wait accounting).
+//
+// The spec carries the *whole* determinism surface of a campaign: two jobs
+// with equal specs produce bit-identical results no matter how the
+// scheduler interleaves, preempts, or restarts them (service.h explains
+// why the grid fields make that true). Validation is strict — the cadence
+// fields must nest (slice | sample_every | checkpoint_every) so preemption
+// barriers land exactly on the uninterrupted run's sampling grid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace df::obs {
+class JsonWriter;
+struct JsonValue;
+}  // namespace df::obs
+
+namespace df::core {
+
+struct JobSpec {
+  std::string name;                  // optional human label
+  std::vector<std::string> devices;  // Table I catalog ids, no duplicates
+  uint64_t seed = 1;
+  uint64_t budget = 0;      // executions per device (total, not per slice)
+  uint64_t priority = 0;    // higher = scheduled sooner (aged while queued)
+  uint64_t slice = 64;      // fleet barrier granularity (executions)
+  uint64_t sample_every = 256;      // stats-reporter cadence
+  uint64_t checkpoint_every = 512;  // barrier-reboot + serialize grid
+  double fault_rate = 0.0;          // substrate fault injection (0 = off)
+
+  // Structural + cadence validation (devices exist in the catalog, budget
+  // non-zero, slice | sample_every | checkpoint_every). Returns false and
+  // fills `error` with the first violation.
+  bool validate(std::string* error) const;
+
+  void write_json(obs::JsonWriter& w) const;
+  std::string to_json() const;
+  // Strict parse: unknown keys, wrong types, and validation failures all
+  // reject with a descriptive error — the 400 body of POST /jobs.
+  static bool from_json(const std::string& text, JobSpec* out,
+                        std::string* error);
+  static bool from_value(const obs::JsonValue& v, JobSpec* out,
+                         std::string* error);
+};
+
+// Scheduler states. Queued and Running cycle through preemption; Paused
+// holds the checkpoint without consuming queue slots; Done/Failed/Cancelled
+// are terminal.
+enum class JobState : uint8_t {
+  kQueued,
+  kRunning,
+  kPaused,
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+std::string_view to_string(JobState s);
+bool job_state_from_string(std::string_view s, JobState* out);
+inline bool is_terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled;
+}
+
+struct JobRecord {
+  uint64_t id = 0;
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  uint64_t progress = 0;     // per-device executions checkpointed so far
+  uint64_t preemptions = 0;  // quanta that ended with a re-enqueue
+  uint64_t wait_ticks = 0;   // scheduler passes spent queued, all stints
+  // Control flags set by the HTTP API mid-quantum, applied at the next
+  // checkpoint barrier (a running job is never interrupted mid-slice).
+  bool pause_requested = false;
+  bool cancel_requested = false;
+  std::string error;   // terminal diagnostic for kFailed
+  std::string result;  // result document (service.h) once kDone
+
+  // Serialization for the manifest and the job API. `include_result`
+  // controls whether the (potentially large) result/error payload rides
+  // along; the /jobs listing omits it.
+  void write_json(obs::JsonWriter& w, bool include_result = true) const;
+  static bool from_value(const obs::JsonValue& v, JobRecord* out,
+                         std::string* error);
+};
+
+}  // namespace df::core

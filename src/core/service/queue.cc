@@ -1,0 +1,66 @@
+#include "core/service/queue.h"
+
+#include <algorithm>
+
+namespace df::core {
+
+void JobQueue::push(uint64_t job_id, uint64_t priority) {
+  Entry e;
+  e.job_id = job_id;
+  e.priority = priority;
+  e.enqueued_tick = tick_;
+  e.seq = seq_++;
+  entries_.push_back(e);
+}
+
+bool JobQueue::before(const Entry& a, const Entry& b) const {
+  const uint64_t ea = effective(a);
+  const uint64_t eb = effective(b);
+  if (ea != eb) return ea > eb;
+  return a.seq < b.seq;
+}
+
+std::optional<JobQueue::Popped> JobQueue::pop() {
+  if (entries_.empty()) return std::nullopt;
+  // Waiting time accrues on every scheduler pass, including the one that
+  // dequeues: a job admitted and immediately popped waited one tick.
+  ++tick_;
+  size_t best = 0;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    if (before(entries_[i], entries_[best])) best = i;
+  }
+  Popped out;
+  out.job_id = entries_[best].job_id;
+  out.waited = tick_ - entries_[best].enqueued_tick;
+  entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(best));
+  return out;
+}
+
+bool JobQueue::remove(uint64_t job_id) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].job_id == job_id) {
+      entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool JobQueue::contains(uint64_t job_id) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.job_id == job_id; });
+}
+
+std::vector<uint64_t> JobQueue::in_pop_order() const {
+  std::vector<Entry> sorted = entries_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [this](const Entry& a, const Entry& b) {
+                     return before(a, b);
+                   });
+  std::vector<uint64_t> out;
+  out.reserve(sorted.size());
+  for (const auto& e : sorted) out.push_back(e.job_id);
+  return out;
+}
+
+}  // namespace df::core

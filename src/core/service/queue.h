@@ -1,0 +1,75 @@
+// Priority job queue with aging (DESIGN.md §14). Purely deterministic: the
+// pop order is a function of the push/pop call sequence alone — no clocks —
+// so a service restart that replays the same admissions schedules the same.
+//
+// Each pop is one scheduler "tick". A queued entry's effective priority is
+//
+//   effective = priority + (tick - enqueued_tick) / age_every
+//
+// i.e. waiting age_every scheduler passes buys one priority level. Pop
+// selects the highest effective priority; ties break FIFO by admission
+// sequence. Two properties follow, both covered by queue property tests:
+//
+//  - starvation-free: an entry's effective priority grows without bound
+//    while it waits, so it eventually exceeds any fixed admission priority
+//    no matter how many higher-priority jobs keep arriving;
+//  - FIFO within a priority level: equal-priority entries age at the same
+//    rate, so their effective priorities never cross and the admission
+//    sequence decides.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace df::core {
+
+class JobQueue {
+ public:
+  // age_every == N: one priority level per N scheduler passes (0 is
+  // clamped to 1; aging cannot be disabled, or starvation-freedom dies).
+  explicit JobQueue(uint64_t age_every = 4)
+      : age_every_(age_every == 0 ? 1 : age_every) {}
+
+  struct Popped {
+    uint64_t job_id = 0;
+    uint64_t waited = 0;  // ticks spent queued (this stint)
+  };
+
+  void push(uint64_t job_id, uint64_t priority);
+  // Highest effective priority, FIFO within ties; advances the tick.
+  std::optional<Popped> pop();
+  // Drops a queued entry (pause/cancel of a queued job). False if absent.
+  bool remove(uint64_t job_id);
+  bool contains(uint64_t job_id) const;
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  uint64_t tick() const { return tick_; }
+  uint64_t age_every() const { return age_every_; }
+
+  // Entries in current pop order (what pop would return if nothing else
+  // changed) — the /jobs listing and the manifest's queue section.
+  std::vector<uint64_t> in_pop_order() const;
+
+ private:
+  struct Entry {
+    uint64_t job_id = 0;
+    uint64_t priority = 0;
+    uint64_t enqueued_tick = 0;
+    uint64_t seq = 0;  // admission sequence, the FIFO tie-break
+  };
+
+  uint64_t effective(const Entry& e) const {
+    return e.priority + (tick_ - e.enqueued_tick) / age_every_;
+  }
+  // True when a must pop before b at the current tick.
+  bool before(const Entry& a, const Entry& b) const;
+
+  std::vector<Entry> entries_;
+  uint64_t tick_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t age_every_;
+};
+
+}  // namespace df::core

@@ -1,0 +1,173 @@
+// Campaign service control plane (DESIGN.md §14, ROADMAP item 2): promotes
+// the single-campaign Daemon into a long-running multi-tenant server. The
+// service owns a bounded FleetExecutor-backed worker budget
+// (ServiceConfig::workers) and a priority JobQueue of campaigns; jobs are
+// admitted over HTTP (POST /jobs), scheduled in budget slices of
+// quantum_barriers checkpoint periods, preempted at checkpoint barriers —
+// the campaign persists its versioned v3 checkpoint (live snapshot pool
+// included) and re-enqueues — and the whole job table survives a service
+// crash via the manifest (<root>/service.json) written at every scheduling
+// event.
+//
+// Determinism contract (extends the PR 4/5 contract to the scheduler): a
+// job's final result document is bit-identical to an uninterrupted
+// reference run of the same spec, for any worker count, preemption cadence
+// (quantum_barriers), admission order, pause/resume sequence, and service
+// restart. Why this holds:
+//
+//  - checkpointing itself perturbs a campaign (every checkpoint is a
+//    barrier reboot), so the reference run keeps checkpointing ON with the
+//    same checkpoint_every grid (run_reference below);
+//  - the service only preempts at multiples of spec.checkpoint_every: each
+//    quantum is resume(last checkpoint) + run(min(budget, start + quantum))
+//    + checkpoint_json(), which reproduces exactly the reboot/serialize
+//    grid of the uninterrupted run — interior barriers fire inside
+//    Daemon::run, the quantum-final one fires via checkpoint_json();
+//  - JobSpec::validate forces slice | sample_every | checkpoint_every so
+//    reporter samples land on the same execution grid on both sides and a
+//    quantum boundary never emits an extra stats point;
+//  - per-device results are already worker-count-independent (PR 4), and
+//    jobs never share mutable state, so admission order cannot leak in.
+//
+// Threading: scheduling (run_one_quantum / run_until_idle) happens on the
+// caller's thread, one quantum at a time. HTTP handlers run on the server
+// thread and only flip job flags / read snapshots under the table lock;
+// flags are applied at the next checkpoint barrier.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/service/job.h"
+#include "core/service/queue.h"
+#include "obs/serve.h"
+
+namespace df::core {
+
+class Daemon;
+
+struct ServiceConfig {
+  // Manifest + per-job checkpoint directories live under here (required).
+  std::string root_dir;
+  // Fleet worker threads handed to each running job's Daemon — the bounded
+  // pool all campaigns time-share. Per-job results do not depend on it.
+  size_t workers = 1;
+  // Preemption quantum in checkpoint periods: a job runs
+  // quantum_barriers * spec.checkpoint_every executions per scheduling
+  // turn, then checkpoints and re-enqueues (0 is clamped to 1).
+  uint64_t quantum_barriers = 1;
+  // Queue aging cadence (JobQueue, one priority level per N pops).
+  uint64_t age_every = 4;
+  // Job API port: -1 disables, 0 binds a free ephemeral port.
+  int serve_port = -1;
+};
+
+class CampaignService {
+ public:
+  explicit CampaignService(ServiceConfig cfg);
+  ~CampaignService();
+  CampaignService(const CampaignService&) = delete;
+  CampaignService& operator=(const CampaignService&) = delete;
+
+  // Crash-safe restart-from-disk: loads <root>/service.json if present and
+  // re-enqueues every queued job plus any job the previous process died
+  // while running (its checkpoint is the resume point; at most one quantum
+  // of work is lost, never completed ones). Terminal and paused jobs keep
+  // their state. A missing manifest is a fresh service, not an error.
+  bool boot(std::string* error = nullptr);
+
+  // Admits a job (validated spec) and persists the manifest. Returns the
+  // job id, or 0 with `error` filled on invalid specs.
+  uint64_t submit(const JobSpec& spec, std::string* error = nullptr);
+
+  // Control actions. Queued jobs transition immediately; running jobs take
+  // the flag and transition at the next checkpoint barrier. Invalid
+  // transitions (pausing a done job, resuming a running one) return false
+  // with a descriptive error — the 409 body of the job API.
+  bool pause(uint64_t id, std::string* error = nullptr);
+  bool resume_job(uint64_t id, std::string* error = nullptr);
+  bool cancel(uint64_t id, std::string* error = nullptr);
+
+  // One scheduling pass: pops the highest-effective-priority job, runs one
+  // quantum, checkpoints, and re-enqueues / finishes / fails it. Returns
+  // false when the queue is empty (nothing ran).
+  bool run_one_quantum();
+  // Drains the queue (every job reaches a terminal or paused state).
+  void run_until_idle();
+
+  // --- introspection ---------------------------------------------------------
+  std::optional<JobRecord> job(uint64_t id) const;
+  std::vector<JobRecord> jobs() const;
+  size_t queue_depth() const;
+  uint64_t scheduler_ticks() const;
+  // The /jobs listing document (summaries + current pop order).
+  std::string jobs_json() const;
+  // Full record for one job ("" when unknown).
+  std::string job_json(uint64_t id) const;
+  // Per-job /status-family views ("status", "coverage", "frontier"),
+  // refreshed at every checkpoint barrier; "{}" before the first quantum.
+  std::string job_view(uint64_t id, const std::string& which) const;
+
+  // The job API server (null when serve_port < 0 or bind failed).
+  obs::HttpServer* server() { return server_.get(); }
+  int serve_port() const {
+    return server_ != nullptr ? static_cast<int>(server_->port()) : -1;
+  }
+
+  // Cooperative shutdown for the serving loop (wired to POST /shutdown by
+  // df_service).
+  void request_shutdown();
+  bool shutdown_requested() const;
+
+  // The determinism oracle: runs `spec` uninterrupted — same checkpoint
+  // grid, same worker count — in `scratch_dir` and returns the result
+  // document a service job with this spec must reproduce byte-for-byte.
+  static std::string run_reference(const JobSpec& spec, size_t workers,
+                                   const std::string& scratch_dir);
+
+ private:
+  struct Job {
+    JobRecord rec;
+    // Last published per-job introspection documents.
+    std::string status = "{}";
+    std::string coverage = "{}";
+    std::string frontier = "{}";
+  };
+
+  // Outcome of one quantum, merged back into the table under the lock.
+  struct QuantumResult {
+    uint64_t progress = 0;
+    bool finished = false;
+    bool failed = false;
+    std::string error;
+    std::string result;
+    std::string status;
+    std::string coverage;
+    std::string frontier;
+  };
+
+  std::string job_dir(uint64_t id) const;
+  std::string manifest_path() const;
+  void save_manifest_locked();
+  // Runs one quantum of `rec` outside the lock.
+  QuantumResult execute_quantum(const JobRecord& rec);
+  void start_server();
+  // HTTP plumbing.
+  obs::HttpResponse handle_jobs(const obs::HttpRequest& req);
+
+  ServiceConfig cfg_;
+  mutable std::mutex mu_;  // guards jobs_, queue_, next_id_
+  std::map<uint64_t, Job> jobs_;
+  JobQueue queue_;
+  uint64_t next_id_ = 1;
+  std::atomic<bool> shutdown_{false};
+  std::unique_ptr<obs::HttpServer> server_;
+};
+
+}  // namespace df::core

@@ -2,16 +2,20 @@
 
 #include <netinet/in.h>
 #include <poll.h>
+#include <strings.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
 namespace df::obs {
 
 namespace {
+
+constexpr size_t kMaxHeadBytes = 16 * 1024;
 
 const char* reason_phrase(int status) {
   switch (status) {
@@ -23,6 +27,10 @@ const char* reason_phrase(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 409:
+      return "Conflict";
+    case 413:
+      return "Content Too Large";
     case 503:
       return "Service Unavailable";
     default:
@@ -57,6 +65,30 @@ void send_response(int fd, const HttpResponse& r,
   send_all(fd, out);
 }
 
+// Case-insensitive single-header lookup in a raw request head. Returns the
+// trimmed value or "" when absent.
+std::string header_value(const std::string& head, const std::string& name) {
+  size_t pos = head.find("\r\n");
+  while (pos != std::string::npos && pos + 2 < head.size()) {
+    const size_t eol = head.find("\r\n", pos + 2);
+    const std::string line = head.substr(
+        pos + 2, eol == std::string::npos ? std::string::npos : eol - pos - 2);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos && colon == name.size() &&
+        ::strncasecmp(line.c_str(), name.c_str(), name.size()) == 0) {
+      size_t begin = colon + 1;
+      while (begin < line.size() && line[begin] == ' ') ++begin;
+      size_t end = line.size();
+      while (end > begin && (line[end - 1] == ' ' || line[end - 1] == '\t')) {
+        --end;
+      }
+      return line.substr(begin, end - begin);
+    }
+    pos = eol;
+  }
+  return "";
+}
+
 }  // namespace
 
 HttpServer::~HttpServer() { stop(); }
@@ -64,6 +96,32 @@ HttpServer::~HttpServer() { stop(); }
 void HttpServer::handle(std::string path, Handler fn) {
   std::lock_guard<std::mutex> lock(mu_);
   handlers_[std::move(path)] = std::move(fn);
+}
+
+void HttpServer::handle_route(std::string prefix, RouteHandler fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  routes_[std::move(prefix)] = std::move(fn);
+}
+
+HttpServer::RouteHandler HttpServer::find_route(
+    const std::string& path) const {
+  // Longest matching prefix: a route matches its exact path or any path one
+  // '/' below it, so "/jobs" serves "/jobs/7/pause" but never "/jobsx".
+  std::lock_guard<std::mutex> lock(mu_);
+  const RouteHandler* best = nullptr;
+  size_t best_len = 0;
+  for (const auto& [prefix, fn] : routes_) {
+    if (path.size() < prefix.size() ||
+        path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    if (path.size() > prefix.size() && path[prefix.size()] != '/') continue;
+    if (best == nullptr || prefix.size() > best_len) {
+      best = &fn;
+      best_len = prefix.size();
+    }
+  }
+  return best != nullptr ? *best : RouteHandler{};
 }
 
 bool HttpServer::start(uint16_t port, std::string* error) {
@@ -117,7 +175,8 @@ void HttpServer::loop() {
     if (r <= 0 || (p.revents & POLLIN) == 0) continue;
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
-    // A stuck peer must not wedge the accept loop.
+    // A stuck peer must not wedge the accept loop: every recv — head and
+    // body alike — is bounded by this timeout.
     timeval tv{};
     tv.tv_sec = 2;
     ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
@@ -127,10 +186,14 @@ void HttpServer::loop() {
 }
 
 void HttpServer::serve_client(int fd) {
-  // Read until the end of the request head; the body (if any) is ignored.
+  // Read until the end of the request head; bytes past it are the start of
+  // the body.
   std::string req;
   char buf[2048];
-  while (req.size() < 16 * 1024 && req.find("\r\n\r\n") == std::string::npos) {
+  size_t head_end = std::string::npos;
+  while (req.size() < kMaxHeadBytes) {
+    head_end = req.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) break;
     req.append(buf, static_cast<size_t>(n));
@@ -143,40 +206,109 @@ void HttpServer::serve_client(int fd) {
   const size_t sp1 = line.find(' ');
   const size_t sp2 = sp1 == std::string::npos ? std::string::npos
                                               : line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      head_end == std::string::npos) {
     HttpResponse r;
     r.status = 400;
     r.body = "bad request\n";
     send_response(fd, r);
     return;
   }
-  const std::string method = line.substr(0, sp1);
-  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  const size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
+  const std::string head = req.substr(0, head_end);
+  HttpRequest request;
+  request.method = line.substr(0, sp1);
+  request.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = request.path.find('?');
+  if (query != std::string::npos) request.path.resize(query);
 
-  if (method != "GET") {
-    HttpResponse r;
-    r.status = 405;
-    r.body = "method not allowed\n";
-    send_response(fd, r, "Allow: GET\r\n");
-    return;
+  // Body: declared by Content-Length and capped at kMaxBodyBytes. The limit
+  // is enforced twice — against the declared length before reading a single
+  // body byte, and against the actual byte count for clients that lie.
+  size_t content_length = 0;
+  const std::string declared = header_value(head, "Content-Length");
+  if (!declared.empty()) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(declared.c_str(), &end, 10);
+    if (end == declared.c_str() || v > kMaxBodyBytes) {
+      HttpResponse r;
+      r.status = 413;
+      r.body = "request body too large (limit " +
+               std::to_string(kMaxBodyBytes) + " bytes)\n";
+      send_response(fd, r);
+      return;
+    }
+    content_length = static_cast<size_t>(v);
   }
-
-  Handler fn;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = handlers_.find(path);
-    if (it != handlers_.end()) fn = it->second;
+  request.body = req.substr(head_end + 4);
+  while (request.body.size() < content_length) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // slow/dead client: the receive timeout fired
+    request.body.append(buf, static_cast<size_t>(n));
+    if (request.body.size() > kMaxBodyBytes) {
+      HttpResponse r;
+      r.status = 413;
+      r.body = "request body too large (limit " +
+               std::to_string(kMaxBodyBytes) + " bytes)\n";
+      send_response(fd, r);
+      return;
+    }
   }
-  if (!fn) {
+  if (request.body.size() < content_length) {
     HttpResponse r;
-    r.status = 404;
-    r.body = "not found\n";
+    r.status = 400;
+    r.body = "incomplete request body\n";
     send_response(fd, r);
     return;
   }
-  send_response(fd, fn());
+  if (request.body.size() > content_length) request.body.resize(content_length);
+
+  bool have_routes = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    have_routes = !routes_.empty();
+  }
+  const std::string allow =
+      have_routes ? "Allow: GET, POST\r\n" : "Allow: GET\r\n";
+
+  if (request.method != "GET" && request.method != "POST") {
+    HttpResponse r;
+    r.status = 405;
+    r.body = "method not allowed\n";
+    send_response(fd, r, allow);
+    return;
+  }
+
+  if (request.method == "GET") {
+    Handler fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = handlers_.find(request.path);
+      if (it != handlers_.end()) fn = it->second;
+    }
+    if (fn) {
+      send_response(fd, fn());
+      return;
+    }
+  }
+
+  if (const RouteHandler route = find_route(request.path); route) {
+    send_response(fd, route(request));
+    return;
+  }
+
+  if (request.method == "POST") {
+    // No route claims the path: the resource (if it exists at all) is
+    // GET-only — the historical read-only-server behaviour.
+    HttpResponse r;
+    r.status = 405;
+    r.body = "method not allowed\n";
+    send_response(fd, r, allow);
+    return;
+  }
+  HttpResponse r;
+  r.status = 404;
+  r.body = "not found\n";
+  send_response(fd, r);
 }
 
 }  // namespace df::obs

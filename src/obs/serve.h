@@ -1,15 +1,26 @@
-// Embedded introspection HTTP server (DESIGN.md §10): a dependency-free
-// HTTP/1.1 endpoint bound to 127.0.0.1 that serves registered GET handlers
-// from a dedicated accept-loop thread. This is the read-only precursor to
-// the campaign control plane (ROADMAP item 2): operators scrape /metrics
-// (Prometheus exposition), /status, /healthz, and /coverage from a live
-// campaign without touching its output files.
+// Embedded introspection + control HTTP server (DESIGN.md §10, §14): a
+// dependency-free HTTP/1.1 endpoint bound to 127.0.0.1 that serves
+// registered handlers from a dedicated accept-loop thread. It started as
+// the read-only scrape surface (/metrics, /status, /healthz, /coverage);
+// the campaign service control plane (ROADMAP item 2) adds method-aware
+// *routes* so the job API can accept POST bodies (submit / pause / resume /
+// cancel) on the same tiny server.
 //
-// Scope is deliberately tiny: GET only (anything else is 405), one request
-// per connection (`Connection: close`), no TLS, no keep-alive, no
-// chunked encoding. Handlers run on the server thread — they must only
-// touch thread-safe state (the metrics Registry) or data published for them
-// under a lock (Daemon::publish_introspection).
+// Scope stays deliberately small: GET plus POST (anything else is 405 with
+// an Allow header), one request per connection (`Connection: close`), no
+// TLS, no keep-alive, no chunked encoding. Request bodies are read up to
+// Content-Length and hard-capped at kMaxBodyBytes — an oversized or
+// lying client gets 413 and the connection is dropped, and a slow client
+// runs into the per-connection receive timeout, so neither can wedge the
+// accept loop. Handlers run on the server thread — they must only touch
+// thread-safe state (the metrics Registry, the service job table's own
+// lock) or data published for them under a lock
+// (Daemon::publish_introspection).
+//
+// Exact GET handlers (handle()) are matched first; route handlers
+// (handle_route()) then match by longest path prefix for any method and
+// see the full request, so "/jobs" can serve "/jobs", "/jobs/7", and
+// "/jobs/7/pause" from one handler.
 //
 // Port 0 asks the kernel for a free ephemeral port; port() reports the
 // bound one. The accept loop polls with a 100 ms timeout so stop() (also
@@ -32,18 +43,38 @@ struct HttpResponse {
   std::string body;
 };
 
+// One parsed request as a route handler sees it: the method verb, the path
+// with any query string stripped, and the (possibly empty) body.
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string body;
+};
+
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse()>;
+  using RouteHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+  // Request bodies beyond this are rejected with 413 (Content-Length is
+  // checked before any body byte is read, and the read loop enforces the
+  // same cap against clients that lie about the length).
+  static constexpr size_t kMaxBodyBytes = 64 * 1024;
 
   HttpServer() = default;
   ~HttpServer();
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  // Registers (or replaces) the handler for an exact request path. The
+  // Registers (or replaces) the GET handler for an exact request path. The
   // query string is stripped before matching. Safe while running.
   void handle(std::string path, Handler fn);
+
+  // Registers (or replaces) a method-aware handler for `prefix` and every
+  // path below it ("/jobs" matches "/jobs", "/jobs/7/pause", but not
+  // "/jobsx"). Longest matching prefix wins; exact GET handlers take
+  // precedence. Safe while running.
+  void handle_route(std::string prefix, RouteHandler fn);
 
   // Binds 127.0.0.1:`port` and starts the accept thread. Returns false and
   // fills `error` (if non-null) on bind/listen failure; the server is then
@@ -62,9 +93,11 @@ class HttpServer {
  private:
   void loop();
   void serve_client(int fd);
+  RouteHandler find_route(const std::string& path) const;
 
-  mutable std::mutex mu_;  // guards handlers_
+  mutable std::mutex mu_;  // guards handlers_ and routes_
   std::map<std::string, Handler> handlers_;
+  std::map<std::string, RouteHandler> routes_;
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> running_{false};

@@ -157,6 +157,42 @@ TEST(Checkpoint, ResumeReplaysTheFaultScheduleToo) {
   expect_roundtrip(/*workers=*/1, /*fault_rate=*/0.01);
 }
 
+// Regression (checkpoint v4): driver fields that deliberately survive
+// reboots — rt1711's probe counter feeds a per-boot coverage feature —
+// must ride the checkpoint, or a resume early in a campaign (while those
+// features are still fresh) re-derives them from a fresh boot and sees
+// "new" coverage the uninterrupted run already counted. Seed 52 reboots
+// (bug-triggered) before exec 256; resuming there exposed the drift.
+TEST(Checkpoint, EarlyResumeCarriesRebootPersistentDriverState) {
+  const std::string dir = ::testing::TempDir() + "df_checkpoint_early";
+  CampaignSetup setup;
+  setup.cfg.seed = 52;
+  setup.cfg.workers = 1;
+  setup.cfg.checkpoint_dir = dir;
+  setup.cfg.checkpoint_every = 256;
+  setup.devices = {"A1", "E"};
+
+  Campaign full(setup);
+  full.daemon.run(512, 64);
+  const Fingerprint want = fingerprint(full.daemon, full.obs, full.rep);
+
+  std::string text, error;
+  ASSERT_TRUE(CampaignCheckpoint::read_file(dir + "/checkpoint.json", &text,
+                                            &error))
+      << error;
+  Campaign resumed(setup);
+  ASSERT_TRUE(resumed.daemon.resume(text, &error)) << error;
+  EXPECT_EQ(resumed.daemon.progress(), 256u);
+  resumed.daemon.run(512, 64);
+
+  const Fingerprint got =
+      fingerprint(resumed.daemon, resumed.obs, resumed.rep);
+  EXPECT_EQ(want.total_coverage, got.total_coverage);
+  EXPECT_EQ(want.corpus, got.corpus);
+  EXPECT_EQ(want.bugs, got.bugs);
+  EXPECT_EQ(want.trace_jsonl, got.trace_jsonl);
+}
+
 // A mid-campaign checkpoint carries the live snapshot images; every daemon
 // resumed from the same document holds the same pool and the same
 // last-good capture, byte for byte.
@@ -278,9 +314,9 @@ TEST_F(CheckpointRejectTest, BitFlippedFieldIsRejected) {
 
 TEST_F(CheckpointRejectTest, WrongVersionIsRejected) {
   std::string doc = valid_;
-  const size_t pos = doc.find("\"version\":3");
+  const size_t pos = doc.find("\"version\":4");
   ASSERT_NE(pos, std::string::npos);
-  doc.replace(pos, strlen("\"version\":3"), "\"version\":999");
+  doc.replace(pos, strlen("\"version\":4"), "\"version\":999");
   std::string error;
   Daemon d = matching_daemon();
   EXPECT_FALSE(d.resume(doc, &error));

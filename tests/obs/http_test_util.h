@@ -25,7 +25,8 @@ struct HttpTestResponse {
 };
 
 inline HttpTestResponse http_request(uint16_t port, const std::string& method,
-                                     const std::string& target) {
+                                     const std::string& target,
+                                     const std::string& body = "") {
   HttpTestResponse out;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return out;
@@ -37,9 +38,14 @@ inline HttpTestResponse http_request(uint16_t port, const std::string& method,
     ::close(fd);
     return out;
   }
-  const std::string req = method + " " + target +
-                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
-                          "Connection: close\r\n\r\n";
+  std::string req = method + " " + target +
+                    " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                    "Connection: close\r\n";
+  if (!body.empty() || method == "POST") {
+    req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  req += "\r\n";
+  req += body;
   size_t sent = 0;
   while (sent < req.size()) {
     const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
@@ -85,6 +91,11 @@ inline HttpTestResponse http_request(uint16_t port, const std::string& method,
 
 inline HttpTestResponse http_get(uint16_t port, const std::string& target) {
   return http_request(port, "GET", target);
+}
+
+inline HttpTestResponse http_post(uint16_t port, const std::string& target,
+                                  const std::string& body) {
+  return http_request(port, "POST", target, body);
 }
 
 }  // namespace df::test

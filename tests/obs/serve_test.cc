@@ -74,9 +74,9 @@ TEST(HttpServer, UnknownPathIs404) {
   EXPECT_EQ(res.status, 404);
 }
 
-// The server is read-only: every non-GET method — even on a registered
-// path — gets 405 with an Allow header naming the one accepted method
-// (RFC 9110 requires Allow on 405 responses).
+// A server without route handlers is read-only: every non-GET method —
+// even on a registered path — gets 405 with an Allow header naming the one
+// accepted method (RFC 9110 requires Allow on 405 responses).
 TEST(HttpServer, NonGetIs405WithAllowHeader) {
   HttpServer srv;
   srv.handle("/status", [] { return HttpResponse{}; });
@@ -87,6 +87,94 @@ TEST(HttpServer, NonGetIs405WithAllowHeader) {
     EXPECT_EQ(res.status, 405) << method;
     EXPECT_EQ(res.allow, "GET") << method;
   }
+}
+
+// Route handlers see the method, the matched path, and the request body —
+// the shape of the job API (POST /jobs with a JobSpec document).
+TEST(HttpServer, RouteReceivesMethodPathAndBody) {
+  HttpServer srv;
+  srv.handle_route("/jobs", [](const HttpRequest& req) {
+    HttpResponse r;
+    r.body = req.method + " " + req.path + " [" + req.body + "]";
+    return r;
+  });
+  ASSERT_TRUE(srv.start(0));
+
+  auto res = df::test::http_post(srv.port(), "/jobs", "{\"seed\":7}");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 200);
+  EXPECT_EQ(res.body, "POST /jobs [{\"seed\":7}]");
+
+  res = http_get(srv.port(), "/jobs/12/pause");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.body, "GET /jobs/12/pause []");
+
+  // Prefix match requires a path-segment boundary, not a string prefix.
+  res = http_get(srv.port(), "/jobsx");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 404);
+}
+
+// The longest registered prefix wins, and exact GET handlers shadow routes.
+TEST(HttpServer, LongestRoutePrefixWinsAndExactHandlersShadow) {
+  HttpServer srv;
+  srv.handle_route("/jobs", [](const HttpRequest&) {
+    HttpResponse r;
+    r.body = "outer";
+    return r;
+  });
+  srv.handle_route("/jobs/special", [](const HttpRequest&) {
+    HttpResponse r;
+    r.body = "inner";
+    return r;
+  });
+  srv.handle("/jobs/exact", [] {
+    HttpResponse r;
+    r.body = "exact";
+    return r;
+  });
+  ASSERT_TRUE(srv.start(0));
+  EXPECT_EQ(http_get(srv.port(), "/jobs/7").body, "outer");
+  EXPECT_EQ(http_get(srv.port(), "/jobs/special/x").body, "inner");
+  EXPECT_EQ(http_get(srv.port(), "/jobs/exact").body, "exact");
+}
+
+// With routes registered the Allow header advertises POST too, and a POST
+// to a path no route claims still gets 405 (the resource is GET-only).
+TEST(HttpServer, PostOutsideRoutesIs405WithExtendedAllow) {
+  HttpServer srv;
+  srv.handle("/metrics", [] { return HttpResponse{}; });
+  srv.handle_route("/jobs", [](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_TRUE(srv.start(0));
+  const auto res = df::test::http_post(srv.port(), "/metrics", "x");
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 405);
+  EXPECT_EQ(res.allow, "GET, POST");
+}
+
+// Oversized bodies are rejected with 413 before the handler ever runs —
+// first from the declared Content-Length, and the connection can never
+// buffer more than the cap.
+TEST(HttpServer, OversizedBodyIs413) {
+  bool handler_ran = false;
+  HttpServer srv;
+  srv.handle_route("/jobs", [&handler_ran](const HttpRequest&) {
+    handler_ran = true;
+    return HttpResponse{};
+  });
+  ASSERT_TRUE(srv.start(0));
+  const std::string big(HttpServer::kMaxBodyBytes + 1, 'x');
+  const auto res = df::test::http_post(srv.port(), "/jobs", big);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.status, 413);
+  EXPECT_FALSE(handler_ran);
+
+  // At the cap exactly the request goes through.
+  const std::string fits(HttpServer::kMaxBodyBytes, 'x');
+  const auto ok = df::test::http_post(srv.port(), "/jobs", fits);
+  ASSERT_TRUE(ok.ok);
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_TRUE(handler_ran);
 }
 
 TEST(HttpServer, HandlerStatusCodePropagates) {

@@ -1,0 +1,30 @@
+# Service scheduling bench smoke test (run via cmake -P from ctest): run
+# bench_service_throughput with a small job batch, then validate the
+# emitted BENCH_service.json (including the service section's determinism
+# flag and preemption accounting) with scripts/check_bench_json.py.
+# Inputs: BENCH, PYTHON, CHECKER, OUTDIR.
+
+file(MAKE_DIRECTORY ${OUTDIR})
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          DF_SERVICE_JOBS=3 DF_SERVICE_BUDGET=1024 DF_BENCH_JSON_DIR=${OUTDIR}
+          ${BENCH}
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_service_throughput failed (rc=${bench_rc}): "
+                      "preempted jobs diverged from their uninterrupted "
+                      "references or JSON write failure")
+endif()
+
+set(OUT ${OUTDIR}/BENCH_service.json)
+if(NOT EXISTS ${OUT})
+  message(FATAL_ERROR "bench_service_throughput did not write ${OUT}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${OUT}
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_bench_json.py rejected ${OUT} (rc=${check_rc})")
+endif()
